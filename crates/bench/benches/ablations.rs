@@ -1,0 +1,293 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Threshold index**: the paper's heap with the Fig. 4
+//!   poll/backup/reinsert search vs. a plain ordered map walked
+//!   weakest-first. Run on the threshold-heavy parameterized bounded
+//!   buffer.
+//! * **Relay on clean exit**: the paper relays on *every* exit; skipping
+//!   relays after read-only occupancies is a sound optimization. Run on
+//!   a read-heavy workload.
+//! * **Predicate-table dedup**: syntax-equivalent predicates share one
+//!   condition variable (§5.2); measured against a workload where many
+//!   threads wait on the same condition.
+//! * **Restricted vs full automatic signaling**: Kessels' fixed-set
+//!   monitor (paper ref [16]) vs the unrestricted `waituntil` on the
+//!   one problem class both can express — shared-predicate bounded
+//!   buffer — measuring what the generality costs when it isn't needed.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autosynch::config::{MonitorConfig, ThresholdIndexKind};
+use autosynch::monitor::Monitor;
+use autosynch_problems::mechanism::{timed_run, Mechanism};
+
+struct Counter {
+    value: i64,
+}
+
+/// Threshold-heavy churn: half the threads wait on distinct `>=` keys,
+/// half keep bumping the counter, under the given config.
+fn threshold_churn(config: MonitorConfig, waiters: usize, rounds: usize) {
+    let monitor = Arc::new(Monitor::with_config(Counter { value: 0 }, config));
+    let value = monitor.register_expr("value", |s: &Counter| s.value);
+    timed_run(waiters + 1, |i| {
+        if i == 0 {
+            // The driver: raise the water level until everyone is done.
+            for _ in 0..(waiters * rounds) {
+                monitor.with(|s| s.value += 1);
+            }
+            // Release anyone still waiting at the top.
+            monitor.with(|s| s.value += i64::MAX / 2);
+        } else {
+            for round in 0..rounds {
+                let key = ((i * rounds + round) % (waiters * rounds / 2 + 1)) as i64;
+                monitor.enter(|g| g.wait_until(value.ge(key)));
+            }
+        }
+    });
+}
+
+fn bench_threshold_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_threshold_index");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for (label, kind) in [
+        ("paper_heap", ThresholdIndexKind::PaperHeap),
+        ("ordered_map", ThresholdIndexKind::OrderedMap),
+    ] {
+        group.bench_function(BenchmarkId::new(label, "16w_x64"), |b| {
+            b.iter(|| {
+                threshold_churn(MonitorConfig::new().threshold_index(kind), 16, 64);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Read-heavy workload: most monitor entries never mutate, so the
+/// relay-on-clean-exit policy is the whole cost difference.
+fn read_heavy(config: MonitorConfig, readers: usize, rounds: usize) {
+    let monitor = Arc::new(Monitor::with_config(Counter { value: 0 }, config));
+    let value = monitor.register_expr("value", |s: &Counter| s.value);
+    timed_run(readers + 1, |i| {
+        if i == 0 {
+            for _ in 0..rounds {
+                monitor.with(|s| s.value += 1);
+            }
+        } else {
+            for _ in 0..rounds {
+                // A read-only occupancy plus an occasional wait.
+                monitor.enter(|g| {
+                    let _ = g.state().value;
+                });
+            }
+            monitor.enter(|g| g.wait_until(value.ge(rounds as i64)));
+        }
+    });
+}
+
+fn bench_relay_clean_exit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_relay_clean_exit");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for (label, relay) in [("always_relay", true), ("skip_clean", false)] {
+        group.bench_function(BenchmarkId::new(label, "8r_x500"), |b| {
+            b.iter(|| {
+                read_heavy(
+                    MonitorConfig::new().relay_on_clean_exit(relay),
+                    8,
+                    500,
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Many threads waiting on the *same* globalized predicate: dedup makes
+/// them share one entry and one condvar.
+fn same_predicate_herd(inactive_cap: usize, waiters: usize, rounds: usize) {
+    let config = MonitorConfig::new().inactive_cap(inactive_cap);
+    let monitor = Arc::new(Monitor::with_config(Counter { value: 0 }, config));
+    let value = monitor.register_expr("value", |s: &Counter| s.value);
+    timed_run(waiters + 1, |i| {
+        if i == 0 {
+            for _ in 0..(waiters * rounds) {
+                monitor.with(|s| s.value += 1);
+            }
+        } else {
+            for round in 0..rounds {
+                let goal = ((round + 1) * waiters) as i64;
+                monitor.enter(|g| g.wait_until(value.ge(goal)));
+            }
+        }
+    });
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_inactive_cache");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // inactive_cap 0 evicts entries the moment they idle, forcing
+    // re-interning; the default keeps them warm for reuse.
+    for (label, cap) in [("evict_immediately", 0usize), ("keep_64", 64)] {
+        group.bench_function(BenchmarkId::new(label, "8w_x200"), |b| {
+            b.iter(|| same_predicate_herd(cap, 8, 200))
+        });
+    }
+    group.finish();
+}
+
+/// The relay-width extension: width 1 is the paper's rule; wider relays
+/// hand the lock to several eligible threads per exit on a workload
+/// where one update satisfies many waiters at once.
+fn herd_release(width: usize, waiters: usize, rounds: usize) {
+    let config = MonitorConfig::new().relay_width(width);
+    let monitor = Arc::new(Monitor::with_config(Counter { value: 0 }, config));
+    let value = monitor.register_expr("value", |s: &Counter| s.value);
+    timed_run(waiters + 1, |i| {
+        if i == 0 {
+            for round in 0..rounds {
+                // One bump satisfies every waiter of this round.
+                monitor.with(move |s| s.value = (round + 1) as i64);
+            }
+        } else {
+            for round in 0..rounds {
+                monitor.enter(|g| g.wait_until(value.ge((round + 1) as i64)));
+            }
+        }
+    });
+}
+
+fn bench_relay_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_relay_width");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for width in [1usize, 2, 8] {
+        group.bench_function(BenchmarkId::new("width", width), |b| {
+            b.iter(|| herd_release(width, 8, 100))
+        });
+    }
+    group.finish();
+}
+
+/// The plain bounded buffer under a given monitor flavor — the common
+/// ground between the restricted and full designs.
+mod flavors {
+    use super::*;
+    use autosynch::kessels::KesselsMonitor;
+
+    pub struct Buf {
+        pub count: i64,
+        pub cap: i64,
+    }
+
+    pub fn kessels_buffer(pairs: usize, ops: usize) {
+        let mut monitor = KesselsMonitor::new(Buf { count: 0, cap: 8 });
+        let not_full = monitor.declare("not_full", |b: &Buf| b.count < b.cap);
+        let not_empty = monitor.declare("not_empty", |b: &Buf| b.count > 0);
+        let monitor = Arc::new(monitor);
+        timed_run(pairs * 2, |i| {
+            if i % 2 == 0 {
+                for _ in 0..ops {
+                    monitor.enter(|g| {
+                        g.wait(not_full);
+                        g.state_mut().count += 1;
+                    });
+                }
+            } else {
+                for _ in 0..ops {
+                    monitor.enter(|g| {
+                        g.wait(not_empty);
+                        g.state_mut().count -= 1;
+                    });
+                }
+            }
+        });
+    }
+
+    pub fn autosynch_buffer(config: MonitorConfig, pairs: usize, ops: usize) {
+        let monitor = Arc::new(Monitor::with_config(Buf { count: 0, cap: 8 }, config));
+        let count = monitor.register_expr("count", |b: &Buf| b.count);
+        monitor.register_shared_predicate(count.lt(8));
+        monitor.register_shared_predicate(count.gt(0));
+        timed_run(pairs * 2, |i| {
+            if i % 2 == 0 {
+                for _ in 0..ops {
+                    monitor.enter(|g| {
+                        g.wait_until(count.lt(8));
+                        g.state_mut().count += 1;
+                    });
+                }
+            } else {
+                for _ in 0..ops {
+                    monitor.enter(|g| {
+                        g.wait_until(count.gt(0));
+                        g.state_mut().count -= 1;
+                    });
+                }
+            }
+        });
+    }
+}
+
+fn bench_restricted_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_restricted_vs_full");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function(BenchmarkId::new("kessels", "4pairs_x300"), |b| {
+        b.iter(|| flavors::kessels_buffer(4, 300))
+    });
+    group.bench_function(BenchmarkId::new("autosynch", "4pairs_x300"), |b| {
+        b.iter(|| flavors::autosynch_buffer(MonitorConfig::new(), 4, 300))
+    });
+    group.bench_function(BenchmarkId::new("autosynch_t", "4pairs_x300"), |b| {
+        b.iter(|| flavors::autosynch_buffer(MonitorConfig::autosynch_t(), 4, 300))
+    });
+    group.finish();
+}
+
+/// The restricted model on a *complex-predicate* problem: Kessels
+/// expresses `turn == id` only as one declared condition per thread, so
+/// its relay scan is O(N) — the Fig. 11 degradation — while the full
+/// monitor's equivalence probe stays O(1).
+fn bench_restricted_round_robin(c: &mut Criterion) {
+    use autosynch_problems::round_robin::{self, RoundRobinConfig};
+    let mut group = c.benchmark_group("ablation_restricted_round_robin");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for threads in [4usize, 16, 32] {
+        let config = RoundRobinConfig {
+            threads,
+            rounds: (1_024 / threads).max(8),
+        };
+        group.bench_with_input(BenchmarkId::new("kessels", threads), &config, |b, &cfg| {
+            b.iter(|| round_robin::run_kessels(cfg))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("autosynch", threads),
+            &config,
+            |b, &cfg| b.iter(|| round_robin::run(Mechanism::AutoSynch, cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_threshold_index,
+    bench_relay_clean_exit,
+    bench_dedup,
+    bench_relay_width,
+    bench_restricted_vs_full,
+    bench_restricted_round_robin
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Fig. 8: bounded buffer runtime across the four
+//! signaling mechanisms as the producer/consumer count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autosynch_problems::bounded_buffer::{run, BoundedBufferConfig};
+use autosynch_problems::mechanism::Mechanism;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_bounded_buffer");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for &pairs in &[1usize, 4, 16] {
+        let config = BoundedBufferConfig {
+            producers: pairs,
+            consumers: pairs,
+            ops_per_thread: 2_000 / pairs.max(1),
+            capacity: 16,
+        };
+        for mechanism in Mechanism::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(mechanism.label(), pairs * 2),
+                &config,
+                |b, &config| b.iter(|| run(mechanism, config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Fig. 9: H2O runtime across the four signaling
+//! mechanisms as the hydrogen-thread count grows (one oxygen thread).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autosynch_problems::h2o::{run, H2oConfig};
+use autosynch_problems::mechanism::Mechanism;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_h2o");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for &h_threads in &[2usize, 8, 32] {
+        let config = H2oConfig {
+            h_threads,
+            events_per_h: 2_000 / h_threads,
+        };
+        for mechanism in Mechanism::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(mechanism.label(), h_threads),
+                &config,
+                |b, &config| b.iter(|| run(mechanism, config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 10: sleeping barber runtime across the four
+//! signaling mechanisms as the customer count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autosynch_problems::mechanism::Mechanism;
+use autosynch_problems::sleeping_barber::{run, SleepingBarberConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_sleeping_barber");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for &customers in &[2usize, 8, 32] {
+        let config = SleepingBarberConfig {
+            customers,
+            visits_per_customer: 2_000 / customers,
+            chairs: 8,
+        };
+        for mechanism in Mechanism::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(mechanism.label(), customers),
+                &config,
+                |b, &config| b.iter(|| run(mechanism, config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

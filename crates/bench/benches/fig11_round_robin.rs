@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 11: round-robin access pattern. The paper's
+//! point: explicit stays flat, AutoSynch tracks it within a small
+//! factor, AutoSynch-T degrades as the thread count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autosynch_problems::mechanism::Mechanism;
+use autosynch_problems::round_robin::{run, RoundRobinConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_round_robin");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for &threads in &[2usize, 8, 32, 64] {
+        let config = RoundRobinConfig {
+            threads,
+            rounds: 2_000 / threads,
+        };
+        for mechanism in Mechanism::WITHOUT_BASELINE {
+            group.bench_with_input(
+                BenchmarkId::new(mechanism.label(), threads),
+                &config,
+                |b, &config| b.iter(|| run(mechanism, config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

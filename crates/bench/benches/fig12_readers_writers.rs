@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 12: ticketed readers/writers at the paper's
+//! writers/readers ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autosynch_problems::mechanism::Mechanism;
+use autosynch_problems::readers_writers::{run, ReadersWritersConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_readers_writers");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for &(writers, readers) in &[(2usize, 10usize), (4, 20), (8, 40)] {
+        let config = ReadersWritersConfig {
+            writers,
+            readers,
+            ops_per_thread: 2_000 / (writers + readers),
+        };
+        for mechanism in Mechanism::WITHOUT_BASELINE {
+            group.bench_with_input(
+                BenchmarkId::new(mechanism.label(), format!("{writers}w_{readers}r")),
+                &config,
+                |b, &config| b.iter(|| run(mechanism, config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 13: dining philosophers. The paper's point:
+//! a philosopher only competes with two neighbours, so the explicit
+//! version's advantage does not grow with the table size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autosynch_problems::dining::{run, DiningConfig};
+use autosynch_problems::mechanism::Mechanism;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_dining");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for &philosophers in &[2usize, 8, 32] {
+        let config = DiningConfig {
+            philosophers,
+            meals_per_philosopher: 2_000 / philosophers,
+        };
+        for mechanism in Mechanism::WITHOUT_BASELINE {
+            group.bench_with_input(
+                BenchmarkId::new(mechanism.label(), philosophers),
+                &config,
+                |b, &config| b.iter(|| run(mechanism, config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Fig. 14: the parameterized bounded buffer, the
+//! problem whose explicit version needs `signalAll`. Explicit runtime
+//! grows with the consumer count; AutoSynch stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autosynch_problems::mechanism::Mechanism;
+use autosynch_problems::param_bounded_buffer::{run, ParamBoundedBufferConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_param_bounded_buffer");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for &consumers in &[2usize, 8, 32, 64] {
+        let config = ParamBoundedBufferConfig {
+            consumers,
+            takes_per_consumer: (1_024 / consumers).max(4),
+            max_items: 128,
+            capacity: 256,
+            seed: 0x5EED,
+        };
+        for mechanism in [Mechanism::Explicit, Mechanism::AutoSynch] {
+            group.bench_with_input(
+                BenchmarkId::new(mechanism.label(), consumers),
+                &config,
+                |b, &config| b.iter(|| run(mechanism, config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,365 @@
+//! One runner per paper figure/table, shared by the Criterion benches
+//! and the `reproduce` binary.
+//!
+//! Each `figN` function performs the full x-axis sweep for its figure
+//! and returns an aligned text table whose columns are the paper's
+//! legend entries and whose cells are runtime seconds (or counts, for
+//! Fig. 15 and Table 1).
+
+use autosynch_metrics::phase::Phase;
+use autosynch_metrics::report::{kilo, secs, Table};
+use autosynch_problems::bounded_buffer::{self, BoundedBufferConfig};
+use autosynch_problems::cyclic_barrier::{self, BarrierConfig};
+use autosynch_problems::dining::{self, DiningConfig};
+use autosynch_problems::h2o::{self, H2oConfig};
+use autosynch_problems::mechanism::{Mechanism, RunReport};
+use autosynch_problems::param_bounded_buffer::{self, ParamBoundedBufferConfig};
+use autosynch_problems::readers_writers::{self, ReadersWritersConfig};
+use autosynch_problems::round_robin::{self, RoundRobinConfig};
+use autosynch_problems::sleeping_barber::{self, SleepingBarberConfig};
+
+use crate::sweep;
+
+fn runtime_row(x_label: String, reports: &[RunReport]) -> Vec<String> {
+    let mut row = vec![x_label];
+    row.extend(reports.iter().map(|r| secs(r.elapsed)));
+    row
+}
+
+fn header(x: &str, mechanisms: &[Mechanism]) -> Vec<String> {
+    let mut columns = vec![x.to_owned()];
+    columns.extend(mechanisms.iter().map(|m| m.label().to_owned()));
+    columns
+}
+
+/// Fig. 8: bounded buffer, runtime vs #producers (= #consumers).
+pub fn fig8() -> Table {
+    let mechanisms = Mechanism::ALL;
+    let mut table = Table::new(header("producers/consumers", &mechanisms));
+    for n in sweep::thread_grid() {
+        let pairs = (n / 2).max(1);
+        let config = BoundedBufferConfig {
+            producers: pairs,
+            consumers: pairs,
+            ops_per_thread: sweep::ops_per_thread(pairs * 2),
+            capacity: 16,
+        };
+        let reports: Vec<RunReport> = mechanisms
+            .iter()
+            .map(|&m| bounded_buffer::run(m, config))
+            .collect();
+        table.row(runtime_row(n.to_string(), &reports));
+    }
+    table
+}
+
+/// Fig. 9: H2O, runtime vs #H-atom threads (one O thread).
+pub fn fig9() -> Table {
+    let mechanisms = Mechanism::ALL;
+    let mut table = Table::new(header("H-atoms", &mechanisms));
+    for n in sweep::thread_grid() {
+        let h_threads = n.max(2);
+        let mut events = sweep::ops_per_thread(h_threads);
+        if (h_threads * events) % 2 == 1 {
+            events += 1; // stoichiometry needs an even total
+        }
+        let config = H2oConfig {
+            h_threads,
+            events_per_h: events,
+        };
+        let reports: Vec<RunReport> = mechanisms.iter().map(|&m| h2o::run(m, config)).collect();
+        table.row(runtime_row(h_threads.to_string(), &reports));
+    }
+    table
+}
+
+/// Fig. 10: sleeping barber, runtime vs #customers.
+pub fn fig10() -> Table {
+    let mechanisms = Mechanism::ALL;
+    let mut table = Table::new(header("customers", &mechanisms));
+    for n in sweep::thread_grid() {
+        let config = SleepingBarberConfig {
+            customers: n,
+            visits_per_customer: sweep::ops_per_thread(n),
+            chairs: 8,
+        };
+        let reports: Vec<RunReport> = mechanisms
+            .iter()
+            .map(|&m| sleeping_barber::run(m, config).report)
+            .collect();
+        table.row(runtime_row(n.to_string(), &reports));
+    }
+    table
+}
+
+/// Fig. 11: round-robin access pattern, runtime vs #threads (explicit,
+/// AutoSynch-T, AutoSynch — the baseline is off the chart in the paper).
+pub fn fig11() -> Table {
+    let mechanisms = Mechanism::WITHOUT_BASELINE;
+    let mut table = Table::new(header("threads", &mechanisms));
+    for n in sweep::thread_grid() {
+        let config = RoundRobinConfig {
+            threads: n,
+            rounds: sweep::ops_per_thread(n),
+        };
+        let reports: Vec<RunReport> = mechanisms
+            .iter()
+            .map(|&m| round_robin::run(m, config))
+            .collect();
+        table.row(runtime_row(n.to_string(), &reports));
+    }
+    table
+}
+
+/// Fig. 12: ticketed readers/writers, runtime vs writers/readers pairs.
+pub fn fig12() -> Table {
+    let mechanisms = Mechanism::WITHOUT_BASELINE;
+    let mut table = Table::new(header("writers/readers", &mechanisms));
+    for (writers, readers) in sweep::rw_grid() {
+        let config = ReadersWritersConfig {
+            writers,
+            readers,
+            ops_per_thread: sweep::ops_per_thread(writers + readers),
+        };
+        let reports: Vec<RunReport> = mechanisms
+            .iter()
+            .map(|&m| readers_writers::run(m, config))
+            .collect();
+        table.row(runtime_row(format!("{writers}/{readers}"), &reports));
+    }
+    table
+}
+
+/// Fig. 13: dining philosophers, runtime vs #philosophers.
+pub fn fig13() -> Table {
+    let mechanisms = Mechanism::WITHOUT_BASELINE;
+    let mut table = Table::new(header("philosophers", &mechanisms));
+    for n in sweep::thread_grid() {
+        let philosophers = n.max(2);
+        let config = DiningConfig {
+            philosophers,
+            meals_per_philosopher: sweep::ops_per_thread(philosophers),
+        };
+        let reports: Vec<RunReport> =
+            mechanisms.iter().map(|&m| dining::run(m, config)).collect();
+        table.row(runtime_row(philosophers.to_string(), &reports));
+    }
+    table
+}
+
+fn fig14_config(consumers: usize) -> ParamBoundedBufferConfig {
+    ParamBoundedBufferConfig {
+        consumers,
+        takes_per_consumer: (sweep::ops_budget() / 8 / consumers).max(4),
+        max_items: 128,
+        capacity: 256,
+        seed: 0x5EED,
+    }
+}
+
+/// Fig. 14: parameterized bounded buffer, runtime vs #consumers
+/// (explicit vs AutoSynch).
+pub fn fig14() -> Table {
+    let mechanisms = [Mechanism::Explicit, Mechanism::AutoSynch];
+    let mut table = Table::new(header("consumers", &mechanisms));
+    for n in sweep::thread_grid() {
+        let reports: Vec<RunReport> = mechanisms
+            .iter()
+            .map(|&m| param_bounded_buffer::run(m, fig14_config(n)))
+            .collect();
+        table.row(runtime_row(n.to_string(), &reports));
+    }
+    table
+}
+
+/// Fig. 15: context switches for the Fig. 14 runs, in thousands.
+///
+/// Primary metric: wakeups (every return from a blocked wait is one
+/// voluntary context switch). The kernel's process-wide voluntary
+/// counter is shown alongside when `/proc` is available.
+pub fn fig15() -> Table {
+    let mut table = Table::with_columns(&[
+        "consumers",
+        "explicit (K wakeups)",
+        "AutoSynch (K wakeups)",
+        "explicit (K kernel)",
+        "AutoSynch (K kernel)",
+    ]);
+    for n in sweep::thread_grid() {
+        let explicit = param_bounded_buffer::run(Mechanism::Explicit, fig14_config(n));
+        let auto = param_bounded_buffer::run(Mechanism::AutoSynch, fig14_config(n));
+        let kernel = |r: &RunReport| {
+            r.ctx
+                .map(|c| kilo(c.voluntary))
+                .unwrap_or_else(|| "n/a".into())
+        };
+        table.row(vec![
+            n.to_string(),
+            kilo(explicit.stats.counters.wakeups),
+            kilo(auto.stats.counters.wakeups),
+            kernel(&explicit),
+            kernel(&auto),
+        ]);
+    }
+    table
+}
+
+/// Supplement to Fig. 8: the signaling counters behind the curves.
+/// `parking_lot`'s wait morphing mutes the *runtime* cost of the
+/// baseline's broadcasts on this problem; the counters show the
+/// mechanism anyway (broadcasts instead of signals, far more futile
+/// wakeups).
+pub fn fig8_counters() -> Table {
+    let mut table = Table::with_columns(&[
+        "mechanism",
+        "signals",
+        "signalAll",
+        "wakeups",
+        "futile",
+        "futile%",
+    ]);
+    let pairs = if sweep::full_scale() { 64 } else { 16 };
+    let config = BoundedBufferConfig {
+        producers: pairs,
+        consumers: pairs,
+        ops_per_thread: sweep::ops_per_thread(pairs * 2),
+        capacity: 16,
+    };
+    for mechanism in Mechanism::ALL {
+        let report = bounded_buffer::run(mechanism, config);
+        let c = report.stats.counters;
+        table.row(vec![
+            mechanism.label().to_owned(),
+            c.signals.to_string(),
+            c.broadcasts.to_string(),
+            c.wakeups.to_string(),
+            c.futile_wakeups.to_string(),
+            format!("{:.1}", c.futile_ratio() * 100.0),
+        ]);
+    }
+    table
+}
+
+/// Table 1: CPU-usage breakdown for the round-robin pattern at 128
+/// threads (or the largest grid point in quick mode).
+pub fn table1() -> Table {
+    let threads = if sweep::full_scale() { 128 } else { 32 };
+    // 4x the figure budget: the AutoSynch-T relay scan is O(waiters)
+    // per call, so longer runs sharpen the contrast the paper measured
+    // over multi-minute profiles.
+    let config = RoundRobinConfig {
+        threads,
+        rounds: sweep::ops_per_thread(threads) * 4,
+    };
+    let mut table = Table::with_columns(&[
+        "mechanism",
+        "await(ms)",
+        "%",
+        "lock(ms)",
+        "%",
+        "relaySignal(ms)",
+        "%",
+        "tagMgr(ms)",
+        "%",
+        "others(ms)",
+        "total(ms)",
+    ]);
+    for mechanism in Mechanism::WITHOUT_BASELINE {
+        let report = round_robin::run_timed(mechanism, config);
+        let phases = report.stats.phases;
+        let ms = |p: Phase| format!("{:.1}", phases.nanos(p) as f64 / 1e6);
+        let pct = |p: Phase| format!("{:.2}", phases.share(p) * 100.0);
+        table.row(vec![
+            mechanism.label().to_owned(),
+            ms(Phase::Await),
+            pct(Phase::Await),
+            ms(Phase::Lock),
+            pct(Phase::Lock),
+            ms(Phase::RelaySignal),
+            pct(Phase::RelaySignal),
+            ms(Phase::TagManager),
+            pct(Phase::TagManager),
+            ms(Phase::Other),
+            format!("{:.1}", phases.total_nanos() as f64 / 1e6),
+        ]);
+    }
+    table
+}
+
+fn barrier_config(parties: usize) -> BarrierConfig {
+    BarrierConfig {
+        parties,
+        generations: (sweep::ops_budget() / 4 / parties).max(8),
+    }
+}
+
+/// Extension: cyclic barrier, runtime vs parties — a second
+/// `signalAll`-bound family beyond Fig. 14. The explicit release is one
+/// broadcast per generation; AutoSynch turns it into a relay chain of
+/// targeted signals.
+pub fn ext_barrier() -> Table {
+    let mechanisms = [Mechanism::Explicit, Mechanism::AutoSynch];
+    let mut table = Table::new(header("parties", &mechanisms));
+    for n in sweep::thread_grid() {
+        let parties = n.max(2);
+        let reports: Vec<RunReport> = mechanisms
+            .iter()
+            .map(|&m| cyclic_barrier::run(m, barrier_config(parties)))
+            .collect();
+        table.row(runtime_row(parties.to_string(), &reports));
+    }
+    table
+}
+
+/// Extension supplement: the signaling counters behind the barrier
+/// curves at the largest grid point — explicit broadcasts once per
+/// generation; AutoSynch signals each waiter individually and never
+/// broadcasts.
+pub fn ext_barrier_counters() -> Table {
+    let mut table = Table::with_columns(&[
+        "mechanism",
+        "signals",
+        "signalAll",
+        "wakeups",
+        "futile",
+        "futile%",
+    ]);
+    let parties = if sweep::full_scale() { 64 } else { 16 };
+    for mechanism in Mechanism::ALL {
+        let report = cyclic_barrier::run(mechanism, barrier_config(parties));
+        let c = report.stats.counters;
+        table.row(vec![
+            mechanism.label().to_owned(),
+            c.signals.to_string(),
+            c.broadcasts.to_string(),
+            c.wakeups.to_string(),
+            c.futile_wakeups.to_string(),
+            format!("{:.1}", c.futile_ratio() * 100.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The figure sweeps are exercised end-to-end by the reproduce
+    // binary; here we only smoke-test the cheapest figure wiring with a
+    // tiny budget to keep the unit suite fast.
+    #[test]
+    fn fig14_config_scales_with_consumers() {
+        let small = fig14_config(2);
+        let large = fig14_config(64);
+        assert!(small.takes_per_consumer >= large.takes_per_consumer);
+        assert_eq!(small.capacity, 256);
+    }
+
+    #[test]
+    fn header_layout() {
+        let h = header("threads", &Mechanism::WITHOUT_BASELINE);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h[0], "threads");
+        assert_eq!(h[3], "AutoSynch");
+    }
+}

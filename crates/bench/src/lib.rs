@@ -1,0 +1,24 @@
+//! The benchmark harness regenerating every table and figure of the
+//! AutoSynch paper's evaluation (§6.4).
+//!
+//! Two entry points share the definitions in [`figures`]:
+//!
+//! * `cargo bench -p autosynch-bench` — Criterion benches, one per
+//!   runtime figure, for statistically careful per-point timing.
+//! * `cargo run --release -p autosynch-bench --bin reproduce` — one-shot
+//!   sweeps that print each figure as a text series in the paper's
+//!   layout (including Fig. 15's context-switch counts and Table 1's
+//!   CPU breakdown, which are not timing benchmarks).
+//!
+//! Scale: the paper ran 25 repetitions on a 16-socket Xeon with thread
+//! counts up to 256 and multi-second runs. Default parameters here are
+//! scaled down so a full `reproduce all` takes minutes on a laptop;
+//! `AUTOSYNCH_FULL=1` restores the paper's thread grid (at laptop-scale
+//! op counts). Absolute seconds are not the reproduction target — the
+//! *shape* of each curve is.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod figures;
+pub mod sweep;

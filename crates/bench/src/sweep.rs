@@ -1,0 +1,87 @@
+//! Sweep parameters: thread grids and operation counts.
+//!
+//! The paper's x-axes double from 2 to 256 threads. A full grid at
+//! meaningful op counts is minutes of wall clock; the default grid is a
+//! subset unless `AUTOSYNCH_FULL=1` is set.
+
+/// The paper's thread grid (Figs. 8–11, 13–15).
+pub const PAPER_GRID: [usize; 8] = [2, 4, 8, 16, 32, 64, 128, 256];
+
+/// The reduced default grid.
+pub const QUICK_GRID: [usize; 4] = [2, 8, 32, 128];
+
+/// Writers/readers pairs of Fig. 12 (readers = 5 × writers).
+pub const PAPER_RW_GRID: [(usize, usize); 6] =
+    [(2, 10), (4, 20), (8, 40), (16, 80), (32, 160), (64, 320)];
+
+/// The reduced Fig. 12 grid.
+pub const QUICK_RW_GRID: [(usize, usize); 3] = [(2, 10), (8, 40), (32, 160)];
+
+/// Whether `AUTOSYNCH_FULL=1` requests the paper grid.
+pub fn full_scale() -> bool {
+    std::env::var("AUTOSYNCH_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The active thread grid.
+pub fn thread_grid() -> Vec<usize> {
+    if full_scale() {
+        PAPER_GRID.to_vec()
+    } else {
+        QUICK_GRID.to_vec()
+    }
+}
+
+/// The active writers/readers grid.
+pub fn rw_grid() -> Vec<(usize, usize)> {
+    if full_scale() {
+        PAPER_RW_GRID.to_vec()
+    } else {
+        QUICK_RW_GRID.to_vec()
+    }
+}
+
+/// Work budget per figure point: total monitor operations across all
+/// threads. Keeping the *total* fixed as threads grow (rather than
+/// per-thread counts) keeps every point's wall clock in the same ballpark
+/// and matches how the harness divides work.
+pub fn ops_budget() -> usize {
+    match std::env::var("AUTOSYNCH_OPS") {
+        Ok(v) => v.parse().unwrap_or(20_000),
+        Err(_) => 20_000,
+    }
+}
+
+/// Per-thread ops for `n` threads under the shared budget (at least 1).
+pub fn ops_per_thread(n: usize) -> usize {
+    (ops_budget() / n.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_are_ascending() {
+        assert!(PAPER_GRID.windows(2).all(|w| w[0] < w[1]));
+        assert!(QUICK_GRID.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn quick_grid_is_subset_of_paper_grid() {
+        assert!(QUICK_GRID.iter().all(|n| PAPER_GRID.contains(n)));
+    }
+
+    #[test]
+    fn rw_pairs_keep_five_to_one() {
+        for (w, r) in PAPER_RW_GRID {
+            assert_eq!(r, 5 * w);
+        }
+    }
+
+    #[test]
+    fn ops_split_is_positive() {
+        for n in PAPER_GRID {
+            assert!(ops_per_thread(n) >= 1);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The naive automatic-signal monitor — the paper's *baseline* (§6.2).
+//!
+//! "Using the automatic-signal mechanism relying on only one condition
+//! variable. It calls signalAll to wake every waiting thread. Then each
+//! waken thread re-evaluates its own predicate after re-acquiring the
+//! monitor."
+//!
+//! This is the mechanism the classic "automatic monitors are 10–50×
+//! slower" folklore measured: broadcast on every state change, O(waiters)
+//! context switches per change. Implemented here exactly so Figs. 8–10
+//! can include its curve.
+//!
+//! A broadcast is issued at each relay point (monitor exit or
+//! going-to-wait) when the state was actually mutated in between; a
+//! never-mutating occupancy cannot have satisfied anyone's predicate, and
+//! broadcasting before every wait regardless would let two waiting
+//! threads wake each other forever.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use autosynch_metrics::phase::Phase;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use crate::stats::{MonitorStats, StatsSnapshot};
+
+struct Inner<S> {
+    state: S,
+    dirty: bool,
+    waiters: usize,
+}
+
+/// The single-condvar, broadcast-everything automatic monitor.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use autosynch::baseline::BaselineMonitor;
+///
+/// let m = Arc::new(BaselineMonitor::new(0i64));
+/// let m2 = Arc::clone(&m);
+/// let t = std::thread::spawn(move || m2.enter(|g| {
+///     g.wait_until(|v| *v >= 10);
+///     *g.state()
+/// }));
+/// m.enter(|g| *g.state_mut() = 10);
+/// assert_eq!(t.join().unwrap(), 10);
+/// ```
+pub struct BaselineMonitor<S> {
+    inner: Mutex<Inner<S>>,
+    cond: Condvar,
+    stats: Arc<MonitorStats>,
+    owner: AtomicU64,
+}
+
+impl<S> std::fmt::Debug for BaselineMonitor<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineMonitor").finish_non_exhaustive()
+    }
+}
+
+mod thread_id {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn current() -> u64 {
+        ID.with(|id| *id)
+    }
+}
+
+impl<S> BaselineMonitor<S> {
+    /// Creates a baseline monitor.
+    pub fn new(state: S) -> Self {
+        BaselineMonitor {
+            inner: Mutex::new(Inner {
+                state,
+                dirty: false,
+                waiters: 0,
+            }),
+            cond: Condvar::new(),
+            stats: MonitorStats::new(false),
+            owner: AtomicU64::new(0),
+        }
+    }
+
+    /// Enables per-phase timing.
+    pub fn enable_timing(&self) {
+        self.stats.phases.set_enabled(true);
+    }
+
+    /// Enters the monitor and runs `f` under mutual exclusion; on exit a
+    /// `signalAll` is issued if the state was mutated.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called re-entrantly from the same thread.
+    pub fn enter<R>(&self, f: impl FnOnce(&mut BaselineGuard<'_, S>) -> R) -> R {
+        let me = thread_id::current();
+        assert_ne!(
+            self.owner.load(Ordering::Relaxed),
+            me,
+            "BaselineMonitor::enter called re-entrantly from the same thread"
+        );
+        self.stats.counters.record_enter();
+        let lock_timer = self.stats.phases.start(Phase::Lock);
+        let mut guard = self.inner.lock();
+        lock_timer.finish();
+        self.owner.store(me, Ordering::Relaxed);
+        guard.dirty = false;
+        let mut g = BaselineGuard {
+            monitor: self,
+            inner: Some(guard),
+        };
+        let r = f(&mut g);
+        drop(g);
+        r
+    }
+
+    /// Convenience: enter and mutate the state.
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        self.enter(|g| f(g.state_mut()))
+    }
+
+    /// Convenience: enter, wait until `cond`, then run `f`.
+    pub fn wait_and<R>(
+        &self,
+        cond: impl Fn(&S) -> bool + 'static,
+        f: impl FnOnce(&mut S) -> R,
+    ) -> R {
+        self.enter(|g| {
+            g.wait_until(cond);
+            f(g.state_mut())
+        })
+    }
+
+    /// The instrumentation bundle.
+    pub fn stats(&self) -> &Arc<MonitorStats> {
+        &self.stats
+    }
+
+    /// A point-in-time snapshot of the instrumentation.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn broadcast_if_dirty(&self, inner: &mut Inner<S>) {
+        if inner.dirty {
+            inner.dirty = false;
+            if inner.waiters > 0 {
+                self.stats.counters.record_broadcast();
+                self.cond.notify_all();
+            }
+        }
+    }
+}
+
+/// The in-monitor view for [`BaselineMonitor::enter`] closures.
+pub struct BaselineGuard<'a, S> {
+    monitor: &'a BaselineMonitor<S>,
+    inner: Option<MutexGuard<'a, Inner<S>>>,
+}
+
+impl<S> std::fmt::Debug for BaselineGuard<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineGuard")
+            .field("held", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl<S> BaselineGuard<'_, S> {
+    /// Shared access to the monitor state.
+    pub fn state(&self) -> &S {
+        &self.inner.as_ref().expect("guard released").state
+    }
+
+    /// Mutable access to the monitor state (marks it dirty, arming the
+    /// exit broadcast).
+    pub fn state_mut(&mut self) -> &mut S {
+        let inner = self.inner.as_mut().expect("guard released");
+        inner.dirty = true;
+        &mut inner.state
+    }
+
+    /// `waituntil(P)` baseline-style: broadcast if we mutated, then wait
+    /// on the single condition variable, re-evaluating our own predicate
+    /// at every wakeup.
+    pub fn wait_until(&mut self, pred: impl Fn(&S) -> bool) {
+        let monitor = self.monitor;
+        monitor.stats.counters.record_pred_eval();
+        if pred(self.state()) {
+            return;
+        }
+        monitor.stats.counters.record_wait();
+        loop {
+            {
+                let inner = self.inner.as_mut().expect("guard released");
+                monitor.broadcast_if_dirty(inner);
+                inner.waiters += 1;
+            }
+            monitor.owner.store(0, Ordering::Relaxed);
+            let timer = monitor.stats.phases.start(Phase::Await);
+            monitor
+                .cond
+                .wait(self.inner.as_mut().expect("guard released"));
+            timer.finish();
+            monitor.owner.store(thread_id::current(), Ordering::Relaxed);
+            monitor.stats.counters.record_wakeup();
+            let inner = self.inner.as_mut().expect("guard released");
+            inner.waiters -= 1;
+            inner.dirty = false;
+            monitor.stats.counters.record_pred_eval();
+            if pred(&inner.state) {
+                return;
+            }
+            monitor.stats.counters.record_futile_wakeup();
+        }
+    }
+}
+
+impl<S> Drop for BaselineGuard<'_, S> {
+    fn drop(&mut self) {
+        if let Some(mut inner) = self.inner.take() {
+            self.monitor.broadcast_if_dirty(&mut inner);
+            self.monitor.owner.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn waiter_released_by_mutation() {
+        let m = Arc::new(BaselineMonitor::new(0i64));
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || m2.wait_and(|v| *v > 0, |v| *v));
+        thread::sleep(Duration::from_millis(20));
+        m.with(|v| *v = 7);
+        assert_eq!(t.join().unwrap(), 7);
+        let snap = m.stats_snapshot();
+        assert!(snap.counters.broadcasts >= 1);
+        assert_eq!(snap.counters.signals, 0, "baseline only broadcasts");
+    }
+
+    #[test]
+    fn broadcast_wakes_all_and_most_are_futile() {
+        let m = Arc::new(BaselineMonitor::new(0i64));
+        let mut handles = Vec::new();
+        for want in 1..=4i64 {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                m.enter(|g| g.wait_until(move |v| *v >= want));
+            }));
+        }
+        thread::sleep(Duration::from_millis(30));
+        m.with(|v| *v = 1); // only want==1 can proceed; 3 futile wakeups
+        thread::sleep(Duration::from_millis(30));
+        m.with(|v| *v = 4);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = m.stats_snapshot();
+        assert!(
+            snap.counters.futile_wakeups >= 3,
+            "expected at least 3 futile wakeups, got {}",
+            snap.counters.futile_wakeups
+        );
+    }
+
+    #[test]
+    fn read_only_exit_does_not_broadcast() {
+        let m = Arc::new(BaselineMonitor::new(0i64));
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || m2.wait_and(|v| *v > 0, |_| ()));
+        thread::sleep(Duration::from_millis(20));
+        let before = m.stats_snapshot().counters.broadcasts;
+        m.enter(|g| {
+            let _ = g.state(); // look, don't touch
+        });
+        assert_eq!(m.stats_snapshot().counters.broadcasts, before);
+        m.with(|v| *v = 1);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mutate_then_wait_broadcasts_before_blocking() {
+        // A thread that changes state and then waits must not strand
+        // waiters whose predicates it satisfied.
+        let m = Arc::new(BaselineMonitor::new((0i64, 0i64)));
+        let m2 = Arc::clone(&m);
+        let first = thread::spawn(move || {
+            m2.enter(|g| {
+                g.wait_until(|s| s.0 > 0);
+                g.state_mut().1 = 1;
+            });
+        });
+        thread::sleep(Duration::from_millis(20));
+        let m3 = Arc::clone(&m);
+        let second = thread::spawn(move || {
+            m3.enter(|g| {
+                g.state_mut().0 = 1; // satisfies `first`
+                g.wait_until(|s| s.1 > 0); // then blocks on `first`'s move
+            });
+        });
+        first.join().unwrap();
+        second.join().unwrap();
+    }
+
+    #[test]
+    fn immediate_truth_skips_waiting() {
+        let m = BaselineMonitor::new(5i64);
+        m.enter(|g| g.wait_until(|v| *v == 5));
+        assert_eq!(m.stats_snapshot().counters.waits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrantly")]
+    fn reentrant_enter_panics() {
+        let m = BaselineMonitor::new(());
+        m.enter(|_| m.enter(|_| {}));
+    }
+}

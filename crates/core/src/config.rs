@@ -1,0 +1,236 @@
+//! Monitor configuration: signaling mode, instrumentation, ablations.
+
+/// Which automatic-signaling strategy the condition manager uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalMode {
+    /// Full AutoSynch: predicate tags prune the search for a signalable
+    /// thread (§4.3).
+    Tagged,
+    /// AutoSynch-T from the evaluation (§6.2): relay signaling without
+    /// tags — every active predicate is evaluated in turn.
+    Untagged,
+}
+
+/// Which data structure backs the threshold-tag index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThresholdIndexKind {
+    /// The paper's heaps with the Fig. 4 peek/poll/backup/reinsert search.
+    PaperHeap,
+    /// An ordered map walked from the weakest key — an ablation showing
+    /// the algorithmic content of Fig. 4 is ordered traversal, not the
+    /// heap itself.
+    OrderedMap,
+}
+
+/// Configuration for [`crate::monitor::Monitor`].
+///
+/// The defaults reproduce the paper's AutoSynch; the other knobs exist for
+/// the AutoSynch-T comparison and the ablation benchmarks.
+///
+/// # Examples
+///
+/// ```
+/// use autosynch::config::{MonitorConfig, SignalMode};
+///
+/// let autosynch_t = MonitorConfig::new().mode(SignalMode::Untagged);
+/// assert_eq!(autosynch_t.signal_mode(), SignalMode::Untagged);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorConfig {
+    mode: SignalMode,
+    timing: bool,
+    inactive_cap: usize,
+    relay_on_clean_exit: bool,
+    threshold_index: ThresholdIndexKind,
+    relay_width: usize,
+    validate_relay: bool,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            mode: SignalMode::Tagged,
+            timing: false,
+            inactive_cap: 64,
+            relay_on_clean_exit: true,
+            threshold_index: ThresholdIndexKind::PaperHeap,
+            relay_width: 1,
+            validate_relay: false,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// The paper-default configuration (tagged, heap index, relay on
+    /// every exit, inactive list capped at 64).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shorthand for the AutoSynch-T configuration of §6.2.
+    pub fn autosynch_t() -> Self {
+        Self::new().mode(SignalMode::Untagged)
+    }
+
+    /// Sets the signaling mode.
+    pub fn mode(mut self, mode: SignalMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables per-phase timing (Table 1). Off by default so runtime
+    /// figures are not distorted by clock reads.
+    pub fn timing(mut self, on: bool) -> Self {
+        self.timing = on;
+        self
+    }
+
+    /// Caps the inactive-predicate LRU (§5.2: "when the length of the
+    /// inactive list exceeds some predefined threshold, we remove the
+    /// oldest predicates").
+    pub fn inactive_cap(mut self, cap: usize) -> Self {
+        self.inactive_cap = cap;
+        self
+    }
+
+    /// Whether a monitor exit that never touched `state_mut` still runs
+    /// the relay rule. `true` is the paper's behaviour; `false` is a
+    /// sound optimization measured as an ablation: a read-only exit
+    /// cannot newly satisfy any predicate, so it has nothing to announce.
+    /// The skip applies only to occupancies that neither mutated **nor**
+    /// consumed a relay signal — a consumed signal is the relay baton
+    /// (§4.2) and the runtime always passes it on at exit, even under
+    /// this ablation, lest a signaled reader absorb the baton and strand
+    /// waiters whose predicates are already true.
+    pub fn relay_on_clean_exit(mut self, on: bool) -> Self {
+        self.relay_on_clean_exit = on;
+        self
+    }
+
+    /// Selects the threshold-index implementation.
+    pub fn threshold_index(mut self, kind: ThresholdIndexKind) -> Self {
+        self.threshold_index = kind;
+        self
+    }
+
+    /// How many threads one relay call may signal (an extension beyond
+    /// the paper, which always signals exactly one). Values above 1
+    /// wake several threads whose predicates are *currently* true —
+    /// more parallel lock handoff at the risk of futile wakeups when an
+    /// earlier winner falsifies a later one's condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is zero (relay invariance needs at least one
+    /// signal).
+    pub fn relay_width(mut self, width: usize) -> Self {
+        assert!(width >= 1, "relay width must be at least 1");
+        self.relay_width = width;
+        self
+    }
+
+    /// The configured signaling mode.
+    pub fn signal_mode(&self) -> SignalMode {
+        self.mode
+    }
+
+    /// Whether per-phase timing is enabled.
+    pub fn timing_enabled(&self) -> bool {
+        self.timing
+    }
+
+    /// The inactive-list capacity.
+    pub fn inactive_capacity(&self) -> usize {
+        self.inactive_cap
+    }
+
+    /// Whether clean exits relay.
+    pub fn relays_on_clean_exit(&self) -> bool {
+        self.relay_on_clean_exit
+    }
+
+    /// The configured threshold-index kind.
+    pub fn threshold_index_kind(&self) -> ThresholdIndexKind {
+        self.threshold_index
+    }
+
+    /// The number of threads one relay call may signal.
+    pub fn relay_width_value(&self) -> usize {
+        self.relay_width
+    }
+
+    /// Enables the relay-invariance validator (Def. 4 / Prop. 2): after
+    /// every relay call the manager exhaustively re-evaluates every
+    /// waiting predicate against the live state and panics if one is
+    /// true while no thread is signaled — i.e., if the tag indexes ever
+    /// miss a signalable thread. This is a ground-truth differential
+    /// check of the whole §4.3 machinery (hash probe, threshold heaps,
+    /// `None` scan); it makes every relay O(waiting predicates), so it
+    /// is for tests only.
+    pub fn validate_relay(mut self, on: bool) -> Self {
+        self.validate_relay = on;
+        self
+    }
+
+    /// Whether the relay-invariance validator is enabled.
+    pub fn validates_relay(&self) -> bool {
+        self.validate_relay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = MonitorConfig::default();
+        assert_eq!(c.signal_mode(), SignalMode::Tagged);
+        assert!(!c.timing_enabled());
+        assert_eq!(c.inactive_capacity(), 64);
+        assert!(c.relays_on_clean_exit());
+        assert_eq!(c.threshold_index_kind(), ThresholdIndexKind::PaperHeap);
+        assert_eq!(c.relay_width_value(), 1);
+    }
+
+    #[test]
+    fn relay_width_builder() {
+        assert_eq!(MonitorConfig::new().relay_width(4).relay_width_value(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_relay_width_panics() {
+        let _ = MonitorConfig::new().relay_width(0);
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let c = MonitorConfig::new()
+            .mode(SignalMode::Untagged)
+            .timing(true)
+            .inactive_cap(8)
+            .relay_on_clean_exit(false)
+            .threshold_index(ThresholdIndexKind::OrderedMap)
+            .validate_relay(true);
+        assert_eq!(c.signal_mode(), SignalMode::Untagged);
+        assert!(c.timing_enabled());
+        assert_eq!(c.inactive_capacity(), 8);
+        assert!(!c.relays_on_clean_exit());
+        assert_eq!(c.threshold_index_kind(), ThresholdIndexKind::OrderedMap);
+        assert!(c.validates_relay());
+    }
+
+    #[test]
+    fn validation_is_off_by_default() {
+        assert!(!MonitorConfig::default().validates_relay());
+    }
+
+    #[test]
+    fn autosynch_t_shorthand() {
+        assert_eq!(
+            MonitorConfig::autosynch_t().signal_mode(),
+            SignalMode::Untagged
+        );
+    }
+}

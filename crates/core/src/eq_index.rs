@@ -1,0 +1,180 @@
+//! The equivalence-tag index (§4.3.2, "Equivalence tag signaling").
+//!
+//! "For each unique shared expression of an equivalence tag, we create a
+//! hash table, where the value of the local expression is used as the key.
+//! By using this hash table and evaluating the shared expression at
+//! runtime, we can find a tag that is true in O(1) time if there is any."
+//!
+//! The index therefore maps `ExprId → (key → [(predicate, conjunction)])`.
+//! Several predicates sharing the conjunct `x == 5` share the bucket — the
+//! paper's shared tags.
+
+use std::collections::HashMap;
+
+use autosynch_predicate::expr::ExprId;
+
+use crate::slab::SlabKey;
+
+/// Identifier of a predicate entry in the condition manager.
+pub type PredId = SlabKey;
+
+/// One tagged conjunction: which predicate, which of its conjunctions.
+pub type TaggedConj = (PredId, u32);
+
+/// Hash index over equivalence tags.
+#[derive(Debug, Default)]
+pub struct EqIndex {
+    by_expr: HashMap<ExprId, HashMap<i64, Vec<TaggedConj>>>,
+}
+
+impl EqIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the equivalence tag `(expr == key)` for a conjunction.
+    pub fn insert(&mut self, expr: ExprId, key: i64, entry: TaggedConj) {
+        self.by_expr
+            .entry(expr)
+            .or_default()
+            .entry(key)
+            .or_default()
+            .push(entry);
+    }
+
+    /// Unregisters a previously inserted tag. Empty buckets and empty
+    /// per-expression tables are dropped so [`EqIndex::exprs`] only yields
+    /// expressions that still need evaluating during relay.
+    pub fn remove(&mut self, expr: ExprId, key: i64, entry: TaggedConj) {
+        let Some(buckets) = self.by_expr.get_mut(&expr) else {
+            return;
+        };
+        if let Some(bucket) = buckets.get_mut(&key) {
+            if let Some(pos) = bucket.iter().position(|&e| e == entry) {
+                bucket.swap_remove(pos);
+            }
+            if bucket.is_empty() {
+                buckets.remove(&key);
+            }
+        }
+        if buckets.is_empty() {
+            self.by_expr.remove(&expr);
+        }
+    }
+
+    /// The candidates whose tag is true given `value` of `expr` — the
+    /// O(1) probe.
+    pub fn candidates(&self, expr: ExprId, value: i64) -> &[TaggedConj] {
+        self.by_expr
+            .get(&expr)
+            .and_then(|buckets| buckets.get(&value))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Expressions that currently carry at least one equivalence tag.
+    /// The relay evaluates each of these once per call.
+    pub fn exprs(&self) -> impl Iterator<Item = ExprId> + '_ {
+        self.by_expr.keys().copied()
+    }
+
+    /// Total number of registered tags (for tests and diagnostics).
+    pub fn len(&self) -> usize {
+        self.by_expr
+            .values()
+            .flat_map(|buckets| buckets.values())
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether no tags are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_expr.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slab::Slab;
+
+    fn pid(n: usize) -> PredId {
+        // Fabricate distinct slab keys through a real slab.
+        let mut slab = Slab::new();
+        let mut last = slab.insert(());
+        for _ in 0..n {
+            last = slab.insert(());
+        }
+        last
+    }
+
+    #[test]
+    fn probe_finds_only_matching_key() {
+        let mut idx = EqIndex::new();
+        let e = ExprId::from_raw(0);
+        let (p1, p2) = (pid(0), pid(1));
+        idx.insert(e, 3, (p1, 0));
+        idx.insert(e, 8, (p2, 0));
+        assert_eq!(idx.candidates(e, 8), &[(p2, 0)]);
+        assert_eq!(idx.candidates(e, 3), &[(p1, 0)]);
+        assert!(idx.candidates(e, 5).is_empty());
+        assert!(idx.candidates(ExprId::from_raw(9), 8).is_empty());
+    }
+
+    #[test]
+    fn shared_tags_accumulate_in_one_bucket() {
+        // (x = 5) && (z <= 4) and (x = 5) && (y >= 4) share the x==5 tag.
+        let mut idx = EqIndex::new();
+        let e = ExprId::from_raw(1);
+        idx.insert(e, 5, (pid(0), 0));
+        idx.insert(e, 5, (pid(1), 0));
+        assert_eq!(idx.candidates(e, 5).len(), 2);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn remove_cleans_empty_buckets_and_exprs() {
+        let mut idx = EqIndex::new();
+        let e = ExprId::from_raw(0);
+        let p = pid(0);
+        idx.insert(e, 7, (p, 0));
+        assert_eq!(idx.exprs().count(), 1);
+        idx.remove(e, 7, (p, 0));
+        assert!(idx.is_empty());
+        assert_eq!(idx.exprs().count(), 0);
+        assert!(idx.candidates(e, 7).is_empty());
+    }
+
+    #[test]
+    fn remove_is_precise() {
+        let mut idx = EqIndex::new();
+        let e = ExprId::from_raw(0);
+        let p = pid(0);
+        idx.insert(e, 7, (p, 0));
+        idx.insert(e, 7, (p, 1));
+        idx.remove(e, 7, (p, 0));
+        assert_eq!(idx.candidates(e, 7), &[(p, 1)]);
+    }
+
+    #[test]
+    fn removing_missing_entries_is_a_noop() {
+        let mut idx = EqIndex::new();
+        let e = ExprId::from_raw(0);
+        idx.remove(e, 1, (pid(0), 0));
+        idx.insert(e, 1, (pid(0), 0));
+        idx.remove(e, 2, (pid(0), 0)); // wrong key
+        idx.remove(e, 1, (pid(1), 0)); // wrong pred
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn exprs_lists_distinct_expressions() {
+        let mut idx = EqIndex::new();
+        idx.insert(ExprId::from_raw(0), 1, (pid(0), 0));
+        idx.insert(ExprId::from_raw(1), 1, (pid(1), 0));
+        idx.insert(ExprId::from_raw(0), 2, (pid(2), 0));
+        let mut exprs: Vec<_> = idx.exprs().collect();
+        exprs.sort();
+        assert_eq!(exprs, vec![ExprId::from_raw(0), ExprId::from_raw(1)]);
+    }
+}

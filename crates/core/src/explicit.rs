@@ -1,0 +1,381 @@
+//! The explicit-signal monitor — the paper's comparison baseline.
+//!
+//! This is the classic Java/pthreads style (§2, "Explicit-signal
+//! monitor"): the programmer declares named condition variables, waits on
+//! them in a re-check loop, and is responsible for signaling the right
+//! one (`signal`) or all of them (`signal_all`). It exists here so the
+//! seven evaluation problems can be implemented the way the paper's
+//! explicit versions are, with the **same instrumentation** as the
+//! automatic monitors.
+//!
+//! # Examples
+//!
+//! The classic bounded buffer of Fig. 1 (left column), one-item ops:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use autosynch::explicit::ExplicitMonitor;
+//!
+//! struct Buffer { items: Vec<u64>, cap: usize }
+//!
+//! let mut m = ExplicitMonitor::new(Buffer { items: Vec::new(), cap: 4 });
+//! let not_full = m.add_condition();
+//! let not_empty = m.add_condition();
+//! let m = Arc::new(m);
+//!
+//! m.enter(|g| {
+//!     g.wait_while(not_full, |b| b.items.len() == b.cap); // await in a loop
+//!     g.state_mut().items.push(7);
+//!     g.signal(not_empty);
+//! });
+//! assert_eq!(m.enter(|g| g.state().items.len()), 1);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use autosynch_metrics::phase::Phase;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use crate::stats::{MonitorStats, StatsSnapshot};
+
+/// Identifier of a condition variable declared on an
+/// [`ExplicitMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CondId(usize);
+
+/// An explicit-signal monitor over state `S` with named condition
+/// variables.
+pub struct ExplicitMonitor<S> {
+    inner: Mutex<S>,
+    conds: Vec<Condvar>,
+    stats: Arc<MonitorStats>,
+    owner: AtomicU64,
+}
+
+impl<S> std::fmt::Debug for ExplicitMonitor<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExplicitMonitor")
+            .field("conditions", &self.conds.len())
+            .finish()
+    }
+}
+
+mod thread_id {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn current() -> u64 {
+        ID.with(|id| *id)
+    }
+}
+
+impl<S> ExplicitMonitor<S> {
+    /// Creates a monitor with no condition variables yet; declare them
+    /// with [`ExplicitMonitor::add_condition`] before sharing.
+    pub fn new(state: S) -> Self {
+        Self::with_conditions(state, 0)
+    }
+
+    /// Creates a monitor with `n` condition variables (ids `0..n`).
+    pub fn with_conditions(state: S, n: usize) -> Self {
+        ExplicitMonitor {
+            inner: Mutex::new(state),
+            conds: (0..n).map(|_| Condvar::new()).collect(),
+            stats: MonitorStats::new(false),
+            owner: AtomicU64::new(0),
+        }
+    }
+
+    /// Enables per-phase timing (Table 1 runs).
+    pub fn enable_timing(&self) {
+        self.stats.phases.set_enabled(true);
+    }
+
+    /// Declares one more condition variable. Requires exclusive access,
+    /// i.e. happens during setup.
+    pub fn add_condition(&mut self) -> CondId {
+        self.conds.push(Condvar::new());
+        CondId(self.conds.len() - 1)
+    }
+
+    /// Declares `n` condition variables (e.g. one per thread for the
+    /// round-robin pattern).
+    pub fn add_conditions(&mut self, n: usize) -> Vec<CondId> {
+        (0..n).map(|_| self.add_condition()).collect()
+    }
+
+    /// Number of declared condition variables.
+    pub fn condition_count(&self) -> usize {
+        self.conds.len()
+    }
+
+    /// Enters the monitor and runs `f` under mutual exclusion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called re-entrantly from the same thread.
+    pub fn enter<R>(&self, f: impl FnOnce(&mut ExplicitGuard<'_, S>) -> R) -> R {
+        let me = thread_id::current();
+        assert_ne!(
+            self.owner.load(Ordering::Relaxed),
+            me,
+            "ExplicitMonitor::enter called re-entrantly from the same thread"
+        );
+        self.stats.counters.record_enter();
+        let lock_timer = self.stats.phases.start(Phase::Lock);
+        let guard = self.inner.lock();
+        lock_timer.finish();
+        self.owner.store(me, Ordering::Relaxed);
+        let mut g = ExplicitGuard {
+            monitor: self,
+            inner: Some(guard),
+        };
+        let r = f(&mut g);
+        drop(g);
+        r
+    }
+
+    /// Convenience: enter and mutate the state.
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        self.enter(|g| f(g.state_mut()))
+    }
+
+    /// The instrumentation bundle.
+    pub fn stats(&self) -> &Arc<MonitorStats> {
+        &self.stats
+    }
+
+    /// A point-in-time snapshot of the instrumentation.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+/// The in-monitor view for [`ExplicitMonitor::enter`] closures.
+pub struct ExplicitGuard<'a, S> {
+    monitor: &'a ExplicitMonitor<S>,
+    inner: Option<MutexGuard<'a, S>>,
+}
+
+impl<S> std::fmt::Debug for ExplicitGuard<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExplicitGuard")
+            .field("held", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl<S> ExplicitGuard<'_, S> {
+    /// Shared access to the monitor state.
+    pub fn state(&self) -> &S {
+        self.inner.as_ref().expect("guard released")
+    }
+
+    /// Mutable access to the monitor state.
+    pub fn state_mut(&mut self) -> &mut S {
+        self.inner.as_mut().expect("guard released")
+    }
+
+    /// One bare `await` on `cond` (no predicate re-check — the caller
+    /// loops, exactly like Java's `Condition.await`).
+    pub fn wait(&mut self, cond: CondId) {
+        let monitor = self.monitor;
+        monitor.stats.counters.record_wait();
+        self.block_on(cond);
+    }
+
+    fn block_on(&mut self, cond: CondId) {
+        let monitor = self.monitor;
+        let cv = &monitor.conds[cond.0];
+        monitor.owner.store(0, Ordering::Relaxed);
+        let timer = monitor.stats.phases.start(Phase::Await);
+        cv.wait(self.inner.as_mut().expect("guard released"));
+        timer.finish();
+        monitor.owner.store(thread_id::current(), Ordering::Relaxed);
+        monitor.stats.counters.record_wakeup();
+    }
+
+    /// The canonical explicit-monitor idiom `while (pred) cond.await()`.
+    /// Returns when `pred(state)` is false. Wakeups that find the
+    /// predicate still true are counted as futile.
+    pub fn wait_while(&mut self, cond: CondId, pred: impl Fn(&S) -> bool) {
+        let monitor = self.monitor;
+        monitor.stats.counters.record_pred_eval();
+        if !pred(self.state()) {
+            return;
+        }
+        monitor.stats.counters.record_wait();
+        loop {
+            self.block_on(cond);
+            monitor.stats.counters.record_pred_eval();
+            if !pred(self.state()) {
+                return;
+            }
+            monitor.stats.counters.record_futile_wakeup();
+        }
+    }
+
+    /// Like [`ExplicitGuard::wait`] but with a timeout; returns `false`
+    /// on timeout.
+    pub fn wait_timeout(&mut self, cond: CondId, timeout: Duration) -> bool {
+        let monitor = self.monitor;
+        monitor.stats.counters.record_wait();
+        let cv = &monitor.conds[cond.0];
+        monitor.owner.store(0, Ordering::Relaxed);
+        let timer = monitor.stats.phases.start(Phase::Await);
+        let result = cv.wait_for(self.inner.as_mut().expect("guard released"), timeout);
+        timer.finish();
+        monitor.owner.store(thread_id::current(), Ordering::Relaxed);
+        monitor.stats.counters.record_wakeup();
+        if result.timed_out() {
+            monitor.stats.counters.record_timeout();
+            false
+        } else {
+            true
+        }
+    }
+
+    /// `cond.signal()` — wakes one thread waiting on `cond`.
+    pub fn signal(&self, cond: CondId) {
+        self.monitor.stats.counters.record_signal();
+        self.monitor.conds[cond.0].notify_one();
+    }
+
+    /// `cond.signalAll()` — wakes every thread waiting on `cond`. This is
+    /// the call AutoSynch never needs (§3).
+    pub fn signal_all(&self, cond: CondId) {
+        self.monitor.stats.counters.record_broadcast();
+        self.monitor.conds[cond.0].notify_all();
+    }
+}
+
+impl<S> Drop for ExplicitGuard<'_, S> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            self.monitor.owner.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn wait_while_and_signal() {
+        let mut m = ExplicitMonitor::new(0i64);
+        let nonzero = m.add_condition();
+        let m = Arc::new(m);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || {
+            m2.enter(|g| {
+                g.wait_while(nonzero, |s| *s == 0);
+                *g.state()
+            })
+        });
+        thread::sleep(Duration::from_millis(20));
+        m.enter(|g| {
+            *g.state_mut() = 42;
+            g.signal(nonzero);
+        });
+        assert_eq!(waiter.join().unwrap(), 42);
+        let snap = m.stats_snapshot();
+        assert_eq!(snap.counters.signals, 1);
+        assert_eq!(snap.counters.wakeups, 1);
+        assert_eq!(snap.counters.futile_wakeups, 0);
+    }
+
+    #[test]
+    fn signal_all_wakes_everyone_and_counts_futile() {
+        let mut m = ExplicitMonitor::new(0i64);
+        let cond = m.add_condition();
+        let m = Arc::new(m);
+        let mut handles = Vec::new();
+        for want in [1i64, 2, 3] {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                m.enter(|g| g.wait_while(cond, |s| *s < want));
+            }));
+        }
+        thread::sleep(Duration::from_millis(30));
+        // Satisfies only `want == 1`; the other two wake futilely.
+        m.enter(|g| {
+            *g.state_mut() = 1;
+            g.signal_all(cond);
+        });
+        thread::sleep(Duration::from_millis(30));
+        m.enter(|g| {
+            *g.state_mut() = 3;
+            g.signal_all(cond);
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = m.stats_snapshot();
+        assert_eq!(snap.counters.broadcasts, 2);
+        assert!(
+            snap.counters.futile_wakeups >= 2,
+            "threads 2 and 3 wake futilely after the first broadcast; got {}",
+            snap.counters.futile_wakeups
+        );
+    }
+
+    #[test]
+    fn wait_while_returns_immediately_when_false() {
+        let mut m = ExplicitMonitor::new(5i64);
+        let cond = m.add_condition();
+        m.enter(|g| g.wait_while(cond, |s| *s == 0));
+        assert_eq!(m.stats_snapshot().counters.waits, 0);
+    }
+
+    #[test]
+    fn wait_timeout_expires() {
+        let mut m = ExplicitMonitor::new(());
+        let cond = m.add_condition();
+        let ok = m.enter(|g| g.wait_timeout(cond, Duration::from_millis(30)));
+        assert!(!ok);
+        assert_eq!(m.stats_snapshot().counters.timeouts, 1);
+    }
+
+    #[test]
+    fn add_conditions_allocates_distinct_ids() {
+        let mut m = ExplicitMonitor::new(());
+        let ids = m.add_conditions(3);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(m.condition_count(), 3);
+        assert_ne!(ids[0], ids[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrantly")]
+    fn reentrant_enter_panics() {
+        let m = ExplicitMonitor::new(());
+        m.enter(|_| m.enter(|_| {}));
+    }
+
+    #[test]
+    fn signals_without_waiters_are_lost() {
+        // Java `Condition` semantics: a signal delivered while nobody
+        // waits is dropped — the classic lost-wakeup hazard that makes
+        // programmers reach for signalAll. (AutoSynch has no analogous
+        // hazard: predicates are re-evaluated on entry.)
+        let mut m = ExplicitMonitor::new(());
+        let cond = m.add_condition();
+        m.enter(|g| g.signal(cond));
+        let woken = m.enter(|g| g.wait_timeout(cond, Duration::from_millis(30)));
+        assert!(!woken, "the earlier signal must not satisfy a later wait");
+    }
+
+    #[test]
+    fn with_conditions_constructor() {
+        let m = ExplicitMonitor::with_conditions(0u8, 4);
+        assert_eq!(m.condition_count(), 4);
+    }
+}

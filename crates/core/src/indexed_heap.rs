@@ -1,0 +1,369 @@
+//! An addressable binary min-heap.
+//!
+//! §4.3.2 stores threshold tags in heaps, and the signaling algorithm of
+//! Fig. 4 needs three operations a plain `BinaryHeap` lacks: *peek with
+//! identity*, *remove an arbitrary node* (a tag disappears when its last
+//! predicate loses its last waiter), and *reinsert* (the backup list).
+//! This heap keeps a position index per node so all of those are
+//! `O(log n)`.
+//!
+//! The heap is a min-heap over `K`; the threshold index builds max-heap
+//! behaviour by inverting the key order (see
+//! [`crate::threshold_index`]).
+
+use crate::slab::{Slab, SlabKey};
+
+/// A stable handle to a heap node, valid until the node is removed.
+pub type NodeId = SlabKey;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    pos: usize,
+}
+
+/// An addressable binary min-heap mapping ordered keys to payloads.
+///
+/// # Examples
+///
+/// ```
+/// use autosynch::indexed_heap::IndexedHeap;
+///
+/// let mut heap = IndexedHeap::new();
+/// let five = heap.insert(5, "five");
+/// heap.insert(3, "three");
+/// heap.insert(9, "nine");
+/// assert_eq!(heap.peek().map(|(_, k, _)| *k), Some(3));
+/// heap.remove(five); // arbitrary removal
+/// assert_eq!(heap.len(), 2);
+/// ```
+pub struct IndexedHeap<K, V> {
+    nodes: Slab<Node<K, V>>,
+    order: Vec<NodeId>,
+}
+
+impl<K: Ord, V> Default for IndexedHeap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> std::fmt::Debug for IndexedHeap<K, V>
+where
+    K: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexedHeap")
+            .field("len", &self.order.len())
+            .field(
+                "keys",
+                &self
+                    .order
+                    .iter()
+                    .map(|&id| &self.nodes[id].key)
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl<K: Ord, V> IndexedHeap<K, V> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        IndexedHeap {
+            nodes: Slab::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Inserts a node and returns its handle.
+    pub fn insert(&mut self, key: K, value: V) -> NodeId {
+        let pos = self.order.len();
+        let id = self.nodes.insert(Node { key, value, pos });
+        self.order.push(id);
+        self.sift_up(pos);
+        id
+    }
+
+    /// The minimum node: `(handle, key, payload)`.
+    pub fn peek(&self) -> Option<(NodeId, &K, &V)> {
+        let &id = self.order.first()?;
+        let node = &self.nodes[id];
+        Some((id, &node.key, &node.value))
+    }
+
+    /// Removes and returns the minimum node.
+    pub fn pop(&mut self) -> Option<(K, V)> {
+        let (id, _, _) = self.peek()?;
+        Some(self.remove(id))
+    }
+
+    /// Removes an arbitrary node by handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was already removed.
+    pub fn remove(&mut self, id: NodeId) -> (K, V) {
+        let pos = self.nodes[id].pos;
+        let last = self.order.len() - 1;
+        if pos != last {
+            self.order.swap(pos, last);
+            self.nodes[self.order[pos]].pos = pos;
+        }
+        self.order.pop();
+        let node = self.nodes.remove(id);
+        if pos < self.order.len() {
+            // The element swapped into the hole may violate the heap
+            // property in either direction.
+            if pos > 0 && self.less(pos, (pos - 1) / 2) {
+                self.sift_up(pos);
+            } else {
+                self.sift_down(pos);
+            }
+        }
+        (node.key, node.value)
+    }
+
+    /// The key of a live node.
+    pub fn key(&self, id: NodeId) -> &K {
+        &self.nodes[id].key
+    }
+
+    /// The payload of a live node.
+    pub fn value(&self, id: NodeId) -> &V {
+        &self.nodes[id].value
+    }
+
+    /// The payload of a live node, mutably.
+    pub fn value_mut(&mut self, id: NodeId) -> &mut V {
+        &mut self.nodes[id].value
+    }
+
+    /// Whether `id` refers to a live node.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.contains(id)
+    }
+
+    /// Iterates over `(handle, key, payload)` in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &K, &V)> {
+        self.order.iter().map(move |&id| {
+            let node = &self.nodes[id];
+            (id, &node.key, &node.value)
+        })
+    }
+
+    fn less(&self, a: usize, b: usize) -> bool {
+        self.nodes[self.order[a]].key < self.nodes[self.order[b]].key
+    }
+
+    fn swap_positions(&mut self, a: usize, b: usize) {
+        self.order.swap(a, b);
+        self.nodes[self.order[a]].pos = a;
+        self.nodes[self.order[b]].pos = b;
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.less(pos, parent) {
+                self.swap_positions(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = 2 * pos + 2;
+            let mut smallest = pos;
+            if left < self.order.len() && self.less(left, smallest) {
+                smallest = left;
+            }
+            if right < self.order.len() && self.less(right, smallest) {
+                smallest = right;
+            }
+            if smallest == pos {
+                break;
+            }
+            self.swap_positions(pos, smallest);
+            pos = smallest;
+        }
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for (i, &id) in self.order.iter().enumerate() {
+            assert_eq!(self.nodes[id].pos, i, "position index out of sync");
+            if i > 0 {
+                let parent = (i - 1) / 2;
+                assert!(
+                    self.nodes[self.order[parent]].key <= self.nodes[id].key,
+                    "heap property violated at {i}"
+                );
+            }
+        }
+        assert_eq!(self.nodes.len(), self.order.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_yields_sorted_order() {
+        let mut heap = IndexedHeap::new();
+        for k in [5, 1, 9, 3, 7, 2, 8, 4, 6, 0] {
+            heap.insert(k, ());
+            heap.check_invariants();
+        }
+        let mut out = Vec::new();
+        while let Some((k, ())) = heap.pop() {
+            heap.check_invariants();
+            out.push(k);
+        }
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_is_minimum_without_removal() {
+        let mut heap = IndexedHeap::new();
+        heap.insert(4, "four");
+        heap.insert(2, "two");
+        let (_, k, v) = heap.peek().unwrap();
+        assert_eq!((*k, *v), (2, "two"));
+        assert_eq!(heap.len(), 2);
+    }
+
+    #[test]
+    fn arbitrary_removal_keeps_heap_property() {
+        let mut heap = IndexedHeap::new();
+        let ids: Vec<_> = (0..16).map(|k| heap.insert(k, k * 10)).collect();
+        // Remove interior nodes.
+        for &i in &[7usize, 3, 12, 0] {
+            let (k, v) = heap.remove(ids[i]);
+            assert_eq!(k as usize, i);
+            assert_eq!(v as usize, i * 10);
+            heap.check_invariants();
+        }
+        let mut remaining = Vec::new();
+        while let Some((k, _)) = heap.pop() {
+            remaining.push(k);
+        }
+        let expected: Vec<_> = (0..16).filter(|k| ![7, 3, 12, 0].contains(k)).collect();
+        assert_eq!(remaining, expected);
+    }
+
+    #[test]
+    fn remove_then_reinsert_like_fig4_backup() {
+        // The Fig. 4 search polls true roots into a backup list and
+        // reinserts them afterwards; simulate that churn.
+        let mut heap = IndexedHeap::new();
+        for k in [3, 1, 4, 1, 5, 9, 2, 6] {
+            heap.insert(k, ());
+        }
+        let mut backup = Vec::new();
+        for _ in 0..4 {
+            backup.push(heap.pop().unwrap());
+        }
+        for (k, v) in backup {
+            heap.insert(k, v);
+            heap.check_invariants();
+        }
+        let mut out = Vec::new();
+        while let Some((k, ())) = heap.pop() {
+            out.push(k);
+        }
+        assert_eq!(out, vec![1, 1, 2, 3, 4, 5, 6, 9]);
+    }
+
+    #[test]
+    fn handles_stay_valid_across_churn() {
+        let mut heap = IndexedHeap::new();
+        let a = heap.insert(50, "a");
+        let ids: Vec<_> = (0..20).map(|k| heap.insert(k, "x")).collect();
+        for id in ids {
+            heap.remove(id);
+            heap.check_invariants();
+            assert_eq!(heap.value(a), &"a");
+            assert_eq!(heap.key(a), &50);
+        }
+        assert_eq!(heap.len(), 1);
+    }
+
+    #[test]
+    fn value_mut_updates_payload() {
+        let mut heap = IndexedHeap::new();
+        let id = heap.insert(1, vec![1]);
+        heap.value_mut(id).push(2);
+        assert_eq!(heap.value(id), &vec![1, 2]);
+    }
+
+    #[test]
+    fn contains_tracks_liveness() {
+        let mut heap = IndexedHeap::new();
+        let id = heap.insert(1, ());
+        assert!(heap.contains(id));
+        heap.remove(id);
+        assert!(!heap.contains(id));
+    }
+
+    #[test]
+    fn duplicate_keys_are_fine() {
+        let mut heap = IndexedHeap::new();
+        heap.insert(2, "first");
+        heap.insert(2, "second");
+        heap.check_invariants();
+        assert_eq!(heap.pop().unwrap().0, 2);
+        assert_eq!(heap.pop().unwrap().0, 2);
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut heap = IndexedHeap::new();
+        for k in 0..5 {
+            heap.insert(k, ());
+        }
+        let mut keys: Vec<_> = heap.iter().map(|(_, k, _)| *k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn randomized_against_model() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xA5A5);
+        let mut heap = IndexedHeap::new();
+        let mut live: Vec<(NodeId, i64)> = Vec::new();
+        for step in 0..2000 {
+            if live.is_empty() || rng.gen_bool(0.6) {
+                let k: i64 = rng.gen_range(-100..100);
+                let id = heap.insert(k, step);
+                live.push((id, k));
+            } else {
+                let idx = rng.gen_range(0..live.len());
+                let (id, expected) = live.swap_remove(idx);
+                let (k, _) = heap.remove(id);
+                assert_eq!(k, expected);
+            }
+            heap.check_invariants();
+            // Peek must match the model minimum.
+            let model_min = live.iter().map(|&(_, k)| k).min();
+            assert_eq!(heap.peek().map(|(_, &k, _)| k), model_min);
+        }
+    }
+}

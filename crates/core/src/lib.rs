@@ -1,0 +1,106 @@
+//! # AutoSynch: an automatic-signal monitor based on predicate tagging
+//!
+//! A Rust implementation of the monitor runtime from *"AutoSynch: An
+//! Automatic-Signal Monitor Based on Predicate Tagging"* (Hung & Garg,
+//! PLDI 2013). Threads synchronize by writing `waituntil(predicate)` —
+//! there are **no condition variables and no `signal`/`signalAll` calls**
+//! in user code; the runtime decides whom to wake.
+//!
+//! ## The three ideas (and where they live)
+//!
+//! * **Globalization** (§4.1) — predicates are built from registered
+//!   *shared expressions* compared against plain integers; any
+//!   thread-local inputs are captured as those integers at construction
+//!   time, so any thread can evaluate any waiting condition. See
+//!   [`Monitor::register_expr`] and the `autosynch-predicate` crate.
+//! * **Relay invariance** (§4.2) — whenever a thread exits the monitor
+//!   or blocks, the runtime signals at most *one* waiting thread whose
+//!   predicate is true ([`manager`]). `signalAll` does not exist in this
+//!   code path; the `broadcasts` counter of an AutoSynch monitor is
+//!   always zero.
+//! * **Predicate tagging** (§4.3) — waiting predicates are indexed by
+//!   per-conjunction tags: an O(1) hash probe for `expr == k` conditions
+//!   ([`eq_index`]), ordered heaps walked weakest-first for `expr op k`
+//!   thresholds ([`threshold_index`], the Fig. 4 algorithm), and an
+//!   exhaustive list for everything else.
+//!
+//! ## Comparison mechanisms
+//!
+//! The paper's evaluation compares four monitors; all four live here with
+//! identical instrumentation:
+//!
+//! | Mechanism | Type |
+//! |-----------|------|
+//! | explicit-signal | [`explicit::ExplicitMonitor`] |
+//! | baseline (single condvar + signalAll) | [`baseline::BaselineMonitor`] |
+//! | AutoSynch-T (relay, no tags) | [`Monitor`] with [`config::MonitorConfig::autosynch_t`] |
+//! | AutoSynch (full) | [`Monitor`] with defaults |
+//!
+//! A fifth monitor, [`kessels::KesselsMonitor`], implements the
+//! *restricted* automatic-signal design of Kessels (CACM 1977, the
+//! paper's reference \[16\]): waiting conditions are a fixed pre-declared
+//! set of shared predicates. It is the literature baseline for the
+//! §4.1 argument that globalization is what makes unrestricted
+//! `waituntil` affordable.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use autosynch::Monitor;
+//!
+//! // The parameterized bounded buffer of Fig. 1 — the problem whose
+//! // explicit-signal version is stuck with signalAll.
+//! struct Buffer { data: Vec<u64>, cap: usize }
+//!
+//! let m = Arc::new(Monitor::new(Buffer { data: Vec::new(), cap: 16 }));
+//! let count = m.register_expr("count", |b| b.data.len() as i64);
+//! let free = m.register_expr("free", |b| (b.cap - b.data.len()) as i64);
+//!
+//! let producer = {
+//!     let m = Arc::clone(&m);
+//!     std::thread::spawn(move || {
+//!         let items = [1u64, 2, 3];
+//!         m.enter(|g| {
+//!             g.wait_until(free.ge(items.len() as i64)); // waituntil!
+//!             g.state_mut().data.extend_from_slice(&items);
+//!         });
+//!     })
+//! };
+//!
+//! let taken = m.enter(|g| {
+//!     g.wait_until(count.ge(3));
+//!     g.state_mut().data.drain(..3).collect::<Vec<_>>()
+//! });
+//! producer.join().unwrap();
+//! assert_eq!(taken, vec![1, 2, 3]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baseline;
+pub mod config;
+pub mod eq_index;
+pub mod explicit;
+pub mod indexed_heap;
+pub mod kessels;
+pub mod manager;
+pub mod monitor;
+pub mod slab;
+pub mod stats;
+pub mod threshold_index;
+
+pub use baseline::BaselineMonitor;
+pub use config::{MonitorConfig, SignalMode, ThresholdIndexKind};
+pub use explicit::{CondId, ExplicitMonitor};
+pub use kessels::{KesselsCond, KesselsMonitor};
+pub use monitor::{Monitor, MonitorGuard};
+pub use stats::{MonitorStats, StatsSnapshot};
+
+// Re-export the predicate vocabulary so `use autosynch::*` users can
+// build conditions without naming the analysis crate.
+pub use autosynch_predicate::ast::BoolExpr;
+pub use autosynch_predicate::expr::{ExprHandle, ExprId, ExprTable};
+pub use autosynch_predicate::predicate::{IntoPredicate, Predicate};
+pub use autosynch_predicate::tag::Tag;

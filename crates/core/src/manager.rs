@@ -1,0 +1,747 @@
+//! The condition manager (§5.2): predicate table, waiter bookkeeping and
+//! the relay-signaling search.
+//!
+//! One manager lives inside each monitor's mutex. It owns:
+//!
+//! * a **slab of predicate entries** — each entry is one globalized
+//!   predicate with its own condition variable, shared by every thread
+//!   waiting on a syntax-equivalent condition;
+//! * the **predicate table** mapping structural keys to entries, so
+//!   syntax-equivalent predicates reuse one condition variable;
+//! * the **tag indexes** (equivalence hash table, threshold heaps, `None`
+//!   list) that `ConditionManager::relay_signal` probes;
+//! * the **inactive list** — an LRU of predicates with no waiters, kept
+//!   around for reuse and evicted beyond a cap (§5.2); explicitly
+//!   registered shared predicates are persistent and never evicted
+//!   (§5.1).
+//!
+//! Waiter lifecycle per entry: `waiting` counts blocked, unsignaled
+//! threads; `signaled` counts threads that have been picked by the relay
+//! rule but have not yet resumed (the paper's *active* threads). Tags are
+//! live exactly while `waiting > 0` — a fully signaled entry must not be
+//! signaled again.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use autosynch_metrics::phase::Phase;
+use autosynch_predicate::expr::{ExprId, ExprTable};
+use autosynch_predicate::key::PredKey;
+use autosynch_predicate::predicate::Predicate;
+use autosynch_predicate::tag::Tag;
+use parking_lot::Condvar;
+
+use crate::config::{MonitorConfig, SignalMode};
+use crate::eq_index::{EqIndex, PredId, TaggedConj};
+use crate::slab::Slab;
+use crate::stats::MonitorStats;
+use crate::threshold_index::ThresholdIndex;
+
+/// One predicate entry: the globalized condition, its condition variable
+/// and the waiter counters.
+pub(crate) struct PredEntry<S> {
+    pred: Predicate<S>,
+    condvar: Arc<Condvar>,
+    waiting: u32,
+    signaled: u32,
+    tags_active: bool,
+    persistent: bool,
+    in_inactive: bool,
+}
+
+/// The per-monitor condition manager.
+pub(crate) struct ConditionManager<S> {
+    entries: Slab<PredEntry<S>>,
+    table: HashMap<PredKey, PredId>,
+    eq_index: EqIndex,
+    thresholds: ThresholdIndex,
+    none_list: Vec<TaggedConj>,
+    scan_list: Vec<PredId>,
+    inactive: VecDeque<PredId>,
+    config: MonitorConfig,
+}
+
+impl<S> ConditionManager<S> {
+    pub(crate) fn new(config: MonitorConfig) -> Self {
+        ConditionManager {
+            entries: Slab::new(),
+            table: HashMap::new(),
+            eq_index: EqIndex::new(),
+            thresholds: ThresholdIndex::new(config.threshold_index_kind()),
+            none_list: Vec::new(),
+            scan_list: Vec::new(),
+            inactive: VecDeque::new(),
+            config,
+        }
+    }
+
+    /// Interns a predicate: returns the existing entry for a
+    /// syntax-equivalent predicate or creates a new one.
+    fn find_or_create(&mut self, pred: Predicate<S>, persistent: bool) -> PredId {
+        if let Some(key) = pred.key() {
+            if let Some(&pid) = self.table.get(key) {
+                if persistent {
+                    self.entries[pid].persistent = true;
+                }
+                return pid;
+            }
+        }
+        let key = pred.key().cloned();
+        let pid = self.entries.insert(PredEntry {
+            pred,
+            condvar: Arc::new(Condvar::new()),
+            waiting: 0,
+            signaled: 0,
+            tags_active: false,
+            persistent,
+            in_inactive: false,
+        });
+        if let Some(key) = key {
+            self.table.insert(key, pid);
+        }
+        pid
+    }
+
+    /// Pre-registers a shared predicate (§5.1: shared predicates are added
+    /// in the constructor and never removed).
+    pub(crate) fn register_persistent(&mut self, pred: Predicate<S>) -> PredId {
+        let pid = self.find_or_create(pred, true);
+        self.unlink_inactive(pid);
+        pid
+    }
+
+    /// Registers the calling thread as a waiter on `pred` and activates
+    /// the entry's tags. Returns the entry id the waiter keeps for the
+    /// rest of its `waituntil`.
+    pub(crate) fn register_waiter(&mut self, pred: Predicate<S>, stats: &MonitorStats) -> PredId {
+        let timer = stats.phases.start(Phase::TagManager);
+        let pid = self.find_or_create(pred, false);
+        self.unlink_inactive(pid);
+        let entry = &mut self.entries[pid];
+        entry.waiting += 1;
+        if !entry.tags_active {
+            self.activate_tags(pid, stats);
+        }
+        timer.finish();
+        pid
+    }
+
+    /// The condition variable of an entry (cloned so the waiter can block
+    /// on it without borrowing the manager).
+    pub(crate) fn condvar(&self, pid: PredId) -> Arc<Condvar> {
+        Arc::clone(&self.entries[pid].condvar)
+    }
+
+    /// The entry's predicate, for re-evaluation after a wakeup.
+    pub(crate) fn entry_pred(&self, pid: PredId) -> &Predicate<S> {
+        &self.entries[pid].pred
+    }
+
+    /// A woken thread found its predicate false (another thread barged in
+    /// and falsified it): it returns to the waiting pool.
+    pub(crate) fn mark_futile(&mut self, pid: PredId, stats: &MonitorStats) {
+        let entry = &mut self.entries[pid];
+        debug_assert!(entry.signaled > 0, "futile wakeup without a signal");
+        entry.signaled -= 1;
+        entry.waiting += 1;
+        if !entry.tags_active {
+            let timer = stats.phases.start(Phase::TagManager);
+            self.activate_tags(pid, stats);
+            timer.finish();
+        }
+    }
+
+    /// A woken thread found its predicate true and proceeds: the signal
+    /// is consumed, and an entry with no threads left is retired to the
+    /// inactive list.
+    pub(crate) fn consume_signal(&mut self, pid: PredId, stats: &MonitorStats) {
+        let entry = &mut self.entries[pid];
+        debug_assert!(entry.signaled > 0, "consumed a signal that was never sent");
+        entry.signaled -= 1;
+        self.maybe_retire(pid, stats);
+    }
+
+    /// A timed wait elapsed. Returns `true` when the thread absorbed a
+    /// pending signal, in which case the caller must run the relay rule
+    /// to pass the baton onward (otherwise relay invariance could break).
+    pub(crate) fn on_timeout(&mut self, pid: PredId, stats: &MonitorStats) -> bool {
+        let entry = &mut self.entries[pid];
+        if entry.waiting > 0 {
+            // The normal case: we were still an unsignaled waiter. Any
+            // `signaled` tokens belong to threads that really were woken.
+            entry.waiting -= 1;
+            if entry.waiting == 0 && entry.tags_active {
+                let timer = stats.phases.start(Phase::TagManager);
+                self.deactivate_tags(pid, stats);
+                timer.finish();
+            }
+            self.maybe_retire(pid, stats);
+            false
+        } else {
+            // All remaining slots of this entry are "signaled": one of
+            // those notifications was aimed at us and is now orphaned.
+            debug_assert!(entry.signaled > 0);
+            entry.signaled -= 1;
+            self.maybe_retire(pid, stats);
+            true
+        }
+    }
+
+    /// The relay signaling rule (§4.2): find one waiting thread whose
+    /// predicate is true and signal it. Called whenever a thread exits
+    /// the monitor or goes to wait.
+    pub(crate) fn relay_signal(
+        &mut self,
+        state: &S,
+        exprs: &ExprTable<S>,
+        stats: &MonitorStats,
+    ) -> Option<PredId> {
+        stats.counters.record_relay_call();
+        let mut first = None;
+        // The paper signals exactly one thread; relay_width > 1 is the
+        // documented extension that keeps signaling while distinct
+        // signalable candidates remain.
+        for _ in 0..self.config.relay_width_value() {
+            let timer = stats.phases.start(Phase::RelaySignal);
+            let found = match self.config.signal_mode() {
+                SignalMode::Untagged => self.find_untagged(state, exprs, stats),
+                SignalMode::Tagged => self.find_tagged(state, exprs, stats),
+            };
+            timer.finish();
+            let Some(pid) = found else { break };
+            stats.counters.record_relay_hit();
+            self.signal_entry(pid, stats);
+            first.get_or_insert(pid);
+        }
+        if self.config.validates_relay() {
+            self.check_relay_invariance(state, exprs);
+        }
+        first
+    }
+
+    /// Ground-truth check of relay invariance (Def. 4): immediately
+    /// after a relay, if any waiting thread's predicate is true then
+    /// some thread must be signaled (active). A violation means the tag
+    /// indexes missed a signalable thread — the exact bug class the
+    /// §4.3 machinery must not have.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a violation; enabled by
+    /// [`MonitorConfig::validate_relay`](crate::config::MonitorConfig::validate_relay).
+    fn check_relay_invariance(&self, state: &S, exprs: &ExprTable<S>) {
+        if self.entries.iter().any(|(_, e)| e.signaled > 0) {
+            return; // an active thread exists; the invariance holds
+        }
+        for (pid, entry) in self.entries.iter() {
+            if entry.waiting > 0 && entry.pred.eval(state, exprs) {
+                panic!(
+                    "relay invariance violated: predicate {} (entry {pid:?}, \
+                     {} waiting) is true but the relay signaled no one",
+                    entry.pred, entry.waiting
+                );
+            }
+        }
+    }
+
+    /// AutoSynch-T: evaluate every active predicate until one is true.
+    fn find_untagged(&self, state: &S, exprs: &ExprTable<S>, stats: &MonitorStats) -> Option<PredId> {
+        for &pid in &self.scan_list {
+            let entry = &self.entries[pid];
+            debug_assert!(entry.waiting > 0, "scan list holds only active entries");
+            stats.counters.record_pred_eval();
+            if entry.pred.eval(state, exprs) {
+                return Some(pid);
+            }
+        }
+        None
+    }
+
+    /// AutoSynch: probe the equivalence hash tables, then the threshold
+    /// heaps (Fig. 4), then the `None` list.
+    fn find_tagged(
+        &mut self,
+        state: &S,
+        exprs: &ExprTable<S>,
+        stats: &MonitorStats,
+    ) -> Option<PredId> {
+        let ConditionManager {
+            entries,
+            eq_index,
+            thresholds,
+            none_list,
+            ..
+        } = self;
+
+        // Each shared expression is evaluated at most once per relay.
+        let mut values: Vec<Option<i64>> = vec![None; exprs.len()];
+        let mut value_of = |id: ExprId| -> i64 {
+            let slot = &mut values[id.index()];
+            match *slot {
+                Some(v) => v,
+                None => {
+                    stats.counters.record_expr_eval();
+                    let v = exprs.eval(id, state);
+                    *slot = Some(v);
+                    v
+                }
+            }
+        };
+
+        // 1. Equivalence tags: O(1) hash probe per live expression.
+        let eq_exprs: Vec<ExprId> = eq_index.exprs().collect();
+        for expr in eq_exprs {
+            let v = value_of(expr);
+            for &(pid, conj) in eq_index.candidates(expr, v) {
+                stats.counters.record_pred_eval();
+                if entries[pid].pred.eval_conjunction(conj as usize, state, exprs) {
+                    return Some(pid);
+                }
+            }
+        }
+
+        // 2. Threshold tags: the Fig. 4 heap walk per live expression.
+        let thr_exprs: Vec<ExprId> = thresholds.exprs().collect();
+        for expr in thr_exprs {
+            let v = value_of(expr);
+            let mut check = |(pid, conj): TaggedConj| -> bool {
+                stats.counters.record_pred_eval();
+                entries[pid].pred.eval_conjunction(conj as usize, state, exprs)
+            };
+            if let Some((pid, _)) = thresholds.search(expr, v, &mut check) {
+                return Some(pid);
+            }
+        }
+
+        // 3. None tags: exhaustive search.
+        for &(pid, conj) in none_list.iter() {
+            stats.counters.record_pred_eval();
+            if entries[pid].pred.eval_conjunction(conj as usize, state, exprs) {
+                return Some(pid);
+            }
+        }
+        None
+    }
+
+    /// Moves one waiter of `pid` from waiting to signaled and notifies the
+    /// entry's condition variable.
+    fn signal_entry(&mut self, pid: PredId, stats: &MonitorStats) {
+        let entry = &mut self.entries[pid];
+        debug_assert!(entry.waiting > 0, "signaled an entry with no waiters");
+        entry.waiting -= 1;
+        entry.signaled += 1;
+        stats.counters.record_signal();
+        let cv = Arc::clone(&entry.condvar);
+        if entry.waiting == 0 {
+            let timer = stats.phases.start(Phase::TagManager);
+            self.deactivate_tags(pid, stats);
+            timer.finish();
+        }
+        cv.notify_one();
+    }
+
+    fn activate_tags(&mut self, pid: PredId, stats: &MonitorStats) {
+        let entry = &mut self.entries[pid];
+        debug_assert!(!entry.tags_active);
+        entry.tags_active = true;
+        match self.config.signal_mode() {
+            SignalMode::Untagged => {
+                stats.counters.record_tag_insert();
+                self.scan_list.push(pid);
+            }
+            SignalMode::Tagged => {
+                for (conj, &tag) in entry.pred.tags().iter().enumerate() {
+                    let conj = conj as u32;
+                    stats.counters.record_tag_insert();
+                    match tag {
+                        Tag::Equivalence { expr, key } => {
+                            self.eq_index.insert(expr, key, (pid, conj));
+                        }
+                        Tag::Threshold { expr, key, op } => {
+                            self.thresholds.insert(expr, key, op, (pid, conj));
+                        }
+                        Tag::None => self.none_list.push((pid, conj)),
+                    }
+                }
+            }
+        }
+    }
+
+    fn deactivate_tags(&mut self, pid: PredId, stats: &MonitorStats) {
+        let entry = &mut self.entries[pid];
+        debug_assert!(entry.tags_active);
+        entry.tags_active = false;
+        match self.config.signal_mode() {
+            SignalMode::Untagged => {
+                stats.counters.record_tag_remove();
+                if let Some(pos) = self.scan_list.iter().position(|&p| p == pid) {
+                    self.scan_list.swap_remove(pos);
+                }
+            }
+            SignalMode::Tagged => {
+                for (conj, &tag) in entry.pred.tags().iter().enumerate() {
+                    let conj = conj as u32;
+                    stats.counters.record_tag_remove();
+                    match tag {
+                        Tag::Equivalence { expr, key } => {
+                            self.eq_index.remove(expr, key, (pid, conj));
+                        }
+                        Tag::Threshold { expr, key, op } => {
+                            self.thresholds.remove(expr, key, op, (pid, conj));
+                        }
+                        Tag::None => {
+                            if let Some(pos) =
+                                self.none_list.iter().position(|&e| e == (pid, conj))
+                            {
+                                self.none_list.swap_remove(pos);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retires an entry with no threads to the inactive LRU and evicts
+    /// beyond the configured cap (§5.2).
+    fn maybe_retire(&mut self, pid: PredId, stats: &MonitorStats) {
+        let entry = &self.entries[pid];
+        if entry.waiting > 0 || entry.signaled > 0 || entry.persistent || entry.in_inactive {
+            return;
+        }
+        debug_assert!(!entry.tags_active);
+        self.entries[pid].in_inactive = true;
+        self.inactive.push_back(pid);
+        while self.inactive.len() > self.config.inactive_capacity() {
+            let victim = self.inactive.pop_front().expect("inactive list non-empty");
+            let timer = stats.phases.start(Phase::TagManager);
+            let removed = self.entries.remove(victim);
+            if let Some(key) = removed.pred.key() {
+                if self.table.get(key) == Some(&victim) {
+                    self.table.remove(key);
+                }
+            }
+            timer.finish();
+        }
+    }
+
+    /// Removes `pid` from the inactive LRU when it is being reused.
+    fn unlink_inactive(&mut self, pid: PredId) {
+        if self
+            .entries
+            .get(pid)
+            .is_some_and(|entry| entry.in_inactive)
+        {
+            self.entries[pid].in_inactive = false;
+            if let Some(pos) = self.inactive.iter().position(|&p| p == pid) {
+                self.inactive.remove(pos);
+            }
+        }
+    }
+
+    // --- introspection for tests and diagnostics -------------------------
+
+    /// Number of live predicate entries (active + inactive).
+    pub(crate) fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of entries currently parked on the inactive LRU.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn inactive_count(&self) -> usize {
+        self.inactive.len()
+    }
+
+    /// Total waiting (unsignaled) threads across entries.
+    pub(crate) fn waiting_count(&self) -> usize {
+        self.entries.iter().map(|(_, e)| e.waiting as usize).sum()
+    }
+
+    /// Total signaled-but-not-resumed threads across entries.
+    pub(crate) fn signaled_count(&self) -> usize {
+        self.entries.iter().map(|(_, e)| e.signaled as usize).sum()
+    }
+
+    /// Live tags across all indexes (tagged mode) or the scan list
+    /// (untagged mode).
+    pub(crate) fn live_tag_count(&self) -> usize {
+        match self.config.signal_mode() {
+            SignalMode::Untagged => self.scan_list.len(),
+            SignalMode::Tagged => {
+                self.eq_index.len() + self.thresholds.len() + self.none_list.len()
+            }
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for ConditionManager<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConditionManager")
+            .field("entries", &self.entries.len())
+            .field("waiting", &self.waiting_count())
+            .field("signaled", &self.signaled_count())
+            .field("inactive", &self.inactive.len())
+            .field("tags", &self.live_tag_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosynch_predicate::expr::ExprHandle;
+    use autosynch_predicate::predicate::IntoPredicate;
+
+    struct St {
+        count: i64,
+    }
+
+    fn setup() -> (ExprTable<St>, ExprHandle<St>, ConditionManager<St>, Arc<MonitorStats>) {
+        let mut exprs = ExprTable::new();
+        let count = exprs.register("count", |s: &St| s.count);
+        let mgr = ConditionManager::new(MonitorConfig::default());
+        (exprs, count, mgr, MonitorStats::new(false))
+    }
+
+    #[test]
+    fn dedupe_maps_equivalent_predicates_to_one_entry() {
+        let (_, count, mut mgr, stats) = setup();
+        let a = mgr.register_waiter(count.ge(48).into_predicate(), &stats);
+        let b = mgr.register_waiter(count.ge(48).into_predicate(), &stats);
+        assert_eq!(a, b);
+        assert_eq!(mgr.entry_count(), 1);
+        assert_eq!(mgr.waiting_count(), 2);
+        let c = mgr.register_waiter(count.ge(32).into_predicate(), &stats);
+        assert_ne!(a, c);
+        assert_eq!(mgr.entry_count(), 2);
+    }
+
+    #[test]
+    fn keyless_customs_get_distinct_entries() {
+        let (_, _, mut mgr, stats) = setup();
+        let a = mgr.register_waiter(
+            Predicate::custom("c", |s: &St| s.count > 0),
+            &stats,
+        );
+        let b = mgr.register_waiter(
+            Predicate::custom("c", |s: &St| s.count > 0),
+            &stats,
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn relay_finds_true_threshold_predicate() {
+        let (exprs, count, mut mgr, stats) = setup();
+        let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+        // Not yet true.
+        assert_eq!(mgr.relay_signal(&St { count: 9 }, &exprs, &stats), None);
+        // Now true: exactly this entry is signaled.
+        assert_eq!(
+            mgr.relay_signal(&St { count: 10 }, &exprs, &stats),
+            Some(pid)
+        );
+        assert_eq!(mgr.waiting_count(), 0);
+        assert_eq!(mgr.signaled_count(), 1);
+        // Tags are gone: a second relay finds nothing even though the
+        // predicate is still true (the thread has already been signaled).
+        assert_eq!(
+            mgr.relay_signal(&St { count: 10 }, &exprs, &stats),
+            None
+        );
+    }
+
+    #[test]
+    fn relay_prefers_equivalence_over_threshold_over_none() {
+        let (exprs, count, mut mgr, stats) = setup();
+        let none = mgr.register_waiter(count.ne(0).into_predicate(), &stats);
+        let thr = mgr.register_waiter(count.ge(1).into_predicate(), &stats);
+        let eq = mgr.register_waiter(count.eq(5).into_predicate(), &stats);
+        let _ = none;
+        let _ = thr;
+        // All three true at count=5; the equivalence-tagged entry wins.
+        assert_eq!(
+            mgr.relay_signal(&St { count: 5 }, &exprs, &stats),
+            Some(eq)
+        );
+    }
+
+    #[test]
+    fn validated_relay_accepts_a_correct_search() {
+        let config = MonitorConfig::new().validate_relay(true);
+        let mut exprs = ExprTable::new();
+        let count = exprs.register("count", |s: &St| s.count);
+        let mut mgr = ConditionManager::new(config);
+        let stats = MonitorStats::new(false);
+        // Mixed tag classes, all probed through their indexes; the
+        // post-relay exhaustive check must agree with every outcome.
+        let _eq = mgr.register_waiter(count.eq(5).into_predicate(), &stats);
+        let _thr = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+        let _none = mgr.register_waiter(count.ne(0).into_predicate(), &stats);
+        assert_eq!(mgr.relay_signal(&St { count: 0 }, &exprs, &stats), None);
+        assert!(mgr.relay_signal(&St { count: 5 }, &exprs, &stats).is_some());
+        assert!(mgr.relay_signal(&St { count: 12 }, &exprs, &stats).is_some());
+        assert!(mgr.relay_signal(&St { count: 3 }, &exprs, &stats).is_some());
+        assert_eq!(mgr.waiting_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "relay invariance violated")]
+    fn validated_relay_catches_a_missed_waiter() {
+        // A non-deterministic predicate breaks the system's assumption
+        // that predicates are pure functions of the state: it reads
+        // false when the relay search evaluates it and true when the
+        // validator re-checks. The validator must flag the miss.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let config = MonitorConfig::new().validate_relay(true);
+        let exprs: ExprTable<St> = ExprTable::new();
+        let mut mgr = ConditionManager::new(config);
+        let stats = MonitorStats::new(false);
+        let flip = AtomicBool::new(false);
+        let pid = mgr.register_waiter(
+            Predicate::custom("flip-flop", move |_: &St| flip.fetch_xor(true, Ordering::Relaxed)),
+            &stats,
+        );
+        let _ = pid;
+        let _ = mgr.relay_signal(&St { count: 0 }, &exprs, &stats);
+    }
+
+    #[test]
+    fn relay_falls_back_to_none_tags() {
+        let (exprs, _, mut mgr, stats) = setup();
+        let pid = mgr.register_waiter(
+            Predicate::custom("odd", |s: &St| s.count % 2 == 1),
+            &stats,
+        );
+        assert_eq!(mgr.relay_signal(&St { count: 2 }, &exprs, &stats), None);
+        assert_eq!(
+            mgr.relay_signal(&St { count: 3 }, &exprs, &stats),
+            Some(pid)
+        );
+    }
+
+    #[test]
+    fn untagged_mode_scans_linearly() {
+        let (exprs, count, _, _) = setup();
+        let mut mgr = ConditionManager::new(MonitorConfig::autosynch_t());
+        let stats = MonitorStats::new(false);
+        let before = stats.counters.snapshot();
+        let _a = mgr.register_waiter(count.eq(100).into_predicate(), &stats);
+        let b = mgr.register_waiter(count.ge(1).into_predicate(), &stats);
+        let hit = mgr.relay_signal(&St { count: 1 }, &exprs, &stats);
+        assert_eq!(hit, Some(b));
+        // The scan evaluated entry `a`'s whole predicate too.
+        let after = stats.counters.snapshot().since(&before);
+        assert!(after.pred_evals >= 2);
+        assert_eq!(after.expr_evals, 0, "untagged mode does no expr caching");
+    }
+
+    #[test]
+    fn futile_wakeup_reactivates_tags() {
+        let (exprs, count, mut mgr, stats) = setup();
+        let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+        assert_eq!(mgr.live_tag_count(), 1);
+        mgr.relay_signal(&St { count: 10 }, &exprs, &stats);
+        assert_eq!(mgr.live_tag_count(), 0, "no unsignaled waiters left");
+        // The woken thread finds the predicate false again (barging).
+        mgr.mark_futile(pid, &stats);
+        assert_eq!(mgr.live_tag_count(), 1);
+        assert_eq!(mgr.waiting_count(), 1);
+        assert_eq!(mgr.signaled_count(), 0);
+    }
+
+    #[test]
+    fn consume_signal_retires_entry_to_inactive() {
+        let (exprs, count, mut mgr, stats) = setup();
+        let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+        mgr.relay_signal(&St { count: 10 }, &exprs, &stats);
+        mgr.consume_signal(pid, &stats);
+        assert_eq!(mgr.waiting_count(), 0);
+        assert_eq!(mgr.signaled_count(), 0);
+        assert_eq!(mgr.inactive_count(), 1);
+        assert_eq!(mgr.entry_count(), 1, "inactive entries are kept for reuse");
+        // Reuse removes it from the inactive list.
+        let again = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+        assert_eq!(again, pid);
+        assert_eq!(mgr.inactive_count(), 0);
+    }
+
+    #[test]
+    fn inactive_list_evicts_beyond_cap() {
+        let (exprs, count, _, _) = setup();
+        let mut mgr = ConditionManager::new(MonitorConfig::new().inactive_cap(2));
+        let stats = MonitorStats::new(false);
+        for k in 0..5 {
+            let pid = mgr.register_waiter(count.ge(100 + k).into_predicate(), &stats);
+            mgr.relay_signal(&St { count: 200 }, &exprs, &stats);
+            mgr.consume_signal(pid, &stats);
+        }
+        assert_eq!(mgr.inactive_count(), 2);
+        assert_eq!(mgr.entry_count(), 2);
+    }
+
+    #[test]
+    fn persistent_predicates_survive_eviction() {
+        let (exprs, count, _, _) = setup();
+        let mut mgr = ConditionManager::new(MonitorConfig::new().inactive_cap(0));
+        let stats = MonitorStats::new(false);
+        let shared = mgr.register_persistent(count.gt(0).into_predicate());
+        // A complex predicate retires and is evicted immediately (cap 0).
+        let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+        mgr.relay_signal(&St { count: 10 }, &exprs, &stats);
+        mgr.consume_signal(pid, &stats);
+        assert_eq!(mgr.entry_count(), 1, "only the persistent entry remains");
+        // The persistent one still interns to the same id.
+        let w = mgr.register_waiter(count.gt(0).into_predicate(), &stats);
+        assert_eq!(w, shared);
+    }
+
+    #[test]
+    fn timeout_of_unsignaled_waiter_deactivates() {
+        let (_, count, mut mgr, stats) = setup();
+        let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+        let consumed = mgr.on_timeout(pid, &stats);
+        assert!(!consumed);
+        assert_eq!(mgr.waiting_count(), 0);
+        assert_eq!(mgr.live_tag_count(), 0);
+        assert_eq!(mgr.inactive_count(), 1);
+    }
+
+    #[test]
+    fn timeout_after_signal_consumes_and_requests_relay() {
+        let (exprs, count, mut mgr, stats) = setup();
+        let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+        mgr.relay_signal(&St { count: 10 }, &exprs, &stats);
+        let consumed = mgr.on_timeout(pid, &stats);
+        assert!(consumed, "the orphaned signal must be passed onward");
+        assert_eq!(mgr.signaled_count(), 0);
+    }
+
+    #[test]
+    fn multiple_waiters_one_entry_signal_one_at_a_time() {
+        let (exprs, count, mut mgr, stats) = setup();
+        let pid = mgr.register_waiter(count.ge(1).into_predicate(), &stats);
+        let pid2 = mgr.register_waiter(count.ge(1).into_predicate(), &stats);
+        assert_eq!(pid, pid2);
+        assert_eq!(mgr.waiting_count(), 2);
+        assert_eq!(mgr.relay_signal(&St { count: 1 }, &exprs, &stats), Some(pid));
+        assert_eq!(mgr.waiting_count(), 1);
+        assert_eq!(mgr.live_tag_count(), 1, "tags stay while waiters remain");
+        assert_eq!(mgr.relay_signal(&St { count: 1 }, &exprs, &stats), Some(pid));
+        assert_eq!(mgr.waiting_count(), 0);
+        assert_eq!(mgr.live_tag_count(), 0);
+    }
+
+    #[test]
+    fn expr_is_evaluated_once_per_relay() {
+        let (exprs, count, mut mgr, stats) = setup();
+        // Two equivalence tags and a threshold tag on the same expr.
+        mgr.register_waiter(count.eq(3).into_predicate(), &stats);
+        mgr.register_waiter(count.eq(4).into_predicate(), &stats);
+        mgr.register_waiter(count.ge(100).into_predicate(), &stats);
+        let before = stats.counters.snapshot();
+        mgr.relay_signal(&St { count: 0 }, &exprs, &stats);
+        let diff = stats.counters.snapshot().since(&before);
+        assert_eq!(diff.expr_evals, 1, "value cache collapses expr evals");
+    }
+}

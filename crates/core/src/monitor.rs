@@ -1,0 +1,685 @@
+//! The automatic-signal monitor: `enter` + `waituntil` with relay
+//! signaling.
+//!
+//! A [`Monitor<S>`] plays the role of the paper's `AutoSynch class`: every
+//! [`Monitor::enter`] section is mutually exclusive, and inside it a
+//! thread may block on [`MonitorGuard::wait_until`] — the `waituntil(P)`
+//! statement. There are **no condition variables and no signal calls in
+//! user code**; the condition manager signals exactly one appropriate
+//! thread whenever the monitor is exited or a thread goes to wait (the
+//! relay signaling rule, §4.2).
+//!
+//! Globalization (§4.1) falls out of the API: predicates are built from
+//! registered shared expressions compared against plain `i64` values, and
+//! those values are snapshots of the caller's locals taken at
+//! construction time.
+//!
+//! # Examples
+//!
+//! The parameterized bounded buffer of Fig. 1, whose explicit-signal
+//! version needs `signalAll`:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use autosynch::Monitor;
+//!
+//! struct Buffer { items: Vec<u64>, cap: usize }
+//!
+//! let monitor = Arc::new(Monitor::new(Buffer { items: Vec::new(), cap: 8 }));
+//! let count = monitor.register_expr("count", |b| b.items.len() as i64);
+//! let cap = monitor.register_expr("cap", |b| b.cap as i64);
+//!
+//! // Producer: waituntil(count + n <= cap), i.e. cap - count >= n.
+//! let free = monitor.register_expr("free", |b| (b.cap - b.items.len()) as i64);
+//! let n = 3; // a "local variable"; its value globalizes into the predicate
+//! monitor.enter(|g| {
+//!     g.wait_until(free.ge(n));
+//!     for i in 0..n {
+//!         g.state_mut().items.push(i as u64);
+//!     }
+//! });
+//! assert_eq!(monitor.with(|b| b.items.len()), 3);
+//! # let _ = (count, cap);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use autosynch_metrics::phase::Phase;
+use autosynch_predicate::expr::{ExprHandle, ExprTable};
+use autosynch_predicate::predicate::{IntoPredicate, Predicate};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
+
+use crate::config::MonitorConfig;
+use crate::manager::ConditionManager;
+use crate::stats::{MonitorStats, StatsSnapshot};
+
+mod thread_id {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A small, process-unique id for the current thread.
+    pub fn current() -> u64 {
+        ID.with(|id| *id)
+    }
+}
+
+struct Inner<S> {
+    state: S,
+    mgr: ConditionManager<S>,
+    dirty: bool,
+    // This occupancy consumed a relay signal and owes a relay on exit
+    // even if it never mutates: the signal is the baton that keeps the
+    // relay chain (§4.2) alive, and absorbing it without passing it on
+    // would strand other waiters whose predicates are already true.
+    signaled: bool,
+}
+
+/// An automatic-signal monitor protecting shared state `S`.
+///
+/// See the [module documentation](self) for an example. Construction and
+/// shared-expression registration normally happen before the monitor is
+/// shared between threads; registration afterwards is allowed but
+/// briefly contends with running relays.
+pub struct Monitor<S> {
+    inner: Mutex<Inner<S>>,
+    exprs: RwLock<ExprTable<S>>,
+    stats: Arc<MonitorStats>,
+    config: MonitorConfig,
+    owner: AtomicU64,
+}
+
+impl<S> std::fmt::Debug for Monitor<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("config", &self.config)
+            .field("exprs", &self.exprs.read().len())
+            .finish()
+    }
+}
+
+impl<S> Monitor<S> {
+    /// Creates a monitor with the paper-default configuration.
+    pub fn new(state: S) -> Self {
+        Self::with_config(state, MonitorConfig::default())
+    }
+
+    /// Creates a monitor with an explicit configuration (AutoSynch-T,
+    /// timing, ablations).
+    pub fn with_config(state: S, config: MonitorConfig) -> Self {
+        Monitor {
+            inner: Mutex::new(Inner {
+                state,
+                mgr: ConditionManager::new(config),
+                dirty: false,
+                signaled: false,
+            }),
+            exprs: RwLock::new(ExprTable::new()),
+            stats: MonitorStats::new(config.timing_enabled()),
+            config,
+            owner: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a shared expression (Def. 5) used to build taggable
+    /// predicates. The closure is evaluated under the monitor lock during
+    /// relay signaling, so it must be cheap and must not block.
+    pub fn register_expr(
+        &self,
+        name: impl Into<String>,
+        f: impl Fn(&S) -> i64 + Send + Sync + 'static,
+    ) -> ExprHandle<S> {
+        self.exprs.write().register(name, f)
+    }
+
+    /// Returns the handle registered under `name`, registering `f` if
+    /// absent — interning for dynamically generated expressions (the DSL
+    /// path).
+    pub fn register_expr_or_get(
+        &self,
+        name: impl Into<String>,
+        f: impl Fn(&S) -> i64 + Send + Sync + 'static,
+    ) -> ExprHandle<S> {
+        self.exprs.write().register_or_get(name, f)
+    }
+
+    /// Pre-registers a shared predicate so its entry is persistent (§5.1:
+    /// shared predicates are added in the constructor and never removed).
+    /// Purely an optimization; `wait_until` interns predicates on demand
+    /// either way.
+    pub fn register_shared_predicate(&self, pred: impl IntoPredicate<S>) {
+        let pred = pred.into_predicate();
+        self.inner.lock().mgr.register_persistent(pred);
+    }
+
+    /// Enters the monitor (mutual exclusion) and runs `f` with a guard
+    /// that can access the state and `wait_until`. On return the relay
+    /// signaling rule runs and the monitor is released.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called re-entrantly from the same thread: the monitor
+    /// lock is not reentrant, and recursing would deadlock.
+    pub fn enter<R>(&self, f: impl FnOnce(&mut MonitorGuard<'_, S>) -> R) -> R {
+        let me = thread_id::current();
+        assert_ne!(
+            self.owner.load(Ordering::Relaxed),
+            me,
+            "Monitor::enter called re-entrantly from the same thread"
+        );
+        self.stats.counters.record_enter();
+        let lock_timer = self.stats.phases.start(Phase::Lock);
+        let mut inner = self.inner.lock();
+        lock_timer.finish();
+        self.owner.store(me, Ordering::Relaxed);
+        inner.dirty = false;
+        inner.signaled = false;
+        let mut guard = MonitorGuard {
+            monitor: self,
+            inner: Some(inner),
+        };
+        let result = f(&mut guard);
+        drop(guard);
+        result
+    }
+
+    /// Convenience: enter, mutate the state, exit (relaying as always).
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        self.enter(|g| f(g.state_mut()))
+    }
+
+    /// Convenience: enter, `waituntil(cond)`, then run `f` on the state.
+    pub fn wait_and<R>(&self, cond: impl IntoPredicate<S>, f: impl FnOnce(&mut S) -> R) -> R {
+        self.enter(|g| {
+            g.wait_until(cond);
+            f(g.state_mut())
+        })
+    }
+
+    /// The instrumentation bundle shared by all users of this monitor.
+    pub fn stats(&self) -> &Arc<MonitorStats> {
+        &self.stats
+    }
+
+    /// A point-in-time snapshot of the instrumentation.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> MonitorConfig {
+        self.config
+    }
+
+    /// Consumes the monitor and returns the protected state. Safe by
+    /// construction: ownership proves no thread can be inside.
+    pub fn into_inner(self) -> S {
+        self.inner.into_inner().state
+    }
+
+    /// Whether the monitor is quiescent: no thread waiting, no signal
+    /// in flight, no live tag. True between well-formed runs; the test
+    /// suites use it to detect leaked waiters.
+    pub fn is_quiescent(&self) -> bool {
+        let (_, waiting, signaled, tags) = self.manager_counts();
+        waiting == 0 && signaled == 0 && tags == 0
+    }
+
+    /// Diagnostic counts: `(entries, waiting, signaled, live_tags)`.
+    pub fn manager_counts(&self) -> (usize, usize, usize, usize) {
+        let inner = self.inner.lock();
+        (
+            inner.mgr.entry_count(),
+            inner.mgr.waiting_count(),
+            inner.mgr.signaled_count(),
+            inner.mgr.live_tag_count(),
+        )
+    }
+}
+
+/// The in-monitor view handed to [`Monitor::enter`] closures.
+///
+/// Dropping the guard (or returning from the closure) runs the relay
+/// signaling rule and releases the monitor.
+pub struct MonitorGuard<'a, S> {
+    monitor: &'a Monitor<S>,
+    inner: Option<MutexGuard<'a, Inner<S>>>,
+}
+
+impl<S> std::fmt::Debug for MonitorGuard<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitorGuard")
+            .field("held", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl<S> MonitorGuard<'_, S> {
+    fn inner(&self) -> &Inner<S> {
+        self.inner.as_ref().expect("monitor guard already released")
+    }
+
+    fn inner_mut(&mut self) -> &mut Inner<S> {
+        self.inner.as_mut().expect("monitor guard already released")
+    }
+
+    /// Shared access to the monitor state.
+    pub fn state(&self) -> &S {
+        &self.inner().state
+    }
+
+    /// Mutable access to the monitor state. Marks the monitor dirty,
+    /// which matters only for the `relay_on_clean_exit(false)` ablation.
+    pub fn state_mut(&mut self) -> &mut S {
+        let inner = self.inner_mut();
+        inner.dirty = true;
+        &mut inner.state
+    }
+
+    /// The paper's `waituntil(P)`: blocks until `cond` holds, releasing
+    /// the monitor while blocked. On return the condition is true and the
+    /// monitor is held.
+    ///
+    /// `cond` may be a predicate AST built from
+    /// [`ExprHandle`] comparisons (taggable — fast), a prebuilt
+    /// [`Predicate`], or any `Fn(&S) -> bool` closure (falls back to the
+    /// `None` tag, i.e. exhaustive search).
+    pub fn wait_until(&mut self, cond: impl IntoPredicate<S>) {
+        self.wait_until_predicate(cond.into_predicate(), None);
+    }
+
+    /// Like [`MonitorGuard::wait_until`] with a timeout. Returns `true`
+    /// when the condition held within the timeout, `false` otherwise.
+    /// (An extension over the paper, which has no timed waituntil.)
+    pub fn wait_until_timeout(&mut self, cond: impl IntoPredicate<S>, timeout: Duration) -> bool {
+        self.wait_until_predicate(cond.into_predicate(), Some(Instant::now() + timeout))
+    }
+
+    /// Non-blocking check: whether `cond` holds right now. Never waits
+    /// and never registers anything with the condition manager.
+    pub fn holds(&self, cond: impl IntoPredicate<S>) -> bool {
+        let pred = cond.into_predicate();
+        let exprs = self.monitor.exprs.read();
+        self.monitor.stats.counters.record_pred_eval();
+        pred.eval(&self.inner().state, &exprs)
+    }
+
+    fn wait_until_predicate(&mut self, pred: Predicate<S>, deadline: Option<Instant>) -> bool {
+        let monitor = self.monitor;
+        let stats = Arc::clone(&monitor.stats);
+
+        // Fig. 6: "if P is false ..." — the fast path avoids registration.
+        {
+            let exprs = monitor.exprs.read();
+            stats.counters.record_pred_eval();
+            let inner = self.inner();
+            if pred.eval(&inner.state, &exprs) {
+                return true;
+            }
+        }
+
+        stats.counters.record_wait();
+        let pid = self.inner_mut().mgr.register_waiter(pred, &stats);
+
+        loop {
+            // "condMgr.relaySignal(); wait C" — pass the baton, then block.
+            let cv = {
+                let exprs = monitor.exprs.read();
+                let guard = self.inner.as_mut().expect("guard released");
+                let Inner {
+                    state,
+                    mgr,
+                    signaled,
+                    ..
+                } = &mut **guard;
+                mgr.relay_signal(state, &exprs, &stats);
+                // Going to wait passes the baton (the relay call above), so
+                // any signal this occupancy had consumed is discharged.
+                *signaled = false;
+                mgr.condvar(pid)
+            };
+
+            monitor.owner.store(0, Ordering::Relaxed);
+            let await_timer = stats.phases.start(Phase::Await);
+            let timed_out = match deadline {
+                None => {
+                    cv.wait(self.inner.as_mut().expect("guard released"));
+                    false
+                }
+                Some(deadline) => cv
+                    .wait_until(self.inner.as_mut().expect("guard released"), deadline)
+                    .timed_out(),
+            };
+            await_timer.finish();
+            monitor.owner.store(thread_id::current(), Ordering::Relaxed);
+            stats.counters.record_wakeup();
+
+            let holds = {
+                let exprs = monitor.exprs.read();
+                let inner = self.inner();
+                stats.counters.record_pred_eval();
+                inner.mgr.entry_pred(pid).eval(&inner.state, &exprs)
+            };
+
+            if holds {
+                let inner = self.inner_mut();
+                inner.mgr.consume_signal(pid, &stats);
+                inner.dirty = false;
+                inner.signaled = true;
+                return true;
+            }
+
+            if timed_out {
+                stats.counters.record_timeout();
+                let must_relay = {
+                    let inner = self.inner_mut();
+                    inner.mgr.on_timeout(pid, &stats)
+                };
+                if must_relay {
+                    // We absorbed a signal meant for someone: pass it on.
+                    let exprs = monitor.exprs.read();
+                    let guard = self.inner.as_mut().expect("guard released");
+                    let Inner { state, mgr, .. } = &mut **guard;
+                    mgr.relay_signal(state, &exprs, &stats);
+                }
+                self.inner_mut().dirty = false;
+                return false;
+            }
+
+            // Futile wakeup: another thread barged in and falsified the
+            // condition; rejoin the waiting pool.
+            stats.counters.record_futile_wakeup();
+            let inner = self.inner_mut();
+            inner.mgr.mark_futile(pid, &stats);
+            inner.dirty = false;
+        }
+    }
+
+    fn exit(&mut self) {
+        let Some(mut inner) = self.inner.take() else {
+            return;
+        };
+        // The relay signaling rule on exit (§4.2). Under the ablation
+        // config a clean occupancy may skip it, but only if it neither
+        // mutated the state nor consumed a signal — a consumed signal is
+        // the relay baton and must be passed on regardless.
+        if self.monitor.config.relays_on_clean_exit() || inner.dirty || inner.signaled {
+            let exprs = self.monitor.exprs.read();
+            let Inner { state, mgr, .. } = &mut *inner;
+            mgr.relay_signal(state, &exprs, &self.monitor.stats);
+        }
+        self.monitor.owner.store(0, Ordering::Relaxed);
+        drop(inner);
+    }
+}
+
+impl<S> Drop for MonitorGuard<'_, S> {
+    fn drop(&mut self) {
+        self.exit();
+    }
+}
+
+// A monitor is shared between threads; the state never leaves the mutex.
+// These bounds follow from the field types, spelled out for clarity.
+#[allow(dead_code)]
+fn _assert_send_sync<S: Send>() {
+    fn is_send_sync<T: Send + Sync>() {}
+    is_send_sync::<Monitor<S>>();
+    is_send_sync::<Arc<Condvar>>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SignalMode;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    struct Counter {
+        value: i64,
+    }
+
+    fn value_expr(monitor: &Monitor<Counter>) -> ExprHandle<Counter> {
+        monitor.register_expr("value", |s| s.value)
+    }
+
+    #[test]
+    fn wait_until_returns_immediately_when_true() {
+        let m = Monitor::new(Counter { value: 5 });
+        let v = value_expr(&m);
+        m.enter(|g| g.wait_until(v.ge(5)));
+        let snap = m.stats_snapshot();
+        assert_eq!(snap.counters.waits, 0);
+        assert_eq!(snap.counters.wakeups, 0);
+    }
+
+    #[test]
+    fn waiter_is_woken_by_state_change() {
+        let m = Arc::new(Monitor::new(Counter { value: 0 }));
+        let v = value_expr(&m);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || {
+            m2.enter(|g| {
+                g.wait_until(v.ge(3));
+                g.state().value
+            })
+        });
+        // Give the waiter time to block, then satisfy the predicate.
+        thread::sleep(Duration::from_millis(20));
+        m.with(|s| s.value = 3);
+        assert_eq!(waiter.join().unwrap(), 3);
+        let snap = m.stats_snapshot();
+        assert_eq!(snap.counters.signals, 1);
+        assert_eq!(snap.counters.broadcasts, 0, "AutoSynch never broadcasts");
+    }
+
+    #[test]
+    fn closure_predicates_work_via_none_tag() {
+        let m = Arc::new(Monitor::new(Counter { value: 0 }));
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || {
+            m2.enter(|g| g.wait_until(|s: &Counter| s.value % 7 == 0 && s.value > 0));
+        });
+        thread::sleep(Duration::from_millis(20));
+        m.with(|s| s.value = 14);
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn relay_chains_through_multiple_waiters() {
+        // Producer satisfies A; A's action satisfies B; B's satisfies C.
+        let m = Arc::new(Monitor::new(Counter { value: 0 }));
+        let v = value_expr(&m);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for stage in 1..=3 {
+            let m = Arc::clone(&m);
+            let order = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                m.enter(|g| {
+                    g.wait_until(v.ge(stage));
+                    g.state_mut().value += 1; // unlocks the next stage
+                });
+                order.lock().push(stage);
+            }));
+        }
+        thread::sleep(Duration::from_millis(30));
+        m.with(|s| s.value = 1);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(&*order.lock(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn many_waiters_same_predicate_all_proceed() {
+        let m = Arc::new(Monitor::new(Counter { value: 0 }));
+        let v = value_expr(&m);
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            let done = Arc::clone(&done);
+            handles.push(thread::spawn(move || {
+                m.enter(|g| {
+                    g.wait_until(v.ge(1));
+                    g.state_mut().value += 1;
+                });
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        thread::sleep(Duration::from_millis(30));
+        m.with(|s| s.value = 1);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+        assert_eq!(m.with(|s| s.value), 9);
+    }
+
+    #[test]
+    fn timeout_expires_when_never_satisfied() {
+        let m = Monitor::new(Counter { value: 0 });
+        let v = value_expr(&m);
+        let start = Instant::now();
+        let ok = m.enter(|g| g.wait_until_timeout(v.ge(10), Duration::from_millis(50)));
+        assert!(!ok);
+        assert!(start.elapsed() >= Duration::from_millis(45));
+        let snap = m.stats_snapshot();
+        assert_eq!(snap.counters.timeouts, 1);
+        // The monitor is clean afterwards: no leaked waiters or tags.
+        let (_, waiting, signaled, tags) = m.manager_counts();
+        assert_eq!((waiting, signaled, tags), (0, 0, 0));
+    }
+
+    #[test]
+    fn timeout_succeeds_when_satisfied_in_time() {
+        let m = Arc::new(Monitor::new(Counter { value: 0 }));
+        let v = value_expr(&m);
+        let m2 = Arc::clone(&m);
+        let waiter =
+            thread::spawn(move || m2.enter(|g| g.wait_until_timeout(v.ge(1), Duration::from_secs(5))));
+        thread::sleep(Duration::from_millis(20));
+        m.with(|s| s.value = 1);
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrantly")]
+    fn reentrant_enter_panics() {
+        let m = Monitor::new(Counter { value: 0 });
+        m.enter(|_| {
+            m.enter(|_| {});
+        });
+    }
+
+    #[test]
+    fn panic_in_enter_releases_and_relays() {
+        let m = Arc::new(Monitor::new(Counter { value: 0 }));
+        let v = value_expr(&m);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || {
+            m2.enter(|g| g.wait_until(v.ge(1)));
+        });
+        thread::sleep(Duration::from_millis(20));
+        let m3 = Arc::clone(&m);
+        let panicker = thread::spawn(move || {
+            m3.enter(|g| {
+                g.state_mut().value = 1;
+                panic!("boom");
+            });
+        });
+        assert!(panicker.join().is_err());
+        // The waiter must still be released by the exit relay of the
+        // panicking thread.
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn untagged_mode_behaves_identically() {
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::autosynch_t(),
+        ));
+        assert_eq!(m.config().signal_mode(), SignalMode::Untagged);
+        let v = value_expr(&m);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || m2.wait_and(v.ge(2), |s| s.value));
+        thread::sleep(Duration::from_millis(20));
+        m.with(|s| s.value = 2);
+        assert_eq!(waiter.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn stats_futile_wakeups_stay_zero_without_barging_conflicts() {
+        let m = Arc::new(Monitor::new(Counter { value: 0 }));
+        let v = value_expr(&m);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || m2.wait_and(v.eq(1), |_| ()));
+        thread::sleep(Duration::from_millis(20));
+        m.with(|s| s.value = 1);
+        waiter.join().unwrap();
+        // Relay only signals threads whose predicate is true, and nobody
+        // else runs: the wakeup cannot be futile.
+        assert_eq!(m.stats_snapshot().counters.futile_wakeups, 0);
+    }
+
+    #[test]
+    fn shared_predicate_preregistration_is_reused() {
+        let m = Monitor::new(Counter { value: 1 });
+        let v = value_expr(&m);
+        m.register_shared_predicate(v.gt(0));
+        let (entries_before, ..) = m.manager_counts();
+        m.enter(|g| g.wait_until(v.gt(0)));
+        let (entries_after, ..) = m.manager_counts();
+        assert_eq!(entries_before, entries_after, "no duplicate entry");
+    }
+
+    #[test]
+    fn quiescence_is_reported() {
+        let m = Arc::new(Monitor::new(Counter { value: 0 }));
+        assert!(m.is_quiescent());
+        let v = value_expr(&m);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || m2.wait_and(v.ge(1), |_| ()));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!m.is_quiescent(), "a registered waiter shows up");
+        m.with(|s| s.value = 1);
+        waiter.join().unwrap();
+        assert!(m.is_quiescent());
+    }
+
+    #[test]
+    fn into_inner_returns_the_state() {
+        let m = Monitor::new(Counter { value: 9 });
+        m.with(|s| s.value += 1);
+        assert_eq!(m.into_inner().value, 10);
+    }
+
+    #[test]
+    fn holds_is_a_pure_check() {
+        let m = Monitor::new(Counter { value: 3 });
+        let v = value_expr(&m);
+        m.enter(|g| {
+            assert!(g.holds(v.ge(3)));
+            assert!(!g.holds(v.ge(4)));
+        });
+        // Nothing was registered.
+        let (entries, waiting, ..) = m.manager_counts();
+        assert_eq!((entries, waiting), (0, 0));
+    }
+
+    #[test]
+    fn debug_impls_are_nonempty() {
+        let m = Monitor::new(Counter { value: 0 });
+        assert!(format!("{m:?}").contains("Monitor"));
+        m.enter(|g| {
+            assert!(format!("{g:?}").contains("held"));
+        });
+    }
+}

@@ -1,0 +1,227 @@
+//! A minimal slab allocator with stable keys.
+//!
+//! The condition manager needs stable identifiers for predicate entries
+//! (and the indexed heap for its nodes) that survive insertions and
+//! removals. This is the classic `Vec<Option<T>>` + free-list slab,
+//! implemented locally so the runtime has no dependencies beyond
+//! `parking_lot`.
+
+use std::fmt;
+
+/// A stable key into a [`Slab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlabKey(u32);
+
+impl SlabKey {
+    /// The raw index (for diagnostics).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SlabKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A slab of `T` with O(1) insert/remove and stable keys.
+///
+/// # Examples
+///
+/// ```
+/// use autosynch::slab::Slab;
+///
+/// let mut slab = Slab::new();
+/// let a = slab.insert("alpha");
+/// let b = slab.insert("beta");
+/// assert_eq!(slab[a], "alpha");
+/// slab.remove(a);
+/// assert_eq!(slab.get(a), None);
+/// assert_eq!(slab[b], "beta");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    entries: Vec<Option<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slots are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a value and returns its stable key.
+    pub fn insert(&mut self, value: T) -> SlabKey {
+        self.len += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.entries[slot as usize].is_none());
+                self.entries[slot as usize] = Some(value);
+                SlabKey(slot)
+            }
+            None => {
+                let slot = u32::try_from(self.entries.len()).expect("slab exceeded u32::MAX slots");
+                self.entries.push(Some(value));
+                SlabKey(slot)
+            }
+        }
+    }
+
+    /// Removes and returns the value at `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is vacant or out of range.
+    pub fn remove(&mut self, key: SlabKey) -> T {
+        let value = self.entries[key.index()]
+            .take()
+            .expect("slab key is vacant");
+        self.free.push(key.0);
+        self.len -= 1;
+        value
+    }
+
+    /// Returns the value at `key`, if occupied.
+    pub fn get(&self, key: SlabKey) -> Option<&T> {
+        self.entries.get(key.index()).and_then(Option::as_ref)
+    }
+
+    /// Returns the value at `key` mutably, if occupied.
+    pub fn get_mut(&mut self, key: SlabKey) -> Option<&mut T> {
+        self.entries.get_mut(key.index()).and_then(Option::as_mut)
+    }
+
+    /// Whether `key` refers to an occupied slot.
+    pub fn contains(&self, key: SlabKey) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterates over `(key, &value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlabKey, &T)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|v| (SlabKey(i as u32), v)))
+    }
+}
+
+impl<T> std::ops::Index<SlabKey> for Slab<T> {
+    type Output = T;
+
+    fn index(&self, key: SlabKey) -> &T {
+        self.get(key).expect("slab key is vacant")
+    }
+}
+
+impl<T> std::ops::IndexMut<SlabKey> for Slab<T> {
+    fn index_mut(&mut self, key: SlabKey) -> &mut T {
+        self.get_mut(key).expect("slab key is vacant")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut slab = Slab::new();
+        let a = slab.insert(10);
+        let b = slab.insert(20);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab[a], 10);
+        assert_eq!(slab[b], 20);
+        assert_eq!(slab.remove(a), 10);
+        assert_eq!(slab.get(a), None);
+        assert!(!slab.contains(a));
+        assert!(slab.contains(b));
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        slab.remove(a);
+        let b = slab.insert(2);
+        assert_eq!(a.index(), b.index());
+        assert_eq!(slab[b], 2);
+    }
+
+    #[test]
+    fn keys_stay_stable_across_other_removals() {
+        let mut slab = Slab::new();
+        let keys: Vec<_> = (0..10).map(|i| slab.insert(i)).collect();
+        slab.remove(keys[3]);
+        slab.remove(keys[7]);
+        for (i, &k) in keys.iter().enumerate() {
+            if i == 3 || i == 7 {
+                assert_eq!(slab.get(k), None);
+            } else {
+                assert_eq!(slab[k], i);
+            }
+        }
+    }
+
+    #[test]
+    fn iter_yields_occupied_in_slot_order() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        let c = slab.insert("c");
+        slab.remove(b);
+        let collected: Vec<_> = slab.iter().collect();
+        assert_eq!(collected, vec![(a, &"a"), (c, &"c")]);
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut slab = Slab::new();
+        let a = slab.insert(5);
+        *slab.get_mut(a).unwrap() += 1;
+        slab[a] += 1;
+        assert_eq!(slab[a], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "vacant")]
+    fn remove_vacant_panics() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        slab.remove(a);
+        slab.remove(a);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut slab: Slab<u8> = Slab::new();
+        assert!(slab.is_empty());
+        let k = slab.insert(0);
+        assert!(!slab.is_empty());
+        slab.remove(k);
+        assert!(slab.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-monitor instrumentation bundle.
+//!
+//! Every monitor (automatic, explicit, baseline) owns a [`MonitorStats`]
+//! so the harness compares the mechanisms with identical bookkeeping.
+
+use std::fmt;
+use std::sync::Arc;
+
+use autosynch_metrics::counters::{CounterSnapshot, SyncCounters};
+use autosynch_metrics::phase::{PhaseSnapshot, PhaseTimes};
+
+/// Shared counters and phase timers for one monitor instance.
+#[derive(Debug)]
+pub struct MonitorStats {
+    /// Event counters (signals, wakeups, predicate evaluations, ...).
+    pub counters: SyncCounters,
+    /// Per-phase wall-clock accumulators (Table 1).
+    pub phases: PhaseTimes,
+}
+
+impl MonitorStats {
+    /// Creates a stats bundle; `timing` enables the phase accumulators.
+    pub fn new(timing: bool) -> Arc<Self> {
+        Arc::new(MonitorStats {
+            counters: SyncCounters::new(),
+            phases: if timing {
+                PhaseTimes::enabled()
+            } else {
+                PhaseTimes::disabled()
+            },
+        })
+    }
+
+    /// Captures both counter and phase snapshots.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            counters: self.counters.snapshot(),
+            phases: self.phases.snapshot(),
+        }
+    }
+
+    /// Resets counters and phase accumulators.
+    pub fn reset(&self) {
+        self.counters.reset();
+        self.phases.reset();
+    }
+}
+
+/// A point-in-time copy of [`MonitorStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Counter values.
+    pub counters: CounterSnapshot,
+    /// Phase times.
+    pub phases: PhaseSnapshot,
+}
+
+impl StatsSnapshot {
+    /// Component-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            counters: self.counters.since(&earlier.counters),
+            phases: self.phases.since(&earlier.phases),
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} | {}", self.counters, self.phases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosynch_metrics::phase::Phase;
+    use std::time::Duration;
+
+    #[test]
+    fn timing_flag_controls_phases() {
+        let on = MonitorStats::new(true);
+        on.phases.add(Phase::Lock, Duration::from_nanos(5));
+        assert_eq!(on.snapshot().phases.nanos(Phase::Lock), 5);
+
+        let off = MonitorStats::new(false);
+        off.phases.add(Phase::Lock, Duration::from_nanos(5));
+        assert_eq!(off.snapshot().phases.nanos(Phase::Lock), 0);
+    }
+
+    #[test]
+    fn snapshot_and_since() {
+        let s = MonitorStats::new(false);
+        s.counters.record_signal();
+        let first = s.snapshot();
+        s.counters.record_signal();
+        s.counters.record_wakeup();
+        let diff = s.snapshot().since(&first);
+        assert_eq!(diff.counters.signals, 1);
+        assert_eq!(diff.counters.wakeups, 1);
+    }
+
+    #[test]
+    fn reset_clears_both() {
+        let s = MonitorStats::new(true);
+        s.counters.record_signal();
+        s.phases.add(Phase::Await, Duration::from_nanos(9));
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn display_combines_parts() {
+        let s = MonitorStats::new(false);
+        let text = s.snapshot().to_string();
+        assert!(text.contains("signals="));
+        assert!(text.contains("total="));
+    }
+}

@@ -1,0 +1,207 @@
+//! The worked example of the paper's Fig. 7: a condition manager holding
+//! fourteen predicates over one shared expression `x`, spread across the
+//! equivalence hash table (keys 3, 6, 7), the two threshold heaps and
+//! the `None` list.
+//!
+//! Each predicate gets a real waiting thread; the test then drives `x`
+//! through chosen values and asserts *which* predicate's waiter the
+//! relay rule releases, matching the search order the paper describes:
+//! equivalence probe first, then the threshold heaps weakest-first, then
+//! the exhaustive `None` scan.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use autosynch::monitor::Monitor;
+use autosynch::{IntoPredicate, Predicate};
+
+struct X {
+    x: i64,
+}
+
+/// Spawns one waiter per predicate; returns join handles plus the
+/// release ledger.
+fn install_waiters(
+    monitor: &Arc<Monitor<X>>,
+    preds: Vec<(&'static str, Predicate<X>)>,
+) -> (Vec<thread::JoinHandle<()>>, Arc<Vec<AtomicUsize>>) {
+    let released: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..preds.len()).map(|_| AtomicUsize::new(0)).collect());
+    let handles = preds
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_, pred))| {
+            let monitor = Arc::clone(monitor);
+            let released = Arc::clone(&released);
+            thread::spawn(move || {
+                monitor.enter(|g| g.wait_until(pred));
+                released[i].fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    (handles, released)
+}
+
+fn wait_for(released: &[AtomicUsize], index: usize) {
+    for _ in 0..500 {
+        if released[index].load(Ordering::SeqCst) > 0 {
+            return;
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    panic!("predicate {index} was never released");
+}
+
+#[test]
+fn fig7_state_is_indexed_as_described() {
+    // No single x falsifies all fourteen Fig. 7 predicates (x≠1, x≠8
+    // and x≠9 cannot all be false at once) — the figure is a snapshot
+    // mid-run. Park x at 1 and register exactly the predicates that are
+    // false there, so the index census is deterministic.
+    let monitor = Arc::new(Monitor::new(X { x: 1 }));
+    let x = monitor.register_expr("x", |s| s.x);
+
+    // Predicates false at x=1: x>5, x>=5, (x>=8)||(x==3), x==6, x==7,
+    // (x!=1)&&(x<=2), x!=1. True: the rest — those waiters pass through
+    // without registering. Register only the false ones so the census
+    // is deterministic.
+    let parked: Vec<(&'static str, Predicate<X>)> = vec![
+        ("x > 5", x.gt(5).into_predicate()),
+        ("x >= 5", x.ge(5).into_predicate()),
+        ("(x >= 8) || (x == 3)", x.ge(8).or(x.eq(3)).into_predicate()),
+        ("x == 6", x.eq(6).into_predicate()),
+        ("x == 7", x.eq(7).into_predicate()),
+        ("(x != 1) && (x <= 2)", x.ne(1).and(x.le(2)).into_predicate()),
+        ("x != 1", x.ne(1).into_predicate()),
+    ];
+    let count = parked.len();
+    let (handles, released) = install_waiters(&monitor, parked);
+    thread::sleep(Duration::from_millis(50));
+
+    // Census: 7 entries, 7 waiters, and tag count = number of
+    // conjunctions = 8 ((x>=8)||(x==3) contributes two).
+    let (entries, waiting, signaled, tags) = monitor.manager_counts();
+    assert_eq!(entries, count);
+    assert_eq!(waiting, count);
+    assert_eq!(signaled, 0);
+    assert_eq!(tags, count + 1);
+
+    // Release everyone: x=6 frees x>5(6>5), x>=5, x==6, x!=1; then x=7
+    // frees x==7; then x=2 frees (x!=1)&&(x<=2); then x=8 frees the
+    // disjunction.
+    for v in [6i64, 7, 2, 8, 3] {
+        monitor.with(move |s| s.x = v);
+        thread::sleep(Duration::from_millis(20));
+    }
+    for (i, _) in released.iter().enumerate() {
+        wait_for(&released, i);
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert!(monitor.is_quiescent());
+}
+
+#[test]
+fn equivalence_probe_wins_at_its_exact_key() {
+    // At x = 7 the O(1) hash probe finds the x == 7 waiter even though
+    // threshold predicates (x > 5, x >= 5) are also true — the paper
+    // checks equivalence tags first.
+    let monitor = Arc::new(Monitor::new(X { x: 0 }));
+    let x = monitor.register_expr("x", |s| s.x);
+    let preds = vec![
+        ("x > 5", x.gt(5).into_predicate()),
+        ("x >= 5", x.ge(5).into_predicate()),
+        ("x == 7", x.eq(7).into_predicate()),
+    ];
+    let (handles, released) = install_waiters(&monitor, preds);
+    thread::sleep(Duration::from_millis(50));
+
+    // One mutation, one relay: exactly one waiter is signaled and it is
+    // the equivalence one.
+    monitor.with(|s| s.x = 7);
+    wait_for(&released, 2);
+    thread::sleep(Duration::from_millis(20));
+    // The woken x==7 waiter's own exit relays onward, releasing the
+    // thresholds one at a time; eventually everyone is out.
+    for i in 0..3 {
+        wait_for(&released, i);
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}
+
+#[test]
+fn threshold_walk_skips_false_root_descendants() {
+    // The paper's Q1/Q2 example embedded in the full manager: with
+    // P1: (x >= 5) && (y != 1) and P2: (x > 7), at x=9,y=1 the search
+    // finds Q1 true but P1 false, polls it, and signals P2.
+    struct XY {
+        x: i64,
+        y: i64,
+    }
+    let monitor = Arc::new(Monitor::new(XY { x: 0, y: 1 }));
+    let x = monitor.register_expr("x", |s| s.x);
+    let y = monitor.register_expr("y", |s| s.y);
+
+    let p1: Predicate<XY> = x.ge(5).and(y.ne(1)).into_predicate();
+    let p2: Predicate<XY> = x.gt(7).into_predicate();
+    let released = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+
+    let h1 = {
+        let monitor = Arc::clone(&monitor);
+        let released = Arc::clone(&released);
+        thread::spawn(move || {
+            monitor.enter(|g| g.wait_until(p1));
+            released[0].fetch_add(1, Ordering::SeqCst);
+        })
+    };
+    let h2 = {
+        let monitor = Arc::clone(&monitor);
+        let released = Arc::clone(&released);
+        thread::spawn(move || {
+            monitor.enter(|g| g.wait_until(p2));
+            released[1].fetch_add(1, Ordering::SeqCst);
+        })
+    };
+    thread::sleep(Duration::from_millis(50));
+
+    monitor.with(|s| s.x = 9); // y stays 1: P1 false, P2 true
+    wait_for(&released[..], 1);
+    thread::sleep(Duration::from_millis(20));
+    assert_eq!(
+        released[0].load(Ordering::SeqCst),
+        0,
+        "P1 must not be woken: its tag is true but the predicate is false"
+    );
+    assert_eq!(
+        monitor.stats_snapshot().counters.futile_wakeups,
+        0,
+        "tag-pruned search never wakes a thread whose predicate is false"
+    );
+
+    monitor.with(|s| s.y = 2); // now P1 holds
+    wait_for(&released[..], 0);
+    h1.join().unwrap();
+    h2.join().unwrap();
+}
+
+#[test]
+fn none_tags_are_found_by_exhaustive_search() {
+    let monitor = Arc::new(Monitor::new(X { x: 9 }));
+    let x = monitor.register_expr("x", |s| s.x);
+    // x != 9 tags as None (Fig. 7 bottom row).
+    let preds = vec![("x != 9", x.ne(9).into_predicate())];
+    let (handles, released) = install_waiters(&monitor, preds);
+    thread::sleep(Duration::from_millis(30));
+    let (_, _, _, tags) = monitor.manager_counts();
+    assert_eq!(tags, 1);
+    monitor.with(|s| s.x = 4);
+    wait_for(&released, 0);
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}

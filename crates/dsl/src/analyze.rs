@@ -1,0 +1,221 @@
+//! Type checking and variable classification.
+//!
+//! The language has two types — integers and booleans — and a condition
+//! must be a boolean. Variables are integers; they are *shared* when the
+//! schema declares them and *local* when the caller binds them at
+//! `waituntil` time (anything else is an error). This classification is
+//! exactly Def. 1/Def. 5 of the paper: it decides which side of a
+//! comparison becomes the shared expression and which globalizes into
+//! the tag key.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Expr, ExprKind, UnOp};
+use crate::error::DslError;
+use crate::schema::Schema;
+
+/// The two types of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit integers.
+    Int,
+    /// Booleans.
+    Bool,
+}
+
+impl Ty {
+    fn describe(self) -> &'static str {
+        match self {
+            Ty::Int => "an integer",
+            Ty::Bool => "a boolean",
+        }
+    }
+}
+
+/// Infers the type of `expr`, reporting the first ill-typed node.
+///
+/// # Errors
+///
+/// Returns [`DslError::TypeMismatch`] with the span of the offending
+/// subexpression.
+pub fn infer(expr: &Expr) -> Result<Ty, DslError> {
+    match &expr.kind {
+        ExprKind::Int(_) | ExprKind::Var(_) => Ok(Ty::Int),
+        ExprKind::Bool(_) => Ok(Ty::Bool),
+        ExprKind::Unary(UnOp::Neg, inner) => {
+            expect(inner, Ty::Int)?;
+            Ok(Ty::Int)
+        }
+        ExprKind::Unary(UnOp::Not, inner) => {
+            expect(inner, Ty::Bool)?;
+            Ok(Ty::Bool)
+        }
+        ExprKind::Binary(op, lhs, rhs) => {
+            if op.is_arithmetic() {
+                expect(lhs, Ty::Int)?;
+                expect(rhs, Ty::Int)?;
+                Ok(Ty::Int)
+            } else if op.is_comparison() {
+                expect(lhs, Ty::Int)?;
+                expect(rhs, Ty::Int)?;
+                Ok(Ty::Bool)
+            } else {
+                debug_assert!(matches!(op, BinOp::And | BinOp::Or));
+                expect(lhs, Ty::Bool)?;
+                expect(rhs, Ty::Bool)?;
+                Ok(Ty::Bool)
+            }
+        }
+    }
+}
+
+fn expect(expr: &Expr, want: Ty) -> Result<(), DslError> {
+    let got = infer(expr)?;
+    if got == want {
+        Ok(())
+    } else {
+        Err(DslError::TypeMismatch {
+            expected: want.describe(),
+            found: got.describe(),
+            span: expr.span,
+        })
+    }
+}
+
+/// Checks that `expr` is a boolean condition and that every variable is
+/// either shared (in `schema`) or bound in `locals`.
+///
+/// # Errors
+///
+/// Returns [`DslError::TypeMismatch`] for ill-typed expressions (or a
+/// non-boolean top level) and [`DslError::UnknownVariable`] for unbound
+/// names.
+pub fn check_condition(
+    expr: &Expr,
+    schema: &Schema,
+    locals: &HashMap<String, i64>,
+) -> Result<(), DslError> {
+    let ty = infer(expr)?;
+    if ty != Ty::Bool {
+        return Err(DslError::TypeMismatch {
+            expected: "a boolean condition",
+            found: ty.describe(),
+            span: expr.span,
+        });
+    }
+    check_vars(expr, schema, locals)
+}
+
+fn check_vars(
+    expr: &Expr,
+    schema: &Schema,
+    locals: &HashMap<String, i64>,
+) -> Result<(), DslError> {
+    match &expr.kind {
+        ExprKind::Int(_) | ExprKind::Bool(_) => Ok(()),
+        ExprKind::Var(name) => {
+            if schema.slot(name).is_some() || locals.contains_key(name) {
+                Ok(())
+            } else {
+                Err(DslError::UnknownVariable {
+                    name: name.clone(),
+                    span: expr.span,
+                })
+            }
+        }
+        ExprKind::Unary(_, inner) => check_vars(inner, schema, locals),
+        ExprKind::Binary(_, lhs, rhs) => {
+            check_vars(lhs, schema, locals)?;
+            check_vars(rhs, schema, locals)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn locals(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+        pairs.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect()
+    }
+
+    #[test]
+    fn well_typed_conditions() {
+        let schema = Schema::new(&["count", "cap"]);
+        for src in [
+            "count >= num",
+            "count + num <= cap",
+            "true",
+            "count == 0 || cap - count > num",
+            "!(count == 0) && true",
+        ] {
+            let e = parse(src).unwrap();
+            check_condition(&e, &schema, &locals(&[("num", 1)]))
+                .unwrap_or_else(|err| panic!("{src}: {err}"));
+        }
+    }
+
+    #[test]
+    fn arithmetic_condition_is_rejected() {
+        let e = parse("count + 1").unwrap();
+        let err = check_condition(&e, &Schema::new(&["count"]), &locals(&[])).unwrap_err();
+        assert!(matches!(
+            err,
+            DslError::TypeMismatch {
+                expected: "a boolean condition",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bool_in_arithmetic_is_rejected() {
+        let e = parse("true + 1 == 2").unwrap();
+        assert!(matches!(infer(&e), Err(DslError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn int_under_not_is_rejected() {
+        let e = parse("!count == 1").unwrap(); // parses as (!count) == 1
+        assert!(matches!(infer(&e), Err(DslError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn bool_under_neg_is_rejected() {
+        let e = parse("-(count == 1) == 0").unwrap();
+        assert!(matches!(infer(&e), Err(DslError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn and_of_ints_is_rejected() {
+        let e = parse("count && 1").unwrap();
+        assert!(matches!(infer(&e), Err(DslError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn unknown_variable_is_reported() {
+        let schema = Schema::new(&["count"]);
+        let e = parse("count >= num").unwrap();
+        let err = check_condition(&e, &schema, &locals(&[])).unwrap_err();
+        match err {
+            DslError::UnknownVariable { name, .. } => assert_eq!(name, "num"),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn locals_make_variables_known() {
+        let schema = Schema::new(&["count"]);
+        let e = parse("count >= num").unwrap();
+        assert!(check_condition(&e, &schema, &locals(&[("num", 5)])).is_ok());
+    }
+
+    #[test]
+    fn error_span_points_at_the_variable() {
+        let src = "count >= missing";
+        let e = parse(src).unwrap();
+        let err = check_condition(&e, &Schema::new(&["count"]), &locals(&[])).unwrap_err();
+        assert_eq!(err.span().unwrap().slice(src), "missing");
+    }
+}

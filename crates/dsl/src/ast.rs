@@ -1,0 +1,227 @@
+//! The surface AST of the `waituntil` expression language.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// Binary operators, arithmetic and boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// Whether this is a comparison operator.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Whether this is an arithmetic operator.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul)
+    }
+
+    /// The source-text symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Boolean negation `!`.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+        })
+    }
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// The node's shape.
+    pub kind: ExprKind,
+    /// Its source location.
+    pub span: Span,
+}
+
+/// The shape of an expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference (shared or local — resolved by analysis).
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Creates a node.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Collects every variable name mentioned, in first-occurrence order.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match &self.kind {
+            ExprKind::Int(_) | ExprKind::Bool(_) => {}
+            ExprKind::Var(name) => {
+                if !out.contains(&name.as_str()) {
+                    out.push(name);
+                }
+            }
+            ExprKind::Unary(_, inner) => inner.collect_vars(out),
+            ExprKind::Binary(_, lhs, rhs) => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Fully parenthesized pretty-printer; `parse(print(e))` is
+    /// structurally `e` (modulo spans), which the round-trip property
+    /// test exercises.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ExprKind::Int(v) => write!(f, "{v}"),
+            ExprKind::Bool(b) => write!(f, "{b}"),
+            ExprKind::Var(name) => f.write_str(name),
+            ExprKind::Unary(op, inner) => write!(f, "{op}({inner})"),
+            ExprKind::Binary(op, lhs, rhs) => write!(f, "({lhs} {op} {rhs})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> Span {
+        Span::new(0, 0)
+    }
+
+    #[test]
+    fn variables_are_deduped_in_order() {
+        let e = Expr::new(
+            ExprKind::Binary(
+                BinOp::And,
+                Box::new(Expr::new(
+                    ExprKind::Binary(
+                        BinOp::Lt,
+                        Box::new(Expr::new(ExprKind::Var("b".into()), sp())),
+                        Box::new(Expr::new(ExprKind::Var("a".into()), sp())),
+                    ),
+                    sp(),
+                )),
+                Box::new(Expr::new(
+                    ExprKind::Binary(
+                        BinOp::Gt,
+                        Box::new(Expr::new(ExprKind::Var("a".into()), sp())),
+                        Box::new(Expr::new(ExprKind::Int(0), sp())),
+                    ),
+                    sp(),
+                )),
+            ),
+            sp(),
+        );
+        assert_eq!(e.variables(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn classification_of_ops() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Eq.is_arithmetic());
+        assert!(BinOp::Add.is_arithmetic());
+        assert!(!BinOp::And.is_comparison());
+        assert!(!BinOp::And.is_arithmetic());
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        let e = Expr::new(
+            ExprKind::Binary(
+                BinOp::Ge,
+                Box::new(Expr::new(ExprKind::Var("count".into()), sp())),
+                Box::new(Expr::new(ExprKind::Int(48), sp())),
+            ),
+            sp(),
+        );
+        assert_eq!(e.to_string(), "(count >= 48)");
+    }
+
+    #[test]
+    fn unary_display() {
+        let e = Expr::new(
+            ExprKind::Unary(
+                UnOp::Not,
+                Box::new(Expr::new(ExprKind::Bool(true), sp())),
+            ),
+            sp(),
+        );
+        assert_eq!(e.to_string(), "!(true)");
+    }
+}

@@ -1,0 +1,932 @@
+//! `AutoSynch class` declarations — the full preprocessor analog.
+//!
+//! The paper's JavaCC preprocessor rewrites whole classes: the
+//! `AutoSynch` modifier makes every member function mutually exclusive
+//! and replaces each `waituntil(expr)` with condition-manager calls
+//! (Figs. 5–6). This module provides the same surface for a small
+//! statement language:
+//!
+//! ```text
+//! monitor BoundedBuffer {
+//!     var count, cap;
+//!
+//!     method init(capacity) {
+//!         cap = capacity;
+//!     }
+//!
+//!     method put(n) {
+//!         waituntil(count + n <= cap);
+//!         count = count + n;
+//!     }
+//!
+//!     method take(n) {
+//!         waituntil(count >= n);
+//!         count = count - n;
+//!         return count;
+//!     }
+//! }
+//! ```
+//!
+//! The statement language covers `waituntil(cond);`, assignment to
+//! shared variables, `if`/`else`, `while`, and `return`. A `waituntil`
+//! inside a `while` releases the monitor while blocked, so other
+//! threads can advance the loop condition — the building block for
+//! drain-in-a-loop methods.
+//!
+//! [`parse_class`] produces a [`ClassDef`]; [`ClassMonitor::instantiate`]
+//! validates it (unique names, assignable targets, well-typed
+//! statements), builds the shared-variable [`Schema`], and pre-compiles
+//! every `waituntil` body for each call's bindings. Every method call
+//! runs under the monitor's mutual exclusion with its parameters as the
+//! globalization snapshot — exactly the execution model of Fig. 1's
+//! right-hand column.
+//!
+//! # Examples
+//!
+//! ```
+//! use autosynch_dsl::class::{parse_class, ClassMonitor};
+//!
+//! let class = parse_class(
+//!     "monitor Cell {
+//!          var value;
+//!          method put(v) { waituntil(value == 0); value = v; }
+//!          method take() { waituntil(value != 0); return value; }
+//!      }",
+//! ).unwrap();
+//! let cell = ClassMonitor::instantiate(class).unwrap();
+//! cell.call("put", &[42]).unwrap();
+//! assert_eq!(cell.call("take", &[]).unwrap(), Some(42));
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::analyze::{infer, Ty};
+use crate::ast::Expr;
+use crate::error::DslError;
+use crate::lexer::lex;
+use crate::lower::{eval_bool, eval_int};
+use crate::monitor::DslMonitor;
+use crate::parser::Parser;
+use crate::schema::Schema;
+use crate::token::{Span, TokenKind};
+
+/// A statement of a method body.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `waituntil(cond);` — the paper's blocking primitive.
+    WaitUntil(Expr),
+    /// `name = expr;` — assignment to a shared variable.
+    Assign {
+        /// The shared variable being assigned.
+        target: String,
+        /// Location of the target (for diagnostics).
+        target_span: Span,
+        /// The assigned value.
+        value: Expr,
+    },
+    /// `if (cond) { ... } else { ... }` — the else branch may be empty.
+    If {
+        /// The branch condition.
+        cond: Expr,
+        /// Statements run when the condition holds.
+        then_branch: Vec<Stmt>,
+        /// Statements run otherwise.
+        else_branch: Vec<Stmt>,
+    },
+    /// `while (cond) { ... }` — re-evaluates under the monitor each
+    /// iteration; a `waituntil` in the body releases the monitor as
+    /// usual, so other threads can change the loop condition.
+    While {
+        /// The loop condition.
+        cond: Expr,
+        /// The loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr;` — ends the call with a value.
+    Return(Expr),
+}
+
+/// One method of a monitor class.
+#[derive(Debug, Clone)]
+pub struct MethodDef {
+    /// The method name.
+    pub name: String,
+    /// Parameter names — the method's local variables.
+    pub params: Vec<String>,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed `monitor` declaration.
+#[derive(Debug, Clone)]
+pub struct ClassDef {
+    /// The class name.
+    pub name: String,
+    /// Declared shared variables, in declaration order.
+    pub vars: Vec<String>,
+    /// Declared methods.
+    pub methods: Vec<MethodDef>,
+}
+
+/// Parses a `monitor` declaration.
+///
+/// # Errors
+///
+/// Lexer and parser diagnostics with spans into `source`.
+pub fn parse_class(source: &str) -> Result<ClassDef, DslError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(tokens);
+    let class = parse_monitor(&mut parser)?;
+    parser.expect_eof()?;
+    Ok(class)
+}
+
+fn expect(parser: &mut Parser, kind: TokenKind, what: &'static str) -> Result<Span, DslError> {
+    let t = parser.advance();
+    if t.kind == kind {
+        Ok(t.span)
+    } else {
+        Err(DslError::UnexpectedToken {
+            found: t.kind.describe(),
+            expected: what,
+            span: t.span,
+        })
+    }
+}
+
+fn expect_ident(parser: &mut Parser, what: &'static str) -> Result<(String, Span), DslError> {
+    let t = parser.advance();
+    match t.kind {
+        TokenKind::Ident(name) => Ok((name, t.span)),
+        other => Err(DslError::UnexpectedToken {
+            found: other.describe(),
+            expected: what,
+            span: t.span,
+        }),
+    }
+}
+
+fn parse_monitor(parser: &mut Parser) -> Result<ClassDef, DslError> {
+    expect(parser, TokenKind::KwMonitor, "`monitor`")?;
+    let (name, _) = expect_ident(parser, "a class name")?;
+    expect(parser, TokenKind::LBrace, "`{`")?;
+    let mut vars = Vec::new();
+    let mut methods = Vec::new();
+    loop {
+        match parser.peek().kind {
+            TokenKind::RBrace => {
+                parser.advance();
+                break;
+            }
+            TokenKind::KwVar => {
+                parser.advance();
+                loop {
+                    let (var, _) = expect_ident(parser, "a variable name")?;
+                    vars.push(var);
+                    match parser.peek().kind {
+                        TokenKind::Comma => {
+                            parser.advance();
+                        }
+                        _ => break,
+                    }
+                }
+                expect(parser, TokenKind::Semi, "`;`")?;
+            }
+            TokenKind::KwMethod => {
+                methods.push(parse_method(parser)?);
+            }
+            _ => {
+                let t = parser.advance();
+                return Err(DslError::UnexpectedToken {
+                    found: t.kind.describe(),
+                    expected: "`var`, `method` or `}`",
+                    span: t.span,
+                });
+            }
+        }
+    }
+    Ok(ClassDef {
+        name,
+        vars,
+        methods,
+    })
+}
+
+fn parse_method(parser: &mut Parser) -> Result<MethodDef, DslError> {
+    expect(parser, TokenKind::KwMethod, "`method`")?;
+    let (name, _) = expect_ident(parser, "a method name")?;
+    expect(parser, TokenKind::LParen, "`(`")?;
+    let mut params = Vec::new();
+    if parser.peek().kind != TokenKind::RParen {
+        loop {
+            let (param, _) = expect_ident(parser, "a parameter name")?;
+            params.push(param);
+            match parser.peek().kind {
+                TokenKind::Comma => {
+                    parser.advance();
+                }
+                _ => break,
+            }
+        }
+    }
+    expect(parser, TokenKind::RParen, "`)`")?;
+    let body = parse_block(parser)?;
+    Ok(MethodDef { name, params, body })
+}
+
+fn parse_block(parser: &mut Parser) -> Result<Vec<Stmt>, DslError> {
+    expect(parser, TokenKind::LBrace, "`{`")?;
+    let mut stmts = Vec::new();
+    while parser.peek().kind != TokenKind::RBrace {
+        stmts.push(parse_stmt(parser)?);
+    }
+    parser.advance(); // consume `}`
+    Ok(stmts)
+}
+
+fn parse_stmt(parser: &mut Parser) -> Result<Stmt, DslError> {
+    match parser.peek().kind.clone() {
+        TokenKind::KwWaituntil => {
+            parser.advance();
+            expect(parser, TokenKind::LParen, "`(`")?;
+            let cond = parser.parse_or()?;
+            expect(parser, TokenKind::RParen, "`)`")?;
+            expect(parser, TokenKind::Semi, "`;`")?;
+            Ok(Stmt::WaitUntil(cond))
+        }
+        TokenKind::KwReturn => {
+            parser.advance();
+            let value = parser.parse_or()?;
+            expect(parser, TokenKind::Semi, "`;`")?;
+            Ok(Stmt::Return(value))
+        }
+        TokenKind::KwIf => {
+            parser.advance();
+            expect(parser, TokenKind::LParen, "`(`")?;
+            let cond = parser.parse_or()?;
+            expect(parser, TokenKind::RParen, "`)`")?;
+            let then_branch = parse_block(parser)?;
+            let else_branch = if parser.peek().kind == TokenKind::KwElse {
+                parser.advance();
+                parse_block(parser)?
+            } else {
+                Vec::new()
+            };
+            Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            })
+        }
+        TokenKind::KwWhile => {
+            parser.advance();
+            expect(parser, TokenKind::LParen, "`(`")?;
+            let cond = parser.parse_or()?;
+            expect(parser, TokenKind::RParen, "`)`")?;
+            let body = parse_block(parser)?;
+            Ok(Stmt::While { cond, body })
+        }
+        TokenKind::Ident(_) => {
+            let (target, target_span) = expect_ident(parser, "an assignment target")?;
+            expect(parser, TokenKind::Assign, "`=`")?;
+            let value = parser.parse_or()?;
+            expect(parser, TokenKind::Semi, "`;`")?;
+            Ok(Stmt::Assign {
+                target,
+                target_span,
+                value,
+            })
+        }
+        other => {
+            let span = parser.peek().span;
+            parser.advance();
+            Err(DslError::UnexpectedToken {
+                found: other.describe(),
+                expected: "a statement",
+                span,
+            })
+        }
+    }
+}
+
+// --- validation ------------------------------------------------------------
+
+fn check_unique<'a>(
+    what: &'static str,
+    names: impl Iterator<Item = &'a str>,
+) -> Result<(), DslError> {
+    let mut seen = Vec::new();
+    for name in names {
+        if seen.contains(&name) {
+            return Err(DslError::Duplicate {
+                what,
+                name: name.to_owned(),
+                span: Span::new(0, 0),
+            });
+        }
+        seen.push(name);
+    }
+    Ok(())
+}
+
+fn check_vars_known(
+    expr: &Expr,
+    schema: &Schema,
+    params: &[String],
+) -> Result<(), DslError> {
+    for name in expr.variables() {
+        if schema.slot(name).is_none() && !params.iter().any(|p| p == name) {
+            return Err(DslError::UnknownVariable {
+                name: name.to_owned(),
+                span: expr.span,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_stmt(stmt: &Stmt, schema: &Schema, params: &[String]) -> Result<(), DslError> {
+    match stmt {
+        Stmt::WaitUntil(cond) => {
+            check_vars_known(cond, schema, params)?;
+            expect_ty(cond, Ty::Bool)
+        }
+        Stmt::Assign {
+            target,
+            target_span,
+            value,
+        } => {
+            if schema.slot(target).is_none() {
+                return Err(DslError::InvalidAssignTarget {
+                    name: target.clone(),
+                    span: *target_span,
+                });
+            }
+            check_vars_known(value, schema, params)?;
+            expect_ty(value, Ty::Int)
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            check_vars_known(cond, schema, params)?;
+            expect_ty(cond, Ty::Bool)?;
+            for stmt in then_branch.iter().chain(else_branch) {
+                check_stmt(stmt, schema, params)?;
+            }
+            Ok(())
+        }
+        Stmt::While { cond, body } => {
+            check_vars_known(cond, schema, params)?;
+            expect_ty(cond, Ty::Bool)?;
+            for stmt in body {
+                check_stmt(stmt, schema, params)?;
+            }
+            Ok(())
+        }
+        Stmt::Return(value) => {
+            check_vars_known(value, schema, params)?;
+            expect_ty(value, Ty::Int)
+        }
+    }
+}
+
+fn expect_ty(expr: &Expr, want: Ty) -> Result<(), DslError> {
+    let got = infer(expr)?;
+    if got == want {
+        Ok(())
+    } else {
+        Err(DslError::TypeMismatch {
+            expected: match want {
+                Ty::Bool => "a boolean",
+                Ty::Int => "an integer",
+            },
+            found: match got {
+                Ty::Bool => "a boolean",
+                Ty::Int => "an integer",
+            },
+            span: expr.span,
+        })
+    }
+}
+
+// --- runtime ---------------------------------------------------------------
+
+/// Error from [`ClassMonitor::call`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// No method with that name.
+    UnknownMethod(String),
+    /// Wrong number of arguments.
+    ArityMismatch {
+        /// The method.
+        method: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Arguments supplied.
+        found: usize,
+    },
+    /// A `waituntil` condition failed to compile at call time.
+    Dsl(DslError),
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::UnknownMethod(name) => write!(f, "no method named `{name}`"),
+            CallError::ArityMismatch {
+                method,
+                expected,
+                found,
+            } => write!(
+                f,
+                "method `{method}` takes {expected} arguments but {found} were supplied"
+            ),
+            CallError::Dsl(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+impl From<DslError> for CallError {
+    fn from(err: DslError) -> Self {
+        CallError::Dsl(err)
+    }
+}
+
+/// A live monitor instance of a validated class.
+#[derive(Debug)]
+pub struct ClassMonitor {
+    class: ClassDef,
+    monitor: DslMonitor,
+}
+
+impl ClassMonitor {
+    /// Validates the class and creates an instance with all shared
+    /// variables zeroed.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate definitions, unknown variables, non-assignable targets
+    /// and type errors are reported with spans.
+    pub fn instantiate(class: ClassDef) -> Result<Self, DslError> {
+        check_unique("shared variable", class.vars.iter().map(String::as_str))?;
+        check_unique("method", class.methods.iter().map(|m| m.name.as_str()))?;
+        let var_names: Vec<&str> = class.vars.iter().map(String::as_str).collect();
+        let schema = Schema::new(&var_names);
+        for method in &class.methods {
+            check_unique("parameter", method.params.iter().map(String::as_str))?;
+            for param in &method.params {
+                if schema.slot(param).is_some() {
+                    return Err(DslError::Duplicate {
+                        what: "parameter (shadows a shared variable)",
+                        name: param.clone(),
+                        span: Span::new(0, 0),
+                    });
+                }
+            }
+            for stmt in &method.body {
+                check_stmt(stmt, &schema, &method.params)?;
+            }
+        }
+        Ok(ClassMonitor {
+            monitor: DslMonitor::new(schema),
+            class,
+        })
+    }
+
+    /// The class definition.
+    pub fn class(&self) -> &ClassDef {
+        &self.class
+    }
+
+    /// The underlying DSL monitor (stats, direct variable access).
+    pub fn monitor(&self) -> &DslMonitor {
+        &self.monitor
+    }
+
+    /// Calls a method under the monitor's mutual exclusion; `args` bind
+    /// to the parameters and become the globalization snapshot of every
+    /// `waituntil` in the body. Returns the method's `return` value, if
+    /// it executed one.
+    ///
+    /// # Errors
+    ///
+    /// Unknown method, arity mismatch, or condition-compilation
+    /// failures.
+    pub fn call(&self, method: &str, args: &[i64]) -> Result<Option<i64>, CallError> {
+        let def = self
+            .class
+            .methods
+            .iter()
+            .find(|m| m.name == method)
+            .ok_or_else(|| CallError::UnknownMethod(method.to_owned()))?;
+        if def.params.len() != args.len() {
+            return Err(CallError::ArityMismatch {
+                method: method.to_owned(),
+                expected: def.params.len(),
+                found: args.len(),
+            });
+        }
+        let locals: HashMap<String, i64> = def
+            .params
+            .iter()
+            .cloned()
+            .zip(args.iter().copied())
+            .collect();
+
+        self.monitor.enter(|g| {
+            let schema = self.monitor.schema();
+            let mut result = None;
+            for stmt in &def.body {
+                if exec_stmt(stmt, schema, &locals, g, &self.monitor, &mut result)? {
+                    break;
+                }
+            }
+            Ok(result)
+        })
+    }
+}
+
+/// Executes one statement; returns `Ok(true)` when a `return` fired.
+fn exec_stmt(
+    stmt: &Stmt,
+    schema: &Schema,
+    locals: &HashMap<String, i64>,
+    g: &mut crate::monitor::DslGuard<'_, '_>,
+    monitor: &DslMonitor,
+    result: &mut Option<i64>,
+) -> Result<bool, CallError> {
+    match stmt {
+        Stmt::WaitUntil(cond) => {
+            let pred = monitor.compile_ast(cond, locals)?;
+            g.wait_until_compiled(pred);
+            Ok(false)
+        }
+        Stmt::Assign { target, value, .. } => {
+            let slot = schema.slot(target).expect("validated at instantiate");
+            let v = g.with_env(|env| eval_int(value, schema, env, locals));
+            g.set_slot(slot, v);
+            Ok(false)
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let taken = g.with_env(|env| eval_bool(cond, schema, env, locals));
+            let branch = if taken { then_branch } else { else_branch };
+            for stmt in branch {
+                if exec_stmt(stmt, schema, locals, g, monitor, result)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Stmt::While { cond, body } => {
+            while g.with_env(|env| eval_bool(cond, schema, env, locals)) {
+                for stmt in body {
+                    if exec_stmt(stmt, schema, locals, g, monitor, result)? {
+                        return Ok(true);
+                    }
+                }
+            }
+            Ok(false)
+        }
+        Stmt::Return(value) => {
+            *result = Some(g.with_env(|env| eval_int(value, schema, env, locals)));
+            Ok(true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    const BOUNDED_BUFFER: &str = "
+        monitor BoundedBuffer {
+            var count, cap;
+
+            method init(capacity) {
+                cap = capacity;
+            }
+
+            method put(n) {
+                waituntil(count + n <= cap);
+                count = count + n;
+            }
+
+            method take(n) {
+                waituntil(count >= n);
+                count = count - n;
+                return count;
+            }
+        }
+    ";
+
+    #[test]
+    fn parses_the_bounded_buffer_class() {
+        let class = parse_class(BOUNDED_BUFFER).unwrap();
+        assert_eq!(class.name, "BoundedBuffer");
+        assert_eq!(class.vars, ["count", "cap"]);
+        assert_eq!(
+            class.methods.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(),
+            ["init", "put", "take"]
+        );
+        assert_eq!(class.methods[1].params, ["n"]);
+    }
+
+    #[test]
+    fn sequential_calls_execute_statements() {
+        let m = ClassMonitor::instantiate(parse_class(BOUNDED_BUFFER).unwrap()).unwrap();
+        m.call("init", &[10]).unwrap();
+        assert_eq!(m.call("put", &[4]).unwrap(), None);
+        assert_eq!(m.call("take", &[3]).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_through_the_class() {
+        let m = Arc::new(
+            ClassMonitor::instantiate(parse_class(BOUNDED_BUFFER).unwrap()).unwrap(),
+        );
+        m.call("init", &[8]).unwrap();
+        let producer = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                for round in 0..100i64 {
+                    m.call("put", &[1 + round % 4]).unwrap();
+                }
+            })
+        };
+        let consumer = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                for round in 0..100i64 {
+                    m.call("take", &[1 + round % 4]).unwrap();
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap();
+        assert_eq!(m.monitor().enter(|g| g.get("count")), 0);
+        assert_eq!(m.monitor().stats_snapshot().counters.broadcasts, 0);
+    }
+
+    #[test]
+    fn if_else_and_return() {
+        let class = parse_class(
+            "monitor Clamp {
+                var level;
+                method add(n, max) {
+                    if (level + n > max) { level = max; } else { level = level + n; }
+                    return level;
+                }
+            }",
+        )
+        .unwrap();
+        let m = ClassMonitor::instantiate(class).unwrap();
+        assert_eq!(m.call("add", &[5, 10]).unwrap(), Some(5));
+        assert_eq!(m.call("add", &[7, 10]).unwrap(), Some(10));
+    }
+
+    #[test]
+    fn while_loop_executes_and_terminates() {
+        let class = parse_class(
+            "monitor Drain {
+                var level, drained;
+                method fill(n) { level = n; }
+                method drain_by(step) {
+                    while (level >= step) {
+                        level = level - step;
+                        drained = drained + step;
+                    }
+                    return drained;
+                }
+            }",
+        )
+        .unwrap();
+        let m = ClassMonitor::instantiate(class).unwrap();
+        m.call("fill", &[17]).unwrap();
+        assert_eq!(m.call("drain_by", &[5]).unwrap(), Some(15));
+        assert_eq!(m.monitor().enter(|g| g.get("level")), 2);
+    }
+
+    #[test]
+    fn while_with_zero_iterations_skips_the_body() {
+        let class = parse_class(
+            "monitor Skip {
+                var x;
+                method run() {
+                    while (x > 0) { x = x - 1; }
+                    return x;
+                }
+            }",
+        )
+        .unwrap();
+        let m = ClassMonitor::instantiate(class).unwrap();
+        assert_eq!(m.call("run", &[]).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn return_inside_while_short_circuits() {
+        let class = parse_class(
+            "monitor FindMultiple {
+                var probe;
+                method first_multiple_of(k, limit) {
+                    probe = k;
+                    while (probe <= limit) {
+                        if (probe >= 10) { return probe; }
+                        probe = probe + k;
+                    }
+                    return 0 - 1;
+                }
+            }",
+        )
+        .unwrap();
+        let m = ClassMonitor::instantiate(class).unwrap();
+        assert_eq!(m.call("first_multiple_of", &[4, 100]).unwrap(), Some(12));
+        assert_eq!(m.call("first_multiple_of", &[3, 5]).unwrap(), Some(-1));
+    }
+
+    #[test]
+    fn waituntil_inside_while_releases_the_monitor() {
+        // A consumer drains items one at a time in a loop, blocking
+        // inside the loop body; a producer refills from outside. The
+        // waituntil must release the monitor each iteration or the
+        // producer could never run.
+        let class = parse_class(
+            "monitor Pipeline {
+                var items, consumed;
+                method produce() { items = items + 1; }
+                method consume_n(n) {
+                    while (consumed < n) {
+                        waituntil(items > 0);
+                        items = items - 1;
+                        consumed = consumed + 1;
+                    }
+                    return consumed;
+                }
+            }",
+        )
+        .unwrap();
+        let m = Arc::new(ClassMonitor::instantiate(class).unwrap());
+        let consumer = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || m.call("consume_n", &[25]).unwrap())
+        };
+        for _ in 0..25 {
+            m.call("produce", &[]).unwrap();
+        }
+        assert_eq!(consumer.join().unwrap(), Some(25));
+        assert_eq!(m.monitor().enter(|g| g.get("items")), 0);
+        assert_eq!(m.monitor().stats_snapshot().counters.broadcasts, 0);
+    }
+
+    #[test]
+    fn while_condition_type_errors_are_caught() {
+        let class =
+            parse_class("monitor M { var a; method f() { while (a + 1) { a = 0; } } }")
+                .unwrap();
+        assert!(matches!(
+            ClassMonitor::instantiate(class),
+            Err(DslError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn return_short_circuits() {
+        let class = parse_class(
+            "monitor Early {
+                var x;
+                method probe(n) {
+                    if (n > 0) { return 1; }
+                    x = 99;
+                    return 2;
+                }
+            }",
+        )
+        .unwrap();
+        let m = ClassMonitor::instantiate(class).unwrap();
+        assert_eq!(m.call("probe", &[5]).unwrap(), Some(1));
+        assert_eq!(m.monitor().enter(|g| g.get("x")), 0, "assignment skipped");
+        assert_eq!(m.call("probe", &[0]).unwrap(), Some(2));
+        assert_eq!(m.monitor().enter(|g| g.get("x")), 99);
+    }
+
+    #[test]
+    fn duplicate_definitions_are_rejected() {
+        let dup_var = parse_class("monitor M { var a, a; }").unwrap();
+        assert!(matches!(
+            ClassMonitor::instantiate(dup_var),
+            Err(DslError::Duplicate { what: "shared variable", .. })
+        ));
+        let dup_method =
+            parse_class("monitor M { var a; method f() { } method f() { } }").unwrap();
+        assert!(matches!(
+            ClassMonitor::instantiate(dup_method),
+            Err(DslError::Duplicate { what: "method", .. })
+        ));
+        let shadow = parse_class("monitor M { var a; method f(a) { } }").unwrap();
+        assert!(matches!(
+            ClassMonitor::instantiate(shadow),
+            Err(DslError::Duplicate { .. })
+        ));
+    }
+
+    #[test]
+    fn assignment_targets_must_be_shared() {
+        let class = parse_class("monitor M { var a; method f(p) { p = 1; } }").unwrap();
+        assert!(matches!(
+            ClassMonitor::instantiate(class),
+            Err(DslError::InvalidAssignTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn type_errors_are_caught_at_instantiation() {
+        let class =
+            parse_class("monitor M { var a; method f() { a = (a == 1); } }").unwrap();
+        assert!(matches!(
+            ClassMonitor::instantiate(class),
+            Err(DslError::TypeMismatch { .. })
+        ));
+        let class = parse_class("monitor M { var a; method f() { waituntil(a + 1); } }")
+            .unwrap();
+        assert!(matches!(
+            ClassMonitor::instantiate(class),
+            Err(DslError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_variables_are_caught_at_instantiation() {
+        let class = parse_class("monitor M { var a; method f() { a = b; } }").unwrap();
+        assert!(matches!(
+            ClassMonitor::instantiate(class),
+            Err(DslError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn call_errors() {
+        let m = ClassMonitor::instantiate(parse_class(BOUNDED_BUFFER).unwrap()).unwrap();
+        assert!(matches!(
+            m.call("nope", &[]),
+            Err(CallError::UnknownMethod(_))
+        ));
+        assert!(matches!(
+            m.call("put", &[1, 2]),
+            Err(CallError::ArityMismatch { expected: 1, found: 2, .. })
+        ));
+        assert!(m.call("nope", &[]).unwrap_err().to_string().contains("nope"));
+    }
+
+    #[test]
+    fn parse_errors_have_spans() {
+        for bad in [
+            "monitor { }",
+            "monitor M { var ; }",
+            "monitor M { method f( { } }",
+            "monitor M { method f() { waituntil(x) } }", // missing ;
+            "monitor M { stray }",
+        ] {
+            let err = parse_class(bad).unwrap_err();
+            assert!(err.span().is_some(), "{bad} should have a spanned error");
+        }
+    }
+
+    #[test]
+    fn multiple_waituntils_in_one_method() {
+        let class = parse_class(
+            "monitor TwoPhase {
+                var a, b;
+                method go() {
+                    waituntil(a > 0);
+                    b = b + 1;
+                    waituntil(b >= 2);
+                    return b;
+                }
+                method arm() { a = 1; }
+                method boost() { b = b + 1; }
+            }",
+        )
+        .unwrap();
+        let m = Arc::new(ClassMonitor::instantiate(class).unwrap());
+        let runner = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || m.call("go", &[]).unwrap())
+        };
+        thread::sleep(std::time::Duration::from_millis(20));
+        m.call("arm", &[]).unwrap();
+        thread::sleep(std::time::Duration::from_millis(20));
+        m.call("boost", &[]).unwrap();
+        let result = runner.join().unwrap();
+        assert_eq!(result, Some(2));
+    }
+}

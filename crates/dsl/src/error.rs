@@ -1,0 +1,215 @@
+//! Compiler diagnostics for the `waituntil` expression language.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// Any error produced while compiling a `waituntil` condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DslError {
+    /// The lexer met a character it does not know.
+    UnexpectedChar {
+        /// The offending character.
+        found: char,
+        /// Its location.
+        span: Span,
+    },
+    /// A numeric literal does not fit in `i64`.
+    IntOverflow {
+        /// The literal's location.
+        span: Span,
+    },
+    /// A lone `&`, `|` or `=` (the language only has the doubled forms).
+    IncompleteOperator {
+        /// The single character found.
+        found: char,
+        /// Its location.
+        span: Span,
+    },
+    /// The parser met an unexpected token.
+    UnexpectedToken {
+        /// Description of the token found.
+        found: String,
+        /// What the parser was looking for.
+        expected: &'static str,
+        /// Its location.
+        span: Span,
+    },
+    /// Comparison chaining like `a < b < c` is not supported.
+    ChainedComparison {
+        /// Location of the second comparison operator.
+        span: Span,
+    },
+    /// An operator was applied to the wrong type.
+    TypeMismatch {
+        /// What the context required.
+        expected: &'static str,
+        /// What the expression actually is.
+        found: &'static str,
+        /// The mistyped expression.
+        span: Span,
+    },
+    /// A variable is neither in the shared schema nor bound as a local.
+    UnknownVariable {
+        /// The variable name.
+        name: String,
+        /// Its location.
+        span: Span,
+    },
+    /// Integer overflow while canonicalizing a linear form.
+    LinearOverflow {
+        /// The expression that overflowed.
+        span: Span,
+    },
+    /// The condition's DNF exceeded the conjunction limit.
+    DnfOverflow {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A class declares the same name twice (variable, parameter or
+    /// method).
+    Duplicate {
+        /// What kind of definition collided.
+        what: &'static str,
+        /// The colliding name.
+        name: String,
+        /// Location of the second definition.
+        span: Span,
+    },
+    /// An assignment targets something that is not a shared variable.
+    InvalidAssignTarget {
+        /// The target name.
+        name: String,
+        /// Its location.
+        span: Span,
+    },
+}
+
+impl DslError {
+    /// The source location of the error, when it has one.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            DslError::UnexpectedChar { span, .. }
+            | DslError::IntOverflow { span }
+            | DslError::IncompleteOperator { span, .. }
+            | DslError::UnexpectedToken { span, .. }
+            | DslError::ChainedComparison { span }
+            | DslError::TypeMismatch { span, .. }
+            | DslError::UnknownVariable { span, .. }
+            | DslError::LinearOverflow { span }
+            | DslError::Duplicate { span, .. }
+            | DslError::InvalidAssignTarget { span, .. } => Some(*span),
+            DslError::DnfOverflow { .. } => None,
+        }
+    }
+
+    /// Renders the error with a caret line pointing into `source`.
+    pub fn render(&self, source: &str) -> String {
+        match self.span() {
+            None => format!("error: {self}"),
+            Some(span) => {
+                let caret_len = (span.end - span.start).max(1);
+                format!(
+                    "error: {self}\n  | {source}\n  | {}{}",
+                    " ".repeat(span.start),
+                    "^".repeat(caret_len)
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::UnexpectedChar { found, span } => {
+                write!(f, "unexpected character `{found}` at {span}")
+            }
+            DslError::IntOverflow { span } => {
+                write!(f, "integer literal at {span} does not fit in i64")
+            }
+            DslError::IncompleteOperator { found, span } => write!(
+                f,
+                "single `{found}` at {span}; did you mean `{found}{found}`?"
+            ),
+            DslError::UnexpectedToken {
+                found,
+                expected,
+                span,
+            } => write!(f, "expected {expected} but found {found} at {span}"),
+            DslError::ChainedComparison { span } => write!(
+                f,
+                "chained comparisons are not supported (at {span}); use `&&`"
+            ),
+            DslError::TypeMismatch {
+                expected,
+                found,
+                span,
+            } => write!(f, "expected {expected} but this is {found} (at {span})"),
+            DslError::UnknownVariable { name, span } => write!(
+                f,
+                "variable `{name}` at {span} is neither a shared variable nor a bound local"
+            ),
+            DslError::LinearOverflow { span } => {
+                write!(f, "arithmetic overflow while canonicalizing {span}")
+            }
+            DslError::DnfOverflow { limit } => {
+                write!(f, "condition exceeds the DNF limit of {limit} conjunctions")
+            }
+            DslError::Duplicate { what, name, span } => {
+                write!(f, "duplicate {what} `{name}` at {span}")
+            }
+            DslError::InvalidAssignTarget { name, span } => write!(
+                f,
+                "cannot assign to `{name}` at {span}: only shared variables are assignable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_problem() {
+        let e = DslError::UnknownVariable {
+            name: "frob".into(),
+            span: Span::new(3, 7),
+        };
+        let text = e.to_string();
+        assert!(text.contains("frob"));
+        assert!(text.contains("3..7"));
+    }
+
+    #[test]
+    fn render_draws_a_caret() {
+        let e = DslError::UnexpectedChar {
+            found: '?',
+            span: Span::new(6, 7),
+        };
+        let rendered = e.render("count ? 3");
+        assert!(rendered.contains("count ? 3"));
+        assert!(rendered.lines().last().unwrap().trim_end().ends_with('^'));
+    }
+
+    #[test]
+    fn render_without_span() {
+        let e = DslError::DnfOverflow { limit: 512 };
+        assert!(e.render("x").starts_with("error:"));
+    }
+
+    #[test]
+    fn span_accessor() {
+        assert!(DslError::DnfOverflow { limit: 1 }.span().is_none());
+        assert_eq!(
+            DslError::IntOverflow {
+                span: Span::new(1, 2)
+            }
+            .span(),
+            Some(Span::new(1, 2))
+        );
+    }
+}

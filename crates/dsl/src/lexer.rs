@@ -1,0 +1,345 @@
+//! The tokenizer for `waituntil` conditions.
+
+use crate::error::DslError;
+use crate::token::{Span, Token, TokenKind};
+
+/// Tokenizes `source`, appending an [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`DslError`] for unknown characters, lone `&`/`|`/`=`, and
+/// integer literals that overflow `i64`.
+pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '0'..='9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| DslError::IntOverflow {
+                        span: Span::new(start, i),
+                    })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    span: Span::new(start, i),
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let kind = match text {
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    "monitor" => TokenKind::KwMonitor,
+                    "var" => TokenKind::KwVar,
+                    "method" => TokenKind::KwMethod,
+                    "if" => TokenKind::KwIf,
+                    "else" => TokenKind::KwElse,
+                    "return" => TokenKind::KwReturn,
+                    "waituntil" => TokenKind::KwWaituntil,
+                    "while" => TokenKind::KwWhile,
+                    _ => TokenKind::Ident(text.to_owned()),
+                };
+                tokens.push(Token {
+                    kind,
+                    span: Span::new(start, i),
+                });
+            }
+            '&' | '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == bytes[i] {
+                    let kind = if c == '&' {
+                        TokenKind::AndAnd
+                    } else {
+                        TokenKind::OrOr
+                    };
+                    tokens.push(Token {
+                        kind,
+                        span: Span::new(start, i + 2),
+                    });
+                    i += 2;
+                } else {
+                    return Err(DslError::IncompleteOperator {
+                        found: c,
+                        span: Span::new(start, start + 1),
+                    });
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token {
+                        kind: TokenKind::EqEq,
+                        span: Span::new(start, i + 2),
+                    });
+                    i += 2;
+                } else {
+                    // A single `=` is assignment in method bodies; the
+                    // condition parser rejects it with a hint.
+                    tokens.push(Token {
+                        kind: TokenKind::Assign,
+                        span: Span::new(start, i + 1),
+                    });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token {
+                        kind: TokenKind::BangEq,
+                        span: Span::new(start, i + 2),
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Bang,
+                        span: Span::new(start, i + 1),
+                    });
+                    i += 1;
+                }
+            }
+            '<' | '>' => {
+                let (strict, relaxed) = if c == '<' {
+                    (TokenKind::Lt, TokenKind::Le)
+                } else {
+                    (TokenKind::Gt, TokenKind::Ge)
+                };
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token {
+                        kind: relaxed,
+                        span: Span::new(start, i + 2),
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: strict,
+                        span: Span::new(start, i + 1),
+                    });
+                    i += 1;
+                }
+            }
+            '+' => {
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    span: Span::new(start, i + 1),
+                });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    span: Span::new(start, i + 1),
+                });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    span: Span::new(start, i + 1),
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    span: Span::new(start, i + 1),
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    span: Span::new(start, i + 1),
+                });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    span: Span::new(start, i + 1),
+                });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    span: Span::new(start, i + 1),
+                });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    span: Span::new(start, i + 1),
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    span: Span::new(start, i + 1),
+                });
+                i += 1;
+            }
+            other => {
+                return Err(DslError::UnexpectedChar {
+                    found: other,
+                    span: Span::new(start, start + other.len_utf8()),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(source.len(), source.len()),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        lex(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_bounded_buffer_condition() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("count + n <= cap"),
+            vec![
+                Ident("count".into()),
+                Plus,
+                Ident("n".into()),
+                Le,
+                Ident("cap".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_all_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("== != < <= > >= && || ! + - * ( )"),
+            vec![
+                EqEq, BangEq, Lt, Le, Gt, Ge, AndAnd, OrOr, Bang, Plus, Minus, Star, LParen,
+                RParen, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("true false truex _x x_1"),
+            vec![
+                True,
+                False,
+                Ident("truex".into()),
+                Ident("_x".into()),
+                Ident("x_1".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("0 42 007"), {
+            use TokenKind::*;
+            vec![Int(0), Int(42), Int(7), Eof]
+        });
+    }
+
+    #[test]
+    fn int_overflow_is_reported() {
+        let err = lex("99999999999999999999").unwrap_err();
+        assert!(matches!(err, DslError::IntOverflow { .. }));
+    }
+
+    #[test]
+    fn lone_amp_and_pipe_are_errors() {
+        for src in ["a & b", "a | b"] {
+            let err = lex(src).unwrap_err();
+            assert!(
+                matches!(err, DslError::IncompleteOperator { .. }),
+                "{src} should be an incomplete operator"
+            );
+        }
+    }
+
+    #[test]
+    fn single_eq_lexes_as_assignment() {
+        assert_eq!(
+            kinds("a = b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn statement_tokens_and_keywords() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("monitor var method if else return waituntil while { } ; ,"),
+            vec![
+                KwMonitor, KwVar, KwMethod, KwIf, KwElse, KwReturn, KwWaituntil, KwWhile,
+                LBrace, RBrace, Semi, Comma, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_character_is_reported_with_span() {
+        let err = lex("count ? 1").unwrap_err();
+        match err {
+            DslError::UnexpectedChar { found, span } => {
+                assert_eq!(found, '?');
+                assert_eq!(span.start, 6);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn spans_point_at_the_right_text() {
+        let tokens = lex("count >= 48").unwrap();
+        assert_eq!(tokens[0].span.slice("count >= 48"), "count");
+        assert_eq!(tokens[1].span.slice("count >= 48"), ">=");
+        assert_eq!(tokens[2].span.slice("count >= 48"), "48");
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        assert_eq!(kinds("a&&b"), kinds("  a  &&\n\tb  "));
+    }
+
+    #[test]
+    fn eof_is_always_last() {
+        let tokens = lex("").unwrap();
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(tokens[0].kind, TokenKind::Eof);
+    }
+}

@@ -1,0 +1,76 @@
+//! A textual `waituntil` predicate compiler — the preprocessor half of
+//! AutoSynch.
+//!
+//! The PLDI'13 system ships a JavaCC preprocessor that rewrites
+//! `AutoSynch class` source: it parses each `waituntil(expr)` condition,
+//! converts it to DNF, splits comparisons into *shared expression* vs
+//! *local expression* (rearranging linear forms like `x − a == y + b`
+//! into `x − y == a + b`), and registers the result with the condition
+//! manager. This crate reproduces that pipeline for a small expression
+//! language:
+//!
+//! ```text
+//! expr  := or
+//! or    := and ("||" and)*
+//! and   := cmp ("&&" cmp)*
+//! cmp   := sum (("=="|"!="|"<"|"<="|">"|">=") sum)?
+//! sum   := prod (("+"|"-") prod)*
+//! prod  := unary ("*" unary)*
+//! unary := "-" unary | "!" unary | atom
+//! atom  := INT | IDENT | "true" | "false" | "(" expr ")"
+//! ```
+//!
+//! Stages: [`lexer`] → [`parser`] → [`analyze`] (int/bool typing,
+//! shared/local variable classification against a [`schema::Schema`]) →
+//! [`lower`] (linear canonicalization and lowering to the tagged
+//! predicate representation of `autosynch-predicate`).
+//!
+//! The result plugs straight into the monitor: [`monitor::DslMonitor`]
+//! wraps an [`autosynch::Monitor`] whose state is a [`schema::Env`] of
+//! named integer variables, and its `wait_until` takes source text plus
+//! local-variable bindings — the bindings are the globalization snapshot.
+//!
+//! Going further, [`class`] compiles whole `monitor Name { var ...;
+//! method ...(..) { ... } }` declarations — the literal shape of the
+//! paper's `AutoSynch class` (Fig. 1, right column) — and executes their
+//! methods under the monitor with an interpreter for assignments,
+//! `if`/`else` and `return`.
+//!
+//! # Examples
+//!
+//! ```
+//! use autosynch_dsl::monitor::DslMonitor;
+//! use autosynch_dsl::schema::Schema;
+//!
+//! let m = DslMonitor::new(Schema::new(&["count", "cap"]));
+//! m.enter(|g| {
+//!     g.set("cap", 64);
+//!     g.set("count", 50);
+//! });
+//! // A consumer that needs 48 items: "count >= num" with num = 48.
+//! m.enter(|g| {
+//!     g.wait_until("count >= num", &[("num", 48)]).unwrap();
+//!     let c = g.get("count");
+//!     g.set("count", c - 48);
+//! });
+//! assert_eq!(m.enter(|g| g.get("count")), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analyze;
+pub mod ast;
+pub mod class;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod monitor;
+pub mod parser;
+pub mod schema;
+pub mod token;
+
+pub use class::{ClassMonitor, ClassDef};
+pub use error::DslError;
+pub use monitor::{DslGuard, DslMonitor};
+pub use schema::{Env, Schema};

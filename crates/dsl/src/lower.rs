@@ -1,0 +1,687 @@
+//! Lowering: from surface syntax to tagged predicates.
+//!
+//! This is the paper's preprocessing step (§5.1) in compiler form. For a
+//! comparison `lhs op rhs` the goal is the shape `SE op LE`:
+//!
+//! 1. Both sides are put in **linear form** `Σ aᵢ·xᵢ + c` when possible;
+//!    the difference `lhs − rhs` is then **partitioned** into shared and
+//!    local terms (the paper's `x − a = y + b` → `x − y = a + b`
+//!    rearrangement), the local part is evaluated against the bindings
+//!    (globalization), and a taggable
+//!    [`CmpAtom`](autosynch_predicate::atom::CmpAtom)-based predicate comes
+//!    out. The shared linear form is canonicalized (terms in slot order,
+//!    leading coefficient positive) and interned by name, so `cap − count
+//!    >= n` and `count − cap <= −n` share one shared expression.
+//! 2. A non-linear comparison still lowers to `SE op LE` when one side
+//!    mentions only shared variables and the other only locals/constants.
+//! 3. Anything else becomes a keyed custom closure that interprets the
+//!    AST — semantically exact, tagged `None` (exhaustive search), which
+//!    is precisely the paper's fallback.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use autosynch_predicate::ast::BoolExpr;
+use autosynch_predicate::atom::CmpOp;
+use autosynch_predicate::custom::CustomPred;
+use autosynch_predicate::expr::{ExprHandle, ExprTable};
+use autosynch_predicate::linear::LinExpr;
+use autosynch_predicate::predicate::Predicate;
+
+use crate::analyze::check_condition;
+use crate::ast::{BinOp, Expr, ExprKind, UnOp};
+use crate::error::DslError;
+use crate::schema::{Env, Schema};
+
+/// Where lowered shared expressions get registered. Implemented by
+/// [`crate::monitor::DslMonitor`] (interning into its monitor's
+/// expression table) and by [`TableSink`] for standalone use.
+pub trait SharedExprSink {
+    /// Interns `f` under `name`, returning the existing handle when the
+    /// name was registered before.
+    fn intern(&self, name: &str, f: Box<dyn Fn(&Env) -> i64 + Send + Sync>) -> ExprHandle<Env>;
+}
+
+/// A standalone sink over a plain [`ExprTable`], for tests and tools.
+#[derive(Debug, Default)]
+pub struct TableSink {
+    table: parking_lot_free::Mutex<ExprTable<Env>>,
+}
+
+/// A tiny shim so this crate does not need parking_lot: std Mutex with
+/// panic-on-poison semantics is fine for a test utility.
+mod parking_lot_free {
+    pub use std::sync::Mutex;
+}
+
+impl TableSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with the accumulated expression table.
+    pub fn with_table<R>(&self, f: impl FnOnce(&ExprTable<Env>) -> R) -> R {
+        f(&self.table.lock().expect("table poisoned"))
+    }
+}
+
+impl SharedExprSink for TableSink {
+    fn intern(&self, name: &str, f: Box<dyn Fn(&Env) -> i64 + Send + Sync>) -> ExprHandle<Env> {
+        self.table
+            .lock()
+            .expect("table poisoned")
+            .register_or_get(name, move |env: &Env| f(env))
+    }
+}
+
+/// Compiles a checked condition into a [`Predicate`], registering shared
+/// expressions through `sink`. `locals` is the globalization snapshot.
+///
+/// # Errors
+///
+/// Type errors, unknown variables, linear-canonicalization overflow, or
+/// DNF overflow.
+pub fn lower(
+    expr: &Expr,
+    schema: &Arc<Schema>,
+    locals: &HashMap<String, i64>,
+    sink: &dyn SharedExprSink,
+) -> Result<Predicate<Env>, DslError> {
+    check_condition(expr, schema, locals)?;
+    let ast = lower_bool(expr, schema, locals, sink)?;
+    Predicate::try_from_expr(ast).map_err(|e| DslError::DnfOverflow { limit: e.limit })
+}
+
+fn lower_bool(
+    expr: &Expr,
+    schema: &Arc<Schema>,
+    locals: &HashMap<String, i64>,
+    sink: &dyn SharedExprSink,
+) -> Result<BoolExpr<Env>, DslError> {
+    match &expr.kind {
+        ExprKind::Bool(b) => Ok(BoolExpr::Const(*b)),
+        ExprKind::Unary(UnOp::Not, inner) => {
+            Ok(lower_bool(inner, schema, locals, sink)?.not())
+        }
+        ExprKind::Binary(BinOp::And, lhs, rhs) => Ok(lower_bool(lhs, schema, locals, sink)?
+            .and(lower_bool(rhs, schema, locals, sink)?)),
+        ExprKind::Binary(BinOp::Or, lhs, rhs) => Ok(lower_bool(lhs, schema, locals, sink)?
+            .or(lower_bool(rhs, schema, locals, sink)?)),
+        ExprKind::Binary(op, lhs, rhs) if op.is_comparison() => {
+            lower_cmp(expr, *op, lhs, rhs, schema, locals, sink)
+        }
+        // Unreachable after type checking; fail loudly in debug builds.
+        _ => unreachable!("lower_bool on a non-boolean node: {expr}"),
+    }
+}
+
+/// Variable reference in linear forms: shared slot or local name.
+/// `Shared` sorts before `Local`, so the leading term of a mixed form is
+/// the lowest shared slot.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum VarRef {
+    Shared(usize),
+    Local(String),
+}
+
+fn cmp_op(op: BinOp) -> CmpOp {
+    match op {
+        BinOp::Eq => CmpOp::Eq,
+        BinOp::Ne => CmpOp::Ne,
+        BinOp::Lt => CmpOp::Lt,
+        BinOp::Le => CmpOp::Le,
+        BinOp::Gt => CmpOp::Gt,
+        BinOp::Ge => CmpOp::Ge,
+        other => unreachable!("not a comparison: {other}"),
+    }
+}
+
+fn lower_cmp(
+    whole: &Expr,
+    op: BinOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    schema: &Arc<Schema>,
+    locals: &HashMap<String, i64>,
+    sink: &dyn SharedExprSink,
+) -> Result<BoolExpr<Env>, DslError> {
+    let op = cmp_op(op);
+
+    // Path 1: both sides linear → canonical SE op LE via partitioning.
+    if let (Some(llin), Some(rlin)) = (
+        linearize(lhs, schema, locals)?,
+        linearize(rhs, schema, locals)?,
+    ) {
+        let diff = llin.sub(&rlin).map_err(|_| DslError::LinearOverflow {
+            span: whole.span,
+        })?;
+        let (shared, local) = diff.partition(|v| matches!(v, VarRef::Shared(_)));
+        // lhs op rhs  ⇔  diff op 0  ⇔  shared op -(local)
+        let local_value = local.eval(|v| match v {
+            VarRef::Local(name) => locals.get(name).copied().unwrap_or(0),
+            VarRef::Shared(_) => unreachable!("shared var in local part"),
+        });
+        if shared.is_constant() {
+            // No shared variables at all: the condition is a constant.
+            return Ok(BoolExpr::Const(op.eval(0, -local_value)));
+        }
+        let mut shared = shared;
+        let mut op = op;
+        let mut key = local_value.checked_neg();
+        // Canonical sign: make the leading coefficient positive so that
+        // `cap - count >= n` and `count - cap <= -n` intern identically.
+        let leading_negative = shared
+            .terms()
+            .next()
+            .is_some_and(|(_, coeff)| coeff < 0);
+        if leading_negative {
+            if let (Ok(negated), Some(k)) = (shared.neg(), key) {
+                if let Some(nk) = k.checked_neg() {
+                    shared = negated;
+                    op = op.flipped();
+                    key = Some(nk);
+                }
+            }
+        }
+        let Some(key) = key else {
+            // -(i64::MIN) does not exist; fall back to the custom path.
+            return Ok(custom_comparison(whole, schema, locals));
+        };
+        let name = shared_name(&shared, schema);
+        let terms: Vec<(usize, i64)> = shared
+            .terms()
+            .map(|(v, c)| match v {
+                VarRef::Shared(slot) => (*slot, c),
+                VarRef::Local(_) => unreachable!("local var in shared part"),
+            })
+            .collect();
+        let handle = sink.intern(
+            &name,
+            Box::new(move |env: &Env| {
+                terms.iter().fold(0i64, |acc, &(slot, coeff)| {
+                    acc.wrapping_add(coeff.wrapping_mul(env.get(slot)))
+                })
+            }),
+        );
+        return Ok(handle.cmp(op, key));
+    }
+
+    // Path 2: non-linear but cleanly split — one side purely shared, the
+    // other purely local/constant → still SE op LE.
+    let l_shared = uses_only_shared(lhs, schema);
+    let l_local = uses_only_locals(lhs, schema);
+    let r_shared = uses_only_shared(rhs, schema);
+    let r_local = uses_only_locals(rhs, schema);
+    if l_shared && r_local {
+        return Ok(opaque_shared_cmp(lhs, op, rhs, schema, locals, sink));
+    }
+    if l_local && r_shared {
+        return Ok(opaque_shared_cmp(rhs, op.flipped(), lhs, schema, locals, sink));
+    }
+
+    // Path 3: mixed non-linear → keyed custom closure, `None` tag.
+    Ok(custom_comparison(whole, schema, locals))
+}
+
+/// Registers `shared_side` as an opaque shared expression and compares it
+/// against the evaluated `local_side`.
+fn opaque_shared_cmp(
+    shared_side: &Expr,
+    op: CmpOp,
+    local_side: &Expr,
+    schema: &Arc<Schema>,
+    locals: &HashMap<String, i64>,
+    sink: &dyn SharedExprSink,
+) -> BoolExpr<Env> {
+    let key = eval_int(local_side, schema, &Env::zeroed(0), locals);
+    let name = shared_side.to_string();
+    let ast = shared_side.clone();
+    let schema = Arc::clone(schema);
+    let empty: HashMap<String, i64> = HashMap::new();
+    let handle = sink.intern(
+        &name,
+        Box::new(move |env: &Env| eval_int(&ast, &schema, env, &empty)),
+    );
+    handle.cmp(op, key)
+}
+
+/// Fallback: interpret the whole comparison at evaluation time. Keyed by
+/// a hash of the source shape and the globalized locals, so repeated
+/// `waituntil`s with identical conditions still share a condition
+/// variable.
+fn custom_comparison(
+    whole: &Expr,
+    schema: &Arc<Schema>,
+    locals: &HashMap<String, i64>,
+) -> BoolExpr<Env> {
+    let name = whole.to_string();
+    let used = whole.variables();
+    let captured: HashMap<String, i64> = locals
+        .iter()
+        .filter(|(k, _)| used.contains(&k.as_str()))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    let mut hasher = DefaultHasher::new();
+    name.hash(&mut hasher);
+    let mut sorted: Vec<_> = captured.iter().collect();
+    sorted.sort();
+    sorted.hash(&mut hasher);
+    let key = hasher.finish();
+    let ast = whole.clone();
+    let schema = Arc::clone(schema);
+    BoolExpr::Custom(
+        CustomPred::new(name, move |env: &Env| {
+            eval_bool(&ast, &schema, env, &captured)
+        })
+        .with_key(key),
+    )
+}
+
+fn linearize(
+    expr: &Expr,
+    schema: &Schema,
+    locals: &HashMap<String, i64>,
+) -> Result<Option<LinExpr<VarRef>>, DslError> {
+    let overflow = |_| DslError::LinearOverflow { span: expr.span };
+    match &expr.kind {
+        ExprKind::Int(v) => Ok(Some(LinExpr::constant(*v))),
+        ExprKind::Var(name) => {
+            let var = match schema.slot(name) {
+                Some(slot) => VarRef::Shared(slot),
+                None => {
+                    debug_assert!(locals.contains_key(name), "checked earlier");
+                    VarRef::Local(name.clone())
+                }
+            };
+            Ok(Some(LinExpr::var(var)))
+        }
+        ExprKind::Unary(UnOp::Neg, inner) => Ok(match linearize(inner, schema, locals)? {
+            Some(lin) => Some(lin.neg().map_err(overflow)?),
+            None => None,
+        }),
+        ExprKind::Binary(BinOp::Add, lhs, rhs) => {
+            match (
+                linearize(lhs, schema, locals)?,
+                linearize(rhs, schema, locals)?,
+            ) {
+                (Some(a), Some(b)) => Ok(Some(a.add(&b).map_err(overflow)?)),
+                _ => Ok(None),
+            }
+        }
+        ExprKind::Binary(BinOp::Sub, lhs, rhs) => {
+            match (
+                linearize(lhs, schema, locals)?,
+                linearize(rhs, schema, locals)?,
+            ) {
+                (Some(a), Some(b)) => Ok(Some(a.sub(&b).map_err(overflow)?)),
+                _ => Ok(None),
+            }
+        }
+        ExprKind::Binary(BinOp::Mul, lhs, rhs) => {
+            match (
+                linearize(lhs, schema, locals)?,
+                linearize(rhs, schema, locals)?,
+            ) {
+                (Some(a), Some(b)) if a.is_constant() => {
+                    Ok(Some(b.scale(a.constant_term()).map_err(overflow)?))
+                }
+                (Some(a), Some(b)) if b.is_constant() => {
+                    Ok(Some(a.scale(b.constant_term()).map_err(overflow)?))
+                }
+                _ => Ok(None), // genuinely non-linear (var * var)
+            }
+        }
+        // Boolean nodes cannot appear inside arithmetic after typing.
+        _ => Ok(None),
+    }
+}
+
+/// Canonical display name of a shared linear form, e.g. `count - 2*done`.
+fn shared_name(shared: &LinExpr<VarRef>, schema: &Schema) -> String {
+    #[derive(PartialEq, Eq, PartialOrd, Ord, Clone)]
+    struct SlotName(usize, String);
+    impl std::fmt::Display for SlotName {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.1)
+        }
+    }
+    let mut named: LinExpr<SlotName> = LinExpr::constant(shared.constant_term());
+    for (v, c) in shared.terms() {
+        let VarRef::Shared(slot) = v else {
+            unreachable!("local var in shared part")
+        };
+        let var = LinExpr::var(SlotName(*slot, schema.name(*slot).to_owned()));
+        named = named
+            .add(&var.scale(c).expect("coefficient already validated"))
+            .expect("recombination cannot overflow");
+    }
+    named.to_string()
+}
+
+fn uses_only_shared(expr: &Expr, schema: &Schema) -> bool {
+    expr.variables()
+        .iter()
+        .all(|name| schema.slot(name).is_some())
+        && !expr.variables().is_empty()
+}
+
+fn uses_only_locals(expr: &Expr, schema: &Schema) -> bool {
+    expr.variables()
+        .iter()
+        .all(|name| schema.slot(name).is_none())
+}
+
+/// Runtime interpreter for integer expressions (wrapping arithmetic, like
+/// Java's). Also used by the class interpreter ([`crate::class`]) for
+/// assignments and return values.
+pub fn eval_int(expr: &Expr, schema: &Schema, env: &Env, locals: &HashMap<String, i64>) -> i64 {
+    match &expr.kind {
+        ExprKind::Int(v) => *v,
+        ExprKind::Var(name) => match schema.slot(name) {
+            Some(slot) => env.get(slot),
+            None => locals.get(name).copied().unwrap_or(0),
+        },
+        ExprKind::Unary(UnOp::Neg, inner) => eval_int(inner, schema, env, locals).wrapping_neg(),
+        ExprKind::Binary(BinOp::Add, a, b) => {
+            eval_int(a, schema, env, locals).wrapping_add(eval_int(b, schema, env, locals))
+        }
+        ExprKind::Binary(BinOp::Sub, a, b) => {
+            eval_int(a, schema, env, locals).wrapping_sub(eval_int(b, schema, env, locals))
+        }
+        ExprKind::Binary(BinOp::Mul, a, b) => {
+            eval_int(a, schema, env, locals).wrapping_mul(eval_int(b, schema, env, locals))
+        }
+        other => unreachable!("eval_int on a boolean node: {other:?}"),
+    }
+}
+
+/// Runtime interpreter for boolean expressions. Used by the custom
+/// fallback closures and the class interpreter's `if` statements.
+pub fn eval_bool(expr: &Expr, schema: &Schema, env: &Env, locals: &HashMap<String, i64>) -> bool {
+    match &expr.kind {
+        ExprKind::Bool(b) => *b,
+        ExprKind::Unary(UnOp::Not, inner) => !eval_bool(inner, schema, env, locals),
+        ExprKind::Binary(BinOp::And, a, b) => {
+            eval_bool(a, schema, env, locals) && eval_bool(b, schema, env, locals)
+        }
+        ExprKind::Binary(BinOp::Or, a, b) => {
+            eval_bool(a, schema, env, locals) || eval_bool(b, schema, env, locals)
+        }
+        ExprKind::Binary(op, a, b) if op.is_comparison() => cmp_op(*op).eval(
+            eval_int(a, schema, env, locals),
+            eval_int(b, schema, env, locals),
+        ),
+        other => unreachable!("eval_bool on a non-boolean node: {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use autosynch_predicate::tag::{Tag, ThresholdOp};
+
+    fn bind(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+        pairs.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect()
+    }
+
+    fn compile(
+        src: &str,
+        schema: &[&str],
+        locals: &[(&str, i64)],
+    ) -> (Predicate<Env>, TableSink) {
+        let schema = Arc::new(Schema::new(schema));
+        let sink = TableSink::new();
+        let pred = lower(&parse(src).unwrap(), &schema, &bind(locals), &sink).unwrap();
+        (pred, sink)
+    }
+
+    #[test]
+    fn simple_threshold_lowering() {
+        let (pred, sink) = compile("count >= num", &["count"], &[("num", 48)]);
+        assert_eq!(
+            pred.tags(),
+            &[Tag::Threshold {
+                expr: sink.with_table(|t| t.lookup("count").unwrap().id()),
+                key: 48,
+                op: ThresholdOp::Ge
+            }]
+        );
+    }
+
+    #[test]
+    fn paper_rearrangement_x_minus_a_eq_y_plus_b() {
+        // x - a == y + b  →  (x - y) == a + b, an equivalence tag.
+        let (pred, sink) = compile("x - a == y + b", &["x", "y"], &[("a", 11), ("b", 2)]);
+        let expr_id = sink.with_table(|t| t.lookup("x - y").unwrap().id());
+        assert_eq!(
+            pred.tags(),
+            &[Tag::Equivalence {
+                expr: expr_id,
+                key: 13
+            }]
+        );
+        // Semantics: x - y == 13.
+        let schema = Schema::new(&["x", "y"]);
+        let mut env = schema.env();
+        env.set(0, 20);
+        env.set(1, 7);
+        sink.with_table(|t| assert!(pred.eval(&env, t)));
+        env.set(1, 8);
+        sink.with_table(|t| assert!(!pred.eval(&env, t)));
+    }
+
+    #[test]
+    fn paper_threshold_x_plus_b_gt_2y_plus_a() {
+        // x + b > 2*y + a with a=11, b=2 → (Threshold, x − 2y, 9, >).
+        let (pred, sink) = compile("x + b > 2*y + a", &["x", "y"], &[("a", 11), ("b", 2)]);
+        let expr_id = sink.with_table(|t| t.lookup("x - 2*y").unwrap().id());
+        assert_eq!(
+            pred.tags(),
+            &[Tag::Threshold {
+                expr: expr_id,
+                key: 9,
+                op: ThresholdOp::Gt
+            }]
+        );
+    }
+
+    #[test]
+    fn sign_canonicalization_interns_both_spellings() {
+        let schema = Arc::new(Schema::new(&["count", "cap"]));
+        let sink = TableSink::new();
+        let a = lower(
+            &parse("cap - count >= n").unwrap(),
+            &schema,
+            &bind(&[("n", 3)]),
+            &sink,
+        )
+        .unwrap();
+        let b = lower(
+            &parse("count - cap <= 0 - n").unwrap(),
+            &schema,
+            &bind(&[("n", 3)]),
+            &sink,
+        )
+        .unwrap();
+        assert_eq!(
+            sink.with_table(|t| t.len()),
+            1,
+            "both spellings intern one shared expression"
+        );
+        assert_eq!(a.key(), b.key(), "and produce syntax-equivalent predicates");
+    }
+
+    #[test]
+    fn constant_conditions_fold() {
+        let (pred, _) = compile("n > 3", &["count"], &[("n", 5)]);
+        assert!(pred.is_trivially_true());
+        let (pred, _) = compile("n > 3", &["count"], &[("n", 2)]);
+        assert!(pred.is_trivially_false());
+        let (pred, _) = compile("true", &["count"], &[]);
+        assert!(pred.is_trivially_true());
+    }
+
+    #[test]
+    fn shared_nonlinear_side_is_opaque_but_tagged() {
+        // count*count is non-linear but purely shared → SE op LE holds.
+        let (pred, sink) = compile("count * count >= n", &["count"], &[("n", 9)]);
+        assert!(matches!(
+            pred.tags(),
+            [Tag::Threshold { key: 9, op: ThresholdOp::Ge, .. }]
+        ));
+        let schema = Schema::new(&["count"]);
+        let mut env = schema.env();
+        env.set(0, 3);
+        sink.with_table(|t| assert!(pred.eval(&env, t)));
+        env.set(0, 2);
+        sink.with_table(|t| assert!(!pred.eval(&env, t)));
+    }
+
+    #[test]
+    fn local_nonlinear_side_flips() {
+        let (pred, _) = compile("n * n <= count", &["count"], &[("n", 3)]);
+        // count >= 9.
+        assert!(matches!(
+            pred.tags(),
+            [Tag::Threshold { key: 9, op: ThresholdOp::Ge, .. }]
+        ));
+    }
+
+    #[test]
+    fn mixed_nonlinear_falls_back_to_custom() {
+        // count * n == total mixes shared and local in one product.
+        let (pred, sink) = compile(
+            "count * n == total",
+            &["count", "total"],
+            &[("n", 4)],
+        );
+        assert_eq!(pred.tags(), &[Tag::None]);
+        let schema = Schema::new(&["count", "total"]);
+        let mut env = schema.env();
+        env.set(0, 5);
+        env.set(1, 20);
+        sink.with_table(|t| assert!(pred.eval(&env, t)));
+        env.set(1, 21);
+        sink.with_table(|t| assert!(!pred.eval(&env, t)));
+    }
+
+    #[test]
+    fn custom_fallback_is_keyed_for_dedup() {
+        let schema = Arc::new(Schema::new(&["count", "total"]));
+        let sink = TableSink::new();
+        let mk = || {
+            lower(
+                &parse("count * n == total").unwrap(),
+                &schema,
+                &bind(&[("n", 4)]),
+                &sink,
+            )
+            .unwrap()
+        };
+        assert_eq!(mk().key(), mk().key());
+        // Different local value → different key.
+        let other = lower(
+            &parse("count * n == total").unwrap(),
+            &schema,
+            &bind(&[("n", 5)]),
+            &sink,
+        )
+        .unwrap();
+        assert_ne!(mk().key(), other.key());
+    }
+
+    #[test]
+    fn boolean_structure_lowers_to_dnf() {
+        let (pred, _) = compile(
+            "count == 0 || count >= n && cap - count >= 0",
+            &["count", "cap"],
+            &[("n", 10)],
+        );
+        assert_eq!(pred.dnf().len(), 2);
+        assert!(matches!(pred.tags()[0], Tag::Equivalence { key: 0, .. }));
+        assert!(matches!(pred.tags()[1], Tag::Threshold { .. }));
+    }
+
+    #[test]
+    fn negation_is_pushed_through() {
+        let (pred, _) = compile("!(count < n)", &["count"], &[("n", 7)]);
+        assert_eq!(
+            pred.tags(),
+            &[Tag::Threshold {
+                expr: pred
+                    .dnf()
+                    .conjunctions()[0]
+                    .literals()[0]
+                    .as_cmp()
+                    .unwrap()
+                    .expr,
+                key: 7,
+                op: ThresholdOp::Ge
+            }]
+        );
+    }
+
+    #[test]
+    fn shared_vars_in_both_sides_combine() {
+        // count + n <= cap  →  count - cap <= -n  →  cap - count >= n.
+        let (pred, sink) = compile("count + n <= cap", &["count", "cap"], &[("n", 5)]);
+        let schema = Schema::new(&["count", "cap"]);
+        let mut env = schema.env();
+        env.set(0, 10);
+        env.set(1, 15);
+        sink.with_table(|t| assert!(pred.eval(&env, t))); // 10 + 5 <= 15
+        env.set(0, 11);
+        sink.with_table(|t| assert!(!pred.eval(&env, t)));
+        assert!(matches!(pred.tags(), [Tag::Threshold { .. }]));
+    }
+
+    #[test]
+    fn semantic_agreement_with_interpreter() {
+        // The lowered predicate and the direct interpreter must agree on
+        // a grid of states.
+        let sources = [
+            ("count >= n", vec![("n", 3)]),
+            ("count + n <= cap", vec![("n", 2)]),
+            ("count == 0 || cap - count > n", vec![("n", 1)]),
+            ("!(count == n) && cap >= 0", vec![("n", 2)]),
+            ("2*count - 3 != cap - n", vec![("n", 4)]),
+        ];
+        let schema = Arc::new(Schema::new(&["count", "cap"]));
+        for (src, locals) in sources {
+            let sink = TableSink::new();
+            let ast = parse(src).unwrap();
+            let bound = bind(&locals);
+            let pred = lower(&ast, &schema, &bound, &sink).unwrap();
+            for count in -2..=6 {
+                for cap in -2..=6 {
+                    let mut env = schema.env();
+                    env.set(0, count);
+                    env.set(1, cap);
+                    let direct = eval_bool(&ast, &schema, &env, &bound);
+                    let lowered = sink.with_table(|t| pred.eval(&env, t));
+                    assert_eq!(
+                        direct, lowered,
+                        "{src} disagrees at count={count} cap={cap}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_variable_errors_propagate() {
+        let schema = Arc::new(Schema::new(&["count"]));
+        let err = lower(
+            &parse("count >= n").unwrap(),
+            &schema,
+            &bind(&[]),
+            &TableSink::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DslError::UnknownVariable { .. }));
+    }
+}

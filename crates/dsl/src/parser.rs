@@ -1,0 +1,308 @@
+//! Recursive-descent parser for `waituntil` conditions.
+//!
+//! Precedence (loosest to tightest): `||`, `&&`, comparisons
+//! (non-associative), `+`/`-`, `*`, unary `-`/`!`, atoms. This matches
+//! Java's precedence for the operators the language supports, since the
+//! paper's preprocessor parses Java conditions.
+
+use crate::ast::{BinOp, Expr, ExprKind, UnOp};
+use crate::error::DslError;
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parses a condition into an AST.
+///
+/// # Errors
+///
+/// Returns any lexer error, plus parse errors for malformed input
+/// (unexpected tokens, unbalanced parentheses, chained comparisons).
+pub fn parse(source: &str) -> Result<Expr, DslError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(tokens);
+    let expr = parser.parse_or()?;
+    parser.expect_eof()?;
+    Ok(expr)
+}
+
+/// Token cursor shared between the condition parser and the class
+/// parser ([`crate::class`]).
+pub(crate) struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub(crate) fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    pub(crate) fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    pub(crate) fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub(crate) fn expect_eof(&mut self) -> Result<(), DslError> {
+        let t = self.peek();
+        if t.kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(DslError::UnexpectedToken {
+                found: t.kind.describe(),
+                expected: "end of input",
+                span: t.span,
+            })
+        }
+    }
+
+    pub(crate) fn parse_or(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek().kind == TokenKind::OrOr {
+            self.advance();
+            let rhs = self.parse_and()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.peek().kind == TokenKind::AndAnd {
+            self.advance();
+            let rhs = self.parse_cmp()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn comparison_op(kind: &TokenKind) -> Option<BinOp> {
+        match kind {
+            TokenKind::EqEq => Some(BinOp::Eq),
+            TokenKind::BangEq => Some(BinOp::Ne),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        }
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, DslError> {
+        let lhs = self.parse_sum()?;
+        let Some(op) = Self::comparison_op(&self.peek().kind) else {
+            return Ok(lhs);
+        };
+        self.advance();
+        let rhs = self.parse_sum()?;
+        // Reject `a < b < c` with a dedicated diagnostic.
+        if Self::comparison_op(&self.peek().kind).is_some() {
+            return Err(DslError::ChainedComparison {
+                span: self.peek().span,
+            });
+        }
+        let span = lhs.span.to(rhs.span);
+        Ok(Expr::new(
+            ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            span,
+        ))
+    }
+
+    fn parse_sum(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.parse_prod()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.parse_prod()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_prod(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.parse_unary()?;
+        while self.peek().kind == TokenKind::Star {
+            self.advance();
+            let rhs = self.parse_unary()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::Mul, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, DslError> {
+        match self.peek().kind {
+            TokenKind::Minus => {
+                let start = self.advance().span;
+                let inner = self.parse_unary()?;
+                let span = start.to(inner.span);
+                Ok(Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(inner)), span))
+            }
+            TokenKind::Bang => {
+                let start = self.advance().span;
+                let inner = self.parse_unary()?;
+                let span = start.to(inner.span);
+                Ok(Expr::new(ExprKind::Unary(UnOp::Not, Box::new(inner)), span))
+            }
+            _ => self.parse_atom(),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, DslError> {
+        let t = self.advance();
+        match t.kind {
+            TokenKind::Int(v) => Ok(Expr::new(ExprKind::Int(v), t.span)),
+            TokenKind::True => Ok(Expr::new(ExprKind::Bool(true), t.span)),
+            TokenKind::False => Ok(Expr::new(ExprKind::Bool(false), t.span)),
+            TokenKind::Ident(name) => Ok(Expr::new(ExprKind::Var(name), t.span)),
+            TokenKind::LParen => {
+                let inner = self.parse_or()?;
+                let close = self.advance();
+                if close.kind != TokenKind::RParen {
+                    return Err(DslError::UnexpectedToken {
+                        found: close.kind.describe(),
+                        expected: "`)`",
+                        span: close.span,
+                    });
+                }
+                Ok(Expr::new(inner.kind, t.span.to(close.span)))
+            }
+            other => Err(DslError::UnexpectedToken {
+                found: other.describe(),
+                expected: "an expression",
+                span: t.span,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(source: &str) -> String {
+        parse(source).unwrap().to_string()
+    }
+
+    #[test]
+    fn precedence_of_bool_operators() {
+        assert_eq!(p("a == 1 && b == 2 || c == 3"), "(((a == 1) && (b == 2)) || (c == 3))");
+        assert_eq!(p("a == 1 || b == 2 && c == 3"), "((a == 1) || ((b == 2) && (c == 3)))");
+    }
+
+    #[test]
+    fn precedence_of_arithmetic() {
+        assert_eq!(p("a + b * c == 0"), "((a + (b * c)) == 0)");
+        assert_eq!(p("a * b + c == 0"), "(((a * b) + c) == 0)");
+        assert_eq!(p("a - b - c == 0"), "(((a - b) - c) == 0)");
+    }
+
+    #[test]
+    fn parentheses_override() {
+        assert_eq!(p("(a + b) * c == 0"), "(((a + b) * c) == 0)");
+        assert_eq!(p("(a == 1 || b == 2) && c == 3"), "(((a == 1) || (b == 2)) && (c == 3))");
+    }
+
+    #[test]
+    fn unary_operators() {
+        assert_eq!(p("-a < 3"), "(-(a) < 3)");
+        assert_eq!(p("--a < 3"), "(-(-(a)) < 3)");
+        assert_eq!(p("!(a < 3)"), "!((a < 3))");
+        assert_eq!(p("!!(a < 3)"), "!(!((a < 3)))");
+    }
+
+    #[test]
+    fn the_paper_conditions_parse() {
+        // Fig. 1 and §4.3 examples.
+        assert_eq!(p("count + n <= cap"), "((count + n) <= cap)");
+        assert_eq!(p("count >= num"), "(count >= num)");
+        assert_eq!(p("x - a == y + b"), "((x - a) == (y + b))");
+        assert_eq!(p("x + b > 2*y + a"), "((x + b) > ((2 * y) + a))");
+        assert_eq!(
+            p("x == 1 && y == 6 || z != 8"),
+            "(((x == 1) && (y == 6)) || (z != 8))"
+        );
+    }
+
+    #[test]
+    fn boolean_literals() {
+        assert_eq!(p("true || x == 1"), "(true || (x == 1))");
+    }
+
+    #[test]
+    fn chained_comparison_is_rejected() {
+        let err = parse("a < b < c").unwrap_err();
+        assert!(matches!(err, DslError::ChainedComparison { .. }));
+    }
+
+    #[test]
+    fn unbalanced_paren_is_rejected() {
+        let err = parse("(a == 1").unwrap_err();
+        assert!(matches!(err, DslError::UnexpectedToken { expected: "`)`", .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let err = parse("a == 1 b").unwrap_err();
+        assert!(matches!(
+            err,
+            DslError::UnexpectedToken {
+                expected: "end of input",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(parse("").is_err());
+        assert!(parse("   ").is_err());
+    }
+
+    #[test]
+    fn lexer_errors_propagate() {
+        assert!(matches!(
+            parse("a ? b"),
+            Err(DslError::UnexpectedChar { .. })
+        ));
+    }
+
+    #[test]
+    fn spans_cover_subexpressions() {
+        let e = parse("count >= 48").unwrap();
+        assert_eq!(e.span.slice("count >= 48"), "count >= 48");
+    }
+
+    #[test]
+    fn roundtrip_through_pretty_printer() {
+        for src in [
+            "count >= num",
+            "a + b * c - 2 == -d",
+            "!(x == 1) && (y < 2 || z >= 3)",
+            "true && false || ticket != served",
+        ] {
+            let once = parse(src).unwrap();
+            let twice = parse(&once.to_string()).unwrap();
+            // Compare shapes by re-printing (spans differ).
+            assert_eq!(once.to_string(), twice.to_string());
+        }
+    }
+}

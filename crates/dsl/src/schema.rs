@@ -1,0 +1,185 @@
+//! Shared-variable schemas and their runtime environments.
+//!
+//! In the paper the shared variables of an `AutoSynch class` are its Java
+//! fields; here a [`Schema`] declares the named integer variables of a
+//! monitor and an [`Env`] is the runtime state holding their values. The
+//! schema is what lets the compiler classify a variable reference as
+//! *shared* (in the schema) or *local* (bound at `waituntil` time) —
+//! Defs. 1 and 5 of the paper.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The declaration of a monitor's shared integer variables.
+///
+/// # Examples
+///
+/// ```
+/// use autosynch_dsl::schema::Schema;
+///
+/// let schema = Schema::new(&["count", "cap"]);
+/// assert_eq!(schema.slot("count"), Some(0));
+/// assert_eq!(schema.slot("num"), None); // a local, not shared
+/// ```
+#[derive(Debug, Clone)]
+pub struct Schema {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Declares shared variables in slot order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names — a schema bug worth failing fast on.
+    pub fn new(names: &[&str]) -> Self {
+        let mut index = HashMap::new();
+        for (i, name) in names.iter().enumerate() {
+            let previous = index.insert((*name).to_owned(), i);
+            assert!(previous.is_none(), "duplicate shared variable `{name}`");
+        }
+        Schema {
+            names: names.iter().map(|n| (*n).to_owned()).collect(),
+            index,
+        }
+    }
+
+    /// The slot of a shared variable, or `None` when the name is not
+    /// shared.
+    pub fn slot(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// The name stored in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn name(&self, slot: usize) -> &str {
+        &self.names[slot]
+    }
+
+    /// Number of shared variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the schema declares no variables.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(slot, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i, n.as_str()))
+    }
+
+    /// Creates a zeroed environment for this schema.
+    pub fn env(&self) -> Env {
+        Env {
+            values: vec![0; self.names.len()],
+        }
+    }
+}
+
+/// The runtime values of a schema's shared variables — the monitor state
+/// of a [`crate::monitor::DslMonitor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Env {
+    values: Vec<i64>,
+}
+
+impl Env {
+    /// Creates an environment with `len` zeroed slots.
+    pub fn zeroed(len: usize) -> Self {
+        Env {
+            values: vec![0; len],
+        }
+    }
+
+    /// Reads slot `slot` (0 when out of range, so expression closures
+    /// never panic while the monitor lock is held).
+    pub fn get(&self, slot: usize) -> i64 {
+        self.values.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Writes slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn set(&mut self, slot: usize, value: i64) {
+        self.values[slot] = value;
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the environment has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Env {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_follow_declaration_order() {
+        let s = Schema::new(&["a", "b", "c"]);
+        assert_eq!(s.slot("a"), Some(0));
+        assert_eq!(s.slot("c"), Some(2));
+        assert_eq!(s.name(1), "b");
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_panic() {
+        Schema::new(&["x", "x"]);
+    }
+
+    #[test]
+    fn env_read_write() {
+        let s = Schema::new(&["x", "y"]);
+        let mut env = s.env();
+        assert_eq!(env.get(0), 0);
+        env.set(1, 42);
+        assert_eq!(env.get(1), 42);
+        assert_eq!(env.len(), 2);
+    }
+
+    #[test]
+    fn env_get_out_of_range_is_zero() {
+        let env = Env::zeroed(1);
+        assert_eq!(env.get(99), 0);
+    }
+
+    #[test]
+    fn iter_and_display() {
+        let s = Schema::new(&["p", "q"]);
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs, vec![(0, "p"), (1, "q")]);
+        let mut env = s.env();
+        env.set(0, 3);
+        assert_eq!(env.to_string(), "[3, 0]");
+    }
+}

@@ -1,0 +1,188 @@
+//! Tokens and source spans for the `waituntil` expression language.
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// First byte of the spanned region.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both operands.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The spanned slice of `source`.
+    pub fn slice(self, source: &str) -> &str {
+        &source[self.start..self.end.min(source.len())]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An integer literal.
+    Int(i64),
+    /// An identifier (shared or local variable).
+    Ident(String),
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `==`
+    EqEq,
+    /// `!=`
+    BangEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{` (class declarations only)
+    LBrace,
+    /// `}` (class declarations only)
+    RBrace,
+    /// `;` (class declarations only)
+    Semi,
+    /// `,` (class declarations only)
+    Comma,
+    /// `=` — assignment in method bodies; a type error inside
+    /// conditions (use `==`).
+    Assign,
+    /// `monitor` keyword.
+    KwMonitor,
+    /// `var` keyword.
+    KwVar,
+    /// `method` keyword.
+    KwMethod,
+    /// `if` keyword.
+    KwIf,
+    /// `else` keyword.
+    KwElse,
+    /// `return` keyword.
+    KwReturn,
+    /// `waituntil` keyword.
+    KwWaituntil,
+    /// `while` keyword.
+    KwWhile,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::True => "`true`".into(),
+            TokenKind::False => "`false`".into(),
+            TokenKind::AndAnd => "`&&`".into(),
+            TokenKind::OrOr => "`||`".into(),
+            TokenKind::Bang => "`!`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::BangEq => "`!=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Assign => "`=`".into(),
+            TokenKind::KwMonitor => "`monitor`".into(),
+            TokenKind::KwVar => "`var`".into(),
+            TokenKind::KwMethod => "`method`".into(),
+            TokenKind::KwIf => "`if`".into(),
+            TokenKind::KwElse => "`else`".into(),
+            TokenKind::KwReturn => "`return`".into(),
+            TokenKind::KwWaituntil => "`waituntil`".into(),
+            TokenKind::KwWhile => "`while`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_union_and_slice() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+        assert_eq!(Span::new(0, 5).slice("count >= 3"), "count");
+    }
+
+    #[test]
+    fn slice_clamps_to_source_length() {
+        assert_eq!(Span::new(0, 99).slice("abc"), "abc");
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        assert_eq!(TokenKind::Int(42).describe(), "integer `42`");
+        assert_eq!(TokenKind::Ident("n".into()).describe(), "identifier `n`");
+        assert_eq!(TokenKind::Ge.describe(), "`>=`");
+    }
+
+    #[test]
+    fn span_display() {
+        assert_eq!(Span::new(1, 4).to_string(), "1..4");
+    }
+}

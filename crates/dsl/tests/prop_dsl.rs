@@ -1,0 +1,236 @@
+//! Property tests for the DSL pipeline.
+//!
+//! 1. Pretty-print/parse round-trips preserve structure.
+//! 2. Lowered predicates agree with direct AST interpretation on random
+//!    states and bindings (the compiler is semantics-preserving).
+//! 3. Well-typed random conditions always compile.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use autosynch_dsl::ast::{BinOp, Expr, ExprKind, UnOp};
+use autosynch_dsl::lower::{lower, TableSink};
+use autosynch_dsl::parser::parse;
+use autosynch_dsl::schema::Schema;
+use autosynch_dsl::token::Span;
+use proptest::prelude::*;
+
+const SHARED: [&str; 3] = ["s0", "s1", "s2"];
+const LOCALS: [&str; 2] = ["l0", "l1"];
+
+fn sp() -> Span {
+    Span::new(0, 0)
+}
+
+fn expr(kind: ExprKind) -> Expr {
+    Expr::new(kind, sp())
+}
+
+/// Random integer-typed expressions over shared and local variables.
+fn arb_int_expr() -> impl Strategy<Value = Expr> {
+    // Literals are non-negative: `-7` prints as `-7` but reparses as
+    // Neg(7), which would break string-stability; negation is covered
+    // by an explicit Neg arm instead.
+    let leaf = prop_oneof![
+        (0i64..=20).prop_map(|v| expr(ExprKind::Int(v))),
+        prop::sample::select(SHARED.to_vec())
+            .prop_map(|name| expr(ExprKind::Var(name.to_owned()))),
+        prop::sample::select(LOCALS.to_vec())
+            .prop_map(|name| expr(ExprKind::Var(name.to_owned()))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| expr(ExprKind::Binary(
+                BinOp::Add,
+                Box::new(a),
+                Box::new(b)
+            ))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| expr(ExprKind::Binary(
+                BinOp::Sub,
+                Box::new(a),
+                Box::new(b)
+            ))),
+            inner
+                .clone()
+                .prop_map(|a| expr(ExprKind::Unary(UnOp::Neg, Box::new(a)))),
+            // Keep one side a small constant so products stay linear
+            // often; non-linear cases exercise the fallback paths.
+            (inner.clone(), 0i64..=3).prop_map(|(a, k)| expr(ExprKind::Binary(
+                BinOp::Mul,
+                Box::new(a),
+                Box::new(expr(ExprKind::Int(k)))
+            ))),
+            (inner.clone(), inner).prop_map(|(a, b)| expr(ExprKind::Binary(
+                BinOp::Mul,
+                Box::new(a),
+                Box::new(b)
+            ))),
+        ]
+    })
+}
+
+/// Random boolean-typed conditions.
+fn arb_bool_expr() -> impl Strategy<Value = Expr> {
+    let cmp = (
+        arb_int_expr(),
+        prop::sample::select(vec![
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+        ]),
+        arb_int_expr(),
+    )
+        .prop_map(|(a, op, b)| expr(ExprKind::Binary(op, Box::new(a), Box::new(b))));
+    let leaf = prop_oneof![
+        6 => cmp,
+        1 => any::<bool>().prop_map(|b| expr(ExprKind::Bool(b))),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| expr(ExprKind::Binary(
+                BinOp::And,
+                Box::new(a),
+                Box::new(b)
+            ))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| expr(ExprKind::Binary(
+                BinOp::Or,
+                Box::new(a),
+                Box::new(b)
+            ))),
+            inner.prop_map(|a| expr(ExprKind::Unary(UnOp::Not, Box::new(a)))),
+        ]
+    })
+}
+
+/// Direct reference interpretation of a boolean condition.
+fn interp_bool(e: &Expr, shared: &[i64; 3], locals: &HashMap<String, i64>) -> bool {
+    match &e.kind {
+        ExprKind::Bool(b) => *b,
+        ExprKind::Unary(UnOp::Not, inner) => !interp_bool(inner, shared, locals),
+        ExprKind::Binary(BinOp::And, a, b) => {
+            interp_bool(a, shared, locals) && interp_bool(b, shared, locals)
+        }
+        ExprKind::Binary(BinOp::Or, a, b) => {
+            interp_bool(a, shared, locals) || interp_bool(b, shared, locals)
+        }
+        ExprKind::Binary(op, a, b) => {
+            let lhs = interp_int(a, shared, locals);
+            let rhs = interp_int(b, shared, locals);
+            match op {
+                BinOp::Eq => lhs == rhs,
+                BinOp::Ne => lhs != rhs,
+                BinOp::Lt => lhs < rhs,
+                BinOp::Le => lhs <= rhs,
+                BinOp::Gt => lhs > rhs,
+                BinOp::Ge => lhs >= rhs,
+                other => unreachable!("{other}"),
+            }
+        }
+        other => unreachable!("{other:?}"),
+    }
+}
+
+fn interp_int(e: &Expr, shared: &[i64; 3], locals: &HashMap<String, i64>) -> i64 {
+    match &e.kind {
+        ExprKind::Int(v) => *v,
+        ExprKind::Var(name) => match SHARED.iter().position(|s| s == name) {
+            Some(slot) => shared[slot],
+            None => locals[name],
+        },
+        ExprKind::Unary(UnOp::Neg, inner) => interp_int(inner, shared, locals).wrapping_neg(),
+        ExprKind::Binary(BinOp::Add, a, b) => {
+            interp_int(a, shared, locals).wrapping_add(interp_int(b, shared, locals))
+        }
+        ExprKind::Binary(BinOp::Sub, a, b) => {
+            interp_int(a, shared, locals).wrapping_sub(interp_int(b, shared, locals))
+        }
+        ExprKind::Binary(BinOp::Mul, a, b) => {
+            interp_int(a, shared, locals).wrapping_mul(interp_int(b, shared, locals))
+        }
+        other => unreachable!("{other:?}"),
+    }
+}
+
+fn bindings(l0: i64, l1: i64) -> HashMap<String, i64> {
+    HashMap::from([("l0".to_owned(), l0), ("l1".to_owned(), l1)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pretty_print_parse_roundtrip(e in arb_bool_expr()) {
+        let printed = e.to_string();
+        let reparsed = parse(&printed).unwrap();
+        prop_assert_eq!(printed, reparsed.to_string());
+    }
+
+    #[test]
+    fn lowering_agrees_with_interpretation(
+        e in arb_bool_expr(),
+        shared in prop::array::uniform3(-10i64..=10),
+        l0 in -10i64..=10,
+        l1 in -10i64..=10,
+    ) {
+        let schema = Arc::new(Schema::new(&SHARED));
+        let sink = TableSink::new();
+        let locals = bindings(l0, l1);
+        // Coefficients stay tiny, so LinearOverflow is impossible here;
+        // any other error is a bug.
+        let pred = lower(&e, &schema, &locals, &sink).unwrap();
+
+        let mut env = schema.env();
+        for (slot, value) in shared.iter().enumerate() {
+            env.set(slot, *value);
+        }
+        let lowered = sink.with_table(|t| pred.eval(&env, t));
+        let direct = interp_bool(&e, &shared, &locals);
+        prop_assert_eq!(lowered, direct, "{} at shared={:?} l0={} l1={}", e, shared, l0, l1);
+    }
+
+    #[test]
+    fn parse_of_printed_lowers_identically(
+        e in arb_bool_expr(),
+        shared in prop::array::uniform3(-6i64..=6),
+    ) {
+        // print → parse → lower must agree with lower of the original.
+        let schema = Arc::new(Schema::new(&SHARED));
+        let locals = bindings(2, -3);
+        let sink = TableSink::new();
+        let direct = lower(&e, &schema, &locals, &sink).unwrap();
+        let reparsed = parse(&e.to_string()).unwrap();
+        let roundtrip = lower(&reparsed, &schema, &locals, &sink).unwrap();
+
+        let mut env = schema.env();
+        for (slot, value) in shared.iter().enumerate() {
+            env.set(slot, *value);
+        }
+        let a = sink.with_table(|t| direct.eval(&env, t));
+        let b = sink.with_table(|t| roundtrip.eval(&env, t));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equivalent_spellings_share_keys(
+        a in -8i64..=8,
+        b in -8i64..=8,
+    ) {
+        // s0 - a == s1 + b  must intern like  s0 - s1 == a + b.
+        let schema = Arc::new(Schema::new(&SHARED));
+        let sink = TableSink::new();
+        let locals = bindings(a, b);
+        let left = lower(
+            &parse("s0 - l0 == s1 + l1").unwrap(),
+            &schema, &locals, &sink,
+        ).unwrap();
+        let right = lower(
+            &parse("s0 - s1 == l0 + l1").unwrap(),
+            &schema, &locals, &sink,
+        ).unwrap();
+        prop_assert_eq!(left.key(), right.key());
+        prop_assert!(left.key().is_some());
+    }
+}

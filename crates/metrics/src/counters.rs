@@ -1,0 +1,335 @@
+//! Event counters shared by every signaling mechanism.
+//!
+//! All four mechanisms of the paper (explicit, baseline, AutoSynch-T,
+//! AutoSynch) are instrumented with the same counter set so their numbers
+//! are directly comparable. Counters use relaxed atomics: they are
+//! monotonically increasing event tallies, never used for synchronization.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic event counters for one monitor instance.
+///
+/// Increment methods are `record_*`; [`SyncCounters::snapshot`] captures a
+/// consistent-enough copy for reporting (individual loads are relaxed, which
+/// is fine for quiescent reads after a run has joined its threads).
+///
+/// # Examples
+///
+/// ```
+/// use autosynch_metrics::counters::SyncCounters;
+///
+/// let c = SyncCounters::default();
+/// c.record_wakeup();
+/// c.record_futile_wakeup();
+/// assert_eq!(c.snapshot().productive_wakeups(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct SyncCounters {
+    enters: AtomicU64,
+    waits: AtomicU64,
+    signals: AtomicU64,
+    broadcasts: AtomicU64,
+    wakeups: AtomicU64,
+    futile_wakeups: AtomicU64,
+    timeouts: AtomicU64,
+    pred_evals: AtomicU64,
+    expr_evals: AtomicU64,
+    tag_inserts: AtomicU64,
+    tag_removes: AtomicU64,
+    relay_calls: AtomicU64,
+    relay_hits: AtomicU64,
+}
+
+macro_rules! counter_methods {
+    ($($(#[$doc:meta])* $record:ident => $field:ident),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[inline]
+            pub fn $record(&self) {
+                self.$field.fetch_add(1, Ordering::Relaxed);
+            }
+        )+
+    };
+}
+
+impl SyncCounters {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    counter_methods! {
+        /// A thread entered the monitor (acquired the lock from outside).
+        record_enter => enters,
+        /// A thread blocked in `waituntil` / `await` (one per actual block,
+        /// not per re-check).
+        record_wait => waits,
+        /// The runtime issued a single-thread signal (`notify_one`).
+        record_signal => signals,
+        /// The runtime issued a broadcast (`notify_all` / `signalAll`).
+        /// AutoSynch never increments this — that is the paper's claim.
+        record_broadcast => broadcasts,
+        /// A blocked thread returned from `Condvar::wait`. This is the
+        /// context-switch proxy used for Fig. 15.
+        record_wakeup => wakeups,
+        /// A wakeup whose predicate was still false, forcing the thread
+        /// back to sleep (the "redundant context switches" of §3).
+        record_futile_wakeup => futile_wakeups,
+        /// A timed wait elapsed without a signal.
+        record_timeout => timeouts,
+        /// One waiting-condition evaluation (a conjunction or whole
+        /// predicate, depending on mechanism).
+        record_pred_eval => pred_evals,
+        /// One shared-expression evaluation during relay signaling.
+        record_expr_eval => expr_evals,
+        /// A tag was inserted into an index (hash table or heap).
+        record_tag_insert => tag_inserts,
+        /// A tag was removed from an index.
+        record_tag_remove => tag_removes,
+        /// One execution of the relay signaling rule.
+        record_relay_call => relay_calls,
+        /// A relay call that found and signaled a thread.
+        record_relay_hit => relay_hits,
+    }
+
+    /// Adds `n` predicate evaluations at once.
+    #[inline]
+    pub fn record_pred_evals(&self, n: u64) {
+        self.pred_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Captures the current counter values.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            enters: self.enters.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            signals: self.signals.load(Ordering::Relaxed),
+            broadcasts: self.broadcasts.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            futile_wakeups: self.futile_wakeups.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            pred_evals: self.pred_evals.load(Ordering::Relaxed),
+            expr_evals: self.expr_evals.load(Ordering::Relaxed),
+            tag_inserts: self.tag_inserts.load(Ordering::Relaxed),
+            tag_removes: self.tag_removes.load(Ordering::Relaxed),
+            relay_calls: self.relay_calls.load(Ordering::Relaxed),
+            relay_hits: self.relay_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero (between benchmark iterations).
+    pub fn reset(&self) {
+        for field in [
+            &self.enters,
+            &self.waits,
+            &self.signals,
+            &self.broadcasts,
+            &self.wakeups,
+            &self.futile_wakeups,
+            &self.timeouts,
+            &self.pred_evals,
+            &self.expr_evals,
+            &self.tag_inserts,
+            &self.tag_removes,
+            &self.relay_calls,
+            &self.relay_hits,
+        ] {
+            field.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of [`SyncCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // fields mirror the documented record_* methods
+pub struct CounterSnapshot {
+    pub enters: u64,
+    pub waits: u64,
+    pub signals: u64,
+    pub broadcasts: u64,
+    pub wakeups: u64,
+    pub futile_wakeups: u64,
+    pub timeouts: u64,
+    pub pred_evals: u64,
+    pub expr_evals: u64,
+    pub tag_inserts: u64,
+    pub tag_removes: u64,
+    pub relay_calls: u64,
+    pub relay_hits: u64,
+}
+
+impl CounterSnapshot {
+    /// Wakeups whose predicate held, i.e. that led to progress.
+    pub fn productive_wakeups(&self) -> u64 {
+        self.wakeups.saturating_sub(self.futile_wakeups)
+    }
+
+    /// Fraction of wakeups that were futile, in `[0, 1]`; `0` when no
+    /// wakeups occurred.
+    pub fn futile_ratio(&self) -> f64 {
+        if self.wakeups == 0 {
+            0.0
+        } else {
+            self.futile_wakeups as f64 / self.wakeups as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            enters: self.enters.saturating_sub(earlier.enters),
+            waits: self.waits.saturating_sub(earlier.waits),
+            signals: self.signals.saturating_sub(earlier.signals),
+            broadcasts: self.broadcasts.saturating_sub(earlier.broadcasts),
+            wakeups: self.wakeups.saturating_sub(earlier.wakeups),
+            futile_wakeups: self.futile_wakeups.saturating_sub(earlier.futile_wakeups),
+            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            pred_evals: self.pred_evals.saturating_sub(earlier.pred_evals),
+            expr_evals: self.expr_evals.saturating_sub(earlier.expr_evals),
+            tag_inserts: self.tag_inserts.saturating_sub(earlier.tag_inserts),
+            tag_removes: self.tag_removes.saturating_sub(earlier.tag_removes),
+            relay_calls: self.relay_calls.saturating_sub(earlier.relay_calls),
+            relay_hits: self.relay_hits.saturating_sub(earlier.relay_hits),
+        }
+    }
+}
+
+impl fmt::Display for CounterSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "enters={} waits={} signals={} broadcasts={} wakeups={} \
+             futile={} pred_evals={} expr_evals={} relay={}/{}",
+            self.enters,
+            self.waits,
+            self.signals,
+            self.broadcasts,
+            self.wakeups,
+            self.futile_wakeups,
+            self.pred_evals,
+            self.expr_evals,
+            self.relay_hits,
+            self.relay_calls,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let snap = SyncCounters::new().snapshot();
+        assert_eq!(snap, CounterSnapshot::default());
+    }
+
+    #[test]
+    fn record_methods_increment_their_field() {
+        let c = SyncCounters::new();
+        c.record_enter();
+        c.record_enter();
+        c.record_wait();
+        c.record_signal();
+        c.record_broadcast();
+        c.record_wakeup();
+        c.record_futile_wakeup();
+        c.record_timeout();
+        c.record_pred_eval();
+        c.record_expr_eval();
+        c.record_tag_insert();
+        c.record_tag_remove();
+        c.record_relay_call();
+        c.record_relay_hit();
+        let s = c.snapshot();
+        assert_eq!(s.enters, 2);
+        assert_eq!(s.waits, 1);
+        assert_eq!(s.signals, 1);
+        assert_eq!(s.broadcasts, 1);
+        assert_eq!(s.wakeups, 1);
+        assert_eq!(s.futile_wakeups, 1);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.pred_evals, 1);
+        assert_eq!(s.expr_evals, 1);
+        assert_eq!(s.tag_inserts, 1);
+        assert_eq!(s.tag_removes, 1);
+        assert_eq!(s.relay_calls, 1);
+        assert_eq!(s.relay_hits, 1);
+    }
+
+    #[test]
+    fn bulk_pred_evals() {
+        let c = SyncCounters::new();
+        c.record_pred_evals(17);
+        assert_eq!(c.snapshot().pred_evals, 17);
+    }
+
+    #[test]
+    fn productive_wakeups_and_ratio() {
+        let c = SyncCounters::new();
+        for _ in 0..10 {
+            c.record_wakeup();
+        }
+        for _ in 0..4 {
+            c.record_futile_wakeup();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.productive_wakeups(), 6);
+        assert!((s.futile_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn futile_ratio_zero_without_wakeups() {
+        assert_eq!(CounterSnapshot::default().futile_ratio(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts_saturating() {
+        let mut a = CounterSnapshot::default();
+        let mut b = CounterSnapshot::default();
+        a.signals = 10;
+        b.signals = 3;
+        b.wakeups = 5; // b has more than a: saturates
+        let d = a.since(&b);
+        assert_eq!(d.signals, 7);
+        assert_eq!(d.wakeups, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = SyncCounters::new();
+        c.record_signal();
+        c.record_wakeup();
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let c = Arc::new(SyncCounters::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.record_wakeup();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.snapshot().wakeups, 8000);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_counts() {
+        let c = SyncCounters::new();
+        c.record_signal();
+        let text = c.snapshot().to_string();
+        assert!(text.contains("signals=1"));
+    }
+}

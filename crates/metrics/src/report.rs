@@ -1,0 +1,176 @@
+//! Minimal aligned-text tables for the `reproduce` harness.
+//!
+//! Every figure and table of the paper is regenerated as a text series; this
+//! module renders them with aligned columns so the output is directly
+//! paste-able into `EXPERIMENTS.md`.
+
+use std::fmt;
+
+/// An aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use autosynch_metrics::report::Table;
+///
+/// let mut t = Table::new(vec!["threads".into(), "explicit".into(), "autosynch".into()]);
+/// t.row(vec!["2".into(), "1.23".into(), "1.31".into()]);
+/// t.row(vec!["256".into(), "20.1".into(), "0.75".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("threads"));
+/// assert!(text.lines().count() >= 4); // header + separator + 2 rows
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Table {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn with_columns(columns: &[&str]) -> Self {
+        Table::new(columns.iter().map(|c| (*c).to_owned()).collect())
+    }
+
+    /// Appends one row. Shorter rows are padded with empty cells; longer
+    /// rows extend the column count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_count(&self) -> usize {
+        self.rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self.column_count();
+        let mut widths = vec![0usize; cols];
+        for (i, cell) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+
+    fn write_row(
+        f: &mut fmt::Formatter<'_>,
+        cells: &[String],
+        widths: &[usize],
+    ) -> fmt::Result {
+        for (i, width) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{cell:>width$}")?;
+        }
+        writeln!(f)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        Self::write_row(f, &self.header, &widths)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            Self::write_row(f, row, &widths)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a duration in seconds with three decimals (paper figures use
+/// seconds on the y-axis).
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a count in thousands, matching Fig. 15's "K times" axis.
+pub fn kilo(n: u64) -> String {
+    format!("{:.1}", n as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::with_columns(&["n", "runtime"]);
+        t.row(vec!["2".into(), "1.0".into()]);
+        t.row(vec!["256".into(), "20.5".into()]);
+        let text = t.to_string();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width (right-aligned padding).
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::with_columns(&["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        let text = t.to_string();
+        assert!(text.lines().count() == 3);
+    }
+
+    #[test]
+    fn longer_rows_extend_columns() {
+        let mut t = Table::with_columns(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert!(t.to_string().contains('2'));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = Table::with_columns(&["x"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn secs_formats_three_decimals() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+    }
+
+    #[test]
+    fn kilo_formats_thousands() {
+        assert_eq!(kilo(2_700_000), "2700.0");
+        assert_eq!(kilo(5440), "5.4");
+    }
+}

@@ -1,0 +1,275 @@
+//! The boolean AST that `waituntil` conditions are written in.
+//!
+//! This is the surface form before normalization: arbitrary `&&`/`||`/`!`
+//! nesting over comparison atoms and custom closures. The paper's
+//! preprocessor accepts the same shape in Java syntax and converts it "into
+//! DNF using De Morgan's laws and distributive law" (§4.1); see
+//! [`crate::dnf::to_dnf`].
+
+use std::fmt;
+
+use crate::atom::CmpAtom;
+use crate::custom::CustomPred;
+use crate::expr::ExprTable;
+
+/// A boolean condition over monitor state `S`.
+///
+/// Build leaves with [`crate::expr::ExprHandle`] comparison methods or
+/// [`BoolExpr::custom`], and combine with [`BoolExpr::and`],
+/// [`BoolExpr::or`] and [`BoolExpr::not`].
+///
+/// # Examples
+///
+/// ```
+/// use autosynch_predicate::expr::ExprTable;
+///
+/// struct S { x: i64, done: bool }
+/// let mut t = ExprTable::new();
+/// let x = t.register("x", |s: &S| s.x);
+/// let done = t.register("done", |s: &S| s.done as i64);
+///
+/// let cond = x.ge(10).or(done.eq(1));
+/// assert!(cond.eval(&S { x: 3, done: true }, &t));
+/// assert!(!cond.eval(&S { x: 3, done: false }, &t));
+/// ```
+pub enum BoolExpr<S> {
+    /// A constant condition.
+    Const(bool),
+    /// A comparison of a shared expression against a globalized constant.
+    Cmp(CmpAtom),
+    /// An opaque closure condition (tags as `None`).
+    Custom(CustomPred<S>),
+    /// Logical negation.
+    Not(Box<BoolExpr<S>>),
+    /// Conjunction of all children (true when empty).
+    And(Vec<BoolExpr<S>>),
+    /// Disjunction of all children (false when empty).
+    Or(Vec<BoolExpr<S>>),
+}
+
+impl<S> BoolExpr<S> {
+    /// The always-true condition.
+    pub fn always() -> Self {
+        BoolExpr::Const(true)
+    }
+
+    /// The always-false condition.
+    pub fn never() -> Self {
+        BoolExpr::Const(false)
+    }
+
+    /// Wraps an opaque closure with a diagnostic name.
+    pub fn custom(name: impl Into<String>, f: impl Fn(&S) -> bool + Send + Sync + 'static) -> Self {
+        BoolExpr::Custom(CustomPred::new(name, f))
+    }
+
+    /// `self && other`. Flattens nested conjunctions so the DNF pass sees
+    /// wide nodes instead of deep ones.
+    pub fn and(self, other: BoolExpr<S>) -> Self {
+        match (self, other) {
+            (BoolExpr::And(mut a), BoolExpr::And(b)) => {
+                a.extend(b);
+                BoolExpr::And(a)
+            }
+            (BoolExpr::And(mut a), rhs) => {
+                a.push(rhs);
+                BoolExpr::And(a)
+            }
+            (lhs, BoolExpr::And(mut b)) => {
+                b.insert(0, lhs);
+                BoolExpr::And(b)
+            }
+            (lhs, rhs) => BoolExpr::And(vec![lhs, rhs]),
+        }
+    }
+
+    /// `self || other`, flattening nested disjunctions.
+    pub fn or(self, other: BoolExpr<S>) -> Self {
+        match (self, other) {
+            (BoolExpr::Or(mut a), BoolExpr::Or(b)) => {
+                a.extend(b);
+                BoolExpr::Or(a)
+            }
+            (BoolExpr::Or(mut a), rhs) => {
+                a.push(rhs);
+                BoolExpr::Or(a)
+            }
+            (lhs, BoolExpr::Or(mut b)) => {
+                b.insert(0, lhs);
+                BoolExpr::Or(b)
+            }
+            (lhs, rhs) => BoolExpr::Or(vec![lhs, rhs]),
+        }
+    }
+
+    /// `!self`.
+    #[allow(clippy::should_implement_trait)] // `Not` on a by-value DSL type reads fine
+    pub fn not(self) -> Self {
+        BoolExpr::Not(Box::new(self))
+    }
+
+    /// Direct AST evaluation, used as the semantic reference for the DNF
+    /// equivalence tests and by the runtime before a predicate is built.
+    pub fn eval(&self, state: &S, exprs: &ExprTable<S>) -> bool {
+        match self {
+            BoolExpr::Const(b) => *b,
+            BoolExpr::Cmp(atom) => atom.eval_with(exprs.eval(atom.expr, state)),
+            BoolExpr::Custom(c) => c.eval(state),
+            BoolExpr::Not(inner) => !inner.eval(state, exprs),
+            BoolExpr::And(children) => children.iter().all(|c| c.eval(state, exprs)),
+            BoolExpr::Or(children) => children.iter().any(|c| c.eval(state, exprs)),
+        }
+    }
+
+    /// Number of leaves (atoms, customs, constants) — a size measure used
+    /// by tests and diagnostics.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            BoolExpr::Const(_) | BoolExpr::Cmp(_) | BoolExpr::Custom(_) => 1,
+            BoolExpr::Not(inner) => inner.leaf_count(),
+            BoolExpr::And(children) | BoolExpr::Or(children) => {
+                children.iter().map(BoolExpr::leaf_count).sum()
+            }
+        }
+    }
+}
+
+impl<S> Clone for BoolExpr<S> {
+    fn clone(&self) -> Self {
+        match self {
+            BoolExpr::Const(b) => BoolExpr::Const(*b),
+            BoolExpr::Cmp(a) => BoolExpr::Cmp(*a),
+            BoolExpr::Custom(c) => BoolExpr::Custom(c.clone()),
+            BoolExpr::Not(inner) => BoolExpr::Not(inner.clone()),
+            BoolExpr::And(children) => BoolExpr::And(children.clone()),
+            BoolExpr::Or(children) => BoolExpr::Or(children.clone()),
+        }
+    }
+}
+
+impl<S> fmt::Debug for BoolExpr<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl<S> fmt::Display for BoolExpr<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::Const(b) => write!(f, "{b}"),
+            BoolExpr::Cmp(a) => write!(f, "{a}"),
+            BoolExpr::Custom(c) => write!(f, "{c}"),
+            BoolExpr::Not(inner) => write!(f, "!({inner})"),
+            BoolExpr::And(children) => write_joined(f, children, " && "),
+            BoolExpr::Or(children) => write_joined(f, children, " || "),
+        }
+    }
+}
+
+fn write_joined<S>(
+    f: &mut fmt::Formatter<'_>,
+    children: &[BoolExpr<S>],
+    sep: &str,
+) -> fmt::Result {
+    write!(f, "(")?;
+    for (i, child) in children.iter().enumerate() {
+        if i > 0 {
+            f.write_str(sep)?;
+        }
+        write!(f, "{child}")?;
+    }
+    write!(f, ")")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct S {
+        x: i64,
+        y: i64,
+    }
+
+    fn table() -> (
+        ExprTable<S>,
+        crate::expr::ExprHandle<S>,
+        crate::expr::ExprHandle<S>,
+    ) {
+        let mut t = ExprTable::new();
+        let x = t.register("x", |s: &S| s.x);
+        let y = t.register("y", |s: &S| s.y);
+        (t, x, y)
+    }
+
+    #[test]
+    fn eval_of_connectives() {
+        let (t, x, y) = table();
+        let e = x.ge(5).and(y.lt(3)).or(x.eq(0));
+        assert!(e.eval(&S { x: 6, y: 2 }, &t));
+        assert!(e.eval(&S { x: 0, y: 99 }, &t));
+        assert!(!e.eval(&S { x: 6, y: 5 }, &t));
+    }
+
+    #[test]
+    fn not_negates() {
+        let (t, x, _) = table();
+        let e = x.gt(0).not();
+        assert!(e.eval(&S { x: 0, y: 0 }, &t));
+        assert!(!e.eval(&S { x: 1, y: 0 }, &t));
+    }
+
+    #[test]
+    fn empty_connectives_have_identity_semantics() {
+        let (t, _, _) = table();
+        assert!(BoolExpr::<S>::And(vec![]).eval(&S { x: 0, y: 0 }, &t));
+        assert!(!BoolExpr::<S>::Or(vec![]).eval(&S { x: 0, y: 0 }, &t));
+    }
+
+    #[test]
+    fn and_or_flatten() {
+        let (_, x, y) = table();
+        let e = x.eq(1).and(y.eq(2)).and(x.eq(3));
+        match &e {
+            BoolExpr::And(children) => assert_eq!(children.len(), 3),
+            other => panic!("expected flat And, got {other}"),
+        }
+        let o = x.eq(1).or(y.eq(2)).or(x.eq(3));
+        match &o {
+            BoolExpr::Or(children) => assert_eq!(children.len(), 3),
+            other => panic!("expected flat Or, got {other}"),
+        }
+    }
+
+    #[test]
+    fn custom_evaluates_closure() {
+        let (t, _, _) = table();
+        let e = BoolExpr::custom("x-odd", |s: &S| s.x % 2 == 1);
+        assert!(e.eval(&S { x: 3, y: 0 }, &t));
+        assert!(!e.eval(&S { x: 4, y: 0 }, &t));
+    }
+
+    #[test]
+    fn leaf_count_counts_leaves() {
+        let (_, x, y) = table();
+        let e = x.eq(1).and(y.eq(2)).or(x.gt(0).not());
+        assert_eq!(e.leaf_count(), 3);
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        let (_, x, y) = table();
+        let e = x.eq(1).and(y.ne(2));
+        assert_eq!(e.to_string(), "(e0 == 1 && e1 != 2)");
+    }
+
+    #[test]
+    fn clone_is_deep_for_structure() {
+        let (t, x, _) = table();
+        let e = x.ge(5).or(BoolExpr::custom("c", |s: &S| s.y == 0));
+        let c = e.clone();
+        assert_eq!(
+            e.eval(&S { x: 9, y: 1 }, &t),
+            c.eval(&S { x: 9, y: 1 }, &t)
+        );
+    }
+}

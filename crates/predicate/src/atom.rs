@@ -1,0 +1,231 @@
+//! Comparison atoms: `sharedExpr op constant`.
+//!
+//! After globalization every equivalence/threshold condition has the shape
+//! `SE op k` where `SE` is a registered shared expression and `k` the
+//! snapshotted value of a local expression (§4.3 of the paper). The atom
+//! is the unit the tagging algorithm inspects.
+
+use std::fmt;
+
+use crate::expr::ExprId;
+
+/// A comparison operator between a shared expression and a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// `==` — the equivalence operator (Def. 6).
+    Eq,
+    /// `!=` — not taggable; conjunctions of only `!=` get a `None` tag.
+    Ne,
+    /// `<` — threshold (Def. 7).
+    Lt,
+    /// `<=` — threshold (Def. 7).
+    Le,
+    /// `>` — threshold (Def. 7).
+    Gt,
+    /// `>=` — threshold (Def. 7).
+    Ge,
+}
+
+impl CmpOp {
+    /// All operators, for exhaustive tests.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+
+    /// Applies the operator: `lhs op rhs`.
+    #[inline]
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The logically negated operator (`!(a < b)` is `a >= b`). Used to
+    /// push `Not` through atoms during NNF conversion, so negation never
+    /// blocks tagging.
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Le => CmpOp::Gt,
+        }
+    }
+
+    /// The operator with its operands swapped (`a < b` is `b > a`). Used
+    /// by the DSL when canonicalization moves the shared expression to the
+    /// left-hand side.
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Whether this operator forms an equivalence predicate.
+    pub fn is_equivalence(self) -> bool {
+        self == CmpOp::Eq
+    }
+
+    /// Whether this operator forms a threshold predicate
+    /// (`op ∈ {<, ≤, >, ≥}`).
+    pub fn is_threshold(self) -> bool {
+        matches!(self, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
+    }
+
+    /// The source-text symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// The atom `expr op key`: a shared expression compared to a globalized
+/// constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CmpAtom {
+    /// The shared expression on the left-hand side.
+    pub expr: ExprId,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The globalized right-hand-side constant.
+    pub key: i64,
+}
+
+impl CmpAtom {
+    /// Creates the atom `expr op key`.
+    pub fn new(expr: ExprId, op: CmpOp, key: i64) -> Self {
+        CmpAtom { expr, op, key }
+    }
+
+    /// Evaluates the atom given the current value of its expression.
+    #[inline]
+    pub fn eval_with(self, expr_value: i64) -> bool {
+        self.op.eval(expr_value, self.key)
+    }
+
+    /// The atom with the negated operator.
+    pub fn negated(self) -> CmpAtom {
+        CmpAtom {
+            op: self.op.negated(),
+            ..self
+        }
+    }
+
+    /// Whether `self` and `other` are complementary (one is exactly the
+    /// negation of the other), which makes any conjunction containing both
+    /// unsatisfiable.
+    pub fn is_complement_of(self, other: CmpAtom) -> bool {
+        self.expr == other.expr && self.key == other.key && self.op == other.op.negated()
+    }
+}
+
+impl fmt::Display for CmpAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.expr, self.op, self.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_covers_all_operators() {
+        assert!(CmpOp::Eq.eval(3, 3) && !CmpOp::Eq.eval(3, 4));
+        assert!(CmpOp::Ne.eval(3, 4) && !CmpOp::Ne.eval(3, 3));
+        assert!(CmpOp::Lt.eval(3, 4) && !CmpOp::Lt.eval(4, 4));
+        assert!(CmpOp::Le.eval(4, 4) && !CmpOp::Le.eval(5, 4));
+        assert!(CmpOp::Gt.eval(5, 4) && !CmpOp::Gt.eval(4, 4));
+        assert!(CmpOp::Ge.eval(4, 4) && !CmpOp::Ge.eval(3, 4));
+    }
+
+    #[test]
+    fn negation_is_involutive_and_complementary() {
+        for op in CmpOp::ALL {
+            assert_eq!(op.negated().negated(), op);
+            for (a, b) in [(1, 2), (2, 2), (3, 2)] {
+                assert_eq!(op.eval(a, b), !op.negated().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn flip_swaps_operands() {
+        for op in CmpOp::ALL {
+            for (a, b) in [(1, 2), (2, 2), (3, 2)] {
+                assert_eq!(op.eval(a, b), op.flipped().eval(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(CmpOp::Eq.is_equivalence());
+        assert!(!CmpOp::Eq.is_threshold());
+        assert!(!CmpOp::Ne.is_equivalence());
+        assert!(!CmpOp::Ne.is_threshold());
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert!(op.is_threshold());
+            assert!(!op.is_equivalence());
+        }
+    }
+
+    #[test]
+    fn atom_eval_and_negate() {
+        let a = CmpAtom::new(ExprId::from_raw(0), CmpOp::Ge, 10);
+        assert!(a.eval_with(10));
+        assert!(!a.eval_with(9));
+        let n = a.negated();
+        assert_eq!(n.op, CmpOp::Lt);
+        assert!(n.eval_with(9));
+    }
+
+    #[test]
+    fn complement_detection() {
+        let e = ExprId::from_raw(1);
+        let a = CmpAtom::new(e, CmpOp::Lt, 5);
+        let b = CmpAtom::new(e, CmpOp::Ge, 5);
+        assert!(a.is_complement_of(b));
+        assert!(b.is_complement_of(a));
+        let c = CmpAtom::new(e, CmpOp::Ge, 6);
+        assert!(!a.is_complement_of(c));
+        let other_expr = CmpAtom::new(ExprId::from_raw(2), CmpOp::Ge, 5);
+        assert!(!a.is_complement_of(other_expr));
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = CmpAtom::new(ExprId::from_raw(3), CmpOp::Le, -2);
+        assert_eq!(a.to_string(), "e3 <= -2");
+        assert_eq!(CmpOp::Ne.to_string(), "!=");
+    }
+}

@@ -1,0 +1,132 @@
+//! Opaque predicate closures — the `None`-tag escape hatch.
+//!
+//! Some waiting conditions are not comparisons of an integer shared
+//! expression against a constant (e.g. "this regex matches the shared
+//! log"). AutoSynch still supports them: they evaluate in any thread like
+//! every globalized predicate (a Rust closure captures its locals by
+//! value), but the tagging algorithm assigns them the `None` tag and the
+//! runtime examines them exhaustively, exactly as §4.3 prescribes for
+//! untaggable conjunctions.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The closure type wrapped by [`CustomPred`].
+pub type CustomFn<S> = Arc<dyn Fn(&S) -> bool + Send + Sync>;
+
+/// An opaque boolean condition over the shared state.
+///
+/// Two customs are *structurally comparable* only when both carry a
+/// caller-supplied [`dedup key`](CustomPred::with_key); otherwise the
+/// runtime treats every occurrence as a distinct predicate (it cannot see
+/// inside the closure).
+pub struct CustomPred<S> {
+    f: CustomFn<S>,
+    key: Option<u64>,
+    name: Arc<str>,
+}
+
+impl<S> CustomPred<S> {
+    /// Wraps a closure with a diagnostic name.
+    pub fn new(name: impl Into<String>, f: impl Fn(&S) -> bool + Send + Sync + 'static) -> Self {
+        CustomPred {
+            f: Arc::new(f),
+            key: None,
+            name: name.into().into(),
+        }
+    }
+
+    /// Attaches a deduplication key. Callers promise that two customs with
+    /// the same key are semantically identical; the runtime then maps them
+    /// to one condition variable like any syntax-equivalent predicate.
+    pub fn with_key(mut self, key: u64) -> Self {
+        self.key = Some(key);
+        self
+    }
+
+    /// The deduplication key, if any.
+    pub fn key(&self) -> Option<u64> {
+        self.key
+    }
+
+    /// The diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluates the closure.
+    #[inline]
+    pub fn eval(&self, state: &S) -> bool {
+        (self.f)(state)
+    }
+
+    /// Whether `self` and `other` wrap the very same closure allocation.
+    pub fn same_closure(&self, other: &CustomPred<S>) -> bool {
+        Arc::ptr_eq(&self.f, &other.f)
+    }
+}
+
+impl<S> Clone for CustomPred<S> {
+    fn clone(&self) -> Self {
+        CustomPred {
+            f: Arc::clone(&self.f),
+            key: self.key,
+            name: Arc::clone(&self.name),
+        }
+    }
+}
+
+impl<S> fmt::Debug for CustomPred<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CustomPred")
+            .field("name", &self.name)
+            .field("key", &self.key)
+            .finish()
+    }
+}
+
+impl<S> fmt::Display for CustomPred<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.key {
+            Some(k) => write!(f, "{}#{k}", self.name),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_runs_the_closure() {
+        let p = CustomPred::new("positive", |s: &i64| *s > 0);
+        assert!(p.eval(&3));
+        assert!(!p.eval(&-3));
+    }
+
+    #[test]
+    fn key_roundtrip() {
+        let p = CustomPred::new("k", |_: &i64| true).with_key(42);
+        assert_eq!(p.key(), Some(42));
+        assert_eq!(p.name(), "k");
+    }
+
+    #[test]
+    fn clone_shares_the_closure() {
+        let p = CustomPred::new("c", |s: &i64| *s == 0);
+        let q = p.clone();
+        assert!(p.same_closure(&q));
+        let r = CustomPred::new("c", |s: &i64| *s == 0);
+        assert!(!p.same_closure(&r));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        let p = CustomPred::new("cond", |_: &i64| true).with_key(7);
+        assert!(format!("{p:?}").contains("cond"));
+        assert_eq!(p.to_string(), "cond#7");
+        let q = CustomPred::new("plain", |_: &i64| true);
+        assert_eq!(q.to_string(), "plain");
+    }
+}

@@ -1,0 +1,742 @@
+//! Disjunctive-normal-form conversion (§4.1: "every Boolean formula can be
+//! converted into DNF using De Morgan's laws and distributive law").
+//!
+//! The conversion happens once per predicate construction — the analog of
+//! the paper's preprocessing step — so a worst-case exponential blowup is
+//! acceptable but still guarded by an explicit conjunction limit
+//! ([`DnfOverflow`]).
+//!
+//! Beyond plain distribution the pass performs the cheap simplifications a
+//! preprocessor would: duplicate literals inside a conjunction are dropped,
+//! conjunctions whose comparison literals are unsatisfiable over the
+//! integers are pruned (`x < 3 && x > 5`), and duplicate conjunctions are
+//! merged. These keep the runtime's tag indexes free of dead entries.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ast::BoolExpr;
+use crate::atom::{CmpAtom, CmpOp};
+use crate::custom::CustomPred;
+use crate::expr::{ExprId, ExprTable};
+
+/// Default cap on the number of conjunctions produced for one predicate.
+pub const DEFAULT_CONJUNCTION_LIMIT: usize = 512;
+
+/// Error: DNF conversion exceeded the conjunction limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DnfOverflow {
+    /// The limit that was exceeded.
+    pub limit: usize,
+}
+
+impl fmt::Display for DnfOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DNF conversion exceeded the limit of {} conjunctions",
+            self.limit
+        )
+    }
+}
+
+impl std::error::Error for DnfOverflow {}
+
+/// A literal of a DNF conjunction: a comparison atom or a (possibly
+/// negated) custom closure.
+pub enum Literal<S> {
+    /// `sharedExpr op key`. Negations have been folded into the operator.
+    Cmp(CmpAtom),
+    /// An opaque closure, negated when `negated` is true (closures cannot
+    /// absorb negation the way comparison operators can).
+    Custom {
+        /// The wrapped closure.
+        pred: CustomPred<S>,
+        /// Whether the literal is the closure's negation.
+        negated: bool,
+    },
+}
+
+impl<S> Literal<S> {
+    /// Evaluates the literal.
+    pub fn eval(&self, state: &S, exprs: &ExprTable<S>) -> bool {
+        match self {
+            Literal::Cmp(atom) => atom.eval_with(exprs.eval(atom.expr, state)),
+            Literal::Custom { pred, negated } => pred.eval(state) != *negated,
+        }
+    }
+
+    /// The comparison atom, if this literal is one.
+    pub fn as_cmp(&self) -> Option<CmpAtom> {
+        match self {
+            Literal::Cmp(atom) => Some(*atom),
+            Literal::Custom { .. } => None,
+        }
+    }
+
+    fn duplicates(&self, other: &Literal<S>) -> bool {
+        match (self, other) {
+            (Literal::Cmp(a), Literal::Cmp(b)) => a == b,
+            (
+                Literal::Custom {
+                    pred: p,
+                    negated: n,
+                },
+                Literal::Custom {
+                    pred: q,
+                    negated: m,
+                },
+            ) => n == m && (p.same_closure(q) || (p.key().is_some() && p.key() == q.key())),
+            _ => false,
+        }
+    }
+}
+
+impl<S> Clone for Literal<S> {
+    fn clone(&self) -> Self {
+        match self {
+            Literal::Cmp(a) => Literal::Cmp(*a),
+            Literal::Custom { pred, negated } => Literal::Custom {
+                pred: pred.clone(),
+                negated: *negated,
+            },
+        }
+    }
+}
+
+impl<S> fmt::Debug for Literal<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl<S> fmt::Display for Literal<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Cmp(a) => write!(f, "{a}"),
+            Literal::Custom { pred, negated } => {
+                if *negated {
+                    write!(f, "!{pred}")
+                } else {
+                    write!(f, "{pred}")
+                }
+            }
+        }
+    }
+}
+
+/// A conjunction of literals. The empty conjunction is `true`.
+pub struct Conjunction<S> {
+    literals: Vec<Literal<S>>,
+}
+
+impl<S> Conjunction<S> {
+    /// Creates a conjunction from literals (no simplification).
+    pub fn new(literals: Vec<Literal<S>>) -> Self {
+        Conjunction { literals }
+    }
+
+    /// The literals in construction order.
+    pub fn literals(&self) -> &[Literal<S>] {
+        &self.literals
+    }
+
+    /// Evaluates the conjunction (all literals true).
+    pub fn eval(&self, state: &S, exprs: &ExprTable<S>) -> bool {
+        self.literals.iter().all(|l| l.eval(state, exprs))
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Whether this is the empty (trivially true) conjunction.
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// Whether the conjunction contains any custom (opaque) literal.
+    pub fn has_custom(&self) -> bool {
+        self.literals
+            .iter()
+            .any(|l| matches!(l, Literal::Custom { .. }))
+    }
+
+    /// Drops duplicate literals in place.
+    fn dedup_literals(&mut self) {
+        let mut kept: Vec<Literal<S>> = Vec::with_capacity(self.literals.len());
+        for lit in self.literals.drain(..) {
+            if !kept.iter().any(|k| k.duplicates(&lit)) {
+                kept.push(lit);
+            }
+        }
+        self.literals = kept;
+    }
+
+    /// Integer-feasibility check of the comparison literals: returns
+    /// `false` when no assignment of the shared expressions can satisfy
+    /// them all (custom literals are treated as satisfiable).
+    pub fn cmp_feasible(&self) -> bool {
+        #[derive(Default)]
+        struct Range {
+            eq: Option<i64>,
+            lo: Option<i64>, // inclusive lower bound
+            hi: Option<i64>, // inclusive upper bound
+            ne: Vec<i64>,
+        }
+        let mut ranges: BTreeMap<ExprId, Range> = BTreeMap::new();
+        for lit in &self.literals {
+            let Some(atom) = lit.as_cmp() else { continue };
+            let r = ranges.entry(atom.expr).or_default();
+            match atom.op {
+                CmpOp::Eq => {
+                    if r.eq.is_some_and(|prev| prev != atom.key) {
+                        return false;
+                    }
+                    r.eq = Some(atom.key);
+                }
+                CmpOp::Ne => r.ne.push(atom.key),
+                CmpOp::Lt => {
+                    let Some(bound) = atom.key.checked_sub(1) else {
+                        return false; // x < i64::MIN
+                    };
+                    r.hi = Some(r.hi.map_or(bound, |h| h.min(bound)));
+                }
+                CmpOp::Le => r.hi = Some(r.hi.map_or(atom.key, |h| h.min(atom.key))),
+                CmpOp::Gt => {
+                    let Some(bound) = atom.key.checked_add(1) else {
+                        return false; // x > i64::MAX
+                    };
+                    r.lo = Some(r.lo.map_or(bound, |l| l.max(bound)));
+                }
+                CmpOp::Ge => r.lo = Some(r.lo.map_or(atom.key, |l| l.max(atom.key))),
+            }
+        }
+        for r in ranges.values() {
+            let lo = r.lo.unwrap_or(i64::MIN);
+            let hi = r.hi.unwrap_or(i64::MAX);
+            if lo > hi {
+                return false;
+            }
+            if let Some(eq) = r.eq {
+                if eq < lo || eq > hi || r.ne.contains(&eq) {
+                    return false;
+                }
+            } else if lo == hi && r.ne.contains(&lo) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn same_shape(&self, other: &Conjunction<S>) -> bool {
+        self.literals.len() == other.literals.len()
+            && self
+                .literals
+                .iter()
+                .all(|l| other.literals.iter().any(|o| o.duplicates(l)))
+    }
+
+    /// Whether `other` implies `self` because every literal of `self`
+    /// occurs in `other` (so `self || other ≡ self`).
+    fn subsumes(&self, other: &Conjunction<S>) -> bool {
+        self.literals.len() <= other.literals.len()
+            && self
+                .literals
+                .iter()
+                .all(|l| other.literals.iter().any(|o| o.duplicates(l)))
+    }
+}
+
+impl<S> Clone for Conjunction<S> {
+    fn clone(&self) -> Self {
+        Conjunction {
+            literals: self.literals.clone(),
+        }
+    }
+}
+
+impl<S> fmt::Debug for Conjunction<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl<S> fmt::Display for Conjunction<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.literals.is_empty() {
+            return f.write_str("true");
+        }
+        for (i, lit) in self.literals.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" && ")?;
+            }
+            write!(f, "{lit}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A predicate in disjunctive normal form. The empty disjunction is
+/// `false`.
+pub struct Dnf<S> {
+    conjunctions: Vec<Conjunction<S>>,
+}
+
+impl<S> Dnf<S> {
+    /// Creates a DNF from pre-built conjunctions (no simplification).
+    pub fn new(conjunctions: Vec<Conjunction<S>>) -> Self {
+        Dnf { conjunctions }
+    }
+
+    /// The conjunctions of the disjunction.
+    pub fn conjunctions(&self) -> &[Conjunction<S>] {
+        &self.conjunctions
+    }
+
+    /// Evaluates the DNF (any conjunction true).
+    pub fn eval(&self, state: &S, exprs: &ExprTable<S>) -> bool {
+        self.conjunctions.iter().any(|c| c.eval(state, exprs))
+    }
+
+    /// Number of conjunctions.
+    pub fn len(&self) -> usize {
+        self.conjunctions.len()
+    }
+
+    /// Whether this is the empty (trivially false) disjunction.
+    pub fn is_empty(&self) -> bool {
+        self.conjunctions.is_empty()
+    }
+
+    /// Whether the DNF is the constant `true` (contains an empty
+    /// conjunction).
+    pub fn is_trivially_true(&self) -> bool {
+        self.conjunctions.iter().any(Conjunction::is_empty)
+    }
+
+    /// Whether the DNF is the constant `false`.
+    pub fn is_trivially_false(&self) -> bool {
+        self.conjunctions.is_empty()
+    }
+}
+
+impl<S> Clone for Dnf<S> {
+    fn clone(&self) -> Self {
+        Dnf {
+            conjunctions: self.conjunctions.clone(),
+        }
+    }
+}
+
+impl<S> fmt::Debug for Dnf<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl<S> fmt::Display for Dnf<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conjunctions.is_empty() {
+            return f.write_str("false");
+        }
+        for (i, c) in self.conjunctions.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" || ")?;
+            }
+            write!(f, "({c})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Negation-normal-form node: negations pushed to the leaves.
+enum Nnf<S> {
+    Lit(Literal<S>),
+    And(Vec<Nnf<S>>),
+    Or(Vec<Nnf<S>>),
+    Const(bool),
+}
+
+fn to_nnf<S>(expr: &BoolExpr<S>, negate: bool) -> Nnf<S> {
+    match expr {
+        BoolExpr::Const(b) => Nnf::Const(*b != negate),
+        BoolExpr::Cmp(atom) => Nnf::Lit(Literal::Cmp(if negate { atom.negated() } else { *atom })),
+        BoolExpr::Custom(c) => Nnf::Lit(Literal::Custom {
+            pred: c.clone(),
+            negated: negate,
+        }),
+        BoolExpr::Not(inner) => to_nnf(inner, !negate),
+        BoolExpr::And(children) => {
+            let converted = children.iter().map(|c| to_nnf(c, negate)).collect();
+            if negate {
+                Nnf::Or(converted) // De Morgan: !(a && b) = !a || !b
+            } else {
+                Nnf::And(converted)
+            }
+        }
+        BoolExpr::Or(children) => {
+            let converted = children.iter().map(|c| to_nnf(c, negate)).collect();
+            if negate {
+                Nnf::And(converted) // De Morgan: !(a || b) = !a && !b
+            } else {
+                Nnf::Or(converted)
+            }
+        }
+    }
+}
+
+/// Converts a boolean AST to DNF with the default conjunction limit.
+///
+/// # Errors
+///
+/// Returns [`DnfOverflow`] when distribution would create more than
+/// [`DEFAULT_CONJUNCTION_LIMIT`] conjunctions.
+pub fn to_dnf<S>(expr: &BoolExpr<S>) -> Result<Dnf<S>, DnfOverflow> {
+    to_dnf_with_limit(expr, DEFAULT_CONJUNCTION_LIMIT)
+}
+
+/// Converts a boolean AST to DNF, bounding the number of conjunctions.
+///
+/// # Errors
+///
+/// Returns [`DnfOverflow`] when distribution would create more than
+/// `limit` conjunctions at any intermediate step.
+pub fn to_dnf_with_limit<S>(expr: &BoolExpr<S>, limit: usize) -> Result<Dnf<S>, DnfOverflow> {
+    let nnf = to_nnf(expr, false);
+    let mut conjunctions = dnf_of_nnf(&nnf, limit)?;
+    // Simplify: dedup literals, prune unsatisfiable and duplicate
+    // conjunctions. An empty conjunction (constant true) absorbs the rest.
+    for c in &mut conjunctions {
+        c.dedup_literals();
+    }
+    conjunctions.retain(Conjunction::cmp_feasible);
+    let mut kept: Vec<Conjunction<S>> = Vec::with_capacity(conjunctions.len());
+    for c in conjunctions {
+        if c.is_empty() {
+            return Ok(Dnf::new(vec![Conjunction::new(Vec::new())]));
+        }
+        if !kept.iter().any(|k| k.same_shape(&c)) {
+            kept.push(c);
+        }
+    }
+    // Subsumption: in `A || B`, if A's literals are a subset of B's then
+    // B implies A and B is redundant. (Weaker disjuncts absorb stronger
+    // ones — the preprocessor-grade cleanup that keeps tag indexes
+    // small.)
+    let mut survivors: Vec<Conjunction<S>> = Vec::with_capacity(kept.len());
+    'outer: for c in kept {
+        // Skip c if an existing survivor subsumes it.
+        for s in &survivors {
+            if s.subsumes(&c) {
+                continue 'outer;
+            }
+        }
+        // Remove survivors that c subsumes.
+        survivors.retain(|s| !c.subsumes(s));
+        survivors.push(c);
+    }
+    Ok(Dnf::new(survivors))
+}
+
+fn dnf_of_nnf<S>(nnf: &Nnf<S>, limit: usize) -> Result<Vec<Conjunction<S>>, DnfOverflow> {
+    match nnf {
+        Nnf::Const(true) => Ok(vec![Conjunction::new(Vec::new())]),
+        Nnf::Const(false) => Ok(Vec::new()),
+        Nnf::Lit(lit) => Ok(vec![Conjunction::new(vec![lit.clone()])]),
+        Nnf::Or(children) => {
+            let mut out = Vec::new();
+            for child in children {
+                out.extend(dnf_of_nnf(child, limit)?);
+                if out.len() > limit {
+                    return Err(DnfOverflow { limit });
+                }
+            }
+            Ok(out)
+        }
+        Nnf::And(children) => {
+            // Distribute: cross product of the children's conjunction sets.
+            let mut acc: Vec<Conjunction<S>> = vec![Conjunction::new(Vec::new())];
+            for child in children {
+                let child_conjs = dnf_of_nnf(child, limit)?;
+                let mut next = Vec::with_capacity(acc.len() * child_conjs.len().max(1));
+                for left in &acc {
+                    for right in &child_conjs {
+                        let mut literals = left.literals.clone();
+                        literals.extend(right.literals.iter().cloned());
+                        next.push(Conjunction::new(literals));
+                        if next.len() > limit {
+                            return Err(DnfOverflow { limit });
+                        }
+                    }
+                }
+                acc = next;
+                if acc.is_empty() {
+                    return Ok(acc); // a false child annihilates the And
+                }
+            }
+            Ok(acc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ExprHandle;
+
+    struct S {
+        x: i64,
+        y: i64,
+        z: i64,
+    }
+
+    fn setup() -> (ExprTable<S>, ExprHandle<S>, ExprHandle<S>, ExprHandle<S>) {
+        let mut t = ExprTable::new();
+        let x = t.register("x", |s: &S| s.x);
+        let y = t.register("y", |s: &S| s.y);
+        let z = t.register("z", |s: &S| s.z);
+        (t, x, y, z)
+    }
+
+    fn states() -> Vec<S> {
+        let mut out = Vec::new();
+        for x in -1..=3 {
+            for y in -1..=3 {
+                for z in -1..=3 {
+                    out.push(S { x, y, z });
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_equiv(expr: &BoolExpr<S>, t: &ExprTable<S>) {
+        let dnf = to_dnf(expr).unwrap();
+        for s in states() {
+            assert_eq!(
+                expr.eval(&s, t),
+                dnf.eval(&s, t),
+                "mismatch for {expr} vs {dnf} at x={} y={} z={}",
+                s.x,
+                s.y,
+                s.z
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_is_preserved() {
+        // (x = 1) && (y = 6) || (z != 8) — the DNF example from §4.1.
+        let (t, x, y, z) = setup();
+        let e = x.eq(1).and(y.eq(6)).or(z.ne(8));
+        let dnf = to_dnf(&e).unwrap();
+        assert_eq!(dnf.len(), 2);
+        assert_equiv(&e, &t);
+    }
+
+    #[test]
+    fn distribution_over_or() {
+        let (t, x, y, z) = setup();
+        // (x==1 || y==1) && (z==1 || z==2) → 4 conjunctions
+        let e = x.eq(1).or(y.eq(1)).and(z.eq(1).or(z.eq(2)));
+        let dnf = to_dnf(&e).unwrap();
+        assert_eq!(dnf.len(), 4);
+        assert_equiv(&e, &t);
+    }
+
+    #[test]
+    fn de_morgan_pushes_negation_to_operators() {
+        let (t, x, y, _) = setup();
+        let e = x.lt(2).and(y.ge(1)).not();
+        let dnf = to_dnf(&e).unwrap();
+        // !(x<2 && y>=1) = x>=2 || y<1
+        assert_eq!(dnf.len(), 2);
+        for c in dnf.conjunctions() {
+            assert_eq!(c.len(), 1);
+            let atom = c.literals()[0].as_cmp().unwrap();
+            assert!(atom.op == CmpOp::Ge || atom.op == CmpOp::Lt);
+        }
+        assert_equiv(&e, &t);
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let (t, x, _, _) = setup();
+        let e = x.eq(2).not().not();
+        let dnf = to_dnf(&e).unwrap();
+        assert_eq!(dnf.len(), 1);
+        assert_equiv(&e, &t);
+    }
+
+    #[test]
+    fn negated_custom_keeps_negation_flag() {
+        let (t, _, _, _) = setup();
+        let e = BoolExpr::custom("c", |s: &S| s.x > 0).not();
+        let dnf = to_dnf(&e).unwrap();
+        match &dnf.conjunctions()[0].literals()[0] {
+            Literal::Custom { negated, .. } => assert!(*negated),
+            other => panic!("expected custom literal, got {other}"),
+        }
+        assert_equiv(&e, &t);
+    }
+
+    #[test]
+    fn constants_simplify() {
+        let (_, x, _, _) = setup();
+        let t = to_dnf(&BoolExpr::<S>::always()).unwrap();
+        assert!(t.is_trivially_true());
+        let f = to_dnf(&BoolExpr::<S>::never()).unwrap();
+        assert!(f.is_trivially_false());
+        // x==1 && false → false
+        let dnf = to_dnf(&x.eq(1).and(BoolExpr::never())).unwrap();
+        assert!(dnf.is_trivially_false());
+        // x==1 || true → true
+        let dnf = to_dnf(&x.eq(1).or(BoolExpr::always())).unwrap();
+        assert!(dnf.is_trivially_true());
+    }
+
+    #[test]
+    fn duplicate_literals_are_deduped() {
+        let (t, x, _, _) = setup();
+        let e = x.ge(1).and(x.ge(1));
+        let dnf = to_dnf(&e).unwrap();
+        assert_eq!(dnf.conjunctions()[0].len(), 1);
+        assert_equiv(&e, &t);
+    }
+
+    #[test]
+    fn contradictory_conjunctions_are_pruned() {
+        let (t, x, y, _) = setup();
+        // (x<3 && x>5) || y==0 — first conjunction unsatisfiable
+        let e = x.lt(3).and(x.gt(5)).or(y.eq(0));
+        let dnf = to_dnf(&e).unwrap();
+        assert_eq!(dnf.len(), 1);
+        assert_equiv(&e, &t);
+    }
+
+    #[test]
+    fn eq_ne_contradiction_pruned() {
+        let (_, x, _, _) = setup();
+        let e = x.eq(4).and(x.ne(4));
+        assert!(to_dnf(&e).unwrap().is_trivially_false());
+    }
+
+    #[test]
+    fn eq_eq_conflict_pruned() {
+        let (_, x, _, _) = setup();
+        let e = x.eq(4).and(x.eq(5));
+        assert!(to_dnf(&e).unwrap().is_trivially_false());
+    }
+
+    #[test]
+    fn pinched_range_with_ne_is_infeasible() {
+        let (_, x, _, _) = setup();
+        // x >= 2 && x <= 2 && x != 2
+        let e = x.ge(2).and(x.le(2)).and(x.ne(2));
+        assert!(to_dnf(&e).unwrap().is_trivially_false());
+    }
+
+    #[test]
+    fn feasible_tight_range_is_kept() {
+        let (t, x, _, _) = setup();
+        let e = x.ge(2).and(x.le(2));
+        let dnf = to_dnf(&e).unwrap();
+        assert_eq!(dnf.len(), 1);
+        assert_equiv(&e, &t);
+    }
+
+    #[test]
+    fn boundary_lt_min_and_gt_max_are_infeasible() {
+        let (_, x, _, _) = setup();
+        assert!(to_dnf(&x.lt(i64::MIN)).unwrap().is_trivially_false());
+        assert!(to_dnf(&x.gt(i64::MAX)).unwrap().is_trivially_false());
+    }
+
+    #[test]
+    fn subsumed_conjunctions_are_dropped() {
+        let (t, x, y, _) = setup();
+        // (x>=1) || (x>=1 && y==2): the second disjunct is redundant.
+        let e = x.ge(1).or(x.ge(1).and(y.eq(2)));
+        let dnf = to_dnf(&e).unwrap();
+        assert_eq!(dnf.len(), 1);
+        assert_eq!(dnf.conjunctions()[0].len(), 1);
+        assert_equiv(&e, &t);
+        // Order independence: stronger disjunct first.
+        let e = x.ge(1).and(y.eq(2)).or(x.ge(1));
+        let dnf = to_dnf(&e).unwrap();
+        assert_eq!(dnf.len(), 1);
+        assert_equiv(&e, &t);
+    }
+
+    #[test]
+    fn non_subsumed_disjuncts_survive() {
+        let (t, x, y, _) = setup();
+        let e = x.ge(1).and(y.eq(2)).or(x.ge(2).and(y.eq(3)));
+        assert_eq!(to_dnf(&e).unwrap().len(), 2);
+        assert_equiv(&e, &t);
+    }
+
+    #[test]
+    fn duplicate_conjunctions_merge() {
+        let (_, x, y, _) = setup();
+        let e = x.eq(1).and(y.eq(2)).or(y.eq(2).and(x.eq(1)));
+        let dnf = to_dnf(&e).unwrap();
+        assert_eq!(dnf.len(), 1);
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let (_, x, _, _) = setup();
+        // (x==0 || x==1) && ... 12 times → 4096 conjunctions > 512
+        let clause = |_: usize| x.eq(0).or(x.eq(1));
+        let mut e = clause(0);
+        for i in 1..12 {
+            e = e.and(clause(i));
+        }
+        // Note: dedup happens after distribution, so the limit applies to
+        // the raw cross product.
+        let err = to_dnf(&e).unwrap_err();
+        assert_eq!(err.limit, DEFAULT_CONJUNCTION_LIMIT);
+        assert!(err.to_string().contains("512"));
+    }
+
+    #[test]
+    fn custom_limit_is_respected() {
+        let (_, x, y, _) = setup();
+        let e = x.eq(0).or(x.eq(1)).and(y.eq(0).or(y.eq(1)));
+        assert!(to_dnf_with_limit(&e, 3).is_err());
+        assert_eq!(to_dnf_with_limit(&e, 4).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn display_of_dnf() {
+        let (_, x, y, _) = setup();
+        let dnf = to_dnf(&x.eq(1).or(y.gt(0))).unwrap();
+        let text = dnf.to_string();
+        assert!(text.contains("e0 == 1"));
+        assert!(text.contains("||"));
+        assert_eq!(to_dnf(&BoolExpr::<S>::never()).unwrap().to_string(), "false");
+    }
+
+    #[test]
+    fn has_custom_detection() {
+        let (_, x, _, _) = setup();
+        let pure = to_dnf(&x.eq(1)).unwrap();
+        assert!(!pure.conjunctions()[0].has_custom());
+        let mixed = to_dnf(&x.eq(1).and(BoolExpr::custom("c", |_: &S| true))).unwrap();
+        assert!(mixed.conjunctions()[0].has_custom());
+    }
+
+    #[test]
+    fn deeply_nested_equivalence() {
+        let (t, x, y, z) = setup();
+        let e = x
+            .lt(2)
+            .or(y.ge(1).and(z.ne(0)))
+            .not()
+            .or(x.eq(3).and(y.eq(3).or(z.eq(3))));
+        assert_equiv(&e, &t);
+    }
+}

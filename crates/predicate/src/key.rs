@@ -1,0 +1,175 @@
+//! Structural predicate keys for the predicate table (§5.2).
+//!
+//! "Two predicates are *syntax equivalent* if they are identical after
+//! applying globalization" — the condition manager maps syntax-equivalent
+//! predicates to the same condition variable via a hash table. A
+//! [`PredKey`] is the canonical, order-insensitive form of a DNF used as
+//! that hash key.
+//!
+//! Predicates containing custom closures *without* a caller-supplied dedup
+//! key have no canonical form (the runtime cannot inspect a closure), so
+//! [`pred_key`] returns `None` and the runtime gives every such predicate
+//! its own condition variable.
+
+use crate::atom::CmpOp;
+use crate::dnf::{Dnf, Literal};
+use crate::expr::ExprId;
+
+/// The canonical form of one literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LitKey {
+    /// A comparison literal `expr op key`.
+    Cmp {
+        /// The compared expression.
+        expr: ExprId,
+        /// The operator.
+        op: CmpOp,
+        /// The globalized constant.
+        key: i64,
+    },
+    /// A keyed custom literal.
+    Custom {
+        /// The caller-supplied dedup key.
+        key: u64,
+        /// Whether the literal is negated.
+        negated: bool,
+    },
+}
+
+/// The canonical form of a whole predicate: sorted conjunctions of sorted
+/// literals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredKey(Vec<Vec<LitKey>>);
+
+impl PredKey {
+    /// Number of conjunctions in the canonical form.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the canonical form is empty (the constant-false predicate).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Computes the canonical key of a DNF, or `None` when it contains a
+/// keyless custom literal.
+pub fn pred_key<S>(dnf: &Dnf<S>) -> Option<PredKey> {
+    let mut conjunctions = Vec::with_capacity(dnf.len());
+    for conj in dnf.conjunctions() {
+        let mut lits = Vec::with_capacity(conj.len());
+        for lit in conj.literals() {
+            let key = match lit {
+                Literal::Cmp(atom) => LitKey::Cmp {
+                    expr: atom.expr,
+                    op: atom.op,
+                    key: atom.key,
+                },
+                Literal::Custom { pred, negated } => LitKey::Custom {
+                    key: pred.key()?,
+                    negated: *negated,
+                },
+            };
+            lits.push(key);
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        conjunctions.push(lits);
+    }
+    conjunctions.sort_unstable();
+    conjunctions.dedup();
+    Some(PredKey(conjunctions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BoolExpr;
+    use crate::custom::CustomPred;
+    use crate::dnf::to_dnf;
+    use crate::expr::{ExprHandle, ExprTable};
+
+    struct S {
+        x: i64,
+        y: i64,
+    }
+
+    fn setup() -> (ExprTable<S>, ExprHandle<S>, ExprHandle<S>) {
+        let mut t = ExprTable::new();
+        let x = t.register("x", |s: &S| s.x);
+        let y = t.register("y", |s: &S| s.y);
+        (t, x, y)
+    }
+
+    fn key_of(e: &BoolExpr<S>) -> Option<PredKey> {
+        pred_key(&to_dnf(e).unwrap())
+    }
+
+    #[test]
+    fn identical_predicates_share_a_key() {
+        let (_, x, _) = setup();
+        assert_eq!(key_of(&x.ge(48)), key_of(&x.ge(48)));
+    }
+
+    #[test]
+    fn different_globalized_constants_differ() {
+        let (_, x, _) = setup();
+        assert_ne!(key_of(&x.ge(48)), key_of(&x.ge(32)));
+    }
+
+    #[test]
+    fn literal_order_is_canonicalized() {
+        let (_, x, y) = setup();
+        assert_eq!(key_of(&x.eq(1).and(y.eq(2))), key_of(&y.eq(2).and(x.eq(1))));
+    }
+
+    #[test]
+    fn conjunction_order_is_canonicalized() {
+        let (_, x, y) = setup();
+        assert_eq!(key_of(&x.eq(1).or(y.eq(2))), key_of(&y.eq(2).or(x.eq(1))));
+    }
+
+    #[test]
+    fn keyless_custom_prevents_a_key() {
+        let (_, x, _) = setup();
+        let e = x.eq(1).and(BoolExpr::custom("c", |_: &S| true));
+        assert_eq!(key_of(&e), None);
+    }
+
+    #[test]
+    fn keyed_customs_participate() {
+        let (_, x, _) = setup();
+        let mk = |key: u64| {
+            x.eq(1)
+                .and(BoolExpr::Custom(CustomPred::new("c", |_: &S| true).with_key(key)))
+        };
+        assert_eq!(key_of(&mk(7)), key_of(&mk(7)));
+        assert_ne!(key_of(&mk(7)), key_of(&mk(8)));
+    }
+
+    #[test]
+    fn negated_keyed_custom_differs() {
+        let (_, _, _) = setup();
+        let plain = BoolExpr::Custom(CustomPred::new("c", |_: &S| true).with_key(7));
+        let negated = plain.clone().not();
+        assert_ne!(key_of(&plain), key_of(&negated));
+    }
+
+    #[test]
+    fn operator_matters() {
+        let (_, x, _) = setup();
+        assert_ne!(key_of(&x.ge(5)), key_of(&x.gt(5)));
+        assert_ne!(key_of(&x.ge(5)), key_of(&x.le(5)));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let (_, x, y) = setup();
+        let k = key_of(&x.eq(1).or(y.eq(2))).unwrap();
+        assert_eq!(k.len(), 2);
+        assert!(!k.is_empty());
+        let f = key_of(&BoolExpr::never()).unwrap();
+        assert!(f.is_empty());
+    }
+}

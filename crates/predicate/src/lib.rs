@@ -1,0 +1,73 @@
+//! Predicate representation and analysis for the AutoSynch monitor.
+//!
+//! This crate is the *analysis half* of the PLDI'13 AutoSynch system: it
+//! defines how `waituntil` conditions are represented so that the runtime
+//! (crate `autosynch`) can evaluate them in **any** thread and index them
+//! with **predicate tags**.
+//!
+//! The pipeline mirrors §4 of the paper:
+//!
+//! 1. A condition is built over [`expr::ExprHandle`] handles —
+//!    integer-valued expressions over the monitor's shared state — combined
+//!    with comparison operators and boolean connectives
+//!    ([`ast::BoolExpr`]). Thread-local values appear only as constants:
+//!    capturing them at construction time *is* the paper's globalization
+//!    (Def. 2), which Rust closures and builder arguments give us for free.
+//! 2. The condition is normalized to disjunctive normal form
+//!    ([`dnf::Dnf`], via [`dnf::to_dnf`]) exactly as the paper's
+//!    preprocessor does with De Morgan's laws and distribution.
+//! 3. Every conjunction receives one [`tag::Tag`] by the priority rule of
+//!    Fig. 3: `Equivalence` beats `Threshold` beats `None`.
+//! 4. The result is packaged as a [`predicate::Predicate`] with an optional
+//!    structural [`key::PredKey`] used by the runtime's predicate table to
+//!    map syntax-equivalent predicates to one condition variable (§5.2).
+//!
+//! Escape hatch: conditions that cannot be expressed as comparisons of
+//! shared expressions (arbitrary Rust closures) become
+//! [`custom::CustomPred`] literals. They evaluate fine everywhere but tag
+//! as `None`, i.e. the runtime falls back to exhaustive search for them —
+//! the same trade-off as the paper's `None` tag.
+//!
+//! # Examples
+//!
+//! ```
+//! use autosynch_predicate::expr::ExprTable;
+//! use autosynch_predicate::predicate::Predicate;
+//! use autosynch_predicate::tag::Tag;
+//!
+//! struct Buffer { count: i64 }
+//!
+//! let mut exprs = ExprTable::new();
+//! let count = exprs.register("count", |b: &Buffer| b.count);
+//!
+//! // A consumer that wants to take 48 items waits until `count >= 48`:
+//! // the literal 48 is the globalized local variable.
+//! let pred = Predicate::try_from_expr(count.ge(48)).unwrap();
+//! assert_eq!(pred.tags().len(), 1);
+//! assert!(matches!(pred.tags()[0], Tag::Threshold { key: 48, .. }));
+//!
+//! let state = Buffer { count: 64 };
+//! assert!(pred.eval(&state, &exprs));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod atom;
+pub mod custom;
+pub mod dnf;
+pub mod expr;
+pub mod key;
+pub mod linear;
+pub mod predicate;
+pub mod tag;
+
+pub use ast::BoolExpr;
+pub use atom::{CmpAtom, CmpOp};
+pub use custom::CustomPred;
+pub use dnf::{Conjunction, Dnf, DnfOverflow, Literal};
+pub use expr::{ExprHandle, ExprId, ExprTable};
+pub use key::PredKey;
+pub use predicate::{IntoPredicate, Predicate};
+pub use tag::{Tag, ThresholdOp};

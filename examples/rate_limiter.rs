@@ -1,0 +1,145 @@
+//! A token-bucket rate limiter on the automatic-signal monitor,
+//! demonstrating the timed `waituntil` extension.
+//!
+//! Requests of different sizes block on `waituntil(tokens >= need)` — a
+//! globalized threshold predicate, one heap key per distinct size — and
+//! a refill thread periodically deposits tokens. No condition
+//! variables: the refill's monitor exit relays to the *cheapest
+//! satisfiable* waiting request (the heap root is the weakest
+//! threshold), and each admitted request's exit relays onward while
+//! tokens remain.
+//!
+//! `acquire_timeout` uses `wait_until_timeout`, the documented
+//! extension over the paper: a request that cannot be served in time
+//! gives up cleanly, and the runtime's orphaned-signal hand-off keeps
+//! relay invariance intact even when a signal races the timeout.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example rate_limiter
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use autosynch_repro::autosynch::{ExprHandle, Monitor};
+
+/// The bucket: tokens available now, capped at `burst`.
+#[derive(Debug)]
+struct Bucket {
+    tokens: i64,
+    burst: i64,
+}
+
+/// The limiter facade a downstream crate would export.
+#[derive(Debug)]
+struct RateLimiter {
+    monitor: Monitor<Bucket>,
+    tokens: ExprHandle<Bucket>,
+}
+
+impl RateLimiter {
+    fn new(burst: i64) -> Self {
+        let monitor = Monitor::new(Bucket { tokens: burst, burst });
+        let tokens = monitor.register_expr("tokens", |b| b.tokens);
+        RateLimiter { monitor, tokens }
+    }
+
+    /// Blocks until `need` tokens are available, then takes them.
+    fn acquire(&self, need: i64) {
+        self.monitor.enter(|g| {
+            g.wait_until(self.tokens.ge(need)); // waituntil(tokens >= need)
+            g.state_mut().tokens -= need;
+        });
+    }
+
+    /// Like [`acquire`](Self::acquire) but gives up after `timeout`.
+    /// Returns whether the tokens were taken.
+    fn acquire_timeout(&self, need: i64, timeout: Duration) -> bool {
+        self.monitor.enter(|g| {
+            if g.wait_until_timeout(self.tokens.ge(need), timeout) {
+                g.state_mut().tokens -= need;
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    /// Deposits `n` tokens (refill thread), saturating at the burst cap.
+    fn refill(&self, n: i64) {
+        self.monitor.with(move |b| b.tokens = (b.tokens + n).min(b.burst));
+    }
+}
+
+fn main() {
+    let limiter = Arc::new(RateLimiter::new(40));
+    let served = Arc::new(AtomicU64::new(0));
+    let timed_out = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Refill thread: 20 tokens every 2 ms → ~10k tokens/s steady state.
+    let refiller = {
+        let limiter = Arc::clone(&limiter);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                limiter.refill(20);
+                thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    // Six clients with fixed request sizes; the two big ones also probe
+    // the timeout path with a deliberately tight budget.
+    let sizes = [1i64, 2, 4, 8, 16, 32];
+    let clients: Vec<_> = sizes
+        .iter()
+        .map(|&need| {
+            let limiter = Arc::clone(&limiter);
+            let served = Arc::clone(&served);
+            let timed_out = Arc::clone(&timed_out);
+            thread::spawn(move || {
+                for round in 0..100 {
+                    if need >= 16 && round % 4 == 3 {
+                        if limiter.acquire_timeout(need, Duration::from_micros(200)) {
+                            served.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            timed_out.fetch_add(1, Ordering::Relaxed);
+                        }
+                    } else {
+                        limiter.acquire(need);
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for client in clients {
+        client.join().expect("client panicked");
+    }
+    stop.store(true, Ordering::Relaxed);
+    refiller.join().expect("refiller panicked");
+
+    let stats = limiter.monitor.stats_snapshot();
+    println!(
+        "served={} timed_out={} (every request either served in full or cleanly refused)",
+        served.load(Ordering::Relaxed),
+        timed_out.load(Ordering::Relaxed),
+    );
+    println!(
+        "waits={} wakeups={} futile={} signals={} broadcasts={}",
+        stats.counters.waits,
+        stats.counters.wakeups,
+        stats.counters.futile_wakeups,
+        stats.counters.signals,
+        stats.counters.broadcasts,
+    );
+    assert_eq!(stats.counters.broadcasts, 0, "no signalAll, ever");
+    let remaining = limiter.monitor.enter(|g| g.state().tokens);
+    assert!(remaining >= 0, "the bucket can never go negative");
+}

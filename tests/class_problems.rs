@@ -1,0 +1,312 @@
+//! Cross-validation: evaluation problems re-implemented as compiled
+//! `monitor` classes (the DSL class pipeline) must behave like the
+//! native implementations — same invariants, same no-broadcast
+//! guarantee.
+
+use std::sync::Arc;
+use std::thread;
+
+use autosynch_repro::dsl::class::{parse_class, ClassMonitor};
+
+#[test]
+fn round_robin_as_a_class() {
+    let class = parse_class(
+        "monitor RoundRobin {
+            var turn, n, passes;
+            method init(k) { n = k; }
+            method pass(me) {
+                waituntil(turn == me);
+                turn = turn + 1;
+                if (turn == n) { turn = 0; }
+                passes = passes + 1;
+            }
+            method passes_done() { return passes; }
+        }",
+    )
+    .unwrap();
+    let ring = Arc::new(ClassMonitor::instantiate(class).unwrap());
+    const N: i64 = 6;
+    const ROUNDS: i64 = 40;
+    ring.call("init", &[N]).unwrap();
+
+    let handles: Vec<_> = (0..N)
+        .map(|id| {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    ring.call("pass", &[id]).unwrap();
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert_eq!(ring.call("passes_done", &[]).unwrap(), Some(N * ROUNDS));
+    assert_eq!(
+        ring.monitor().stats_snapshot().counters.broadcasts,
+        0,
+        "class-compiled monitors inherit the no-signalAll guarantee"
+    );
+}
+
+#[test]
+fn parameterized_bounded_buffer_as_a_class() {
+    let class = parse_class(
+        "monitor ParamBuffer {
+            var count, cap;
+            method init(capacity) { cap = capacity; }
+            method put(n) {
+                waituntil(count + n <= cap);
+                count = count + n;
+            }
+            method take(n) {
+                waituntil(count >= n);
+                count = count - n;
+                return count;
+            }
+        }",
+    )
+    .unwrap();
+    let buffer = Arc::new(ClassMonitor::instantiate(class).unwrap());
+    buffer.call("init", &[32]).unwrap();
+
+    let producers: Vec<_> = (0..2i64)
+        .map(|id| {
+            let buffer = Arc::clone(&buffer);
+            thread::spawn(move || {
+                for round in 0..120 {
+                    buffer.call("put", &[1 + (id + round) % 9]).unwrap();
+                }
+            })
+        })
+        .collect();
+    let consumers: Vec<_> = (0..2i64)
+        .map(|id| {
+            let buffer = Arc::clone(&buffer);
+            thread::spawn(move || {
+                for round in 0..120 {
+                    buffer.call("take", &[1 + (id + round) % 9]).unwrap();
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    for c in consumers {
+        c.join().unwrap();
+    }
+    assert_eq!(buffer.monitor().enter(|g| g.get("count")), 0);
+    assert_eq!(buffer.monitor().stats_snapshot().counters.broadcasts, 0);
+}
+
+#[test]
+fn h2o_as_a_class() {
+    let class = parse_class(
+        "monitor Water {
+            var h_free, slots, water;
+            method hydrogen() {
+                h_free = h_free + 1;
+                waituntil(slots > 0);
+                slots = slots - 1;
+            }
+            method oxygen() {
+                waituntil(h_free >= 2);
+                h_free = h_free - 2;
+                slots = slots + 2;
+                water = water + 1;
+            }
+            method made() { return water; }
+        }",
+    )
+    .unwrap();
+    let vessel = Arc::new(ClassMonitor::instantiate(class).unwrap());
+    const H_THREADS: usize = 4;
+    const EVENTS: usize = 60;
+
+    let oxygen = {
+        let vessel = Arc::clone(&vessel);
+        thread::spawn(move || {
+            for _ in 0..(H_THREADS * EVENTS / 2) {
+                vessel.call("oxygen", &[]).unwrap();
+            }
+        })
+    };
+    let pool = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let hydrogens: Vec<_> = (0..H_THREADS)
+        .map(|_| {
+            let vessel = Arc::clone(&vessel);
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                while pool.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                    < H_THREADS * EVENTS
+                {
+                    vessel.call("hydrogen", &[]).unwrap();
+                }
+            })
+        })
+        .collect();
+    oxygen.join().unwrap();
+    for h in hydrogens {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        vessel.call("made", &[]).unwrap(),
+        Some((H_THREADS * EVENTS / 2) as i64)
+    );
+}
+
+#[test]
+fn one_lane_bridge_as_a_class() {
+    // The extension workload's disjunctive waituntil, written in the
+    // DSL surface syntax: one conjunction is a shared equivalence, the
+    // other mixes a globalized equivalence with a shared threshold.
+    let class = parse_class(
+        "monitor Bridge {
+            var on, dir, crossings, cap;
+            method init(capacity) { cap = capacity; dir = 0 - 1; }
+            method enter(d) {
+                waituntil(on == 0 || (dir == d && on < cap));
+                dir = d;
+                on = on + 1;
+            }
+            method exit() {
+                on = on - 1;
+                crossings = crossings + 1;
+                if (on == 0) { dir = 0 - 1; }
+            }
+            method done() { return crossings; }
+        }",
+    )
+    .unwrap();
+    let bridge = Arc::new(ClassMonitor::instantiate(class).unwrap());
+    bridge.call("init", &[2]).unwrap();
+
+    const PER_DIRECTION: i64 = 3;
+    const CROSSINGS: i64 = 60;
+    let handles: Vec<_> = (0..PER_DIRECTION * 2)
+        .map(|i| {
+            let bridge = Arc::clone(&bridge);
+            thread::spawn(move || {
+                let d = i % 2;
+                for _ in 0..CROSSINGS {
+                    bridge.call("enter", &[d]).unwrap();
+                    // The invariants live in the monitor state; peek
+                    // under the lock while "on the bridge".
+                    let (on, dir, cap) = bridge
+                        .monitor()
+                        .enter(|g| (g.get("on"), g.get("dir"), g.get("cap")));
+                    assert!(on >= 1 && on <= cap, "occupancy {on} out of bounds");
+                    assert_eq!(dir, d, "direction flipped under us");
+                    bridge.call("exit", &[]).unwrap();
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert_eq!(
+        bridge.call("done", &[]).unwrap(),
+        Some(PER_DIRECTION * 2 * CROSSINGS)
+    );
+    assert_eq!(bridge.monitor().stats_snapshot().counters.broadcasts, 0);
+}
+
+#[test]
+fn group_mutex_as_a_class() {
+    let class = parse_class(
+        "monitor ForumRoom {
+            var active, inside, sessions;
+            method init() { active = 0 - 1; }
+            method attend(f) {
+                waituntil(inside == 0 || active == f);
+                active = f;
+                inside = inside + 1;
+            }
+            method leave() {
+                inside = inside - 1;
+                sessions = sessions + 1;
+                if (inside == 0) { active = 0 - 1; }
+            }
+            method held() { return sessions; }
+        }",
+    )
+    .unwrap();
+    let room = Arc::new(ClassMonitor::instantiate(class).unwrap());
+    room.call("init", &[]).unwrap();
+
+    const THREADS: i64 = 6;
+    const FORUMS: i64 = 3;
+    const SESSIONS: i64 = 60;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|i| {
+            let room = Arc::clone(&room);
+            thread::spawn(move || {
+                let forum = i % FORUMS;
+                for _ in 0..SESSIONS {
+                    room.call("attend", &[forum]).unwrap();
+                    let (active, inside) =
+                        room.monitor().enter(|g| (g.get("active"), g.get("inside")));
+                    assert_eq!(active, forum, "another forum grabbed the room");
+                    assert!(inside >= 1);
+                    room.call("leave", &[]).unwrap();
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert_eq!(room.call("held", &[]).unwrap(), Some(THREADS * SESSIONS));
+    assert_eq!(room.monitor().stats_snapshot().counters.broadcasts, 0);
+}
+
+#[test]
+fn cyclic_barrier_as_a_class() {
+    // The class language has no method-local variables, so the caller
+    // snapshots the generation itself: read `gen()` first, then pass it
+    // to `arrive(my_gen)`. With exactly `n` party threads this is safe —
+    // the generation cannot advance between the two calls because that
+    // would require this thread's own arrival.
+    let class = parse_class(
+        "monitor Barrier {
+            var generation, arrived, n;
+            method init(parties) { n = parties; }
+            method gen() { return generation; }
+            method arrive(my_gen) {
+                arrived = arrived + 1;
+                if (arrived == n) {
+                    arrived = 0;
+                    generation = generation + 1;
+                } else {
+                    waituntil(generation > my_gen);
+                }
+            }
+        }",
+    )
+    .unwrap();
+    let barrier = Arc::new(ClassMonitor::instantiate(class).unwrap());
+    const PARTIES: i64 = 5;
+    const GENERATIONS: i64 = 80;
+    barrier.call("init", &[PARTIES]).unwrap();
+
+    let handles: Vec<_> = (0..PARTIES)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                for expected in 0..GENERATIONS {
+                    let my_gen = barrier.call("gen", &[]).unwrap().unwrap();
+                    assert_eq!(my_gen, expected, "a party ran ahead of the barrier");
+                    barrier.call("arrive", &[my_gen]).unwrap();
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert_eq!(barrier.call("gen", &[]).unwrap(), Some(GENERATIONS));
+    assert_eq!(barrier.monitor().stats_snapshot().counters.broadcasts, 0);
+}

@@ -1,0 +1,191 @@
+//! Cross-mechanism equivalence: every problem, every mechanism, same
+//! invariants — and the paper's headline structural claims hold:
+//! AutoSynch never broadcasts, the explicit parameterized buffer cannot
+//! avoid broadcasting, and tagging prunes predicate evaluations.
+
+use autosynch_repro::problems::mechanism::Mechanism;
+use autosynch_repro::problems::{
+    bounded_buffer, dining, h2o, param_bounded_buffer, readers_writers, round_robin,
+    sleeping_barber,
+};
+
+fn all_reports(run: impl Fn(Mechanism) -> autosynch_repro::problems::RunReport) {
+    for mechanism in Mechanism::ALL {
+        let report = run(mechanism);
+        match mechanism {
+            Mechanism::AutoSynch | Mechanism::AutoSynchT => {
+                assert_eq!(
+                    report.stats.counters.broadcasts, 0,
+                    "{mechanism} must never signalAll"
+                );
+            }
+            Mechanism::Baseline => {
+                assert_eq!(
+                    report.stats.counters.signals, 0,
+                    "the baseline only broadcasts"
+                );
+            }
+            Mechanism::Explicit => {}
+        }
+    }
+}
+
+#[test]
+fn bounded_buffer_all_mechanisms() {
+    all_reports(|m| {
+        bounded_buffer::run(
+            m,
+            bounded_buffer::BoundedBufferConfig {
+                producers: 4,
+                consumers: 4,
+                ops_per_thread: 300,
+                capacity: 8,
+            },
+        )
+    });
+}
+
+#[test]
+fn h2o_all_mechanisms() {
+    all_reports(|m| {
+        h2o::run(
+            m,
+            h2o::H2oConfig {
+                h_threads: 6,
+                events_per_h: 200,
+            },
+        )
+    });
+}
+
+#[test]
+fn sleeping_barber_all_mechanisms() {
+    all_reports(|m| {
+        sleeping_barber::run(
+            m,
+            sleeping_barber::SleepingBarberConfig {
+                customers: 6,
+                visits_per_customer: 150,
+                chairs: 4,
+            },
+        )
+        .report
+    });
+}
+
+#[test]
+fn round_robin_all_mechanisms() {
+    all_reports(|m| {
+        round_robin::run(
+            m,
+            round_robin::RoundRobinConfig {
+                threads: 8,
+                rounds: 100,
+            },
+        )
+    });
+}
+
+#[test]
+fn readers_writers_all_mechanisms() {
+    all_reports(|m| {
+        readers_writers::run(
+            m,
+            readers_writers::ReadersWritersConfig {
+                writers: 3,
+                readers: 9,
+                ops_per_thread: 100,
+            },
+        )
+    });
+}
+
+#[test]
+fn dining_all_mechanisms() {
+    all_reports(|m| {
+        dining::run(
+            m,
+            dining::DiningConfig {
+                philosophers: 7,
+                meals_per_philosopher: 100,
+            },
+        )
+    });
+}
+
+#[test]
+fn param_bounded_buffer_all_mechanisms() {
+    all_reports(|m| {
+        param_bounded_buffer::run(
+            m,
+            param_bounded_buffer::ParamBoundedBufferConfig {
+                consumers: 4,
+                takes_per_consumer: 80,
+                max_items: 64,
+                capacity: 128,
+                seed: 11,
+            },
+        )
+    });
+}
+
+#[test]
+fn explicit_param_buffer_is_the_signal_all_problem() {
+    // §3: the explicit version cannot know whom to signal, so it
+    // broadcasts; the automatic version never does.
+    let config = param_bounded_buffer::ParamBoundedBufferConfig {
+        consumers: 6,
+        takes_per_consumer: 100,
+        max_items: 64,
+        capacity: 128,
+        seed: 3,
+    };
+    let explicit = param_bounded_buffer::run(Mechanism::Explicit, config);
+    assert!(explicit.stats.counters.broadcasts > 0);
+    let auto = param_bounded_buffer::run(Mechanism::AutoSynch, config);
+    assert_eq!(auto.stats.counters.broadcasts, 0);
+}
+
+#[test]
+fn tagging_beats_scanning_on_round_robin() {
+    // Table 1's mechanism: the equivalence hash probe replaces an O(N)
+    // scan per relay.
+    let config = round_robin::RoundRobinConfig {
+        threads: 16,
+        rounds: 100,
+    };
+    let tagged = round_robin::run(Mechanism::AutoSynch, config);
+    let scanned = round_robin::run(Mechanism::AutoSynchT, config);
+    assert!(
+        scanned.stats.counters.pred_evals > 3 * tagged.stats.counters.pred_evals,
+        "scan evals {} vs tagged evals {}",
+        scanned.stats.counters.pred_evals,
+        tagged.stats.counters.pred_evals,
+    );
+}
+
+#[test]
+fn explicit_broadcast_wakeups_explode_relative_to_autosynch() {
+    // Fig. 15's mechanism, as a structural assertion.
+    let config = param_bounded_buffer::ParamBoundedBufferConfig {
+        consumers: 12,
+        takes_per_consumer: 100,
+        max_items: 128,
+        capacity: 256,
+        seed: 9,
+    };
+    let explicit = param_bounded_buffer::run(Mechanism::Explicit, config);
+    let auto = param_bounded_buffer::run(Mechanism::AutoSynch, config);
+    assert!(
+        explicit.stats.counters.wakeups > 2 * auto.stats.counters.wakeups,
+        "explicit wakeups {} vs AutoSynch {}",
+        explicit.stats.counters.wakeups,
+        auto.stats.counters.wakeups,
+    );
+    assert!(
+        explicit.stats.counters.futile_ratio() > auto.stats.counters.futile_ratio(),
+        "explicit futile ratio {:.2} vs AutoSynch {:.2}",
+        explicit.stats.counters.futile_ratio(),
+        auto.stats.counters.futile_ratio(),
+    );
+}

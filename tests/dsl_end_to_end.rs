@@ -1,0 +1,145 @@
+//! End-to-end tests of the DSL front end driving the monitor: the whole
+//! preprocessor-analog pipeline under concurrency.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use autosynch_repro::dsl::error::DslError;
+use autosynch_repro::dsl::monitor::DslMonitor;
+use autosynch_repro::dsl::schema::Schema;
+
+#[test]
+fn textual_parameterized_bounded_buffer() {
+    let monitor = Arc::new(DslMonitor::new(Schema::new(&["count", "cap"])));
+    monitor.enter(|g| g.set("cap", 48));
+
+    let producer = {
+        let monitor = Arc::clone(&monitor);
+        thread::spawn(move || {
+            for round in 0..200i64 {
+                let n = 1 + round % 12;
+                monitor.enter(|g| {
+                    g.wait_until("count + n <= cap", &[("n", n)]).unwrap();
+                    g.add("count", n);
+                });
+            }
+        })
+    };
+    let consumer = {
+        let monitor = Arc::clone(&monitor);
+        thread::spawn(move || {
+            let mut total = 0;
+            for round in 0..200i64 {
+                let n = 1 + round % 12;
+                monitor.enter(|g| {
+                    g.wait_until("count >= n", &[("n", n)]).unwrap();
+                    g.add("count", -n);
+                });
+                total += n;
+            }
+            total
+        })
+    };
+    producer.join().unwrap();
+    let consumed = consumer.join().unwrap();
+    assert_eq!(consumed, (0..200).map(|r| 1 + r % 12).sum::<i64>());
+    assert_eq!(monitor.enter(|g| g.get("count")), 0);
+    assert_eq!(monitor.stats_snapshot().counters.broadcasts, 0);
+}
+
+#[test]
+fn disjunctive_conditions_with_mixed_tags() {
+    // count == 0 (equivalence) || count >= hi (threshold) || odd(count)
+    // — lowering produces one predicate with three differently-tagged
+    // conjunctions.
+    let monitor = Arc::new(DslMonitor::new(Schema::new(&["count"])));
+    monitor.enter(|g| g.set("count", 5));
+
+    // 5 >= hi is false for hi=10, 5 != 0, but `count - 2*half == 1`
+    // (odd) holds — the nonlinear mixed-var route tags as None.
+    monitor.enter(|g| {
+        g.wait_until(
+            "count == 0 || count >= hi || count - 2*half == 1",
+            &[("hi", 10), ("half", 2)],
+        )
+        .unwrap();
+    });
+}
+
+#[test]
+fn rearranged_linear_forms_share_condition_variables() {
+    // `cap - count >= n` and `count + n <= cap` canonicalize to one
+    // shared expression and, with equal n, one predicate entry.
+    let monitor = Arc::new(DslMonitor::new(Schema::new(&["count", "cap"])));
+    monitor.enter(|g| g.set("cap", 10));
+
+    let spellings = ["cap - count >= n", "count + n <= cap", "count <= cap - n"];
+    let handles: Vec<_> = spellings
+        .iter()
+        .map(|src| {
+            let monitor = Arc::clone(&monitor);
+            let src = (*src).to_owned();
+            thread::spawn(move || {
+                monitor.enter(|g| {
+                    g.wait_until(&src, &[("n", 4)]).unwrap();
+                });
+            })
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(30));
+    // All three block (count=0... wait: cap - 0 = 10 >= 4 is true!).
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    // Entries interned: at most one predicate entry was ever created.
+    let (entries, ..) = monitor.monitor().manager_counts();
+    assert!(entries <= 1, "expected one interned entry, got {entries}");
+}
+
+#[test]
+fn unknown_local_reports_before_waiting() {
+    let monitor = DslMonitor::new(Schema::new(&["count"]));
+    let err = monitor.enter(|g| g.wait_until("count >= n", &[]).unwrap_err());
+    assert!(matches!(err, DslError::UnknownVariable { .. }));
+}
+
+#[test]
+fn timeout_through_the_dsl() {
+    let monitor = DslMonitor::new(Schema::new(&["count"]));
+    let ok = monitor
+        .enter(|g| g.wait_until_timeout("count >= 1", &[], Duration::from_millis(25)))
+        .unwrap();
+    assert!(!ok);
+    monitor.enter(|g| g.set("count", 3));
+    let ok = monitor
+        .enter(|g| g.wait_until_timeout("count >= 1", &[], Duration::from_millis(25)))
+        .unwrap();
+    assert!(ok);
+}
+
+#[test]
+fn many_threads_with_per_thread_keys() {
+    // The DSL version of the round-robin pattern.
+    const N: i64 = 8;
+    const ROUNDS: i64 = 50;
+    let monitor = Arc::new(DslMonitor::new(Schema::new(&["turn"])));
+    let handles: Vec<_> = (0..N)
+        .map(|id| {
+            let monitor = Arc::clone(&monitor);
+            thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    monitor.enter(|g| {
+                        g.wait_until("turn == me", &[("me", id)]).unwrap();
+                        let next = (g.get("turn") + 1) % N;
+                        g.set("turn", next);
+                    });
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert_eq!(monitor.enter(|g| g.get("turn")), 0);
+}

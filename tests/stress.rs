@@ -1,0 +1,214 @@
+//! Heavier stress tests: more threads, more churn, still bounded to a
+//! few seconds so they stay in the default suite.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use autosynch_repro::autosynch::config::MonitorConfig;
+use autosynch_repro::autosynch::Monitor;
+use autosynch_repro::problems::mechanism::Mechanism;
+use autosynch_repro::problems::param_bounded_buffer::{self, ParamBoundedBufferConfig};
+use autosynch_repro::problems::round_robin::{self, RoundRobinConfig};
+
+#[test]
+fn param_buffer_under_wide_contention() {
+    for mechanism in [Mechanism::Explicit, Mechanism::AutoSynch] {
+        let report = param_bounded_buffer::run(
+            mechanism,
+            ParamBoundedBufferConfig {
+                consumers: 32,
+                takes_per_consumer: 60,
+                max_items: 128,
+                capacity: 256,
+                seed: 0xFEED,
+            },
+        );
+        assert_eq!(report.threads, 33, "{mechanism}");
+    }
+}
+
+#[test]
+fn round_robin_with_many_threads() {
+    let report = round_robin::run(
+        Mechanism::AutoSynch,
+        RoundRobinConfig {
+            threads: 64,
+            rounds: 30,
+        },
+    );
+    assert_eq!(report.stats.counters.broadcasts, 0);
+}
+
+#[test]
+fn churning_distinct_predicates_respects_inactive_cap() {
+    // Thousands of distinct globalized predicates churning through a
+    // small inactive cache: entries must stay bounded and nothing may
+    // leak.
+    struct S {
+        value: i64,
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let config = MonitorConfig::new().inactive_cap(8);
+    let monitor = Arc::new(Monitor::with_config(S { value: 0 }, config));
+    let value = monitor.register_expr("value", |s| s.value);
+    let finished_workers = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for worker in 0..4i64 {
+            let monitor = Arc::clone(&monitor);
+            let finished_workers = &finished_workers;
+            scope.spawn(move || {
+                for round in 0..200i64 {
+                    let key = worker * 1_000 + round;
+                    // Half the predicates are satisfied instantly (value
+                    // >= negative key), half require the driver.
+                    let pred = if round % 2 == 0 {
+                        value.ge(-key)
+                    } else {
+                        value.ge(key % 64)
+                    };
+                    monitor.enter(|g| g.wait_until(pred));
+                }
+                finished_workers.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let monitor = Arc::clone(&monitor);
+        let finished_workers = &finished_workers;
+        scope.spawn(move || {
+            // The driver sweeps the value upward repeatedly until every
+            // worker has completed all of its waits.
+            while finished_workers.load(Ordering::SeqCst) < 4 {
+                for step in 0..64i64 {
+                    monitor.with(move |s| s.value = step);
+                }
+                thread::yield_now();
+            }
+        });
+    });
+
+    let (entries, waiting, signaled, tags) = monitor.manager_counts();
+    assert_eq!((waiting, signaled, tags), (0, 0, 0));
+    assert!(entries <= 9, "inactive cap 8 must bound entries, got {entries}");
+    assert_eq!(monitor.stats_snapshot().counters.broadcasts, 0);
+}
+
+#[test]
+fn timeout_storm_leaves_monitor_clean() {
+    // Many concurrent short timeouts racing with satisfactions.
+    struct S {
+        value: i64,
+    }
+    let monitor = Arc::new(Monitor::new(S { value: 0 }));
+    let value = monitor.register_expr("value", |s| s.value);
+
+    std::thread::scope(|scope| {
+        for k in 0..16i64 {
+            let monitor = Arc::clone(&monitor);
+            scope.spawn(move || {
+                for round in 0..20i64 {
+                    let target = (k + round) % 8;
+                    monitor.enter(|g| {
+                        let _ = g.wait_until_timeout(
+                            value.ge(target),
+                            Duration::from_micros(200),
+                        );
+                    });
+                }
+            });
+        }
+        let monitor = Arc::clone(&monitor);
+        scope.spawn(move || {
+            for step in 0..200i64 {
+                monitor.with(move |s| s.value = step % 8);
+            }
+        });
+    });
+
+    let (_, waiting, signaled, tags) = monitor.manager_counts();
+    assert_eq!((waiting, signaled, tags), (0, 0, 0), "no leaked waiters");
+}
+
+#[test]
+fn barrier_relay_chain_with_many_parties() {
+    // Each generation releases 47 waiters through a relay *chain* (the
+    // generation-bumper wakes one; each woken thread's exit wakes the
+    // next). Long chains are where a dropped baton would show up as a
+    // hang.
+    use autosynch_repro::problems::cyclic_barrier::{self, BarrierConfig};
+    let report = cyclic_barrier::run(
+        Mechanism::AutoSynch,
+        BarrierConfig {
+            parties: 48,
+            generations: 40,
+        },
+    );
+    assert_eq!(report.stats.counters.broadcasts, 0);
+    assert!(
+        report.stats.counters.signals >= 40 * 47,
+        "every waiter of every generation must be signaled individually"
+    );
+}
+
+#[test]
+fn validated_barrier_lockstep_with_ground_truth_checks() {
+    // The same relay-chain shape with the relay-invariance validator
+    // on: after every relay the manager proves no waiting-true
+    // predicate was missed. Globalized thresholds (generation > g)
+    // churn one heap key per generation.
+    struct B {
+        generation: i64,
+        arrived: i64,
+    }
+    const PARTIES: i64 = 12;
+    const GENERATIONS: i64 = 60;
+    let config = MonitorConfig::new().validate_relay(true);
+    let monitor = Arc::new(Monitor::with_config(
+        B {
+            generation: 0,
+            arrived: 0,
+        },
+        config,
+    ));
+    let generation = monitor.register_expr("generation", |s| s.generation);
+
+    std::thread::scope(|scope| {
+        for _ in 0..PARTIES {
+            let monitor = Arc::clone(&monitor);
+            scope.spawn(move || {
+                for _ in 0..GENERATIONS {
+                    monitor.enter(|g| {
+                        let my_gen = g.state().generation;
+                        g.state_mut().arrived += 1;
+                        if g.state().arrived == PARTIES {
+                            let s = g.state_mut();
+                            s.arrived = 0;
+                            s.generation += 1;
+                        } else {
+                            g.wait_until(generation.gt(my_gen));
+                        }
+                    });
+                }
+            });
+        }
+    });
+
+    assert_eq!(monitor.with(|s| s.generation), GENERATIONS);
+    let (_, waiting, signaled, tags) = monitor.manager_counts();
+    assert_eq!((waiting, signaled, tags), (0, 0, 0), "clean shutdown");
+    assert_eq!(monitor.stats_snapshot().counters.broadcasts, 0);
+}
+
+#[test]
+fn group_mutex_drain_churn_with_many_forums() {
+    use autosynch_repro::problems::group_mutex::{self, GroupMutexConfig};
+    let report = group_mutex::run(
+        Mechanism::AutoSynch,
+        GroupMutexConfig {
+            threads: 24,
+            forums: 12,
+            sessions: 40,
+        },
+    );
+    assert_eq!(report.stats.counters.broadcasts, 0);
+}
