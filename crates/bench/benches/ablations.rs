@@ -97,11 +97,7 @@ fn bench_relay_clean_exit(c: &mut Criterion) {
     for (label, relay) in [("always_relay", true), ("skip_clean", false)] {
         group.bench_function(BenchmarkId::new(label, "8r_x500"), |b| {
             b.iter(|| {
-                read_heavy(
-                    MonitorConfig::new().relay_on_clean_exit(relay),
-                    8,
-                    500,
-                );
+                read_heavy(MonitorConfig::new().relay_on_clean_exit(relay), 8, 500);
             })
         });
     }
@@ -281,6 +277,57 @@ fn bench_restricted_round_robin(c: &mut Criterion) {
     group.finish();
 }
 
+/// The change-driven relay (`autosynch_cd`) against the paper-default
+/// tagged mode on the two workloads the ISSUE singles out: the Fig. 14
+/// parameterized bounded buffer (threshold-heavy, every occupancy
+/// mutates) and the Fig. 11 round robin (equivalence-heavy, long waiter
+/// queues). The matching counter series lives in `reproduce -- relay`.
+fn bench_change_driven(c: &mut Criterion) {
+    use autosynch_problems::param_bounded_buffer::{self, ParamBoundedBufferConfig};
+    use autosynch_problems::round_robin::{self, RoundRobinConfig};
+
+    let mut group = c.benchmark_group("ablation_change_driven");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for mechanism in [Mechanism::AutoSynch, Mechanism::AutoSynchCD] {
+        group.bench_with_input(
+            BenchmarkId::new("fig14", mechanism.label()),
+            &mechanism,
+            |b, &m| {
+                b.iter(|| {
+                    param_bounded_buffer::run(
+                        m,
+                        ParamBoundedBufferConfig {
+                            consumers: 8,
+                            takes_per_consumer: 100,
+                            max_items: 64,
+                            capacity: 128,
+                            seed: 7,
+                        },
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fig11", mechanism.label()),
+            &mechanism,
+            |b, &m| {
+                b.iter(|| {
+                    round_robin::run(
+                        m,
+                        RoundRobinConfig {
+                            threads: 16,
+                            rounds: 64,
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_threshold_index,
@@ -288,6 +335,7 @@ criterion_group!(
     bench_dedup,
     bench_relay_width,
     bench_restricted_vs_full,
-    bench_restricted_round_robin
+    bench_restricted_round_robin,
+    bench_change_driven
 );
 criterion_main!(benches);

@@ -86,6 +86,12 @@ const EXPERIMENTS: &[Experiment] = &[
         run: figures::table1,
     },
     Experiment {
+        id: "relay",
+        title: "Extension — relay-cost accounting incl. change-driven (autosynch_cd)",
+        expectation: "AutoSynch-CD: fewer expr+pred evals than AutoSynch at equal outcomes; emits BENCH_relay.json",
+        run: figures::relay_cost,
+    },
+    Experiment {
         id: "extbarrier",
         title: "Extension — cyclic barrier (runtime, seconds)",
         expectation: "a second signalAll-bound family: explicit broadcasts per generation, AutoSynch relays",
@@ -126,7 +132,11 @@ fn main() {
 
     println!(
         "AutoSynch reproduction — {} mode (ops budget {} per point{})",
-        if sweep::full_scale() { "FULL paper-grid" } else { "quick" },
+        if sweep::full_scale() {
+            "FULL paper-grid"
+        } else {
+            "quick"
+        },
         sweep::ops_budget(),
         if sweep::full_scale() {
             ""
@@ -143,10 +153,7 @@ fn main() {
         println!("   paper shape: {}", experiment.expectation);
         println!();
         print!("{table}");
-        println!(
-            "   [swept in {:.1}s]",
-            started.elapsed().as_secs_f64()
-        );
+        println!("   [swept in {:.1}s]", started.elapsed().as_secs_f64());
         println!();
     }
 }

@@ -140,8 +140,7 @@ pub fn fig13() -> Table {
             philosophers,
             meals_per_philosopher: sweep::ops_per_thread(philosophers),
         };
-        let reports: Vec<RunReport> =
-            mechanisms.iter().map(|&m| dining::run(m, config)).collect();
+        let reports: Vec<RunReport> = mechanisms.iter().map(|&m| dining::run(m, config)).collect();
         table.row(runtime_row(philosophers.to_string(), &reports));
     }
     table
@@ -282,6 +281,87 @@ pub fn table1() -> Table {
             ms(Phase::Other),
             format!("{:.1}", phases.total_nanos() as f64 / 1e6),
         ]);
+    }
+    table
+}
+
+/// Extension: relay-cost accounting across every mechanism (including
+/// the change-driven ablation) on the Fig. 14 parameterized bounded
+/// buffer and the Fig. 11 round robin. Besides the text table, the
+/// series is written to `BENCH_relay.json` so later optimization PRs
+/// have a machine-readable perf trajectory to diff against.
+pub fn relay_cost() -> Table {
+    let mut table = Table::with_columns(&[
+        "workload",
+        "mechanism",
+        "elapsed(s)",
+        "expr_evals",
+        "pred_evals",
+        "probes_skipped",
+        "relay_skips",
+        "unchanged_exprs",
+        "relay_calls",
+        "signals",
+        "wakeups",
+    ]);
+    let consumers = if sweep::full_scale() { 64 } else { 16 };
+    let rr_threads = if sweep::full_scale() { 64 } else { 16 };
+    let rr_config = RoundRobinConfig {
+        threads: rr_threads,
+        rounds: sweep::ops_per_thread(rr_threads),
+    };
+    let mut entries = String::new();
+    let mut record = |workload: &str, report: &RunReport| {
+        let c = report.stats.counters;
+        table.row(vec![
+            workload.to_owned(),
+            report.mechanism.label().to_owned(),
+            secs(report.elapsed),
+            c.expr_evals.to_string(),
+            c.pred_evals.to_string(),
+            c.probes_skipped.to_string(),
+            c.relay_skips.to_string(),
+            c.unchanged_exprs.to_string(),
+            c.relay_calls.to_string(),
+            c.signals.to_string(),
+            c.wakeups.to_string(),
+        ]);
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"workload\": \"{workload}\", \"mechanism\": \"{}\", \
+             \"elapsed_s\": {:.6}, \"expr_evals\": {}, \"pred_evals\": {}, \
+             \"probes_skipped\": {}, \"relay_skips\": {}, \
+             \"unchanged_exprs\": {}, \"relay_calls\": {}, \"signals\": {}, \
+             \"wakeups\": {}, \"futile_wakeups\": {}, \"broadcasts\": {}}}",
+            report.mechanism.label(),
+            report.elapsed.as_secs_f64(),
+            c.expr_evals,
+            c.pred_evals,
+            c.probes_skipped,
+            c.relay_skips,
+            c.unchanged_exprs,
+            c.relay_calls,
+            c.signals,
+            c.wakeups,
+            c.futile_wakeups,
+            c.broadcasts,
+        ));
+    };
+    for mechanism in Mechanism::WITH_CHANGE_DRIVEN {
+        let report = param_bounded_buffer::run(mechanism, fig14_config(consumers));
+        record("fig14_param_bounded_buffer", &report);
+    }
+    for mechanism in Mechanism::WITH_CHANGE_DRIVEN {
+        let report = round_robin::run(mechanism, rr_config);
+        record("fig11_round_robin", &report);
+    }
+    let json = format!("{{\n  \"benchmarks\": [\n{entries}\n  ]\n}}\n");
+    let path = "BENCH_relay.json";
+    match std::fs::write(path, json) {
+        Ok(()) => println!("   [relay-cost series written to {path}]"),
+        Err(err) => eprintln!("   [failed to write {path}: {err}]"),
     }
     table
 }

@@ -19,7 +19,9 @@ pub const QUICK_RW_GRID: [(usize, usize); 3] = [(2, 10), (8, 40), (32, 160)];
 
 /// Whether `AUTOSYNCH_FULL=1` requests the paper grid.
 pub fn full_scale() -> bool {
-    std::env::var("AUTOSYNCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("AUTOSYNCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The active thread grid.

@@ -9,6 +9,15 @@ pub enum SignalMode {
     /// AutoSynch-T from the evaluation (§6.2): relay signaling without
     /// tags — every active predicate is evaluated in turn.
     Untagged,
+    /// Change-driven AutoSynch (`autosynch_cd`, an extension beyond the
+    /// paper): predicate tags *plus* expression versioning. The manager
+    /// keeps a snapshot of every live shared-expression value, diffs it
+    /// against fresh evaluations when the state was mutated, and probes
+    /// only conjunctions whose dependency sets intersect the changed
+    /// set; relays on unmutated state with no leftover-true waiters are
+    /// skipped outright. Each expression is evaluated at most once per
+    /// *occupancy* instead of once per relay.
+    ChangeDriven,
 }
 
 /// Which data structure backs the threshold-tag index.
@@ -70,6 +79,13 @@ impl MonitorConfig {
     /// Shorthand for the AutoSynch-T configuration of §6.2.
     pub fn autosynch_t() -> Self {
         Self::new().mode(SignalMode::Untagged)
+    }
+
+    /// Shorthand for the change-driven ablation: tagged signaling with
+    /// expression versioning and dependency-indexed probing (see
+    /// [`SignalMode::ChangeDriven`]).
+    pub fn autosynch_cd() -> Self {
+        Self::new().mode(SignalMode::ChangeDriven)
     }
 
     /// Sets the signaling mode.
@@ -232,5 +248,16 @@ mod tests {
             MonitorConfig::autosynch_t().signal_mode(),
             SignalMode::Untagged
         );
+    }
+
+    #[test]
+    fn autosynch_cd_shorthand() {
+        let c = MonitorConfig::autosynch_cd();
+        assert_eq!(c.signal_mode(), SignalMode::ChangeDriven);
+        // Everything else matches the paper defaults, so comparisons
+        // against the tagged mode isolate the change-driven machinery.
+        assert_eq!(c.inactive_capacity(), 64);
+        assert!(c.relays_on_clean_exit());
+        assert_eq!(c.relay_width_value(), 1);
     }
 }

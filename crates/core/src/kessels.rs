@@ -392,7 +392,10 @@ mod tests {
             let _ = g.state().count;
         });
         let scan_evals = m.stats_snapshot().counters.pred_evals - before;
-        assert!(scan_evals <= 2, "scan cost {scan_evals} exceeds the declared set");
+        assert!(
+            scan_evals <= 2,
+            "scan cost {scan_evals} exceeds the declared set"
+        );
         m.with(|b| b.count = 0);
         t.join().unwrap();
     }

@@ -35,6 +35,13 @@
 //! | baseline (single condvar + signalAll) | [`baseline::BaselineMonitor`] |
 //! | AutoSynch-T (relay, no tags) | [`Monitor`] with [`config::MonitorConfig::autosynch_t`] |
 //! | AutoSynch (full) | [`Monitor`] with defaults |
+//! | AutoSynch-CD (tags + expression versioning) | [`Monitor`] with [`config::MonitorConfig::autosynch_cd`] |
+//!
+//! AutoSynch-CD is this reproduction's extension beyond the paper: the
+//! condition manager snapshots shared-expression values, diffs them at
+//! relay time, and probes only predicates whose dependency sets
+//! intersect the changed expressions — relays on unmutated state are
+//! skipped outright. See `DESIGN.md` for the soundness argument.
 //!
 //! A fifth monitor, [`kessels::KesselsMonitor`], implements the
 //! *restricted* automatic-signal design of Kessels (CACM 1977, the

@@ -25,6 +25,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use autosynch_metrics::phase::Phase;
+use autosynch_predicate::deps::ConjDeps;
 use autosynch_predicate::expr::{ExprId, ExprTable};
 use autosynch_predicate::key::PredKey;
 use autosynch_predicate::predicate::Predicate;
@@ -59,6 +60,44 @@ pub(crate) struct ConditionManager<S> {
     scan_list: Vec<PredId>,
     inactive: VecDeque<PredId>,
     config: MonitorConfig,
+    // --- change-driven relay state (SignalMode::ChangeDriven only) ------
+    /// `None`-tagged conjunctions indexed under each of their dependency
+    /// expressions, so the `None` probe visits only changed candidates.
+    none_index: HashMap<ExprId, Vec<TaggedConj>>,
+    /// `None`-tagged conjunctions with opaque (or empty) dependency sets:
+    /// probed on every non-skipped relay.
+    opaque_list: Vec<TaggedConj>,
+    /// Live `None` tags in change-driven mode (distinct conjunctions; the
+    /// index above lists each under every dependency).
+    cd_none_count: usize,
+    /// How many active conjunctions depend on each expression — the set
+    /// the snapshot diff evaluates.
+    dep_refs: HashMap<ExprId, u32>,
+    /// Last diffed value per expression (`ExprId::index`-indexed).
+    value_cache: Vec<Option<i64>>,
+    /// The diff epoch at which each slot was last evaluated. A slot that
+    /// skipped a diff (its expression had no active dependents) has a
+    /// gap; comparing across a gap is unsound — the value could have
+    /// changed and coincidentally returned — so a non-contiguous slot is
+    /// reported changed regardless of its cached value.
+    slot_epoch: Vec<u64>,
+    /// Monotonic diff counter backing the contiguity check.
+    epoch: u64,
+    /// Scratch bitmap: expressions whose value changed in this relay's
+    /// snapshot diff.
+    changed: Vec<bool>,
+    /// Reusable buffer for the threshold-index expression walk, so the
+    /// probe does not allocate per relay.
+    expr_scratch: Vec<ExprId>,
+    /// Ignore the changed bitmap and probe every candidate — set when
+    /// leftover-true waiters may exist from a width-limited relay.
+    probe_all: bool,
+    /// The state was mutated since the last snapshot diff (fed by
+    /// [`ConditionManager::note_mutation`]).
+    state_dirty: bool,
+    /// The last relay search exhausted its candidates without a hit, so
+    /// every active conjunction is known false until the next mutation.
+    all_false: bool,
 }
 
 impl<S> ConditionManager<S> {
@@ -72,7 +111,28 @@ impl<S> ConditionManager<S> {
             scan_list: Vec::new(),
             inactive: VecDeque::new(),
             config,
+            none_index: HashMap::new(),
+            opaque_list: Vec::new(),
+            cd_none_count: 0,
+            dep_refs: HashMap::new(),
+            value_cache: Vec::new(),
+            slot_epoch: Vec::new(),
+            epoch: 0,
+            changed: Vec::new(),
+            expr_scratch: Vec::new(),
+            probe_all: false,
+            state_dirty: true,
+            all_false: false,
         }
+    }
+
+    /// Records that the monitor state was mutated. Change-driven relays
+    /// diff the expression snapshot only when this has been called since
+    /// the previous diff; callers that mutate the state without
+    /// announcing it here would make the change-driven mode miss
+    /// wakeups. The monitor runtime calls it from `state_mut`.
+    pub(crate) fn note_mutation(&mut self) {
+        self.state_dirty = true;
     }
 
     /// Interns a predicate: returns the existing entry for a
@@ -139,9 +199,24 @@ impl<S> ConditionManager<S> {
 
     /// A woken thread found its predicate false (another thread barged in
     /// and falsified it): it returns to the waiting pool.
+    ///
+    /// Signals are anonymous per-entry tokens, so a *spurious* wakeup
+    /// (possible with a std-backed condvar, unlike `parking_lot`'s) is
+    /// indistinguishable from a signaled one at the call site. With no
+    /// token outstanding the thread's unit never left `waiting` and
+    /// nothing moves; with a token outstanding the thread absorbs it on
+    /// behalf of the entry — either way `waiting + signaled` keeps
+    /// counting exactly the blocked threads, and the caller re-runs the
+    /// relay rule before blocking again.
     pub(crate) fn mark_futile(&mut self, pid: PredId, stats: &MonitorStats) {
         let entry = &mut self.entries[pid];
-        debug_assert!(entry.signaled > 0, "futile wakeup without a signal");
+        if entry.signaled == 0 {
+            // Spurious wakeup: the thread is still accounted in
+            // `waiting` and its tags are still live.
+            debug_assert!(entry.waiting > 0);
+            debug_assert!(entry.tags_active);
+            return;
+        }
         entry.signaled -= 1;
         entry.waiting += 1;
         if !entry.tags_active {
@@ -151,13 +226,24 @@ impl<S> ConditionManager<S> {
         }
     }
 
-    /// A woken thread found its predicate true and proceeds: the signal
-    /// is consumed, and an entry with no threads left is retired to the
-    /// inactive list.
+    /// A woken thread found its predicate true and proceeds: its unit
+    /// leaves the entry — from `signaled` when a token is outstanding,
+    /// else from `waiting` (a spurious wakeup that happened to find the
+    /// predicate true, or a signal token absorbed by a futile peer). An
+    /// entry with no threads left is retired to the inactive list.
     pub(crate) fn consume_signal(&mut self, pid: PredId, stats: &MonitorStats) {
         let entry = &mut self.entries[pid];
-        debug_assert!(entry.signaled > 0, "consumed a signal that was never sent");
-        entry.signaled -= 1;
+        if entry.signaled > 0 {
+            entry.signaled -= 1;
+        } else {
+            debug_assert!(entry.waiting > 0, "consuming thread was not accounted");
+            entry.waiting -= 1;
+            if entry.waiting == 0 && entry.tags_active {
+                let timer = stats.phases.start(Phase::TagManager);
+                self.deactivate_tags(pid, stats);
+                timer.finish();
+            }
+        }
         self.maybe_retire(pid, stats);
     }
 
@@ -197,18 +283,36 @@ impl<S> ConditionManager<S> {
         stats: &MonitorStats,
     ) -> Option<PredId> {
         stats.counters.record_relay_call();
+        let mode = self.config.signal_mode();
+        // Change-driven: refresh the changed-expression bitmap once per
+        // relay call; when the state is unmutated and every active
+        // conjunction is known false, the whole search is skipped.
+        if mode == SignalMode::ChangeDriven && self.refresh_changed_set(state, exprs, stats) {
+            stats.counters.record_relay_skip();
+            if self.config.validates_relay() {
+                self.check_relay_invariance(state, exprs);
+            }
+            return None;
+        }
         let mut first = None;
         // The paper signals exactly one thread; relay_width > 1 is the
         // documented extension that keeps signaling while distinct
         // signalable candidates remain.
         for _ in 0..self.config.relay_width_value() {
             let timer = stats.phases.start(Phase::RelaySignal);
-            let found = match self.config.signal_mode() {
+            let found = match mode {
                 SignalMode::Untagged => self.find_untagged(state, exprs, stats),
                 SignalMode::Tagged => self.find_tagged(state, exprs, stats),
+                SignalMode::ChangeDriven => self.find_change_driven(state, exprs, stats),
             };
             timer.finish();
-            let Some(pid) = found else { break };
+            let Some(pid) = found else {
+                // The search ran dry: every still-waiting conjunction was
+                // either probed false or skipped as unchanged-since-false.
+                self.all_false = true;
+                break;
+            };
+            self.all_false = false;
             stats.counters.record_relay_hit();
             self.signal_entry(pid, stats);
             first.get_or_insert(pid);
@@ -217,6 +321,67 @@ impl<S> ConditionManager<S> {
             self.check_relay_invariance(state, exprs);
         }
         first
+    }
+
+    /// Prepares the change-driven relay: diffs the expression snapshot
+    /// when the state was mutated, or decides that the whole search can
+    /// be skipped (returns `true`).
+    ///
+    /// Soundness of the skip: a conjunction can only flip false→true via
+    /// a state mutation (predicates are pure functions of the state), a
+    /// waiter only (re-)registers when its predicate just evaluated
+    /// false, and `all_false` certifies that the previous search left no
+    /// true-but-unsignaled waiter behind. With no mutation since, every
+    /// active conjunction is still false and relay invariance (Def. 4)
+    /// holds vacuously — `validate_relay` re-proves this on every call in
+    /// the test suites.
+    fn refresh_changed_set(
+        &mut self,
+        state: &S,
+        exprs: &ExprTable<S>,
+        stats: &MonitorStats,
+    ) -> bool {
+        if !self.state_dirty {
+            if self.all_false {
+                return true;
+            }
+            // A width-limited relay may have left signalable waiters
+            // behind; probe everything, reusing the cached values.
+            self.probe_all = true;
+            return false;
+        }
+        let timer = stats.phases.start(Phase::SnapshotDiff);
+        self.epoch += 1;
+        self.changed.clear();
+        self.changed.resize(exprs.len(), false);
+        if self.value_cache.len() < exprs.len() {
+            self.value_cache.resize(exprs.len(), None);
+            self.slot_epoch.resize(exprs.len(), 0);
+        }
+        for &expr in self.dep_refs.keys() {
+            let idx = expr.index();
+            stats.counters.record_expr_eval();
+            let fresh = exprs.eval(expr, state);
+            // "Unchanged" is only meaningful against the immediately
+            // preceding diff; a slot with a gap is treated as changed.
+            let contiguous = self.slot_epoch[idx] + 1 == self.epoch;
+            if contiguous && self.value_cache[idx] == Some(fresh) {
+                stats.counters.record_unchanged_expr();
+            } else {
+                self.value_cache[idx] = Some(fresh);
+                self.changed[idx] = true;
+            }
+            self.slot_epoch[idx] = self.epoch;
+        }
+        timer.finish();
+        self.state_dirty = false;
+        // The changed-set prune is only sound against a baseline where
+        // every active conjunction was known false. A previous relay
+        // that stopped on a hit (relay-width exhausted) may have left
+        // true-but-unsignaled waiters whose dependencies this diff sees
+        // as unchanged — probe everything until a search runs dry again.
+        self.probe_all = !self.all_false;
+        false
     }
 
     /// Ground-truth check of relay invariance (Def. 4): immediately
@@ -245,7 +410,12 @@ impl<S> ConditionManager<S> {
     }
 
     /// AutoSynch-T: evaluate every active predicate until one is true.
-    fn find_untagged(&self, state: &S, exprs: &ExprTable<S>, stats: &MonitorStats) -> Option<PredId> {
+    fn find_untagged(
+        &self,
+        state: &S,
+        exprs: &ExprTable<S>,
+        stats: &MonitorStats,
+    ) -> Option<PredId> {
         for &pid in &self.scan_list {
             let entry = &self.entries[pid];
             debug_assert!(entry.waiting > 0, "scan list holds only active entries");
@@ -294,7 +464,10 @@ impl<S> ConditionManager<S> {
             let v = value_of(expr);
             for &(pid, conj) in eq_index.candidates(expr, v) {
                 stats.counters.record_pred_eval();
-                if entries[pid].pred.eval_conjunction(conj as usize, state, exprs) {
+                if entries[pid]
+                    .pred
+                    .eval_conjunction(conj as usize, state, exprs)
+                {
                     return Some(pid);
                 }
             }
@@ -306,7 +479,9 @@ impl<S> ConditionManager<S> {
             let v = value_of(expr);
             let mut check = |(pid, conj): TaggedConj| -> bool {
                 stats.counters.record_pred_eval();
-                entries[pid].pred.eval_conjunction(conj as usize, state, exprs)
+                entries[pid]
+                    .pred
+                    .eval_conjunction(conj as usize, state, exprs)
             };
             if let Some((pid, _)) = thresholds.search(expr, v, &mut check) {
                 return Some(pid);
@@ -316,8 +491,157 @@ impl<S> ConditionManager<S> {
         // 3. None tags: exhaustive search.
         for &(pid, conj) in none_list.iter() {
             stats.counters.record_pred_eval();
-            if entries[pid].pred.eval_conjunction(conj as usize, state, exprs) {
+            if entries[pid]
+                .pred
+                .eval_conjunction(conj as usize, state, exprs)
+            {
                 return Some(pid);
+            }
+        }
+        None
+    }
+
+    /// Change-driven AutoSynch: the same eq/threshold/`None` probe order
+    /// as [`ConditionManager::find_tagged`], but every candidate whose
+    /// dependency set misses the changed-expression bitmap is skipped —
+    /// its conjunction was false at the last relay and none of its
+    /// inputs moved since. Expression values come from the snapshot
+    /// populated by [`ConditionManager::refresh_changed_set`], so an
+    /// expression is evaluated at most once per occupancy rather than
+    /// once per relay.
+    fn find_change_driven(
+        &mut self,
+        state: &S,
+        exprs: &ExprTable<S>,
+        stats: &MonitorStats,
+    ) -> Option<PredId> {
+        let ConditionManager {
+            entries,
+            eq_index,
+            thresholds,
+            none_index,
+            opaque_list,
+            value_cache,
+            slot_epoch,
+            changed,
+            probe_all,
+            expr_scratch,
+            ..
+        } = self;
+        let epoch = self.epoch;
+        let probe_all = *probe_all;
+        let changed: &[bool] = changed;
+        // Values come from the diff snapshot. Every probe-relevant
+        // expression has an active dependent, so the diff just refreshed
+        // it; the fallback covers expressions registered since, which
+        // are evaluated against the same (unmutated-since-diff) state
+        // and stamped into the current epoch.
+        let mut value_of = |id: ExprId| -> i64 {
+            let idx = id.index();
+            if idx >= value_cache.len() {
+                value_cache.resize(idx + 1, None);
+                slot_epoch.resize(idx + 1, 0);
+            }
+            match (slot_epoch[idx] == epoch, value_cache[idx]) {
+                (true, Some(v)) => v,
+                _ => {
+                    stats.counters.record_expr_eval();
+                    let v = exprs.eval(id, state);
+                    value_cache[idx] = Some(v);
+                    slot_epoch[idx] = epoch;
+                    v
+                }
+            }
+        };
+        let relevant = |deps: &ConjDeps| probe_all || deps.intersects(changed);
+
+        // 1. Equivalence tags: O(1) hash probe per live expression. The
+        // probe only reads the index, so no per-relay collect is needed.
+        for expr in eq_index.exprs() {
+            let v = value_of(expr);
+            for &(pid, conj) in eq_index.candidates(expr, v) {
+                let entry = &entries[pid];
+                if !relevant(&entry.pred.conj_deps()[conj as usize]) {
+                    stats.counters.record_probe_skipped();
+                    continue;
+                }
+                stats.counters.record_pred_eval();
+                if entry.pred.eval_conjunction(conj as usize, state, exprs) {
+                    return Some(pid);
+                }
+            }
+        }
+
+        // 2. Threshold tags: the Fig. 4 heap walk per live expression.
+        // The walk mutates the heaps, so the expression list is staged
+        // through a reusable scratch buffer.
+        thresholds.collect_exprs(expr_scratch);
+        for &expr in expr_scratch.iter() {
+            let v = value_of(expr);
+            let mut check = |(pid, conj): TaggedConj| -> bool {
+                let entry = &entries[pid];
+                if !relevant(&entry.pred.conj_deps()[conj as usize]) {
+                    stats.counters.record_probe_skipped();
+                    return false;
+                }
+                stats.counters.record_pred_eval();
+                entry.pred.eval_conjunction(conj as usize, state, exprs)
+            };
+            if let Some((pid, _)) = thresholds.search(expr, v, &mut check) {
+                return Some(pid);
+            }
+        }
+
+        // 3. None tags with opaque dependencies: always probed.
+        for &(pid, conj) in opaque_list.iter() {
+            stats.counters.record_pred_eval();
+            if entries[pid]
+                .pred
+                .eval_conjunction(conj as usize, state, exprs)
+            {
+                return Some(pid);
+            }
+        }
+
+        // 4. Transparent None tags via the per-expression candidate map.
+        // Each candidate is listed under every dependency; probing it
+        // only under its first (changed) dependency visits it once.
+        if probe_all {
+            for (&expr, candidates) in none_index.iter() {
+                for &(pid, conj) in candidates {
+                    let entry = &entries[pid];
+                    let deps = &entry.pred.conj_deps()[conj as usize];
+                    if deps.exprs().first() != Some(&expr) {
+                        continue;
+                    }
+                    stats.counters.record_pred_eval();
+                    if entry.pred.eval_conjunction(conj as usize, state, exprs) {
+                        return Some(pid);
+                    }
+                }
+            }
+        } else {
+            for (idx, &was_changed) in changed.iter().enumerate() {
+                if !was_changed {
+                    continue;
+                }
+                let expr = ExprId::from_raw(idx as u32);
+                let Some(candidates) = none_index.get(&expr) else {
+                    continue;
+                };
+                for &(pid, conj) in candidates {
+                    let entry = &entries[pid];
+                    let deps = &entry.pred.conj_deps()[conj as usize];
+                    // Probed under its first changed dependency only —
+                    // this is dedup, not a skip.
+                    if deps.first_changed(changed) != Some(expr) {
+                        continue;
+                    }
+                    stats.counters.record_pred_eval();
+                    if entry.pred.eval_conjunction(conj as usize, state, exprs) {
+                        return Some(pid);
+                    }
+                }
             }
         }
         None
@@ -364,6 +688,35 @@ impl<S> ConditionManager<S> {
                     }
                 }
             }
+            SignalMode::ChangeDriven => {
+                let deps_per_conj = entry.pred.conj_deps();
+                for (conj, &tag) in entry.pred.tags().iter().enumerate() {
+                    let deps = &deps_per_conj[conj];
+                    let conj = conj as u32;
+                    stats.counters.record_tag_insert();
+                    for &expr in deps.exprs() {
+                        *self.dep_refs.entry(expr).or_insert(0) += 1;
+                    }
+                    match tag {
+                        Tag::Equivalence { expr, key } => {
+                            self.eq_index.insert(expr, key, (pid, conj));
+                        }
+                        Tag::Threshold { expr, key, op } => {
+                            self.thresholds.insert(expr, key, op, (pid, conj));
+                        }
+                        Tag::None => {
+                            self.cd_none_count += 1;
+                            if deps.is_opaque() || deps.exprs().is_empty() {
+                                self.opaque_list.push((pid, conj));
+                            } else {
+                                for &expr in deps.exprs() {
+                                    self.none_index.entry(expr).or_default().push((pid, conj));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -390,10 +743,56 @@ impl<S> ConditionManager<S> {
                             self.thresholds.remove(expr, key, op, (pid, conj));
                         }
                         Tag::None => {
-                            if let Some(pos) =
-                                self.none_list.iter().position(|&e| e == (pid, conj))
+                            if let Some(pos) = self.none_list.iter().position(|&e| e == (pid, conj))
                             {
                                 self.none_list.swap_remove(pos);
+                            }
+                        }
+                    }
+                }
+            }
+            SignalMode::ChangeDriven => {
+                let deps_per_conj = entry.pred.conj_deps();
+                for (conj, &tag) in entry.pred.tags().iter().enumerate() {
+                    let deps = &deps_per_conj[conj];
+                    let conj = conj as u32;
+                    stats.counters.record_tag_remove();
+                    for &expr in deps.exprs() {
+                        if let Some(count) = self.dep_refs.get_mut(&expr) {
+                            *count -= 1;
+                            if *count == 0 {
+                                self.dep_refs.remove(&expr);
+                            }
+                        }
+                    }
+                    match tag {
+                        Tag::Equivalence { expr, key } => {
+                            self.eq_index.remove(expr, key, (pid, conj));
+                        }
+                        Tag::Threshold { expr, key, op } => {
+                            self.thresholds.remove(expr, key, op, (pid, conj));
+                        }
+                        Tag::None => {
+                            self.cd_none_count -= 1;
+                            if deps.is_opaque() || deps.exprs().is_empty() {
+                                if let Some(pos) =
+                                    self.opaque_list.iter().position(|&e| e == (pid, conj))
+                                {
+                                    self.opaque_list.swap_remove(pos);
+                                }
+                            } else {
+                                for &expr in deps.exprs() {
+                                    if let Some(candidates) = self.none_index.get_mut(&expr) {
+                                        if let Some(pos) =
+                                            candidates.iter().position(|&e| e == (pid, conj))
+                                        {
+                                            candidates.swap_remove(pos);
+                                        }
+                                        if candidates.is_empty() {
+                                            self.none_index.remove(&expr);
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
@@ -427,11 +826,7 @@ impl<S> ConditionManager<S> {
 
     /// Removes `pid` from the inactive LRU when it is being reused.
     fn unlink_inactive(&mut self, pid: PredId) {
-        if self
-            .entries
-            .get(pid)
-            .is_some_and(|entry| entry.in_inactive)
-        {
+        if self.entries.get(pid).is_some_and(|entry| entry.in_inactive) {
             self.entries[pid].in_inactive = false;
             if let Some(pos) = self.inactive.iter().position(|&p| p == pid) {
                 self.inactive.remove(pos);
@@ -470,6 +865,9 @@ impl<S> ConditionManager<S> {
             SignalMode::Tagged => {
                 self.eq_index.len() + self.thresholds.len() + self.none_list.len()
             }
+            SignalMode::ChangeDriven => {
+                self.eq_index.len() + self.thresholds.len() + self.cd_none_count
+            }
         }
     }
 }
@@ -496,7 +894,12 @@ mod tests {
         count: i64,
     }
 
-    fn setup() -> (ExprTable<St>, ExprHandle<St>, ConditionManager<St>, Arc<MonitorStats>) {
+    fn setup() -> (
+        ExprTable<St>,
+        ExprHandle<St>,
+        ConditionManager<St>,
+        Arc<MonitorStats>,
+    ) {
         let mut exprs = ExprTable::new();
         let count = exprs.register("count", |s: &St| s.count);
         let mgr = ConditionManager::new(MonitorConfig::default());
@@ -519,14 +922,8 @@ mod tests {
     #[test]
     fn keyless_customs_get_distinct_entries() {
         let (_, _, mut mgr, stats) = setup();
-        let a = mgr.register_waiter(
-            Predicate::custom("c", |s: &St| s.count > 0),
-            &stats,
-        );
-        let b = mgr.register_waiter(
-            Predicate::custom("c", |s: &St| s.count > 0),
-            &stats,
-        );
+        let a = mgr.register_waiter(Predicate::custom("c", |s: &St| s.count > 0), &stats);
+        let b = mgr.register_waiter(Predicate::custom("c", |s: &St| s.count > 0), &stats);
         assert_ne!(a, b);
     }
 
@@ -545,10 +942,7 @@ mod tests {
         assert_eq!(mgr.signaled_count(), 1);
         // Tags are gone: a second relay finds nothing even though the
         // predicate is still true (the thread has already been signaled).
-        assert_eq!(
-            mgr.relay_signal(&St { count: 10 }, &exprs, &stats),
-            None
-        );
+        assert_eq!(mgr.relay_signal(&St { count: 10 }, &exprs, &stats), None);
     }
 
     #[test]
@@ -560,10 +954,7 @@ mod tests {
         let _ = none;
         let _ = thr;
         // All three true at count=5; the equivalence-tagged entry wins.
-        assert_eq!(
-            mgr.relay_signal(&St { count: 5 }, &exprs, &stats),
-            Some(eq)
-        );
+        assert_eq!(mgr.relay_signal(&St { count: 5 }, &exprs, &stats), Some(eq));
     }
 
     #[test]
@@ -580,7 +971,9 @@ mod tests {
         let _none = mgr.register_waiter(count.ne(0).into_predicate(), &stats);
         assert_eq!(mgr.relay_signal(&St { count: 0 }, &exprs, &stats), None);
         assert!(mgr.relay_signal(&St { count: 5 }, &exprs, &stats).is_some());
-        assert!(mgr.relay_signal(&St { count: 12 }, &exprs, &stats).is_some());
+        assert!(mgr
+            .relay_signal(&St { count: 12 }, &exprs, &stats)
+            .is_some());
         assert!(mgr.relay_signal(&St { count: 3 }, &exprs, &stats).is_some());
         assert_eq!(mgr.waiting_count(), 0);
     }
@@ -599,7 +992,9 @@ mod tests {
         let stats = MonitorStats::new(false);
         let flip = AtomicBool::new(false);
         let pid = mgr.register_waiter(
-            Predicate::custom("flip-flop", move |_: &St| flip.fetch_xor(true, Ordering::Relaxed)),
+            Predicate::custom("flip-flop", move |_: &St| {
+                flip.fetch_xor(true, Ordering::Relaxed)
+            }),
             &stats,
         );
         let _ = pid;
@@ -609,10 +1004,7 @@ mod tests {
     #[test]
     fn relay_falls_back_to_none_tags() {
         let (exprs, _, mut mgr, stats) = setup();
-        let pid = mgr.register_waiter(
-            Predicate::custom("odd", |s: &St| s.count % 2 == 1),
-            &stats,
-        );
+        let pid = mgr.register_waiter(Predicate::custom("odd", |s: &St| s.count % 2 == 1), &stats);
         assert_eq!(mgr.relay_signal(&St { count: 2 }, &exprs, &stats), None);
         assert_eq!(
             mgr.relay_signal(&St { count: 3 }, &exprs, &stats),
@@ -648,6 +1040,47 @@ mod tests {
         assert_eq!(mgr.live_tag_count(), 1);
         assert_eq!(mgr.waiting_count(), 1);
         assert_eq!(mgr.signaled_count(), 0);
+    }
+
+    #[test]
+    fn spurious_futile_wakeup_is_a_noop() {
+        // A std-backed condvar may wake a thread that was never
+        // signaled; with no token outstanding the entry must not move.
+        let (_, count, mut mgr, stats) = setup();
+        let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+        assert_eq!((mgr.waiting_count(), mgr.signaled_count()), (1, 0));
+        mgr.mark_futile(pid, &stats);
+        assert_eq!((mgr.waiting_count(), mgr.signaled_count()), (1, 0));
+        assert_eq!(mgr.live_tag_count(), 1, "tags stay live");
+    }
+
+    #[test]
+    fn spurious_wakeup_with_true_predicate_consumes_from_waiting() {
+        // A spuriously woken thread that finds its predicate true
+        // proceeds; its unit leaves `waiting` and the tags retire.
+        let (_, count, mut mgr, stats) = setup();
+        let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+        mgr.consume_signal(pid, &stats);
+        assert_eq!((mgr.waiting_count(), mgr.signaled_count()), (0, 0));
+        assert_eq!(mgr.live_tag_count(), 0);
+        assert_eq!(mgr.inactive_count(), 1);
+    }
+
+    #[test]
+    fn absorbed_signal_then_true_peer_stays_consistent() {
+        // W1 and W2 wait on one entry; one signal is sent; a spurious
+        // wakeup absorbs it futilely; the true-predicate peer must then
+        // consume from `waiting` without underflow.
+        let (exprs, count, mut mgr, stats) = setup();
+        let pid = mgr.register_waiter(count.ge(1).into_predicate(), &stats);
+        mgr.register_waiter(count.ge(1).into_predicate(), &stats);
+        mgr.relay_signal(&St { count: 1 }, &exprs, &stats);
+        assert_eq!((mgr.waiting_count(), mgr.signaled_count()), (1, 1));
+        mgr.mark_futile(pid, &stats); // absorbs the token
+        assert_eq!((mgr.waiting_count(), mgr.signaled_count()), (2, 0));
+        mgr.consume_signal(pid, &stats); // peer proceeds anyway
+        assert_eq!((mgr.waiting_count(), mgr.signaled_count()), (1, 0));
+        assert_eq!(mgr.live_tag_count(), 1);
     }
 
     #[test]
@@ -724,12 +1157,195 @@ mod tests {
         let pid2 = mgr.register_waiter(count.ge(1).into_predicate(), &stats);
         assert_eq!(pid, pid2);
         assert_eq!(mgr.waiting_count(), 2);
-        assert_eq!(mgr.relay_signal(&St { count: 1 }, &exprs, &stats), Some(pid));
+        assert_eq!(
+            mgr.relay_signal(&St { count: 1 }, &exprs, &stats),
+            Some(pid)
+        );
         assert_eq!(mgr.waiting_count(), 1);
         assert_eq!(mgr.live_tag_count(), 1, "tags stay while waiters remain");
-        assert_eq!(mgr.relay_signal(&St { count: 1 }, &exprs, &stats), Some(pid));
+        assert_eq!(
+            mgr.relay_signal(&St { count: 1 }, &exprs, &stats),
+            Some(pid)
+        );
         assert_eq!(mgr.waiting_count(), 0);
         assert_eq!(mgr.live_tag_count(), 0);
+    }
+
+    // --- change-driven relay ---------------------------------------------
+    //
+    // Contract note: these tests drive the manager directly, so they must
+    // call `note_mutation` whenever they hand `relay_signal` a state that
+    // differs from the previous call's — exactly what `Monitor::state_mut`
+    // does in the integrated runtime.
+
+    fn cd_setup() -> (
+        ExprTable<St>,
+        ExprHandle<St>,
+        ConditionManager<St>,
+        Arc<MonitorStats>,
+    ) {
+        let mut exprs = ExprTable::new();
+        let count = exprs.register("count", |s: &St| s.count);
+        let mgr = ConditionManager::new(MonitorConfig::autosynch_cd().validate_relay(true));
+        (exprs, count, mgr, MonitorStats::new(false))
+    }
+
+    #[test]
+    fn change_driven_finds_true_threshold_predicate() {
+        let (exprs, count, mut mgr, stats) = cd_setup();
+        let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+        assert_eq!(mgr.relay_signal(&St { count: 9 }, &exprs, &stats), None);
+        mgr.note_mutation();
+        assert_eq!(
+            mgr.relay_signal(&St { count: 10 }, &exprs, &stats),
+            Some(pid)
+        );
+    }
+
+    #[test]
+    fn change_driven_skips_relay_on_unchanged_state() {
+        let (exprs, count, mut mgr, stats) = cd_setup();
+        mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+        let state = St { count: 3 };
+        assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+        let before = stats.counters.snapshot();
+        // No mutation announced: the second and third relays are skipped
+        // without evaluating anything.
+        assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+        assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+        let diff = stats.counters.snapshot().since(&before);
+        assert_eq!(diff.relay_skips, 2);
+        assert_eq!(diff.expr_evals, 0);
+        assert_eq!(diff.pred_evals, 0);
+    }
+
+    #[test]
+    fn change_driven_skips_probes_for_unchanged_dependencies() {
+        let mut exprs = ExprTable::new();
+        let a = exprs.register("a", |s: &St2| s.a);
+        let b = exprs.register("b", |s: &St2| s.b);
+        let mut mgr: ConditionManager<St2> =
+            ConditionManager::new(MonitorConfig::autosynch_cd().validate_relay(true));
+        let stats = MonitorStats::new(false);
+        // Waiter 1 depends on `a` alone; waiter 2 depends on `b` alone,
+        // with a tag (`b <= 100`) that stays true so the heap walk always
+        // reaches its candidate — the dependency filter must reject it.
+        mgr.register_waiter(a.ge(10).into_predicate(), &stats);
+        mgr.register_waiter(b.le(100).and(b.ge(10)).into_predicate(), &stats);
+        assert_eq!(mgr.relay_signal(&St2 { a: 0, b: 0 }, &exprs, &stats), None);
+        mgr.note_mutation();
+        let before = stats.counters.snapshot();
+        // `a` changes but stays below threshold; `b` is untouched.
+        assert_eq!(mgr.relay_signal(&St2 { a: 5, b: 0 }, &exprs, &stats), None);
+        let diff = stats.counters.snapshot().since(&before);
+        assert_eq!(diff.expr_evals, 2, "both live exprs diffed once");
+        assert_eq!(diff.unchanged_exprs, 1, "b matched the snapshot");
+        assert_eq!(
+            diff.pred_evals, 0,
+            "a's tag is false; b's candidate skipped"
+        );
+        assert_eq!(diff.probes_skipped, 1, "b's candidate skipped by deps");
+    }
+
+    struct St2 {
+        a: i64,
+        b: i64,
+    }
+
+    #[test]
+    fn change_driven_none_tags_probe_by_dependency() {
+        let (exprs, count, mut mgr, stats) = cd_setup();
+        // `count != 0` tags as None but depends only on `count`.
+        let pid = mgr.register_waiter(count.ne(0).into_predicate(), &stats);
+        assert_eq!(mgr.relay_signal(&St { count: 0 }, &exprs, &stats), None);
+        mgr.note_mutation();
+        assert_eq!(
+            mgr.relay_signal(&St { count: 7 }, &exprs, &stats),
+            Some(pid)
+        );
+    }
+
+    #[test]
+    fn change_driven_opaque_predicates_always_probe() {
+        let (exprs, _, mut mgr, stats) = cd_setup();
+        let pid = mgr.register_waiter(Predicate::custom("odd", |s: &St| s.count % 2 == 1), &stats);
+        assert_eq!(mgr.relay_signal(&St { count: 2 }, &exprs, &stats), None);
+        mgr.note_mutation();
+        assert_eq!(
+            mgr.relay_signal(&St { count: 3 }, &exprs, &stats),
+            Some(pid)
+        );
+        assert_eq!(mgr.live_tag_count(), 0);
+    }
+
+    #[test]
+    fn change_driven_probe_all_catches_leftover_true_waiters() {
+        // Two waiters become true on one mutation; width 1 signals only
+        // the first. The follow-up relay runs on unmutated state and must
+        // still find the second (the probe-all path).
+        let (exprs, count, mut mgr, stats) = cd_setup();
+        let first = mgr.register_waiter(count.ge(1).into_predicate(), &stats);
+        let second = mgr.register_waiter(count.ge(2).into_predicate(), &stats);
+        mgr.note_mutation();
+        let state = St { count: 5 };
+        let hit1 = mgr.relay_signal(&state, &exprs, &stats);
+        let hit2 = mgr.relay_signal(&state, &exprs, &stats);
+        let mut signaled = [hit1.unwrap(), hit2.unwrap()];
+        signaled.sort();
+        let mut expected = [first, second];
+        expected.sort();
+        assert_eq!(signaled, expected);
+        // Both signaled: a third relay finds nothing and re-arms the skip.
+        assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+        let before = stats.counters.snapshot();
+        assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+        assert_eq!(stats.counters.snapshot().since(&before).relay_skips, 1);
+    }
+
+    #[test]
+    fn change_driven_equivalence_probe_uses_snapshot_values() {
+        let (exprs, count, mut mgr, stats) = cd_setup();
+        let pid = mgr.register_waiter(count.eq(5).into_predicate(), &stats);
+        assert_eq!(mgr.relay_signal(&St { count: 1 }, &exprs, &stats), None);
+        mgr.note_mutation();
+        assert_eq!(
+            mgr.relay_signal(&St { count: 5 }, &exprs, &stats),
+            Some(pid)
+        );
+        assert_eq!(mgr.waiting_count(), 0);
+    }
+
+    #[test]
+    fn change_driven_cleans_up_indexes_on_deactivation() {
+        let (exprs, count, mut mgr, stats) = cd_setup();
+        let pid = mgr.register_waiter(count.ne(0).into_predicate(), &stats);
+        assert_eq!(mgr.live_tag_count(), 1);
+        mgr.note_mutation();
+        assert_eq!(
+            mgr.relay_signal(&St { count: 2 }, &exprs, &stats),
+            Some(pid)
+        );
+        mgr.consume_signal(pid, &stats);
+        assert_eq!(mgr.live_tag_count(), 0);
+        assert_eq!(mgr.waiting_count(), 0);
+        assert_eq!(mgr.signaled_count(), 0);
+    }
+
+    #[test]
+    fn change_driven_futile_wakeup_reactivates() {
+        let (exprs, count, mut mgr, stats) = cd_setup();
+        let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+        mgr.note_mutation();
+        mgr.relay_signal(&St { count: 10 }, &exprs, &stats);
+        // Barged: the predicate is false again when the thread wakes.
+        mgr.note_mutation();
+        mgr.mark_futile(pid, &stats);
+        assert_eq!(mgr.live_tag_count(), 1);
+        mgr.note_mutation();
+        assert_eq!(
+            mgr.relay_signal(&St { count: 12 }, &exprs, &stats),
+            Some(pid)
+        );
     }
 
     #[test]

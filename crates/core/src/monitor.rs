@@ -273,11 +273,14 @@ impl<S> MonitorGuard<'_, S> {
         &self.inner().state
     }
 
-    /// Mutable access to the monitor state. Marks the monitor dirty,
-    /// which matters only for the `relay_on_clean_exit(false)` ablation.
+    /// Mutable access to the monitor state. Marks the monitor dirty —
+    /// used by the `relay_on_clean_exit(false)` ablation and by the
+    /// change-driven mode, whose relay re-diffs the expression snapshot
+    /// only after a mutation.
     pub fn state_mut(&mut self) -> &mut S {
         let inner = self.inner_mut();
         inner.dirty = true;
+        inner.mgr.note_mutation();
         &mut inner.state
     }
 
@@ -504,8 +507,11 @@ mod tests {
                 m.enter(|g| {
                     g.wait_until(v.ge(stage));
                     g.state_mut().value += 1; // unlocks the next stage
+                                              // Record while still inside the monitor: the chain
+                                              // order is the monitor-transit order, and recording
+                                              // after release would race with the next stage.
+                    order.lock().push(stage);
                 });
-                order.lock().push(stage);
             }));
         }
         thread::sleep(Duration::from_millis(30));
@@ -562,8 +568,9 @@ mod tests {
         let m = Arc::new(Monitor::new(Counter { value: 0 }));
         let v = value_expr(&m);
         let m2 = Arc::clone(&m);
-        let waiter =
-            thread::spawn(move || m2.enter(|g| g.wait_until_timeout(v.ge(1), Duration::from_secs(5))));
+        let waiter = thread::spawn(move || {
+            m2.enter(|g| g.wait_until_timeout(v.ge(1), Duration::from_secs(5)))
+        });
         thread::sleep(Duration::from_millis(20));
         m.with(|s| s.value = 1);
         assert!(waiter.join().unwrap());
@@ -613,6 +620,84 @@ mod tests {
         thread::sleep(Duration::from_millis(20));
         m.with(|s| s.value = 2);
         assert_eq!(waiter.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn change_driven_mode_behaves_identically() {
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::autosynch_cd().validate_relay(true),
+        ));
+        assert_eq!(m.config().signal_mode(), SignalMode::ChangeDriven);
+        let v = value_expr(&m);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || m2.wait_and(v.ge(2), |s| s.value));
+        thread::sleep(Duration::from_millis(20));
+        m.with(|s| s.value = 2);
+        assert_eq!(waiter.join().unwrap(), 2);
+        assert!(m.is_quiescent());
+        assert_eq!(m.stats_snapshot().counters.broadcasts, 0);
+    }
+
+    #[test]
+    fn change_driven_relay_chains_through_multiple_waiters() {
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::autosynch_cd().validate_relay(true),
+        ));
+        let v = value_expr(&m);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for stage in 1..=3 {
+            let m = Arc::clone(&m);
+            let order = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                m.enter(|g| {
+                    g.wait_until(v.ge(stage));
+                    g.state_mut().value += 1;
+                    order.lock().push(stage); // in-monitor: transit order
+                });
+            }));
+        }
+        thread::sleep(Duration::from_millis(30));
+        m.with(|s| s.value = 1);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(&*order.lock(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn change_driven_skips_relays_on_read_only_traffic() {
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::autosynch_cd(),
+        ));
+        let v = value_expr(&m);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || m2.wait_and(v.ge(1), |_| ()));
+        thread::sleep(Duration::from_millis(20));
+        // Read-only occupancies relay on exit (the paper's rule), but the
+        // change-driven relay recognizes the unmutated state and skips
+        // the search outright.
+        let before = m.stats_snapshot().counters;
+        for _ in 0..10 {
+            m.enter(|g| {
+                let _ = g.state().value;
+            });
+        }
+        let diff = m.stats_snapshot().counters.since(&before);
+        assert!(
+            diff.relay_skips >= 9,
+            "read-only relays should be skipped, got {} skips",
+            diff.relay_skips
+        );
+        // At most one diff can land in the window (the waiter's own
+        // registration relay when scheduling is slow); the read-only
+        // occupancies themselves evaluate nothing.
+        assert!(diff.expr_evals <= 1, "got {} expr evals", diff.expr_evals);
+        m.with(|s| s.value = 1);
+        waiter.join().unwrap();
     }
 
     #[test]

@@ -270,6 +270,15 @@ impl ThresholdIndex {
         seen.into_iter()
     }
 
+    /// Like [`ThresholdIndex::exprs`] but filling a caller-owned buffer,
+    /// so per-relay hot paths avoid a fresh allocation.
+    pub fn collect_exprs(&self, out: &mut Vec<ExprId>) {
+        out.clear();
+        out.extend(self.sides.keys().map(|&(e, _)| e));
+        out.sort_unstable();
+        out.dedup();
+    }
+
     /// Runs the Fig. 4 search over both sides of `expr` given its current
     /// `value`. `check` evaluates a candidate conjunction; the first
     /// signalable candidate is returned.
@@ -380,7 +389,11 @@ mod tests {
                 true
             });
             assert_eq!(hit, Some(ps[1]));
-            assert_eq!(checked, vec![ps[1]], "strict tag must not be probed at x==3");
+            assert_eq!(
+                checked,
+                vec![ps[1]],
+                "strict tag must not be probed at x==3"
+            );
         });
     }
 

@@ -73,7 +73,10 @@ fn fig7_state_is_indexed_as_described() {
         ("(x >= 8) || (x == 3)", x.ge(8).or(x.eq(3)).into_predicate()),
         ("x == 6", x.eq(6).into_predicate()),
         ("x == 7", x.eq(7).into_predicate()),
-        ("(x != 1) && (x <= 2)", x.ne(1).and(x.le(2)).into_predicate()),
+        (
+            "(x != 1) && (x <= 2)",
+            x.ne(1).and(x.le(2)).into_predicate(),
+        ),
         ("x != 1", x.ne(1).into_predicate()),
     ];
     let count = parked.len();

@@ -159,12 +159,15 @@ proptest! {
     fn randomized_threshold_schedules_terminate_cleanly(
         adds in prop::collection::vec(1i64..=10, 1..8),
         demands in prop::collection::vec(0i64..=40, 1..8),
-        tagged in any::<bool>(),
+        mode in prop::sample::select(vec![
+            SignalMode::Tagged,
+            SignalMode::Untagged,
+            SignalMode::ChangeDriven,
+        ]),
         heap in any::<bool>(),
         width in 1usize..=3,
         validate in any::<bool>(),
     ) {
-        let mode = if tagged { SignalMode::Tagged } else { SignalMode::Untagged };
         let index = if heap {
             ThresholdIndexKind::PaperHeap
         } else {
@@ -176,7 +179,11 @@ proptest! {
     #[test]
     fn randomized_equivalence_schedules_terminate_cleanly(
         seed_targets in prop::collection::vec(0i64..=6, 1..8),
-        tagged in any::<bool>(),
+        mode in prop::sample::select(vec![
+            SignalMode::Tagged,
+            SignalMode::Untagged,
+            SignalMode::ChangeDriven,
+        ]),
     ) {
         // Waiters on `level == k` for k in 0..=max; a driver keeps
         // cycling the level through every key until all waiters have
@@ -184,7 +191,6 @@ proptest! {
         // visited key, so the driver terminates).
         use std::sync::atomic::{AtomicUsize, Ordering};
         struct Pool { level: i64 }
-        let mode = if tagged { SignalMode::Tagged } else { SignalMode::Untagged };
         let config = MonitorConfig::new().mode(mode);
         let monitor = Arc::new(Monitor::with_config(Pool { level: -1 }, config));
         let level = monitor.register_expr("level", |p: &Pool| p.level);

@@ -279,5 +279,8 @@ fn hundreds_of_sequential_waits_do_not_leak_entries() {
     }
     let (entries, waiting, signaled, tags) = monitor.manager_counts();
     assert_eq!((waiting, signaled, tags), (0, 0, 0));
-    assert!(entries <= 17, "inactive cap must bound entries, got {entries}");
+    assert!(
+        entries <= 17,
+        "inactive cap must bound entries, got {entries}"
+    );
 }

@@ -160,8 +160,9 @@ fn validated_threshold_churn_with_random_amounts() {
                 let mut rng = StdRng::seed_from_u64(99);
                 // Re-derive this consumer's demands from the shared draw
                 // order: consumer c takes draws c, c+CONSUMERS, ...
-                let demands: Vec<i64> =
-                    (0..CONSUMERS * TAKES).map(|_| rng.gen_range(1..=MAX)).collect();
+                let demands: Vec<i64> = (0..CONSUMERS * TAKES)
+                    .map(|_| rng.gen_range(1..=MAX))
+                    .collect();
                 for i in 0..TAKES {
                     let n = demands[i * CONSUMERS + c];
                     monitor.enter(|g| {

@@ -106,11 +106,7 @@ pub fn check_condition(
     check_vars(expr, schema, locals)
 }
 
-fn check_vars(
-    expr: &Expr,
-    schema: &Schema,
-    locals: &HashMap<String, i64>,
-) -> Result<(), DslError> {
+fn check_vars(expr: &Expr, schema: &Schema, locals: &HashMap<String, i64>) -> Result<(), DslError> {
     match &expr.kind {
         ExprKind::Int(_) | ExprKind::Bool(_) => Ok(()),
         ExprKind::Var(name) => {

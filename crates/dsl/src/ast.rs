@@ -216,10 +216,7 @@ mod tests {
     #[test]
     fn unary_display() {
         let e = Expr::new(
-            ExprKind::Unary(
-                UnOp::Not,
-                Box::new(Expr::new(ExprKind::Bool(true), sp())),
-            ),
+            ExprKind::Unary(UnOp::Not, Box::new(Expr::new(ExprKind::Bool(true), sp()))),
             sp(),
         );
         assert_eq!(e.to_string(), "!(true)");

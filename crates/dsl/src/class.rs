@@ -330,11 +330,7 @@ fn check_unique<'a>(
     Ok(())
 }
 
-fn check_vars_known(
-    expr: &Expr,
-    schema: &Schema,
-    params: &[String],
-) -> Result<(), DslError> {
+fn check_vars_known(expr: &Expr, schema: &Schema, params: &[String]) -> Result<(), DslError> {
     for name in expr.variables() {
         if schema.slot(name).is_none() && !params.iter().any(|p| p == name) {
             return Err(DslError::UnknownVariable {
@@ -636,7 +632,11 @@ mod tests {
         assert_eq!(class.name, "BoundedBuffer");
         assert_eq!(class.vars, ["count", "cap"]);
         assert_eq!(
-            class.methods.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(),
+            class
+                .methods
+                .iter()
+                .map(|m| m.name.as_str())
+                .collect::<Vec<_>>(),
             ["init", "put", "take"]
         );
         assert_eq!(class.methods[1].params, ["n"]);
@@ -652,9 +652,7 @@ mod tests {
 
     #[test]
     fn concurrent_producer_consumer_through_the_class() {
-        let m = Arc::new(
-            ClassMonitor::instantiate(parse_class(BOUNDED_BUFFER).unwrap()).unwrap(),
-        );
+        let m = Arc::new(ClassMonitor::instantiate(parse_class(BOUNDED_BUFFER).unwrap()).unwrap());
         m.call("init", &[8]).unwrap();
         let producer = {
             let m = Arc::clone(&m);
@@ -791,8 +789,7 @@ mod tests {
     #[test]
     fn while_condition_type_errors_are_caught() {
         let class =
-            parse_class("monitor M { var a; method f() { while (a + 1) { a = 0; } } }")
-                .unwrap();
+            parse_class("monitor M { var a; method f() { while (a + 1) { a = 0; } } }").unwrap();
         assert!(matches!(
             ClassMonitor::instantiate(class),
             Err(DslError::TypeMismatch { .. })
@@ -824,10 +821,12 @@ mod tests {
         let dup_var = parse_class("monitor M { var a, a; }").unwrap();
         assert!(matches!(
             ClassMonitor::instantiate(dup_var),
-            Err(DslError::Duplicate { what: "shared variable", .. })
+            Err(DslError::Duplicate {
+                what: "shared variable",
+                ..
+            })
         ));
-        let dup_method =
-            parse_class("monitor M { var a; method f() { } method f() { } }").unwrap();
+        let dup_method = parse_class("monitor M { var a; method f() { } method f() { } }").unwrap();
         assert!(matches!(
             ClassMonitor::instantiate(dup_method),
             Err(DslError::Duplicate { what: "method", .. })
@@ -850,14 +849,12 @@ mod tests {
 
     #[test]
     fn type_errors_are_caught_at_instantiation() {
-        let class =
-            parse_class("monitor M { var a; method f() { a = (a == 1); } }").unwrap();
+        let class = parse_class("monitor M { var a; method f() { a = (a == 1); } }").unwrap();
         assert!(matches!(
             ClassMonitor::instantiate(class),
             Err(DslError::TypeMismatch { .. })
         ));
-        let class = parse_class("monitor M { var a; method f() { waituntil(a + 1); } }")
-            .unwrap();
+        let class = parse_class("monitor M { var a; method f() { waituntil(a + 1); } }").unwrap();
         assert!(matches!(
             ClassMonitor::instantiate(class),
             Err(DslError::TypeMismatch { .. })
@@ -882,9 +879,17 @@ mod tests {
         ));
         assert!(matches!(
             m.call("put", &[1, 2]),
-            Err(CallError::ArityMismatch { expected: 1, found: 2, .. })
+            Err(CallError::ArityMismatch {
+                expected: 1,
+                found: 2,
+                ..
+            })
         ));
-        assert!(m.call("nope", &[]).unwrap_err().to_string().contains("nope"));
+        assert!(m
+            .call("nope", &[])
+            .unwrap_err()
+            .to_string()
+            .contains("nope"));
     }
 
     #[test]

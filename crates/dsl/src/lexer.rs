@@ -25,20 +25,16 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
                     i += 1;
                 }
                 let text = &source[start..i];
-                let value: i64 = text
-                    .parse()
-                    .map_err(|_| DslError::IntOverflow {
-                        span: Span::new(start, i),
-                    })?;
+                let value: i64 = text.parse().map_err(|_| DslError::IntOverflow {
+                    span: Span::new(start, i),
+                })?;
                 tokens.push(Token {
                     kind: TokenKind::Int(value),
                     span: Span::new(start, i),
                 });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let text = &source[start..i];
@@ -305,8 +301,19 @@ mod tests {
         assert_eq!(
             kinds("monitor var method if else return waituntil while { } ; ,"),
             vec![
-                KwMonitor, KwVar, KwMethod, KwIf, KwElse, KwReturn, KwWaituntil, KwWhile,
-                LBrace, RBrace, Semi, Comma, Eof
+                KwMonitor,
+                KwVar,
+                KwMethod,
+                KwIf,
+                KwElse,
+                KwReturn,
+                KwWaituntil,
+                KwWhile,
+                LBrace,
+                RBrace,
+                Semi,
+                Comma,
+                Eof
             ]
         );
     }

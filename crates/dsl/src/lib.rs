@@ -70,7 +70,7 @@ pub mod parser;
 pub mod schema;
 pub mod token;
 
-pub use class::{ClassMonitor, ClassDef};
+pub use class::{ClassDef, ClassMonitor};
 pub use error::DslError;
 pub use monitor::{DslGuard, DslMonitor};
 pub use schema::{Env, Schema};

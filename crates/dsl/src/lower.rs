@@ -103,13 +103,13 @@ fn lower_bool(
 ) -> Result<BoolExpr<Env>, DslError> {
     match &expr.kind {
         ExprKind::Bool(b) => Ok(BoolExpr::Const(*b)),
-        ExprKind::Unary(UnOp::Not, inner) => {
-            Ok(lower_bool(inner, schema, locals, sink)?.not())
+        ExprKind::Unary(UnOp::Not, inner) => Ok(lower_bool(inner, schema, locals, sink)?.not()),
+        ExprKind::Binary(BinOp::And, lhs, rhs) => {
+            Ok(lower_bool(lhs, schema, locals, sink)?.and(lower_bool(rhs, schema, locals, sink)?))
         }
-        ExprKind::Binary(BinOp::And, lhs, rhs) => Ok(lower_bool(lhs, schema, locals, sink)?
-            .and(lower_bool(rhs, schema, locals, sink)?)),
-        ExprKind::Binary(BinOp::Or, lhs, rhs) => Ok(lower_bool(lhs, schema, locals, sink)?
-            .or(lower_bool(rhs, schema, locals, sink)?)),
+        ExprKind::Binary(BinOp::Or, lhs, rhs) => {
+            Ok(lower_bool(lhs, schema, locals, sink)?.or(lower_bool(rhs, schema, locals, sink)?))
+        }
         ExprKind::Binary(op, lhs, rhs) if op.is_comparison() => {
             lower_cmp(expr, *op, lhs, rhs, schema, locals, sink)
         }
@@ -155,9 +155,9 @@ fn lower_cmp(
         linearize(lhs, schema, locals)?,
         linearize(rhs, schema, locals)?,
     ) {
-        let diff = llin.sub(&rlin).map_err(|_| DslError::LinearOverflow {
-            span: whole.span,
-        })?;
+        let diff = llin
+            .sub(&rlin)
+            .map_err(|_| DslError::LinearOverflow { span: whole.span })?;
         let (shared, local) = diff.partition(|v| matches!(v, VarRef::Shared(_)));
         // lhs op rhs  ⇔  diff op 0  ⇔  shared op -(local)
         let local_value = local.eval(|v| match v {
@@ -173,10 +173,7 @@ fn lower_cmp(
         let mut key = local_value.checked_neg();
         // Canonical sign: make the leading coefficient positive so that
         // `cap - count >= n` and `count - cap <= -n` intern identically.
-        let leading_negative = shared
-            .terms()
-            .next()
-            .is_some_and(|(_, coeff)| coeff < 0);
+        let leading_negative = shared.terms().next().is_some_and(|(_, coeff)| coeff < 0);
         if leading_negative {
             if let (Ok(negated), Some(k)) = (shared.neg(), key) {
                 if let Some(nk) = k.checked_neg() {
@@ -219,7 +216,14 @@ fn lower_cmp(
         return Ok(opaque_shared_cmp(lhs, op, rhs, schema, locals, sink));
     }
     if l_local && r_shared {
-        return Ok(opaque_shared_cmp(rhs, op.flipped(), lhs, schema, locals, sink));
+        return Ok(opaque_shared_cmp(
+            rhs,
+            op.flipped(),
+            lhs,
+            schema,
+            locals,
+            sink,
+        ));
     }
 
     // Path 3: mixed non-linear → keyed custom closure, `None` tag.
@@ -428,11 +432,7 @@ mod tests {
         pairs.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect()
     }
 
-    fn compile(
-        src: &str,
-        schema: &[&str],
-        locals: &[(&str, i64)],
-    ) -> (Predicate<Env>, TableSink) {
+    fn compile(src: &str, schema: &[&str], locals: &[(&str, i64)]) -> (Predicate<Env>, TableSink) {
         let schema = Arc::new(Schema::new(schema));
         let sink = TableSink::new();
         let pred = lower(&parse(src).unwrap(), &schema, &bind(locals), &sink).unwrap();
@@ -531,7 +531,11 @@ mod tests {
         let (pred, sink) = compile("count * count >= n", &["count"], &[("n", 9)]);
         assert!(matches!(
             pred.tags(),
-            [Tag::Threshold { key: 9, op: ThresholdOp::Ge, .. }]
+            [Tag::Threshold {
+                key: 9,
+                op: ThresholdOp::Ge,
+                ..
+            }]
         ));
         let schema = Schema::new(&["count"]);
         let mut env = schema.env();
@@ -547,18 +551,18 @@ mod tests {
         // count >= 9.
         assert!(matches!(
             pred.tags(),
-            [Tag::Threshold { key: 9, op: ThresholdOp::Ge, .. }]
+            [Tag::Threshold {
+                key: 9,
+                op: ThresholdOp::Ge,
+                ..
+            }]
         ));
     }
 
     #[test]
     fn mixed_nonlinear_falls_back_to_custom() {
         // count * n == total mixes shared and local in one product.
-        let (pred, sink) = compile(
-            "count * n == total",
-            &["count", "total"],
-            &[("n", 4)],
-        );
+        let (pred, sink) = compile("count * n == total", &["count", "total"], &[("n", 4)]);
         assert_eq!(pred.tags(), &[Tag::None]);
         let schema = Schema::new(&["count", "total"]);
         let mut env = schema.env();
@@ -612,10 +616,7 @@ mod tests {
         assert_eq!(
             pred.tags(),
             &[Tag::Threshold {
-                expr: pred
-                    .dnf()
-                    .conjunctions()[0]
-                    .literals()[0]
+                expr: pred.dnf().conjunctions()[0].literals()[0]
                     .as_cmp()
                     .unwrap()
                     .expr,

@@ -136,10 +136,7 @@ impl DslMonitor {
     /// Enters the monitor and runs `f` under mutual exclusion.
     pub fn enter<R>(&self, f: impl FnOnce(&mut DslGuard<'_, '_>) -> R) -> R {
         self.monitor.enter(|guard| {
-            let mut g = DslGuard {
-                owner: self,
-                guard,
-            };
+            let mut g = DslGuard { owner: self, guard };
             f(&mut g)
         })
     }
@@ -152,11 +149,7 @@ impl DslMonitor {
 }
 
 impl SharedExprSink for DslMonitor {
-    fn intern(
-        &self,
-        name: &str,
-        f: Box<dyn Fn(&Env) -> i64 + Send + Sync>,
-    ) -> ExprHandle<Env> {
+    fn intern(&self, name: &str, f: Box<dyn Fn(&Env) -> i64 + Send + Sync>) -> ExprHandle<Env> {
         self.monitor
             .register_expr_or_get(name, move |env: &Env| f(env))
     }

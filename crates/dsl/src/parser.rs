@@ -67,7 +67,10 @@ impl Parser {
             self.advance();
             let rhs = self.parse_and()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr::new(ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
         }
         Ok(lhs)
     }
@@ -204,8 +207,14 @@ mod tests {
 
     #[test]
     fn precedence_of_bool_operators() {
-        assert_eq!(p("a == 1 && b == 2 || c == 3"), "(((a == 1) && (b == 2)) || (c == 3))");
-        assert_eq!(p("a == 1 || b == 2 && c == 3"), "((a == 1) || ((b == 2) && (c == 3)))");
+        assert_eq!(
+            p("a == 1 && b == 2 || c == 3"),
+            "(((a == 1) && (b == 2)) || (c == 3))"
+        );
+        assert_eq!(
+            p("a == 1 || b == 2 && c == 3"),
+            "((a == 1) || ((b == 2) && (c == 3)))"
+        );
     }
 
     #[test]
@@ -218,7 +227,10 @@ mod tests {
     #[test]
     fn parentheses_override() {
         assert_eq!(p("(a + b) * c == 0"), "(((a + b) * c) == 0)");
-        assert_eq!(p("(a == 1 || b == 2) && c == 3"), "(((a == 1) || (b == 2)) && (c == 3))");
+        assert_eq!(
+            p("(a == 1 || b == 2) && c == 3"),
+            "(((a == 1) || (b == 2)) && (c == 3))"
+        );
     }
 
     #[test]
@@ -256,7 +268,13 @@ mod tests {
     #[test]
     fn unbalanced_paren_is_rejected() {
         let err = parse("(a == 1").unwrap_err();
-        assert!(matches!(err, DslError::UnexpectedToken { expected: "`)`", .. }));
+        assert!(matches!(
+            err,
+            DslError::UnexpectedToken {
+                expected: "`)`",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -33,10 +33,8 @@ fn arb_int_expr() -> impl Strategy<Value = Expr> {
     // by an explicit Neg arm instead.
     let leaf = prop_oneof![
         (0i64..=20).prop_map(|v| expr(ExprKind::Int(v))),
-        prop::sample::select(SHARED.to_vec())
-            .prop_map(|name| expr(ExprKind::Var(name.to_owned()))),
-        prop::sample::select(LOCALS.to_vec())
-            .prop_map(|name| expr(ExprKind::Var(name.to_owned()))),
+        prop::sample::select(SHARED.to_vec()).prop_map(|name| expr(ExprKind::Var(name.to_owned()))),
+        prop::sample::select(LOCALS.to_vec()).prop_map(|name| expr(ExprKind::Var(name.to_owned()))),
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![

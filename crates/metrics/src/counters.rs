@@ -39,6 +39,9 @@ pub struct SyncCounters {
     tag_removes: AtomicU64,
     relay_calls: AtomicU64,
     relay_hits: AtomicU64,
+    relay_skips: AtomicU64,
+    probes_skipped: AtomicU64,
+    unchanged_exprs: AtomicU64,
 }
 
 macro_rules! counter_methods {
@@ -91,6 +94,16 @@ impl SyncCounters {
         record_relay_call => relay_calls,
         /// A relay call that found and signaled a thread.
         record_relay_hit => relay_hits,
+        /// A relay call the change-driven mode skipped outright: the
+        /// state was unmutated since the last relay and every waiting
+        /// conjunction was already known false.
+        record_relay_skip => relay_skips,
+        /// A tag-index candidate the change-driven probe skipped because
+        /// none of its dependencies changed since the last relay.
+        record_probe_skipped => probes_skipped,
+        /// A snapshot-diff expression evaluation whose value matched the
+        /// cached snapshot (no dependents need probing on its account).
+        record_unchanged_expr => unchanged_exprs,
     }
 
     /// Adds `n` predicate evaluations at once.
@@ -115,6 +128,9 @@ impl SyncCounters {
             tag_removes: self.tag_removes.load(Ordering::Relaxed),
             relay_calls: self.relay_calls.load(Ordering::Relaxed),
             relay_hits: self.relay_hits.load(Ordering::Relaxed),
+            relay_skips: self.relay_skips.load(Ordering::Relaxed),
+            probes_skipped: self.probes_skipped.load(Ordering::Relaxed),
+            unchanged_exprs: self.unchanged_exprs.load(Ordering::Relaxed),
         }
     }
 
@@ -134,6 +150,9 @@ impl SyncCounters {
             &self.tag_removes,
             &self.relay_calls,
             &self.relay_hits,
+            &self.relay_skips,
+            &self.probes_skipped,
+            &self.unchanged_exprs,
         ] {
             field.store(0, Ordering::Relaxed);
         }
@@ -157,6 +176,9 @@ pub struct CounterSnapshot {
     pub tag_removes: u64,
     pub relay_calls: u64,
     pub relay_hits: u64,
+    pub relay_skips: u64,
+    pub probes_skipped: u64,
+    pub unchanged_exprs: u64,
 }
 
 impl CounterSnapshot {
@@ -191,6 +213,9 @@ impl CounterSnapshot {
             tag_removes: self.tag_removes.saturating_sub(earlier.tag_removes),
             relay_calls: self.relay_calls.saturating_sub(earlier.relay_calls),
             relay_hits: self.relay_hits.saturating_sub(earlier.relay_hits),
+            relay_skips: self.relay_skips.saturating_sub(earlier.relay_skips),
+            probes_skipped: self.probes_skipped.saturating_sub(earlier.probes_skipped),
+            unchanged_exprs: self.unchanged_exprs.saturating_sub(earlier.unchanged_exprs),
         }
     }
 }
@@ -200,7 +225,8 @@ impl fmt::Display for CounterSnapshot {
         write!(
             f,
             "enters={} waits={} signals={} broadcasts={} wakeups={} \
-             futile={} pred_evals={} expr_evals={} relay={}/{}",
+             futile={} pred_evals={} expr_evals={} relay={}/{} \
+             skipped={}p/{}r",
             self.enters,
             self.waits,
             self.signals,
@@ -211,6 +237,8 @@ impl fmt::Display for CounterSnapshot {
             self.expr_evals,
             self.relay_hits,
             self.relay_calls,
+            self.probes_skipped,
+            self.relay_skips,
         )
     }
 }
@@ -243,6 +271,9 @@ mod tests {
         c.record_tag_remove();
         c.record_relay_call();
         c.record_relay_hit();
+        c.record_relay_skip();
+        c.record_probe_skipped();
+        c.record_unchanged_expr();
         let s = c.snapshot();
         assert_eq!(s.enters, 2);
         assert_eq!(s.waits, 1);
@@ -257,6 +288,9 @@ mod tests {
         assert_eq!(s.tag_removes, 1);
         assert_eq!(s.relay_calls, 1);
         assert_eq!(s.relay_hits, 1);
+        assert_eq!(s.relay_skips, 1);
+        assert_eq!(s.probes_skipped, 1);
+        assert_eq!(s.unchanged_exprs, 1);
     }
 
     #[test]

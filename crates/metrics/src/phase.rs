@@ -26,17 +26,23 @@ pub enum Phase {
     RelaySignal,
     /// Maintaining predicate tags (inserting/removing from indexes).
     TagManager,
+    /// Diffing the shared-expression snapshot against fresh values to
+    /// compute the changed set (change-driven relay only; an extension
+    /// column beyond the paper's Table 1).
+    SnapshotDiff,
     /// Everything else spent inside monitor functions.
     Other,
 }
 
 impl Phase {
-    /// All phases in Table 1 column order.
-    pub const ALL: [Phase; 5] = [
+    /// All phases in Table 1 column order (with the change-driven
+    /// snapshot-diff extension inserted before "others").
+    pub const ALL: [Phase; 6] = [
         Phase::Await,
         Phase::Lock,
         Phase::RelaySignal,
         Phase::TagManager,
+        Phase::SnapshotDiff,
         Phase::Other,
     ];
 
@@ -47,6 +53,7 @@ impl Phase {
             Phase::Lock => "lock",
             Phase::RelaySignal => "relaySignal",
             Phase::TagManager => "tagMgr",
+            Phase::SnapshotDiff => "snapDiff",
             Phase::Other => "others",
         }
     }
@@ -57,7 +64,8 @@ impl Phase {
             Phase::Lock => 1,
             Phase::RelaySignal => 2,
             Phase::TagManager => 3,
-            Phase::Other => 4,
+            Phase::SnapshotDiff => 4,
+            Phase::Other => 5,
         }
     }
 }
@@ -81,7 +89,7 @@ impl fmt::Display for Phase {
 /// ```
 #[derive(Debug)]
 pub struct PhaseTimes {
-    nanos: [AtomicU64; 5],
+    nanos: [AtomicU64; 6],
     enabled: AtomicBool,
 }
 
@@ -154,7 +162,7 @@ impl PhaseTimes {
 
     /// Captures the accumulated times.
     pub fn snapshot(&self) -> PhaseSnapshot {
-        let mut nanos = [0u64; 5];
+        let mut nanos = [0u64; 6];
         for (slot, atomic) in nanos.iter_mut().zip(&self.nanos) {
             *slot = atomic.load(Ordering::Relaxed);
         }
@@ -200,7 +208,7 @@ impl Drop for PhaseGuard<'_> {
 /// A point-in-time copy of [`PhaseTimes`], renderable as a Table 1 row.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseSnapshot {
-    nanos: [u64; 5],
+    nanos: [u64; 6],
 }
 
 impl PhaseSnapshot {
@@ -231,7 +239,7 @@ impl PhaseSnapshot {
 
     /// Phase-wise difference `self - earlier`, saturating at zero.
     pub fn since(&self, earlier: &PhaseSnapshot) -> PhaseSnapshot {
-        let mut nanos = [0u64; 5];
+        let mut nanos = [0u64; 6];
         for (i, slot) in nanos.iter_mut().enumerate() {
             *slot = self.nanos[i].saturating_sub(earlier.nanos[i]);
         }
@@ -271,7 +279,9 @@ mod tests {
     #[test]
     fn enabled_records_elapsed_time() {
         let t = PhaseTimes::enabled();
-        t.time(Phase::Await, || std::thread::sleep(Duration::from_millis(2)));
+        t.time(Phase::Await, || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
         let snap = t.snapshot();
         assert!(snap.nanos(Phase::Await) >= 1_000_000);
         assert_eq!(snap.nanos(Phase::Lock), 0);

@@ -80,11 +80,7 @@ impl Table {
         widths
     }
 
-    fn write_row(
-        f: &mut fmt::Formatter<'_>,
-        cells: &[String],
-        widths: &[usize],
-    ) -> fmt::Result {
+    fn write_row(f: &mut fmt::Formatter<'_>, cells: &[String], widths: &[usize]) -> fmt::Result {
         for (i, width) in widths.iter().enumerate() {
             let empty = String::new();
             let cell = cells.get(i).unwrap_or(&empty);

@@ -166,11 +166,7 @@ impl<S> fmt::Display for BoolExpr<S> {
     }
 }
 
-fn write_joined<S>(
-    f: &mut fmt::Formatter<'_>,
-    children: &[BoolExpr<S>],
-    sep: &str,
-) -> fmt::Result {
+fn write_joined<S>(f: &mut fmt::Formatter<'_>, children: &[BoolExpr<S>], sep: &str) -> fmt::Result {
     write!(f, "(")?;
     for (i, child) in children.iter().enumerate() {
         if i > 0 {
@@ -267,9 +263,6 @@ mod tests {
         let (t, x, _) = table();
         let e = x.ge(5).or(BoolExpr::custom("c", |s: &S| s.y == 0));
         let c = e.clone();
-        assert_eq!(
-            e.eval(&S { x: 9, y: 1 }, &t),
-            c.eval(&S { x: 9, y: 1 }, &t)
-        );
+        assert_eq!(e.eval(&S { x: 9, y: 1 }, &t), c.eval(&S { x: 9, y: 1 }, &t));
     }
 }

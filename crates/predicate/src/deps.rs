@@ -1,0 +1,174 @@
+//! Per-conjunction expression dependency sets.
+//!
+//! Change-driven relay signaling (crate `autosynch`, the `autosynch_cd`
+//! ablation) needs to know, for every DNF conjunction, *which shared
+//! expressions its truth value can depend on*: a conjunction whose
+//! dependencies are all unchanged since the last relay cannot have
+//! flipped from false to true, so the relay search skips it without
+//! evaluating anything.
+//!
+//! Dependencies are computed once per predicate construction, right after
+//! DNF conversion — the same preprocessing point where tags are assigned
+//! (Fig. 3 of the paper). Comparison literals contribute their shared
+//! expression; custom closures are opaque, so a conjunction containing
+//! one is marked [`ConjDeps::is_opaque`] and conservatively treated as
+//! depending on everything.
+
+use crate::dnf::{Conjunction, Dnf, Literal};
+use crate::expr::ExprId;
+
+/// The dependency set of one DNF conjunction: the shared expressions its
+/// comparison literals read, plus an opacity flag for custom closures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjDeps {
+    /// Sorted, deduplicated expression ids read by comparison literals.
+    exprs: Vec<ExprId>,
+    /// Whether the conjunction contains an opaque (closure) literal.
+    opaque: bool,
+}
+
+impl ConjDeps {
+    /// Computes the dependency set of a conjunction.
+    pub fn of<S>(conjunction: &Conjunction<S>) -> Self {
+        let mut exprs: Vec<ExprId> = Vec::new();
+        let mut opaque = false;
+        for literal in conjunction.literals() {
+            match literal {
+                Literal::Cmp(atom) => exprs.push(atom.expr),
+                Literal::Custom { .. } => opaque = true,
+            }
+        }
+        exprs.sort_unstable();
+        exprs.dedup();
+        ConjDeps { exprs, opaque }
+    }
+
+    /// The comparison-literal dependencies, sorted ascending.
+    pub fn exprs(&self) -> &[ExprId] {
+        &self.exprs
+    }
+
+    /// Whether the conjunction contains an opaque literal and therefore
+    /// may depend on arbitrary parts of the monitor state.
+    pub fn is_opaque(&self) -> bool {
+        self.opaque
+    }
+
+    /// Whether a state delta described by `changed` (indexed by
+    /// [`ExprId::index`]) can affect this conjunction. Opaque
+    /// conjunctions intersect everything; expressions beyond the bitmap's
+    /// length are conservatively treated as changed (they were registered
+    /// after the bitmap was sized).
+    pub fn intersects(&self, changed: &[bool]) -> bool {
+        self.opaque
+            || self
+                .exprs
+                .iter()
+                .any(|e| changed.get(e.index()).copied().unwrap_or(true))
+    }
+
+    /// The smallest dependency that is flagged changed, if any. The
+    /// change-driven `None`-tag probe uses this to visit each candidate
+    /// exactly once even when several of its dependencies changed.
+    pub fn first_changed(&self, changed: &[bool]) -> Option<ExprId> {
+        self.exprs
+            .iter()
+            .copied()
+            .find(|e| changed.get(e.index()).copied().unwrap_or(true))
+    }
+}
+
+/// Computes the dependency set of every conjunction of a DNF, aligned
+/// with `dnf.conjunctions()` (and therefore with the predicate's tags).
+pub fn conj_deps<S>(dnf: &Dnf<S>) -> Vec<ConjDeps> {
+    dnf.conjunctions().iter().map(ConjDeps::of).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BoolExpr;
+    use crate::dnf::to_dnf;
+    use crate::expr::{ExprHandle, ExprTable};
+
+    struct S {
+        x: i64,
+        y: i64,
+    }
+
+    fn setup() -> (ExprTable<S>, ExprHandle<S>, ExprHandle<S>) {
+        let mut t = ExprTable::new();
+        let x = t.register("x", |s: &S| s.x);
+        let y = t.register("y", |s: &S| s.y);
+        (t, x, y)
+    }
+
+    #[test]
+    fn cmp_literals_contribute_their_exprs() {
+        let (_, x, y) = setup();
+        let dnf = to_dnf(&x.ge(1).and(y.eq(2))).unwrap();
+        let deps = conj_deps(&dnf);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].exprs(), &[x.id(), y.id()]);
+        assert!(!deps[0].is_opaque());
+    }
+
+    #[test]
+    fn duplicate_exprs_collapse() {
+        let (_, x, _) = setup();
+        let dnf = to_dnf(&x.ge(1).and(x.le(9))).unwrap();
+        let deps = conj_deps(&dnf);
+        assert_eq!(deps[0].exprs(), &[x.id()]);
+    }
+
+    #[test]
+    fn custom_literals_mark_opaque() {
+        let (_, x, _) = setup();
+        let dnf = to_dnf(&x.ge(1).and(BoolExpr::custom("c", |s: &S| s.y > 0))).unwrap();
+        let deps = conj_deps(&dnf);
+        assert!(deps[0].is_opaque());
+        // The comparison literal is still listed.
+        assert_eq!(deps[0].exprs(), &[x.id()]);
+    }
+
+    #[test]
+    fn per_disjunct_sets_are_independent() {
+        let (_, x, y) = setup();
+        let dnf = to_dnf(&x.ge(1).or(y.eq(0))).unwrap();
+        let deps = conj_deps(&dnf);
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[0].exprs(), &[x.id()]);
+        assert_eq!(deps[1].exprs(), &[y.id()]);
+    }
+
+    #[test]
+    fn intersection_respects_the_bitmap() {
+        let (_, x, y) = setup();
+        let dnf = to_dnf(&x.ge(1).and(y.eq(2))).unwrap();
+        let deps = &conj_deps(&dnf)[0];
+        assert!(!deps.intersects(&[false, false]));
+        assert!(deps.intersects(&[true, false]));
+        assert!(deps.intersects(&[false, true]));
+        // A too-short bitmap is conservative.
+        assert!(deps.intersects(&[false]));
+    }
+
+    #[test]
+    fn opaque_intersects_everything() {
+        let (_, _, _) = setup();
+        let dnf = to_dnf(&BoolExpr::<S>::custom("c", |s| s.x > 0)).unwrap();
+        let deps = &conj_deps(&dnf)[0];
+        assert!(deps.intersects(&[false, false]));
+        assert!(deps.intersects(&[]));
+    }
+
+    #[test]
+    fn first_changed_picks_the_minimum() {
+        let (_, x, y) = setup();
+        let dnf = to_dnf(&x.ge(1).and(y.eq(2))).unwrap();
+        let deps = &conj_deps(&dnf)[0];
+        assert_eq!(deps.first_changed(&[true, true]), Some(x.id()));
+        assert_eq!(deps.first_changed(&[false, true]), Some(y.id()));
+        assert_eq!(deps.first_changed(&[false, false]), None);
+    }
+}

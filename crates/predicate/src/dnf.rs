@@ -717,7 +717,10 @@ mod tests {
         let text = dnf.to_string();
         assert!(text.contains("e0 == 1"));
         assert!(text.contains("||"));
-        assert_eq!(to_dnf(&BoolExpr::<S>::never()).unwrap().to_string(), "false");
+        assert_eq!(
+            to_dnf(&BoolExpr::<S>::never()).unwrap().to_string(),
+            "false"
+        );
     }
 
     #[test]

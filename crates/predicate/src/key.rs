@@ -141,8 +141,9 @@ mod tests {
     fn keyed_customs_participate() {
         let (_, x, _) = setup();
         let mk = |key: u64| {
-            x.eq(1)
-                .and(BoolExpr::Custom(CustomPred::new("c", |_: &S| true).with_key(key)))
+            x.eq(1).and(BoolExpr::Custom(
+                CustomPred::new("c", |_: &S| true).with_key(key),
+            ))
         };
         assert_eq!(key_of(&mk(7)), key_of(&mk(7)));
         assert_ne!(key_of(&mk(7)), key_of(&mk(8)));

@@ -56,6 +56,7 @@
 pub mod ast;
 pub mod atom;
 pub mod custom;
+pub mod deps;
 pub mod dnf;
 pub mod expr;
 pub mod key;
@@ -66,6 +67,7 @@ pub mod tag;
 pub use ast::BoolExpr;
 pub use atom::{CmpAtom, CmpOp};
 pub use custom::CustomPred;
+pub use deps::ConjDeps;
 pub use dnf::{Conjunction, Dnf, DnfOverflow, Literal};
 pub use expr::{ExprHandle, ExprId, ExprTable};
 pub use key::PredKey;

@@ -84,7 +84,6 @@ impl<V: Ord> LinExpr<V> {
 }
 
 impl<V: Ord + Clone> LinExpr<V> {
-
     /// The coefficient of `v` (zero when absent).
     pub fn coeff(&self, v: &V) -> i64 {
         self.terms.get(v).copied().unwrap_or(0)

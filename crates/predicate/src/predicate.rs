@@ -9,6 +9,7 @@
 use std::fmt;
 
 use crate::ast::BoolExpr;
+use crate::deps::{conj_deps, ConjDeps};
 use crate::dnf::{to_dnf, to_dnf_with_limit, Dnf, DnfOverflow};
 use crate::expr::ExprTable;
 use crate::key::{pred_key, PredKey};
@@ -35,6 +36,7 @@ use crate::tag::{assign_tags, Tag};
 pub struct Predicate<S> {
     dnf: Dnf<S>,
     tags: Vec<Tag>,
+    deps: Vec<ConjDeps>,
     key: Option<PredKey>,
     source: Option<String>,
 }
@@ -58,10 +60,7 @@ impl<S> Predicate<S> {
     /// # Errors
     ///
     /// Returns [`DnfOverflow`] when the condition's DNF exceeds `limit`.
-    pub fn try_from_expr_with_limit(
-        expr: BoolExpr<S>,
-        limit: usize,
-    ) -> Result<Self, DnfOverflow> {
+    pub fn try_from_expr_with_limit(expr: BoolExpr<S>, limit: usize) -> Result<Self, DnfOverflow> {
         let source = format!("{expr}");
         let dnf = to_dnf_with_limit(&expr, limit)?;
         Ok(Self::from_dnf_with_source(dnf, Some(source)))
@@ -75,10 +74,12 @@ impl<S> Predicate<S> {
 
     fn from_dnf_with_source(dnf: Dnf<S>, source: Option<String>) -> Self {
         let tags = assign_tags(&dnf);
+        let deps = conj_deps(&dnf);
         let key = pred_key(&dnf);
         Predicate {
             dnf,
             tags,
+            deps,
             key,
             source,
         }
@@ -108,6 +109,14 @@ impl<S> Predicate<S> {
     /// One tag per conjunction, aligned with `self.dnf().conjunctions()`.
     pub fn tags(&self) -> &[Tag] {
         &self.tags
+    }
+
+    /// One dependency set per conjunction, aligned with
+    /// `self.dnf().conjunctions()` (and therefore with
+    /// [`Predicate::tags`]). The change-driven relay uses these to probe
+    /// only conjunctions whose inputs changed since the last relay.
+    pub fn conj_deps(&self) -> &[ConjDeps] {
+        &self.deps
     }
 
     /// The structural key, or `None` when the predicate contains a keyless
@@ -152,6 +161,7 @@ impl<S> Clone for Predicate<S> {
         Predicate {
             dnf: self.dnf.clone(),
             tags: self.tags.clone(),
+            deps: self.deps.clone(),
             key: self.key.clone(),
             source: self.source.clone(),
         }

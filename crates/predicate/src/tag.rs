@@ -360,7 +360,10 @@ mod tests {
                 for yv in -2..=2 {
                     let s = S { x: xv, y: yv };
                     for c in dnf.conjunctions() {
-                        assert!(tag_sound_for_state(c, &s, &t), "unsound for {e} at ({xv},{yv})");
+                        assert!(
+                            tag_sound_for_state(c, &s, &t),
+                            "unsound for {e} at ({xv},{yv})"
+                        );
                     }
                 }
             }

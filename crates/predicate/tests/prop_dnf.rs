@@ -126,9 +126,7 @@ fn arb_lin() -> impl Strategy<Value = LinExpr<u8>> {
         .prop_map(|(terms, c)| {
             let mut e = LinExpr::constant(c);
             for (v, coeff) in terms {
-                e = e
-                    .add(&LinExpr::var(v).scale(coeff).unwrap())
-                    .unwrap();
+                e = e.add(&LinExpr::var(v).scale(coeff).unwrap()).unwrap();
             }
             e
         })

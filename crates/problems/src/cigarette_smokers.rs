@@ -229,7 +229,9 @@ pub fn make_table(mechanism: Mechanism) -> Arc<dyn SmokersTable> {
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitTable::new()),
         Mechanism::Baseline => Arc::new(BaselineTable::new()),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch => Arc::new(AutoSynchTable::new(mechanism)),
+        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
+            Arc::new(AutoSynchTable::new(mechanism))
+        }
     }
 }
 
@@ -362,8 +364,20 @@ mod tests {
 
     #[test]
     fn schedule_is_reproducible() {
-        let a = run(Mechanism::AutoSynch, SmokersConfig { rounds: 60, seed: 3 });
-        let b = run(Mechanism::AutoSynch, SmokersConfig { rounds: 60, seed: 3 });
+        let a = run(
+            Mechanism::AutoSynch,
+            SmokersConfig {
+                rounds: 60,
+                seed: 3,
+            },
+        );
+        let b = run(
+            Mechanism::AutoSynch,
+            SmokersConfig {
+                rounds: 60,
+                seed: 3,
+            },
+        );
         // Same seed, same quotas — the assertion inside run() already
         // checked both against the same schedule.
         assert_eq!(a.threads, b.threads);

@@ -191,7 +191,7 @@ pub fn make_barrier(mechanism: Mechanism, parties: usize) -> Arc<dyn CyclicBarri
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitBarrier::new(parties)),
         Mechanism::Baseline => Arc::new(BaselineBarrier::new(parties)),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch => {
+        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
             Arc::new(AutoSynchBarrier::new(parties, mechanism))
         }
     }

@@ -54,7 +54,11 @@ impl ExplicitVessel {
         let mut monitor = ExplicitMonitor::new(VesselState::default());
         let o_cv = monitor.add_condition();
         let h_cv = monitor.add_condition();
-        ExplicitVessel { monitor, o_cv, h_cv }
+        ExplicitVessel {
+            monitor,
+            o_cv,
+            h_cv,
+        }
     }
 }
 
@@ -207,7 +211,9 @@ pub fn make_vessel(mechanism: Mechanism) -> Arc<dyn WaterVessel> {
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitVessel::new()),
         Mechanism::Baseline => Arc::new(BaselineVessel::new()),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch => Arc::new(AutoSynchVessel::new(mechanism)),
+        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
+            Arc::new(AutoSynchVessel::new(mechanism))
+        }
     }
 }
 

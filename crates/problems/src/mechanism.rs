@@ -15,7 +15,8 @@ use autosynch::config::MonitorConfig;
 use autosynch::stats::StatsSnapshot;
 use autosynch_metrics::ctx::{self, CtxSwitches};
 
-/// The four signaling mechanisms compared in §6.2.
+/// The four signaling mechanisms compared in §6.2, plus the
+/// change-driven ablation this reproduction adds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mechanism {
     /// Hand-written condition variables with `signal`/`signalAll`.
@@ -27,10 +28,16 @@ pub enum Mechanism {
     AutoSynchT,
     /// Full AutoSynch: relay signaling plus predicate tags.
     AutoSynch,
+    /// Change-driven AutoSynch (`autosynch_cd`): predicate tags plus
+    /// expression versioning and dependency-indexed probing — an
+    /// extension beyond the paper, benchmarked as an ablation.
+    AutoSynchCD,
 }
 
 impl Mechanism {
-    /// All four, in the paper's legend order.
+    /// The paper's four mechanisms, in legend order. The change-driven
+    /// extension is deliberately excluded so the Figs. 8–15 comparisons
+    /// stay exactly the paper's.
     pub const ALL: [Mechanism; 4] = [
         Mechanism::Explicit,
         Mechanism::Baseline,
@@ -45,6 +52,23 @@ impl Mechanism {
         Mechanism::AutoSynch,
     ];
 
+    /// The paper's four plus the change-driven ablation, for the
+    /// extension benches and the relay-cost report.
+    pub const WITH_CHANGE_DRIVEN: [Mechanism; 5] = [
+        Mechanism::Explicit,
+        Mechanism::Baseline,
+        Mechanism::AutoSynchT,
+        Mechanism::AutoSynch,
+        Mechanism::AutoSynchCD,
+    ];
+
+    /// The automatic-signal family the runtime implements.
+    pub const AUTOMATIC: [Mechanism; 3] = [
+        Mechanism::AutoSynchT,
+        Mechanism::AutoSynch,
+        Mechanism::AutoSynchCD,
+    ];
+
     /// The paper's legend label.
     pub fn label(self) -> &'static str {
         match self {
@@ -52,6 +76,7 @@ impl Mechanism {
             Mechanism::Baseline => "baseline",
             Mechanism::AutoSynchT => "AutoSynch-T",
             Mechanism::AutoSynch => "AutoSynch",
+            Mechanism::AutoSynchCD => "AutoSynch-CD",
         }
     }
 
@@ -61,6 +86,7 @@ impl Mechanism {
         match self {
             Mechanism::AutoSynch => Some(MonitorConfig::default()),
             Mechanism::AutoSynchT => Some(MonitorConfig::autosynch_t()),
+            Mechanism::AutoSynchCD => Some(MonitorConfig::autosynch_cd()),
             Mechanism::Explicit | Mechanism::Baseline => None,
         }
     }
@@ -164,7 +190,10 @@ mod tests {
             SignalMode::Tagged
         );
         assert_eq!(
-            Mechanism::AutoSynchT.monitor_config().unwrap().signal_mode(),
+            Mechanism::AutoSynchT
+                .monitor_config()
+                .unwrap()
+                .signal_mode(),
             SignalMode::Untagged
         );
         assert!(Mechanism::Explicit.monitor_config().is_none());

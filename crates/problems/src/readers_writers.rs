@@ -125,7 +125,8 @@ impl ReadersWriters for ExplicitRw {
     }
 
     fn totals(&self) -> (u64, u64) {
-        self.monitor.enter(|g| (g.state().reads_done, g.state().writes_done))
+        self.monitor
+            .enter(|g| (g.state().reads_done, g.state().writes_done))
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -198,7 +199,8 @@ impl ReadersWriters for BaselineRw {
     }
 
     fn totals(&self) -> (u64, u64) {
-        self.monitor.enter(|g| (g.state().reads_done, g.state().writes_done))
+        self.monitor
+            .enter(|g| (g.state().reads_done, g.state().writes_done))
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -284,7 +286,8 @@ impl ReadersWriters for AutoSynchRw {
     }
 
     fn totals(&self) -> (u64, u64) {
-        self.monitor.enter(|g| (g.state().reads_done, g.state().writes_done))
+        self.monitor
+            .enter(|g| (g.state().reads_done, g.state().writes_done))
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -298,7 +301,9 @@ pub fn make_rw(mechanism: Mechanism, threads: usize) -> Arc<dyn ReadersWriters> 
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitRw::new(threads)),
         Mechanism::Baseline => Arc::new(BaselineRw::new()),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch => Arc::new(AutoSynchRw::new(mechanism)),
+        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
+            Arc::new(AutoSynchRw::new(mechanism))
+        }
     }
 }
 

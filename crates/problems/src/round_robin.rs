@@ -247,7 +247,7 @@ pub fn make_ring(mechanism: Mechanism, n: usize) -> Arc<dyn RoundRobin> {
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitRoundRobin::new(n)),
         Mechanism::Baseline => Arc::new(BaselineRoundRobin::new(n)),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch => {
+        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
             Arc::new(AutoSynchRoundRobin::new(n, mechanism))
         }
     }
@@ -299,11 +299,7 @@ fn run_inner(mechanism: Mechanism, config: RoundRobinConfig, timed: bool) -> Run
     });
 
     let expected = (config.threads * config.rounds) as u64;
-    assert_eq!(
-        ring.passes(),
-        expected,
-        "{mechanism}: pass count mismatch"
-    );
+    assert_eq!(ring.passes(), expected, "{mechanism}: pass count mismatch");
 
     RunReport {
         mechanism,

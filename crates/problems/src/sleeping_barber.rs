@@ -263,7 +263,7 @@ pub fn make_shop(mechanism: Mechanism) -> Arc<dyn BarberShop> {
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitBarberShop::new()),
         Mechanism::Baseline => Arc::new(BaselineBarberShop::new()),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch => {
+        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
             Arc::new(AutoSynchBarberShop::new(mechanism))
         }
     }

@@ -278,7 +278,7 @@ pub fn make_bathroom(mechanism: Mechanism, capacity: i64) -> Arc<dyn Bathroom> {
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitBathroom::new(capacity)),
         Mechanism::Baseline => Arc::new(BaselineBathroom::new(capacity)),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch => {
+        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
             Arc::new(AutoSynchBathroom::new(capacity, mechanism))
         }
     }
@@ -317,7 +317,11 @@ pub fn run(mechanism: Mechanism, config: BathroomConfig) -> RunReport {
     let threads = config.per_gender * 2;
 
     let (elapsed, ctx) = timed_run(threads, |i| {
-        let gender = if i % 2 == 0 { Gender::Man } else { Gender::Woman };
+        let gender = if i % 2 == 0 {
+            Gender::Man
+        } else {
+            Gender::Woman
+        };
         for _ in 0..config.visits {
             bathroom.enter(gender);
             bathroom.exit(gender);

@@ -73,7 +73,10 @@ fn main() {
 
     // A compile error is a value, not a crash:
     let err = monitor.enter(|g| g.wait_until("count >= ", &[]).unwrap_err());
-    println!("\na malformed condition reports:\n{}", err.render("count >= "));
+    println!(
+        "\na malformed condition reports:\n{}",
+        err.render("count >= ")
+    );
     let err = monitor.enter(|g| g.wait_until("count >= missing", &[]).unwrap_err());
     println!("{}", err.render("count >= missing"));
 }

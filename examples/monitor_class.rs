@@ -72,7 +72,10 @@ fn main() {
     for producer in producers {
         producer.join().expect("producer");
     }
-    let total: i64 = consumers.into_iter().map(|c| c.join().expect("consumer")).sum();
+    let total: i64 = consumers
+        .into_iter()
+        .map(|c| c.join().expect("consumer"))
+        .sum();
 
     let leftover = buffer.monitor().enter(|g| g.get("count"));
     let stats = buffer.monitor().stats_snapshot();

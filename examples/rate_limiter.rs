@@ -43,7 +43,10 @@ struct RateLimiter {
 
 impl RateLimiter {
     fn new(burst: i64) -> Self {
-        let monitor = Monitor::new(Bucket { tokens: burst, burst });
+        let monitor = Monitor::new(Bucket {
+            tokens: burst,
+            burst,
+        });
         let tokens = monitor.register_expr("tokens", |b| b.tokens);
         RateLimiter { monitor, tokens }
     }
@@ -71,7 +74,8 @@ impl RateLimiter {
 
     /// Deposits `n` tokens (refill thread), saturating at the burst cap.
     fn refill(&self, n: i64) {
-        self.monitor.with(move |b| b.tokens = (b.tokens + n).min(b.burst));
+        self.monitor
+            .with(move |b| b.tokens = (b.tokens + n).min(b.burst));
     }
 }
 

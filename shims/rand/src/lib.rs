@@ -1,0 +1,163 @@
+//! A minimal `rand` stand-in: a seeded 64-bit PRNG with `gen_range`.
+//!
+//! The build environment has no access to crates.io; the workspace only
+//! uses `StdRng::seed_from_u64` and `Rng::gen_range` over integer ranges,
+//! so that is what this shim provides. The generator is SplitMix64 — not
+//! the real crate's ChaCha, but deterministic for a given seed, which is
+//! all the deterministic-workload callers rely on.
+
+/// Low-level uniform 64-bit generation.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Samples a uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 uniform mantissa bits, the standard unit-interval recipe.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that can be sampled uniformly, producing `T`.
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `[0, n)` by widening multiply (Lemire reduction
+/// without the rejection step; the bias is ≪ 2⁻³² for these workloads).
+fn below<R: RngCore>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((u128::from(rng.next_u64()) * u128::from(n)) >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    // Full-width i64/u64 range: every 64-bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + below(rng, span as u64) as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// The shim's generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard seedable generator (SplitMix64 in this shim).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let w = rng.gen_range(1usize..128);
+            assert!((1..128).contains(&w));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1000 {
+            match rng.gen_range(0u8..=1) {
+                0 => lo = true,
+                1 => hi = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        use super::RngCore;
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+}

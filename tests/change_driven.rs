@@ -1,0 +1,206 @@
+//! Change-driven relay (`autosynch_cd`) equivalence and accounting.
+//!
+//! The mode must be *observationally identical* to the scan-based
+//! AutoSynch-T and tagged modes — same outcomes, zero broadcasts, zero
+//! relay-invariance violations with the Def. 4 validator armed — while
+//! doing strictly less evaluation work on the paper's Fig. 14 workload.
+
+use std::sync::Arc;
+
+use autosynch_repro::autosynch::config::MonitorConfig;
+use autosynch_repro::autosynch::Monitor;
+use autosynch_repro::problems::mechanism::Mechanism;
+use autosynch_repro::problems::{param_bounded_buffer, readers_writers};
+
+/// A deterministic bounded-buffer schedule run under one validated
+/// config; returns the drain order checksum and the final level.
+fn validated_bounded_buffer(config: MonitorConfig) -> (u64, i64) {
+    struct Buf {
+        level: i64,
+        cap: i64,
+        checksum: u64,
+    }
+    let monitor = Arc::new(Monitor::with_config(
+        Buf {
+            level: 0,
+            cap: 8,
+            checksum: 0,
+        },
+        config.validate_relay(true),
+    ));
+    let level = monitor.register_expr("level", |b: &Buf| b.level);
+    let free = monitor.register_expr("free", |b: &Buf| b.cap - b.level);
+
+    const PAIRS: usize = 4;
+    const OPS: usize = 200;
+    std::thread::scope(|scope| {
+        for i in 0..PAIRS {
+            let producer_monitor = Arc::clone(&monitor);
+            scope.spawn(move || {
+                let put = 1 + (i as i64 % 3);
+                for _ in 0..OPS {
+                    producer_monitor.enter(|g| {
+                        g.wait_until(free.ge(put));
+                        g.state_mut().level += put;
+                    });
+                }
+            });
+            let monitor = Arc::clone(&monitor);
+            scope.spawn(move || {
+                let take = 1 + (i as i64 % 3);
+                for round in 0..OPS {
+                    monitor.enter(|g| {
+                        g.wait_until(level.ge(take));
+                        let s = g.state_mut();
+                        s.level -= take;
+                        s.checksum = s
+                            .checksum
+                            .wrapping_mul(31)
+                            .wrapping_add((round as u64) ^ take as u64);
+                    });
+                }
+            });
+        }
+    });
+
+    let (checksum, level) = monitor.with(|b| (b.checksum, b.level));
+    assert!(monitor.is_quiescent(), "leaked waiters or signals");
+    assert_eq!(monitor.stats_snapshot().counters.broadcasts, 0);
+    (checksum, level)
+}
+
+#[test]
+fn validated_bounded_buffer_matches_scan_mode() {
+    // validate_relay panics on any Def. 4 violation, so completing the
+    // run in change-driven mode *is* the zero-violations assertion; the
+    // final levels must agree with the scan-based reference.
+    let (_, cd_level) = validated_bounded_buffer(MonitorConfig::autosynch_cd());
+    let (_, t_level) = validated_bounded_buffer(MonitorConfig::autosynch_t());
+    assert_eq!(cd_level, 0);
+    assert_eq!(t_level, 0);
+}
+
+/// Ticketed readers/writers under a validated config: writers bump a
+/// version; readers require their ticket. Returns total reads observed.
+fn validated_readers_writers(config: MonitorConfig) -> u64 {
+    struct Room {
+        readers: i64,
+        writer: i64,
+    }
+    let monitor = Arc::new(Monitor::with_config(
+        Room {
+            readers: 0,
+            writer: 0,
+        },
+        config.validate_relay(true),
+    ));
+    let writer = monitor.register_expr("writer", |r: &Room| r.writer);
+    let readers = monitor.register_expr("readers", |r: &Room| r.readers);
+
+    const WRITERS: usize = 3;
+    const READERS: usize = 9;
+    const OPS: usize = 120;
+    let total_reads = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..WRITERS {
+            let monitor = Arc::clone(&monitor);
+            scope.spawn(move || {
+                for _ in 0..OPS {
+                    monitor.enter(|g| {
+                        g.wait_until(writer.eq(0).and(readers.eq(0)));
+                        g.state_mut().writer = 1;
+                    });
+                    monitor.with(|r| r.writer = 0);
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let monitor = Arc::clone(&monitor);
+            let total_reads = &total_reads;
+            scope.spawn(move || {
+                for _ in 0..OPS {
+                    monitor.enter(|g| {
+                        g.wait_until(writer.eq(0));
+                        g.state_mut().readers += 1;
+                    });
+                    total_reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    monitor.with(|r| r.readers -= 1);
+                }
+            });
+        }
+    });
+    assert!(monitor.is_quiescent());
+    assert_eq!(monitor.stats_snapshot().counters.broadcasts, 0);
+    total_reads.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+#[test]
+fn validated_readers_writers_matches_scan_mode() {
+    let cd = validated_readers_writers(MonitorConfig::autosynch_cd());
+    let t = validated_readers_writers(MonitorConfig::autosynch_t());
+    assert_eq!(cd, 9 * 120);
+    assert_eq!(t, 9 * 120);
+}
+
+#[test]
+fn change_driven_param_buffer_balances() {
+    // The Fig. 14 workload completes with identical item accounting
+    // (run() panics internally on checksum mismatch) and no broadcasts.
+    let report = param_bounded_buffer::run(
+        Mechanism::AutoSynchCD,
+        param_bounded_buffer::ParamBoundedBufferConfig {
+            consumers: 6,
+            takes_per_consumer: 100,
+            max_items: 64,
+            capacity: 128,
+            seed: 23,
+        },
+    );
+    assert_eq!(report.stats.counters.broadcasts, 0);
+}
+
+#[test]
+fn change_driven_readers_writers_problem_balances() {
+    readers_writers::run(
+        Mechanism::AutoSynchCD,
+        readers_writers::ReadersWritersConfig {
+            writers: 3,
+            readers: 9,
+            ops_per_thread: 100,
+        },
+    );
+}
+
+#[test]
+fn change_driven_beats_tagged_on_fig14_eval_counts() {
+    // The ISSUE's acceptance criterion: on the parameterized bounded
+    // buffer, `autosynch_cd` does strictly less evaluation work than the
+    // default tagged mode over the same completed workload.
+    let config = param_bounded_buffer::ParamBoundedBufferConfig {
+        consumers: 8,
+        takes_per_consumer: 150,
+        max_items: 64,
+        capacity: 128,
+        seed: 0x5EED,
+    };
+    let tagged = param_bounded_buffer::run(Mechanism::AutoSynch, config);
+    let cd = param_bounded_buffer::run(Mechanism::AutoSynchCD, config);
+
+    let work = |c: &autosynch_repro::metrics::CounterSnapshot| c.expr_evals + c.pred_evals;
+    assert!(
+        work(&cd.stats.counters) < work(&tagged.stats.counters),
+        "change-driven work {} (expr {} + pred {}) must undercut tagged {} (expr {} + pred {})",
+        work(&cd.stats.counters),
+        cd.stats.counters.expr_evals,
+        cd.stats.counters.pred_evals,
+        work(&tagged.stats.counters),
+        tagged.stats.counters.expr_evals,
+        tagged.stats.counters.pred_evals,
+    );
+    assert!(
+        cd.stats.counters.expr_evals < tagged.stats.counters.expr_evals,
+        "snapshot reuse must cut expression evaluations: {} vs {}",
+        cd.stats.counters.expr_evals,
+        tagged.stats.counters.expr_evals,
+    );
+}

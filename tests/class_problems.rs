@@ -139,9 +139,7 @@ fn h2o_as_a_class() {
             let vessel = Arc::clone(&vessel);
             let pool = Arc::clone(&pool);
             thread::spawn(move || {
-                while pool.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-                    < H_THREADS * EVENTS
-                {
+                while pool.fetch_add(1, std::sync::atomic::Ordering::Relaxed) < H_THREADS * EVENTS {
                     vessel.call("hydrogen", &[]).unwrap();
                 }
             })

@@ -194,7 +194,10 @@ fn heavy_contention_same_expression_many_keys() {
 #[test]
 fn threshold_index_kinds_agree_under_contention() {
     use autosynch_repro::autosynch::config::ThresholdIndexKind;
-    for kind in [ThresholdIndexKind::PaperHeap, ThresholdIndexKind::OrderedMap] {
+    for kind in [
+        ThresholdIndexKind::PaperHeap,
+        ThresholdIndexKind::OrderedMap,
+    ] {
         let config = MonitorConfig::new().threshold_index(kind);
         let monitor = Arc::new(Monitor::with_config(Counter { value: 0 }, config));
         let value = monitor.register_expr("value", |s| s.value);

@@ -89,7 +89,10 @@ fn churning_distinct_predicates_respects_inactive_cap() {
 
     let (entries, waiting, signaled, tags) = monitor.manager_counts();
     assert_eq!((waiting, signaled, tags), (0, 0, 0));
-    assert!(entries <= 9, "inactive cap 8 must bound entries, got {entries}");
+    assert!(
+        entries <= 9,
+        "inactive cap 8 must bound entries, got {entries}"
+    );
     assert_eq!(monitor.stats_snapshot().counters.broadcasts, 0);
 }
 
@@ -109,10 +112,7 @@ fn timeout_storm_leaves_monitor_clean() {
                 for round in 0..20i64 {
                     let target = (k + round) % 8;
                     monitor.enter(|g| {
-                        let _ = g.wait_until_timeout(
-                            value.ge(target),
-                            Duration::from_micros(200),
-                        );
+                        let _ = g.wait_until_timeout(value.ge(target), Duration::from_micros(200));
                     });
                 }
             });
