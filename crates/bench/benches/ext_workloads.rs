@@ -16,8 +16,37 @@ use std::time::Duration;
 
 use autosynch_problems::mechanism::Mechanism;
 use autosynch_problems::{
-    cigarette_smokers, cyclic_barrier, group_mutex, one_lane_bridge, unisex_bathroom,
+    cigarette_smokers, cyclic_barrier, group_mutex, one_lane_bridge, sharded_queues,
+    unisex_bathroom,
 };
+
+fn bench_sharded_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_sharded_queues");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    for &queues in &[4usize, 16] {
+        let config = sharded_queues::ShardedQueuesConfig {
+            queues,
+            ops_per_queue: (4_096 / queues).max(32),
+            capacity: 4,
+        };
+        for mechanism in [
+            Mechanism::Explicit,
+            Mechanism::AutoSynch,
+            Mechanism::AutoSynchCD,
+            Mechanism::AutoSynchShard,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(mechanism.label(), queues),
+                &config,
+                |b, &config| b.iter(|| sharded_queues::run(mechanism, config)),
+            );
+        }
+    }
+    group.finish();
+}
 
 fn bench_barrier(c: &mut Criterion) {
     let mut group = c.benchmark_group("ext_barrier");
@@ -134,6 +163,7 @@ criterion_group!(
     bench_smokers,
     bench_bridge,
     bench_bathroom,
-    bench_group_mutex
+    bench_group_mutex,
+    bench_sharded_queues
 );
 criterion_main!(benches);

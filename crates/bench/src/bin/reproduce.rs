@@ -87,9 +87,21 @@ const EXPERIMENTS: &[Experiment] = &[
     },
     Experiment {
         id: "relay",
-        title: "Extension — relay-cost accounting incl. change-driven (autosynch_cd)",
-        expectation: "AutoSynch-CD: fewer expr+pred evals than AutoSynch at equal outcomes; emits BENCH_relay.json",
+        title: "Extension — relay-cost accounting incl. change-driven and sharded modes",
+        expectation: "AutoSynch-Shard: fewer pred evals than AutoSynch-CD at equal outcomes; emits BENCH_shard.json",
         run: figures::relay_cost,
+    },
+    Experiment {
+        id: "extshardq",
+        title: "Extension — sharded queues: N independent queues, one monitor (runtime, seconds)",
+        expectation: "disequality (None-tag) predicates; sharding confines each relay to one shard",
+        run: figures::ext_sharded_queues,
+    },
+    Experiment {
+        id: "extshardqx",
+        title: "Extension supplement — sharded-queues probe counters",
+        expectation: "AutoSynch-Shard undercuts AutoSynch-CD on pred_evals at identical outcomes",
+        run: figures::ext_sharded_queues_counters,
     },
     Experiment {
         id: "extbarrier",

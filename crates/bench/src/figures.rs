@@ -16,6 +16,7 @@ use autosynch_problems::mechanism::{Mechanism, RunReport};
 use autosynch_problems::param_bounded_buffer::{self, ParamBoundedBufferConfig};
 use autosynch_problems::readers_writers::{self, ReadersWritersConfig};
 use autosynch_problems::round_robin::{self, RoundRobinConfig};
+use autosynch_problems::sharded_queues::{self, ShardedQueuesConfig};
 use autosynch_problems::sleeping_barber::{self, SleepingBarberConfig};
 
 use crate::sweep;
@@ -286,10 +287,13 @@ pub fn table1() -> Table {
 }
 
 /// Extension: relay-cost accounting across every mechanism (including
-/// the change-driven ablation) on the Fig. 14 parameterized bounded
-/// buffer and the Fig. 11 round robin. Besides the text table, the
-/// series is written to `BENCH_relay.json` so later optimization PRs
-/// have a machine-readable perf trajectory to diff against.
+/// the change-driven and sharded extensions) on the Fig. 14
+/// parameterized bounded buffer, the Fig. 11 round robin, and the
+/// many-queue sharding showcase. Besides the text table, the series is
+/// written to `BENCH_shard.json` (the successor of `BENCH_relay.json`,
+/// now carrying the `AutoSynch-Shard` mechanism rows and the
+/// `sharded_queues` workload) so later optimization PRs have a
+/// machine-readable perf trajectory to diff against.
 pub fn relay_cost() -> Table {
     let mut table = Table::with_columns(&[
         "workload",
@@ -349,19 +353,84 @@ pub fn relay_cost() -> Table {
             c.broadcasts,
         ));
     };
-    for mechanism in Mechanism::WITH_CHANGE_DRIVEN {
+    for mechanism in Mechanism::ALL {
         let report = param_bounded_buffer::run(mechanism, fig14_config(consumers));
         record("fig14_param_bounded_buffer", &report);
     }
-    for mechanism in Mechanism::WITH_CHANGE_DRIVEN {
+    for mechanism in Mechanism::ALL {
         let report = round_robin::run(mechanism, rr_config);
         record("fig11_round_robin", &report);
     }
+    for mechanism in Mechanism::ALL {
+        let report = sharded_queues::run(mechanism, shard_queues_config(consumers / 2));
+        record("ext_sharded_queues", &report);
+    }
     let json = format!("{{\n  \"benchmarks\": [\n{entries}\n  ]\n}}\n");
-    let path = "BENCH_relay.json";
+    let path = "BENCH_shard.json";
     match std::fs::write(path, json) {
         Ok(()) => println!("   [relay-cost series written to {path}]"),
         Err(err) => eprintln!("   [failed to write {path}: {err}]"),
+    }
+    table
+}
+
+fn shard_queues_config(queues: usize) -> ShardedQueuesConfig {
+    let queues = queues.max(2);
+    ShardedQueuesConfig {
+        queues,
+        ops_per_queue: (sweep::ops_budget() / 4 / queues).max(8),
+        capacity: 4,
+    }
+}
+
+/// Extension: N independent work queues behind one monitor, runtime vs
+/// queue count — the workload where dependency sharding should win.
+/// The interesting comparison is within the automatic family: the
+/// disequality predicates tag as `None`, so the flat managers re-probe
+/// every queue's waiters per relay while the sharded manager touches
+/// only the affected shard.
+pub fn ext_sharded_queues() -> Table {
+    let mechanisms = Mechanism::WITHOUT_BASELINE;
+    let mut table = Table::new(header("queues", &mechanisms));
+    for n in sweep::thread_grid() {
+        let config = shard_queues_config((n / 2).max(2));
+        let reports: Vec<RunReport> = mechanisms
+            .iter()
+            .map(|&m| sharded_queues::run(m, config))
+            .collect();
+        table.row(runtime_row(config.queues.to_string(), &reports));
+    }
+    table
+}
+
+/// Extension supplement: the probe-work counters behind the sharded
+/// queues at the largest grid point — `AutoSynch-Shard` must undercut
+/// `AutoSynch-CD` on `pred_evals` at identical outcomes.
+pub fn ext_sharded_queues_counters() -> Table {
+    let mut table = Table::with_columns(&[
+        "mechanism",
+        "pred_evals",
+        "expr_evals",
+        "probes_skipped",
+        "relay_skips",
+        "cross_shard",
+        "batched",
+        "signals",
+    ]);
+    let queues = if sweep::full_scale() { 32 } else { 8 };
+    for mechanism in Mechanism::ALL {
+        let report = sharded_queues::run(mechanism, shard_queues_config(queues));
+        let c = report.stats.counters;
+        table.row(vec![
+            mechanism.label().to_owned(),
+            c.pred_evals.to_string(),
+            c.expr_evals.to_string(),
+            c.probes_skipped.to_string(),
+            c.relay_skips.to_string(),
+            c.cross_shard_preds.to_string(),
+            c.batched_signals.to_string(),
+            c.signals.to_string(),
+        ]);
     }
     table
 }
@@ -438,8 +507,17 @@ mod tests {
     #[test]
     fn header_layout() {
         let h = header("threads", &Mechanism::WITHOUT_BASELINE);
-        assert_eq!(h.len(), 4);
+        assert_eq!(h.len(), 1 + Mechanism::WITHOUT_BASELINE.len());
         assert_eq!(h[0], "threads");
         assert_eq!(h[3], "AutoSynch");
+        assert_eq!(h[5], "AutoSynch-Shard");
+    }
+
+    #[test]
+    fn shard_queues_config_scales_with_queues() {
+        let small = shard_queues_config(2);
+        let large = shard_queues_config(32);
+        assert!(small.ops_per_queue >= large.ops_per_queue);
+        assert!(large.queues >= 32);
     }
 }

@@ -36,12 +36,19 @@
 //! | AutoSynch-T (relay, no tags) | [`Monitor`] with [`config::MonitorConfig::autosynch_t`] |
 //! | AutoSynch (full) | [`Monitor`] with defaults |
 //! | AutoSynch-CD (tags + expression versioning) | [`Monitor`] with [`config::MonitorConfig::autosynch_cd`] |
+//! | AutoSynch-Shard (CD + dependency-sharded manager) | [`Monitor`] with [`config::MonitorConfig::autosynch_shard`] |
 //!
 //! AutoSynch-CD is this reproduction's extension beyond the paper: the
 //! condition manager snapshots shared-expression values, diffs them at
 //! relay time, and probes only predicates whose dependency sets
 //! intersect the changed expressions — relays on unmutated state are
-//! skipped outright. See `DESIGN.md` for the soundness argument.
+//! skipped outright. AutoSynch-Shard builds on it: the tag indexes are
+//! partitioned by dependency footprint so a relay probes only the
+//! shards a mutation can have affected, batches up to `relay_width`
+//! signals from independent shards per exit, and publishes each diff
+//! into a lock-free snapshot ring readable without the monitor lock
+//! ([`Monitor::latest_expr_snapshot`]). See `DESIGN.md` for both
+//! soundness arguments.
 //!
 //! A fifth monitor, [`kessels::KesselsMonitor`], implements the
 //! *restricted* automatic-signal design of Kessels (CACM 1977, the

@@ -1,0 +1,1022 @@
+//! The condition manager (§5.2): predicate table, waiter bookkeeping and
+//! the relay-signaling search.
+//!
+//! One manager lives inside each monitor's mutex. It owns:
+//!
+//! * a **slab of predicate entries** — each entry is one globalized
+//!   predicate with its own condition variable, shared by every thread
+//!   waiting on a syntax-equivalent condition;
+//! * the **predicate table** mapping structural keys to entries, so
+//!   syntax-equivalent predicates reuse one condition variable;
+//! * one or more [**shards**](shard::Shard), each holding the tag
+//!   indexes (equivalence hash table, threshold heaps, `None` lists)
+//!   for a disjoint partition of the expression space. The `Tagged` and
+//!   `ChangeDriven` modes run the degenerate 1-way partition; the
+//!   `Sharded` mode partitions by dependency footprint via the
+//!   [router](router::ShardRouter) and probes only the shards a
+//!   mutation can have affected, following the batched
+//!   [relay plan](relay_plan::RelayPlan);
+//! * the **snapshot ring** ([`snapshot_ring::SnapshotRing`]) — a
+//!   lock-free seqlock ring the change-driven diff publishes into, so
+//!   observers read the latest expression values without the monitor
+//!   lock;
+//! * the **inactive list** — an LRU of predicates with no waiters, kept
+//!   around for reuse and evicted beyond a cap (§5.2); explicitly
+//!   registered shared predicates are persistent and never evicted
+//!   (§5.1).
+//!
+//! Waiter lifecycle per entry: `waiting` counts blocked, unsignaled
+//! threads; `signaled` counts threads that have been picked by the relay
+//! rule but have not yet resumed (the paper's *active* threads). Tags are
+//! live exactly while `waiting > 0` — a fully signaled entry must not be
+//! signaled again.
+
+mod relay_plan;
+mod router;
+mod shard;
+mod snapshot_ring;
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use autosynch_metrics::phase::Phase;
+use autosynch_predicate::expr::{ExprId, ExprTable};
+use autosynch_predicate::key::PredKey;
+use autosynch_predicate::predicate::Predicate;
+use autosynch_predicate::tag::Tag;
+use parking_lot::Condvar;
+
+use crate::config::{MonitorConfig, SignalMode};
+use crate::eq_index::PredId;
+use crate::slab::Slab;
+use crate::stats::MonitorStats;
+
+use relay_plan::RelayPlan;
+use router::ShardRouter;
+use shard::{Shard, ValueCache};
+pub(crate) use snapshot_ring::SnapshotRing;
+
+/// One predicate entry: the globalized condition, its condition variable
+/// and the waiter counters.
+pub(crate) struct PredEntry<S> {
+    pred: Predicate<S>,
+    condvar: Arc<Condvar>,
+    waiting: u32,
+    signaled: u32,
+    tags_active: bool,
+    persistent: bool,
+    in_inactive: bool,
+    /// Per-conjunction shard assignment, recorded at tag activation
+    /// (`Sharded` mode only; empty otherwise). Deactivation removes each
+    /// conjunction from exactly the shard it was inserted into, and the
+    /// Def. 4 checker re-derives every route to verify the partition
+    /// stayed total and deterministic.
+    routes: Vec<u32>,
+}
+
+/// The per-monitor condition manager.
+pub(crate) struct ConditionManager<S> {
+    entries: Slab<PredEntry<S>>,
+    table: HashMap<PredKey, PredId>,
+    /// Every active entry, for the untagged linear scan.
+    scan_list: Vec<PredId>,
+    /// The tag-index partitions. One shard for `Tagged`/`ChangeDriven`;
+    /// `shard_count() + 1` (data shards + trailing global) for `Sharded`.
+    shards: Vec<Shard>,
+    router: ShardRouter,
+    plan: RelayPlan,
+    inactive: VecDeque<PredId>,
+    config: MonitorConfig,
+    // --- change-driven relay state (ChangeDriven + Sharded) -------------
+    /// How many active conjunctions depend on each expression — the set
+    /// the snapshot diff evaluates.
+    dep_refs: HashMap<ExprId, u32>,
+    /// Last diffed value per expression (`ExprId::index`-indexed).
+    value_cache: Vec<Option<i64>>,
+    /// The diff epoch at which each slot was last evaluated. A slot that
+    /// skipped a diff (its expression had no active dependents) has a
+    /// gap; comparing across a gap is unsound — the value could have
+    /// changed and coincidentally returned — so a non-contiguous slot is
+    /// reported changed regardless of its cached value.
+    slot_epoch: Vec<u64>,
+    /// Monotonic diff counter backing the contiguity check.
+    epoch: u64,
+    /// Scratch bitmap: expressions whose value changed in this relay's
+    /// snapshot diff.
+    changed: Vec<bool>,
+    /// Reusable staging buffer for ring publishes: the slice of
+    /// `value_cache` restricted to the expressions this diff evaluated.
+    publish_scratch: Vec<Option<i64>>,
+    /// Reusable buffer for the threshold-index expression walk, so the
+    /// probe does not allocate per relay.
+    expr_scratch: Vec<ExprId>,
+    /// The state was mutated since the last snapshot diff (fed by
+    /// [`ConditionManager::note_mutation`]).
+    state_dirty: bool,
+    /// Lock-free publication of the diff snapshot.
+    ring: Arc<SnapshotRing>,
+}
+
+impl<S> ConditionManager<S> {
+    pub(crate) fn new(config: MonitorConfig) -> Self {
+        let data_shards = match config.signal_mode() {
+            SignalMode::Sharded => config.shard_count(),
+            _ => 1,
+        };
+        let router = ShardRouter::new(data_shards);
+        let shard_slots = match config.signal_mode() {
+            SignalMode::Sharded => router.shard_count(),
+            _ => 1,
+        };
+        ConditionManager {
+            entries: Slab::new(),
+            table: HashMap::new(),
+            scan_list: Vec::new(),
+            shards: (0..shard_slots)
+                .map(|_| Shard::new(config.threshold_index_kind()))
+                .collect(),
+            router,
+            plan: RelayPlan::new(),
+            inactive: VecDeque::new(),
+            config,
+            dep_refs: HashMap::new(),
+            value_cache: Vec::new(),
+            slot_epoch: Vec::new(),
+            epoch: 0,
+            changed: Vec::new(),
+            publish_scratch: Vec::new(),
+            expr_scratch: Vec::new(),
+            state_dirty: true,
+            ring: Arc::new(SnapshotRing::new()),
+        }
+    }
+
+    /// Records that the monitor state was mutated. Change-driven relays
+    /// diff the expression snapshot only when this has been called since
+    /// the previous diff; callers that mutate the state without
+    /// announcing it here would make the change-driven mode miss
+    /// wakeups. The monitor runtime calls it from `state_mut`.
+    pub(crate) fn note_mutation(&mut self) {
+        self.state_dirty = true;
+    }
+
+    /// The lock-free snapshot ring this manager publishes diffs into.
+    pub(crate) fn ring(&self) -> Arc<SnapshotRing> {
+        Arc::clone(&self.ring)
+    }
+
+    /// Interns a predicate: returns the existing entry for a
+    /// syntax-equivalent predicate or creates a new one.
+    fn find_or_create(&mut self, pred: Predicate<S>, persistent: bool) -> PredId {
+        if let Some(key) = pred.key() {
+            if let Some(&pid) = self.table.get(key) {
+                if persistent {
+                    self.entries[pid].persistent = true;
+                }
+                return pid;
+            }
+        }
+        let key = pred.key().cloned();
+        let pid = self.entries.insert(PredEntry {
+            pred,
+            condvar: Arc::new(Condvar::new()),
+            waiting: 0,
+            signaled: 0,
+            tags_active: false,
+            persistent,
+            in_inactive: false,
+            routes: Vec::new(),
+        });
+        if let Some(key) = key {
+            self.table.insert(key, pid);
+        }
+        pid
+    }
+
+    /// Pre-registers a shared predicate (§5.1: shared predicates are added
+    /// in the constructor and never removed).
+    pub(crate) fn register_persistent(&mut self, pred: Predicate<S>) -> PredId {
+        let pid = self.find_or_create(pred, true);
+        self.unlink_inactive(pid);
+        pid
+    }
+
+    /// Registers the calling thread as a waiter on `pred` and activates
+    /// the entry's tags. Returns the entry id the waiter keeps for the
+    /// rest of its `waituntil`.
+    pub(crate) fn register_waiter(&mut self, pred: Predicate<S>, stats: &MonitorStats) -> PredId {
+        let timer = stats.phases.start(Phase::TagManager);
+        let pid = self.find_or_create(pred, false);
+        self.unlink_inactive(pid);
+        let entry = &mut self.entries[pid];
+        entry.waiting += 1;
+        if !entry.tags_active {
+            self.activate_tags(pid, stats);
+        }
+        timer.finish();
+        pid
+    }
+
+    /// The condition variable of an entry (cloned so the waiter can block
+    /// on it without borrowing the manager).
+    pub(crate) fn condvar(&self, pid: PredId) -> Arc<Condvar> {
+        Arc::clone(&self.entries[pid].condvar)
+    }
+
+    /// The entry's predicate, for re-evaluation after a wakeup.
+    pub(crate) fn entry_pred(&self, pid: PredId) -> &Predicate<S> {
+        &self.entries[pid].pred
+    }
+
+    /// A woken thread found its predicate false (another thread barged in
+    /// and falsified it): it returns to the waiting pool.
+    ///
+    /// Signals are anonymous per-entry tokens, so a *spurious* wakeup
+    /// (possible with a std-backed condvar, unlike `parking_lot`'s) is
+    /// indistinguishable from a signaled one at the call site. With no
+    /// token outstanding the thread's unit never left `waiting` and
+    /// nothing moves; with a token outstanding the thread absorbs it on
+    /// behalf of the entry — either way `waiting + signaled` keeps
+    /// counting exactly the blocked threads, and the caller re-runs the
+    /// relay rule before blocking again.
+    pub(crate) fn mark_futile(&mut self, pid: PredId, stats: &MonitorStats) {
+        let entry = &mut self.entries[pid];
+        if entry.signaled == 0 {
+            // Spurious wakeup: the thread is still accounted in
+            // `waiting` and its tags are still live.
+            debug_assert!(entry.waiting > 0);
+            debug_assert!(entry.tags_active);
+            return;
+        }
+        entry.signaled -= 1;
+        entry.waiting += 1;
+        if !entry.tags_active {
+            let timer = stats.phases.start(Phase::TagManager);
+            self.activate_tags(pid, stats);
+            timer.finish();
+        }
+    }
+
+    /// A woken thread found its predicate true and proceeds: its unit
+    /// leaves the entry — from `signaled` when a token is outstanding,
+    /// else from `waiting` (a spurious wakeup that happened to find the
+    /// predicate true, or a signal token absorbed by a futile peer). An
+    /// entry with no threads left is retired to the inactive list.
+    pub(crate) fn consume_signal(&mut self, pid: PredId, stats: &MonitorStats) {
+        let entry = &mut self.entries[pid];
+        if entry.signaled > 0 {
+            entry.signaled -= 1;
+        } else {
+            debug_assert!(entry.waiting > 0, "consuming thread was not accounted");
+            entry.waiting -= 1;
+            if entry.waiting == 0 && entry.tags_active {
+                let timer = stats.phases.start(Phase::TagManager);
+                self.deactivate_tags(pid, stats);
+                timer.finish();
+            }
+        }
+        self.maybe_retire(pid, stats);
+    }
+
+    /// A timed wait elapsed. Returns `true` when the thread absorbed a
+    /// pending signal, in which case the caller must run the relay rule
+    /// to pass the baton onward (otherwise relay invariance could break).
+    pub(crate) fn on_timeout(&mut self, pid: PredId, stats: &MonitorStats) -> bool {
+        let entry = &mut self.entries[pid];
+        if entry.waiting > 0 {
+            // The normal case: we were still an unsignaled waiter. Any
+            // `signaled` tokens belong to threads that really were woken.
+            entry.waiting -= 1;
+            if entry.waiting == 0 && entry.tags_active {
+                let timer = stats.phases.start(Phase::TagManager);
+                self.deactivate_tags(pid, stats);
+                timer.finish();
+            }
+            self.maybe_retire(pid, stats);
+            false
+        } else {
+            // All remaining slots of this entry are "signaled": one of
+            // those notifications was aimed at us and is now orphaned.
+            debug_assert!(entry.signaled > 0);
+            entry.signaled -= 1;
+            self.maybe_retire(pid, stats);
+            true
+        }
+    }
+
+    /// The relay signaling rule (§4.2): find one waiting thread whose
+    /// predicate is true and signal it. Called whenever a thread exits
+    /// the monitor or goes to wait. In `Sharded` mode one call may
+    /// signal up to `relay_width` waiters from independent shards in a
+    /// single batched pass.
+    pub(crate) fn relay_signal(
+        &mut self,
+        state: &S,
+        exprs: &ExprTable<S>,
+        stats: &MonitorStats,
+    ) -> Option<PredId> {
+        stats.counters.record_relay_call();
+        let mode = self.config.signal_mode();
+        if mode == SignalMode::Sharded {
+            return self.relay_sharded(state, exprs, stats);
+        }
+        // Change-driven: refresh the changed-expression bitmap once per
+        // relay call; when the state is unmutated and every active
+        // conjunction is known false, the whole search is skipped.
+        if mode == SignalMode::ChangeDriven && self.refresh_changed_set(state, exprs, stats) {
+            stats.counters.record_relay_skip();
+            if self.config.validates_relay() {
+                self.check_relay_invariance(state, exprs);
+            }
+            return None;
+        }
+        let mut first = None;
+        // The paper signals exactly one thread; relay_width > 1 is the
+        // documented extension that keeps signaling while distinct
+        // signalable candidates remain.
+        for _ in 0..self.config.relay_width_value() {
+            let timer = stats.phases.start(Phase::RelaySignal);
+            let found = match mode {
+                SignalMode::Untagged => self.find_untagged(state, exprs, stats),
+                SignalMode::Tagged => {
+                    let ConditionManager {
+                        entries, shards, ..
+                    } = self;
+                    shards[0].probe_tagged(entries, state, exprs, &stats.counters)
+                }
+                SignalMode::ChangeDriven => {
+                    let ConditionManager {
+                        entries,
+                        shards,
+                        value_cache,
+                        slot_epoch,
+                        epoch,
+                        changed,
+                        expr_scratch,
+                        ..
+                    } = self;
+                    let shard = &mut shards[0];
+                    let probe_all = shard.probe_all;
+                    let mut cache = ValueCache {
+                        values: value_cache,
+                        epochs: slot_epoch,
+                        epoch: *epoch,
+                    };
+                    shard.probe_change_driven(
+                        entries,
+                        state,
+                        exprs,
+                        &stats.counters,
+                        &mut cache,
+                        changed,
+                        probe_all,
+                        expr_scratch,
+                    )
+                }
+                SignalMode::Sharded => unreachable!("dispatched above"),
+            };
+            timer.finish();
+            let Some(pid) = found else {
+                // The search ran dry: every still-waiting conjunction was
+                // either probed false or skipped as unchanged-since-false.
+                self.shards[0].all_false = true;
+                break;
+            };
+            self.shards[0].all_false = false;
+            stats.counters.record_relay_hit();
+            self.signal_entry(pid, stats);
+            first.get_or_insert(pid);
+        }
+        if self.config.validates_relay() {
+            self.check_relay_invariance(state, exprs);
+        }
+        first
+    }
+
+    /// The sharded batched relay: diff the expression snapshot once, map
+    /// the changed set to the affected shards, then probe only those —
+    /// up to `relay_width` signals per call, at most one per shard per
+    /// pass.
+    fn relay_sharded(
+        &mut self,
+        state: &S,
+        exprs: &ExprTable<S>,
+        stats: &MonitorStats,
+    ) -> Option<PredId> {
+        if self.prepare_sharded(state, exprs, stats) {
+            stats.counters.record_relay_skip();
+            if self.config.validates_relay() {
+                self.check_relay_invariance(state, exprs);
+            }
+            return None;
+        }
+        let mut budget = self.config.relay_width_value();
+        let mut first: Option<PredId> = None;
+        loop {
+            // One batched pass: visit every uncertified shard (global
+            // last), signaling at most one waiter per shard.
+            let mut plan = std::mem::take(&mut self.plan);
+            let route_timer = stats.phases.start(Phase::ShardRoute);
+            let empty = plan.rebuild(&self.shards);
+            route_timer.finish();
+            if empty {
+                self.plan = plan;
+                break;
+            }
+            let mut pass_hits = 0usize;
+            for &sid in plan.order() {
+                if budget == 0 {
+                    break;
+                }
+                let timer = stats.phases.start(Phase::RelaySignal);
+                let found = {
+                    let ConditionManager {
+                        entries,
+                        shards,
+                        value_cache,
+                        slot_epoch,
+                        epoch,
+                        changed,
+                        expr_scratch,
+                        ..
+                    } = self;
+                    let shard = &mut shards[sid];
+                    let probe_all = shard.probe_all;
+                    let mut cache = ValueCache {
+                        values: value_cache,
+                        epochs: slot_epoch,
+                        epoch: *epoch,
+                    };
+                    shard.probe_change_driven(
+                        entries,
+                        state,
+                        exprs,
+                        &stats.counters,
+                        &mut cache,
+                        changed,
+                        probe_all,
+                        expr_scratch,
+                    )
+                };
+                timer.finish();
+                match found {
+                    Some(pid) => {
+                        // The walk stopped at the hit: the shard may hold
+                        // further true waiters and has no certificate.
+                        let shard = &mut self.shards[sid];
+                        shard.all_false = false;
+                        shard.probe_all = true;
+                        stats.counters.record_relay_hit();
+                        if first.is_some() {
+                            stats.counters.record_batched_signal();
+                        }
+                        self.signal_entry(pid, stats);
+                        first.get_or_insert(pid);
+                        budget -= 1;
+                        pass_hits += 1;
+                    }
+                    None => {
+                        // Fully searched, nothing true: certified false
+                        // until an owned dependency changes.
+                        let shard = &mut self.shards[sid];
+                        shard.all_false = true;
+                        shard.probe_all = false;
+                    }
+                }
+            }
+            self.plan = plan;
+            if pass_hits == 0 || budget == 0 {
+                break;
+            }
+        }
+        // Shards without a certificate (hit-stopped, or unreached when
+        // the width budget ran out) must be fully probed by the next
+        // relay regardless of the by-then-stale changed bitmap.
+        for shard in &mut self.shards {
+            if !shard.all_false {
+                shard.probe_all = true;
+            }
+        }
+        if self.config.validates_relay() {
+            self.check_relay_invariance(state, exprs);
+        }
+        first
+    }
+
+    /// Prepares a sharded relay: diffs the snapshot when the state was
+    /// mutated and maps the changed set onto the shard flags, or decides
+    /// the whole relay can be skipped (returns `true`).
+    ///
+    /// The skip is the per-shard generalization of the change-driven
+    /// skip: with no mutation since the last diff and an `all_false`
+    /// certificate on *every* shard, no active conjunction can have
+    /// flipped and relay invariance (Def. 4) holds vacuously.
+    fn prepare_sharded(&mut self, state: &S, exprs: &ExprTable<S>, stats: &MonitorStats) -> bool {
+        if !self.state_dirty {
+            if self.shards.iter().all(|shard| shard.all_false) {
+                return true;
+            }
+            // Uncertified shards may hold leftover true waiters from a
+            // width-limited relay; probe them fully, reusing the cached
+            // expression values.
+            for shard in &mut self.shards {
+                if !shard.all_false {
+                    shard.probe_all = true;
+                }
+            }
+            return false;
+        }
+        self.diff_snapshot(state, exprs, stats);
+        self.state_dirty = false;
+        let route_timer = stats.phases.start(Phase::ShardRoute);
+        RelayPlan::mark_affected(&self.router, &mut self.shards, &self.changed);
+        route_timer.finish();
+        false
+    }
+
+    /// Diffs the expression snapshot against fresh evaluations, filling
+    /// the changed bitmap, and publishes the new snapshot to the
+    /// lock-free ring. Shared by the `ChangeDriven` and `Sharded` modes.
+    fn diff_snapshot(&mut self, state: &S, exprs: &ExprTable<S>, stats: &MonitorStats) {
+        let timer = stats.phases.start(Phase::SnapshotDiff);
+        self.epoch += 1;
+        self.changed.clear();
+        self.changed.resize(exprs.len(), false);
+        if self.value_cache.len() < exprs.len() {
+            self.value_cache.resize(exprs.len(), None);
+            self.slot_epoch.resize(exprs.len(), 0);
+        }
+        for &expr in self.dep_refs.keys() {
+            let idx = expr.index();
+            stats.counters.record_expr_eval();
+            let fresh = exprs.eval(expr, state);
+            // "Unchanged" is only meaningful against the immediately
+            // preceding diff; a slot with a gap is treated as changed.
+            let contiguous = self.slot_epoch[idx] + 1 == self.epoch;
+            if contiguous && self.value_cache[idx] == Some(fresh) {
+                stats.counters.record_unchanged_expr();
+            } else {
+                self.value_cache[idx] = Some(fresh);
+                self.changed[idx] = true;
+            }
+            self.slot_epoch[idx] = self.epoch;
+        }
+        // Publish only the values this diff evaluated: a snapshot is a
+        // consistent cut of the state under one lock hold, never a mix
+        // of epochs (expressions with no active dependents are `None`).
+        // Sharded mode only — plain change-driven monitors have no ring
+        // readers, and the staging + atomic stores would tax their diff
+        // hot path for nothing (BENCH tracks CD's snapDiff trajectory).
+        if self.config.signal_mode() == SignalMode::Sharded {
+            self.publish_scratch.clear();
+            self.publish_scratch.extend(
+                self.value_cache
+                    .iter()
+                    .zip(&self.slot_epoch)
+                    .map(|(&value, &slot_epoch)| value.filter(|_| slot_epoch == self.epoch)),
+            );
+            self.ring.publish(self.epoch, &self.publish_scratch);
+        }
+        timer.finish();
+    }
+
+    /// Prepares the change-driven relay: diffs the expression snapshot
+    /// when the state was mutated, or decides that the whole search can
+    /// be skipped (returns `true`).
+    ///
+    /// Soundness of the skip: a conjunction can only flip false→true via
+    /// a state mutation (predicates are pure functions of the state), a
+    /// waiter only (re-)registers when its predicate just evaluated
+    /// false, and `all_false` certifies that the previous search left no
+    /// true-but-unsignaled waiter behind. With no mutation since, every
+    /// active conjunction is still false and relay invariance (Def. 4)
+    /// holds vacuously — `validate_relay` re-proves this on every call in
+    /// the test suites.
+    fn refresh_changed_set(
+        &mut self,
+        state: &S,
+        exprs: &ExprTable<S>,
+        stats: &MonitorStats,
+    ) -> bool {
+        if !self.state_dirty {
+            if self.shards[0].all_false {
+                return true;
+            }
+            // A width-limited relay may have left signalable waiters
+            // behind; probe everything, reusing the cached values.
+            self.shards[0].probe_all = true;
+            return false;
+        }
+        self.diff_snapshot(state, exprs, stats);
+        self.state_dirty = false;
+        // The changed-set prune is only sound against a baseline where
+        // every active conjunction was known false. A previous relay
+        // that stopped on a hit (relay-width exhausted) may have left
+        // true-but-unsignaled waiters whose dependencies this diff sees
+        // as unchanged — probe everything until a search runs dry again.
+        self.shards[0].probe_all = !self.shards[0].all_false;
+        false
+    }
+
+    /// Ground-truth check of relay invariance (Def. 4): immediately
+    /// after a relay, if any waiting thread's predicate is true then
+    /// some thread must be signaled (active). A violation means the tag
+    /// indexes missed a signalable thread — the exact bug class the
+    /// §4.3 machinery must not have. In `Sharded` mode the check
+    /// additionally re-derives every live conjunction's route and
+    /// verifies the recorded shard assignment (partition totality,
+    /// determinism, and global-shard placement of cross-shard
+    /// conjunctions).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a violation; enabled by
+    /// [`MonitorConfig::validate_relay`](crate::config::MonitorConfig::validate_relay).
+    fn check_relay_invariance(&self, state: &S, exprs: &ExprTable<S>) {
+        if self.config.signal_mode() == SignalMode::Sharded {
+            self.check_shard_routing();
+        }
+        if self.entries.iter().any(|(_, e)| e.signaled > 0) {
+            return; // an active thread exists; the invariance holds
+        }
+        for (pid, entry) in self.entries.iter() {
+            if entry.waiting > 0 && entry.pred.eval(state, exprs) {
+                panic!(
+                    "relay invariance violated: predicate {} (entry {pid:?}, \
+                     {} waiting) is true but the relay signaled no one",
+                    entry.pred, entry.waiting
+                );
+            }
+        }
+    }
+
+    /// Verifies the sharded partition: every live conjunction's recorded
+    /// shard matches a fresh route computation (the routing is total and
+    /// deterministic), data-shard conjunctions are fully confined (all
+    /// dependencies owned by their shard), and cross-shard or opaque
+    /// conjunctions sit in the global shard — the placement the
+    /// probed-last order relies on.
+    fn check_shard_routing(&self) {
+        for (pid, entry) in self.entries.iter() {
+            if !entry.tags_active {
+                continue;
+            }
+            let deps_per_conj = entry.pred.conj_deps();
+            assert_eq!(
+                entry.routes.len(),
+                deps_per_conj.len(),
+                "entry {pid:?} has {} recorded routes for {} conjunctions",
+                entry.routes.len(),
+                deps_per_conj.len(),
+            );
+            for (conj, deps) in deps_per_conj.iter().enumerate() {
+                let recorded = entry.routes[conj] as usize;
+                let derived = self.router.route(deps);
+                if recorded != derived {
+                    panic!(
+                        "shard routing violated: conjunction {conj} of predicate {} \
+                         (entry {pid:?}) is registered in shard {recorded} but routes \
+                         to shard {derived}",
+                        entry.pred
+                    );
+                }
+                if recorded == self.router.global() {
+                    continue;
+                }
+                assert!(
+                    !deps.is_opaque() && !deps.exprs().is_empty(),
+                    "opaque or dependency-free conjunction escaped the global shard"
+                );
+                for &expr in deps.exprs() {
+                    assert_eq!(
+                        self.router.shard_of_expr(expr),
+                        recorded,
+                        "conjunction {conj} of predicate {} spans shards but sits in \
+                         data shard {recorded}",
+                        entry.pred
+                    );
+                }
+            }
+        }
+    }
+
+    /// AutoSynch-T: evaluate every active predicate until one is true.
+    fn find_untagged(
+        &self,
+        state: &S,
+        exprs: &ExprTable<S>,
+        stats: &MonitorStats,
+    ) -> Option<PredId> {
+        for &pid in &self.scan_list {
+            let entry = &self.entries[pid];
+            debug_assert!(entry.waiting > 0, "scan list holds only active entries");
+            stats.counters.record_pred_eval();
+            if entry.pred.eval(state, exprs) {
+                return Some(pid);
+            }
+        }
+        None
+    }
+
+    /// Moves one waiter of `pid` from waiting to signaled and notifies the
+    /// entry's condition variable.
+    fn signal_entry(&mut self, pid: PredId, stats: &MonitorStats) {
+        let entry = &mut self.entries[pid];
+        debug_assert!(entry.waiting > 0, "signaled an entry with no waiters");
+        entry.waiting -= 1;
+        entry.signaled += 1;
+        stats.counters.record_signal();
+        let cv = Arc::clone(&entry.condvar);
+        if entry.waiting == 0 {
+            let timer = stats.phases.start(Phase::TagManager);
+            self.deactivate_tags(pid, stats);
+            timer.finish();
+        }
+        cv.notify_one();
+    }
+
+    fn activate_tags(&mut self, pid: PredId, stats: &MonitorStats) {
+        let entry = &mut self.entries[pid];
+        debug_assert!(!entry.tags_active);
+        entry.tags_active = true;
+        match self.config.signal_mode() {
+            SignalMode::Untagged => {
+                stats.counters.record_tag_insert();
+                self.scan_list.push(pid);
+            }
+            SignalMode::Tagged => {
+                let shard = &mut self.shards[0];
+                for (conj, &tag) in entry.pred.tags().iter().enumerate() {
+                    let conj = conj as u32;
+                    stats.counters.record_tag_insert();
+                    match tag {
+                        Tag::Equivalence { expr, key } => {
+                            shard.eq_index.insert(expr, key, (pid, conj));
+                        }
+                        Tag::Threshold { expr, key, op } => {
+                            shard.thresholds.insert(expr, key, op, (pid, conj));
+                        }
+                        Tag::None => shard.none_list.push((pid, conj)),
+                    }
+                }
+            }
+            SignalMode::ChangeDriven => {
+                let shard = &mut self.shards[0];
+                let deps_per_conj = entry.pred.conj_deps();
+                for (conj, &tag) in entry.pred.tags().iter().enumerate() {
+                    let deps = &deps_per_conj[conj];
+                    let conj = conj as u32;
+                    stats.counters.record_tag_insert();
+                    for &expr in deps.exprs() {
+                        *self.dep_refs.entry(expr).or_insert(0) += 1;
+                    }
+                    match tag {
+                        Tag::Equivalence { expr, key } => {
+                            shard.eq_index.insert(expr, key, (pid, conj));
+                        }
+                        Tag::Threshold { expr, key, op } => {
+                            shard.thresholds.insert(expr, key, op, (pid, conj));
+                        }
+                        Tag::None => {
+                            shard.none_count += 1;
+                            if deps.is_opaque() || deps.exprs().is_empty() {
+                                shard.opaque_list.push((pid, conj));
+                            } else {
+                                for &expr in deps.exprs() {
+                                    shard.none_index.entry(expr).or_default().push((pid, conj));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            SignalMode::Sharded => {
+                let deps_per_conj = entry.pred.conj_deps();
+                entry.routes.clear();
+                for (conj, &tag) in entry.pred.tags().iter().enumerate() {
+                    let deps = &deps_per_conj[conj];
+                    let sid = self.router.route(deps);
+                    entry.routes.push(sid as u32);
+                    let conj = conj as u32;
+                    stats.counters.record_tag_insert();
+                    if sid == self.router.global() {
+                        stats.counters.record_cross_shard_pred();
+                    }
+                    for &expr in deps.exprs() {
+                        *self.dep_refs.entry(expr).or_insert(0) += 1;
+                    }
+                    let shard = &mut self.shards[sid];
+                    if deps.is_opaque() {
+                        // Counted regardless of tag class: an opaque
+                        // conjunction carrying an eq/threshold tag sits
+                        // in those indexes, not `opaque_list`, yet still
+                        // voids the shard's certificate on any mutation.
+                        shard.opaque_count += 1;
+                    }
+                    match tag {
+                        Tag::Equivalence { expr, key } => {
+                            shard.eq_index.insert(expr, key, (pid, conj));
+                        }
+                        Tag::Threshold { expr, key, op } => {
+                            shard.thresholds.insert(expr, key, op, (pid, conj));
+                        }
+                        Tag::None => {
+                            shard.none_count += 1;
+                            if deps.is_opaque() || deps.exprs().is_empty() {
+                                shard.opaque_list.push((pid, conj));
+                            } else {
+                                for &expr in deps.exprs() {
+                                    shard.none_index.entry(expr).or_default().push((pid, conj));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn deactivate_tags(&mut self, pid: PredId, stats: &MonitorStats) {
+        let entry = &mut self.entries[pid];
+        debug_assert!(entry.tags_active);
+        entry.tags_active = false;
+        match self.config.signal_mode() {
+            SignalMode::Untagged => {
+                stats.counters.record_tag_remove();
+                if let Some(pos) = self.scan_list.iter().position(|&p| p == pid) {
+                    self.scan_list.swap_remove(pos);
+                }
+            }
+            SignalMode::Tagged => {
+                let shard = &mut self.shards[0];
+                for (conj, &tag) in entry.pred.tags().iter().enumerate() {
+                    let conj = conj as u32;
+                    stats.counters.record_tag_remove();
+                    match tag {
+                        Tag::Equivalence { expr, key } => {
+                            shard.eq_index.remove(expr, key, (pid, conj));
+                        }
+                        Tag::Threshold { expr, key, op } => {
+                            shard.thresholds.remove(expr, key, op, (pid, conj));
+                        }
+                        Tag::None => {
+                            if let Some(pos) =
+                                shard.none_list.iter().position(|&e| e == (pid, conj))
+                            {
+                                shard.none_list.swap_remove(pos);
+                            }
+                        }
+                    }
+                }
+            }
+            SignalMode::ChangeDriven | SignalMode::Sharded => {
+                let sharded = self.config.signal_mode() == SignalMode::Sharded;
+                let deps_per_conj = entry.pred.conj_deps();
+                if sharded {
+                    debug_assert_eq!(entry.routes.len(), deps_per_conj.len());
+                }
+                for (conj, &tag) in entry.pred.tags().iter().enumerate() {
+                    let deps = &deps_per_conj[conj];
+                    let sid = if sharded {
+                        entry.routes[conj] as usize
+                    } else {
+                        0
+                    };
+                    let conj = conj as u32;
+                    stats.counters.record_tag_remove();
+                    for &expr in deps.exprs() {
+                        if let Some(count) = self.dep_refs.get_mut(&expr) {
+                            *count -= 1;
+                            if *count == 0 {
+                                self.dep_refs.remove(&expr);
+                            }
+                        }
+                    }
+                    let shard = &mut self.shards[sid];
+                    if sharded && deps.is_opaque() {
+                        shard.opaque_count -= 1;
+                    }
+                    match tag {
+                        Tag::Equivalence { expr, key } => {
+                            shard.eq_index.remove(expr, key, (pid, conj));
+                        }
+                        Tag::Threshold { expr, key, op } => {
+                            shard.thresholds.remove(expr, key, op, (pid, conj));
+                        }
+                        Tag::None => {
+                            shard.none_count -= 1;
+                            if deps.is_opaque() || deps.exprs().is_empty() {
+                                if let Some(pos) =
+                                    shard.opaque_list.iter().position(|&e| e == (pid, conj))
+                                {
+                                    shard.opaque_list.swap_remove(pos);
+                                }
+                            } else {
+                                for &expr in deps.exprs() {
+                                    if let Some(candidates) = shard.none_index.get_mut(&expr) {
+                                        if let Some(pos) =
+                                            candidates.iter().position(|&e| e == (pid, conj))
+                                        {
+                                            candidates.swap_remove(pos);
+                                        }
+                                        if candidates.is_empty() {
+                                            shard.none_index.remove(&expr);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retires an entry with no threads to the inactive LRU and evicts
+    /// beyond the configured cap (§5.2).
+    fn maybe_retire(&mut self, pid: PredId, stats: &MonitorStats) {
+        let entry = &self.entries[pid];
+        if entry.waiting > 0 || entry.signaled > 0 || entry.persistent || entry.in_inactive {
+            return;
+        }
+        debug_assert!(!entry.tags_active);
+        self.entries[pid].in_inactive = true;
+        self.inactive.push_back(pid);
+        while self.inactive.len() > self.config.inactive_capacity() {
+            let victim = self.inactive.pop_front().expect("inactive list non-empty");
+            let timer = stats.phases.start(Phase::TagManager);
+            let removed = self.entries.remove(victim);
+            if let Some(key) = removed.pred.key() {
+                if self.table.get(key) == Some(&victim) {
+                    self.table.remove(key);
+                }
+            }
+            timer.finish();
+        }
+    }
+
+    /// Removes `pid` from the inactive LRU when it is being reused.
+    fn unlink_inactive(&mut self, pid: PredId) {
+        if self.entries.get(pid).is_some_and(|entry| entry.in_inactive) {
+            self.entries[pid].in_inactive = false;
+            if let Some(pos) = self.inactive.iter().position(|&p| p == pid) {
+                self.inactive.remove(pos);
+            }
+        }
+    }
+
+    // --- introspection for tests and diagnostics -------------------------
+
+    /// Number of live predicate entries (active + inactive).
+    pub(crate) fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of entries currently parked on the inactive LRU.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn inactive_count(&self) -> usize {
+        self.inactive.len()
+    }
+
+    /// Total waiting (unsignaled) threads across entries.
+    pub(crate) fn waiting_count(&self) -> usize {
+        self.entries.iter().map(|(_, e)| e.waiting as usize).sum()
+    }
+
+    /// Total signaled-but-not-resumed threads across entries.
+    pub(crate) fn signaled_count(&self) -> usize {
+        self.entries.iter().map(|(_, e)| e.signaled as usize).sum()
+    }
+
+    /// Live tags across all shards (tagged modes) or the scan list
+    /// (untagged mode).
+    pub(crate) fn live_tag_count(&self) -> usize {
+        match self.config.signal_mode() {
+            SignalMode::Untagged => self.scan_list.len(),
+            _ => self.shards.iter().map(Shard::live_tag_count).sum(),
+        }
+    }
+
+    /// Number of shards (1 for the non-sharded modes; data shards plus
+    /// the global shard in `Sharded` mode).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn shard_slot_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl<S> std::fmt::Debug for ConditionManager<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConditionManager")
+            .field("entries", &self.entries.len())
+            .field("waiting", &self.waiting_count())
+            .field("signaled", &self.signaled_count())
+            .field("inactive", &self.inactive.len())
+            .field("tags", &self.live_tag_count())
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests;

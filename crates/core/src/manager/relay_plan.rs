@@ -1,0 +1,82 @@
+//! The batched relay plan: which shards a relay must visit, and in what
+//! order.
+//!
+//! A sharded relay diffs the expression snapshot **once**, maps the
+//! changed set onto the shards that own those expressions, and then
+//! probes only the shards that can possibly hold a newly-true waiter:
+//!
+//! * shards owning a changed expression (their `all_false` is cleared
+//!   here),
+//! * shards left partially searched by a previous relay
+//!   ([`super::shard::Shard::probe_all`]),
+//! * the global shard, whenever anything changed (its transparent
+//!   members may depend on expressions owned by any data shard) or when
+//!   it holds opaque conjunctions and the state was mutated at all (an
+//!   opaque predicate can flip without any tracked expression moving).
+//!
+//! The plan's visit order is data shards ascending, global shard
+//! **last** — the order the Def. 4 checker verifies. Within one pass the
+//! relay signals at most one waiter per shard ("independent shards");
+//! passes repeat while the relay-width budget and fresh hits remain.
+
+use autosynch_predicate::expr::ExprId;
+
+use super::router::ShardRouter;
+use super::shard::Shard;
+
+/// A reusable buffer holding the shard visit order for one relay pass.
+#[derive(Debug, Default)]
+pub(crate) struct RelayPlan {
+    order: Vec<usize>,
+}
+
+impl RelayPlan {
+    pub(super) fn new() -> Self {
+        RelayPlan { order: Vec::new() }
+    }
+
+    /// Applies a fresh snapshot diff to the shard flags: every shard
+    /// owning a changed expression loses its `all_false` certificate,
+    /// and so does the global shard when anything changed or when it
+    /// holds **any** opaque conjunction (the diff only runs after a
+    /// mutation, and an opaque predicate — whatever its tag class —
+    /// can flip without any tracked expression moving).
+    pub(super) fn mark_affected(router: &ShardRouter, shards: &mut [Shard], changed: &[bool]) {
+        let mut any_changed = false;
+        for (idx, &was_changed) in changed.iter().enumerate() {
+            if !was_changed {
+                continue;
+            }
+            any_changed = true;
+            let sid = router.shard_of_expr(ExprId::from_raw(idx as u32));
+            shards[sid].all_false = false;
+        }
+        let global = router.global();
+        if any_changed || shards[global].opaque_count > 0 {
+            shards[global].all_false = false;
+        }
+    }
+
+    /// Rebuilds the visit order from the shard flags: every shard
+    /// without an `all_false` certificate, data shards ascending, global
+    /// last. Returns `true` when the plan is empty (nothing to probe).
+    pub(super) fn rebuild(&mut self, shards: &[Shard]) -> bool {
+        self.order.clear();
+        self.order.extend(
+            shards
+                .iter()
+                .enumerate()
+                .filter(|(_, shard)| !shard.all_false)
+                .map(|(sid, _)| sid),
+        );
+        // Shards are stored data-first, global trailing, so ascending
+        // enumeration order already places the global shard last.
+        debug_assert!(self.order.windows(2).all(|w| w[0] < w[1]));
+        self.order.is_empty()
+    }
+
+    /// The planned visit order (data shards ascending, global last).
+    pub(super) fn order(&self) -> &[usize] {
+        &self.order
+    }
+}

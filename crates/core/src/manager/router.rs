@@ -1,0 +1,89 @@
+//! Deterministic conjunction → shard assignment.
+//!
+//! The router is a thin policy wrapper over the predicate crate's stable
+//! routing key ([`autosynch_predicate::deps::expr_shard`]): a data shard
+//! owns every expression whose key hashes into it, and a conjunction
+//! lives in the data shard that owns *all* of its dependencies. A
+//! conjunction that cannot be confined to one data shard — opaque,
+//! dependency-free, or spanning several — is assigned to the **global
+//! shard**, the extra trailing shard the relay probes last.
+//!
+//! Soundness (see `DESIGN.md`): Def. 4 of the paper constrains *which*
+//! waiter may be signaled (one whose predicate is true), not where its
+//! predicate is stored, so any total, deterministic partition preserves
+//! relay invariance as long as the relay's skip decisions remain sound
+//! per shard. Confinement gives exactly that: a data-shard conjunction
+//! can only flip false→true when one of its dependencies changes, and
+//! all of its dependencies are owned by its own shard, so "no owned
+//! expression changed" implies "no candidate in this shard flipped".
+
+use autosynch_predicate::deps::{expr_shard, ConjDeps};
+use autosynch_predicate::expr::ExprId;
+
+/// Assigns conjunctions and expressions to shards.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardRouter {
+    data_shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `data_shards` partitions (plus the implicit global
+    /// shard at index `data_shards`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data_shards` is zero.
+    pub(super) fn new(data_shards: usize) -> Self {
+        assert!(data_shards >= 1, "need at least one data shard");
+        ShardRouter { data_shards }
+    }
+
+    /// Index of the global shard: one past the data shards.
+    pub(super) fn global(&self) -> usize {
+        self.data_shards
+    }
+
+    /// Total shard count including the global shard.
+    pub(super) fn shard_count(&self) -> usize {
+        self.data_shards + 1
+    }
+
+    /// The shard a conjunction lives in — total and deterministic:
+    /// confined conjunctions go to the data shard owning their
+    /// dependency set, everything else to the global shard.
+    pub(super) fn route(&self, deps: &ConjDeps) -> usize {
+        deps.route(self.data_shards).unwrap_or(self.data_shards)
+    }
+
+    /// The data shard owning `expr` (where its changes are announced).
+    pub(super) fn shard_of_expr(&self, expr: ExprId) -> usize {
+        expr_shard(expr, self.data_shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_is_one_past_data_shards() {
+        let r = ShardRouter::new(4);
+        assert_eq!(r.global(), 4);
+        assert_eq!(r.shard_count(), 5);
+    }
+
+    #[test]
+    fn expr_routing_is_within_data_shards() {
+        let r = ShardRouter::new(3);
+        for raw in 0..64u32 {
+            let sid = r.shard_of_expr(ExprId::from_raw(raw));
+            assert!(sid < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_data_shards_panics() {
+        let _ = ShardRouter::new(0);
+    }
+}

@@ -1,0 +1,307 @@
+//! One partition of the condition manager: the tag indexes for a
+//! disjoint slice of the expression space, plus the per-shard relay
+//! bookkeeping flags.
+//!
+//! In the `Tagged` and `ChangeDriven` modes the manager owns exactly one
+//! shard holding every index — those modes are the degenerate 1-way
+//! partition, which keeps their probe order and counter accounting
+//! byte-identical to the pre-split implementation. In `Sharded` mode the
+//! manager owns `shards + 1` of these: `shards` data shards addressed by
+//! the [router](super::router), and one trailing *global* shard holding
+//! every conjunction whose dependency set is opaque, empty, or spans
+//! several data shards. The global shard is probed last.
+//!
+//! A shard's flags carry the soundness state of the change-driven skip,
+//! scoped to its own candidates:
+//!
+//! * [`Shard::all_false`] — every candidate in this shard was false at
+//!   its last resolution and none of the shard's dependency expressions
+//!   has changed since; the shard may be skipped outright.
+//! * [`Shard::probe_all`] — the previous relay left this shard partially
+//!   searched (a hit stopped the walk, or the relay-width budget ran out
+//!   before reaching it); the next probe must ignore the changed-set
+//!   filter because true-but-unsignaled waiters may hide behind
+//!   unchanged dependencies.
+
+use autosynch_metrics::counters::SyncCounters;
+use autosynch_predicate::deps::ConjDeps;
+use autosynch_predicate::expr::{ExprId, ExprTable};
+use std::collections::HashMap;
+
+use crate::eq_index::{EqIndex, PredId, TaggedConj};
+use crate::slab::Slab;
+use crate::threshold_index::ThresholdIndex;
+
+use super::PredEntry;
+
+/// One partition of the predicate table's tag indexes.
+pub(crate) struct Shard {
+    /// Equivalence tags: O(1) hash probe per live expression.
+    pub(super) eq_index: EqIndex,
+    /// Threshold tags: the Fig. 4 heaps.
+    pub(super) thresholds: ThresholdIndex,
+    /// `None` tags, exhaustive list (Tagged mode only).
+    pub(super) none_list: Vec<TaggedConj>,
+    /// `None` tags with transparent dependencies, listed under each
+    /// dependency expression (ChangeDriven/Sharded modes).
+    pub(super) none_index: HashMap<ExprId, Vec<TaggedConj>>,
+    /// `None` tags with opaque or empty dependency sets: probed on every
+    /// non-skipped visit (ChangeDriven/Sharded modes).
+    pub(super) opaque_list: Vec<TaggedConj>,
+    /// Live `None` tags in this shard, counting each conjunction once
+    /// (the index above lists one under every dependency).
+    pub(super) none_count: usize,
+    /// Live conjunctions with **opaque** dependency sets, regardless of
+    /// tag class (Sharded mode only). An opaque conjunction can flip on
+    /// a mutation that changes no tracked expression, so a shard
+    /// holding any may not keep its `all_false` certificate across a
+    /// mutated diff. This must count eq/threshold-tagged opaque
+    /// conjunctions too — `opaque_list` holds only the `None`-tagged
+    /// ones, and using it as the certificate test loses wakeups.
+    pub(super) opaque_count: usize,
+    /// Every candidate was false at its last resolution and no owned
+    /// dependency changed since — the shard may be skipped.
+    pub(super) all_false: bool,
+    /// The shard was left partially searched; the next probe must ignore
+    /// the changed-set filter.
+    pub(super) probe_all: bool,
+}
+
+impl Shard {
+    pub(super) fn new(kind: crate::config::ThresholdIndexKind) -> Self {
+        Shard {
+            eq_index: EqIndex::new(),
+            thresholds: ThresholdIndex::new(kind),
+            none_list: Vec::new(),
+            none_index: HashMap::new(),
+            opaque_list: Vec::new(),
+            none_count: 0,
+            opaque_count: 0,
+            all_false: false,
+            probe_all: false,
+        }
+    }
+
+    /// Live tags in this shard (each conjunction counted once).
+    pub(super) fn live_tag_count(&self) -> usize {
+        self.eq_index.len() + self.thresholds.len() + self.none_list.len() + self.none_count
+    }
+
+    /// AutoSynch: probe the equivalence hash tables, then the threshold
+    /// heaps (Fig. 4), then the `None` list.
+    pub(super) fn probe_tagged<S>(
+        &mut self,
+        entries: &Slab<PredEntry<S>>,
+        state: &S,
+        exprs: &ExprTable<S>,
+        stats: &SyncCounters,
+    ) -> Option<PredId> {
+        // Each shared expression is evaluated at most once per relay.
+        let mut values: Vec<Option<i64>> = vec![None; exprs.len()];
+        let mut value_of = |id: ExprId| -> i64 {
+            let slot = &mut values[id.index()];
+            match *slot {
+                Some(v) => v,
+                None => {
+                    stats.record_expr_eval();
+                    let v = exprs.eval(id, state);
+                    *slot = Some(v);
+                    v
+                }
+            }
+        };
+
+        // 1. Equivalence tags: O(1) hash probe per live expression.
+        let eq_exprs: Vec<ExprId> = self.eq_index.exprs().collect();
+        for expr in eq_exprs {
+            let v = value_of(expr);
+            for &(pid, conj) in self.eq_index.candidates(expr, v) {
+                stats.record_pred_eval();
+                if entries[pid]
+                    .pred
+                    .eval_conjunction(conj as usize, state, exprs)
+                {
+                    return Some(pid);
+                }
+            }
+        }
+
+        // 2. Threshold tags: the Fig. 4 heap walk per live expression.
+        let thr_exprs: Vec<ExprId> = self.thresholds.exprs().collect();
+        for expr in thr_exprs {
+            let v = value_of(expr);
+            let mut check = |(pid, conj): TaggedConj| -> bool {
+                stats.record_pred_eval();
+                entries[pid]
+                    .pred
+                    .eval_conjunction(conj as usize, state, exprs)
+            };
+            if let Some((pid, _)) = self.thresholds.search(expr, v, &mut check) {
+                return Some(pid);
+            }
+        }
+
+        // 3. None tags: exhaustive search.
+        for &(pid, conj) in self.none_list.iter() {
+            stats.record_pred_eval();
+            if entries[pid]
+                .pred
+                .eval_conjunction(conj as usize, state, exprs)
+            {
+                return Some(pid);
+            }
+        }
+        None
+    }
+
+    /// Change-driven probe: the same eq/threshold/`None` order as
+    /// [`Shard::probe_tagged`], but every candidate whose dependency set
+    /// misses the changed-expression bitmap is skipped — its conjunction
+    /// was false at its last resolution and none of its inputs moved
+    /// since. Expression values come from the snapshot cache populated
+    /// by the manager's diff, so an expression is evaluated at most once
+    /// per occupancy rather than once per relay.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn probe_change_driven<S>(
+        &mut self,
+        entries: &Slab<PredEntry<S>>,
+        state: &S,
+        exprs: &ExprTable<S>,
+        stats: &SyncCounters,
+        cache: &mut ValueCache<'_>,
+        changed: &[bool],
+        probe_all: bool,
+        expr_scratch: &mut Vec<ExprId>,
+    ) -> Option<PredId> {
+        let relevant = |deps: &ConjDeps| probe_all || deps.intersects(changed);
+
+        // 1. Equivalence tags: O(1) hash probe per live expression. The
+        // probe only reads the index, so no per-relay collect is needed.
+        for expr in self.eq_index.exprs() {
+            let v = cache.value_of(expr, state, exprs, stats);
+            for &(pid, conj) in self.eq_index.candidates(expr, v) {
+                let entry = &entries[pid];
+                if !relevant(&entry.pred.conj_deps()[conj as usize]) {
+                    stats.record_probe_skipped();
+                    continue;
+                }
+                stats.record_pred_eval();
+                if entry.pred.eval_conjunction(conj as usize, state, exprs) {
+                    return Some(pid);
+                }
+            }
+        }
+
+        // 2. Threshold tags: the Fig. 4 heap walk per live expression.
+        // The walk mutates the heaps, so the expression list is staged
+        // through a reusable scratch buffer.
+        self.thresholds.collect_exprs(expr_scratch);
+        for &expr in expr_scratch.iter() {
+            let v = cache.value_of(expr, state, exprs, stats);
+            let mut check = |(pid, conj): TaggedConj| -> bool {
+                let entry = &entries[pid];
+                if !relevant(&entry.pred.conj_deps()[conj as usize]) {
+                    stats.record_probe_skipped();
+                    return false;
+                }
+                stats.record_pred_eval();
+                entry.pred.eval_conjunction(conj as usize, state, exprs)
+            };
+            if let Some((pid, _)) = self.thresholds.search(expr, v, &mut check) {
+                return Some(pid);
+            }
+        }
+
+        // 3. None tags with opaque dependencies: always probed.
+        for &(pid, conj) in self.opaque_list.iter() {
+            stats.record_pred_eval();
+            if entries[pid]
+                .pred
+                .eval_conjunction(conj as usize, state, exprs)
+            {
+                return Some(pid);
+            }
+        }
+
+        // 4. Transparent None tags via the per-expression candidate map.
+        // Each candidate is listed under every dependency; probing it
+        // only under its first (changed) dependency visits it once.
+        if probe_all {
+            for (&expr, candidates) in self.none_index.iter() {
+                for &(pid, conj) in candidates {
+                    let entry = &entries[pid];
+                    let deps = &entry.pred.conj_deps()[conj as usize];
+                    if deps.exprs().first() != Some(&expr) {
+                        continue;
+                    }
+                    stats.record_pred_eval();
+                    if entry.pred.eval_conjunction(conj as usize, state, exprs) {
+                        return Some(pid);
+                    }
+                }
+            }
+        } else {
+            for (idx, &was_changed) in changed.iter().enumerate() {
+                if !was_changed {
+                    continue;
+                }
+                let expr = ExprId::from_raw(idx as u32);
+                let Some(candidates) = self.none_index.get(&expr) else {
+                    continue;
+                };
+                for &(pid, conj) in candidates {
+                    let entry = &entries[pid];
+                    let deps = &entry.pred.conj_deps()[conj as usize];
+                    // Probed under its first changed dependency only —
+                    // this is dedup, not a skip.
+                    if deps.first_changed(changed) != Some(expr) {
+                        continue;
+                    }
+                    stats.record_pred_eval();
+                    if entry.pred.eval_conjunction(conj as usize, state, exprs) {
+                        return Some(pid);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The manager's expression-value snapshot, borrowed into a shard probe.
+///
+/// Values come from the diff snapshot. Every probe-relevant expression
+/// has an active dependent, so the diff just refreshed it; the fallback
+/// covers expressions registered since, which are evaluated against the
+/// same (unmutated-since-diff) state and stamped into the current epoch.
+pub(super) struct ValueCache<'a> {
+    pub(super) values: &'a mut Vec<Option<i64>>,
+    pub(super) epochs: &'a mut Vec<u64>,
+    pub(super) epoch: u64,
+}
+
+impl ValueCache<'_> {
+    fn value_of<S>(
+        &mut self,
+        id: ExprId,
+        state: &S,
+        exprs: &ExprTable<S>,
+        stats: &SyncCounters,
+    ) -> i64 {
+        let idx = id.index();
+        if idx >= self.values.len() {
+            self.values.resize(idx + 1, None);
+            self.epochs.resize(idx + 1, 0);
+        }
+        match (self.epochs[idx] == self.epoch, self.values[idx]) {
+            (true, Some(v)) => v,
+            _ => {
+                stats.record_expr_eval();
+                let v = exprs.eval(id, state);
+                self.values[idx] = Some(v);
+                self.epochs[idx] = self.epoch;
+                v
+            }
+        }
+    }
+}

@@ -1,0 +1,781 @@
+use super::*;
+use autosynch_predicate::expr::ExprHandle;
+use autosynch_predicate::predicate::IntoPredicate;
+
+struct St {
+    count: i64,
+}
+
+fn setup() -> (
+    ExprTable<St>,
+    ExprHandle<St>,
+    ConditionManager<St>,
+    Arc<MonitorStats>,
+) {
+    let mut exprs = ExprTable::new();
+    let count = exprs.register("count", |s: &St| s.count);
+    let mgr = ConditionManager::new(MonitorConfig::default());
+    (exprs, count, mgr, MonitorStats::new(false))
+}
+
+#[test]
+fn dedupe_maps_equivalent_predicates_to_one_entry() {
+    let (_, count, mut mgr, stats) = setup();
+    let a = mgr.register_waiter(count.ge(48).into_predicate(), &stats);
+    let b = mgr.register_waiter(count.ge(48).into_predicate(), &stats);
+    assert_eq!(a, b);
+    assert_eq!(mgr.entry_count(), 1);
+    assert_eq!(mgr.waiting_count(), 2);
+    let c = mgr.register_waiter(count.ge(32).into_predicate(), &stats);
+    assert_ne!(a, c);
+    assert_eq!(mgr.entry_count(), 2);
+}
+
+#[test]
+fn keyless_customs_get_distinct_entries() {
+    let (_, _, mut mgr, stats) = setup();
+    let a = mgr.register_waiter(Predicate::custom("c", |s: &St| s.count > 0), &stats);
+    let b = mgr.register_waiter(Predicate::custom("c", |s: &St| s.count > 0), &stats);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn relay_finds_true_threshold_predicate() {
+    let (exprs, count, mut mgr, stats) = setup();
+    let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+    // Not yet true.
+    assert_eq!(mgr.relay_signal(&St { count: 9 }, &exprs, &stats), None);
+    // Now true: exactly this entry is signaled.
+    assert_eq!(
+        mgr.relay_signal(&St { count: 10 }, &exprs, &stats),
+        Some(pid)
+    );
+    assert_eq!(mgr.waiting_count(), 0);
+    assert_eq!(mgr.signaled_count(), 1);
+    // Tags are gone: a second relay finds nothing even though the
+    // predicate is still true (the thread has already been signaled).
+    assert_eq!(mgr.relay_signal(&St { count: 10 }, &exprs, &stats), None);
+}
+
+#[test]
+fn relay_prefers_equivalence_over_threshold_over_none() {
+    let (exprs, count, mut mgr, stats) = setup();
+    let none = mgr.register_waiter(count.ne(0).into_predicate(), &stats);
+    let thr = mgr.register_waiter(count.ge(1).into_predicate(), &stats);
+    let eq = mgr.register_waiter(count.eq(5).into_predicate(), &stats);
+    let _ = none;
+    let _ = thr;
+    // All three true at count=5; the equivalence-tagged entry wins.
+    assert_eq!(mgr.relay_signal(&St { count: 5 }, &exprs, &stats), Some(eq));
+}
+
+#[test]
+fn validated_relay_accepts_a_correct_search() {
+    let config = MonitorConfig::new().validate_relay(true);
+    let mut exprs = ExprTable::new();
+    let count = exprs.register("count", |s: &St| s.count);
+    let mut mgr = ConditionManager::new(config);
+    let stats = MonitorStats::new(false);
+    // Mixed tag classes, all probed through their indexes; the
+    // post-relay exhaustive check must agree with every outcome.
+    let _eq = mgr.register_waiter(count.eq(5).into_predicate(), &stats);
+    let _thr = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+    let _none = mgr.register_waiter(count.ne(0).into_predicate(), &stats);
+    assert_eq!(mgr.relay_signal(&St { count: 0 }, &exprs, &stats), None);
+    assert!(mgr.relay_signal(&St { count: 5 }, &exprs, &stats).is_some());
+    assert!(mgr
+        .relay_signal(&St { count: 12 }, &exprs, &stats)
+        .is_some());
+    assert!(mgr.relay_signal(&St { count: 3 }, &exprs, &stats).is_some());
+    assert_eq!(mgr.waiting_count(), 0);
+}
+
+#[test]
+#[should_panic(expected = "relay invariance violated")]
+fn validated_relay_catches_a_missed_waiter() {
+    // A non-deterministic predicate breaks the system's assumption
+    // that predicates are pure functions of the state: it reads
+    // false when the relay search evaluates it and true when the
+    // validator re-checks. The validator must flag the miss.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let config = MonitorConfig::new().validate_relay(true);
+    let exprs: ExprTable<St> = ExprTable::new();
+    let mut mgr = ConditionManager::new(config);
+    let stats = MonitorStats::new(false);
+    let flip = AtomicBool::new(false);
+    let pid = mgr.register_waiter(
+        Predicate::custom("flip-flop", move |_: &St| {
+            flip.fetch_xor(true, Ordering::Relaxed)
+        }),
+        &stats,
+    );
+    let _ = pid;
+    let _ = mgr.relay_signal(&St { count: 0 }, &exprs, &stats);
+}
+
+#[test]
+fn relay_falls_back_to_none_tags() {
+    let (exprs, _, mut mgr, stats) = setup();
+    let pid = mgr.register_waiter(Predicate::custom("odd", |s: &St| s.count % 2 == 1), &stats);
+    assert_eq!(mgr.relay_signal(&St { count: 2 }, &exprs, &stats), None);
+    assert_eq!(
+        mgr.relay_signal(&St { count: 3 }, &exprs, &stats),
+        Some(pid)
+    );
+}
+
+#[test]
+fn untagged_mode_scans_linearly() {
+    let (exprs, count, _, _) = setup();
+    let mut mgr = ConditionManager::new(MonitorConfig::autosynch_t());
+    let stats = MonitorStats::new(false);
+    let before = stats.counters.snapshot();
+    let _a = mgr.register_waiter(count.eq(100).into_predicate(), &stats);
+    let b = mgr.register_waiter(count.ge(1).into_predicate(), &stats);
+    let hit = mgr.relay_signal(&St { count: 1 }, &exprs, &stats);
+    assert_eq!(hit, Some(b));
+    // The scan evaluated entry `a`'s whole predicate too.
+    let after = stats.counters.snapshot().since(&before);
+    assert!(after.pred_evals >= 2);
+    assert_eq!(after.expr_evals, 0, "untagged mode does no expr caching");
+}
+
+#[test]
+fn futile_wakeup_reactivates_tags() {
+    let (exprs, count, mut mgr, stats) = setup();
+    let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+    assert_eq!(mgr.live_tag_count(), 1);
+    mgr.relay_signal(&St { count: 10 }, &exprs, &stats);
+    assert_eq!(mgr.live_tag_count(), 0, "no unsignaled waiters left");
+    // The woken thread finds the predicate false again (barging).
+    mgr.mark_futile(pid, &stats);
+    assert_eq!(mgr.live_tag_count(), 1);
+    assert_eq!(mgr.waiting_count(), 1);
+    assert_eq!(mgr.signaled_count(), 0);
+}
+
+#[test]
+fn spurious_futile_wakeup_is_a_noop() {
+    // A std-backed condvar may wake a thread that was never
+    // signaled; with no token outstanding the entry must not move.
+    let (_, count, mut mgr, stats) = setup();
+    let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+    assert_eq!((mgr.waiting_count(), mgr.signaled_count()), (1, 0));
+    mgr.mark_futile(pid, &stats);
+    assert_eq!((mgr.waiting_count(), mgr.signaled_count()), (1, 0));
+    assert_eq!(mgr.live_tag_count(), 1, "tags stay live");
+}
+
+#[test]
+fn spurious_wakeup_with_true_predicate_consumes_from_waiting() {
+    // A spuriously woken thread that finds its predicate true
+    // proceeds; its unit leaves `waiting` and the tags retire.
+    let (_, count, mut mgr, stats) = setup();
+    let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+    mgr.consume_signal(pid, &stats);
+    assert_eq!((mgr.waiting_count(), mgr.signaled_count()), (0, 0));
+    assert_eq!(mgr.live_tag_count(), 0);
+    assert_eq!(mgr.inactive_count(), 1);
+}
+
+#[test]
+fn absorbed_signal_then_true_peer_stays_consistent() {
+    // W1 and W2 wait on one entry; one signal is sent; a spurious
+    // wakeup absorbs it futilely; the true-predicate peer must then
+    // consume from `waiting` without underflow.
+    let (exprs, count, mut mgr, stats) = setup();
+    let pid = mgr.register_waiter(count.ge(1).into_predicate(), &stats);
+    mgr.register_waiter(count.ge(1).into_predicate(), &stats);
+    mgr.relay_signal(&St { count: 1 }, &exprs, &stats);
+    assert_eq!((mgr.waiting_count(), mgr.signaled_count()), (1, 1));
+    mgr.mark_futile(pid, &stats); // absorbs the token
+    assert_eq!((mgr.waiting_count(), mgr.signaled_count()), (2, 0));
+    mgr.consume_signal(pid, &stats); // peer proceeds anyway
+    assert_eq!((mgr.waiting_count(), mgr.signaled_count()), (1, 0));
+    assert_eq!(mgr.live_tag_count(), 1);
+}
+
+#[test]
+fn consume_signal_retires_entry_to_inactive() {
+    let (exprs, count, mut mgr, stats) = setup();
+    let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+    mgr.relay_signal(&St { count: 10 }, &exprs, &stats);
+    mgr.consume_signal(pid, &stats);
+    assert_eq!(mgr.waiting_count(), 0);
+    assert_eq!(mgr.signaled_count(), 0);
+    assert_eq!(mgr.inactive_count(), 1);
+    assert_eq!(mgr.entry_count(), 1, "inactive entries are kept for reuse");
+    // Reuse removes it from the inactive list.
+    let again = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+    assert_eq!(again, pid);
+    assert_eq!(mgr.inactive_count(), 0);
+}
+
+#[test]
+fn inactive_list_evicts_beyond_cap() {
+    let (exprs, count, _, _) = setup();
+    let mut mgr = ConditionManager::new(MonitorConfig::new().inactive_cap(2));
+    let stats = MonitorStats::new(false);
+    for k in 0..5 {
+        let pid = mgr.register_waiter(count.ge(100 + k).into_predicate(), &stats);
+        mgr.relay_signal(&St { count: 200 }, &exprs, &stats);
+        mgr.consume_signal(pid, &stats);
+    }
+    assert_eq!(mgr.inactive_count(), 2);
+    assert_eq!(mgr.entry_count(), 2);
+}
+
+#[test]
+fn persistent_predicates_survive_eviction() {
+    let (exprs, count, _, _) = setup();
+    let mut mgr = ConditionManager::new(MonitorConfig::new().inactive_cap(0));
+    let stats = MonitorStats::new(false);
+    let shared = mgr.register_persistent(count.gt(0).into_predicate());
+    // A complex predicate retires and is evicted immediately (cap 0).
+    let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+    mgr.relay_signal(&St { count: 10 }, &exprs, &stats);
+    mgr.consume_signal(pid, &stats);
+    assert_eq!(mgr.entry_count(), 1, "only the persistent entry remains");
+    // The persistent one still interns to the same id.
+    let w = mgr.register_waiter(count.gt(0).into_predicate(), &stats);
+    assert_eq!(w, shared);
+}
+
+#[test]
+fn timeout_of_unsignaled_waiter_deactivates() {
+    let (_, count, mut mgr, stats) = setup();
+    let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+    let consumed = mgr.on_timeout(pid, &stats);
+    assert!(!consumed);
+    assert_eq!(mgr.waiting_count(), 0);
+    assert_eq!(mgr.live_tag_count(), 0);
+    assert_eq!(mgr.inactive_count(), 1);
+}
+
+#[test]
+fn timeout_after_signal_consumes_and_requests_relay() {
+    let (exprs, count, mut mgr, stats) = setup();
+    let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+    mgr.relay_signal(&St { count: 10 }, &exprs, &stats);
+    let consumed = mgr.on_timeout(pid, &stats);
+    assert!(consumed, "the orphaned signal must be passed onward");
+    assert_eq!(mgr.signaled_count(), 0);
+}
+
+#[test]
+fn multiple_waiters_one_entry_signal_one_at_a_time() {
+    let (exprs, count, mut mgr, stats) = setup();
+    let pid = mgr.register_waiter(count.ge(1).into_predicate(), &stats);
+    let pid2 = mgr.register_waiter(count.ge(1).into_predicate(), &stats);
+    assert_eq!(pid, pid2);
+    assert_eq!(mgr.waiting_count(), 2);
+    assert_eq!(
+        mgr.relay_signal(&St { count: 1 }, &exprs, &stats),
+        Some(pid)
+    );
+    assert_eq!(mgr.waiting_count(), 1);
+    assert_eq!(mgr.live_tag_count(), 1, "tags stay while waiters remain");
+    assert_eq!(
+        mgr.relay_signal(&St { count: 1 }, &exprs, &stats),
+        Some(pid)
+    );
+    assert_eq!(mgr.waiting_count(), 0);
+    assert_eq!(mgr.live_tag_count(), 0);
+}
+
+// --- change-driven relay ---------------------------------------------
+//
+// Contract note: these tests drive the manager directly, so they must
+// call `note_mutation` whenever they hand `relay_signal` a state that
+// differs from the previous call's — exactly what `Monitor::state_mut`
+// does in the integrated runtime.
+
+fn cd_setup() -> (
+    ExprTable<St>,
+    ExprHandle<St>,
+    ConditionManager<St>,
+    Arc<MonitorStats>,
+) {
+    let mut exprs = ExprTable::new();
+    let count = exprs.register("count", |s: &St| s.count);
+    let mgr = ConditionManager::new(MonitorConfig::autosynch_cd().validate_relay(true));
+    (exprs, count, mgr, MonitorStats::new(false))
+}
+
+#[test]
+fn change_driven_finds_true_threshold_predicate() {
+    let (exprs, count, mut mgr, stats) = cd_setup();
+    let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+    assert_eq!(mgr.relay_signal(&St { count: 9 }, &exprs, &stats), None);
+    mgr.note_mutation();
+    assert_eq!(
+        mgr.relay_signal(&St { count: 10 }, &exprs, &stats),
+        Some(pid)
+    );
+}
+
+#[test]
+fn change_driven_skips_relay_on_unchanged_state() {
+    let (exprs, count, mut mgr, stats) = cd_setup();
+    mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+    let state = St { count: 3 };
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+    let before = stats.counters.snapshot();
+    // No mutation announced: the second and third relays are skipped
+    // without evaluating anything.
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+    let diff = stats.counters.snapshot().since(&before);
+    assert_eq!(diff.relay_skips, 2);
+    assert_eq!(diff.expr_evals, 0);
+    assert_eq!(diff.pred_evals, 0);
+}
+
+#[test]
+fn change_driven_skips_probes_for_unchanged_dependencies() {
+    let mut exprs = ExprTable::new();
+    let a = exprs.register("a", |s: &St2| s.a);
+    let b = exprs.register("b", |s: &St2| s.b);
+    let mut mgr: ConditionManager<St2> =
+        ConditionManager::new(MonitorConfig::autosynch_cd().validate_relay(true));
+    let stats = MonitorStats::new(false);
+    // Waiter 1 depends on `a` alone; waiter 2 depends on `b` alone,
+    // with a tag (`b <= 100`) that stays true so the heap walk always
+    // reaches its candidate — the dependency filter must reject it.
+    mgr.register_waiter(a.ge(10).into_predicate(), &stats);
+    mgr.register_waiter(b.le(100).and(b.ge(10)).into_predicate(), &stats);
+    assert_eq!(mgr.relay_signal(&St2 { a: 0, b: 0 }, &exprs, &stats), None);
+    mgr.note_mutation();
+    let before = stats.counters.snapshot();
+    // `a` changes but stays below threshold; `b` is untouched.
+    assert_eq!(mgr.relay_signal(&St2 { a: 5, b: 0 }, &exprs, &stats), None);
+    let diff = stats.counters.snapshot().since(&before);
+    assert_eq!(diff.expr_evals, 2, "both live exprs diffed once");
+    assert_eq!(diff.unchanged_exprs, 1, "b matched the snapshot");
+    assert_eq!(
+        diff.pred_evals, 0,
+        "a's tag is false; b's candidate skipped"
+    );
+    assert_eq!(diff.probes_skipped, 1, "b's candidate skipped by deps");
+}
+
+struct St2 {
+    a: i64,
+    b: i64,
+}
+
+#[test]
+fn change_driven_none_tags_probe_by_dependency() {
+    let (exprs, count, mut mgr, stats) = cd_setup();
+    // `count != 0` tags as None but depends only on `count`.
+    let pid = mgr.register_waiter(count.ne(0).into_predicate(), &stats);
+    assert_eq!(mgr.relay_signal(&St { count: 0 }, &exprs, &stats), None);
+    mgr.note_mutation();
+    assert_eq!(
+        mgr.relay_signal(&St { count: 7 }, &exprs, &stats),
+        Some(pid)
+    );
+}
+
+#[test]
+fn change_driven_opaque_predicates_always_probe() {
+    let (exprs, _, mut mgr, stats) = cd_setup();
+    let pid = mgr.register_waiter(Predicate::custom("odd", |s: &St| s.count % 2 == 1), &stats);
+    assert_eq!(mgr.relay_signal(&St { count: 2 }, &exprs, &stats), None);
+    mgr.note_mutation();
+    assert_eq!(
+        mgr.relay_signal(&St { count: 3 }, &exprs, &stats),
+        Some(pid)
+    );
+    assert_eq!(mgr.live_tag_count(), 0);
+}
+
+#[test]
+fn change_driven_probe_all_catches_leftover_true_waiters() {
+    // Two waiters become true on one mutation; width 1 signals only
+    // the first. The follow-up relay runs on unmutated state and must
+    // still find the second (the probe-all path).
+    let (exprs, count, mut mgr, stats) = cd_setup();
+    let first = mgr.register_waiter(count.ge(1).into_predicate(), &stats);
+    let second = mgr.register_waiter(count.ge(2).into_predicate(), &stats);
+    mgr.note_mutation();
+    let state = St { count: 5 };
+    let hit1 = mgr.relay_signal(&state, &exprs, &stats);
+    let hit2 = mgr.relay_signal(&state, &exprs, &stats);
+    let mut signaled = [hit1.unwrap(), hit2.unwrap()];
+    signaled.sort();
+    let mut expected = [first, second];
+    expected.sort();
+    assert_eq!(signaled, expected);
+    // Both signaled: a third relay finds nothing and re-arms the skip.
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+    let before = stats.counters.snapshot();
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+    assert_eq!(stats.counters.snapshot().since(&before).relay_skips, 1);
+}
+
+#[test]
+fn change_driven_equivalence_probe_uses_snapshot_values() {
+    let (exprs, count, mut mgr, stats) = cd_setup();
+    let pid = mgr.register_waiter(count.eq(5).into_predicate(), &stats);
+    assert_eq!(mgr.relay_signal(&St { count: 1 }, &exprs, &stats), None);
+    mgr.note_mutation();
+    assert_eq!(
+        mgr.relay_signal(&St { count: 5 }, &exprs, &stats),
+        Some(pid)
+    );
+    assert_eq!(mgr.waiting_count(), 0);
+}
+
+#[test]
+fn change_driven_cleans_up_indexes_on_deactivation() {
+    let (exprs, count, mut mgr, stats) = cd_setup();
+    let pid = mgr.register_waiter(count.ne(0).into_predicate(), &stats);
+    assert_eq!(mgr.live_tag_count(), 1);
+    mgr.note_mutation();
+    assert_eq!(
+        mgr.relay_signal(&St { count: 2 }, &exprs, &stats),
+        Some(pid)
+    );
+    mgr.consume_signal(pid, &stats);
+    assert_eq!(mgr.live_tag_count(), 0);
+    assert_eq!(mgr.waiting_count(), 0);
+    assert_eq!(mgr.signaled_count(), 0);
+}
+
+#[test]
+fn change_driven_futile_wakeup_reactivates() {
+    let (exprs, count, mut mgr, stats) = cd_setup();
+    let pid = mgr.register_waiter(count.ge(10).into_predicate(), &stats);
+    mgr.note_mutation();
+    mgr.relay_signal(&St { count: 10 }, &exprs, &stats);
+    // Barged: the predicate is false again when the thread wakes.
+    mgr.note_mutation();
+    mgr.mark_futile(pid, &stats);
+    assert_eq!(mgr.live_tag_count(), 1);
+    mgr.note_mutation();
+    assert_eq!(
+        mgr.relay_signal(&St { count: 12 }, &exprs, &stats),
+        Some(pid)
+    );
+}
+
+#[test]
+fn expr_is_evaluated_once_per_relay() {
+    let (exprs, count, mut mgr, stats) = setup();
+    // Two equivalence tags and a threshold tag on the same expr.
+    mgr.register_waiter(count.eq(3).into_predicate(), &stats);
+    mgr.register_waiter(count.eq(4).into_predicate(), &stats);
+    mgr.register_waiter(count.ge(100).into_predicate(), &stats);
+    let before = stats.counters.snapshot();
+    mgr.relay_signal(&St { count: 0 }, &exprs, &stats);
+    let diff = stats.counters.snapshot().since(&before);
+    assert_eq!(diff.expr_evals, 1, "value cache collapses expr evals");
+}
+
+// --- sharded relay ----------------------------------------------------
+//
+// Same contract note as the change-driven tests: `note_mutation` must
+// precede any `relay_signal` whose state differs from the previous
+// call's.
+
+fn shard_setup(
+    config: MonitorConfig,
+) -> (
+    ExprTable<StN>,
+    Vec<ExprHandle<StN>>,
+    ConditionManager<StN>,
+    Arc<MonitorStats>,
+) {
+    let mut exprs = ExprTable::new();
+    let handles = (0..4)
+        .map(|i| exprs.register(format!("v{i}"), move |s: &StN| s.values[i]))
+        .collect();
+    let mgr = ConditionManager::new(config.validate_relay(true));
+    (exprs, handles, mgr, MonitorStats::new(false))
+}
+
+#[derive(Default)]
+struct StN {
+    values: [i64; 4],
+}
+
+/// Two expression handles guaranteed to live in different data shards
+/// (exists for any shard count ≥ 2 among four registered exprs — the
+/// FNV key spreads adjacent ids; asserted rather than assumed).
+fn separated_pair(
+    handles: &[ExprHandle<StN>],
+    mgr: &ConditionManager<StN>,
+) -> (ExprHandle<StN>, ExprHandle<StN>) {
+    let first = handles[0];
+    let other = handles[1..]
+        .iter()
+        .find(|h| mgr.router.shard_of_expr(h.id()) != mgr.router.shard_of_expr(first.id()))
+        .copied()
+        .expect("no expr pair separated by the router; add more handles");
+    (first, other)
+}
+
+#[test]
+fn sharded_manager_allocates_data_plus_global_shards() {
+    let (_, _, mgr, _) = shard_setup(MonitorConfig::autosynch_shard().shards(3));
+    assert_eq!(mgr.shard_slot_count(), 4, "3 data shards + global");
+    let (_, _, cd, _) = shard_setup(MonitorConfig::autosynch_cd());
+    assert_eq!(cd.shard_slot_count(), 1, "non-sharded modes use one shard");
+}
+
+#[test]
+fn sharded_finds_true_threshold_predicate() {
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let v = handles[0];
+    let pid = mgr.register_waiter(v.ge(10).into_predicate(), &stats);
+    assert_eq!(mgr.relay_signal(&StN::default(), &exprs, &stats), None);
+    mgr.note_mutation();
+    let mut state = StN::default();
+    state.values[0] = 10;
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), Some(pid));
+}
+
+#[test]
+fn sharded_skips_relay_on_unchanged_state() {
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    mgr.register_waiter(handles[0].ge(10).into_predicate(), &stats);
+    mgr.register_waiter(handles[1].ne(0).into_predicate(), &stats);
+    let state = StN::default();
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+    let before = stats.counters.snapshot();
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+    let diff = stats.counters.snapshot().since(&before);
+    assert_eq!(diff.relay_skips, 2);
+    assert_eq!(diff.expr_evals, 0);
+    assert_eq!(diff.pred_evals, 0);
+}
+
+#[test]
+fn sharded_confines_post_hit_probes_to_the_hit_shard() {
+    // The headline saving over plain change-driven: waiters on `a != 0`
+    // and `b != 0` (None tags) live in different shards. After the
+    // relay that signals waiter A, the follow-up relay on unmutated
+    // state re-probes only A's shard — CD's global probe-all would
+    // re-evaluate waiter B too.
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (a, b) = separated_pair(&handles, &mgr);
+    let pid_a = mgr.register_waiter(a.ne(0).into_predicate(), &stats);
+    let _pid_b = mgr.register_waiter(b.ne(0).into_predicate(), &stats);
+    // Relay 1: nothing true; every shard earns its all_false certificate.
+    assert_eq!(mgr.relay_signal(&StN::default(), &exprs, &stats), None);
+    // Relay 2: `a` flips; only A's shard is probed and it hits.
+    mgr.note_mutation();
+    let mut state = StN::default();
+    state.values[a.id().index()] = 1;
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), Some(pid_a));
+    // Relay 3 (unmutated): only the hit shard lacks a certificate. Its
+    // only waiter was signaled (tags retired), so nothing is evaluated;
+    // B's waiter in particular is NOT re-probed.
+    let before = stats.counters.snapshot();
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+    let diff = stats.counters.snapshot().since(&before);
+    assert_eq!(diff.pred_evals, 0, "no candidate outside the hit shard");
+    assert_eq!(diff.expr_evals, 0, "cached values suffice");
+    // Relay 4: every shard certified again — skipped outright.
+    let before = stats.counters.snapshot();
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+    assert_eq!(stats.counters.snapshot().since(&before).relay_skips, 1);
+}
+
+#[test]
+fn sharded_batches_independent_shard_signals() {
+    // One mutation satisfies waiters in two different shards; with
+    // relay_width 2 a single relay call signals both in one batched
+    // pass and records the extra signal.
+    let (exprs, handles, mut mgr, stats) =
+        shard_setup(MonitorConfig::autosynch_shard().relay_width(2));
+    let (a, b) = separated_pair(&handles, &mgr);
+    let pid_a = mgr.register_waiter(a.ne(0).into_predicate(), &stats);
+    let pid_b = mgr.register_waiter(b.ne(0).into_predicate(), &stats);
+    assert_eq!(mgr.relay_signal(&StN::default(), &exprs, &stats), None);
+    mgr.note_mutation();
+    let mut state = StN::default();
+    state.values[a.id().index()] = 1;
+    state.values[b.id().index()] = 1;
+    let before = stats.counters.snapshot();
+    let hit = mgr.relay_signal(&state, &exprs, &stats);
+    assert!(hit == Some(pid_a) || hit == Some(pid_b));
+    let diff = stats.counters.snapshot().since(&before);
+    assert_eq!(diff.signals, 2, "both waiters signaled in one call");
+    assert_eq!(diff.batched_signals, 1, "the second signal was batched");
+    assert_eq!(mgr.waiting_count(), 0);
+    assert_eq!(mgr.signaled_count(), 2);
+}
+
+#[test]
+fn sharded_width_one_still_finds_leftover_true_waiters() {
+    // Width 1 stops at the first hit; the other shard's true waiter
+    // must be found by the follow-up relay on unmutated state.
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (a, b) = separated_pair(&handles, &mgr);
+    let pid_a = mgr.register_waiter(a.ne(0).into_predicate(), &stats);
+    let pid_b = mgr.register_waiter(b.ne(0).into_predicate(), &stats);
+    assert_eq!(mgr.relay_signal(&StN::default(), &exprs, &stats), None);
+    mgr.note_mutation();
+    let mut state = StN::default();
+    state.values[a.id().index()] = 1;
+    state.values[b.id().index()] = 1;
+    let hit1 = mgr.relay_signal(&state, &exprs, &stats).unwrap();
+    let hit2 = mgr.relay_signal(&state, &exprs, &stats).unwrap();
+    let mut signaled = [hit1, hit2];
+    signaled.sort();
+    let mut expected = [pid_a, pid_b];
+    expected.sort();
+    assert_eq!(signaled, expected);
+}
+
+#[test]
+fn sharded_cross_shard_conjunction_lands_in_global_and_signals() {
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (a, b) = separated_pair(&handles, &mgr);
+    let before = stats.counters.snapshot();
+    let pid = mgr.register_waiter(a.ge(1).and(b.ge(1)).into_predicate(), &stats);
+    let diff = stats.counters.snapshot().since(&before);
+    assert_eq!(diff.cross_shard_preds, 1, "spanning conjunction is global");
+    assert_eq!(mgr.relay_signal(&StN::default(), &exprs, &stats), None);
+    mgr.note_mutation();
+    let mut state = StN::default();
+    state.values[a.id().index()] = 1;
+    state.values[b.id().index()] = 1;
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), Some(pid));
+}
+
+#[test]
+fn sharded_opaque_predicates_go_global_and_always_probe() {
+    let (exprs, _, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let before = stats.counters.snapshot();
+    let pid = mgr.register_waiter(
+        Predicate::custom("odd", |s: &StN| s.values[0] % 2 == 1),
+        &stats,
+    );
+    assert_eq!(
+        stats.counters.snapshot().since(&before).cross_shard_preds,
+        1,
+        "opaque conjunctions are global"
+    );
+    assert_eq!(mgr.relay_signal(&StN::default(), &exprs, &stats), None);
+    mgr.note_mutation();
+    let mut state = StN::default();
+    state.values[0] = 3;
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), Some(pid));
+    assert_eq!(mgr.live_tag_count(), 0);
+}
+
+#[test]
+fn sharded_opaque_eq_tagged_conjunction_wakes_on_untracked_mutation() {
+    // Regression (found by review): an opaque conjunction carrying an
+    // Equivalence tag lives in the global shard's eq_index, not its
+    // opaque_list. A mutation touching only untracked state changes no
+    // expression value, so the certificate test must consult the
+    // shard's full opaque count — keying it on opaque_list alone keeps
+    // the global shard certified and strands the waiter (the armed
+    // Def. 4 validator turns the lost wakeup into a panic).
+    use autosynch_predicate::ast::BoolExpr;
+    struct Flagged {
+        x: i64,
+        flag: bool,
+    }
+    let mut exprs = ExprTable::new();
+    let x = exprs.register("x", |s: &Flagged| s.x);
+    let mut mgr: ConditionManager<Flagged> =
+        ConditionManager::new(MonitorConfig::autosynch_shard().validate_relay(true));
+    let stats = MonitorStats::new(false);
+    let pred = x
+        .eq(5)
+        .and(BoolExpr::custom("flag", |s: &Flagged| s.flag))
+        .into_predicate();
+    let pid = mgr.register_waiter(pred, &stats);
+    // x == 5 already, flag false: the relay runs dry and every shard
+    // earns its all_false certificate.
+    let mut state = Flagged { x: 5, flag: false };
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+    // The mutation flips only the untracked flag — no expression value
+    // moves — yet the waiter must be found.
+    state.flag = true;
+    mgr.note_mutation();
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), Some(pid));
+}
+
+#[test]
+fn sharded_cleans_up_indexes_on_deactivation() {
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (a, b) = separated_pair(&handles, &mgr);
+    let pid_a = mgr.register_waiter(a.ne(0).into_predicate(), &stats);
+    let pid_cross = mgr.register_waiter(a.ge(1).and(b.ge(1)).into_predicate(), &stats);
+    assert_eq!(mgr.live_tag_count(), 2);
+    mgr.note_mutation();
+    let mut state = StN::default();
+    state.values[a.id().index()] = 2;
+    state.values[b.id().index()] = 2;
+    let hit1 = mgr.relay_signal(&state, &exprs, &stats).unwrap();
+    let hit2 = mgr.relay_signal(&state, &exprs, &stats).unwrap();
+    let mut signaled = [hit1, hit2];
+    signaled.sort();
+    let mut expected = [pid_a, pid_cross];
+    expected.sort();
+    assert_eq!(signaled, expected);
+    mgr.consume_signal(pid_a, &stats);
+    mgr.consume_signal(pid_cross, &stats);
+    assert_eq!(mgr.live_tag_count(), 0);
+    assert_eq!(mgr.waiting_count(), 0);
+    assert_eq!(mgr.signaled_count(), 0);
+}
+
+#[test]
+fn sharded_futile_wakeup_reactivates_into_the_same_shard() {
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let v = handles[0];
+    let pid = mgr.register_waiter(v.ge(10).into_predicate(), &stats);
+    mgr.note_mutation();
+    let mut state = StN::default();
+    state.values[0] = 10;
+    mgr.relay_signal(&state, &exprs, &stats);
+    // Barged: the predicate is false again when the thread wakes.
+    mgr.note_mutation();
+    state.values[0] = 0;
+    mgr.mark_futile(pid, &stats);
+    assert_eq!(mgr.live_tag_count(), 1);
+    mgr.note_mutation();
+    state.values[0] = 12;
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), Some(pid));
+}
+
+#[test]
+fn sharded_diff_publishes_to_the_ring() {
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let v = handles[0];
+    mgr.register_waiter(v.ge(10).into_predicate(), &stats);
+    let ring = mgr.ring();
+    assert!(ring.read_latest(&stats.counters).is_none(), "no diff yet");
+    let mut state = StN::default();
+    state.values[0] = 7;
+    mgr.note_mutation();
+    mgr.relay_signal(&state, &exprs, &stats);
+    let (epoch, values) = ring
+        .read_latest(&stats.counters)
+        .expect("diff published a snapshot");
+    assert!(epoch >= 1);
+    assert_eq!(values[v.id().index()], Some(7));
+}
+
+#[test]
+fn sharded_single_data_shard_degenerates_to_change_driven() {
+    // shards(1) still has a global shard but every transparent
+    // conjunction routes to data shard 0 — behaviour (not counters)
+    // matches CD.
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard().shards(1));
+    let v = handles[0];
+    let pid = mgr.register_waiter(v.eq(5).into_predicate(), &stats);
+    assert_eq!(mgr.relay_signal(&StN::default(), &exprs, &stats), None);
+    mgr.note_mutation();
+    let mut state = StN::default();
+    state.values[0] = 5;
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), Some(pid));
+}

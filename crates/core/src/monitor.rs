@@ -52,7 +52,7 @@ use autosynch_predicate::predicate::{IntoPredicate, Predicate};
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
 use crate::config::MonitorConfig;
-use crate::manager::ConditionManager;
+use crate::manager::{ConditionManager, SnapshotRing};
 use crate::stats::{MonitorStats, StatsSnapshot};
 
 mod thread_id {
@@ -92,6 +92,10 @@ pub struct Monitor<S> {
     stats: Arc<MonitorStats>,
     config: MonitorConfig,
     owner: AtomicU64,
+    /// The condition manager's lock-free snapshot ring, held outside the
+    /// mutex so [`Monitor::latest_expr_snapshot`] never contends with
+    /// occupants.
+    ring: Arc<SnapshotRing>,
 }
 
 impl<S> std::fmt::Debug for Monitor<S> {
@@ -112,10 +116,12 @@ impl<S> Monitor<S> {
     /// Creates a monitor with an explicit configuration (AutoSynch-T,
     /// timing, ablations).
     pub fn with_config(state: S, config: MonitorConfig) -> Self {
+        let mgr = ConditionManager::new(config);
+        let ring = mgr.ring();
         Monitor {
             inner: Mutex::new(Inner {
                 state,
-                mgr: ConditionManager::new(config),
+                mgr,
                 dirty: false,
                 signaled: false,
             }),
@@ -123,6 +129,7 @@ impl<S> Monitor<S> {
             stats: MonitorStats::new(config.timing_enabled()),
             config,
             owner: AtomicU64::new(0),
+            ring,
         }
     }
 
@@ -228,6 +235,25 @@ impl<S> Monitor<S> {
     pub fn is_quiescent(&self) -> bool {
         let (_, waiting, signaled, tags) = self.manager_counts();
         waiting == 0 && signaled == 0 && tags == 0
+    }
+
+    /// The most recent shared-expression snapshot the change-driven
+    /// diff published, **read without taking the monitor lock**: the
+    /// diff epoch plus one `Option<i64>` per registered expression.
+    /// `Some` values form a *consistent cut* — they were all evaluated
+    /// against the same state under one lock hold; `None` marks
+    /// expressions that diff did not evaluate (no active dependents at
+    /// the time). Returns `None` when no diff has been published (only
+    /// the `Sharded` mode publishes), when the monitor outgrew the
+    /// ring's per-slot capacity, or when a validate-retry read could
+    /// not complete.
+    ///
+    /// The read follows the seqlock protocol of the manager's snapshot
+    /// ring: copy, then validate the slot's sequence; a torn copy is
+    /// detected and retried (counted in the `ring_retries` counter),
+    /// never returned.
+    pub fn latest_expr_snapshot(&self) -> Option<(u64, Vec<Option<i64>>)> {
+        self.ring.read_latest(&self.stats.counters)
     }
 
     /// Diagnostic counts: `(entries, waiting, signaled, live_tags)`.
@@ -665,6 +691,89 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(&*order.lock(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn sharded_mode_behaves_identically() {
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::autosynch_shard().validate_relay(true),
+        ));
+        assert_eq!(m.config().signal_mode(), SignalMode::Sharded);
+        let v = value_expr(&m);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || m2.wait_and(v.ge(2), |s| s.value));
+        thread::sleep(Duration::from_millis(20));
+        m.with(|s| s.value = 2);
+        assert_eq!(waiter.join().unwrap(), 2);
+        assert!(m.is_quiescent());
+        assert_eq!(m.stats_snapshot().counters.broadcasts, 0);
+    }
+
+    #[test]
+    fn sharded_relay_chains_through_multiple_waiters() {
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::autosynch_shard()
+                .shards(3)
+                .validate_relay(true),
+        ));
+        let v = value_expr(&m);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for stage in 1..=3 {
+            let m = Arc::clone(&m);
+            let order = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                m.enter(|g| {
+                    g.wait_until(v.ge(stage));
+                    g.state_mut().value += 1;
+                    order.lock().push(stage); // in-monitor: transit order
+                });
+            }));
+        }
+        thread::sleep(Duration::from_millis(30));
+        m.with(|s| s.value = 1);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(&*order.lock(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn latest_expr_snapshot_reads_without_the_monitor_lock() {
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::autosynch_shard(),
+        ));
+        let v = value_expr(&m);
+        assert_eq!(m.latest_expr_snapshot(), None, "nothing published yet");
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || m2.wait_and(v.ge(5), |_| ()));
+        thread::sleep(Duration::from_millis(20));
+        for k in 1..=4 {
+            m.with(|s| s.value = k);
+        }
+        // The waiter still waits (4 < 5), so `value` has an active
+        // dependent and every diff published it. The ring read holds
+        // the last consistent cut — readable while this thread occupies
+        // the monitor, because it never touches the lock.
+        m.enter(|g| {
+            let _ = g.state();
+            let (epoch, values) = m.latest_expr_snapshot().expect("diffs have been published");
+            assert!(epoch >= 1);
+            assert_eq!(values[v.id().index()], Some(4));
+        });
+        m.with(|s| s.value = 5);
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn tagged_mode_publishes_no_snapshots() {
+        let m = Monitor::new(Counter { value: 3 });
+        let v = value_expr(&m);
+        m.enter(|g| g.wait_until(v.ge(3)));
+        assert_eq!(m.latest_expr_snapshot(), None);
     }
 
     #[test]

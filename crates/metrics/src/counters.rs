@@ -42,6 +42,9 @@ pub struct SyncCounters {
     relay_skips: AtomicU64,
     probes_skipped: AtomicU64,
     unchanged_exprs: AtomicU64,
+    cross_shard_preds: AtomicU64,
+    batched_signals: AtomicU64,
+    ring_retries: AtomicU64,
 }
 
 macro_rules! counter_methods {
@@ -104,6 +107,15 @@ impl SyncCounters {
         /// A snapshot-diff expression evaluation whose value matched the
         /// cached snapshot (no dependents need probing on its account).
         record_unchanged_expr => unchanged_exprs,
+        /// A conjunction whose dependency set spans several shards (or is
+        /// opaque) and therefore routed to the global shard (sharded mode).
+        record_cross_shard_pred => cross_shard_preds,
+        /// A signal issued beyond the first within a single batched relay
+        /// pass (sharded mode with `relay_width > 1`).
+        record_batched_signal => batched_signals,
+        /// A lock-free snapshot-ring read whose seqlock validation failed
+        /// and had to retry (a writer published mid-read).
+        record_ring_retry => ring_retries,
     }
 
     /// Adds `n` predicate evaluations at once.
@@ -131,6 +143,9 @@ impl SyncCounters {
             relay_skips: self.relay_skips.load(Ordering::Relaxed),
             probes_skipped: self.probes_skipped.load(Ordering::Relaxed),
             unchanged_exprs: self.unchanged_exprs.load(Ordering::Relaxed),
+            cross_shard_preds: self.cross_shard_preds.load(Ordering::Relaxed),
+            batched_signals: self.batched_signals.load(Ordering::Relaxed),
+            ring_retries: self.ring_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -153,6 +168,9 @@ impl SyncCounters {
             &self.relay_skips,
             &self.probes_skipped,
             &self.unchanged_exprs,
+            &self.cross_shard_preds,
+            &self.batched_signals,
+            &self.ring_retries,
         ] {
             field.store(0, Ordering::Relaxed);
         }
@@ -179,6 +197,9 @@ pub struct CounterSnapshot {
     pub relay_skips: u64,
     pub probes_skipped: u64,
     pub unchanged_exprs: u64,
+    pub cross_shard_preds: u64,
+    pub batched_signals: u64,
+    pub ring_retries: u64,
 }
 
 impl CounterSnapshot {
@@ -216,6 +237,11 @@ impl CounterSnapshot {
             relay_skips: self.relay_skips.saturating_sub(earlier.relay_skips),
             probes_skipped: self.probes_skipped.saturating_sub(earlier.probes_skipped),
             unchanged_exprs: self.unchanged_exprs.saturating_sub(earlier.unchanged_exprs),
+            cross_shard_preds: self
+                .cross_shard_preds
+                .saturating_sub(earlier.cross_shard_preds),
+            batched_signals: self.batched_signals.saturating_sub(earlier.batched_signals),
+            ring_retries: self.ring_retries.saturating_sub(earlier.ring_retries),
         }
     }
 }
@@ -274,6 +300,9 @@ mod tests {
         c.record_relay_skip();
         c.record_probe_skipped();
         c.record_unchanged_expr();
+        c.record_cross_shard_pred();
+        c.record_batched_signal();
+        c.record_ring_retry();
         let s = c.snapshot();
         assert_eq!(s.enters, 2);
         assert_eq!(s.waits, 1);
@@ -291,6 +320,9 @@ mod tests {
         assert_eq!(s.relay_skips, 1);
         assert_eq!(s.probes_skipped, 1);
         assert_eq!(s.unchanged_exprs, 1);
+        assert_eq!(s.cross_shard_preds, 1);
+        assert_eq!(s.batched_signals, 1);
+        assert_eq!(s.ring_retries, 1);
     }
 
     #[test]

@@ -30,19 +30,24 @@ pub enum Phase {
     /// compute the changed set (change-driven relay only; an extension
     /// column beyond the paper's Table 1).
     SnapshotDiff,
+    /// Routing conjunctions to shards and building the per-relay shard
+    /// plan (sharded mode only; an extension column beyond the paper).
+    ShardRoute,
     /// Everything else spent inside monitor functions.
     Other,
 }
 
 impl Phase {
     /// All phases in Table 1 column order (with the change-driven
-    /// snapshot-diff extension inserted before "others").
-    pub const ALL: [Phase; 6] = [
+    /// snapshot-diff and sharded-routing extensions inserted before
+    /// "others").
+    pub const ALL: [Phase; 7] = [
         Phase::Await,
         Phase::Lock,
         Phase::RelaySignal,
         Phase::TagManager,
         Phase::SnapshotDiff,
+        Phase::ShardRoute,
         Phase::Other,
     ];
 
@@ -54,6 +59,7 @@ impl Phase {
             Phase::RelaySignal => "relaySignal",
             Phase::TagManager => "tagMgr",
             Phase::SnapshotDiff => "snapDiff",
+            Phase::ShardRoute => "shardRoute",
             Phase::Other => "others",
         }
     }
@@ -65,7 +71,8 @@ impl Phase {
             Phase::RelaySignal => 2,
             Phase::TagManager => 3,
             Phase::SnapshotDiff => 4,
-            Phase::Other => 5,
+            Phase::ShardRoute => 5,
+            Phase::Other => 6,
         }
     }
 }
@@ -89,7 +96,7 @@ impl fmt::Display for Phase {
 /// ```
 #[derive(Debug)]
 pub struct PhaseTimes {
-    nanos: [AtomicU64; 6],
+    nanos: [AtomicU64; 7],
     enabled: AtomicBool,
 }
 
@@ -162,7 +169,7 @@ impl PhaseTimes {
 
     /// Captures the accumulated times.
     pub fn snapshot(&self) -> PhaseSnapshot {
-        let mut nanos = [0u64; 6];
+        let mut nanos = [0u64; 7];
         for (slot, atomic) in nanos.iter_mut().zip(&self.nanos) {
             *slot = atomic.load(Ordering::Relaxed);
         }
@@ -208,7 +215,7 @@ impl Drop for PhaseGuard<'_> {
 /// A point-in-time copy of [`PhaseTimes`], renderable as a Table 1 row.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseSnapshot {
-    nanos: [u64; 6],
+    nanos: [u64; 7],
 }
 
 impl PhaseSnapshot {
@@ -239,7 +246,7 @@ impl PhaseSnapshot {
 
     /// Phase-wise difference `self - earlier`, saturating at zero.
     pub fn since(&self, earlier: &PhaseSnapshot) -> PhaseSnapshot {
-        let mut nanos = [0u64; 6];
+        let mut nanos = [0u64; 7];
         for (i, slot) in nanos.iter_mut().enumerate() {
             *slot = self.nanos[i].saturating_sub(earlier.nanos[i]);
         }

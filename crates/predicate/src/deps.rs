@@ -76,6 +76,60 @@ impl ConjDeps {
             .copied()
             .find(|e| changed.get(e.index()).copied().unwrap_or(true))
     }
+
+    /// Routes this conjunction onto one of `shards` disjoint partitions
+    /// of the expression space, or `None` when it cannot be confined to
+    /// a single partition.
+    ///
+    /// The routing is *total* and *deterministic*: it depends only on
+    /// the dependency set and `shards`, never on registration order or
+    /// runtime state. A conjunction lands in shard `s` iff every one of
+    /// its dependencies hashes to `s` under [`expr_shard`]; opaque
+    /// conjunctions (which may read arbitrary state), dependency-free
+    /// conjunctions (constants), and conjunctions whose dependencies
+    /// span several partitions return `None` — the sharded condition
+    /// manager places those in its global shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn route(&self, shards: usize) -> Option<usize> {
+        assert!(shards > 0, "cannot route over zero shards");
+        if self.opaque || self.exprs.is_empty() {
+            return None;
+        }
+        let home = expr_shard(self.exprs[0], shards);
+        self.exprs[1..]
+            .iter()
+            .all(|&e| expr_shard(e, shards) == home)
+            .then_some(home)
+    }
+}
+
+/// The stable routing key of a shared expression: a 64-bit FNV-1a hash
+/// of its id. Expression ids are dense registration indexes, so taking
+/// `id % shards` directly would stripe *adjacent* registrations across
+/// shards — fine for round-robin workloads but systematically adversarial
+/// for monitors that register their expressions in correlated pairs
+/// (`items_i`, `space_i`). Hashing first decorrelates the assignment
+/// from registration order while staying deterministic across runs.
+pub fn expr_key(expr: ExprId) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+    for byte in (expr.index() as u64).to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3); // FNV prime
+    }
+    hash
+}
+
+/// The partition that owns `expr` under a `shards`-way split:
+/// `expr_key(expr) % shards`.
+///
+/// # Panics
+///
+/// Panics when `shards` is zero.
+pub fn expr_shard(expr: ExprId, shards: usize) -> usize {
+    (expr_key(expr) % shards as u64) as usize
 }
 
 /// Computes the dependency set of every conjunction of a DNF, aligned
@@ -160,6 +214,60 @@ mod tests {
         let deps = &conj_deps(&dnf)[0];
         assert!(deps.intersects(&[false, false]));
         assert!(deps.intersects(&[]));
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let (_, x, y) = setup();
+        let dnf = to_dnf(&x.ge(1).and(x.le(9)).or(y.eq(0))).unwrap();
+        for shards in 1..=8 {
+            for deps in &conj_deps(&dnf) {
+                let first = deps.route(shards);
+                assert_eq!(first, deps.route(shards), "route must be deterministic");
+                if let Some(s) = first {
+                    assert!(s < shards, "route {s} out of range for {shards} shards");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_dependency_routes_to_its_expr_shard() {
+        let (_, x, _) = setup();
+        let dnf = to_dnf(&x.ge(1).and(x.le(9))).unwrap();
+        let deps = &conj_deps(&dnf)[0];
+        for shards in 1..=8 {
+            assert_eq!(deps.route(shards), Some(expr_shard(x.id(), shards)));
+        }
+    }
+
+    #[test]
+    fn cross_shard_and_opaque_conjunctions_route_to_none() {
+        let (_, x, y) = setup();
+        // With one shard everything co-locates; find a shard count that
+        // separates x and y to exercise the spanning case.
+        let dnf = to_dnf(&x.ge(1).and(y.eq(2))).unwrap();
+        let deps = &conj_deps(&dnf)[0];
+        assert_eq!(deps.route(1), Some(0), "one shard owns everything");
+        let separating = (2..64).find(|&n| expr_shard(x.id(), n) != expr_shard(y.id(), n));
+        let n = separating.expect("some shard count separates two exprs");
+        assert_eq!(deps.route(n), None, "spanning conjunctions are global");
+        // Opaque and dependency-free conjunctions are always global.
+        let opaque = to_dnf(&BoolExpr::custom("c", |s: &S| s.x > 0)).unwrap();
+        assert_eq!(conj_deps(&opaque)[0].route(4), None);
+    }
+
+    #[test]
+    fn expr_keys_are_stable_and_spread() {
+        let a = ExprId::from_raw(0);
+        assert_eq!(expr_key(a), expr_key(a), "key is a pure function");
+        // Adjacent registrations should not all collide in small shard
+        // counts (decorrelation sanity check, not a strict guarantee).
+        let shards = 4;
+        let assigned: std::collections::HashSet<usize> = (0..16u32)
+            .map(|i| expr_shard(ExprId::from_raw(i), shards))
+            .collect();
+        assert!(assigned.len() > 1, "16 exprs all hashed to one shard");
     }
 
     #[test]

@@ -242,9 +242,10 @@ pub fn make_buffer(mechanism: Mechanism, capacity: usize) -> Arc<dyn BoundedBuff
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitBoundedBuffer::new(capacity)),
         Mechanism::Baseline => Arc::new(BaselineBoundedBuffer::new(capacity)),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
-            Arc::new(AutoSynchBoundedBuffer::new(capacity, mechanism))
-        }
+        Mechanism::AutoSynchT
+        | Mechanism::AutoSynch
+        | Mechanism::AutoSynchCD
+        | Mechanism::AutoSynchShard => Arc::new(AutoSynchBoundedBuffer::new(capacity, mechanism)),
     }
 }
 

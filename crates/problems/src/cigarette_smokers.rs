@@ -229,9 +229,10 @@ pub fn make_table(mechanism: Mechanism) -> Arc<dyn SmokersTable> {
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitTable::new()),
         Mechanism::Baseline => Arc::new(BaselineTable::new()),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
-            Arc::new(AutoSynchTable::new(mechanism))
-        }
+        Mechanism::AutoSynchT
+        | Mechanism::AutoSynch
+        | Mechanism::AutoSynchCD
+        | Mechanism::AutoSynchShard => Arc::new(AutoSynchTable::new(mechanism)),
     }
 }
 

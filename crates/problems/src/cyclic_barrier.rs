@@ -191,9 +191,10 @@ pub fn make_barrier(mechanism: Mechanism, parties: usize) -> Arc<dyn CyclicBarri
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitBarrier::new(parties)),
         Mechanism::Baseline => Arc::new(BaselineBarrier::new(parties)),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
-            Arc::new(AutoSynchBarrier::new(parties, mechanism))
-        }
+        Mechanism::AutoSynchT
+        | Mechanism::AutoSynch
+        | Mechanism::AutoSynchCD
+        | Mechanism::AutoSynchShard => Arc::new(AutoSynchBarrier::new(parties, mechanism)),
     }
 }
 

@@ -208,9 +208,10 @@ pub fn make_table(mechanism: Mechanism, n: usize) -> Arc<dyn DiningTable> {
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitTable::new(n)),
         Mechanism::Baseline => Arc::new(BaselineTable::new(n)),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
-            Arc::new(AutoSynchTable::new(n, mechanism))
-        }
+        Mechanism::AutoSynchT
+        | Mechanism::AutoSynch
+        | Mechanism::AutoSynchCD
+        | Mechanism::AutoSynchShard => Arc::new(AutoSynchTable::new(n, mechanism)),
     }
 }
 

@@ -253,9 +253,10 @@ pub fn make_room(mechanism: Mechanism, forums: usize) -> Arc<dyn ForumRoom> {
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitForumRoom::new(forums)),
         Mechanism::Baseline => Arc::new(BaselineForumRoom::new()),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
-            Arc::new(AutoSynchForumRoom::new(mechanism))
-        }
+        Mechanism::AutoSynchT
+        | Mechanism::AutoSynch
+        | Mechanism::AutoSynchCD
+        | Mechanism::AutoSynchShard => Arc::new(AutoSynchForumRoom::new(mechanism)),
     }
 }
 

@@ -211,9 +211,10 @@ pub fn make_vessel(mechanism: Mechanism) -> Arc<dyn WaterVessel> {
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitVessel::new()),
         Mechanism::Baseline => Arc::new(BaselineVessel::new()),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
-            Arc::new(AutoSynchVessel::new(mechanism))
-        }
+        Mechanism::AutoSynchT
+        | Mechanism::AutoSynch
+        | Mechanism::AutoSynchCD
+        | Mechanism::AutoSynchShard => Arc::new(AutoSynchVessel::new(mechanism)),
     }
 }
 

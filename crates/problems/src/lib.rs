@@ -24,6 +24,12 @@
 //! | [`one_lane_bridge`] | Magee/Kramer one-lane bridge | disjunction with a mixed equivalence ∧ threshold conjunction |
 //! | [`cyclic_barrier`] | cyclic barrier | globalized threshold; explicit **must** `signalAll` |
 //!
+//! A thirteenth workload, [`sharded_queues`] (N independent bounded
+//! queues behind one monitor, disequality predicates), is the showcase
+//! for the dependency-sharded condition manager: its `None`-tagged
+//! waiting conditions give the flat manager nothing to prune, while the
+//! sharded one confines each relay to the single affected shard.
+//!
 //! The Kessels restricted monitor (paper ref \[16\]) additionally runs
 //! the bounded buffer ([`bounded_buffer::run_kessels`]) where its fixed
 //! condition set suffices, and round-robin
@@ -64,6 +70,7 @@ pub mod one_lane_bridge;
 pub mod param_bounded_buffer;
 pub mod readers_writers;
 pub mod round_robin;
+pub mod sharded_queues;
 pub mod sleeping_barber;
 pub mod unisex_bathroom;
 

@@ -16,7 +16,7 @@ use autosynch::stats::StatsSnapshot;
 use autosynch_metrics::ctx::{self, CtxSwitches};
 
 /// The four signaling mechanisms compared in §6.2, plus the
-/// change-driven ablation this reproduction adds.
+/// change-driven and sharded extensions this reproduction adds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mechanism {
     /// Hand-written condition variables with `signal`/`signalAll`.
@@ -32,41 +32,52 @@ pub enum Mechanism {
     /// expression versioning and dependency-indexed probing — an
     /// extension beyond the paper, benchmarked as an ablation.
     AutoSynchCD,
+    /// Sharded change-driven AutoSynch (`autosynch_shard`): the
+    /// condition manager partitioned by dependency footprint, with
+    /// batched relays and a lock-free snapshot ring — the scaling
+    /// extension layered on top of AutoSynch-CD.
+    AutoSynchShard,
 }
 
 impl Mechanism {
-    /// The paper's four mechanisms, in legend order. The change-driven
-    /// extension is deliberately excluded so the Figs. 8–15 comparisons
-    /// stay exactly the paper's.
-    pub const ALL: [Mechanism; 4] = [
-        Mechanism::Explicit,
-        Mechanism::Baseline,
-        Mechanism::AutoSynchT,
-        Mechanism::AutoSynch,
-    ];
-
-    /// The three plotted in Figs. 11–13 (baseline off the chart).
-    pub const WITHOUT_BASELINE: [Mechanism; 3] = [
-        Mechanism::Explicit,
-        Mechanism::AutoSynchT,
-        Mechanism::AutoSynch,
-    ];
-
-    /// The paper's four plus the change-driven ablation, for the
-    /// extension benches and the relay-cost report.
-    pub const WITH_CHANGE_DRIVEN: [Mechanism; 5] = [
+    /// Every mechanism, in legend order: the paper's four followed by
+    /// this reproduction's extensions. Sweeps and cross-mechanism tests
+    /// iterate this — extensions must appear here or they are silently
+    /// skipped. For exactly the paper's legend use [`Mechanism::PAPER`].
+    pub const ALL: [Mechanism; 6] = [
         Mechanism::Explicit,
         Mechanism::Baseline,
         Mechanism::AutoSynchT,
         Mechanism::AutoSynch,
         Mechanism::AutoSynchCD,
+        Mechanism::AutoSynchShard,
+    ];
+
+    /// The paper's four mechanisms, in legend order — the Figs. 8–15
+    /// comparisons exactly as published, extensions excluded.
+    pub const PAPER: [Mechanism; 4] = [
+        Mechanism::Explicit,
+        Mechanism::Baseline,
+        Mechanism::AutoSynchT,
+        Mechanism::AutoSynch,
+    ];
+
+    /// Everything plotted in Figs. 11–13 (baseline off the chart), plus
+    /// the extensions.
+    pub const WITHOUT_BASELINE: [Mechanism; 5] = [
+        Mechanism::Explicit,
+        Mechanism::AutoSynchT,
+        Mechanism::AutoSynch,
+        Mechanism::AutoSynchCD,
+        Mechanism::AutoSynchShard,
     ];
 
     /// The automatic-signal family the runtime implements.
-    pub const AUTOMATIC: [Mechanism; 3] = [
+    pub const AUTOMATIC: [Mechanism; 4] = [
         Mechanism::AutoSynchT,
         Mechanism::AutoSynch,
         Mechanism::AutoSynchCD,
+        Mechanism::AutoSynchShard,
     ];
 
     /// The paper's legend label.
@@ -77,6 +88,7 @@ impl Mechanism {
             Mechanism::AutoSynchT => "AutoSynch-T",
             Mechanism::AutoSynch => "AutoSynch",
             Mechanism::AutoSynchCD => "AutoSynch-CD",
+            Mechanism::AutoSynchShard => "AutoSynch-Shard",
         }
     }
 
@@ -87,6 +99,7 @@ impl Mechanism {
             Mechanism::AutoSynch => Some(MonitorConfig::default()),
             Mechanism::AutoSynchT => Some(MonitorConfig::autosynch_t()),
             Mechanism::AutoSynchCD => Some(MonitorConfig::autosynch_cd()),
+            Mechanism::AutoSynchShard => Some(MonitorConfig::autosynch_shard()),
             Mechanism::Explicit | Mechanism::Baseline => None,
         }
     }
@@ -179,7 +192,22 @@ mod tests {
         let mut labels: Vec<_> = Mechanism::ALL.iter().map(|m| m.label()).collect();
         labels.sort_unstable();
         labels.dedup();
-        assert_eq!(labels.len(), 4);
+        assert_eq!(labels.len(), Mechanism::ALL.len());
+    }
+
+    #[test]
+    fn all_includes_every_extension() {
+        // The regression this guards: sweeps iterating ALL must not
+        // silently skip the extension mechanisms.
+        assert!(Mechanism::ALL.contains(&Mechanism::AutoSynchCD));
+        assert!(Mechanism::ALL.contains(&Mechanism::AutoSynchShard));
+        assert!(Mechanism::WITHOUT_BASELINE.contains(&Mechanism::AutoSynchCD));
+        assert!(Mechanism::WITHOUT_BASELINE.contains(&Mechanism::AutoSynchShard));
+        assert!(!Mechanism::WITHOUT_BASELINE.contains(&Mechanism::Baseline));
+        assert_eq!(Mechanism::PAPER.len(), 4, "the paper's legend is fixed");
+        assert!(Mechanism::AUTOMATIC
+            .iter()
+            .all(|m| m.monitor_config().is_some()));
     }
 
     #[test]
@@ -195,6 +223,13 @@ mod tests {
                 .unwrap()
                 .signal_mode(),
             SignalMode::Untagged
+        );
+        assert_eq!(
+            Mechanism::AutoSynchShard
+                .monitor_config()
+                .unwrap()
+                .signal_mode(),
+            SignalMode::Sharded
         );
         assert!(Mechanism::Explicit.monitor_config().is_none());
         assert!(Mechanism::Baseline.monitor_config().is_none());

@@ -287,9 +287,10 @@ pub fn make_bridge(mechanism: Mechanism, capacity: i64) -> Arc<dyn Bridge> {
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitBridge::new(capacity)),
         Mechanism::Baseline => Arc::new(BaselineBridge::new(capacity)),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
-            Arc::new(AutoSynchBridge::new(capacity, mechanism))
-        }
+        Mechanism::AutoSynchT
+        | Mechanism::AutoSynch
+        | Mechanism::AutoSynchCD
+        | Mechanism::AutoSynchShard => Arc::new(AutoSynchBridge::new(capacity, mechanism)),
     }
 }
 

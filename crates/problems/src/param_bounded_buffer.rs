@@ -194,9 +194,10 @@ pub fn make_buffer(mechanism: Mechanism, capacity: usize) -> Arc<dyn ParamBounde
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitParamBuffer::new(capacity)),
         Mechanism::Baseline => Arc::new(BaselineParamBuffer::new(capacity)),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
-            Arc::new(AutoSynchParamBuffer::new(capacity, mechanism))
-        }
+        Mechanism::AutoSynchT
+        | Mechanism::AutoSynch
+        | Mechanism::AutoSynchCD
+        | Mechanism::AutoSynchShard => Arc::new(AutoSynchParamBuffer::new(capacity, mechanism)),
     }
 }
 

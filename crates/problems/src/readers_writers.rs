@@ -301,9 +301,10 @@ pub fn make_rw(mechanism: Mechanism, threads: usize) -> Arc<dyn ReadersWriters> 
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitRw::new(threads)),
         Mechanism::Baseline => Arc::new(BaselineRw::new()),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
-            Arc::new(AutoSynchRw::new(mechanism))
-        }
+        Mechanism::AutoSynchT
+        | Mechanism::AutoSynch
+        | Mechanism::AutoSynchCD
+        | Mechanism::AutoSynchShard => Arc::new(AutoSynchRw::new(mechanism)),
     }
 }
 

@@ -247,9 +247,10 @@ pub fn make_ring(mechanism: Mechanism, n: usize) -> Arc<dyn RoundRobin> {
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitRoundRobin::new(n)),
         Mechanism::Baseline => Arc::new(BaselineRoundRobin::new(n)),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
-            Arc::new(AutoSynchRoundRobin::new(n, mechanism))
-        }
+        Mechanism::AutoSynchT
+        | Mechanism::AutoSynch
+        | Mechanism::AutoSynchCD
+        | Mechanism::AutoSynchShard => Arc::new(AutoSynchRoundRobin::new(n, mechanism)),
     }
 }
 

@@ -263,9 +263,10 @@ pub fn make_shop(mechanism: Mechanism) -> Arc<dyn BarberShop> {
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitBarberShop::new()),
         Mechanism::Baseline => Arc::new(BaselineBarberShop::new()),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
-            Arc::new(AutoSynchBarberShop::new(mechanism))
-        }
+        Mechanism::AutoSynchT
+        | Mechanism::AutoSynch
+        | Mechanism::AutoSynchCD
+        | Mechanism::AutoSynchShard => Arc::new(AutoSynchBarberShop::new(mechanism)),
     }
 }
 

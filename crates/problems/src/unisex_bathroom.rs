@@ -278,9 +278,10 @@ pub fn make_bathroom(mechanism: Mechanism, capacity: i64) -> Arc<dyn Bathroom> {
     match mechanism {
         Mechanism::Explicit => Arc::new(ExplicitBathroom::new(capacity)),
         Mechanism::Baseline => Arc::new(BaselineBathroom::new(capacity)),
-        Mechanism::AutoSynchT | Mechanism::AutoSynch | Mechanism::AutoSynchCD => {
-            Arc::new(AutoSynchBathroom::new(capacity, mechanism))
-        }
+        Mechanism::AutoSynchT
+        | Mechanism::AutoSynch
+        | Mechanism::AutoSynchCD
+        | Mechanism::AutoSynchShard => Arc::new(AutoSynchBathroom::new(capacity, mechanism)),
     }
 }
 

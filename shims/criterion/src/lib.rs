@@ -33,11 +33,15 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("group {name}");
+        // Groups inherit the driver's defaults; `sample_size` /
+        // `measurement_time` on the group override them per-group.
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
         BenchmarkGroup {
             _criterion: self,
             name,
-            sample_size: 10,
-            measurement_time: Duration::from_secs(3),
+            sample_size,
+            measurement_time,
         }
     }
 }

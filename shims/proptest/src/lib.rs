@@ -579,7 +579,7 @@ mod tests {
     fn recursive_strategies_terminate() {
         #[derive(Debug, Clone)]
         enum Tree {
-            Leaf(i64),
+            Leaf(#[allow(dead_code)] i64),
             Node(Vec<Tree>),
         }
         let strat = (0i64..10)
@@ -616,7 +616,7 @@ mod tests {
     proptest! {
         #[test]
         fn macro_without_config_defaults(v in 1usize..=3) {
-            prop_assert!(v >= 1 && v <= 3);
+            prop_assert!((1..=3).contains(&v));
         }
     }
 }

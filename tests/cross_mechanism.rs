@@ -10,10 +10,13 @@ use autosynch_repro::problems::{
 };
 
 fn all_reports(run: impl Fn(Mechanism) -> autosynch_repro::problems::RunReport) {
-    for mechanism in Mechanism::WITH_CHANGE_DRIVEN {
+    for mechanism in Mechanism::ALL {
         let report = run(mechanism);
         match mechanism {
-            Mechanism::AutoSynch | Mechanism::AutoSynchT | Mechanism::AutoSynchCD => {
+            Mechanism::AutoSynch
+            | Mechanism::AutoSynchT
+            | Mechanism::AutoSynchCD
+            | Mechanism::AutoSynchShard => {
                 assert_eq!(
                     report.stats.counters.broadcasts, 0,
                     "{mechanism} must never signalAll"
