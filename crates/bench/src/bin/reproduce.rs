@@ -92,6 +92,12 @@ const EXPERIMENTS: &[Experiment] = &[
         run: figures::relay_cost,
     },
     Experiment {
+        id: "park",
+        title: "Extension — signaler-lock hold time: parked vs sharded vs change-driven",
+        expectation: "AutoSynch-Park: lower hold time (waiters self-check via the ring); emits BENCH_park.json",
+        run: figures::park_hold,
+    },
+    Experiment {
         id: "extshardq",
         title: "Extension — sharded queues: N independent queues, one monitor (runtime, seconds)",
         expectation: "disequality (None-tag) predicates; sharding confines each relay to one shard",

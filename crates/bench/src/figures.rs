@@ -374,6 +374,106 @@ pub fn relay_cost() -> Table {
     table
 }
 
+/// Extension: signaler-lock hold time, parked vs sharded vs
+/// change-driven, on the three workloads where shrinking the signaler's
+/// critical section matters most (Fig. 11 round robin, Fig. 14
+/// parameterized buffer, and the many-queue showcase). Timing is
+/// enabled, so the `hold` stat records the in-lock duration of every
+/// relay; the parked column should undercut the sharded one because a
+/// parked relay neither probes indexes nor evaluates waiters'
+/// predicates — the waiters self-check against the snapshot ring
+/// (`waiter_self_checks` / `false_wakeups`). The series is written to
+/// `BENCH_park.json` for the perf trajectory.
+pub fn park_hold() -> Table {
+    let mut table = Table::with_columns(&[
+        "workload",
+        "mechanism",
+        "elapsed(s)",
+        "hold(ms)",
+        "hold/relay(ns)",
+        "self_checks",
+        "false_wakeups",
+        "futile",
+        "unparks",
+        "named_muts",
+        "pred_evals",
+    ]);
+    let mechanisms = [
+        Mechanism::AutoSynchCD,
+        Mechanism::AutoSynchShard,
+        Mechanism::AutoSynchPark,
+    ];
+    let consumers = if sweep::full_scale() { 64 } else { 16 };
+    let rr_threads = if sweep::full_scale() { 64 } else { 16 };
+    let rr_config = RoundRobinConfig {
+        threads: rr_threads,
+        rounds: sweep::ops_per_thread(rr_threads),
+    };
+    let queues_config = shard_queues_config(consumers / 2);
+    let mut entries = String::new();
+    let mut record = |workload: &str, report: &RunReport| {
+        let c = report.stats.counters;
+        let hold = report.stats.hold;
+        table.row(vec![
+            workload.to_owned(),
+            report.mechanism.label().to_owned(),
+            secs(report.elapsed),
+            format!("{:.2}", hold.nanos as f64 / 1e6),
+            format!("{:.0}", hold.mean_nanos()),
+            c.waiter_self_checks.to_string(),
+            c.false_wakeups.to_string(),
+            c.futile_wakeups.to_string(),
+            c.unparks.to_string(),
+            c.named_mutations.to_string(),
+            c.pred_evals.to_string(),
+        ]);
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"workload\": \"{workload}\", \"mechanism\": \"{}\", \
+             \"elapsed_s\": {:.6}, \"hold_ns\": {}, \"relay_calls\": {}, \
+             \"hold_per_relay_ns\": {:.1}, \"waiter_self_checks\": {}, \
+             \"false_wakeups\": {}, \"futile_wakeups\": {}, \"unparks\": {}, \
+             \"named_mutations\": {}, \"pred_evals\": {}, \"expr_evals\": {}, \
+             \"wakeups\": {}, \"broadcasts\": {}}}",
+            report.mechanism.label(),
+            report.elapsed.as_secs_f64(),
+            hold.nanos,
+            c.relay_calls,
+            hold.mean_nanos(),
+            c.waiter_self_checks,
+            c.false_wakeups,
+            c.futile_wakeups,
+            c.unparks,
+            c.named_mutations,
+            c.pred_evals,
+            c.expr_evals,
+            c.wakeups,
+            c.broadcasts,
+        ));
+    };
+    for mechanism in mechanisms {
+        let report = param_bounded_buffer::run_timed(mechanism, fig14_config(consumers));
+        record("fig14_param_bounded_buffer", &report);
+    }
+    for mechanism in mechanisms {
+        let report = round_robin::run_timed(mechanism, rr_config);
+        record("fig11_round_robin", &report);
+    }
+    for mechanism in mechanisms {
+        let report = sharded_queues::run_timed(mechanism, queues_config);
+        record("ext_sharded_queues", &report);
+    }
+    let json = format!("{{\n  \"benchmarks\": [\n{entries}\n  ]\n}}\n");
+    let path = "BENCH_park.json";
+    match std::fs::write(path, json) {
+        Ok(()) => println!("   [park hold-time series written to {path}]"),
+        Err(err) => eprintln!("   [failed to write {path}: {err}]"),
+    }
+    table
+}
+
 fn shard_queues_config(queues: usize) -> ShardedQueuesConfig {
     let queues = queues.max(2);
     ShardedQueuesConfig {

@@ -30,6 +30,20 @@ pub enum SignalMode {
     /// batched pass may signal up to `relay_width` waiters from
     /// independent shards.
     Sharded,
+    /// Waiter-parked AutoSynch (`autosynch_park`, an extension beyond
+    /// the paper): the predicate work leaves the signaler's critical
+    /// path entirely. Waiters park themselves on per-shard wait queues
+    /// (one queue + lock per dependency shard, cross-shard/opaque
+    /// conjunctions on a global queue); a signaler's exit only diffs
+    /// the expression snapshot, publishes the new epoch into the
+    /// lock-free ring, and unparks the queues of affected shards.
+    /// Unparked waiters re-check their own predicate against the ring
+    /// snapshot **without any lock** and re-park when it is still
+    /// false; only a maybe-true verdict takes the shard lock to leave
+    /// the queue and the monitor lock to confirm-and-claim (the
+    /// monitor-lock confirm is also the fallback for opaque
+    /// conjunctions the snapshot cannot decide).
+    Parked,
 }
 
 /// Which data structure backs the threshold-tag index.
@@ -108,6 +122,14 @@ impl MonitorConfig {
     /// [`MonitorConfig::shards`].
     pub fn autosynch_shard() -> Self {
         Self::new().mode(SignalMode::Sharded)
+    }
+
+    /// Shorthand for the waiter-parking extension: per-shard wait
+    /// queues and locks with ring-driven self-service re-checks (see
+    /// [`SignalMode::Parked`]). The dependency partition is tuned with
+    /// [`MonitorConfig::shards`], exactly as in the sharded mode.
+    pub fn autosynch_park() -> Self {
+        Self::new().mode(SignalMode::Parked)
     }
 
     /// Sets the signaling mode.
@@ -299,6 +321,18 @@ mod tests {
         assert_eq!(c.shards(3).shard_count(), 3);
         // Everything else matches the paper defaults so comparisons
         // against the tagged/CD modes isolate the sharding machinery.
+        assert_eq!(c.inactive_capacity(), 64);
+        assert!(c.relays_on_clean_exit());
+        assert_eq!(c.relay_width_value(), 1);
+    }
+
+    #[test]
+    fn autosynch_park_shorthand() {
+        let c = MonitorConfig::autosynch_park();
+        assert_eq!(c.signal_mode(), SignalMode::Parked);
+        assert_eq!(c.shard_count(), 8, "shares the sharded partition knob");
+        // Everything else matches the paper defaults so comparisons
+        // against the sharded mode isolate the parking subsystem.
         assert_eq!(c.inactive_capacity(), 64);
         assert!(c.relays_on_clean_exit());
         assert_eq!(c.relay_width_value(), 1);

@@ -37,6 +37,7 @@
 //! | AutoSynch (full) | [`Monitor`] with defaults |
 //! | AutoSynch-CD (tags + expression versioning) | [`Monitor`] with [`config::MonitorConfig::autosynch_cd`] |
 //! | AutoSynch-Shard (CD + dependency-sharded manager) | [`Monitor`] with [`config::MonitorConfig::autosynch_shard`] |
+//! | AutoSynch-Park (waiter-side parking + self-service re-checks) | [`Monitor`] with [`config::MonitorConfig::autosynch_park`] |
 //!
 //! AutoSynch-CD is this reproduction's extension beyond the paper: the
 //! condition manager snapshots shared-expression values, diffs them at
@@ -47,8 +48,15 @@
 //! shards a mutation can have affected, batches up to `relay_width`
 //! signals from independent shards per exit, and publishes each diff
 //! into a lock-free snapshot ring readable without the monitor lock
-//! ([`Monitor::latest_expr_snapshot`]). See `DESIGN.md` for both
-//! soundness arguments.
+//! ([`Monitor::latest_expr_snapshot`]). AutoSynch-Park completes the
+//! progression: per-shard wait queues and locks where waiters park
+//! themselves; a signaler's exit only publishes the diff epoch and
+//! unparks the affected queues (after releasing the lock), and each
+//! waiter re-checks its own predicate against the ring — predicate
+//! work leaves the signaler's critical section entirely. The
+//! occupancy-scoped [`Monitor::enter_mutating`] contract additionally
+//! names the touched expressions so diffs evaluate only those. See
+//! `DESIGN.md` for all three soundness arguments.
 //!
 //! A fifth monitor, [`kessels::KesselsMonitor`], implements the
 //! *restricted* automatic-signal design of Kessels (CACM 1977, the
@@ -101,6 +109,7 @@ pub mod indexed_heap;
 pub mod kessels;
 pub mod manager;
 pub mod monitor;
+pub(crate) mod parking;
 pub mod slab;
 pub mod stats;
 pub mod threshold_index;
@@ -110,7 +119,7 @@ pub use config::{MonitorConfig, SignalMode, ThresholdIndexKind};
 pub use explicit::{CondId, ExplicitMonitor};
 pub use kessels::{KesselsCond, KesselsMonitor};
 pub use monitor::{Monitor, MonitorGuard};
-pub use stats::{MonitorStats, StatsSnapshot};
+pub use stats::{HoldSnapshot, HoldTimes, MonitorStats, StatsSnapshot};
 
 // Re-export the predicate vocabulary so `use autosynch::*` users can
 // build conditions without naming the analysis crate.

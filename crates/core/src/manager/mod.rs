@@ -38,6 +38,7 @@ mod snapshot_ring;
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 use autosynch_metrics::phase::Phase;
 use autosynch_predicate::expr::{ExprId, ExprTable};
@@ -48,6 +49,7 @@ use parking_lot::Condvar;
 
 use crate::config::{MonitorConfig, SignalMode};
 use crate::eq_index::PredId;
+use crate::parking::ParkingLot;
 use crate::slab::Slab;
 use crate::stats::MonitorStats;
 
@@ -113,20 +115,42 @@ pub(crate) struct ConditionManager<S> {
     /// The state was mutated since the last snapshot diff (fed by
     /// [`ConditionManager::note_mutation`]).
     state_dirty: bool,
+    /// All mutations since the last diff came through the named API and
+    /// touched only the expressions in `named` — the diff may carry the
+    /// rest forward as unchanged. Cleared by any blanket mutation.
+    named_only: bool,
+    /// The union of named-mutation expression sets since the last diff.
+    named: Vec<ExprId>,
+    /// Scratch bitmap over `named`, rebuilt per named diff.
+    named_scratch: Vec<bool>,
+    /// Scratch bitmap: gates a parked relay must wake.
+    gate_scratch: Vec<bool>,
+    /// Gates whose wake this relay announced but has not delivered:
+    /// the monitor drains this right before releasing the lock and
+    /// performs the unparks outside the critical section.
+    pending_wake_gates: Vec<u32>,
     /// Lock-free publication of the diff snapshot.
     ring: Arc<SnapshotRing>,
+    /// Per-shard gates: wait queues + shard locks (`Parked` mode parks
+    /// waiters here; `Sharded` mode takes the same locks around its
+    /// index probes). Empty in the other modes.
+    parking: Arc<ParkingLot>,
 }
 
 impl<S> ConditionManager<S> {
     pub(crate) fn new(config: MonitorConfig) -> Self {
         let data_shards = match config.signal_mode() {
-            SignalMode::Sharded => config.shard_count(),
+            SignalMode::Sharded | SignalMode::Parked => config.shard_count(),
             _ => 1,
         };
         let router = ShardRouter::new(data_shards);
         let shard_slots = match config.signal_mode() {
-            SignalMode::Sharded => router.shard_count(),
+            SignalMode::Sharded | SignalMode::Parked => router.shard_count(),
             _ => 1,
+        };
+        let gates = match config.signal_mode() {
+            SignalMode::Sharded | SignalMode::Parked => router.shard_count(),
+            _ => 0,
         };
         ConditionManager {
             entries: Slab::new(),
@@ -147,7 +171,13 @@ impl<S> ConditionManager<S> {
             publish_scratch: Vec::new(),
             expr_scratch: Vec::new(),
             state_dirty: true,
+            named_only: false,
+            named: Vec::new(),
+            named_scratch: Vec::new(),
+            gate_scratch: Vec::new(),
+            pending_wake_gates: Vec::new(),
             ring: Arc::new(SnapshotRing::new()),
+            parking: Arc::new(ParkingLot::new(gates)),
         }
     }
 
@@ -158,11 +188,55 @@ impl<S> ConditionManager<S> {
     /// wakeups. The monitor runtime calls it from `state_mut`.
     pub(crate) fn note_mutation(&mut self) {
         self.state_dirty = true;
+        // A blanket mutation poisons any named-only window: the next
+        // diff must evaluate every live dependency.
+        self.named_only = false;
+        self.named.clear();
+    }
+
+    /// Records a mutation whose writes, by the caller's contract
+    /// (`Monitor::enter_mutating`), can only have changed the named
+    /// expressions. The next snapshot diff evaluates the intersection
+    /// of `touched` with the live dependency set and carries every
+    /// other contiguous slot forward as unchanged.
+    pub(crate) fn note_mutation_named(&mut self, touched: &[ExprId]) {
+        if self.state_dirty && !self.named_only {
+            return; // already inside a blanket window: stay blanket
+        }
+        if !self.state_dirty {
+            self.state_dirty = true;
+            self.named_only = true;
+            self.named.clear();
+        }
+        for &expr in touched {
+            if !self.named.contains(&expr) {
+                self.named.push(expr);
+            }
+        }
     }
 
     /// The lock-free snapshot ring this manager publishes diffs into.
     pub(crate) fn ring(&self) -> Arc<SnapshotRing> {
         Arc::clone(&self.ring)
+    }
+
+    /// The per-shard parking gates (queues + locks).
+    pub(crate) fn parking(&self) -> Arc<ParkingLot> {
+        Arc::clone(&self.parking)
+    }
+
+    /// The gate a `Parked`-mode waiter of `pid` enqueues on: the data
+    /// gate owning the predicate's whole dependency footprint when every
+    /// conjunction routes there, else the global gate (woken on every
+    /// mutation — the conservative home of cross-shard and opaque
+    /// predicates).
+    pub(crate) fn park_gate(&self, pid: PredId) -> usize {
+        debug_assert_eq!(self.config.signal_mode(), SignalMode::Parked);
+        match self.entries[pid].routes.as_slice() {
+            [] => self.router.global(),
+            [first, rest @ ..] if rest.iter().all(|r| r == first) => *first as usize,
+            _ => self.router.global(),
+        }
     }
 
     /// Interns a predicate: returns the existing entry for a
@@ -316,9 +390,29 @@ impl<S> ConditionManager<S> {
         stats: &MonitorStats,
     ) -> Option<PredId> {
         stats.counters.record_relay_call();
+        // The signaler-lock hold-time stat: everything a relay does
+        // happens under the monitor lock on behalf of other threads, so
+        // its duration is the signaling share of the critical section.
+        let hold_start = stats.phases.is_enabled().then(Instant::now);
+        let result = self.relay_dispatch(state, exprs, stats);
+        if let Some(start) = hold_start {
+            stats.hold.record(start.elapsed());
+        }
+        result
+    }
+
+    fn relay_dispatch(
+        &mut self,
+        state: &S,
+        exprs: &ExprTable<S>,
+        stats: &MonitorStats,
+    ) -> Option<PredId> {
         let mode = self.config.signal_mode();
         if mode == SignalMode::Sharded {
             return self.relay_sharded(state, exprs, stats);
+        }
+        if mode == SignalMode::Parked {
+            return self.relay_parked(state, exprs, stats);
         }
         // Change-driven: refresh the changed-expression bitmap once per
         // relay call; when the state is unmutated and every active
@@ -373,7 +467,7 @@ impl<S> ConditionManager<S> {
                         expr_scratch,
                     )
                 }
-                SignalMode::Sharded => unreachable!("dispatched above"),
+                SignalMode::Sharded | SignalMode::Parked => unreachable!("dispatched above"),
             };
             timer.finish();
             let Some(pid) = found else {
@@ -438,8 +532,15 @@ impl<S> ConditionManager<S> {
                         epoch,
                         changed,
                         expr_scratch,
+                        parking,
                         ..
                     } = self;
+                    // The partition proves disjointness (re-derived by
+                    // the route validator), so this shard's lock covers
+                    // the index access — the same lock a Parked-mode
+                    // waiter takes to claim, making the two regimes
+                    // share one per-shard locking discipline.
+                    let _shard_lock = parking.probe_guard(sid);
                     let shard = &mut shards[sid];
                     let probe_all = shard.probe_all;
                     let mut cache = ValueCache {
@@ -503,6 +604,103 @@ impl<S> ConditionManager<S> {
         first
     }
 
+    /// The parked relay: the signaler's whole exit path. No index is
+    /// probed and no waiter predicate is evaluated — the relay (1)
+    /// diffs the expression snapshot and publishes the new epoch into
+    /// the lock-free ring, then (2) unparks the wait queues of the
+    /// affected gates: every data gate owning a changed expression,
+    /// and the global gate on any mutation (its waiters — cross-shard,
+    /// opaque, disjunctions spanning shards — may depend on anything).
+    /// Unparked waiters re-check their own predicates against the ring
+    /// and come claim the monitor themselves.
+    ///
+    /// Soundness of the skip and of the per-gate wake filter: a
+    /// predicate can only flip false→true via a state mutation; an
+    /// unmutated exit publishes nothing and wakes no one. After a
+    /// mutation, a data-gate waiter's conjunctions depend only on
+    /// expressions its shard owns (routing confinement, re-proved by
+    /// the validator), and the diff's epoch-contiguity rule reports any
+    /// gap as changed — so "no owned expression changed" implies no
+    /// waiter behind that gate can have flipped.
+    fn relay_parked(
+        &mut self,
+        state: &S,
+        exprs: &ExprTable<S>,
+        stats: &MonitorStats,
+    ) -> Option<PredId> {
+        if !self.state_dirty {
+            stats.counters.record_relay_skip();
+            if self.config.validates_relay() {
+                self.check_parking_protocol(state, exprs);
+            }
+            return None;
+        }
+        self.diff_snapshot(state, exprs, stats);
+        self.state_dirty = false;
+        let timer = stats.phases.start(Phase::RelaySignal);
+        let gates = self.parking.gate_count();
+        self.gate_scratch.clear();
+        self.gate_scratch.resize(gates, false);
+        for (idx, &was_changed) in self.changed.iter().enumerate() {
+            if was_changed {
+                let sid = self.router.shard_of_expr(ExprId::from_raw(idx as u32));
+                self.gate_scratch[sid] = true;
+            }
+        }
+        // Any mutation can have flipped a global-gate predicate.
+        self.gate_scratch[self.router.global()] = true;
+        // Announce, don't deliver: the per-slot token handoffs happen
+        // after the monitor lock is released (the whole point of the
+        // parked mode is that they never extend the critical section).
+        // Empty gates are skipped via the lock-free length mirror.
+        for gate in 0..gates {
+            if self.gate_scratch[gate] && self.parking.has_waiters(gate) {
+                self.parking.announce_wake(gate);
+                self.pending_wake_gates.push(gate as u32);
+            }
+        }
+        timer.finish();
+        if self.config.validates_relay() {
+            self.check_parking_protocol(state, exprs);
+        }
+        None
+    }
+
+    /// Moves the relay's announced-but-undelivered wakes into `out`
+    /// (cleared first) and returns the epoch to stamp them with. The
+    /// monitor calls this right before releasing the lock and delivers
+    /// each wake outside the critical section.
+    pub(crate) fn drain_pending_wakes(&mut self, out: &mut Vec<u32>) -> u64 {
+        out.clear();
+        out.append(&mut self.pending_wake_gates);
+        self.epoch
+    }
+
+    /// Ground-truth check of the parking protocol (armed by
+    /// `validate_relay`): re-derives every live route like the sharded
+    /// checker, then audits the no-lost-wakeup invariant — after a
+    /// relay, every *enqueued* waiter whose predicate is currently true
+    /// must hold a pending unpark token or be awake (an awake waiter
+    /// re-checks before parking, and a claimed/dequeued one is already
+    /// on its way to the monitor lock). A parked, tokenless waiter with
+    /// a true predicate is a lost wakeup.
+    fn check_parking_protocol(&self, state: &S, exprs: &ExprTable<S>) {
+        self.check_shard_routing();
+        for (pid, entry) in self.entries.iter() {
+            if entry.waiting == 0 || !entry.pred.eval(state, exprs) {
+                continue;
+            }
+            if let Some(gate) = self.parking.uncovered(pid) {
+                panic!(
+                    "parking protocol violated: predicate {} (entry {pid:?}, \
+                     {} waiting) is true but a waiter parked in gate {gate} \
+                     holds no unpark token",
+                    entry.pred, entry.waiting
+                );
+            }
+        }
+    }
+
     /// Prepares a sharded relay: diffs the snapshot when the state was
     /// mutated and maps the changed set onto the shard flags, or decides
     /// the whole relay can be skipped (returns `true`).
@@ -546,13 +744,38 @@ impl<S> ConditionManager<S> {
             self.value_cache.resize(exprs.len(), None);
             self.slot_epoch.resize(exprs.len(), 0);
         }
+        // A named-only window lets the diff skip every dependency the
+        // caller's contract guarantees untouched: the cached value is
+        // carried forward into this epoch as unchanged. Carrying
+        // forward still requires slot contiguity — across a gap the
+        // cached value may predate mutations the contract says nothing
+        // about, so gapped slots are re-evaluated regardless.
+        let named_only = self.named_only && !self.named.is_empty();
+        if named_only {
+            self.named_scratch.clear();
+            self.named_scratch.resize(exprs.len(), false);
+            for expr in &self.named {
+                if expr.index() < exprs.len() {
+                    self.named_scratch[expr.index()] = true;
+                }
+            }
+        }
         for &expr in self.dep_refs.keys() {
             let idx = expr.index();
-            stats.counters.record_expr_eval();
-            let fresh = exprs.eval(expr, state);
             // "Unchanged" is only meaningful against the immediately
             // preceding diff; a slot with a gap is treated as changed.
             let contiguous = self.slot_epoch[idx] + 1 == self.epoch;
+            if named_only
+                && contiguous
+                && !self.named_scratch[idx]
+                && self.value_cache[idx].is_some()
+            {
+                stats.counters.record_unchanged_expr();
+                self.slot_epoch[idx] = self.epoch;
+                continue;
+            }
+            stats.counters.record_expr_eval();
+            let fresh = exprs.eval(expr, state);
             if contiguous && self.value_cache[idx] == Some(fresh) {
                 stats.counters.record_unchanged_expr();
             } else {
@@ -561,13 +784,21 @@ impl<S> ConditionManager<S> {
             }
             self.slot_epoch[idx] = self.epoch;
         }
-        // Publish only the values this diff evaluated: a snapshot is a
-        // consistent cut of the state under one lock hold, never a mix
-        // of epochs (expressions with no active dependents are `None`).
-        // Sharded mode only — plain change-driven monitors have no ring
-        // readers, and the staging + atomic stores would tax their diff
-        // hot path for nothing (BENCH tracks CD's snapDiff trajectory).
-        if self.config.signal_mode() == SignalMode::Sharded {
+        self.named_only = false;
+        self.named.clear();
+        // Publish only the values this diff evaluated (or carried
+        // forward into this epoch under a named-mutation contract): a
+        // snapshot is a consistent cut of the state under one lock
+        // hold, never a mix of epochs (expressions with no active
+        // dependents are `None`). Sharded and Parked modes only — plain
+        // change-driven monitors have no ring readers, and the staging
+        // + atomic stores would tax their diff hot path for nothing
+        // (BENCH tracks CD's snapDiff trajectory). Parked waiters rely
+        // on the publish: their self-checks read the ring.
+        if matches!(
+            self.config.signal_mode(),
+            SignalMode::Sharded | SignalMode::Parked
+        ) {
             self.publish_scratch.clear();
             self.publish_scratch.extend(
                 self.value_cache
@@ -790,6 +1021,27 @@ impl<S> ConditionManager<S> {
                     }
                 }
             }
+            SignalMode::Parked => {
+                // No index to maintain: parked waiters re-check their
+                // own predicates, so activation only records routes
+                // (for gate placement and the validator) and dependency
+                // references (so the diff evaluates the right
+                // expressions and the wake filter covers this waiter's
+                // gate).
+                let deps_per_conj = entry.pred.conj_deps();
+                entry.routes.clear();
+                for deps in deps_per_conj {
+                    let sid = self.router.route(deps);
+                    entry.routes.push(sid as u32);
+                    stats.counters.record_tag_insert();
+                    if sid == self.router.global() {
+                        stats.counters.record_cross_shard_pred();
+                    }
+                    for &expr in deps.exprs() {
+                        *self.dep_refs.entry(expr).or_insert(0) += 1;
+                    }
+                }
+            }
             SignalMode::Sharded => {
                 let deps_per_conj = entry.pred.conj_deps();
                 entry.routes.clear();
@@ -864,6 +1116,21 @@ impl<S> ConditionManager<S> {
                                 shard.none_list.iter().position(|&e| e == (pid, conj))
                             {
                                 shard.none_list.swap_remove(pos);
+                            }
+                        }
+                    }
+                }
+            }
+            SignalMode::Parked => {
+                let deps_per_conj = entry.pred.conj_deps();
+                debug_assert_eq!(entry.routes.len(), deps_per_conj.len());
+                for deps in deps_per_conj {
+                    stats.counters.record_tag_remove();
+                    for &expr in deps.exprs() {
+                        if let Some(count) = self.dep_refs.get_mut(&expr) {
+                            *count -= 1;
+                            if *count == 0 {
+                                self.dep_refs.remove(&expr);
                             }
                         }
                     }

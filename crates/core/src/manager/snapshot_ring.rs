@@ -151,9 +151,25 @@ impl SnapshotRing {
     /// the reader. Validation retries are counted in
     /// `counters.ring_retries`.
     pub(crate) fn read_latest(&self, counters: &SyncCounters) -> Option<(u64, Vec<Option<i64>>)> {
+        let mut values = Vec::new();
+        self.read_latest_into(counters, &mut values)
+            .map(|epoch| (epoch, values))
+    }
+
+    /// Allocation-free variant of [`SnapshotRing::read_latest`]: copies
+    /// the latest snapshot into `values` (cleared first, capacity
+    /// reused) and returns its epoch. Parked-mode waiters call this in
+    /// their re-check loop, so steady-state self-checks allocate
+    /// nothing.
+    pub(crate) fn read_latest_into(
+        &self,
+        counters: &SyncCounters,
+        values: &mut Vec<Option<i64>>,
+    ) -> Option<u64> {
         // With SLOTS slots a retry needs the writer to lap the ring
         // mid-copy; a handful of attempts is plenty.
         for _ in 0..64 {
+            values.clear();
             let head = self.head.load(Ordering::Acquire);
             if head == EMPTY {
                 return None;
@@ -169,7 +185,7 @@ impl SnapshotRing {
             let epoch = slot.epoch.load(Ordering::Relaxed);
             let len = slot.len.load(Ordering::Relaxed);
             let overflow = slot.overflow.load(Ordering::Relaxed);
-            let mut values = Vec::with_capacity(len.min(slot.values.len()));
+            values.reserve(len.min(slot.values.len()));
             for idx in 0..len.min(slot.values.len()) {
                 values.push(if slot.present[idx].load(Ordering::Relaxed) {
                     Some(slot.values[idx].load(Ordering::Relaxed))
@@ -189,7 +205,7 @@ impl SnapshotRing {
             if overflow {
                 return None;
             }
-            return Some((epoch, values));
+            return Some(epoch);
         }
         None
     }

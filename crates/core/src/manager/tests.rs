@@ -779,3 +779,175 @@ fn sharded_single_data_shard_degenerates_to_change_driven() {
     state.values[0] = 5;
     assert_eq!(mgr.relay_signal(&state, &exprs, &stats), Some(pid));
 }
+
+// --- parked mode -------------------------------------------------------
+
+#[test]
+fn parked_routes_confined_and_spanning_predicates_to_their_gates() {
+    let (_, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_park());
+    let (a, b) = separated_pair(&handles, &mgr);
+    let confined = mgr.register_waiter(a.ge(10).into_predicate(), &stats);
+    assert_eq!(
+        mgr.park_gate(confined),
+        mgr.router.shard_of_expr(a.id()),
+        "a confined predicate parks on its dependency's data gate"
+    );
+    let spanning = mgr.register_waiter(a.ge(1).and(b.ge(1)).into_predicate(), &stats);
+    assert_eq!(mgr.park_gate(spanning), mgr.router.global());
+    let opaque = mgr.register_waiter(Predicate::custom("c", |s: &StN| s.values[2] > 0), &stats);
+    assert_eq!(mgr.park_gate(opaque), mgr.router.global());
+    assert_eq!(
+        stats.counters.snapshot().cross_shard_preds,
+        2,
+        "spanning and opaque conjunctions count as cross-shard"
+    );
+}
+
+#[test]
+fn parked_relay_announces_wakes_for_affected_gates_only() {
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_park());
+    let (a, b) = separated_pair(&handles, &mgr);
+    let pid_a = mgr.register_waiter(a.ge(10).into_predicate(), &stats);
+    let pid_b = mgr.register_waiter(b.ge(10).into_predicate(), &stats);
+    let parking = mgr.parking();
+    let slot_a = Arc::new(crate::parking::ParkSlot::new());
+    let slot_b = Arc::new(crate::parking::ParkSlot::new());
+    parking.enqueue(mgr.park_gate(pid_a), Arc::clone(&slot_a), pid_a);
+    parking.enqueue(mgr.park_gate(pid_b), Arc::clone(&slot_b), pid_b);
+    // Establish the baseline diff (first diff reports all deps changed).
+    mgr.note_mutation();
+    let state = StN::default();
+    assert_eq!(mgr.relay_signal(&state, &exprs, &stats), None);
+    let mut wakes = Vec::new();
+    mgr.drain_pending_wakes(&mut wakes);
+    for &gate in &wakes {
+        parking.deliver_wake(gate as usize, 1, &stats.counters);
+    }
+    let _ = slot_a.park(Some(std::time::Instant::now())); // drain any token
+    let _ = slot_b.park(Some(std::time::Instant::now()));
+    // Mutate only a's expression: the follow-up relay must announce a
+    // wake for a's gate (and the always-woken global gate — empty, so
+    // skipped) but not for b's.
+    let before = stats.counters.snapshot();
+    let mut state = StN::default();
+    state.values[a.id().index()] = 3;
+    mgr.note_mutation();
+    assert_eq!(
+        mgr.relay_signal(&state, &exprs, &stats),
+        None,
+        "a parked relay never picks a winner"
+    );
+    let epoch = mgr.drain_pending_wakes(&mut wakes);
+    assert_eq!(wakes, vec![mgr.park_gate(pid_a) as u32]);
+    for &gate in &wakes {
+        parking.deliver_wake(gate as usize, epoch, &stats.counters);
+    }
+    assert_eq!(
+        slot_a.park(None),
+        crate::parking::ParkOutcome::Woken { epoch },
+        "the affected gate's waiter is unparked"
+    );
+    assert_eq!(
+        slot_b.park(Some(std::time::Instant::now())),
+        crate::parking::ParkOutcome::TimedOut,
+        "the unaffected gate's waiter sleeps on"
+    );
+    let diff = stats.counters.snapshot().since(&before);
+    assert_eq!(diff.unparks, 1);
+    assert_eq!(diff.pred_evals, 0, "the signaler evaluated no predicate");
+}
+
+#[test]
+fn parked_unmutated_relay_skips_and_wakes_no_one() {
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_park());
+    mgr.register_waiter(handles[0].ge(10).into_predicate(), &stats);
+    mgr.note_mutation();
+    let state = StN::default();
+    mgr.relay_signal(&state, &exprs, &stats);
+    let mut wakes = Vec::new();
+    mgr.drain_pending_wakes(&mut wakes);
+    let before = stats.counters.snapshot();
+    mgr.relay_signal(&state, &exprs, &stats);
+    mgr.drain_pending_wakes(&mut wakes);
+    assert!(wakes.is_empty());
+    let diff = stats.counters.snapshot().since(&before);
+    assert_eq!(diff.relay_skips, 1);
+    assert_eq!(diff.expr_evals, 0);
+}
+
+#[test]
+#[should_panic(expected = "parking protocol violated")]
+fn parked_validator_catches_a_lost_wakeup() {
+    // Forge the bug the validator exists for: a waiter parked on the
+    // WRONG gate. The relay wakes only the gates its diff says are
+    // affected, so the mis-parked waiter sleeps through a mutation
+    // that made its predicate true — and the armed validator must
+    // catch it at that very relay. (The parked helper thread is
+    // intentionally leaked; the panic is the test's success.)
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_park());
+    let (a, b) = separated_pair(&handles, &mgr);
+    let pid = mgr.register_waiter(a.ge(10).into_predicate(), &stats);
+    let wrong_gate = mgr.router.shard_of_expr(b.id());
+    let parking = mgr.parking();
+    let slot = Arc::new(crate::parking::ParkSlot::new());
+    parking.enqueue(wrong_gate, Arc::clone(&slot), pid);
+    let parked = Arc::clone(&slot);
+    std::thread::spawn(move || {
+        let _ = parked.park(None);
+    });
+    // Wait until the helper is actually parked (bare, no token).
+    while slot.covered() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let mut state = StN::default();
+    state.values[a.id().index()] = 10;
+    mgr.note_mutation();
+    mgr.relay_signal(&state, &exprs, &stats); // must panic
+}
+
+// --- named mutations ---------------------------------------------------
+
+#[test]
+fn named_mutation_diff_evaluates_only_the_touched_expressions() {
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (a, b) = separated_pair(&handles, &mgr);
+    mgr.register_waiter(a.ge(10).into_predicate(), &stats);
+    mgr.register_waiter(b.ge(10).into_predicate(), &stats);
+    // Baseline blanket diff evaluates both dependencies.
+    mgr.note_mutation();
+    let state = StN::default();
+    mgr.relay_signal(&state, &exprs, &stats);
+    let before = stats.counters.snapshot();
+    // A named mutation touching only `a` carries `b` forward.
+    mgr.note_mutation_named(&[a.id()]);
+    mgr.relay_signal(&state, &exprs, &stats);
+    let diff = stats.counters.snapshot().since(&before);
+    assert_eq!(diff.expr_evals, 1, "only the named dependency is evaluated");
+    assert!(
+        diff.unchanged_exprs >= 1,
+        "the other slot is carried forward"
+    );
+    // The carried-forward value still publishes into the ring as part
+    // of the new epoch's consistent cut.
+    let (_, values) = mgr.ring().read_latest(&stats.counters).expect("published");
+    assert_eq!(values[b.id().index()], Some(0));
+}
+
+#[test]
+fn blanket_mutation_poisons_a_named_window() {
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (a, b) = separated_pair(&handles, &mgr);
+    mgr.register_waiter(a.ge(10).into_predicate(), &stats);
+    mgr.register_waiter(b.ge(10).into_predicate(), &stats);
+    mgr.note_mutation();
+    let state = StN::default();
+    mgr.relay_signal(&state, &exprs, &stats);
+    let before = stats.counters.snapshot();
+    // Named then blanket within one window: the diff must evaluate
+    // everything (the blanket write may have touched any expression).
+    mgr.note_mutation_named(&[a.id()]);
+    mgr.note_mutation();
+    mgr.relay_signal(&state, &exprs, &stats);
+    let diff = stats.counters.snapshot().since(&before);
+    assert_eq!(diff.expr_evals, 2, "the blanket mutation re-evaluates all");
+}

@@ -47,12 +47,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use autosynch_metrics::phase::Phase;
-use autosynch_predicate::expr::{ExprHandle, ExprTable};
+use autosynch_predicate::expr::{ExprHandle, ExprId, ExprTable};
 use autosynch_predicate::predicate::{IntoPredicate, Predicate};
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
-use crate::config::MonitorConfig;
+use crate::config::{MonitorConfig, SignalMode};
 use crate::manager::{ConditionManager, SnapshotRing};
+use crate::parking::{snapshot_verdict, ParkOutcome, ParkSlot, ParkingLot, Verdict};
 use crate::stats::{MonitorStats, StatsSnapshot};
 
 mod thread_id {
@@ -96,6 +97,10 @@ pub struct Monitor<S> {
     /// mutex so [`Monitor::latest_expr_snapshot`] never contends with
     /// occupants.
     ring: Arc<SnapshotRing>,
+    /// The waiter-parking gates (per-shard wait queues + locks), held
+    /// outside the mutex: `Parked`-mode waiters park, re-check and
+    /// claim without touching the monitor lock.
+    parking: Arc<ParkingLot>,
 }
 
 impl<S> std::fmt::Debug for Monitor<S> {
@@ -118,6 +123,7 @@ impl<S> Monitor<S> {
     pub fn with_config(state: S, config: MonitorConfig) -> Self {
         let mgr = ConditionManager::new(config);
         let ring = mgr.ring();
+        let parking = mgr.parking();
         Monitor {
             inner: Mutex::new(Inner {
                 state,
@@ -130,6 +136,7 @@ impl<S> Monitor<S> {
             config,
             owner: AtomicU64::new(0),
             ring,
+            parking,
         }
     }
 
@@ -142,6 +149,13 @@ impl<S> Monitor<S> {
         f: impl Fn(&S) -> i64 + Send + Sync + 'static,
     ) -> ExprHandle<S> {
         self.exprs.write().register(name, f)
+    }
+
+    /// Finds a previously registered shared expression by name —
+    /// `enter_mutating` callers use this to name touched expressions
+    /// without threading handles around.
+    pub fn lookup_expr(&self, name: &str) -> Option<ExprHandle<S>> {
+        self.exprs.read().lookup(name)
     }
 
     /// Returns the handle registered under `name`, registering `f` if
@@ -173,6 +187,37 @@ impl<S> Monitor<S> {
     /// Panics when called re-entrantly from the same thread: the monitor
     /// lock is not reentrant, and recursing would deadlock.
     pub fn enter<R>(&self, f: impl FnOnce(&mut MonitorGuard<'_, S>) -> R) -> R {
+        self.enter_inner(None, f)
+    }
+
+    /// Like [`Monitor::enter`], with a **named-mutation contract**: the
+    /// caller promises that every `state_mut` write inside this
+    /// occupancy can only change the values of the `touched` shared
+    /// expressions. The change-driven snapshot diff then evaluates only
+    /// those (intersected with the live dependency set) and carries
+    /// every other expression forward as unchanged — shrinking the
+    /// signaler's critical section in the `ChangeDriven`, `Sharded`
+    /// and `Parked` modes, and narrowing the parked wake filter to
+    /// exactly the affected gates. The other modes accept the contract
+    /// and ignore it.
+    ///
+    /// Breaking the promise (mutating state an unnamed expression
+    /// reads) can lose wakeups; the `validate_relay` checker catches
+    /// such violations in tests, exactly as it catches index bugs.
+    pub fn enter_mutating<R>(
+        &self,
+        touched: &[ExprId],
+        f: impl FnOnce(&mut MonitorGuard<'_, S>) -> R,
+    ) -> R {
+        self.stats.counters.record_named_mutation();
+        self.enter_inner(Some(touched), f)
+    }
+
+    fn enter_inner<R>(
+        &self,
+        named: Option<&[ExprId]>,
+        f: impl FnOnce(&mut MonitorGuard<'_, S>) -> R,
+    ) -> R {
         let me = thread_id::current();
         assert_ne!(
             self.owner.load(Ordering::Relaxed),
@@ -189,6 +234,7 @@ impl<S> Monitor<S> {
         let mut guard = MonitorGuard {
             monitor: self,
             inner: Some(inner),
+            named,
         };
         let result = f(&mut guard);
         drop(guard);
@@ -244,9 +290,10 @@ impl<S> Monitor<S> {
     /// against the same state under one lock hold; `None` marks
     /// expressions that diff did not evaluate (no active dependents at
     /// the time). Returns `None` when no diff has been published (only
-    /// the `Sharded` mode publishes), when the monitor outgrew the
-    /// ring's per-slot capacity, or when a validate-retry read could
-    /// not complete.
+    /// the `Sharded` and `Parked` modes publish), when the monitor
+    /// outgrew the ring's per-slot capacity, or when a validate-retry
+    /// read could not complete. `Parked`-mode waiters run their
+    /// lock-free self-checks against exactly this read.
     ///
     /// The read follows the seqlock protocol of the manager's snapshot
     /// ring: copy, then validate the slot's sequence; a torn copy is
@@ -254,6 +301,25 @@ impl<S> Monitor<S> {
     /// never returned.
     pub fn latest_expr_snapshot(&self) -> Option<(u64, Vec<Option<i64>>)> {
         self.ring.read_latest(&self.stats.counters)
+    }
+
+    /// Number of waiters currently enqueued on the per-shard parking
+    /// gates (`Parked` mode; always 0 in the other modes). Takes only
+    /// the gate locks, never the monitor lock — usable by observers
+    /// while the monitor is occupied.
+    pub fn parked_waiters(&self) -> usize {
+        self.parking.queued_total()
+    }
+
+    /// Delivers previously announced parked-mode gate wakes, stamped
+    /// with the publishing epoch. Must be called **after** the monitor
+    /// lock is released — the announce (under the lock) / deliver
+    /// (after it) pairing is the parked protocol's contract.
+    fn deliver_wakes(&self, gates: &[u32], epoch: u64) {
+        for &gate in gates {
+            self.parking
+                .deliver_wake(gate as usize, epoch, &self.stats.counters);
+        }
     }
 
     /// Diagnostic counts: `(entries, waiting, signaled, live_tags)`.
@@ -275,6 +341,10 @@ impl<S> Monitor<S> {
 pub struct MonitorGuard<'a, S> {
     monitor: &'a Monitor<S>,
     inner: Option<MutexGuard<'a, Inner<S>>>,
+    /// The named-mutation contract of this occupancy, when entered via
+    /// [`Monitor::enter_mutating`] (borrowed — naming expressions costs
+    /// no allocation per entry).
+    named: Option<&'a [ExprId]>,
 }
 
 impl<S> std::fmt::Debug for MonitorGuard<'_, S> {
@@ -304,9 +374,13 @@ impl<S> MonitorGuard<'_, S> {
     /// change-driven mode, whose relay re-diffs the expression snapshot
     /// only after a mutation.
     pub fn state_mut(&mut self) -> &mut S {
-        let inner = self.inner_mut();
+        let named = self.named;
+        let inner = self.inner.as_mut().expect("monitor guard already released");
         inner.dirty = true;
-        inner.mgr.note_mutation();
+        match named {
+            Some(touched) => inner.mgr.note_mutation_named(touched),
+            None => inner.mgr.note_mutation(),
+        }
         &mut inner.state
     }
 
@@ -354,6 +428,10 @@ impl<S> MonitorGuard<'_, S> {
 
         stats.counters.record_wait();
         let pid = self.inner_mut().mgr.register_waiter(pred, &stats);
+
+        if monitor.config.signal_mode() == SignalMode::Parked {
+            return self.wait_parked(pid, deadline, &stats);
+        }
 
         loop {
             // "condMgr.relaySignal(); wait C" — pass the baton, then block.
@@ -429,6 +507,145 @@ impl<S> MonitorGuard<'_, S> {
         }
     }
 
+    /// The `Parked`-mode wait: instead of blocking on a per-entry
+    /// condition variable under the monitor mutex, the waiter enqueues
+    /// on its shard's gate, parks on a private token, and services its
+    /// own wakeups — re-checking its predicate against the lock-free
+    /// snapshot ring and re-parking, without any lock, while the
+    /// snapshot rules the predicate out. Only a maybe-true verdict
+    /// takes the shard lock (leave the queue) and the monitor lock
+    /// (confirm-and-claim); that confirm is also the fallback for
+    /// predicates the snapshot cannot decide (opaque/global-gate).
+    ///
+    /// Invariants: the waiter stays enqueued for the whole park/re-check
+    /// loop (a publish during a re-check re-arms the sticky token, so
+    /// the loop cannot sleep through it), and enqueue/re-enqueue happen
+    /// under the monitor lock, serializing with every publish-and-wake.
+    fn wait_parked(
+        &mut self,
+        pid: crate::eq_index::PredId,
+        deadline: Option<Instant>,
+        stats: &Arc<MonitorStats>,
+    ) -> bool {
+        let monitor = self.monitor;
+        let (parking, pred, gate) = {
+            let inner = self.inner();
+            (
+                inner.mgr.parking(),
+                inner.mgr.entry_pred(pid).clone(),
+                inner.mgr.park_gate(pid),
+            )
+        };
+        let slot = Arc::new(ParkSlot::new());
+        let mut ticket = parking.enqueue(gate, Arc::clone(&slot), pid);
+        let mut wake_buf: Vec<u32> = Vec::new();
+        let mut snap_buf: Vec<Option<i64>> = Vec::new();
+
+        // Loop invariant at the top: the monitor lock is held and the
+        // waiter is enqueued on its gate.
+        loop {
+            // Pass the baton before blocking (§4.2's relay-on-wait): in
+            // parked mode this publishes any mutations of this
+            // occupancy and announces wakes for the affected gates.
+            let wake_epoch = {
+                let exprs = monitor.exprs.read();
+                let guard = self.inner.as_mut().expect("guard released");
+                let Inner {
+                    state,
+                    mgr,
+                    signaled,
+                    ..
+                } = &mut **guard;
+                mgr.relay_signal(state, &exprs, stats);
+                *signaled = false;
+                mgr.drain_pending_wakes(&mut wake_buf)
+            };
+            monitor.owner.store(0, Ordering::Relaxed);
+            drop(self.inner.take());
+            // Deliver the announced unparks outside the critical
+            // section (possibly including a self-unpark when this
+            // waiter's own mutations touched its own gate — one cheap
+            // extra self-check).
+            monitor.deliver_wakes(&wake_buf, wake_epoch);
+
+            // Park + self-service re-checks, no monitor lock held.
+            let mut timed_out = false;
+            loop {
+                let await_timer = stats.phases.start(Phase::Await);
+                let outcome = slot.park(deadline);
+                await_timer.finish();
+                match outcome {
+                    ParkOutcome::TimedOut => {
+                        timed_out = true;
+                        break;
+                    }
+                    ParkOutcome::Woken { .. } => {
+                        stats.counters.record_wakeup();
+                        let recheck_timer = stats.phases.start(Phase::ParkRecheck);
+                        stats.counters.record_waiter_self_check();
+                        let snap_epoch = monitor
+                            .ring
+                            .read_latest_into(&stats.counters, &mut snap_buf);
+                        let verdict = snapshot_verdict(&pred, snap_epoch, &snap_buf);
+                        recheck_timer.finish();
+                        match verdict {
+                            Verdict::False { epoch } => {
+                                // Still false at the newest published
+                                // cut: back to sleep without touching
+                                // any lock. A newer publish re-armed
+                                // the token and re-runs this check.
+                                stats.counters.record_false_wakeup();
+                                slot.observed(epoch);
+                            }
+                            Verdict::MayHold => break,
+                        }
+                    }
+                }
+            }
+
+            // Claim: leave the queue under the shard's lock, then
+            // confirm against the live state under the monitor lock.
+            parking.dequeue(ticket);
+            let lock_timer = stats.phases.start(Phase::Lock);
+            self.inner = Some(monitor.inner.lock());
+            lock_timer.finish();
+            monitor.owner.store(thread_id::current(), Ordering::Relaxed);
+
+            let holds = {
+                let exprs = monitor.exprs.read();
+                let inner = self.inner();
+                stats.counters.record_pred_eval();
+                inner.mgr.entry_pred(pid).eval(&inner.state, &exprs)
+            };
+            if holds {
+                let inner = self.inner_mut();
+                inner.mgr.consume_signal(pid, stats);
+                inner.dirty = false;
+                inner.signaled = false;
+                return true;
+            }
+
+            if timed_out {
+                stats.counters.record_timeout();
+                let inner = self.inner_mut();
+                let _ = inner.mgr.on_timeout(pid, stats);
+                inner.dirty = false;
+                return false;
+            }
+
+            // Futile claim: another claimer barged in and falsified the
+            // condition first. Re-enqueue under the monitor lock
+            // (publishers cannot miss us) and go around.
+            stats.counters.record_futile_wakeup();
+            {
+                let inner = self.inner_mut();
+                inner.mgr.mark_futile(pid, stats);
+                inner.dirty = false;
+            }
+            ticket = parking.enqueue(gate, Arc::clone(&slot), pid);
+        }
+    }
+
     fn exit(&mut self) {
         let Some(mut inner) = self.inner.take() else {
             return;
@@ -442,8 +659,29 @@ impl<S> MonitorGuard<'_, S> {
             let Inner { state, mgr, .. } = &mut *inner;
             mgr.relay_signal(state, &exprs, &self.monitor.stats);
         }
+        // Parked mode: the relay only announced its wakes; perform the
+        // unparks after the lock is released so the token handoffs
+        // never extend the signaler's critical section. The drained
+        // gate list lives in a thread-local scratch buffer, so
+        // steady-state exits allocate nothing.
+        thread_local! {
+            static WAKE_SCRATCH: std::cell::RefCell<Vec<u32>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        let mut wake_epoch = 0;
+        let has_wakes = self.monitor.config.signal_mode() == SignalMode::Parked
+            && WAKE_SCRATCH.with(|buf| {
+                let mut wakes = buf.borrow_mut();
+                wake_epoch = inner.mgr.drain_pending_wakes(&mut wakes);
+                !wakes.is_empty()
+            });
         self.monitor.owner.store(0, Ordering::Relaxed);
         drop(inner);
+        if has_wakes {
+            WAKE_SCRATCH.with(|buf| {
+                self.monitor.deliver_wakes(&buf.borrow(), wake_epoch);
+            });
+        }
     }
 }
 
@@ -738,6 +976,207 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(&*order.lock(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn parked_mode_behaves_identically() {
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::autosynch_park().validate_relay(true),
+        ));
+        assert_eq!(m.config().signal_mode(), SignalMode::Parked);
+        let v = value_expr(&m);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || m2.wait_and(v.ge(2), |s| s.value));
+        thread::sleep(Duration::from_millis(20));
+        m.with(|s| s.value = 2);
+        assert_eq!(waiter.join().unwrap(), 2);
+        assert!(m.is_quiescent());
+        let snap = m.stats_snapshot();
+        assert_eq!(snap.counters.broadcasts, 0);
+        assert!(
+            snap.counters.waiter_self_checks >= 1,
+            "the parked waiter must have re-checked itself"
+        );
+        assert!(snap.counters.unparks >= 1);
+        assert_eq!(m.parked_waiters(), 0, "claimed waiters leave the gates");
+    }
+
+    #[test]
+    fn parked_relay_chains_through_multiple_waiters() {
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::autosynch_park()
+                .shards(3)
+                .validate_relay(true),
+        ));
+        let v = value_expr(&m);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for stage in 1..=3 {
+            let m = Arc::clone(&m);
+            let order = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                m.enter(|g| {
+                    g.wait_until(v.ge(stage));
+                    g.state_mut().value += 1;
+                    order.lock().push(stage); // in-monitor: transit order
+                });
+            }));
+        }
+        thread::sleep(Duration::from_millis(30));
+        m.with(|s| s.value = 1);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(&*order.lock(), &[1, 2, 3]);
+        assert!(m.is_quiescent());
+    }
+
+    #[test]
+    fn parked_false_wakeups_stay_lock_free() {
+        // Two waiters on disjoint predicates over one expression: every
+        // publish wakes both gates' queues, but the waiter whose
+        // predicate the snapshot rules out re-parks without the lock —
+        // visible as false_wakeups without futile_wakeups.
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::autosynch_park().validate_relay(true),
+        ));
+        let v = value_expr(&m);
+        let m2 = Arc::clone(&m);
+        let far = thread::spawn(move || m2.wait_and(v.ge(100), |_| ()));
+        let m3 = Arc::clone(&m);
+        let near = thread::spawn(move || m3.wait_and(v.ge(3), |_| ()));
+        thread::sleep(Duration::from_millis(30));
+        for k in 1..=3 {
+            m.with(|s| s.value = k);
+        }
+        near.join().unwrap();
+        let snap = m.stats_snapshot();
+        assert!(
+            snap.counters.false_wakeups >= 1,
+            "the far waiter's self-checks must have ruled its predicate out \
+             ({} false wakeups)",
+            snap.counters.false_wakeups
+        );
+        m.with(|s| s.value = 100);
+        far.join().unwrap();
+        assert!(m.is_quiescent());
+    }
+
+    #[test]
+    fn parked_timeout_expires_and_cleans_up() {
+        let m = Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::autosynch_park().validate_relay(true),
+        );
+        let v = value_expr(&m);
+        let start = Instant::now();
+        let ok = m.enter(|g| g.wait_until_timeout(v.ge(10), Duration::from_millis(50)));
+        assert!(!ok);
+        assert!(start.elapsed() >= Duration::from_millis(45));
+        assert_eq!(m.stats_snapshot().counters.timeouts, 1);
+        assert!(m.is_quiescent());
+        assert_eq!(m.parked_waiters(), 0);
+    }
+
+    #[test]
+    fn parked_timeout_succeeds_when_satisfied_in_time() {
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::autosynch_park(),
+        ));
+        let v = value_expr(&m);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || {
+            m2.enter(|g| g.wait_until_timeout(v.ge(1), Duration::from_secs(5)))
+        });
+        thread::sleep(Duration::from_millis(20));
+        m.with(|s| s.value = 1);
+        assert!(waiter.join().unwrap());
+        assert!(m.is_quiescent());
+    }
+
+    #[test]
+    fn parked_closure_predicates_fall_back_to_the_monitor_lock() {
+        // Opaque predicates route to the global gate and their
+        // self-checks cannot decide — every wake confirms under the
+        // monitor lock, which must still be correct (just less cheap).
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::autosynch_park().validate_relay(true),
+        ));
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || {
+            m2.enter(|g| g.wait_until(|s: &Counter| s.value % 7 == 0 && s.value > 0));
+        });
+        thread::sleep(Duration::from_millis(20));
+        m.with(|s| s.value = 14);
+        waiter.join().unwrap();
+        assert!(m.is_quiescent());
+    }
+
+    #[test]
+    fn enter_mutating_narrows_the_diff() {
+        struct Pair {
+            x: i64,
+            y: i64,
+        }
+        let m = Arc::new(Monitor::with_config(
+            Pair { x: 0, y: 0 },
+            MonitorConfig::autosynch_shard().validate_relay(true),
+        ));
+        let x = m.register_expr("x", |s: &Pair| s.x);
+        let y = m.register_expr("y", |s: &Pair| s.y);
+        assert_eq!(m.lookup_expr("y"), Some(y));
+        // Two pinned waiters keep both expressions in the dependency
+        // set; x's waiter is released at the end.
+        let m2 = Arc::clone(&m);
+        let wx = thread::spawn(move || m2.wait_and(x.ge(5), |_| ()));
+        let m3 = Arc::clone(&m);
+        let wy = thread::spawn(move || m3.wait_and(y.ge(5), |_| ()));
+        thread::sleep(Duration::from_millis(30));
+        let before = m.stats_snapshot().counters;
+        // Named mutations promise only x changes: the diff must skip y.
+        for _ in 0..10 {
+            m.enter_mutating(&[x.id()], |g| {
+                g.state_mut().x += 0; // mutated but value unchanged
+            });
+        }
+        let diff = m.stats_snapshot().counters.since(&before);
+        assert_eq!(diff.named_mutations, 10);
+        assert!(
+            diff.expr_evals <= 12,
+            "named diffs must evaluate only x (+slack for waiter \
+             registration races), got {} expr evals",
+            diff.expr_evals
+        );
+        m.enter_mutating(&[x.id()], |g| g.state_mut().x = 5);
+        wx.join().unwrap();
+        m.with(|s| s.y = 5);
+        wy.join().unwrap();
+        assert!(m.is_quiescent());
+    }
+
+    #[test]
+    fn enter_mutating_wakes_parked_waiters() {
+        struct Pair {
+            x: i64,
+            y: i64,
+        }
+        let m = Arc::new(Monitor::with_config(
+            Pair { x: 0, y: 0 },
+            MonitorConfig::autosynch_park().validate_relay(true),
+        ));
+        let x = m.register_expr("x", |s: &Pair| s.x);
+        let _y = m.register_expr("y", |s: &Pair| s.y);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || m2.wait_and(x.ge(1), |s| s.x));
+        thread::sleep(Duration::from_millis(20));
+        m.enter_mutating(&[x.id()], |g| g.state_mut().x = 1);
+        assert_eq!(waiter.join().unwrap(), 1);
+        assert!(m.is_quiescent());
     }
 
     #[test]

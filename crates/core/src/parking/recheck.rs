@@ -1,0 +1,94 @@
+//! Waiter-side predicate re-evaluation against ring snapshots.
+//!
+//! The verdict an unparked waiter computes before deciding whether to
+//! take any lock at all. A published snapshot is a consistent cut (all
+//! `Some` values evaluated under one monitor-lock hold), so a decidable
+//! `false` means: at the moment of the newest publish, the predicate
+//! did not hold. Sleeping on that verdict is safe because any *later*
+//! mutation publishes a newer epoch and re-unparks the still-enqueued
+//! waiter — the parking protocol's no-lost-wakeup invariant.
+//!
+//! Anything the snapshot cannot decide — opaque (closure) literals, an
+//! expression the diff has never evaluated, an unreadable or overflowed
+//! ring — conservatively escalates to [`Verdict::MayHold`], sending the
+//! waiter through the shard-lock claim and monitor-lock confirm path.
+
+use autosynch_predicate::predicate::Predicate;
+
+/// The outcome of a lock-free self-check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// The snapshot of `epoch` decides the predicate false: re-park
+    /// without touching any lock.
+    False {
+        /// The epoch whose consistent cut ruled the predicate out.
+        epoch: u64,
+    },
+    /// The snapshot says true — or cannot decide: claim and confirm
+    /// under the monitor lock.
+    MayHold,
+}
+
+/// Evaluates `pred` against the latest published snapshot: `epoch` and
+/// `values` come from a ring read (`values` is only meaningful when
+/// `epoch` is `Some`).
+pub(crate) fn snapshot_verdict<S>(
+    pred: &Predicate<S>,
+    epoch: Option<u64>,
+    values: &[Option<i64>],
+) -> Verdict {
+    match epoch {
+        Some(epoch) => match pred.eval_snapshot(values) {
+            Some(false) => Verdict::False { epoch },
+            Some(true) | None => Verdict::MayHold,
+        },
+        None => Verdict::MayHold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosynch_predicate::expr::ExprTable;
+    use autosynch_predicate::predicate::Predicate;
+
+    struct S {
+        x: i64,
+    }
+
+    fn pred_ge(key: i64) -> Predicate<S> {
+        let mut table = ExprTable::new();
+        let x = table.register("x", |s: &S| s.x);
+        Predicate::try_from_expr(x.ge(key)).unwrap()
+    }
+
+    #[test]
+    fn decidable_false_names_the_epoch() {
+        let verdict = snapshot_verdict(&pred_ge(5), Some(9), &[Some(3)]);
+        assert_eq!(verdict, Verdict::False { epoch: 9 });
+    }
+
+    #[test]
+    fn decidable_true_escalates_to_may_hold() {
+        let verdict = snapshot_verdict(&pred_ge(5), Some(9), &[Some(7)]);
+        assert_eq!(verdict, Verdict::MayHold);
+    }
+
+    #[test]
+    fn missing_values_and_missing_snapshots_escalate() {
+        assert_eq!(
+            snapshot_verdict(&pred_ge(5), Some(1), &[None]),
+            Verdict::MayHold
+        );
+        assert_eq!(snapshot_verdict(&pred_ge(5), None, &[]), Verdict::MayHold);
+    }
+
+    #[test]
+    fn opaque_predicates_always_escalate() {
+        let pred = Predicate::<S>::custom("odd", |s| s.x % 2 == 1);
+        assert_eq!(
+            snapshot_verdict(&pred, Some(1), &[Some(2)]),
+            Verdict::MayHold
+        );
+    }
+}

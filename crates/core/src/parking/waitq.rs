@@ -1,0 +1,229 @@
+//! The per-shard wait queue: an intrusive doubly-linked list over a
+//! slab of nodes.
+//!
+//! Waiters enqueue in FIFO order and are woken in that order, but —
+//! unlike a condvar queue — a wake does **not** dequeue: the waiter
+//! stays linked until it *claims* (dequeues itself under the shard
+//! lock on a maybe-true re-check) or cancels (timeout). Staying linked
+//! is what makes the re-check loop lost-wakeup-free: every publish
+//! finds the still-waiting waiter in the queue and re-arms its park
+//! token.
+//!
+//! Nodes live in a free-listed slab so steady-state enqueue/dequeue
+//! allocates nothing; links are raw indexes (`u32`), with `NIL`
+//! marking list ends. A node index is only ever reused after its owner
+//! removed it, and owners hold their index for the lifetime of the
+//! wait, so indexes cannot alias live nodes.
+
+use std::sync::Arc;
+
+use crate::eq_index::PredId;
+
+use super::park::ParkSlot;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct Node {
+    /// The waiter's park token; `None` marks a free node.
+    slot: Option<Arc<ParkSlot>>,
+    /// The predicate entry the waiter is registered under.
+    pid: PredId,
+    prev: u32,
+    next: u32,
+}
+
+/// A FIFO wait queue over a node slab. See the module docs.
+#[derive(Debug)]
+pub(crate) struct WaitQueue {
+    nodes: Vec<Node>,
+    head: u32,
+    tail: u32,
+    /// Head of the free list (threaded through `next`).
+    free: u32,
+    len: usize,
+}
+
+impl Default for WaitQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaitQueue {
+    pub(crate) fn new() -> Self {
+        WaitQueue {
+            nodes: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of enqueued waiters.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no waiter is enqueued.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a waiter; returns its node index (stable until the
+    /// matching [`WaitQueue::remove`]).
+    pub(crate) fn push_back(&mut self, slot: Arc<ParkSlot>, pid: PredId) -> u32 {
+        let idx = match self.free {
+            NIL => {
+                self.nodes.push(Node {
+                    slot: None,
+                    pid,
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.nodes.len() - 1) as u32
+            }
+            idx => {
+                self.free = self.nodes[idx as usize].next;
+                idx
+            }
+        };
+        let node = &mut self.nodes[idx as usize];
+        node.slot = Some(slot);
+        node.pid = pid;
+        node.prev = self.tail;
+        node.next = NIL;
+        match self.tail {
+            NIL => self.head = idx,
+            tail => self.nodes[tail as usize].next = idx,
+        }
+        self.tail = idx;
+        self.len += 1;
+        idx
+    }
+
+    /// Unlinks the node at `idx` and recycles it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` does not name an enqueued node — that would be
+    /// a double-remove, which only the owning waiter can cause.
+    pub(crate) fn remove(&mut self, idx: u32) {
+        let (prev, next) = {
+            let node = &mut self.nodes[idx as usize];
+            assert!(node.slot.is_some(), "removing a free wait-queue node");
+            node.slot = None;
+            (node.prev, node.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            prev => self.nodes[prev as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            next => self.nodes[next as usize].prev = prev,
+        }
+        let node = &mut self.nodes[idx as usize];
+        node.prev = NIL;
+        node.next = self.free;
+        self.free = idx;
+        self.len -= 1;
+    }
+
+    /// Visits every enqueued waiter in FIFO order.
+    pub(crate) fn for_each(&self, mut f: impl FnMut(&Arc<ParkSlot>, PredId)) {
+        let mut cursor = self.head;
+        while cursor != NIL {
+            let node = &self.nodes[cursor as usize];
+            let slot = node
+                .slot
+                .as_ref()
+                .expect("linked wait-queue node must be occupied");
+            f(slot, node.pid);
+            cursor = node.next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slab::Slab;
+
+    fn pid(slab: &mut Slab<u8>) -> PredId {
+        slab.insert(0)
+    }
+
+    fn drain_order(q: &WaitQueue) -> Vec<u32> {
+        let mut order = Vec::new();
+        let mut count = 0u32;
+        q.for_each(|_, _| {
+            order.push(count);
+            count += 1;
+        });
+        order
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut slab = Slab::new();
+        let p = pid(&mut slab);
+        let mut q = WaitQueue::new();
+        let a = q.push_back(Arc::new(ParkSlot::new()), p);
+        let b = q.push_back(Arc::new(ParkSlot::new()), p);
+        let c = q.push_back(Arc::new(ParkSlot::new()), p);
+        assert_eq!(q.len(), 3);
+        let mut pids = Vec::new();
+        q.for_each(|_, pid| pids.push(pid));
+        assert_eq!(pids.len(), 3);
+        q.remove(b);
+        assert_eq!(q.len(), 2);
+        assert_eq!(drain_order(&q).len(), 2);
+        q.remove(a);
+        q.remove(c);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn removed_nodes_are_recycled() {
+        let mut slab = Slab::new();
+        let p = pid(&mut slab);
+        let mut q = WaitQueue::new();
+        let a = q.push_back(Arc::new(ParkSlot::new()), p);
+        q.remove(a);
+        let b = q.push_back(Arc::new(ParkSlot::new()), p);
+        assert_eq!(a, b, "free-listed node is reused");
+        assert_eq!(q.len(), 1);
+        q.remove(b);
+    }
+
+    #[test]
+    fn middle_head_and_tail_removals_relink() {
+        let mut slab = Slab::new();
+        let p = pid(&mut slab);
+        let mut q = WaitQueue::new();
+        let nodes: Vec<u32> = (0..5)
+            .map(|_| q.push_back(Arc::new(ParkSlot::new()), p))
+            .collect();
+        q.remove(nodes[2]); // middle
+        q.remove(nodes[0]); // head
+        q.remove(nodes[4]); // tail
+        assert_eq!(q.len(), 2);
+        let mut seen = 0;
+        q.for_each(|_, _| seen += 1);
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "free wait-queue node")]
+    fn double_remove_panics() {
+        let mut slab = Slab::new();
+        let p = pid(&mut slab);
+        let mut q = WaitQueue::new();
+        let a = q.push_back(Arc::new(ParkSlot::new()), p);
+        q.remove(a);
+        q.remove(a);
+    }
+}

@@ -4,7 +4,9 @@
 //! so the harness compares the mechanisms with identical bookkeeping.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use autosynch_metrics::counters::{CounterSnapshot, SyncCounters};
 use autosynch_metrics::phase::{PhaseSnapshot, PhaseTimes};
@@ -16,6 +18,10 @@ pub struct MonitorStats {
     pub counters: SyncCounters,
     /// Per-phase wall-clock accumulators (Table 1).
     pub phases: PhaseTimes,
+    /// Signaler-lock hold times: how long each relay call keeps the
+    /// monitor lock busy doing signaling work. Recorded only while
+    /// `phases` timing is enabled (clock reads are not free).
+    pub hold: HoldTimes,
 }
 
 impl MonitorStats {
@@ -28,6 +34,7 @@ impl MonitorStats {
             } else {
                 PhaseTimes::disabled()
             },
+            hold: HoldTimes::new(),
         })
     }
 
@@ -36,6 +43,7 @@ impl MonitorStats {
         StatsSnapshot {
             counters: self.counters.snapshot(),
             phases: self.phases.snapshot(),
+            hold: self.hold.snapshot(),
         }
     }
 
@@ -43,6 +51,75 @@ impl MonitorStats {
     pub fn reset(&self) {
         self.counters.reset();
         self.phases.reset();
+        self.hold.reset();
+    }
+}
+
+/// Accumulated signaler-lock hold time: the in-lock duration of every
+/// relay call (snapshot diffing, index probing, queue wakes — everything
+/// the signaler does for *other* threads while occupying the monitor).
+/// The parked mode exists to shrink this number: its relay neither
+/// probes indexes nor evaluates waiters' predicates.
+#[derive(Debug, Default)]
+pub struct HoldTimes {
+    nanos: AtomicU64,
+    holds: AtomicU64,
+}
+
+impl HoldTimes {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one relay's in-lock duration.
+    #[inline]
+    pub fn record(&self, elapsed: Duration) {
+        self.nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.holds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Captures the accumulated totals.
+    pub fn snapshot(&self) -> HoldSnapshot {
+        HoldSnapshot {
+            nanos: self.nanos.load(Ordering::Relaxed),
+            holds: self.holds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the accumulator to zero.
+    pub fn reset(&self) {
+        self.nanos.store(0, Ordering::Relaxed);
+        self.holds.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`HoldTimes`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HoldSnapshot {
+    /// Total nanoseconds the signaler's relay work held the lock.
+    pub nanos: u64,
+    /// Number of recorded relay calls.
+    pub holds: u64,
+}
+
+impl HoldSnapshot {
+    /// Mean in-lock nanoseconds per relay call; `0` with no records.
+    pub fn mean_nanos(&self) -> f64 {
+        if self.holds == 0 {
+            0.0
+        } else {
+            self.nanos as f64 / self.holds as f64
+        }
+    }
+
+    /// Component-wise difference `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &HoldSnapshot) -> HoldSnapshot {
+        HoldSnapshot {
+            nanos: self.nanos.saturating_sub(earlier.nanos),
+            holds: self.holds.saturating_sub(earlier.holds),
+        }
     }
 }
 
@@ -53,6 +130,8 @@ pub struct StatsSnapshot {
     pub counters: CounterSnapshot,
     /// Phase times.
     pub phases: PhaseSnapshot,
+    /// Signaler-lock hold times (zero unless timing was enabled).
+    pub hold: HoldSnapshot,
 }
 
 impl StatsSnapshot {
@@ -61,6 +140,7 @@ impl StatsSnapshot {
         StatsSnapshot {
             counters: self.counters.since(&earlier.counters),
             phases: self.phases.since(&earlier.phases),
+            hold: self.hold.since(&earlier.hold),
         }
     }
 }
@@ -107,6 +187,40 @@ mod tests {
         s.phases.add(Phase::Await, Duration::from_nanos(9));
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn hold_times_accumulate_and_average() {
+        let s = MonitorStats::new(true);
+        s.hold.record(Duration::from_nanos(100));
+        s.hold.record(Duration::from_nanos(300));
+        let snap = s.snapshot().hold;
+        assert_eq!(snap.nanos, 400);
+        assert_eq!(snap.holds, 2);
+        assert!((snap.mean_nanos() - 200.0).abs() < 1e-9);
+        s.reset();
+        assert_eq!(s.snapshot().hold, HoldSnapshot::default());
+        assert_eq!(HoldSnapshot::default().mean_nanos(), 0.0);
+    }
+
+    #[test]
+    fn hold_since_is_component_wise() {
+        let a = HoldSnapshot {
+            nanos: 500,
+            holds: 5,
+        };
+        let b = HoldSnapshot {
+            nanos: 200,
+            holds: 2,
+        };
+        let d = a.since(&b);
+        assert_eq!(
+            d,
+            HoldSnapshot {
+                nanos: 300,
+                holds: 3
+            }
+        );
     }
 
     #[test]

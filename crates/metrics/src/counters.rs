@@ -45,6 +45,10 @@ pub struct SyncCounters {
     cross_shard_preds: AtomicU64,
     batched_signals: AtomicU64,
     ring_retries: AtomicU64,
+    unparks: AtomicU64,
+    waiter_self_checks: AtomicU64,
+    false_wakeups: AtomicU64,
+    named_mutations: AtomicU64,
 }
 
 macro_rules! counter_methods {
@@ -116,6 +120,23 @@ impl SyncCounters {
         /// A lock-free snapshot-ring read whose seqlock validation failed
         /// and had to retry (a writer published mid-read).
         record_ring_retry => ring_retries,
+        /// A parked waiter was unparked by a signaler's exit path (parked
+        /// mode). Unlike `signals`, the signaler did not evaluate the
+        /// waiter's predicate — the waiter re-checks it itself.
+        record_unpark => unparks,
+        /// A parked waiter re-evaluated its own predicate against the
+        /// lock-free snapshot ring after an unpark (parked mode) — work
+        /// that every other mode performs inside the signaler's critical
+        /// section.
+        record_waiter_self_check => waiter_self_checks,
+        /// A waiter-side self-check concluded the predicate is still
+        /// false, so the waiter re-parked without touching the monitor
+        /// lock (the cheap cousin of a futile wakeup).
+        record_false_wakeup => false_wakeups,
+        /// An occupancy entered through the named-mutation API
+        /// (`enter_mutating`), promising its writes touch only the named
+        /// expressions so the snapshot diff can skip the rest.
+        record_named_mutation => named_mutations,
     }
 
     /// Adds `n` predicate evaluations at once.
@@ -146,6 +167,10 @@ impl SyncCounters {
             cross_shard_preds: self.cross_shard_preds.load(Ordering::Relaxed),
             batched_signals: self.batched_signals.load(Ordering::Relaxed),
             ring_retries: self.ring_retries.load(Ordering::Relaxed),
+            unparks: self.unparks.load(Ordering::Relaxed),
+            waiter_self_checks: self.waiter_self_checks.load(Ordering::Relaxed),
+            false_wakeups: self.false_wakeups.load(Ordering::Relaxed),
+            named_mutations: self.named_mutations.load(Ordering::Relaxed),
         }
     }
 
@@ -171,6 +196,10 @@ impl SyncCounters {
             &self.cross_shard_preds,
             &self.batched_signals,
             &self.ring_retries,
+            &self.unparks,
+            &self.waiter_self_checks,
+            &self.false_wakeups,
+            &self.named_mutations,
         ] {
             field.store(0, Ordering::Relaxed);
         }
@@ -200,6 +229,10 @@ pub struct CounterSnapshot {
     pub cross_shard_preds: u64,
     pub batched_signals: u64,
     pub ring_retries: u64,
+    pub unparks: u64,
+    pub waiter_self_checks: u64,
+    pub false_wakeups: u64,
+    pub named_mutations: u64,
 }
 
 impl CounterSnapshot {
@@ -242,6 +275,12 @@ impl CounterSnapshot {
                 .saturating_sub(earlier.cross_shard_preds),
             batched_signals: self.batched_signals.saturating_sub(earlier.batched_signals),
             ring_retries: self.ring_retries.saturating_sub(earlier.ring_retries),
+            unparks: self.unparks.saturating_sub(earlier.unparks),
+            waiter_self_checks: self
+                .waiter_self_checks
+                .saturating_sub(earlier.waiter_self_checks),
+            false_wakeups: self.false_wakeups.saturating_sub(earlier.false_wakeups),
+            named_mutations: self.named_mutations.saturating_sub(earlier.named_mutations),
         }
     }
 }
@@ -303,6 +342,10 @@ mod tests {
         c.record_cross_shard_pred();
         c.record_batched_signal();
         c.record_ring_retry();
+        c.record_unpark();
+        c.record_waiter_self_check();
+        c.record_false_wakeup();
+        c.record_named_mutation();
         let s = c.snapshot();
         assert_eq!(s.enters, 2);
         assert_eq!(s.waits, 1);
@@ -323,6 +366,10 @@ mod tests {
         assert_eq!(s.cross_shard_preds, 1);
         assert_eq!(s.batched_signals, 1);
         assert_eq!(s.ring_retries, 1);
+        assert_eq!(s.unparks, 1);
+        assert_eq!(s.waiter_self_checks, 1);
+        assert_eq!(s.false_wakeups, 1);
+        assert_eq!(s.named_mutations, 1);
     }
 
     #[test]

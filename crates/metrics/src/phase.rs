@@ -33,6 +33,11 @@ pub enum Phase {
     /// Routing conjunctions to shards and building the per-relay shard
     /// plan (sharded mode only; an extension column beyond the paper).
     ShardRoute,
+    /// A parked waiter re-checking its own predicate against the
+    /// lock-free snapshot ring (parked mode only) — the predicate work
+    /// the parking subsystem moves *out* of the signaler's critical
+    /// section and onto the waiter.
+    ParkRecheck,
     /// Everything else spent inside monitor functions.
     Other,
 }
@@ -41,13 +46,14 @@ impl Phase {
     /// All phases in Table 1 column order (with the change-driven
     /// snapshot-diff and sharded-routing extensions inserted before
     /// "others").
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; 8] = [
         Phase::Await,
         Phase::Lock,
         Phase::RelaySignal,
         Phase::TagManager,
         Phase::SnapshotDiff,
         Phase::ShardRoute,
+        Phase::ParkRecheck,
         Phase::Other,
     ];
 
@@ -60,6 +66,7 @@ impl Phase {
             Phase::TagManager => "tagMgr",
             Phase::SnapshotDiff => "snapDiff",
             Phase::ShardRoute => "shardRoute",
+            Phase::ParkRecheck => "parkRecheck",
             Phase::Other => "others",
         }
     }
@@ -72,7 +79,8 @@ impl Phase {
             Phase::TagManager => 3,
             Phase::SnapshotDiff => 4,
             Phase::ShardRoute => 5,
-            Phase::Other => 6,
+            Phase::ParkRecheck => 6,
+            Phase::Other => 7,
         }
     }
 }
@@ -96,7 +104,7 @@ impl fmt::Display for Phase {
 /// ```
 #[derive(Debug)]
 pub struct PhaseTimes {
-    nanos: [AtomicU64; 7],
+    nanos: [AtomicU64; 8],
     enabled: AtomicBool,
 }
 
@@ -169,7 +177,7 @@ impl PhaseTimes {
 
     /// Captures the accumulated times.
     pub fn snapshot(&self) -> PhaseSnapshot {
-        let mut nanos = [0u64; 7];
+        let mut nanos = [0u64; 8];
         for (slot, atomic) in nanos.iter_mut().zip(&self.nanos) {
             *slot = atomic.load(Ordering::Relaxed);
         }
@@ -215,7 +223,7 @@ impl Drop for PhaseGuard<'_> {
 /// A point-in-time copy of [`PhaseTimes`], renderable as a Table 1 row.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseSnapshot {
-    nanos: [u64; 7],
+    nanos: [u64; 8],
 }
 
 impl PhaseSnapshot {
@@ -246,7 +254,7 @@ impl PhaseSnapshot {
 
     /// Phase-wise difference `self - earlier`, saturating at zero.
     pub fn since(&self, earlier: &PhaseSnapshot) -> PhaseSnapshot {
-        let mut nanos = [0u64; 7];
+        let mut nanos = [0u64; 8];
         for (i, slot) in nanos.iter_mut().enumerate() {
             *slot = self.nanos[i].saturating_sub(earlier.nanos[i]);
         }

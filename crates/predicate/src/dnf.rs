@@ -66,6 +66,22 @@ impl<S> Literal<S> {
         }
     }
 
+    /// Evaluates the literal against a published expression snapshot
+    /// instead of the live state: `values` is indexed by
+    /// [`ExprId::index`], `None` marking expressions the snapshot does
+    /// not carry. Returns `None` when the literal cannot be decided from
+    /// the snapshot (a custom closure, or a missing value).
+    pub fn eval_snapshot(&self, values: &[Option<i64>]) -> Option<bool> {
+        match self {
+            Literal::Cmp(atom) => values
+                .get(atom.expr.index())
+                .copied()
+                .flatten()
+                .map(|v| atom.eval_with(v)),
+            Literal::Custom { .. } => None,
+        }
+    }
+
     /// The comparison atom, if this literal is one.
     pub fn as_cmp(&self) -> Option<CmpAtom> {
         match self {
@@ -144,6 +160,23 @@ impl<S> Conjunction<S> {
     /// Evaluates the conjunction (all literals true).
     pub fn eval(&self, state: &S, exprs: &ExprTable<S>) -> bool {
         self.literals.iter().all(|l| l.eval(state, exprs))
+    }
+
+    /// Three-valued evaluation against an expression snapshot:
+    /// `Some(false)` when any literal is decidably false, `Some(true)`
+    /// when every literal is decidably true, `None` when the snapshot
+    /// cannot decide (an opaque literal or a missing value, with no
+    /// decidably-false literal to short-circuit on).
+    pub fn eval_snapshot(&self, values: &[Option<i64>]) -> Option<bool> {
+        let mut all_true = true;
+        for literal in &self.literals {
+            match literal.eval_snapshot(values) {
+                Some(false) => return Some(false),
+                Some(true) => {}
+                None => all_true = false,
+            }
+        }
+        all_true.then_some(true)
     }
 
     /// Number of literals.
@@ -298,6 +331,23 @@ impl<S> Dnf<S> {
     /// Evaluates the DNF (any conjunction true).
     pub fn eval(&self, state: &S, exprs: &ExprTable<S>) -> bool {
         self.conjunctions.iter().any(|c| c.eval(state, exprs))
+    }
+
+    /// Three-valued evaluation against an expression snapshot:
+    /// `Some(true)` when some conjunction is decidably true,
+    /// `Some(false)` when every conjunction is decidably false, `None`
+    /// otherwise (the snapshot cannot rule the predicate out). The empty
+    /// DNF is decidably false.
+    pub fn eval_snapshot(&self, values: &[Option<i64>]) -> Option<bool> {
+        let mut all_false = true;
+        for conjunction in &self.conjunctions {
+            match conjunction.eval_snapshot(values) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => all_false = false,
+            }
+        }
+        all_false.then_some(false)
     }
 
     /// Number of conjunctions.

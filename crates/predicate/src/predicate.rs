@@ -135,6 +135,17 @@ impl<S> Predicate<S> {
         self.dnf.eval(state, exprs)
     }
 
+    /// Three-valued evaluation against a published expression snapshot
+    /// (`values` indexed by [`crate::expr::ExprId::index`], `None` for
+    /// expressions the snapshot does not carry): `Some(true)` /
+    /// `Some(false)` when the snapshot decides the predicate, `None`
+    /// when it cannot (opaque literals or missing values). Parked-mode
+    /// waiters use this for their lock-free self-checks; a `None`
+    /// verdict falls back to evaluation under the monitor lock.
+    pub fn eval_snapshot(&self, values: &[Option<i64>]) -> Option<bool> {
+        self.dnf.eval_snapshot(values)
+    }
+
     /// Evaluates conjunction `index` only. Signaling uses this: a true
     /// conjunction suffices to make the predicate true.
     ///
@@ -313,6 +324,40 @@ mod tests {
         assert!(from_ast.eval(&S { count: 5 }, &t));
         let again = take(from_ast.clone());
         assert_eq!(again.key(), from_ast.key());
+    }
+
+    #[test]
+    fn eval_snapshot_is_three_valued() {
+        let (_, count) = setup();
+        let p = Predicate::try_from_expr(count.ge(10).or(count.eq(0))).unwrap();
+        // Decidable both ways from a full snapshot.
+        assert_eq!(p.eval_snapshot(&[Some(12)]), Some(true));
+        assert_eq!(p.eval_snapshot(&[Some(0)]), Some(true));
+        assert_eq!(p.eval_snapshot(&[Some(5)]), Some(false));
+        // A missing value leaves the predicate undecided...
+        assert_eq!(p.eval_snapshot(&[None]), None);
+        assert_eq!(p.eval_snapshot(&[]), None);
+        // ...unless some other conjunction already decides it true.
+        let q = Predicate::try_from_expr(count.ge(10)).unwrap();
+        assert_eq!(q.eval_snapshot(&[None]), None);
+    }
+
+    #[test]
+    fn eval_snapshot_escalates_on_opaque_literals() {
+        let (_, count) = setup();
+        // `count >= 3 && odd(s)`: a decidably-false comparison still
+        // short-circuits; otherwise the closure blocks a verdict.
+        let p = Predicate::try_from_expr(
+            count
+                .ge(3)
+                .and(BoolExpr::custom("odd", |s: &S| s.count % 2 == 1)),
+        )
+        .unwrap();
+        assert_eq!(p.eval_snapshot(&[Some(1)]), Some(false));
+        assert_eq!(p.eval_snapshot(&[Some(7)]), None);
+        // Constants stay decidable.
+        assert_eq!(Predicate::<S>::always().eval_snapshot(&[]), Some(true));
+        assert_eq!(Predicate::<S>::never().eval_snapshot(&[]), Some(false));
     }
 
     #[test]

@@ -245,7 +245,8 @@ pub fn make_buffer(mechanism: Mechanism, capacity: usize) -> Arc<dyn BoundedBuff
         Mechanism::AutoSynchT
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
-        | Mechanism::AutoSynchShard => Arc::new(AutoSynchBoundedBuffer::new(capacity, mechanism)),
+        | Mechanism::AutoSynchShard
+        | Mechanism::AutoSynchPark => Arc::new(AutoSynchBoundedBuffer::new(capacity, mechanism)),
     }
 }
 

@@ -232,7 +232,8 @@ pub fn make_table(mechanism: Mechanism) -> Arc<dyn SmokersTable> {
         Mechanism::AutoSynchT
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
-        | Mechanism::AutoSynchShard => Arc::new(AutoSynchTable::new(mechanism)),
+        | Mechanism::AutoSynchShard
+        | Mechanism::AutoSynchPark => Arc::new(AutoSynchTable::new(mechanism)),
     }
 }
 

@@ -194,7 +194,8 @@ pub fn make_barrier(mechanism: Mechanism, parties: usize) -> Arc<dyn CyclicBarri
         Mechanism::AutoSynchT
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
-        | Mechanism::AutoSynchShard => Arc::new(AutoSynchBarrier::new(parties, mechanism)),
+        | Mechanism::AutoSynchShard
+        | Mechanism::AutoSynchPark => Arc::new(AutoSynchBarrier::new(parties, mechanism)),
     }
 }
 

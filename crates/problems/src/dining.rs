@@ -211,7 +211,8 @@ pub fn make_table(mechanism: Mechanism, n: usize) -> Arc<dyn DiningTable> {
         Mechanism::AutoSynchT
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
-        | Mechanism::AutoSynchShard => Arc::new(AutoSynchTable::new(n, mechanism)),
+        | Mechanism::AutoSynchShard
+        | Mechanism::AutoSynchPark => Arc::new(AutoSynchTable::new(n, mechanism)),
     }
 }
 

@@ -256,7 +256,8 @@ pub fn make_room(mechanism: Mechanism, forums: usize) -> Arc<dyn ForumRoom> {
         Mechanism::AutoSynchT
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
-        | Mechanism::AutoSynchShard => Arc::new(AutoSynchForumRoom::new(mechanism)),
+        | Mechanism::AutoSynchShard
+        | Mechanism::AutoSynchPark => Arc::new(AutoSynchForumRoom::new(mechanism)),
     }
 }
 

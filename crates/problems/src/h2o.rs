@@ -214,7 +214,8 @@ pub fn make_vessel(mechanism: Mechanism) -> Arc<dyn WaterVessel> {
         Mechanism::AutoSynchT
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
-        | Mechanism::AutoSynchShard => Arc::new(AutoSynchVessel::new(mechanism)),
+        | Mechanism::AutoSynchShard
+        | Mechanism::AutoSynchPark => Arc::new(AutoSynchVessel::new(mechanism)),
     }
 }
 

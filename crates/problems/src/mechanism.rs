@@ -37,6 +37,13 @@ pub enum Mechanism {
     /// batched relays and a lock-free snapshot ring — the scaling
     /// extension layered on top of AutoSynch-CD.
     AutoSynchShard,
+    /// Waiter-parked AutoSynch (`autosynch_park`): per-shard wait
+    /// queues and locks; a signaler's exit only publishes the diff
+    /// epoch into the snapshot ring and unparks the affected gates,
+    /// while waiters re-check their own predicates against the ring
+    /// without the monitor lock — the critical-section-shrinking
+    /// extension layered on top of AutoSynch-Shard.
+    AutoSynchPark,
 }
 
 impl Mechanism {
@@ -44,13 +51,14 @@ impl Mechanism {
     /// this reproduction's extensions. Sweeps and cross-mechanism tests
     /// iterate this — extensions must appear here or they are silently
     /// skipped. For exactly the paper's legend use [`Mechanism::PAPER`].
-    pub const ALL: [Mechanism; 6] = [
+    pub const ALL: [Mechanism; 7] = [
         Mechanism::Explicit,
         Mechanism::Baseline,
         Mechanism::AutoSynchT,
         Mechanism::AutoSynch,
         Mechanism::AutoSynchCD,
         Mechanism::AutoSynchShard,
+        Mechanism::AutoSynchPark,
     ];
 
     /// The paper's four mechanisms, in legend order — the Figs. 8–15
@@ -64,20 +72,22 @@ impl Mechanism {
 
     /// Everything plotted in Figs. 11–13 (baseline off the chart), plus
     /// the extensions.
-    pub const WITHOUT_BASELINE: [Mechanism; 5] = [
+    pub const WITHOUT_BASELINE: [Mechanism; 6] = [
         Mechanism::Explicit,
         Mechanism::AutoSynchT,
         Mechanism::AutoSynch,
         Mechanism::AutoSynchCD,
         Mechanism::AutoSynchShard,
+        Mechanism::AutoSynchPark,
     ];
 
     /// The automatic-signal family the runtime implements.
-    pub const AUTOMATIC: [Mechanism; 4] = [
+    pub const AUTOMATIC: [Mechanism; 5] = [
         Mechanism::AutoSynchT,
         Mechanism::AutoSynch,
         Mechanism::AutoSynchCD,
         Mechanism::AutoSynchShard,
+        Mechanism::AutoSynchPark,
     ];
 
     /// The paper's legend label.
@@ -89,6 +99,7 @@ impl Mechanism {
             Mechanism::AutoSynch => "AutoSynch",
             Mechanism::AutoSynchCD => "AutoSynch-CD",
             Mechanism::AutoSynchShard => "AutoSynch-Shard",
+            Mechanism::AutoSynchPark => "AutoSynch-Park",
         }
     }
 
@@ -100,6 +111,7 @@ impl Mechanism {
             Mechanism::AutoSynchT => Some(MonitorConfig::autosynch_t()),
             Mechanism::AutoSynchCD => Some(MonitorConfig::autosynch_cd()),
             Mechanism::AutoSynchShard => Some(MonitorConfig::autosynch_shard()),
+            Mechanism::AutoSynchPark => Some(MonitorConfig::autosynch_park()),
             Mechanism::Explicit | Mechanism::Baseline => None,
         }
     }
@@ -201,8 +213,10 @@ mod tests {
         // silently skip the extension mechanisms.
         assert!(Mechanism::ALL.contains(&Mechanism::AutoSynchCD));
         assert!(Mechanism::ALL.contains(&Mechanism::AutoSynchShard));
+        assert!(Mechanism::ALL.contains(&Mechanism::AutoSynchPark));
         assert!(Mechanism::WITHOUT_BASELINE.contains(&Mechanism::AutoSynchCD));
         assert!(Mechanism::WITHOUT_BASELINE.contains(&Mechanism::AutoSynchShard));
+        assert!(Mechanism::WITHOUT_BASELINE.contains(&Mechanism::AutoSynchPark));
         assert!(!Mechanism::WITHOUT_BASELINE.contains(&Mechanism::Baseline));
         assert_eq!(Mechanism::PAPER.len(), 4, "the paper's legend is fixed");
         assert!(Mechanism::AUTOMATIC

@@ -290,7 +290,8 @@ pub fn make_bridge(mechanism: Mechanism, capacity: i64) -> Arc<dyn Bridge> {
         Mechanism::AutoSynchT
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
-        | Mechanism::AutoSynchShard => Arc::new(AutoSynchBridge::new(capacity, mechanism)),
+        | Mechanism::AutoSynchShard
+        | Mechanism::AutoSynchPark => Arc::new(AutoSynchBridge::new(capacity, mechanism)),
     }
 }
 

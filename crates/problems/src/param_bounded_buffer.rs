@@ -51,6 +51,8 @@ pub trait ParamBoundedBuffer: Send + Sync {
     fn take(&self, num: usize) -> Vec<u64>;
     /// Instrumentation snapshot.
     fn stats(&self) -> StatsSnapshot;
+    /// Turns on per-phase timing (for the hold-time experiments).
+    fn enable_timing(&self) {}
 }
 
 /// Explicit-signal version — Fig. 1 left column, `signalAll` and all.
@@ -187,6 +189,10 @@ impl ParamBoundedBuffer for AutoSynchParamBuffer {
     fn stats(&self) -> StatsSnapshot {
         self.monitor.stats_snapshot()
     }
+
+    fn enable_timing(&self) {
+        self.monitor.stats().phases.set_enabled(true);
+    }
 }
 
 /// Instantiates the implementation for `mechanism`.
@@ -197,7 +203,8 @@ pub fn make_buffer(mechanism: Mechanism, capacity: usize) -> Arc<dyn ParamBounde
         Mechanism::AutoSynchT
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
-        | Mechanism::AutoSynchShard => Arc::new(AutoSynchParamBuffer::new(capacity, mechanism)),
+        | Mechanism::AutoSynchShard
+        | Mechanism::AutoSynchPark => Arc::new(AutoSynchParamBuffer::new(capacity, mechanism)),
     }
 }
 
@@ -237,8 +244,21 @@ impl Default for ParamBoundedBufferConfig {
 ///
 /// Panics when item accounting does not balance.
 pub fn run(mechanism: Mechanism, config: ParamBoundedBufferConfig) -> RunReport {
+    run_inner(mechanism, config, false)
+}
+
+/// Like [`run`] but with per-phase timing (and the signaler-lock
+/// hold-time stat) enabled — the `reproduce -- park` setup.
+pub fn run_timed(mechanism: Mechanism, config: ParamBoundedBufferConfig) -> RunReport {
+    run_inner(mechanism, config, true)
+}
+
+fn run_inner(mechanism: Mechanism, config: ParamBoundedBufferConfig, timed: bool) -> RunReport {
     assert!(config.capacity >= 2 * config.max_items, "deadlock-freedom");
     let buffer = make_buffer(mechanism, config.capacity);
+    if timed {
+        buffer.enable_timing();
+    }
 
     // Pre-generate every consumer's take sizes so the total is known.
     let mut rng = StdRng::seed_from_u64(config.seed);

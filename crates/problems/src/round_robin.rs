@@ -250,7 +250,8 @@ pub fn make_ring(mechanism: Mechanism, n: usize) -> Arc<dyn RoundRobin> {
         Mechanism::AutoSynchT
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
-        | Mechanism::AutoSynchShard => Arc::new(AutoSynchRoundRobin::new(n, mechanism)),
+        | Mechanism::AutoSynchShard
+        | Mechanism::AutoSynchPark => Arc::new(AutoSynchRoundRobin::new(n, mechanism)),
     }
 }
 

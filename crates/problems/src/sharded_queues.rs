@@ -53,6 +53,8 @@ pub trait ShardedQueues: Send + Sync {
     fn take(&self, queue: usize) -> u64;
     /// Instrumentation snapshot.
     fn stats(&self) -> StatsSnapshot;
+    /// Turns on per-phase timing (for the hold-time experiments).
+    fn enable_timing(&self) {}
 }
 
 /// Explicit-signal implementation: two condition variables per queue,
@@ -179,14 +181,20 @@ impl AutoSynchShardedQueues {
 
 impl ShardedQueues for AutoSynchShardedQueues {
     fn put(&self, queue: usize, item: u64) {
-        self.monitor.enter(|g| {
+        // Named mutation: an operation on queue `i` can only change
+        // `items_i` and `space_i`, so the snapshot diff evaluates just
+        // those two — the signaler's critical section no longer scales
+        // with the number of queues.
+        let touched = [self.items[queue].id(), self.space[queue].id()];
+        self.monitor.enter_mutating(&touched, |g| {
             g.wait_until(self.space[queue].ne(0));
             g.state_mut().queues[queue].push_back(item);
         });
     }
 
     fn take(&self, queue: usize) -> u64 {
-        self.monitor.enter(|g| {
+        let touched = [self.items[queue].id(), self.space[queue].id()];
+        self.monitor.enter_mutating(&touched, |g| {
             g.wait_until(self.items[queue].ne(0));
             g.state_mut().queues[queue].pop_front().expect("non-empty")
         })
@@ -194,6 +202,10 @@ impl ShardedQueues for AutoSynchShardedQueues {
 
     fn stats(&self) -> StatsSnapshot {
         self.monitor.stats_snapshot()
+    }
+
+    fn enable_timing(&self) {
+        self.monitor.stats().phases.set_enabled(true);
     }
 }
 
@@ -205,7 +217,8 @@ pub fn make_queues(mechanism: Mechanism, queues: usize, capacity: usize) -> Arc<
         Mechanism::AutoSynchT
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
-        | Mechanism::AutoSynchShard => {
+        | Mechanism::AutoSynchShard
+        | Mechanism::AutoSynchPark => {
             Arc::new(AutoSynchShardedQueues::new(queues, capacity, mechanism))
         }
     }
@@ -242,7 +255,20 @@ impl Default for ShardedQueuesConfig {
 ///
 /// Panics when any queue's item accounting does not balance.
 pub fn run(mechanism: Mechanism, config: ShardedQueuesConfig) -> RunReport {
+    run_inner(mechanism, config, false)
+}
+
+/// Like [`run`] but with per-phase timing (and the signaler-lock
+/// hold-time stat) enabled — the `reproduce -- park` setup.
+pub fn run_timed(mechanism: Mechanism, config: ShardedQueuesConfig) -> RunReport {
+    run_inner(mechanism, config, true)
+}
+
+fn run_inner(mechanism: Mechanism, config: ShardedQueuesConfig, timed: bool) -> RunReport {
     let bank = make_queues(mechanism, config.queues, config.capacity);
+    if timed {
+        bank.enable_timing();
+    }
     let threads = config.queues * 2;
     let sums: Vec<std::sync::atomic::AtomicU64> = (0..config.queues)
         .map(|_| std::sync::atomic::AtomicU64::new(0))

@@ -266,7 +266,8 @@ pub fn make_shop(mechanism: Mechanism) -> Arc<dyn BarberShop> {
         Mechanism::AutoSynchT
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
-        | Mechanism::AutoSynchShard => Arc::new(AutoSynchBarberShop::new(mechanism)),
+        | Mechanism::AutoSynchShard
+        | Mechanism::AutoSynchPark => Arc::new(AutoSynchBarberShop::new(mechanism)),
     }
 }
 

@@ -16,7 +16,8 @@ fn all_reports(run: impl Fn(Mechanism) -> autosynch_repro::problems::RunReport) 
             Mechanism::AutoSynch
             | Mechanism::AutoSynchT
             | Mechanism::AutoSynchCD
-            | Mechanism::AutoSynchShard => {
+            | Mechanism::AutoSynchShard
+            | Mechanism::AutoSynchPark => {
                 assert_eq!(
                     report.stats.counters.broadcasts, 0,
                     "{mechanism} must never signalAll"

@@ -1,0 +1,621 @@
+//! Waiter-side parking subsystem (`autosynch_park`) equivalence and
+//! protocol checks.
+//!
+//! The mode must reach the same wait/wake outcomes as AutoSynch-Shard
+//! and tagged AutoSynch on every workload — same invariants, zero
+//! broadcasts, zero protocol violations with the no-lost-wakeup
+//! validator armed — while the signaler never evaluates a waiter's
+//! predicate (that work shows up as `waiter_self_checks` on the waiter
+//! side instead).
+//!
+//! Mirrors `tests/sharded.rs`, plus: a park/unpark lost-wakeup stress
+//! test that forces the snapshot ring to wrap around many times under
+//! concurrent writers, and proptests for the no-lost-wakeup invariant
+//! over randomized workloads and deadlines.
+
+use std::sync::Arc;
+
+use autosynch_repro::autosynch::config::MonitorConfig;
+use autosynch_repro::autosynch::Monitor;
+use autosynch_repro::problems::mechanism::Mechanism;
+use autosynch_repro::problems::{
+    bounded_buffer, cigarette_smokers, cyclic_barrier, dining, group_mutex, h2o, one_lane_bridge,
+    param_bounded_buffer, readers_writers, round_robin, sharded_queues, sleeping_barber,
+    unisex_bathroom,
+};
+use proptest::prelude::*;
+
+/// A deterministic bounded-buffer schedule run under one validated
+/// config; returns the final level.
+fn validated_bounded_buffer(config: MonitorConfig, pairs: usize, ops: usize) -> i64 {
+    struct Buf {
+        level: i64,
+        cap: i64,
+    }
+    let monitor = Arc::new(Monitor::with_config(
+        Buf { level: 0, cap: 8 },
+        config.validate_relay(true),
+    ));
+    let level = monitor.register_expr("level", |b: &Buf| b.level);
+    let free = monitor.register_expr("free", |b: &Buf| b.cap - b.level);
+
+    std::thread::scope(|scope| {
+        for i in 0..pairs {
+            let producer_monitor = Arc::clone(&monitor);
+            scope.spawn(move || {
+                let put = 1 + (i as i64 % 3);
+                for _ in 0..ops {
+                    producer_monitor.enter(|g| {
+                        g.wait_until(free.ge(put));
+                        g.state_mut().level += put;
+                    });
+                }
+            });
+            let monitor = Arc::clone(&monitor);
+            scope.spawn(move || {
+                let take = 1 + (i as i64 % 3);
+                for _ in 0..ops {
+                    monitor.enter(|g| {
+                        g.wait_until(level.ge(take));
+                        g.state_mut().level -= take;
+                    });
+                }
+            });
+        }
+    });
+
+    let level = monitor.with(|b| b.level);
+    assert!(monitor.is_quiescent(), "leaked waiters or signals");
+    assert_eq!(monitor.parked_waiters(), 0, "leaked parked waiters");
+    assert_eq!(monitor.stats_snapshot().counters.broadcasts, 0);
+    level
+}
+
+#[test]
+fn validated_bounded_buffer_matches_scan_mode() {
+    // validate_relay panics on any routing or no-lost-wakeup violation,
+    // so completing the run in parked mode *is* the zero-violations
+    // assertion; the final levels must agree with the scan-based
+    // reference — across several shard widths, including the degenerate
+    // single data shard.
+    for shards in [1, 2, 3, 8] {
+        let park_level =
+            validated_bounded_buffer(MonitorConfig::autosynch_park().shards(shards), 4, 200);
+        assert_eq!(park_level, 0, "shards({shards}) run did not balance");
+    }
+    assert_eq!(
+        validated_bounded_buffer(MonitorConfig::autosynch_t(), 4, 200),
+        0
+    );
+}
+
+#[test]
+fn validated_cross_shard_predicates_use_the_global_gate() {
+    // Ticketed readers/writers: the writer predicate
+    // `writer == 0 && readers == 0` spans two expressions and (for most
+    // shard counts) parks on the global gate — the monitor-lock
+    // fallback workout.
+    struct Room {
+        readers: i64,
+        writer: i64,
+        stop: i64,
+    }
+    // Pick a shard count that provably separates the two expressions
+    // (ids 0 and 1), so the writer conjunction must route to the
+    // global gate.
+    use autosynch_repro::predicate::deps::expr_shard;
+    use autosynch_repro::predicate::expr::ExprId;
+    let separating = (2..64)
+        .find(|&n| expr_shard(ExprId::from_raw(0), n) != expr_shard(ExprId::from_raw(1), n))
+        .expect("some shard count separates two exprs");
+    let monitor = Arc::new(Monitor::with_config(
+        Room {
+            readers: 0,
+            writer: 0,
+            stop: 0,
+        },
+        MonitorConfig::autosynch_park()
+            .shards(separating)
+            .validate_relay(true),
+    ));
+    let writer = monitor.register_expr("writer", |r: &Room| r.writer);
+    let readers = monitor.register_expr("readers", |r: &Room| r.readers);
+    let stop = monitor.register_expr("stop", |r: &Room| r.stop);
+
+    const WRITERS: usize = 3;
+    const READERS: usize = 9;
+    const OPS: usize = 120;
+    let total_reads = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        // A pinned waiter whose first conjunction spans both separated
+        // expressions: its registration is a *guaranteed* global-gate
+        // (cross-shard) parking, however fast the workload races.
+        let pin = {
+            let monitor = Arc::clone(&monitor);
+            scope.spawn(move || {
+                monitor.enter(|g| {
+                    g.wait_until(writer.eq(5).and(readers.eq(5)).or(stop.eq(1)));
+                });
+            })
+        };
+        let mut handles = Vec::new();
+        for _ in 0..WRITERS {
+            let monitor = Arc::clone(&monitor);
+            handles.push(scope.spawn(move || {
+                for _ in 0..OPS {
+                    monitor.enter(|g| {
+                        g.wait_until(writer.eq(0).and(readers.eq(0)));
+                        g.state_mut().writer = 1;
+                    });
+                    monitor.with(|r| r.writer = 0);
+                }
+            }));
+        }
+        for _ in 0..READERS {
+            let monitor = Arc::clone(&monitor);
+            let total_reads = &total_reads;
+            handles.push(scope.spawn(move || {
+                for _ in 0..OPS {
+                    monitor.enter(|g| {
+                        g.wait_until(writer.eq(0));
+                        g.state_mut().readers += 1;
+                    });
+                    total_reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    monitor.with(|r| r.readers -= 1);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        monitor.with(|r| r.stop = 1); // release the pinned waiter
+        pin.join().unwrap();
+    });
+    assert!(monitor.is_quiescent());
+    assert_eq!(
+        total_reads.load(std::sync::atomic::Ordering::Relaxed),
+        (READERS * OPS) as u64
+    );
+    let snap = monitor.stats_snapshot();
+    assert_eq!(snap.counters.broadcasts, 0);
+    assert!(
+        snap.counters.cross_shard_preds > 0,
+        "the pinned spanning conjunction must have parked on the global gate"
+    );
+}
+
+// --- park-vs-shard-vs-tagged equivalence across all 13 workloads -------
+//
+// Every problem's `run` asserts its own invariants (item conservation,
+// stoichiometry, mutual exclusion, ...) and panics on violation, so
+// completing each run under AutoSynch-Park with zero broadcasts is the
+// equivalence assertion; AutoSynch-Shard and tagged AutoSynch run the
+// identical config as references.
+
+fn park_shard_tagged(run: impl Fn(Mechanism) -> autosynch_repro::problems::RunReport) {
+    for mechanism in [
+        Mechanism::AutoSynchPark,
+        Mechanism::AutoSynchShard,
+        Mechanism::AutoSynch,
+    ] {
+        let report = run(mechanism);
+        assert_eq!(
+            report.stats.counters.broadcasts, 0,
+            "{mechanism} must never signalAll"
+        );
+        if mechanism == Mechanism::AutoSynchPark {
+            assert_eq!(
+                report.stats.counters.signals, 0,
+                "a parked signaler never picks a winner; it only unparks"
+            );
+        }
+    }
+}
+
+#[test]
+fn workload01_bounded_buffer() {
+    park_shard_tagged(|m| {
+        bounded_buffer::run(
+            m,
+            bounded_buffer::BoundedBufferConfig {
+                producers: 4,
+                consumers: 4,
+                ops_per_thread: 300,
+                capacity: 8,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload02_h2o() {
+    park_shard_tagged(|m| {
+        h2o::run(
+            m,
+            h2o::H2oConfig {
+                h_threads: 6,
+                events_per_h: 200,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload03_sleeping_barber() {
+    park_shard_tagged(|m| {
+        sleeping_barber::run(
+            m,
+            sleeping_barber::SleepingBarberConfig {
+                customers: 6,
+                visits_per_customer: 150,
+                chairs: 4,
+            },
+        )
+        .report
+    });
+}
+
+#[test]
+fn workload04_round_robin() {
+    park_shard_tagged(|m| {
+        round_robin::run(
+            m,
+            round_robin::RoundRobinConfig {
+                threads: 8,
+                rounds: 100,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload05_readers_writers() {
+    park_shard_tagged(|m| {
+        readers_writers::run(
+            m,
+            readers_writers::ReadersWritersConfig {
+                writers: 3,
+                readers: 9,
+                ops_per_thread: 100,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload06_dining() {
+    park_shard_tagged(|m| {
+        dining::run(
+            m,
+            dining::DiningConfig {
+                philosophers: 7,
+                meals_per_philosopher: 100,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload07_param_bounded_buffer() {
+    park_shard_tagged(|m| {
+        param_bounded_buffer::run(
+            m,
+            param_bounded_buffer::ParamBoundedBufferConfig {
+                consumers: 4,
+                takes_per_consumer: 80,
+                max_items: 64,
+                capacity: 128,
+                seed: 11,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload08_cigarette_smokers() {
+    park_shard_tagged(|m| {
+        cigarette_smokers::run(
+            m,
+            cigarette_smokers::SmokersConfig {
+                rounds: 240,
+                seed: 42,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload09_unisex_bathroom() {
+    park_shard_tagged(|m| {
+        unisex_bathroom::run(
+            m,
+            unisex_bathroom::BathroomConfig {
+                per_gender: 4,
+                visits: 120,
+                capacity: 3,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload10_group_mutex() {
+    park_shard_tagged(|m| {
+        group_mutex::run(
+            m,
+            group_mutex::GroupMutexConfig {
+                threads: 9,
+                forums: 3,
+                sessions: 120,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload11_one_lane_bridge() {
+    park_shard_tagged(|m| {
+        one_lane_bridge::run(
+            m,
+            one_lane_bridge::BridgeConfig {
+                per_direction: 4,
+                crossings: 120,
+                capacity: 3,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload12_cyclic_barrier() {
+    park_shard_tagged(|m| {
+        cyclic_barrier::run(
+            m,
+            cyclic_barrier::BarrierConfig {
+                parties: 8,
+                generations: 120,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload13_sharded_queues() {
+    park_shard_tagged(|m| {
+        sharded_queues::run(
+            m,
+            sharded_queues::ShardedQueuesConfig {
+                queues: 6,
+                ops_per_queue: 200,
+                capacity: 2,
+            },
+        )
+    });
+}
+
+// --- the acceptance criteria -------------------------------------------
+
+#[test]
+fn parked_waiters_self_check_on_the_headline_workloads() {
+    // The signaler's predicate work must reappear on the waiter side:
+    // nonzero waiter_self_checks on fig11, fig14 and sharded_queues
+    // (the same workloads BENCH_park.json sweeps), with zero broadcasts
+    // and zero signals.
+    let reports = [
+        (
+            "fig11_round_robin",
+            round_robin::run(
+                Mechanism::AutoSynchPark,
+                round_robin::RoundRobinConfig {
+                    threads: 8,
+                    rounds: 100,
+                },
+            ),
+        ),
+        (
+            "fig14_param_bounded_buffer",
+            param_bounded_buffer::run(
+                Mechanism::AutoSynchPark,
+                param_bounded_buffer::ParamBoundedBufferConfig {
+                    consumers: 4,
+                    takes_per_consumer: 80,
+                    max_items: 64,
+                    capacity: 128,
+                    seed: 7,
+                },
+            ),
+        ),
+        (
+            "sharded_queues",
+            sharded_queues::run(
+                Mechanism::AutoSynchPark,
+                sharded_queues::ShardedQueuesConfig {
+                    queues: 4,
+                    ops_per_queue: 200,
+                    capacity: 2,
+                },
+            ),
+        ),
+    ];
+    for (workload, report) in reports {
+        let c = report.stats.counters;
+        assert!(
+            c.waiter_self_checks > 0,
+            "{workload}: parked waiters must self-check ({c:?})"
+        );
+        assert!(c.unparks > 0, "{workload}: signalers must unpark gates");
+        assert_eq!(c.signals, 0, "{workload}: no per-winner signals");
+        assert_eq!(c.broadcasts, 0, "{workload}: no signalAll");
+    }
+}
+
+#[test]
+fn named_mutations_narrow_the_parked_diff() {
+    // sharded_queues uses enter_mutating: under Park the per-exit diff
+    // must evaluate only the touched queue's two expressions, so total
+    // expr_evals stay well below the CD mode's (which also diffs but
+    // without sharding gains on evals — both diff, Park + named should
+    // not exceed it) and named_mutations counts every operation.
+    let config = sharded_queues::ShardedQueuesConfig {
+        queues: 8,
+        ops_per_queue: 200,
+        capacity: 2,
+    };
+    let park = sharded_queues::run(Mechanism::AutoSynchPark, config);
+    let c = park.stats.counters;
+    let ops = (config.queues * config.ops_per_queue * 2) as u64;
+    assert!(
+        c.named_mutations >= ops,
+        "every put/take is a named occupancy: {} < {ops}",
+        c.named_mutations
+    );
+    // Each mutated diff evaluates ~2 named expressions instead of all
+    // 16 live ones; allow generous slack for registration-time evals
+    // and gap re-evaluations.
+    assert!(
+        c.expr_evals < ops * 6,
+        "named diffs should evaluate ~2 exprs per op, got {} for {ops} ops",
+        c.expr_evals
+    );
+}
+
+// --- lost-wakeup stress with ring wraparound ---------------------------
+
+#[test]
+fn park_unpark_survives_ring_wraparound_under_concurrent_writers() {
+    // The snapshot ring has 4 slots; thousands of publishes wrap it
+    // hundreds of times while parked waiters run self-checks against
+    // whatever the latest slot says. A waiter that trusted a torn or
+    // stale read and slept through its wakeup would hang this test; the
+    // armed validator additionally panics on any bare parked waiter
+    // whose predicate is true.
+    struct Buf {
+        level: i64,
+        cap: i64,
+        stop: i64,
+    }
+    let monitor = Arc::new(Monitor::with_config(
+        Buf {
+            level: 0,
+            cap: 3,
+            stop: 0,
+        },
+        MonitorConfig::autosynch_park().validate_relay(true),
+    ));
+    let level = monitor.register_expr("level", |b: &Buf| b.level);
+    let free = monitor.register_expr("free", |b: &Buf| b.cap - b.level);
+    let stop_e = monitor.register_expr("stop", |b: &Buf| b.stop);
+
+    const PAIRS: usize = 3;
+    const OPS: usize = 2_000;
+    std::thread::scope(|scope| {
+        // A long-lived parked waiter whose predicate stays false for
+        // the whole run: its self-checks keep reading the wrapping
+        // ring, and it must still wake for the final mutation.
+        let pin = {
+            let monitor = Arc::clone(&monitor);
+            scope.spawn(move || {
+                monitor.enter(|g| {
+                    g.wait_until(stop_e.eq(1));
+                });
+            })
+        };
+        let mut handles = Vec::new();
+        for _ in 0..PAIRS {
+            let producer = Arc::clone(&monitor);
+            handles.push(scope.spawn(move || {
+                for _ in 0..OPS {
+                    producer.enter(|g| {
+                        g.wait_until(free.ge(1));
+                        g.state_mut().level += 1;
+                    });
+                }
+            }));
+            let consumer = Arc::clone(&monitor);
+            handles.push(scope.spawn(move || {
+                for _ in 0..OPS {
+                    consumer.enter(|g| {
+                        g.wait_until(level.ge(1));
+                        g.state_mut().level -= 1;
+                    });
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        // Only now release the pin waiter: it sat parked through every
+        // ring wraparound of the run.
+        monitor.with(|b| b.stop = 1);
+        pin.join().unwrap();
+    });
+    assert_eq!(monitor.with(|b| b.level), 0);
+    assert!(monitor.is_quiescent());
+    assert_eq!(monitor.parked_waiters(), 0);
+    let snap = monitor.stats_snapshot();
+    assert!(
+        snap.counters.waiter_self_checks > 0,
+        "the stress must exercise self-checks"
+    );
+}
+
+// --- proptests: the no-lost-wakeup invariant ---------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Randomized producer/consumer batch sizes under the armed
+    // validator: any lost wakeup hangs (caught by the harness timeout)
+    // or panics in the protocol checker; any accounting error shows up
+    // as a nonzero final level.
+    #[test]
+    fn randomized_workloads_never_lose_wakeups(
+        pairs in 1usize..=4,
+        ops in 1usize..=60,
+        shards in 1usize..=8,
+    ) {
+        let level = validated_bounded_buffer(
+            MonitorConfig::autosynch_park().shards(shards),
+            pairs,
+            ops,
+        );
+        prop_assert_eq!(level, 0);
+    }
+
+    // Timed waits racing real wakeups: deadlines force the
+    // cancel-dequeue path to interleave with publishes and claims. The
+    // run must neither hang nor leak queue nodes, whatever wins.
+    #[test]
+    fn randomized_timeouts_race_cleanly(timeout_ms in 0u64..=6) {
+        struct Counter { value: i64 }
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::autosynch_park().validate_relay(true),
+        ));
+        let v = m.register_expr("value", |s: &Counter| s.value);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let m = Arc::clone(&m);
+                scope.spawn(move || {
+                    for k in 1..=10i64 {
+                        m.enter(|g| {
+                            g.wait_until_timeout(
+                                v.ge(k),
+                                std::time::Duration::from_millis(timeout_ms),
+                            );
+                        });
+                    }
+                });
+            }
+            let m = Arc::clone(&m);
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    m.with(|s| s.value += 1);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            });
+        });
+        prop_assert!(m.is_quiescent());
+        prop_assert_eq!(m.parked_waiters(), 0);
+    }
+}
