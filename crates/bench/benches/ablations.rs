@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use autosynch::config::{MonitorConfig, ThresholdIndexKind};
+use autosynch::config::{MonitorConfig, SignalMode, ThresholdIndexKind};
 use autosynch::monitor::Monitor;
 use autosynch_problems::mechanism::{timed_run, Mechanism};
 
@@ -43,7 +43,7 @@ fn threshold_churn(config: MonitorConfig, waiters: usize, rounds: usize) {
         } else {
             for round in 0..rounds {
                 let key = ((i * rounds + round) % (waiters * rounds / 2 + 1)) as i64;
-                monitor.enter(|g| g.wait_until(value.ge(key)));
+                monitor.enter(|g| g.wait_transient(value.ge(key)));
             }
         }
     });
@@ -84,7 +84,7 @@ fn read_heavy(config: MonitorConfig, readers: usize, rounds: usize) {
                     let _ = g.state().value;
                 });
             }
-            monitor.enter(|g| g.wait_until(value.ge(rounds as i64)));
+            monitor.enter(|g| g.wait_transient(value.ge(rounds as i64)));
         }
     });
 }
@@ -118,7 +118,7 @@ fn same_predicate_herd(inactive_cap: usize, waiters: usize, rounds: usize) {
         } else {
             for round in 0..rounds {
                 let goal = ((round + 1) * waiters) as i64;
-                monitor.enter(|g| g.wait_until(value.ge(goal)));
+                monitor.enter(|g| g.wait_transient(value.ge(goal)));
             }
         }
     });
@@ -154,7 +154,7 @@ fn herd_release(width: usize, waiters: usize, rounds: usize) {
             }
         } else {
             for round in 0..rounds {
-                monitor.enter(|g| g.wait_until(value.ge((round + 1) as i64)));
+                monitor.enter(|g| g.wait_transient(value.ge((round + 1) as i64)));
             }
         }
     });
@@ -211,20 +211,20 @@ mod flavors {
     pub fn autosynch_buffer(config: MonitorConfig, pairs: usize, ops: usize) {
         let monitor = Arc::new(Monitor::with_config(Buf { count: 0, cap: 8 }, config));
         let count = monitor.register_expr("count", |b: &Buf| b.count);
-        monitor.register_shared_predicate(count.lt(8));
-        monitor.register_shared_predicate(count.gt(0));
+        let not_full = monitor.compile(count.lt(8));
+        let not_empty = monitor.compile(count.gt(0));
         timed_run(pairs * 2, |i| {
             if i % 2 == 0 {
                 for _ in 0..ops {
                     monitor.enter(|g| {
-                        g.wait_until(count.lt(8));
+                        g.wait(&not_full);
                         g.state_mut().count += 1;
                     });
                 }
             } else {
                 for _ in 0..ops {
                     monitor.enter(|g| {
-                        g.wait_until(count.gt(0));
+                        g.wait(&not_empty);
                         g.state_mut().count -= 1;
                     });
                 }
@@ -245,7 +245,7 @@ fn bench_restricted_vs_full(c: &mut Criterion) {
         b.iter(|| flavors::autosynch_buffer(MonitorConfig::new(), 4, 300))
     });
     group.bench_function(BenchmarkId::new("autosynch_t", "4pairs_x300"), |b| {
-        b.iter(|| flavors::autosynch_buffer(MonitorConfig::autosynch_t(), 4, 300))
+        b.iter(|| flavors::autosynch_buffer(MonitorConfig::preset(SignalMode::Untagged), 4, 300))
     });
     group.finish();
 }

@@ -98,6 +98,12 @@ const EXPERIMENTS: &[Experiment] = &[
         run: figures::park_hold,
     },
     Experiment {
+        id: "api",
+        title: "Extension — v2 API cost: compile-once Cond waits vs per-call analysis",
+        expectation: "v2 per-wait setup strictly below v1 on every shape; emits BENCH_api.json",
+        run: figures::api_cost,
+    },
+    Experiment {
         id: "extshardq",
         title: "Extension — sharded queues: N independent queues, one monitor (runtime, seconds)",
         expectation: "disequality (None-tag) predicates; sharding confines each relay to one shard",

@@ -474,6 +474,206 @@ pub fn park_hold() -> Table {
     table
 }
 
+/// Extension: the v2 API's compile-once-wait-many cost accounting.
+///
+/// Two measurements per workload shape, written to `BENCH_api.json`:
+///
+/// * **Per-wait setup** — a single-threaded saturation loop of waits on
+///   an already-true condition, so the measured cost is exactly the
+///   wait-path overhead: the v1 shim re-runs the predicate analysis
+///   (`format!` source, DNF conversion, tagging, dependency extraction,
+///   key computation, table hashing) on every call, while a compiled
+///   [`Cond`](autosynch::Cond) wait does none of it. The v2 number must
+///   be strictly below v1 on every shape — CI asserts it for the fig11
+///   and fig14 shapes.
+/// * **End-to-end delta** — the same concurrent workload shape run
+///   against the v1 shim and the v2 API (fig11 round robin: per-thread
+///   equivalence conditions; fig14 parameterized buffer: bounded
+///   threshold keys; sharded queues: disequality conditions + tracked
+///   writes), at identical outcomes.
+pub fn api_cost() -> Table {
+    use autosynch::config::MonitorConfig;
+    use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
+    use autosynch::Monitor;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let mut table = Table::with_columns(&[
+        "workload",
+        "api",
+        "setup(ns/wait)",
+        "elapsed(s)",
+        "waits",
+        "signals",
+        "named_muts",
+    ]);
+    let mut entries = String::new();
+    let mut record = |workload: &str,
+                      api: &str,
+                      setup_ns: f64,
+                      elapsed_s: f64,
+                      c: &autosynch_metrics::counters::CounterSnapshot| {
+        table.row(vec![
+            workload.to_owned(),
+            api.to_owned(),
+            format!("{setup_ns:.1}"),
+            format!("{elapsed_s:.6}"),
+            c.waits.to_string(),
+            c.signals.to_string(),
+            c.named_mutations.to_string(),
+        ]);
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"workload\": \"{workload}\", \"api\": \"{api}\", \
+             \"setup_ns_per_wait\": {setup_ns:.2}, \"elapsed_s\": {elapsed_s:.6}, \
+             \"waits\": {}, \"signals\": {}, \"wakeups\": {}, \
+             \"named_mutations\": {}, \"broadcasts\": {}}}",
+            c.waits, c.signals, c.wakeups, c.named_mutations, c.broadcasts,
+        ));
+    };
+
+    struct One {
+        v: Tracked<i64>,
+    }
+    impl TrackedState for One {
+        fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+            f(&mut self.v);
+        }
+    }
+
+    // --- per-wait setup: always-true waits, single thread -----------------
+    let setup_iters: u32 = if sweep::full_scale() { 200_000 } else { 40_000 };
+    // One representative condition shape per workload family: fig11's
+    // equivalence (`turn == id`), fig14's threshold (`count >= n`), and
+    // the sharded queues' disequality (`items != 0`).
+    use autosynch_predicate::atom::CmpOp;
+    let shapes: [(&str, CmpOp); 3] = [
+        ("fig11_round_robin", CmpOp::Eq),
+        ("fig14_param_bounded_buffer", CmpOp::Ge),
+        ("ext_sharded_queues", CmpOp::Ne),
+    ];
+    for (workload, op) in shapes {
+        let m = Monitor::new(One { v: Tracked::new(7) });
+        let v = m.register_expr("v", |s: &One| *s.v.get());
+        m.bind(|s| &mut s.v, &[v]);
+        // `7 op key` chosen true for each op so the wait never blocks.
+        let key = match op {
+            CmpOp::Eq => 7,
+            _ => 0, // 7 >= 0 and 7 != 0 both hold
+        };
+        // v1: the analysis re-runs inside every single wait call.
+        let start = Instant::now();
+        for _ in 0..setup_iters {
+            #[allow(deprecated)]
+            m.enter(|g| g.wait_until(v.cmp(op, key)));
+        }
+        let v1_ns = start.elapsed().as_nanos() as f64 / f64::from(setup_iters);
+        let v1_counters = m.stats_snapshot().counters;
+        record(workload, "v1_percall_setup", v1_ns, 0.0, &v1_counters);
+
+        // v2: compiled once, the loop only evaluates.
+        let m = Monitor::new(One { v: Tracked::new(7) });
+        let v = m.register_expr("v", |s: &One| *s.v.get());
+        m.bind(|s| &mut s.v, &[v]);
+        let cond = m.compile(v.cmp(op, key));
+        let start = Instant::now();
+        for _ in 0..setup_iters {
+            m.enter(|g| g.wait(&cond));
+        }
+        let v2_ns = start.elapsed().as_nanos() as f64 / f64::from(setup_iters);
+        let v2_counters = m.stats_snapshot().counters;
+        record(workload, "v2_compiled_setup", v2_ns, 0.0, &v2_counters);
+    }
+
+    // --- end-to-end: fig11 shape, v1 shim vs v2 compiled ------------------
+    struct Turn {
+        turn: Tracked<i64>,
+    }
+    impl TrackedState for Turn {
+        fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+            f(&mut self.turn);
+        }
+    }
+    let threads = if sweep::full_scale() { 16 } else { 8 };
+    let rounds = sweep::ops_per_thread(threads);
+    for api in ["v1_percall", "v2_compiled"] {
+        let m = Arc::new(Monitor::with_config(
+            Turn {
+                turn: Tracked::new(0),
+            },
+            MonitorConfig::default(),
+        ));
+        let turn = m.register_expr("turn", |s: &Turn| *s.turn.get());
+        m.bind(|s| &mut s.turn, &[turn]);
+        let conds: Vec<_> = (0..threads as i64)
+            .map(|id| m.compile(turn.eq(id)))
+            .collect();
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for id in 0..threads as i64 {
+                let m = Arc::clone(&m);
+                let cond = conds[id as usize].clone();
+                scope.spawn(move || {
+                    for _ in 0..rounds {
+                        m.enter_tracked(|g| {
+                            if api == "v2_compiled" {
+                                g.wait(&cond);
+                            } else {
+                                #[allow(deprecated)]
+                                g.wait_until(turn.eq(id));
+                            }
+                            let t = g.state_mut();
+                            *t.turn = (*t.turn + 1).rem_euclid(threads as i64);
+                        });
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        record(
+            "fig11_round_robin",
+            api,
+            0.0,
+            elapsed,
+            &m.stats_snapshot().counters,
+        );
+    }
+
+    // --- end-to-end: fig14 shape (threshold keys) and sharded queues ------
+    // The migrated problem drivers *are* the v2 implementation; their
+    // counters show named mutations on every run.
+    let consumers = if sweep::full_scale() { 32 } else { 8 };
+    let report = param_bounded_buffer::run(Mechanism::AutoSynch, fig14_config(consumers));
+    record(
+        "fig14_param_bounded_buffer",
+        "v2_compiled",
+        0.0,
+        report.elapsed.as_secs_f64(),
+        &report.stats.counters,
+    );
+    let report = sharded_queues::run(
+        Mechanism::AutoSynchShard,
+        shard_queues_config(consumers / 2),
+    );
+    record(
+        "ext_sharded_queues",
+        "v2_compiled",
+        0.0,
+        report.elapsed.as_secs_f64(),
+        &report.stats.counters,
+    );
+
+    let json = format!("{{\n  \"benchmarks\": [\n{entries}\n  ]\n}}\n");
+    let path = "BENCH_api.json";
+    match std::fs::write(path, json) {
+        Ok(()) => println!("   [api-cost series written to {path}]"),
+        Err(err) => eprintln!("   [failed to write {path}: {err}]"),
+    }
+    table
+}
+
 fn shard_queues_config(queues: usize) -> ShardedQueuesConfig {
     let queues = queues.max(2);
     ShardedQueuesConfig {

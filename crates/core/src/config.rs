@@ -104,32 +104,90 @@ impl MonitorConfig {
         Self::default()
     }
 
+    /// The canonical v2 constructor: the paper-default configuration
+    /// with the given signaling mode. Every knob besides the mode keeps
+    /// its paper default, so `preset(a)` vs `preset(b)` comparisons
+    /// isolate the signaling machinery.
+    ///
+    /// This folds the v1 constructor zoo (`autosynch_t` / `autosynch_cd`
+    /// / `autosynch_shard` / `autosynch_park`) into one entry point:
+    ///
+    /// ```
+    /// use autosynch::config::{MonitorConfig, SignalMode};
+    ///
+    /// let parked = MonitorConfig::preset(SignalMode::Parked).shards(4);
+    /// assert_eq!(parked.signal_mode(), SignalMode::Parked);
+    /// ```
+    pub fn preset(mode: SignalMode) -> Self {
+        Self::new().mode(mode)
+    }
+
     /// Shorthand for the AutoSynch-T configuration of §6.2.
+    ///
+    /// ```
+    /// #[allow(deprecated)]
+    /// let shim = autosynch::config::MonitorConfig::autosynch_t();
+    /// assert_eq!(shim.signal_mode(), autosynch::config::SignalMode::Untagged);
+    /// ```
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MonitorConfig::preset(SignalMode::Untagged)`"
+    )]
     pub fn autosynch_t() -> Self {
-        Self::new().mode(SignalMode::Untagged)
+        Self::preset(SignalMode::Untagged)
     }
 
     /// Shorthand for the change-driven ablation: tagged signaling with
     /// expression versioning and dependency-indexed probing (see
     /// [`SignalMode::ChangeDriven`]).
+    ///
+    /// ```
+    /// #[allow(deprecated)]
+    /// let shim = autosynch::config::MonitorConfig::autosynch_cd();
+    /// assert_eq!(shim.signal_mode(), autosynch::config::SignalMode::ChangeDriven);
+    /// ```
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MonitorConfig::preset(SignalMode::ChangeDriven)`"
+    )]
     pub fn autosynch_cd() -> Self {
-        Self::new().mode(SignalMode::ChangeDriven)
+        Self::preset(SignalMode::ChangeDriven)
     }
 
     /// Shorthand for the sharded extension: change-driven signaling over
     /// a dependency-partitioned condition manager (see
     /// [`SignalMode::Sharded`]). Tune the partition width with
     /// [`MonitorConfig::shards`].
+    ///
+    /// ```
+    /// #[allow(deprecated)]
+    /// let shim = autosynch::config::MonitorConfig::autosynch_shard();
+    /// assert_eq!(shim.signal_mode(), autosynch::config::SignalMode::Sharded);
+    /// ```
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MonitorConfig::preset(SignalMode::Sharded)`"
+    )]
     pub fn autosynch_shard() -> Self {
-        Self::new().mode(SignalMode::Sharded)
+        Self::preset(SignalMode::Sharded)
     }
 
     /// Shorthand for the waiter-parking extension: per-shard wait
     /// queues and locks with ring-driven self-service re-checks (see
     /// [`SignalMode::Parked`]). The dependency partition is tuned with
     /// [`MonitorConfig::shards`], exactly as in the sharded mode.
+    ///
+    /// ```
+    /// #[allow(deprecated)]
+    /// let shim = autosynch::config::MonitorConfig::autosynch_park();
+    /// assert_eq!(shim.signal_mode(), autosynch::config::SignalMode::Parked);
+    /// ```
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MonitorConfig::preset(SignalMode::Parked)`"
+    )]
     pub fn autosynch_park() -> Self {
-        Self::new().mode(SignalMode::Parked)
+        Self::preset(SignalMode::Parked)
     }
 
     /// Sets the signaling mode.
@@ -306,6 +364,47 @@ mod tests {
     }
 
     #[test]
+    fn preset_sets_only_the_mode() {
+        for mode in [
+            SignalMode::Tagged,
+            SignalMode::Untagged,
+            SignalMode::ChangeDriven,
+            SignalMode::Sharded,
+            SignalMode::Parked,
+        ] {
+            let c = MonitorConfig::preset(mode);
+            assert_eq!(c.signal_mode(), mode);
+            assert_eq!(c.inactive_capacity(), 64);
+            assert!(c.relays_on_clean_exit());
+            assert_eq!(c.relay_width_value(), 1);
+            assert_eq!(c.shard_count(), 8);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_their_presets() {
+        // The v1 aliases must stay byte-identical to their presets.
+        assert_eq!(
+            MonitorConfig::autosynch_t(),
+            MonitorConfig::preset(SignalMode::Untagged)
+        );
+        assert_eq!(
+            MonitorConfig::autosynch_cd(),
+            MonitorConfig::preset(SignalMode::ChangeDriven)
+        );
+        assert_eq!(
+            MonitorConfig::autosynch_shard(),
+            MonitorConfig::preset(SignalMode::Sharded)
+        );
+        assert_eq!(
+            MonitorConfig::autosynch_park(),
+            MonitorConfig::preset(SignalMode::Parked)
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn autosynch_t_shorthand() {
         assert_eq!(
             MonitorConfig::autosynch_t().signal_mode(),
@@ -314,6 +413,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn autosynch_shard_shorthand() {
         let c = MonitorConfig::autosynch_shard();
         assert_eq!(c.signal_mode(), SignalMode::Sharded);
@@ -327,6 +427,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn autosynch_park_shorthand() {
         let c = MonitorConfig::autosynch_park();
         assert_eq!(c.signal_mode(), SignalMode::Parked);
@@ -345,6 +446,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn autosynch_cd_shorthand() {
         let c = MonitorConfig::autosynch_cd();
         assert_eq!(c.signal_mode(), SignalMode::ChangeDriven);

@@ -33,11 +33,14 @@
 //! |-----------|------|
 //! | explicit-signal | [`explicit::ExplicitMonitor`] |
 //! | baseline (single condvar + signalAll) | [`baseline::BaselineMonitor`] |
-//! | AutoSynch-T (relay, no tags) | [`Monitor`] with [`config::MonitorConfig::autosynch_t`] |
+//! | AutoSynch-T (relay, no tags) | [`Monitor`] with `preset(SignalMode::Untagged)` |
 //! | AutoSynch (full) | [`Monitor`] with defaults |
-//! | AutoSynch-CD (tags + expression versioning) | [`Monitor`] with [`config::MonitorConfig::autosynch_cd`] |
-//! | AutoSynch-Shard (CD + dependency-sharded manager) | [`Monitor`] with [`config::MonitorConfig::autosynch_shard`] |
-//! | AutoSynch-Park (waiter-side parking + self-service re-checks) | [`Monitor`] with [`config::MonitorConfig::autosynch_park`] |
+//! | AutoSynch-CD (tags + expression versioning) | [`Monitor`] with `preset(SignalMode::ChangeDriven)` |
+//! | AutoSynch-Shard (CD + dependency-sharded manager) | [`Monitor`] with `preset(SignalMode::Sharded)` |
+//! | AutoSynch-Park (waiter-side parking + self-service re-checks) | [`Monitor`] with `preset(SignalMode::Parked)` |
+//!
+//! All five automatic variants share one constructor,
+//! [`config::MonitorConfig::preset`].
 //!
 //! AutoSynch-CD is this reproduction's extension beyond the paper: the
 //! condition manager snapshots shared-expression values, diffs them at
@@ -53,10 +56,12 @@
 //! themselves; a signaler's exit only publishes the diff epoch and
 //! unparks the affected queues (after releasing the lock), and each
 //! waiter re-checks its own predicate against the ring — predicate
-//! work leaves the signaler's critical section entirely. The
-//! occupancy-scoped [`Monitor::enter_mutating`] contract additionally
-//! names the touched expressions so diffs evaluate only those. See
-//! `DESIGN.md` for all three soundness arguments.
+//! work leaves the signaler's critical section entirely.
+//! [`tracked::Tracked`] state cells (with
+//! [`Monitor::enter_tracked`]) name the touched expressions on every
+//! write automatically, so diffs evaluate only those — the v2
+//! replacement of the deprecated `enter_mutating` slice contract. See
+//! `DESIGN.md` for the soundness arguments.
 //!
 //! A fifth monitor, [`kessels::KesselsMonitor`], implements the
 //! *restricted* automatic-signal design of Kessels (CACM 1977, the
@@ -69,36 +74,48 @@
 //!
 //! ```
 //! use std::sync::Arc;
+//! use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
 //! use autosynch::Monitor;
 //!
 //! // The parameterized bounded buffer of Fig. 1 — the problem whose
 //! // explicit-signal version is stuck with signalAll.
-//! struct Buffer { data: Vec<u64>, cap: usize }
+//! struct Buffer { data: Tracked<Vec<u64>>, cap: usize }
+//! impl TrackedState for Buffer {
+//!     fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+//!         f(&mut self.data);
+//!     }
+//! }
 //!
-//! let m = Arc::new(Monitor::new(Buffer { data: Vec::new(), cap: 16 }));
+//! let m = Arc::new(Monitor::new(Buffer { data: Tracked::new(Vec::new()), cap: 16 }));
 //! let count = m.register_expr("count", |b| b.data.len() as i64);
 //! let free = m.register_expr("free", |b| (b.cap - b.data.len()) as i64);
+//! m.bind(|b| &mut b.data, &[count, free]); // writes to `data` name both
+//!
+//! // Compile once, wait many: the DNF/tag/key analysis never re-runs.
+//! let has_room = m.compile(free.ge(3));
+//! let has_items = m.compile(count.ge(3));
 //!
 //! let producer = {
 //!     let m = Arc::clone(&m);
+//!     let has_room = has_room.clone();
 //!     std::thread::spawn(move || {
 //!         let items = [1u64, 2, 3];
-//!         m.enter(|g| {
-//!             g.wait_until(free.ge(items.len() as i64)); // waituntil!
+//!         m.enter_tracked(|g| {
+//!             g.wait(&has_room); // waituntil!
 //!             g.state_mut().data.extend_from_slice(&items);
 //!         });
 //!     })
 //! };
 //!
-//! let taken = m.enter(|g| {
-//!     g.wait_until(count.ge(3));
+//! let taken = m.enter_tracked(|g| {
+//!     g.wait(&has_items);
 //!     g.state_mut().data.drain(..3).collect::<Vec<_>>()
 //! });
 //! producer.join().unwrap();
 //! assert_eq!(taken, vec![1, 2, 3]);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod baseline;
@@ -113,17 +130,20 @@ pub(crate) mod parking;
 pub mod slab;
 pub mod stats;
 pub mod threshold_index;
+pub mod tracked;
 
 pub use baseline::BaselineMonitor;
 pub use config::{MonitorConfig, SignalMode, ThresholdIndexKind};
 pub use explicit::{CondId, ExplicitMonitor};
 pub use kessels::{KesselsCond, KesselsMonitor};
-pub use monitor::{Monitor, MonitorGuard};
+pub use monitor::{ManagerCounts, Monitor, MonitorGuard};
 pub use stats::{HoldSnapshot, HoldTimes, MonitorStats, StatsSnapshot};
+pub use tracked::{Tracked, TrackedCell, TrackedState};
 
 // Re-export the predicate vocabulary so `use autosynch::*` users can
 // build conditions without naming the analysis crate.
 pub use autosynch_predicate::ast::BoolExpr;
+pub use autosynch_predicate::cond::Cond;
 pub use autosynch_predicate::expr::{ExprHandle, ExprId, ExprTable};
 pub use autosynch_predicate::predicate::{IntoPredicate, Predicate};
 pub use autosynch_predicate::tag::Tag;

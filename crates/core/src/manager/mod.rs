@@ -8,15 +8,15 @@
 //!   waiting on a syntax-equivalent condition;
 //! * the **predicate table** mapping structural keys to entries, so
 //!   syntax-equivalent predicates reuse one condition variable;
-//! * one or more [**shards**](shard::Shard), each holding the tag
+//! * one or more **shards** (`shard::Shard`), each holding the tag
 //!   indexes (equivalence hash table, threshold heaps, `None` lists)
 //!   for a disjoint partition of the expression space. The `Tagged` and
 //!   `ChangeDriven` modes run the degenerate 1-way partition; the
 //!   `Sharded` mode partitions by dependency footprint via the
-//!   [router](router::ShardRouter) and probes only the shards a
+//!   router (`router::ShardRouter`) and probes only the shards a
 //!   mutation can have affected, following the batched
-//!   [relay plan](relay_plan::RelayPlan);
-//! * the **snapshot ring** ([`snapshot_ring::SnapshotRing`]) — a
+//!   relay plan (`relay_plan::RelayPlan`);
+//! * the **snapshot ring** (`snapshot_ring::SnapshotRing`) — a
 //!   lock-free seqlock ring the change-driven diff publishes into, so
 //!   observers read the latest expression values without the monitor
 //!   lock;
@@ -41,6 +41,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use autosynch_metrics::phase::Phase;
+use autosynch_predicate::cond::CondTable;
 use autosynch_predicate::expr::{ExprId, ExprTable};
 use autosynch_predicate::key::PredKey;
 use autosynch_predicate::predicate::Predicate;
@@ -59,9 +60,11 @@ use shard::{Shard, ValueCache};
 pub(crate) use snapshot_ring::SnapshotRing;
 
 /// One predicate entry: the globalized condition, its condition variable
-/// and the waiter counters.
+/// and the waiter counters. The predicate is `Arc`-shared so compiled
+/// conditions (`Cond`) and parked waiters hold it without deep-cloning
+/// the DNF.
 pub(crate) struct PredEntry<S> {
-    pred: Predicate<S>,
+    pred: Arc<Predicate<S>>,
     condvar: Arc<Condvar>,
     waiting: u32,
     signaled: u32,
@@ -80,6 +83,12 @@ pub(crate) struct PredEntry<S> {
 pub(crate) struct ConditionManager<S> {
     entries: Slab<PredEntry<S>>,
     table: HashMap<PredKey, PredId>,
+    /// The compiled-condition intern table (`Monitor::compile`): one
+    /// slot per distinct `PredKey`, pinned for the monitor's lifetime.
+    conds: CondTable<S>,
+    /// Slot → predicate-table entry, aligned with `conds`. Compiled
+    /// entries are persistent, so these ids never dangle.
+    cond_pids: Vec<PredId>,
     /// Every active entry, for the untagged linear scan.
     scan_list: Vec<PredId>,
     /// The tag-index partitions. One shard for `Tagged`/`ChangeDriven`;
@@ -155,6 +164,8 @@ impl<S> ConditionManager<S> {
         ConditionManager {
             entries: Slab::new(),
             table: HashMap::new(),
+            conds: CondTable::new(),
+            cond_pids: Vec::new(),
             scan_list: Vec::new(),
             shards: (0..shard_slots)
                 .map(|_| Shard::new(config.threshold_index_kind()))
@@ -241,7 +252,7 @@ impl<S> ConditionManager<S> {
 
     /// Interns a predicate: returns the existing entry for a
     /// syntax-equivalent predicate or creates a new one.
-    fn find_or_create(&mut self, pred: Predicate<S>, persistent: bool) -> PredId {
+    fn find_or_create(&mut self, pred: Arc<Predicate<S>>, persistent: bool) -> PredId {
         if let Some(key) = pred.key() {
             if let Some(&pid) = self.table.get(key) {
                 if persistent {
@@ -270,17 +281,77 @@ impl<S> ConditionManager<S> {
     /// Pre-registers a shared predicate (§5.1: shared predicates are added
     /// in the constructor and never removed).
     pub(crate) fn register_persistent(&mut self, pred: Predicate<S>) -> PredId {
-        let pid = self.find_or_create(pred, true);
+        let pid = self.find_or_create(Arc::new(pred), true);
         self.unlink_inactive(pid);
+        pid
+    }
+
+    /// Compiles a predicate into a condition slot: the analysis is
+    /// interned by structural key in the [`CondTable`], the predicate
+    /// table gets (or reuses) a **persistent** entry for it, and the
+    /// returned slot resolves to that entry in O(1) forever after —
+    /// `register_waiter_slot` is the allocation- and hash-free wait
+    /// path built on top.
+    ///
+    /// Persistence is what keeps slots valid: compiled conditions are
+    /// the paper's §5.1 shared predicates ("added in the constructor
+    /// and never removed"), generalized to any key.
+    pub(crate) fn compile(&mut self, pred: Predicate<S>) -> (u32, Arc<Predicate<S>>) {
+        let (slot, arc) = self.conds.intern(pred);
+        if slot as usize == self.cond_pids.len() {
+            let pid = self.find_or_create(Arc::clone(&arc), true);
+            self.unlink_inactive(pid);
+            self.cond_pids.push(pid);
+        }
+        debug_assert!((slot as usize) < self.cond_pids.len());
+        (slot, arc)
+    }
+
+    /// Registers the calling thread as a waiter on the compiled
+    /// condition at `slot` and activates the entry's tags — no key
+    /// hashing, no interning, no allocation. The predicate handle is
+    /// cross-checked against the slot's entry, so a hand-forged `Cond`
+    /// (constructed via `Cond::new` instead of `Monitor::compile`)
+    /// fails loudly instead of registering on the wrong entry.
+    pub(crate) fn register_waiter_slot(
+        &mut self,
+        slot: u32,
+        pred: &Arc<Predicate<S>>,
+        stats: &MonitorStats,
+    ) -> PredId {
+        let timer = stats.phases.start(Phase::TagManager);
+        let pid = *self
+            .cond_pids
+            .get(slot as usize)
+            .expect("Cond slot was not issued by this monitor's compile table");
+        let entry = &mut self.entries[pid];
+        // A compiled cond usually shares the entry's Arc; when the
+        // entry predates the compile (a v1 shim wait interned it
+        // first), the two are distinct allocations of syntax-equivalent
+        // predicates — equal structural keys. Keyless conditions are
+        // never interned by key, so for them only pointer identity
+        // proves the pairing.
+        let matches = Arc::ptr_eq(&entry.pred, pred)
+            || (entry.pred.key().is_some() && entry.pred.key() == pred.key());
+        assert!(
+            matches,
+            "Cond predicate does not match its slot — construct Conds via Monitor::compile"
+        );
+        entry.waiting += 1;
+        if !entry.tags_active {
+            self.activate_tags(pid, stats);
+        }
+        timer.finish();
         pid
     }
 
     /// Registers the calling thread as a waiter on `pred` and activates
     /// the entry's tags. Returns the entry id the waiter keeps for the
-    /// rest of its `waituntil`.
+    /// rest of its `waituntil`. (The per-wait interning path — compiled
+    /// conditions use [`ConditionManager::register_waiter_slot`].)
     pub(crate) fn register_waiter(&mut self, pred: Predicate<S>, stats: &MonitorStats) -> PredId {
         let timer = stats.phases.start(Phase::TagManager);
-        let pid = self.find_or_create(pred, false);
+        let pid = self.find_or_create(Arc::new(pred), false);
         self.unlink_inactive(pid);
         let entry = &mut self.entries[pid];
         entry.waiting += 1;
@@ -300,6 +371,17 @@ impl<S> ConditionManager<S> {
     /// The entry's predicate, for re-evaluation after a wakeup.
     pub(crate) fn entry_pred(&self, pid: PredId) -> &Predicate<S> {
         &self.entries[pid].pred
+    }
+
+    /// The entry's predicate by shared handle (parked waiters keep it
+    /// across lock releases without deep-cloning the DNF).
+    pub(crate) fn entry_pred_arc(&self, pid: PredId) -> Arc<Predicate<S>> {
+        Arc::clone(&self.entries[pid].pred)
+    }
+
+    /// Number of compiled-condition slots (diagnostics and tests).
+    pub(crate) fn compiled_count(&self) -> usize {
+        self.conds.len()
     }
 
     /// A woken thread found its predicate false (another thread barged in

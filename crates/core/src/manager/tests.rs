@@ -127,7 +127,7 @@ fn relay_falls_back_to_none_tags() {
 #[test]
 fn untagged_mode_scans_linearly() {
     let (exprs, count, _, _) = setup();
-    let mut mgr = ConditionManager::new(MonitorConfig::autosynch_t());
+    let mut mgr = ConditionManager::new(MonitorConfig::preset(SignalMode::Untagged));
     let stats = MonitorStats::new(false);
     let before = stats.counters.snapshot();
     let _a = mgr.register_waiter(count.eq(100).into_predicate(), &stats);
@@ -298,7 +298,8 @@ fn cd_setup() -> (
 ) {
     let mut exprs = ExprTable::new();
     let count = exprs.register("count", |s: &St| s.count);
-    let mgr = ConditionManager::new(MonitorConfig::autosynch_cd().validate_relay(true));
+    let mgr =
+        ConditionManager::new(MonitorConfig::preset(SignalMode::ChangeDriven).validate_relay(true));
     (exprs, count, mgr, MonitorStats::new(false))
 }
 
@@ -337,7 +338,7 @@ fn change_driven_skips_probes_for_unchanged_dependencies() {
     let a = exprs.register("a", |s: &St2| s.a);
     let b = exprs.register("b", |s: &St2| s.b);
     let mut mgr: ConditionManager<St2> =
-        ConditionManager::new(MonitorConfig::autosynch_cd().validate_relay(true));
+        ConditionManager::new(MonitorConfig::preset(SignalMode::ChangeDriven).validate_relay(true));
     let stats = MonitorStats::new(false);
     // Waiter 1 depends on `a` alone; waiter 2 depends on `b` alone,
     // with a tag (`b <= 100`) that stays true so the heap walk always
@@ -518,15 +519,15 @@ fn separated_pair(
 
 #[test]
 fn sharded_manager_allocates_data_plus_global_shards() {
-    let (_, _, mgr, _) = shard_setup(MonitorConfig::autosynch_shard().shards(3));
+    let (_, _, mgr, _) = shard_setup(MonitorConfig::preset(SignalMode::Sharded).shards(3));
     assert_eq!(mgr.shard_slot_count(), 4, "3 data shards + global");
-    let (_, _, cd, _) = shard_setup(MonitorConfig::autosynch_cd());
+    let (_, _, cd, _) = shard_setup(MonitorConfig::preset(SignalMode::ChangeDriven));
     assert_eq!(cd.shard_slot_count(), 1, "non-sharded modes use one shard");
 }
 
 #[test]
 fn sharded_finds_true_threshold_predicate() {
-    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::preset(SignalMode::Sharded));
     let v = handles[0];
     let pid = mgr.register_waiter(v.ge(10).into_predicate(), &stats);
     assert_eq!(mgr.relay_signal(&StN::default(), &exprs, &stats), None);
@@ -538,7 +539,7 @@ fn sharded_finds_true_threshold_predicate() {
 
 #[test]
 fn sharded_skips_relay_on_unchanged_state() {
-    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::preset(SignalMode::Sharded));
     mgr.register_waiter(handles[0].ge(10).into_predicate(), &stats);
     mgr.register_waiter(handles[1].ne(0).into_predicate(), &stats);
     let state = StN::default();
@@ -559,7 +560,7 @@ fn sharded_confines_post_hit_probes_to_the_hit_shard() {
     // relay that signals waiter A, the follow-up relay on unmutated
     // state re-probes only A's shard — CD's global probe-all would
     // re-evaluate waiter B too.
-    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::preset(SignalMode::Sharded));
     let (a, b) = separated_pair(&handles, &mgr);
     let pid_a = mgr.register_waiter(a.ne(0).into_predicate(), &stats);
     let _pid_b = mgr.register_waiter(b.ne(0).into_predicate(), &stats);
@@ -590,7 +591,7 @@ fn sharded_batches_independent_shard_signals() {
     // relay_width 2 a single relay call signals both in one batched
     // pass and records the extra signal.
     let (exprs, handles, mut mgr, stats) =
-        shard_setup(MonitorConfig::autosynch_shard().relay_width(2));
+        shard_setup(MonitorConfig::preset(SignalMode::Sharded).relay_width(2));
     let (a, b) = separated_pair(&handles, &mgr);
     let pid_a = mgr.register_waiter(a.ne(0).into_predicate(), &stats);
     let pid_b = mgr.register_waiter(b.ne(0).into_predicate(), &stats);
@@ -613,7 +614,7 @@ fn sharded_batches_independent_shard_signals() {
 fn sharded_width_one_still_finds_leftover_true_waiters() {
     // Width 1 stops at the first hit; the other shard's true waiter
     // must be found by the follow-up relay on unmutated state.
-    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::preset(SignalMode::Sharded));
     let (a, b) = separated_pair(&handles, &mgr);
     let pid_a = mgr.register_waiter(a.ne(0).into_predicate(), &stats);
     let pid_b = mgr.register_waiter(b.ne(0).into_predicate(), &stats);
@@ -633,7 +634,7 @@ fn sharded_width_one_still_finds_leftover_true_waiters() {
 
 #[test]
 fn sharded_cross_shard_conjunction_lands_in_global_and_signals() {
-    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::preset(SignalMode::Sharded));
     let (a, b) = separated_pair(&handles, &mgr);
     let before = stats.counters.snapshot();
     let pid = mgr.register_waiter(a.ge(1).and(b.ge(1)).into_predicate(), &stats);
@@ -649,7 +650,7 @@ fn sharded_cross_shard_conjunction_lands_in_global_and_signals() {
 
 #[test]
 fn sharded_opaque_predicates_go_global_and_always_probe() {
-    let (exprs, _, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (exprs, _, mut mgr, stats) = shard_setup(MonitorConfig::preset(SignalMode::Sharded));
     let before = stats.counters.snapshot();
     let pid = mgr.register_waiter(
         Predicate::custom("odd", |s: &StN| s.values[0] % 2 == 1),
@@ -685,7 +686,7 @@ fn sharded_opaque_eq_tagged_conjunction_wakes_on_untracked_mutation() {
     let mut exprs = ExprTable::new();
     let x = exprs.register("x", |s: &Flagged| s.x);
     let mut mgr: ConditionManager<Flagged> =
-        ConditionManager::new(MonitorConfig::autosynch_shard().validate_relay(true));
+        ConditionManager::new(MonitorConfig::preset(SignalMode::Sharded).validate_relay(true));
     let stats = MonitorStats::new(false);
     let pred = x
         .eq(5)
@@ -705,7 +706,7 @@ fn sharded_opaque_eq_tagged_conjunction_wakes_on_untracked_mutation() {
 
 #[test]
 fn sharded_cleans_up_indexes_on_deactivation() {
-    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::preset(SignalMode::Sharded));
     let (a, b) = separated_pair(&handles, &mgr);
     let pid_a = mgr.register_waiter(a.ne(0).into_predicate(), &stats);
     let pid_cross = mgr.register_waiter(a.ge(1).and(b.ge(1)).into_predicate(), &stats);
@@ -730,7 +731,7 @@ fn sharded_cleans_up_indexes_on_deactivation() {
 
 #[test]
 fn sharded_futile_wakeup_reactivates_into_the_same_shard() {
-    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::preset(SignalMode::Sharded));
     let v = handles[0];
     let pid = mgr.register_waiter(v.ge(10).into_predicate(), &stats);
     mgr.note_mutation();
@@ -749,7 +750,7 @@ fn sharded_futile_wakeup_reactivates_into_the_same_shard() {
 
 #[test]
 fn sharded_diff_publishes_to_the_ring() {
-    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::preset(SignalMode::Sharded));
     let v = handles[0];
     mgr.register_waiter(v.ge(10).into_predicate(), &stats);
     let ring = mgr.ring();
@@ -770,7 +771,8 @@ fn sharded_single_data_shard_degenerates_to_change_driven() {
     // shards(1) still has a global shard but every transparent
     // conjunction routes to data shard 0 — behaviour (not counters)
     // matches CD.
-    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard().shards(1));
+    let (exprs, handles, mut mgr, stats) =
+        shard_setup(MonitorConfig::preset(SignalMode::Sharded).shards(1));
     let v = handles[0];
     let pid = mgr.register_waiter(v.eq(5).into_predicate(), &stats);
     assert_eq!(mgr.relay_signal(&StN::default(), &exprs, &stats), None);
@@ -784,7 +786,7 @@ fn sharded_single_data_shard_degenerates_to_change_driven() {
 
 #[test]
 fn parked_routes_confined_and_spanning_predicates_to_their_gates() {
-    let (_, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_park());
+    let (_, handles, mut mgr, stats) = shard_setup(MonitorConfig::preset(SignalMode::Parked));
     let (a, b) = separated_pair(&handles, &mgr);
     let confined = mgr.register_waiter(a.ge(10).into_predicate(), &stats);
     assert_eq!(
@@ -805,7 +807,7 @@ fn parked_routes_confined_and_spanning_predicates_to_their_gates() {
 
 #[test]
 fn parked_relay_announces_wakes_for_affected_gates_only() {
-    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_park());
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::preset(SignalMode::Parked));
     let (a, b) = separated_pair(&handles, &mgr);
     let pid_a = mgr.register_waiter(a.ge(10).into_predicate(), &stats);
     let pid_b = mgr.register_waiter(b.ge(10).into_predicate(), &stats);
@@ -859,7 +861,7 @@ fn parked_relay_announces_wakes_for_affected_gates_only() {
 
 #[test]
 fn parked_unmutated_relay_skips_and_wakes_no_one() {
-    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_park());
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::preset(SignalMode::Parked));
     mgr.register_waiter(handles[0].ge(10).into_predicate(), &stats);
     mgr.note_mutation();
     let state = StN::default();
@@ -884,7 +886,7 @@ fn parked_validator_catches_a_lost_wakeup() {
     // that made its predicate true — and the armed validator must
     // catch it at that very relay. (The parked helper thread is
     // intentionally leaked; the panic is the test's success.)
-    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_park());
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::preset(SignalMode::Parked));
     let (a, b) = separated_pair(&handles, &mgr);
     let pid = mgr.register_waiter(a.ge(10).into_predicate(), &stats);
     let wrong_gate = mgr.router.shard_of_expr(b.id());
@@ -909,7 +911,7 @@ fn parked_validator_catches_a_lost_wakeup() {
 
 #[test]
 fn named_mutation_diff_evaluates_only_the_touched_expressions() {
-    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::preset(SignalMode::Sharded));
     let (a, b) = separated_pair(&handles, &mgr);
     mgr.register_waiter(a.ge(10).into_predicate(), &stats);
     mgr.register_waiter(b.ge(10).into_predicate(), &stats);
@@ -935,7 +937,7 @@ fn named_mutation_diff_evaluates_only_the_touched_expressions() {
 
 #[test]
 fn blanket_mutation_poisons_a_named_window() {
-    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::autosynch_shard());
+    let (exprs, handles, mut mgr, stats) = shard_setup(MonitorConfig::preset(SignalMode::Sharded));
     let (a, b) = separated_pair(&handles, &mgr);
     mgr.register_waiter(a.ge(10).into_predicate(), &stats);
     mgr.register_waiter(b.ge(10).into_predicate(), &stats);

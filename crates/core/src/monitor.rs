@@ -14,6 +14,16 @@
 //! those values are snapshots of the caller's locals taken at
 //! construction time.
 //!
+//! # The v2 API: compile once, wait many
+//!
+//! [`Monitor::compile`] runs the whole predicate analysis (DNF, tags,
+//! dependency sets, structural key, shard route) exactly once and
+//! returns a reusable [`Cond`] handle; [`MonitorGuard::wait`] on that
+//! handle is allocation- and hash-free. [`Tracked`](crate::tracked)
+//! state cells paired with [`Monitor::enter_tracked`] make every write
+//! name the touched shared expressions automatically, so the precise
+//! change-driven diffs never depend on caller discipline.
+//!
 //! # Examples
 //!
 //! The parameterized bounded buffer of Fig. 1, whose explicit-signal
@@ -21,25 +31,31 @@
 //!
 //! ```
 //! use std::sync::Arc;
+//! use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
 //! use autosynch::Monitor;
 //!
-//! struct Buffer { items: Vec<u64>, cap: usize }
+//! struct Buffer { items: Tracked<Vec<u64>>, cap: usize }
+//! impl TrackedState for Buffer {
+//!     fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+//!         f(&mut self.items);
+//!     }
+//! }
 //!
-//! let monitor = Arc::new(Monitor::new(Buffer { items: Vec::new(), cap: 8 }));
+//! let monitor = Arc::new(Monitor::new(Buffer { items: Tracked::new(Vec::new()), cap: 8 }));
 //! let count = monitor.register_expr("count", |b| b.items.len() as i64);
-//! let cap = monitor.register_expr("cap", |b| b.cap as i64);
+//! let free = monitor.register_expr("free", |b| (b.cap - b.items.len()) as i64);
+//! monitor.bind(|b| &mut b.items, &[count, free]);
 //!
 //! // Producer: waituntil(count + n <= cap), i.e. cap - count >= n.
-//! let free = monitor.register_expr("free", |b| (b.cap - b.items.len()) as i64);
-//! let n = 3; // a "local variable"; its value globalizes into the predicate
-//! monitor.enter(|g| {
-//!     g.wait_until(free.ge(n));
+//! let n = 3; // a "local variable"; its value globalizes into the condition
+//! let has_room = monitor.compile(free.ge(n)); // analyzed exactly once
+//! monitor.enter_tracked(|g| {
+//!     g.wait(&has_room);
 //!     for i in 0..n {
-//!         g.state_mut().items.push(i as u64);
+//!         g.state_mut().items.push(i as u64); // write names `count`/`free`
 //!     }
 //! });
-//! assert_eq!(monitor.with(|b| b.items.len()), 3);
-//! # let _ = (count, cap);
+//! assert_eq!(monitor.with_tracked(|b| b.items.len()), 3);
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,14 +63,17 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use autosynch_metrics::phase::Phase;
+use autosynch_predicate::cond::Cond;
 use autosynch_predicate::expr::{ExprHandle, ExprId, ExprTable};
 use autosynch_predicate::predicate::{IntoPredicate, Predicate};
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
 use crate::config::{MonitorConfig, SignalMode};
+use crate::eq_index::PredId;
 use crate::manager::{ConditionManager, SnapshotRing};
 use crate::parking::{snapshot_verdict, ParkOutcome, ParkSlot, ParkingLot, Verdict};
 use crate::stats::{MonitorStats, StatsSnapshot};
+use crate::tracked::{MutationSink, TrackedState};
 
 mod thread_id {
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,6 +89,32 @@ mod thread_id {
     }
 }
 
+/// Named diagnostic counts of a monitor's condition manager — the v2
+/// replacement of the bare `(entries, waiting, signaled, live_tags)`
+/// tuple returned by the deprecated [`Monitor::manager_counts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ManagerCounts {
+    /// Live predicate-table entries (active + inactive).
+    pub entries: usize,
+    /// Blocked, unsignaled waiters across all entries.
+    pub waiting: usize,
+    /// Signaled-but-not-yet-resumed threads (the paper's *active* set).
+    pub signaled: usize,
+    /// Live tags across the tag indexes (or the untagged scan list).
+    pub live_tags: usize,
+    /// Compiled-condition slots pinned in the monitor's `CondTable`.
+    pub compiled: usize,
+}
+
+/// The monomorphized cell-drain hook installed by
+/// [`Monitor::enter_tracked`]: a plain function pointer, so the guard
+/// stays object-free and `Copy`-cheap for non-tracked entries.
+type DrainFn<S> = fn(&mut S, &mut MutationSink);
+
+fn drain_cells<S: TrackedState>(state: &mut S, sink: &mut MutationSink) {
+    state.for_each_cell(&mut |cell| cell.drain_touched(sink));
+}
+
 struct Inner<S> {
     state: S,
     mgr: ConditionManager<S>,
@@ -79,6 +124,12 @@ struct Inner<S> {
     // relay chain (§4.2) alive, and absorbing it without passing it on
     // would strand other waiters whose predicates are already true.
     signaled: bool,
+    // A tracked occupancy touched `state_mut` and the dirty cells have
+    // not yet been drained into the condition manager; the guard
+    // flushes right before every relay.
+    tracked_pending: bool,
+    // Reusable touched-expression accumulator for tracked flushes.
+    sink: MutationSink,
 }
 
 /// An automatic-signal monitor protecting shared state `S`.
@@ -93,6 +144,9 @@ pub struct Monitor<S> {
     stats: Arc<MonitorStats>,
     config: MonitorConfig,
     owner: AtomicU64,
+    /// Process-unique identity token stamped into every [`Cond`] this
+    /// monitor compiles, so waits reject foreign conditions.
+    token: u64,
     /// The condition manager's lock-free snapshot ring, held outside the
     /// mutex so [`Monitor::latest_expr_snapshot`] never contends with
     /// occupants.
@@ -121,6 +175,7 @@ impl<S> Monitor<S> {
     /// Creates a monitor with an explicit configuration (AutoSynch-T,
     /// timing, ablations).
     pub fn with_config(state: S, config: MonitorConfig) -> Self {
+        static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
         let mgr = ConditionManager::new(config);
         let ring = mgr.ring();
         let parking = mgr.parking();
@@ -130,11 +185,14 @@ impl<S> Monitor<S> {
                 mgr,
                 dirty: false,
                 signaled: false,
+                tracked_pending: false,
+                sink: MutationSink::new(),
             }),
             exprs: RwLock::new(ExprTable::new()),
             stats: MonitorStats::new(config.timing_enabled()),
             config,
             owner: AtomicU64::new(0),
+            token: NEXT_TOKEN.fetch_add(1, Ordering::Relaxed),
             ring,
             parking,
         }
@@ -169,10 +227,78 @@ impl<S> Monitor<S> {
         self.exprs.write().register_or_get(name, f)
     }
 
+    /// Compiles a waiting condition: the whole predicate analysis (DNF
+    /// conversion, tag assignment, dependency extraction, structural
+    /// key, shard-route derivation) runs **once**, the result is
+    /// interned by key in the monitor's condition table, and the
+    /// returned [`Cond`] makes every subsequent [`MonitorGuard::wait`]
+    /// an allocation- and hash-free, probe-ready wait.
+    ///
+    /// Compiling a syntax-equivalent condition twice returns handles to
+    /// the same slot (and the same shared analysis). Compiled
+    /// conditions are pinned for the monitor's lifetime — they are the
+    /// §5.1 persistent shared predicates, generalized to any key — so
+    /// compile in setup code or once per distinct globalized value, not
+    /// in an unbounded-key loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from inside the monitor (the compile takes
+    /// the monitor lock) or when the condition overflows the DNF limit.
+    pub fn compile(&self, cond: impl IntoPredicate<S>) -> Cond<S> {
+        assert_ne!(
+            self.owner.load(Ordering::Relaxed),
+            thread_id::current(),
+            "Monitor::compile called from inside the monitor"
+        );
+        let pred = cond.into_predicate();
+        let (slot, arc) = self.inner.lock().mgr.compile(pred);
+        Cond::new(arc, slot, self.token)
+    }
+
+    /// Binds the [`Tracked`](crate::tracked::Tracked) cell selected by
+    /// `cell` to the shared expressions that read it, so writes to the
+    /// cell automatically name those expressions under
+    /// [`Monitor::enter_tracked`]. Call once per cell at setup time,
+    /// after registering the expressions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from inside the monitor.
+    pub fn bind<T>(
+        &self,
+        cell: impl FnOnce(&mut S) -> &mut crate::tracked::Tracked<T>,
+        deps: &[ExprHandle<S>],
+    ) {
+        assert_ne!(
+            self.owner.load(Ordering::Relaxed),
+            thread_id::current(),
+            "Monitor::bind called from inside the monitor"
+        );
+        let mut inner = self.inner.lock();
+        // Binding only touches cell metadata, but announce a blanket
+        // mutation anyway: setup-time conservatism is free.
+        inner.mgr.note_mutation();
+        let tracked = cell(&mut inner.state);
+        for handle in deps {
+            tracked.bind(handle.id());
+        }
+    }
+
     /// Pre-registers a shared predicate so its entry is persistent (§5.1:
     /// shared predicates are added in the constructor and never removed).
-    /// Purely an optimization; `wait_until` interns predicates on demand
-    /// either way.
+    ///
+    /// ```
+    /// # struct S { x: i64 }
+    /// # let m = autosynch::Monitor::new(S { x: 1 });
+    /// # let x = m.register_expr("x", |s: &S| s.x);
+    /// #[allow(deprecated)]
+    /// m.register_shared_predicate(x.gt(0)); // v1 shim — still compiles
+    /// ```
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Monitor::compile` — a compiled `Cond` is persistent and reusable"
+    )]
     pub fn register_shared_predicate(&self, pred: impl IntoPredicate<S>) {
         let pred = pred.into_predicate();
         self.inner.lock().mgr.register_persistent(pred);
@@ -187,7 +313,22 @@ impl<S> Monitor<S> {
     /// Panics when called re-entrantly from the same thread: the monitor
     /// lock is not reentrant, and recursing would deadlock.
     pub fn enter<R>(&self, f: impl FnOnce(&mut MonitorGuard<'_, S>) -> R) -> R {
-        self.enter_inner(None, f)
+        self.enter_inner(None, None, f)
+    }
+
+    /// Like [`Monitor::enter`], for state types whose expression-feeding
+    /// fields live in [`Tracked`](crate::tracked::Tracked) cells: every
+    /// write inside the occupancy automatically names the touched
+    /// shared expressions, so the change-driven snapshot diff evaluates
+    /// only those — PR-3's precise named-mutation diffs without the
+    /// manual slice-of-ids contract. A write to a cell with no bound
+    /// expressions conservatively downgrades the occupancy to a blanket
+    /// mutation; under-reporting is impossible by construction.
+    pub fn enter_tracked<R>(&self, f: impl FnOnce(&mut MonitorGuard<'_, S>) -> R) -> R
+    where
+        S: TrackedState,
+    {
+        self.enter_inner(None, Some(drain_cells::<S>), f)
     }
 
     /// Like [`Monitor::enter`], with a **named-mutation contract**: the
@@ -204,18 +345,32 @@ impl<S> Monitor<S> {
     /// Breaking the promise (mutating state an unnamed expression
     /// reads) can lose wakeups; the `validate_relay` checker catches
     /// such violations in tests, exactly as it catches index bugs.
+    ///
+    /// ```
+    /// # struct S { x: i64 }
+    /// # let m = autosynch::Monitor::new(S { x: 0 });
+    /// # let x = m.register_expr("x", |s: &S| s.x);
+    /// #[allow(deprecated)]
+    /// m.enter_mutating(&[x.id()], |g| g.state_mut().x = 1); // v1 shim
+    /// ```
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Tracked` state cells with `Monitor::enter_tracked` — writes name their \
+                touched expressions automatically"
+    )]
     pub fn enter_mutating<R>(
         &self,
         touched: &[ExprId],
         f: impl FnOnce(&mut MonitorGuard<'_, S>) -> R,
     ) -> R {
         self.stats.counters.record_named_mutation();
-        self.enter_inner(Some(touched), f)
+        self.enter_inner(Some(touched), None, f)
     }
 
     fn enter_inner<R>(
         &self,
         named: Option<&[ExprId]>,
+        drain: Option<DrainFn<S>>,
         f: impl FnOnce(&mut MonitorGuard<'_, S>) -> R,
     ) -> R {
         let me = thread_id::current();
@@ -231,10 +386,12 @@ impl<S> Monitor<S> {
         self.owner.store(me, Ordering::Relaxed);
         inner.dirty = false;
         inner.signaled = false;
+        inner.tracked_pending = false;
         let mut guard = MonitorGuard {
             monitor: self,
             inner: Some(inner),
             named,
+            drain,
         };
         let result = f(&mut guard);
         drop(guard);
@@ -246,10 +403,33 @@ impl<S> Monitor<S> {
         self.enter(|g| f(g.state_mut()))
     }
 
+    /// Convenience: [`Monitor::enter_tracked`], mutate, exit.
+    pub fn with_tracked<R>(&self, f: impl FnOnce(&mut S) -> R) -> R
+    where
+        S: TrackedState,
+    {
+        self.enter_tracked(|g| f(g.state_mut()))
+    }
+
     /// Convenience: enter, `waituntil(cond)`, then run `f` on the state.
+    ///
+    /// ```
+    /// # struct S { x: i64 }
+    /// # let m = autosynch::Monitor::new(S { x: 1 });
+    /// # let x = m.register_expr("x", |s: &S| s.x);
+    /// #[allow(deprecated)]
+    /// let seen = m.wait_and(x.ge(1), |s| s.x); // v1 shim — still compiles
+    /// # assert_eq!(seen, 1);
+    /// ```
+    #[deprecated(
+        since = "0.2.0",
+        note = "compile the condition once (`Monitor::compile`) and wait on it inside \
+                `enter`/`enter_tracked`"
+    )]
     pub fn wait_and<R>(&self, cond: impl IntoPredicate<S>, f: impl FnOnce(&mut S) -> R) -> R {
+        let pred = cond.into_predicate();
         self.enter(|g| {
-            g.wait_until(cond);
+            g.wait_until_predicate(pred, None);
             f(g.state_mut())
         })
     }
@@ -279,8 +459,8 @@ impl<S> Monitor<S> {
     /// in flight, no live tag. True between well-formed runs; the test
     /// suites use it to detect leaked waiters.
     pub fn is_quiescent(&self) -> bool {
-        let (_, waiting, signaled, tags) = self.manager_counts();
-        waiting == 0 && signaled == 0 && tags == 0
+        let counts = self.counts();
+        counts.waiting == 0 && counts.signaled == 0 && counts.live_tags == 0
     }
 
     /// The most recent shared-expression snapshot the change-driven
@@ -322,14 +502,37 @@ impl<S> Monitor<S> {
         }
     }
 
-    /// Diagnostic counts: `(entries, waiting, signaled, live_tags)`.
-    pub fn manager_counts(&self) -> (usize, usize, usize, usize) {
+    /// Diagnostic counts of the condition manager, by name.
+    pub fn counts(&self) -> ManagerCounts {
         let inner = self.inner.lock();
+        ManagerCounts {
+            entries: inner.mgr.entry_count(),
+            waiting: inner.mgr.waiting_count(),
+            signaled: inner.mgr.signaled_count(),
+            live_tags: inner.mgr.live_tag_count(),
+            compiled: inner.mgr.compiled_count(),
+        }
+    }
+
+    /// Diagnostic counts: `(entries, waiting, signaled, live_tags)`.
+    ///
+    /// ```
+    /// # let m = autosynch::Monitor::new(());
+    /// #[allow(deprecated)]
+    /// let (entries, waiting, _, _) = m.manager_counts(); // v1 shim
+    /// # assert_eq!((entries, waiting), (0, 0));
+    /// ```
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Monitor::counts` — a named `ManagerCounts` struct"
+    )]
+    pub fn manager_counts(&self) -> (usize, usize, usize, usize) {
+        let counts = self.counts();
         (
-            inner.mgr.entry_count(),
-            inner.mgr.waiting_count(),
-            inner.mgr.signaled_count(),
-            inner.mgr.live_tag_count(),
+            counts.entries,
+            counts.waiting,
+            counts.signaled,
+            counts.live_tags,
         )
     }
 }
@@ -342,9 +545,14 @@ pub struct MonitorGuard<'a, S> {
     monitor: &'a Monitor<S>,
     inner: Option<MutexGuard<'a, Inner<S>>>,
     /// The named-mutation contract of this occupancy, when entered via
-    /// [`Monitor::enter_mutating`] (borrowed — naming expressions costs
-    /// no allocation per entry).
+    /// the deprecated `Monitor::enter_mutating` (borrowed — naming
+    /// expressions costs no allocation per entry).
     named: Option<&'a [ExprId]>,
+    /// The tracked-cell drain hook, when entered via
+    /// [`Monitor::enter_tracked`]. Writes defer their naming to a flush
+    /// right before each relay, where the dirty cells report exactly
+    /// the touched expressions.
+    drain: Option<DrainFn<S>>,
 }
 
 impl<S> std::fmt::Debug for MonitorGuard<'_, S> {
@@ -372,33 +580,202 @@ impl<S> MonitorGuard<'_, S> {
     /// Mutable access to the monitor state. Marks the monitor dirty —
     /// used by the `relay_on_clean_exit(false)` ablation and by the
     /// change-driven mode, whose relay re-diffs the expression snapshot
-    /// only after a mutation.
+    /// only after a mutation. In a tracked occupancy
+    /// ([`Monitor::enter_tracked`]) the mutation's naming is deferred:
+    /// the dirty cells are drained right before the next relay.
     pub fn state_mut(&mut self) -> &mut S {
         let named = self.named;
+        let tracked = self.drain.is_some();
         let inner = self.inner.as_mut().expect("monitor guard already released");
         inner.dirty = true;
-        match named {
-            Some(touched) => inner.mgr.note_mutation_named(touched),
-            None => inner.mgr.note_mutation(),
+        if tracked {
+            inner.tracked_pending = true;
+        } else {
+            match named {
+                Some(touched) => inner.mgr.note_mutation_named(touched),
+                None => inner.mgr.note_mutation(),
+            }
         }
         &mut inner.state
     }
 
-    /// The paper's `waituntil(P)`: blocks until `cond` holds, releasing
-    /// the monitor while blocked. On return the condition is true and the
-    /// monitor is held.
+    /// Mutable access that **names the touched shared expressions** for
+    /// this write: the dynamic counterpart of
+    /// [`Tracked`](crate::tracked::Tracked) cells, for callers (like the
+    /// DSL runtime) that know per-write which expressions a mutation
+    /// can affect but cannot restructure their state into cells. The
+    /// same contract as `Tracked` binding applies: `touched` must cover
+    /// every expression whose value the write can change, or wakeups
+    /// can be lost (the `validate_relay` checker catches violations).
+    pub fn state_mut_touching(&mut self, touched: &[ExprId]) -> &mut S {
+        self.monitor.stats.counters.record_named_mutation();
+        let inner = self.inner.as_mut().expect("monitor guard already released");
+        inner.dirty = true;
+        inner.mgr.note_mutation_named(touched);
+        &mut inner.state
+    }
+
+    /// Compiles a condition **from inside the monitor** — the in-guard
+    /// counterpart of [`Monitor::compile`], for runtimes (like the DSL
+    /// interpreter) that discover conditions while already holding the
+    /// lock. Interns into the same table; the returned handle is valid
+    /// on this monitor forever.
+    pub fn compile(&mut self, cond: impl IntoPredicate<S>) -> Cond<S> {
+        let pred = cond.into_predicate();
+        let token = self.monitor.token;
+        let (slot, arc) = self.inner_mut().mgr.compile(pred);
+        Cond::new(arc, slot, token)
+    }
+
+    /// Drains pending tracked-cell dirt into the condition manager.
+    /// Must run before every relay of a tracked occupancy — a relay
+    /// that misses a mutation would skip the diff and lose wakeups.
+    fn flush_tracked(&mut self) {
+        let Some(drain) = self.drain else { return };
+        let stats = &self.monitor.stats;
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        if !inner.tracked_pending {
+            return;
+        }
+        inner.tracked_pending = false;
+        let Inner {
+            state, mgr, sink, ..
+        } = &mut **inner;
+        sink.reset();
+        drain(state, sink);
+        if sink.is_blanket() || sink.touched().is_empty() {
+            // A dirty unbound cell, or `state_mut` taken without
+            // dirtying any cell: assume anything changed.
+            mgr.note_mutation();
+        } else {
+            stats.counters.record_named_mutation();
+            mgr.note_mutation_named(sink.touched());
+        }
+    }
+
+    /// The paper's `waituntil(P)` on a **compiled** condition: blocks
+    /// until `cond` holds, releasing the monitor while blocked. On
+    /// return the condition is true and the monitor is held.
+    ///
+    /// The condition's analysis ran once, inside [`Monitor::compile`];
+    /// this call performs no allocation, normalization or key hashing —
+    /// just a fast-path evaluation and, if false, an O(1) registration
+    /// on the precompiled predicate-table entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cond` was compiled by a different monitor.
+    pub fn wait(&mut self, cond: &Cond<S>) {
+        self.wait_cond(cond, None);
+    }
+
+    /// Like [`MonitorGuard::wait`] with a timeout. Returns `true` when
+    /// the condition held within the timeout, `false` otherwise. (An
+    /// extension over the paper, which has no timed waituntil.)
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cond` was compiled by a different monitor.
+    pub fn wait_timeout(&mut self, cond: &Cond<S>, timeout: Duration) -> bool {
+        self.wait_cond(cond, Some(Instant::now() + timeout))
+    }
+
+    fn wait_cond(&mut self, cond: &Cond<S>, deadline: Option<Instant>) -> bool {
+        let monitor = self.monitor;
+        assert_eq!(
+            cond.owner(),
+            monitor.token,
+            "waited on a Cond compiled by a different monitor"
+        );
+        // Fig. 6: "if P is false ..." — the fast path avoids registration.
+        {
+            let exprs = monitor.exprs.read();
+            monitor.stats.counters.record_pred_eval();
+            let inner = self.inner();
+            if cond.predicate().eval(&inner.state, &exprs) {
+                return true;
+            }
+        }
+        monitor.stats.counters.record_wait();
+        let pid = {
+            let stats = Arc::clone(&monitor.stats);
+            self.inner_mut()
+                .mgr
+                .register_waiter_slot(cond.slot(), cond.predicate_arc(), &stats)
+        };
+        self.wait_registered(pid, deadline)
+    }
+
+    /// The paper's `waituntil(P)` for **transient** conditions — ones
+    /// whose globalized constants never repeat (ticket numbers, barrier
+    /// generations), so compiling them would pin an unbounded set of
+    /// conditions in the [`Monitor::compile`] table. The analysis runs
+    /// per call and the predicate-table entry is LRU-evictable (§5.2's
+    /// inactive list), exactly what one-shot conditions need.
+    ///
+    /// For any condition whose key repeats, prefer
+    /// [`Monitor::compile`] + [`MonitorGuard::wait`].
+    pub fn wait_transient(&mut self, cond: impl IntoPredicate<S>) {
+        self.wait_until_predicate(cond.into_predicate(), None);
+    }
+
+    /// Like [`MonitorGuard::wait_transient`] with a timeout. Returns
+    /// `true` when the condition held within the timeout.
+    pub fn wait_transient_timeout(
+        &mut self,
+        cond: impl IntoPredicate<S>,
+        timeout: Duration,
+    ) -> bool {
+        self.wait_until_predicate(cond.into_predicate(), Some(Instant::now() + timeout))
+    }
+
+    /// The paper's `waituntil(P)` with per-call analysis: blocks until
+    /// `cond` holds, releasing the monitor while blocked.
     ///
     /// `cond` may be a predicate AST built from
     /// [`ExprHandle`] comparisons (taggable — fast), a prebuilt
     /// [`Predicate`], or any `Fn(&S) -> bool` closure (falls back to the
-    /// `None` tag, i.e. exhaustive search).
+    /// `None` tag, i.e. exhaustive search). The DNF conversion, tagging
+    /// and key hashing re-run on **every call**; it compiles into the
+    /// same predicate table the compiled path uses, just per-wait.
+    ///
+    /// ```
+    /// # struct S { x: i64 }
+    /// # let m = autosynch::Monitor::new(S { x: 1 });
+    /// # let x = m.register_expr("x", |s: &S| s.x);
+    /// m.enter(|g| {
+    ///     #[allow(deprecated)]
+    ///     g.wait_until(x.ge(1)); // v1 shim — still compiles
+    /// });
+    /// ```
+    #[deprecated(
+        since = "0.2.0",
+        note = "compile once with `Monitor::compile` and use `MonitorGuard::wait`"
+    )]
     pub fn wait_until(&mut self, cond: impl IntoPredicate<S>) {
         self.wait_until_predicate(cond.into_predicate(), None);
     }
 
-    /// Like [`MonitorGuard::wait_until`] with a timeout. Returns `true`
-    /// when the condition held within the timeout, `false` otherwise.
-    /// (An extension over the paper, which has no timed waituntil.)
+    /// Like `wait_until` with a timeout. Returns `true` when the
+    /// condition held within the timeout, `false` otherwise.
+    ///
+    /// ```
+    /// # use std::time::Duration;
+    /// # struct S { x: i64 }
+    /// # let m = autosynch::Monitor::new(S { x: 0 });
+    /// # let x = m.register_expr("x", |s: &S| s.x);
+    /// m.enter(|g| {
+    ///     #[allow(deprecated)]
+    ///     let held = g.wait_until_timeout(x.ge(1), Duration::from_millis(5));
+    ///     assert!(!held);
+    /// });
+    /// ```
+    #[deprecated(
+        since = "0.2.0",
+        note = "compile once with `Monitor::compile` and use `MonitorGuard::wait_timeout`"
+    )]
     pub fn wait_until_timeout(&mut self, cond: impl IntoPredicate<S>, timeout: Duration) -> bool {
         self.wait_until_predicate(cond.into_predicate(), Some(Instant::now() + timeout))
     }
@@ -428,6 +805,18 @@ impl<S> MonitorGuard<'_, S> {
 
         stats.counters.record_wait();
         let pid = self.inner_mut().mgr.register_waiter(pred, &stats);
+        self.wait_registered(pid, deadline)
+    }
+
+    /// The shared wait loop: both the compiled (`wait`) and per-call
+    /// (`wait_until`) paths land here once the waiter is registered.
+    fn wait_registered(&mut self, pid: PredId, deadline: Option<Instant>) -> bool {
+        let monitor = self.monitor;
+        let stats = Arc::clone(&monitor.stats);
+
+        // Any tracked writes of this occupancy must reach the manager
+        // before the relay below runs its diff.
+        self.flush_tracked();
 
         if monitor.config.signal_mode() == SignalMode::Parked {
             return self.wait_parked(pid, deadline, &stats);
@@ -523,7 +912,7 @@ impl<S> MonitorGuard<'_, S> {
     /// under the monitor lock, serializing with every publish-and-wake.
     fn wait_parked(
         &mut self,
-        pid: crate::eq_index::PredId,
+        pid: PredId,
         deadline: Option<Instant>,
         stats: &Arc<MonitorStats>,
     ) -> bool {
@@ -532,7 +921,7 @@ impl<S> MonitorGuard<'_, S> {
             let inner = self.inner();
             (
                 inner.mgr.parking(),
-                inner.mgr.entry_pred(pid).clone(),
+                inner.mgr.entry_pred_arc(pid),
                 inner.mgr.park_gate(pid),
             )
         };
@@ -647,6 +1036,9 @@ impl<S> MonitorGuard<'_, S> {
     }
 
     fn exit(&mut self) {
+        // Tracked writes of this occupancy must reach the manager
+        // before the exit relay diffs.
+        self.flush_tracked();
         let Some(mut inner) = self.inner.take() else {
             return;
         };
@@ -704,6 +1096,7 @@ fn _assert_send_sync<S: Send>() {
 mod tests {
     use super::*;
     use crate::config::SignalMode;
+    use crate::tracked::{Tracked, TrackedCell};
     use std::sync::atomic::AtomicUsize;
     use std::thread;
 
@@ -716,10 +1109,11 @@ mod tests {
     }
 
     #[test]
-    fn wait_until_returns_immediately_when_true() {
+    fn wait_returns_immediately_when_true() {
         let m = Monitor::new(Counter { value: 5 });
         let v = value_expr(&m);
-        m.enter(|g| g.wait_until(v.ge(5)));
+        let at_least_five = m.compile(v.ge(5));
+        m.enter(|g| g.wait(&at_least_five));
         let snap = m.stats_snapshot();
         assert_eq!(snap.counters.waits, 0);
         assert_eq!(snap.counters.wakeups, 0);
@@ -729,10 +1123,11 @@ mod tests {
     fn waiter_is_woken_by_state_change() {
         let m = Arc::new(Monitor::new(Counter { value: 0 }));
         let v = value_expr(&m);
+        let at_least_three = m.compile(v.ge(3));
         let m2 = Arc::clone(&m);
         let waiter = thread::spawn(move || {
             m2.enter(|g| {
-                g.wait_until(v.ge(3));
+                g.wait(&at_least_three);
                 g.state().value
             })
         });
@@ -748,9 +1143,10 @@ mod tests {
     #[test]
     fn closure_predicates_work_via_none_tag() {
         let m = Arc::new(Monitor::new(Counter { value: 0 }));
+        let divisible = m.compile(|s: &Counter| s.value % 7 == 0 && s.value > 0);
         let m2 = Arc::clone(&m);
         let waiter = thread::spawn(move || {
-            m2.enter(|g| g.wait_until(|s: &Counter| s.value % 7 == 0 && s.value > 0));
+            m2.enter(|g| g.wait(&divisible));
         });
         thread::sleep(Duration::from_millis(20));
         m.with(|s| s.value = 14);
@@ -767,9 +1163,10 @@ mod tests {
         for stage in 1..=3 {
             let m = Arc::clone(&m);
             let order = Arc::clone(&order);
+            let cond = m.compile(v.ge(stage));
             handles.push(thread::spawn(move || {
                 m.enter(|g| {
-                    g.wait_until(v.ge(stage));
+                    g.wait(&cond);
                     g.state_mut().value += 1; // unlocks the next stage
                                               // Record while still inside the monitor: the chain
                                               // order is the monitor-transit order, and recording
@@ -790,14 +1187,16 @@ mod tests {
     fn many_waiters_same_predicate_all_proceed() {
         let m = Arc::new(Monitor::new(Counter { value: 0 }));
         let v = value_expr(&m);
+        let positive = m.compile(v.ge(1));
         let done = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::new();
         for _ in 0..8 {
             let m = Arc::clone(&m);
             let done = Arc::clone(&done);
+            let positive = positive.clone();
             handles.push(thread::spawn(move || {
                 m.enter(|g| {
-                    g.wait_until(v.ge(1));
+                    g.wait(&positive);
                     g.state_mut().value += 1;
                 });
                 done.fetch_add(1, Ordering::SeqCst);
@@ -816,25 +1215,29 @@ mod tests {
     fn timeout_expires_when_never_satisfied() {
         let m = Monitor::new(Counter { value: 0 });
         let v = value_expr(&m);
+        let unreachable = m.compile(v.ge(10));
         let start = Instant::now();
-        let ok = m.enter(|g| g.wait_until_timeout(v.ge(10), Duration::from_millis(50)));
+        let ok = m.enter(|g| g.wait_timeout(&unreachable, Duration::from_millis(50)));
         assert!(!ok);
         assert!(start.elapsed() >= Duration::from_millis(45));
         let snap = m.stats_snapshot();
         assert_eq!(snap.counters.timeouts, 1);
         // The monitor is clean afterwards: no leaked waiters or tags.
-        let (_, waiting, signaled, tags) = m.manager_counts();
-        assert_eq!((waiting, signaled, tags), (0, 0, 0));
+        let counts = m.counts();
+        assert_eq!(
+            (counts.waiting, counts.signaled, counts.live_tags),
+            (0, 0, 0)
+        );
     }
 
     #[test]
     fn timeout_succeeds_when_satisfied_in_time() {
         let m = Arc::new(Monitor::new(Counter { value: 0 }));
         let v = value_expr(&m);
+        let positive = m.compile(v.ge(1));
         let m2 = Arc::clone(&m);
-        let waiter = thread::spawn(move || {
-            m2.enter(|g| g.wait_until_timeout(v.ge(1), Duration::from_secs(5)))
-        });
+        let waiter =
+            thread::spawn(move || m2.enter(|g| g.wait_timeout(&positive, Duration::from_secs(5))));
         thread::sleep(Duration::from_millis(20));
         m.with(|s| s.value = 1);
         assert!(waiter.join().unwrap());
@@ -850,12 +1253,71 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "compile called from inside")]
+    fn compile_inside_the_monitor_panics() {
+        let m = Monitor::new(Counter { value: 0 });
+        let v = value_expr(&m);
+        m.enter(|_| {
+            let _ = m.compile(v.ge(1));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "different monitor")]
+    fn waiting_on_a_foreign_cond_panics() {
+        let a = Monitor::new(Counter { value: 0 });
+        let b = Monitor::new(Counter { value: 0 });
+        let v = value_expr(&a);
+        let foreign = a.compile(v.ge(1));
+        b.enter(|g| g.wait(&foreign));
+    }
+
+    #[test]
+    fn compile_interns_by_structural_key() {
+        let m = Monitor::new(Counter { value: 0 });
+        let v = value_expr(&m);
+        let a = m.compile(v.ge(5));
+        let b = m.compile(v.ge(5));
+        assert_eq!(a.slot(), b.slot(), "key-equal conditions share a slot");
+        let c = m.compile(v.ge(6));
+        assert_ne!(a.slot(), c.slot());
+        let counts = m.counts();
+        assert_eq!(counts.compiled, 2);
+        assert_eq!(counts.entries, 2, "one persistent entry per slot");
+    }
+
+    #[test]
+    fn shim_and_compiled_waits_share_one_entry() {
+        // The v1 shim interns through the same predicate table the
+        // compiled path pins its entries in: no duplicate entry, no
+        // duplicate condvar. (Timed waits on a false predicate force a
+        // real registration on both paths.)
+        let m = Monitor::new(Counter { value: 1 });
+        let v = value_expr(&m);
+        #[allow(deprecated)]
+        m.enter(|g| {
+            assert!(!g.wait_until_timeout(v.gt(5), Duration::from_millis(10)));
+        });
+        let entries_before = m.counts().entries;
+        assert_eq!(entries_before, 1, "the shim registered one entry");
+        let cond = m.compile(v.gt(5));
+        assert_eq!(
+            m.counts().entries,
+            entries_before,
+            "compile reused the shim's entry"
+        );
+        assert!(!m.enter(|g| g.wait_timeout(&cond, Duration::from_millis(10))));
+        assert_eq!(m.counts().entries, entries_before);
+    }
+
+    #[test]
     fn panic_in_enter_releases_and_relays() {
         let m = Arc::new(Monitor::new(Counter { value: 0 }));
         let v = value_expr(&m);
+        let positive = m.compile(v.ge(1));
         let m2 = Arc::clone(&m);
         let waiter = thread::spawn(move || {
-            m2.enter(|g| g.wait_until(v.ge(1)));
+            m2.enter(|g| g.wait(&positive));
         });
         thread::sleep(Duration::from_millis(20));
         let m3 = Arc::clone(&m);
@@ -871,90 +1333,47 @@ mod tests {
         waiter.join().unwrap();
     }
 
-    #[test]
-    fn untagged_mode_behaves_identically() {
+    fn mode_behaves_identically(mode: SignalMode) {
         let m = Arc::new(Monitor::with_config(
             Counter { value: 0 },
-            MonitorConfig::autosynch_t(),
+            MonitorConfig::preset(mode).validate_relay(true),
         ));
-        assert_eq!(m.config().signal_mode(), SignalMode::Untagged);
+        assert_eq!(m.config().signal_mode(), mode);
         let v = value_expr(&m);
+        let at_least_two = m.compile(v.ge(2));
         let m2 = Arc::clone(&m);
-        let waiter = thread::spawn(move || m2.wait_and(v.ge(2), |s| s.value));
+        let waiter = thread::spawn(move || {
+            m2.enter(|g| {
+                g.wait(&at_least_two);
+                g.state().value
+            })
+        });
         thread::sleep(Duration::from_millis(20));
         m.with(|s| s.value = 2);
         assert_eq!(waiter.join().unwrap(), 2);
+        assert!(m.is_quiescent());
+        assert_eq!(m.stats_snapshot().counters.broadcasts, 0);
+    }
+
+    #[test]
+    fn untagged_mode_behaves_identically() {
+        mode_behaves_identically(SignalMode::Untagged);
     }
 
     #[test]
     fn change_driven_mode_behaves_identically() {
-        let m = Arc::new(Monitor::with_config(
-            Counter { value: 0 },
-            MonitorConfig::autosynch_cd().validate_relay(true),
-        ));
-        assert_eq!(m.config().signal_mode(), SignalMode::ChangeDriven);
-        let v = value_expr(&m);
-        let m2 = Arc::clone(&m);
-        let waiter = thread::spawn(move || m2.wait_and(v.ge(2), |s| s.value));
-        thread::sleep(Duration::from_millis(20));
-        m.with(|s| s.value = 2);
-        assert_eq!(waiter.join().unwrap(), 2);
-        assert!(m.is_quiescent());
-        assert_eq!(m.stats_snapshot().counters.broadcasts, 0);
-    }
-
-    #[test]
-    fn change_driven_relay_chains_through_multiple_waiters() {
-        let m = Arc::new(Monitor::with_config(
-            Counter { value: 0 },
-            MonitorConfig::autosynch_cd().validate_relay(true),
-        ));
-        let v = value_expr(&m);
-        let order = Arc::new(Mutex::new(Vec::new()));
-        let mut handles = Vec::new();
-        for stage in 1..=3 {
-            let m = Arc::clone(&m);
-            let order = Arc::clone(&order);
-            handles.push(thread::spawn(move || {
-                m.enter(|g| {
-                    g.wait_until(v.ge(stage));
-                    g.state_mut().value += 1;
-                    order.lock().push(stage); // in-monitor: transit order
-                });
-            }));
-        }
-        thread::sleep(Duration::from_millis(30));
-        m.with(|s| s.value = 1);
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(&*order.lock(), &[1, 2, 3]);
+        mode_behaves_identically(SignalMode::ChangeDriven);
     }
 
     #[test]
     fn sharded_mode_behaves_identically() {
-        let m = Arc::new(Monitor::with_config(
-            Counter { value: 0 },
-            MonitorConfig::autosynch_shard().validate_relay(true),
-        ));
-        assert_eq!(m.config().signal_mode(), SignalMode::Sharded);
-        let v = value_expr(&m);
-        let m2 = Arc::clone(&m);
-        let waiter = thread::spawn(move || m2.wait_and(v.ge(2), |s| s.value));
-        thread::sleep(Duration::from_millis(20));
-        m.with(|s| s.value = 2);
-        assert_eq!(waiter.join().unwrap(), 2);
-        assert!(m.is_quiescent());
-        assert_eq!(m.stats_snapshot().counters.broadcasts, 0);
+        mode_behaves_identically(SignalMode::Sharded);
     }
 
-    #[test]
-    fn sharded_relay_chains_through_multiple_waiters() {
+    fn relay_chain(config: MonitorConfig) {
         let m = Arc::new(Monitor::with_config(
             Counter { value: 0 },
-            MonitorConfig::autosynch_shard()
-                .shards(3)
-                .validate_relay(true),
+            config.validate_relay(true),
         ));
         let v = value_expr(&m);
         let order = Arc::new(Mutex::new(Vec::new()));
@@ -962,9 +1381,10 @@ mod tests {
         for stage in 1..=3 {
             let m = Arc::clone(&m);
             let order = Arc::clone(&order);
+            let cond = m.compile(v.ge(stage));
             handles.push(thread::spawn(move || {
                 m.enter(|g| {
-                    g.wait_until(v.ge(stage));
+                    g.wait(&cond);
                     g.state_mut().value += 1;
                     order.lock().push(stage); // in-monitor: transit order
                 });
@@ -976,18 +1396,39 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(&*order.lock(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn change_driven_relay_chains_through_multiple_waiters() {
+        relay_chain(MonitorConfig::preset(SignalMode::ChangeDriven));
+    }
+
+    #[test]
+    fn sharded_relay_chains_through_multiple_waiters() {
+        relay_chain(MonitorConfig::preset(SignalMode::Sharded).shards(3));
+    }
+
+    #[test]
+    fn parked_relay_chains_through_multiple_waiters() {
+        relay_chain(MonitorConfig::preset(SignalMode::Parked).shards(3));
     }
 
     #[test]
     fn parked_mode_behaves_identically() {
         let m = Arc::new(Monitor::with_config(
             Counter { value: 0 },
-            MonitorConfig::autosynch_park().validate_relay(true),
+            MonitorConfig::preset(SignalMode::Parked).validate_relay(true),
         ));
         assert_eq!(m.config().signal_mode(), SignalMode::Parked);
         let v = value_expr(&m);
+        let at_least_two = m.compile(v.ge(2));
         let m2 = Arc::clone(&m);
-        let waiter = thread::spawn(move || m2.wait_and(v.ge(2), |s| s.value));
+        let waiter = thread::spawn(move || {
+            m2.enter(|g| {
+                g.wait(&at_least_two);
+                g.state().value
+            })
+        });
         thread::sleep(Duration::from_millis(20));
         m.with(|s| s.value = 2);
         assert_eq!(waiter.join().unwrap(), 2);
@@ -1003,37 +1444,6 @@ mod tests {
     }
 
     #[test]
-    fn parked_relay_chains_through_multiple_waiters() {
-        let m = Arc::new(Monitor::with_config(
-            Counter { value: 0 },
-            MonitorConfig::autosynch_park()
-                .shards(3)
-                .validate_relay(true),
-        ));
-        let v = value_expr(&m);
-        let order = Arc::new(Mutex::new(Vec::new()));
-        let mut handles = Vec::new();
-        for stage in 1..=3 {
-            let m = Arc::clone(&m);
-            let order = Arc::clone(&order);
-            handles.push(thread::spawn(move || {
-                m.enter(|g| {
-                    g.wait_until(v.ge(stage));
-                    g.state_mut().value += 1;
-                    order.lock().push(stage); // in-monitor: transit order
-                });
-            }));
-        }
-        thread::sleep(Duration::from_millis(30));
-        m.with(|s| s.value = 1);
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(&*order.lock(), &[1, 2, 3]);
-        assert!(m.is_quiescent());
-    }
-
-    #[test]
     fn parked_false_wakeups_stay_lock_free() {
         // Two waiters on disjoint predicates over one expression: every
         // publish wakes both gates' queues, but the waiter whose
@@ -1041,13 +1451,15 @@ mod tests {
         // visible as false_wakeups without futile_wakeups.
         let m = Arc::new(Monitor::with_config(
             Counter { value: 0 },
-            MonitorConfig::autosynch_park().validate_relay(true),
+            MonitorConfig::preset(SignalMode::Parked).validate_relay(true),
         ));
         let v = value_expr(&m);
+        let far_cond = m.compile(v.ge(100));
+        let near_cond = m.compile(v.ge(3));
         let m2 = Arc::clone(&m);
-        let far = thread::spawn(move || m2.wait_and(v.ge(100), |_| ()));
+        let far = thread::spawn(move || m2.enter(|g| g.wait(&far_cond)));
         let m3 = Arc::clone(&m);
-        let near = thread::spawn(move || m3.wait_and(v.ge(3), |_| ()));
+        let near = thread::spawn(move || m3.enter(|g| g.wait(&near_cond)));
         thread::sleep(Duration::from_millis(30));
         for k in 1..=3 {
             m.with(|s| s.value = k);
@@ -1069,11 +1481,12 @@ mod tests {
     fn parked_timeout_expires_and_cleans_up() {
         let m = Monitor::with_config(
             Counter { value: 0 },
-            MonitorConfig::autosynch_park().validate_relay(true),
+            MonitorConfig::preset(SignalMode::Parked).validate_relay(true),
         );
         let v = value_expr(&m);
+        let unreachable = m.compile(v.ge(10));
         let start = Instant::now();
-        let ok = m.enter(|g| g.wait_until_timeout(v.ge(10), Duration::from_millis(50)));
+        let ok = m.enter(|g| g.wait_timeout(&unreachable, Duration::from_millis(50)));
         assert!(!ok);
         assert!(start.elapsed() >= Duration::from_millis(45));
         assert_eq!(m.stats_snapshot().counters.timeouts, 1);
@@ -1085,13 +1498,13 @@ mod tests {
     fn parked_timeout_succeeds_when_satisfied_in_time() {
         let m = Arc::new(Monitor::with_config(
             Counter { value: 0 },
-            MonitorConfig::autosynch_park(),
+            MonitorConfig::preset(SignalMode::Parked),
         ));
         let v = value_expr(&m);
+        let positive = m.compile(v.ge(1));
         let m2 = Arc::clone(&m);
-        let waiter = thread::spawn(move || {
-            m2.enter(|g| g.wait_until_timeout(v.ge(1), Duration::from_secs(5)))
-        });
+        let waiter =
+            thread::spawn(move || m2.enter(|g| g.wait_timeout(&positive, Duration::from_secs(5))));
         thread::sleep(Duration::from_millis(20));
         m.with(|s| s.value = 1);
         assert!(waiter.join().unwrap());
@@ -1105,11 +1518,12 @@ mod tests {
         // monitor lock, which must still be correct (just less cheap).
         let m = Arc::new(Monitor::with_config(
             Counter { value: 0 },
-            MonitorConfig::autosynch_park().validate_relay(true),
+            MonitorConfig::preset(SignalMode::Parked).validate_relay(true),
         ));
+        let divisible = m.compile(|s: &Counter| s.value % 7 == 0 && s.value > 0);
         let m2 = Arc::clone(&m);
         let waiter = thread::spawn(move || {
-            m2.enter(|g| g.wait_until(|s: &Counter| s.value % 7 == 0 && s.value > 0));
+            m2.enter(|g| g.wait(&divisible));
         });
         thread::sleep(Duration::from_millis(20));
         m.with(|s| s.value = 14);
@@ -1117,41 +1531,153 @@ mod tests {
         assert!(m.is_quiescent());
     }
 
+    struct Pair {
+        x: Tracked<i64>,
+        y: Tracked<i64>,
+    }
+
+    impl TrackedState for Pair {
+        fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+            f(&mut self.x);
+            f(&mut self.y);
+        }
+    }
+
+    fn tracked_pair(
+        config: MonitorConfig,
+    ) -> (Arc<Monitor<Pair>>, ExprHandle<Pair>, ExprHandle<Pair>) {
+        let m = Arc::new(Monitor::with_config(
+            Pair {
+                x: Tracked::new(0),
+                y: Tracked::new(0),
+            },
+            config.validate_relay(true),
+        ));
+        let x = m.register_expr("x", |s: &Pair| *s.x.get());
+        let y = m.register_expr("y", |s: &Pair| *s.y.get());
+        m.bind(|s| &mut s.x, &[x]);
+        m.bind(|s| &mut s.y, &[y]);
+        (m, x, y)
+    }
+
     #[test]
-    fn enter_mutating_narrows_the_diff() {
-        struct Pair {
+    fn tracked_writes_narrow_the_diff() {
+        let (m, x, y) = tracked_pair(MonitorConfig::preset(SignalMode::Sharded));
+        let x_cond = m.compile(x.ge(5));
+        let y_cond = m.compile(y.ge(5));
+        // Two pinned waiters keep both expressions in the dependency
+        // set; x's waiter is released at the end.
+        let m2 = Arc::clone(&m);
+        let wx = thread::spawn(move || m2.enter_tracked(|g| g.wait(&x_cond)));
+        let m3 = Arc::clone(&m);
+        let y_cond2 = y_cond.clone();
+        let wy = thread::spawn(move || m3.enter_tracked(|g| g.wait(&y_cond2)));
+        thread::sleep(Duration::from_millis(30));
+        let before = m.stats_snapshot().counters;
+        // Tracked writes touch only x: the diff must skip y — without
+        // the caller naming anything.
+        for _ in 0..10 {
+            m.enter_tracked(|g| {
+                *g.state_mut().x += 0; // mutated but value unchanged
+            });
+        }
+        let diff = m.stats_snapshot().counters.since(&before);
+        assert_eq!(diff.named_mutations, 10, "every write was auto-named");
+        assert!(
+            diff.expr_evals <= 12,
+            "tracked diffs must evaluate only x (+slack for waiter \
+             registration races), got {} expr evals",
+            diff.expr_evals
+        );
+        m.enter_tracked(|g| *g.state_mut().x = 5);
+        wx.join().unwrap();
+        m.with_tracked(|s| *s.y = 5);
+        wy.join().unwrap();
+        assert!(m.is_quiescent());
+    }
+
+    #[test]
+    fn tracked_writes_wake_parked_waiters() {
+        let (m, x, _y) = tracked_pair(MonitorConfig::preset(SignalMode::Parked));
+        let x_cond = m.compile(x.ge(1));
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || {
+            m2.enter_tracked(|g| {
+                g.wait(&x_cond);
+                *g.state().x.get()
+            })
+        });
+        thread::sleep(Duration::from_millis(20));
+        m.with_tracked(|s| *s.x = 1);
+        assert_eq!(waiter.join().unwrap(), 1);
+        assert!(m.is_quiescent());
+        assert!(m.stats_snapshot().counters.named_mutations >= 1);
+    }
+
+    #[test]
+    fn unbound_tracked_writes_fall_back_to_blanket_mutations() {
+        // A dirty cell with no bound expressions must not vanish from
+        // the diff: the occupancy downgrades to a blanket mutation and
+        // the waiter still wakes.
+        struct Loose {
+            v: Tracked<i64>,
+        }
+        impl TrackedState for Loose {
+            fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+                f(&mut self.v);
+            }
+        }
+        let m = Arc::new(Monitor::with_config(
+            Loose { v: Tracked::new(0) },
+            MonitorConfig::preset(SignalMode::ChangeDriven).validate_relay(true),
+        ));
+        let v = m.register_expr("v", |s: &Loose| *s.v.get());
+        // Deliberately NOT bound to the cell.
+        let positive = m.compile(v.ge(1));
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || m2.enter_tracked(|g| g.wait(&positive)));
+        thread::sleep(Duration::from_millis(20));
+        m.with_tracked(|s| *s.v = 1);
+        waiter.join().unwrap();
+        assert!(m.is_quiescent());
+        assert_eq!(
+            m.stats_snapshot().counters.named_mutations,
+            0,
+            "unbound writes must not claim the named-mutation contract"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn enter_mutating_shim_still_narrows_the_diff() {
+        // The v1 named-mutation shim keeps its contract until removal.
+        struct Raw {
             x: i64,
             y: i64,
         }
         let m = Arc::new(Monitor::with_config(
-            Pair { x: 0, y: 0 },
-            MonitorConfig::autosynch_shard().validate_relay(true),
+            Raw { x: 0, y: 0 },
+            MonitorConfig::preset(SignalMode::Sharded).validate_relay(true),
         ));
-        let x = m.register_expr("x", |s: &Pair| s.x);
-        let y = m.register_expr("y", |s: &Pair| s.y);
+        let x = m.register_expr("x", |s: &Raw| s.x);
+        let y = m.register_expr("y", |s: &Raw| s.y);
         assert_eq!(m.lookup_expr("y"), Some(y));
-        // Two pinned waiters keep both expressions in the dependency
-        // set; x's waiter is released at the end.
+        let x_cond = m.compile(x.ge(5));
+        let y_cond = m.compile(y.ge(5));
         let m2 = Arc::clone(&m);
-        let wx = thread::spawn(move || m2.wait_and(x.ge(5), |_| ()));
+        let wx = thread::spawn(move || m2.enter(|g| g.wait(&x_cond)));
         let m3 = Arc::clone(&m);
-        let wy = thread::spawn(move || m3.wait_and(y.ge(5), |_| ()));
+        let wy = thread::spawn(move || m3.enter(|g| g.wait(&y_cond)));
         thread::sleep(Duration::from_millis(30));
         let before = m.stats_snapshot().counters;
-        // Named mutations promise only x changes: the diff must skip y.
         for _ in 0..10 {
             m.enter_mutating(&[x.id()], |g| {
-                g.state_mut().x += 0; // mutated but value unchanged
+                g.state_mut().x += 0;
             });
         }
         let diff = m.stats_snapshot().counters.since(&before);
         assert_eq!(diff.named_mutations, 10);
-        assert!(
-            diff.expr_evals <= 12,
-            "named diffs must evaluate only x (+slack for waiter \
-             registration races), got {} expr evals",
-            diff.expr_evals
-        );
+        assert!(diff.expr_evals <= 12, "got {} expr evals", diff.expr_evals);
         m.enter_mutating(&[x.id()], |g| g.state_mut().x = 5);
         wx.join().unwrap();
         m.with(|s| s.y = 5);
@@ -1160,22 +1686,38 @@ mod tests {
     }
 
     #[test]
-    fn enter_mutating_wakes_parked_waiters() {
-        struct Pair {
+    fn state_mut_touching_names_per_write() {
+        // The dynamic naming entry point (the DSL runtime's path).
+        struct Raw {
             x: i64,
             y: i64,
         }
         let m = Arc::new(Monitor::with_config(
-            Pair { x: 0, y: 0 },
-            MonitorConfig::autosynch_park().validate_relay(true),
+            Raw { x: 0, y: 0 },
+            MonitorConfig::preset(SignalMode::Sharded).validate_relay(true),
         ));
-        let x = m.register_expr("x", |s: &Pair| s.x);
-        let _y = m.register_expr("y", |s: &Pair| s.y);
+        let x = m.register_expr("x", |s: &Raw| s.x);
+        let y = m.register_expr("y", |s: &Raw| s.y);
+        let x_cond = m.compile(x.ge(5));
+        let y_cond = m.compile(y.ge(5));
         let m2 = Arc::clone(&m);
-        let waiter = thread::spawn(move || m2.wait_and(x.ge(1), |s| s.x));
-        thread::sleep(Duration::from_millis(20));
-        m.enter_mutating(&[x.id()], |g| g.state_mut().x = 1);
-        assert_eq!(waiter.join().unwrap(), 1);
+        let wx = thread::spawn(move || m2.enter(|g| g.wait(&x_cond)));
+        let m3 = Arc::clone(&m);
+        let wy = thread::spawn(move || m3.enter(|g| g.wait(&y_cond)));
+        thread::sleep(Duration::from_millis(30));
+        let before = m.stats_snapshot().counters;
+        for _ in 0..10 {
+            m.enter(|g| {
+                g.state_mut_touching(&[x.id()]).x += 0;
+            });
+        }
+        let diff = m.stats_snapshot().counters.since(&before);
+        assert_eq!(diff.named_mutations, 10);
+        assert!(diff.expr_evals <= 12, "got {} expr evals", diff.expr_evals);
+        m.enter(|g| g.state_mut_touching(&[x.id()]).x = 5);
+        wx.join().unwrap();
+        m.enter(|g| g.state_mut_touching(&[y.id()]).y = 5);
+        wy.join().unwrap();
         assert!(m.is_quiescent());
     }
 
@@ -1183,12 +1725,13 @@ mod tests {
     fn latest_expr_snapshot_reads_without_the_monitor_lock() {
         let m = Arc::new(Monitor::with_config(
             Counter { value: 0 },
-            MonitorConfig::autosynch_shard(),
+            MonitorConfig::preset(SignalMode::Sharded),
         ));
         let v = value_expr(&m);
+        let at_least_five = m.compile(v.ge(5));
         assert_eq!(m.latest_expr_snapshot(), None, "nothing published yet");
         let m2 = Arc::clone(&m);
-        let waiter = thread::spawn(move || m2.wait_and(v.ge(5), |_| ()));
+        let waiter = thread::spawn(move || m2.enter(|g| g.wait(&at_least_five)));
         thread::sleep(Duration::from_millis(20));
         for k in 1..=4 {
             m.with(|s| s.value = k);
@@ -1211,7 +1754,8 @@ mod tests {
     fn tagged_mode_publishes_no_snapshots() {
         let m = Monitor::new(Counter { value: 3 });
         let v = value_expr(&m);
-        m.enter(|g| g.wait_until(v.ge(3)));
+        let cond = m.compile(v.ge(3));
+        m.enter(|g| g.wait(&cond));
         assert_eq!(m.latest_expr_snapshot(), None);
     }
 
@@ -1219,11 +1763,12 @@ mod tests {
     fn change_driven_skips_relays_on_read_only_traffic() {
         let m = Arc::new(Monitor::with_config(
             Counter { value: 0 },
-            MonitorConfig::autosynch_cd(),
+            MonitorConfig::preset(SignalMode::ChangeDriven),
         ));
         let v = value_expr(&m);
+        let positive = m.compile(v.ge(1));
         let m2 = Arc::clone(&m);
-        let waiter = thread::spawn(move || m2.wait_and(v.ge(1), |_| ()));
+        let waiter = thread::spawn(move || m2.enter(|g| g.wait(&positive)));
         thread::sleep(Duration::from_millis(20));
         // Read-only occupancies relay on exit (the paper's rule), but the
         // change-driven relay recognizes the unmutated state and skips
@@ -1252,8 +1797,9 @@ mod tests {
     fn stats_futile_wakeups_stay_zero_without_barging_conflicts() {
         let m = Arc::new(Monitor::new(Counter { value: 0 }));
         let v = value_expr(&m);
+        let exactly_one = m.compile(v.eq(1));
         let m2 = Arc::clone(&m);
-        let waiter = thread::spawn(move || m2.wait_and(v.eq(1), |_| ()));
+        let waiter = thread::spawn(move || m2.enter(|g| g.wait(&exactly_one)));
         thread::sleep(Duration::from_millis(20));
         m.with(|s| s.value = 1);
         waiter.join().unwrap();
@@ -1263,14 +1809,16 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn shared_predicate_preregistration_is_reused() {
+        // v1 shim: register_shared_predicate + wait_until still intern
+        // into the same table the compiled path uses.
         let m = Monitor::new(Counter { value: 1 });
         let v = value_expr(&m);
         m.register_shared_predicate(v.gt(0));
-        let (entries_before, ..) = m.manager_counts();
+        let entries_before = m.counts().entries;
         m.enter(|g| g.wait_until(v.gt(0)));
-        let (entries_after, ..) = m.manager_counts();
-        assert_eq!(entries_before, entries_after, "no duplicate entry");
+        assert_eq!(m.counts().entries, entries_before, "no duplicate entry");
     }
 
     #[test]
@@ -1278,8 +1826,9 @@ mod tests {
         let m = Arc::new(Monitor::new(Counter { value: 0 }));
         assert!(m.is_quiescent());
         let v = value_expr(&m);
+        let positive = m.compile(v.ge(1));
         let m2 = Arc::clone(&m);
-        let waiter = thread::spawn(move || m2.wait_and(v.ge(1), |_| ()));
+        let waiter = thread::spawn(move || m2.enter(|g| g.wait(&positive)));
         thread::sleep(Duration::from_millis(20));
         assert!(!m.is_quiescent(), "a registered waiter shows up");
         m.with(|s| s.value = 1);
@@ -1303,8 +1852,8 @@ mod tests {
             assert!(!g.holds(v.ge(4)));
         });
         // Nothing was registered.
-        let (entries, waiting, ..) = m.manager_counts();
-        assert_eq!((entries, waiting), (0, 0));
+        let counts = m.counts();
+        assert_eq!((counts.entries, counts.waiting), (0, 0));
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //! equivalence probe first, then the threshold heaps weakest-first, then
 //! the exhaustive `None` scan.
 
+// Deliberately exercises the deprecated v1 wait/config shims alongside
+// the v2 API: the shims must keep behaving identically until removal,
+// and these runtime suites are their regression net.
+#![allow(deprecated)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;

@@ -1,6 +1,11 @@
 //! Property tests for the monitor runtime's data structures and for the
 //! monitor itself under randomized schedules.
 
+// Deliberately exercises the deprecated v1 wait/config shims alongside
+// the v2 API: the shims must keep behaving identically until removal,
+// and these runtime suites are their regression net.
+#![allow(deprecated)]
+
 use std::sync::Arc;
 
 use autosynch::config::{MonitorConfig, SignalMode, ThresholdIndexKind};

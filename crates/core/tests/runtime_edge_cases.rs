@@ -2,6 +2,11 @@
 //! panic safety across all three monitor types, mixed tag classes under
 //! one roof, and expression registration after startup.
 
+// Deliberately exercises the deprecated v1 wait/config shims alongside
+// the v2 API: the shims must keep behaving identically until removal,
+// and these runtime suites are their regression net.
+#![allow(deprecated)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;

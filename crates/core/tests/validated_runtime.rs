@@ -6,6 +6,11 @@
 //! the equivalence hash probe, the Fig. 4 threshold-heap walk and the
 //! `None` scan under real contention, futile wakeups and barging.
 
+// Deliberately exercises the deprecated v1 wait/config shims alongside
+// the v2 API: the shims must keep behaving identically until removal,
+// and these runtime suites are their regression net.
+#![allow(deprecated)]
+
 use std::sync::Arc;
 use std::thread;
 

@@ -41,6 +41,13 @@
 //! globalization snapshot — exactly the execution model of Fig. 1's
 //! right-hand column.
 //!
+//! Lowered methods run on the v2 monitor API: each `waituntil` waits on
+//! an interned compiled condition (one `Cond` per distinct structural
+//! key, reused across calls), and each assignment names exactly the
+//! shared expressions reading the assigned slot, keeping the
+//! change-driven relay diffs precise with zero annotations in the class
+//! source.
+//!
 //! # Examples
 //!
 //! ```

@@ -40,8 +40,16 @@ use crate::schema::{Env, Schema};
 /// expression table) and by [`TableSink`] for standalone use.
 pub trait SharedExprSink {
     /// Interns `f` under `name`, returning the existing handle when the
-    /// name was registered before.
-    fn intern(&self, name: &str, f: Box<dyn Fn(&Env) -> i64 + Send + Sync>) -> ExprHandle<Env>;
+    /// name was registered before. `reads` lists the schema slots the
+    /// expression evaluates — the lowering knows them exactly, and the
+    /// v2 runtime uses them to name mutations per written slot (a write
+    /// to slot `k` touches precisely the expressions that read `k`).
+    fn intern(
+        &self,
+        name: &str,
+        f: Box<dyn Fn(&Env) -> i64 + Send + Sync>,
+        reads: &[usize],
+    ) -> ExprHandle<Env>;
 }
 
 /// A standalone sink over a plain [`ExprTable`], for tests and tools.
@@ -69,7 +77,12 @@ impl TableSink {
 }
 
 impl SharedExprSink for TableSink {
-    fn intern(&self, name: &str, f: Box<dyn Fn(&Env) -> i64 + Send + Sync>) -> ExprHandle<Env> {
+    fn intern(
+        &self,
+        name: &str,
+        f: Box<dyn Fn(&Env) -> i64 + Send + Sync>,
+        _reads: &[usize],
+    ) -> ExprHandle<Env> {
         self.table
             .lock()
             .expect("table poisoned")
@@ -195,6 +208,7 @@ fn lower_cmp(
                 VarRef::Local(_) => unreachable!("local var in shared part"),
             })
             .collect();
+        let reads: Vec<usize> = terms.iter().map(|&(slot, _)| slot).collect();
         let handle = sink.intern(
             &name,
             Box::new(move |env: &Env| {
@@ -202,6 +216,7 @@ fn lower_cmp(
                     acc.wrapping_add(coeff.wrapping_mul(env.get(slot)))
                 })
             }),
+            &reads,
         );
         return Ok(handle.cmp(op, key));
     }
@@ -243,11 +258,17 @@ fn opaque_shared_cmp(
     let key = eval_int(local_side, schema, &Env::zeroed(0), locals);
     let name = shared_side.to_string();
     let ast = shared_side.clone();
+    let reads: Vec<usize> = shared_side
+        .variables()
+        .iter()
+        .filter_map(|v| schema.slot(v))
+        .collect();
     let schema = Arc::clone(schema);
     let empty: HashMap<String, i64> = HashMap::new();
     let handle = sink.intern(
         &name,
         Box::new(move |env: &Env| eval_int(&ast, &schema, env, &empty)),
+        &reads,
     );
     handle.cmp(op, key)
 }

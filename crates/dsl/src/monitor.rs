@@ -8,6 +8,13 @@
 //! time. Parsed conditions are cached per source string — the
 //! "preprocessing once" of the paper — and shared expressions are
 //! interned into the underlying monitor's expression table.
+//!
+//! v2 integration: every keyed lowered condition is compiled into the
+//! monitor's interned [`Cond`] table on first use and reused by key
+//! afterwards, and every variable write names exactly the shared
+//! expressions that read its slot (recorded during lowering) — the DSL
+//! gets compiled conditions and tracked mutations without user
+//! annotations.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -16,9 +23,11 @@ use std::time::Duration;
 use autosynch::config::MonitorConfig;
 use autosynch::monitor::{Monitor, MonitorGuard};
 use autosynch::stats::StatsSnapshot;
-use autosynch_predicate::expr::ExprHandle;
+use autosynch_predicate::cond::Cond;
+use autosynch_predicate::expr::{ExprHandle, ExprId};
+use autosynch_predicate::key::PredKey;
 use autosynch_predicate::predicate::Predicate;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::ast::Expr;
 use crate::error::DslError;
@@ -49,6 +58,14 @@ pub struct DslMonitor {
     monitor: Monitor<Env>,
     schema: Arc<Schema>,
     templates: Mutex<HashMap<String, Arc<Expr>>>,
+    /// Compiled-condition cache keyed by structural [`PredKey`]: a
+    /// repeated `waituntil` (same source shape, same globalized locals)
+    /// waits on its pinned [`Cond`] instead of re-registering.
+    conds: Mutex<HashMap<PredKey, Cond<Env>>>,
+    /// Slot → shared expressions that read it, recorded at interning
+    /// time from the lowering's exact term lists. Writes to a slot name
+    /// precisely these expressions (the v2 tracked-mutation contract).
+    slot_deps: RwLock<Vec<Vec<ExprId>>>,
 }
 
 impl std::fmt::Debug for DslMonitor {
@@ -60,6 +77,13 @@ impl std::fmt::Debug for DslMonitor {
 }
 
 impl DslMonitor {
+    /// Upper bound on pinned compiled conditions: beyond this many
+    /// distinct keys, further `waituntil`s register transiently
+    /// (per-wait analysis, LRU-evictable) instead of pinning — so
+    /// one-shot key streams (tickets, generations) cannot leak
+    /// persistent entries through the DSL.
+    pub const COND_CACHE_CAP: usize = 256;
+
     /// Creates a monitor with all shared variables zeroed.
     pub fn new(schema: Schema) -> Self {
         Self::with_config(schema, MonitorConfig::default())
@@ -68,10 +92,13 @@ impl DslMonitor {
     /// Creates a monitor with an explicit runtime configuration.
     pub fn with_config(schema: Schema, config: MonitorConfig) -> Self {
         let env = schema.env();
+        let slots = schema.len();
         DslMonitor {
             monitor: Monitor::with_config(env, config),
             schema: Arc::new(schema),
             templates: Mutex::new(HashMap::new()),
+            conds: Mutex::new(HashMap::new()),
+            slot_deps: RwLock::new(vec![Vec::new(); slots]),
         }
     }
 
@@ -149,9 +176,22 @@ impl DslMonitor {
 }
 
 impl SharedExprSink for DslMonitor {
-    fn intern(&self, name: &str, f: Box<dyn Fn(&Env) -> i64 + Send + Sync>) -> ExprHandle<Env> {
-        self.monitor
-            .register_expr_or_get(name, move |env: &Env| f(env))
+    fn intern(
+        &self,
+        name: &str,
+        f: Box<dyn Fn(&Env) -> i64 + Send + Sync>,
+        reads: &[usize],
+    ) -> ExprHandle<Env> {
+        let handle = self
+            .monitor
+            .register_expr_or_get(name, move |env: &Env| f(env));
+        let mut deps = self.slot_deps.write();
+        for &slot in reads {
+            if slot < deps.len() && !deps[slot].contains(&handle.id()) {
+                deps[slot].push(handle.id());
+            }
+        }
+        handle
     }
 }
 
@@ -177,14 +217,17 @@ impl DslGuard<'_, '_> {
         self.guard.state().get(self.owner.slot(name))
     }
 
-    /// Writes shared variable `name`.
+    /// Writes shared variable `name`. The write **names** exactly the
+    /// shared expressions reading this slot (recorded at lowering
+    /// time), so the change-driven diff stays precise without any
+    /// caller annotation.
     ///
     /// # Panics
     ///
     /// Panics when `name` is not in the schema.
     pub fn set(&mut self, name: &str, value: i64) {
         let slot = self.owner.slot(name);
-        self.guard.state_mut().set(slot, value);
+        self.set_slot(slot, value);
     }
 
     /// Adds `delta` to shared variable `name` and returns the new value.
@@ -194,27 +237,64 @@ impl DslGuard<'_, '_> {
     /// Panics when `name` is not in the schema.
     pub fn add(&mut self, name: &str, delta: i64) -> i64 {
         let slot = self.owner.slot(name);
-        let state = self.guard.state_mut();
-        let new = state.get(slot).wrapping_add(delta);
-        state.set(slot, new);
+        let new = self.get_slot(slot).wrapping_add(delta);
+        self.set_slot(slot, new);
         new
     }
 
     /// `waituntil(source)` with `locals` as the globalization snapshot.
+    /// Keyed conditions compile through the monitor's interned
+    /// condition table (one compiled `Cond` per distinct structural
+    /// key, reused forever after); keyless ones fall back to a
+    /// transient per-wait registration.
     ///
     /// # Errors
     ///
     /// Compilation errors are returned before any waiting happens.
     pub fn wait_until(&mut self, source: &str, locals: &[(&str, i64)]) -> Result<(), DslError> {
         let pred = self.owner.compile(source, locals)?;
-        self.guard.wait_until(pred);
+        self.wait_until_compiled(pred);
         Ok(())
     }
 
-    /// `waituntil` on a pre-compiled predicate (the class interpreter's
-    /// path).
+    /// Resolves a lowered predicate to a cached compiled condition, or
+    /// hands it back for a transient wait when it cannot (keyless
+    /// closures) or should not (cache full) be pinned.
+    ///
+    /// The cap matters: compiled conditions are pinned for the
+    /// monitor's lifetime, and DSL locals can be one-shot (ticket
+    /// numbers). Bounding the cache keeps the compiled fast path for
+    /// the first [`DslMonitor::COND_CACHE_CAP`] distinct condition
+    /// shapes — every realistic repeating workload — while unbounded
+    /// key streams degrade to the per-wait, LRU-evictable path instead
+    /// of leaking persistent entries.
+    fn resolve_cond(&mut self, pred: Predicate<Env>) -> Result<Cond<Env>, Predicate<Env>> {
+        let Some(key) = pred.key().cloned() else {
+            return Err(pred);
+        };
+        {
+            let conds = self.owner.conds.lock();
+            if let Some(cond) = conds.get(&key) {
+                return Ok(cond.clone());
+            }
+            if conds.len() >= DslMonitor::COND_CACHE_CAP {
+                return Err(pred);
+            }
+        }
+        let cond = self.guard.compile(pred);
+        self.owner.conds.lock().insert(key, cond.clone());
+        Ok(cond)
+    }
+
+    /// `waituntil` on a pre-lowered predicate (the class interpreter's
+    /// path): waits on the interned compiled condition, falling back to
+    /// a transient registration for keyless predicates or once the
+    /// compiled cache is full.
     pub fn wait_until_compiled(&mut self, pred: Predicate<Env>) {
-        self.guard.wait_until(pred);
+        match self.resolve_cond(pred) {
+            Ok(cond) => self.guard.wait(&cond),
+            Err(pred) => self.guard.wait_transient(pred),
+        }
     }
 
     /// Reads a shared variable by slot (class interpreter fast path).
@@ -222,9 +302,12 @@ impl DslGuard<'_, '_> {
         self.guard.state().get(slot)
     }
 
-    /// Writes a shared variable by slot (class interpreter fast path).
+    /// Writes a shared variable by slot (class interpreter fast path),
+    /// naming the expressions that read the slot.
     pub fn set_slot(&mut self, slot: usize, value: i64) {
-        self.guard.state_mut().set(slot, value);
+        let deps = self.owner.slot_deps.read();
+        let touched: &[ExprId] = deps.get(slot).map_or(&[], |v| v.as_slice());
+        self.guard.state_mut_touching(touched).set(slot, value);
     }
 
     /// Runs `f` with the raw environment (read-only).
@@ -244,7 +327,10 @@ impl DslGuard<'_, '_> {
         timeout: Duration,
     ) -> Result<bool, DslError> {
         let pred = self.owner.compile(source, locals)?;
-        Ok(self.guard.wait_until_timeout(pred, timeout))
+        Ok(match self.resolve_cond(pred) {
+            Ok(cond) => self.guard.wait_timeout(&cond, timeout),
+            Err(pred) => self.guard.wait_transient_timeout(pred, timeout),
+        })
     }
 }
 
@@ -310,6 +396,26 @@ mod tests {
     }
 
     #[test]
+    fn cond_cache_is_capped_so_one_shot_keys_cannot_pin_unboundedly() {
+        // Ticket-style conditions (a fresh globalized key per wait)
+        // must not grow the pinned compiled-condition table without
+        // bound: beyond the cap, waits fall back to the transient,
+        // LRU-evictable path and still work.
+        let m = DslMonitor::new(Schema::new(&["count"]));
+        m.enter(|g| g.set("count", 1_000_000));
+        let overshoot = DslMonitor::COND_CACHE_CAP + 50;
+        for ticket in 0..overshoot as i64 {
+            // Always true, so nothing blocks; resolution still runs.
+            m.enter(|g| g.wait_until("count >= t", &[("t", ticket)]).unwrap());
+        }
+        assert_eq!(m.conds.lock().len(), DslMonitor::COND_CACHE_CAP);
+        let counts = m.monitor().counts();
+        assert_eq!(counts.compiled, DslMonitor::COND_CACHE_CAP);
+        // Waits beyond the cap still behave (transient path).
+        m.enter(|g| g.wait_until("count >= t", &[("t", 5)]).unwrap());
+    }
+
+    #[test]
     fn template_cache_parses_once() {
         let m = DslMonitor::new(Schema::new(&["count"]));
         m.enter(|g| g.set("count", 10));
@@ -326,8 +432,9 @@ mod tests {
         m.enter(|g| g.wait_until("count >= num", &[("num", 1)]).unwrap());
         m.enter(|g| g.wait_until("count >= num", &[("num", 2)]).unwrap());
         // One interned shared expression ("count"), two predicates.
-        let (entries, ..) = m.monitor().manager_counts();
-        assert!(entries <= 2, "entries = {entries}");
+        let counts = m.monitor().counts();
+        assert!(counts.entries <= 2, "entries = {}", counts.entries);
+        assert_eq!(counts.compiled, 2, "one compiled cond per distinct key");
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! 4. The result is packaged as a [`predicate::Predicate`] with an optional
 //!    structural [`key::PredKey`] used by the runtime's predicate table to
 //!    map syntax-equivalent predicates to one condition variable (§5.2).
+//! 5. (v2 API) The analyzed predicate can be *compiled* into a
+//!    [`cond::Cond`] handle, interned by key in a [`cond::CondTable`] —
+//!    the whole pipeline runs once and every subsequent wait reuses the
+//!    shared analysis allocation-free.
 //!
 //! Escape hatch: conditions that cannot be expressed as comparisons of
 //! shared expressions (arbitrary Rust closures) become
@@ -50,11 +54,12 @@
 //! assert!(pred.eval(&state, &exprs));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod ast;
 pub mod atom;
+pub mod cond;
 pub mod custom;
 pub mod deps;
 pub mod dnf;
@@ -66,6 +71,7 @@ pub mod tag;
 
 pub use ast::BoolExpr;
 pub use atom::{CmpAtom, CmpOp};
+pub use cond::{Cond, CondTable};
 pub use custom::CustomPred;
 pub use deps::ConjDeps;
 pub use dnf::{Conjunction, Dnf, DnfOverflow, Literal};

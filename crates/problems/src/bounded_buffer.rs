@@ -15,22 +15,30 @@ use autosynch::explicit::{CondId, ExplicitMonitor};
 use autosynch::kessels::{KesselsCond, KesselsMonitor};
 use autosynch::monitor::Monitor;
 use autosynch::stats::StatsSnapshot;
+use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
+use autosynch::Cond;
 
 use crate::mechanism::{timed_run, Mechanism, RunReport};
 
 /// State shared by every implementation.
 #[derive(Debug)]
 pub struct BufferState {
-    queue: VecDeque<u64>,
+    queue: Tracked<VecDeque<u64>>,
     capacity: usize,
 }
 
 impl BufferState {
     fn new(capacity: usize) -> Self {
         BufferState {
-            queue: VecDeque::with_capacity(capacity),
+            queue: Tracked::new(VecDeque::with_capacity(capacity)),
             capacity,
         }
+    }
+}
+
+impl TrackedState for BufferState {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        f(&mut self.queue);
     }
 }
 
@@ -125,13 +133,16 @@ impl BoundedBuffer for BaselineBoundedBuffer {
     }
 }
 
-/// AutoSynch / AutoSynch-T implementation: two shared `waituntil`
-/// predicates, `count > 0` and `count < capacity`.
+/// AutoSynch / AutoSynch-T implementation: two `waituntil` conditions,
+/// `count > 0` and `count < capacity`, compiled **once** at
+/// construction (§5.1's persistent shared predicates are exactly what
+/// `Monitor::compile` generalizes). Writes go through the [`Tracked`]
+/// queue cell, so every mutation names `count` automatically.
 #[derive(Debug)]
 pub struct AutoSynchBoundedBuffer {
     monitor: Monitor<BufferState>,
-    count: autosynch::ExprHandle<BufferState>,
-    capacity: i64,
+    not_empty: Cond<BufferState>,
+    not_full: Cond<BufferState>,
 }
 
 impl AutoSynchBoundedBuffer {
@@ -143,28 +154,28 @@ impl AutoSynchBoundedBuffer {
             .expect("AutoSynchBoundedBuffer requires an automatic mechanism");
         let monitor = Monitor::with_config(BufferState::new(capacity), config);
         let count = monitor.register_expr("count", |s| s.queue.len() as i64);
-        // §5.1: shared predicates are registered up front and persist.
-        monitor.register_shared_predicate(count.gt(0));
-        monitor.register_shared_predicate(count.lt(capacity as i64));
+        monitor.bind(|s| &mut s.queue, &[count]);
+        let not_empty = monitor.compile(count.gt(0));
+        let not_full = monitor.compile(count.lt(capacity as i64));
         AutoSynchBoundedBuffer {
             monitor,
-            count,
-            capacity: capacity as i64,
+            not_empty,
+            not_full,
         }
     }
 }
 
 impl BoundedBuffer for AutoSynchBoundedBuffer {
     fn put(&self, item: u64) {
-        self.monitor.enter(|g| {
-            g.wait_until(self.count.lt(self.capacity));
+        self.monitor.enter_tracked(|g| {
+            g.wait(&self.not_full);
             g.state_mut().queue.push_back(item);
         });
     }
 
     fn take(&self) -> u64 {
-        self.monitor.enter(|g| {
-            g.wait_until(self.count.gt(0));
+        self.monitor.enter_tracked(|g| {
+            g.wait(&self.not_empty);
             g.state_mut().queue.pop_front().expect("non-empty")
         })
     }

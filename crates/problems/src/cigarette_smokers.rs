@@ -22,6 +22,8 @@ use autosynch::baseline::BaselineMonitor;
 use autosynch::explicit::{CondId, ExplicitMonitor};
 use autosynch::monitor::Monitor;
 use autosynch::stats::StatsSnapshot;
+use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
+use autosynch::Cond;
 
 use crate::mechanism::{timed_run, Mechanism, RunReport};
 
@@ -36,13 +38,20 @@ pub fn complement(mine: usize) -> i64 {
     ALL ^ (1 << mine)
 }
 
-/// Table state shared by every implementation.
+/// Table state shared by every implementation. The bitmask is the one
+/// expression-feeding field, so it lives in a [`Tracked`] cell.
 #[derive(Debug, Default)]
 pub struct TableState {
     /// Bitmask of ingredients currently on the table (0 or two bits).
-    table: i64,
+    table: Tracked<i64>,
     /// Cigarettes smoked, per smoker.
     smoked: [u64; INGREDIENTS],
+}
+
+impl TrackedState for TableState {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        f(&mut self.table);
+    }
 }
 
 /// The agent/smoker operations.
@@ -96,8 +105,8 @@ impl Default for ExplicitTable {
 impl SmokersTable for ExplicitTable {
     fn place_for(&self, smoker: usize) {
         self.monitor.enter(|g| {
-            g.wait_while(self.agent_cv, |s| s.table != 0);
-            g.state_mut().table = complement(smoker);
+            g.wait_while(self.agent_cv, |s| *s.table != 0);
+            *g.state_mut().table = complement(smoker);
             // The explicit agent knows whom to wake only because it
             // chose the pair itself.
             g.signal(self.smoker_cv[smoker]);
@@ -107,9 +116,9 @@ impl SmokersTable for ExplicitTable {
     fn smoke(&self, mine: usize) {
         let want = complement(mine);
         self.monitor.enter(|g| {
-            g.wait_while(self.smoker_cv[mine], move |s| s.table != want);
+            g.wait_while(self.smoker_cv[mine], move |s| *s.table != want);
             let state = g.state_mut();
-            state.table = 0;
+            *state.table = 0;
             state.smoked[mine] += 1;
             g.signal(self.agent_cv);
         });
@@ -148,17 +157,17 @@ impl Default for BaselineTable {
 impl SmokersTable for BaselineTable {
     fn place_for(&self, smoker: usize) {
         self.monitor.enter(|g| {
-            g.wait_until(|s: &TableState| s.table == 0);
-            g.state_mut().table = complement(smoker);
+            g.wait_until(|s: &TableState| *s.table == 0);
+            *g.state_mut().table = complement(smoker);
         });
     }
 
     fn smoke(&self, mine: usize) {
         let want = complement(mine);
         self.monitor.enter(|g| {
-            g.wait_until(move |s: &TableState| s.table == want);
+            g.wait_until(move |s: &TableState| *s.table == want);
             let state = g.state_mut();
-            state.table = 0;
+            *state.table = 0;
             state.smoked[mine] += 1;
         });
     }
@@ -179,38 +188,43 @@ impl SmokersTable for BaselineTable {
 #[derive(Debug)]
 pub struct AutoSynchTable {
     monitor: Monitor<TableState>,
-    table: autosynch::ExprHandle<TableState>,
+    empty: Cond<TableState>,
+    my_pair: [Cond<TableState>; INGREDIENTS],
 }
 
 impl AutoSynchTable {
     /// Creates the table under the mechanism's monitor configuration.
+    /// All four equivalence conditions are compiled once here.
     pub fn new(mechanism: Mechanism) -> Self {
         let config = mechanism
             .monitor_config()
             .expect("AutoSynchTable requires an automatic mechanism");
         let monitor = Monitor::with_config(TableState::default(), config);
-        let table = monitor.register_expr("table", |s| s.table);
-        monitor.register_shared_predicate(table.eq(0));
-        for mine in 0..INGREDIENTS {
-            monitor.register_shared_predicate(table.eq(complement(mine)));
+        let table = monitor.register_expr("table", |s| *s.table);
+        monitor.bind(|s| &mut s.table, &[table]);
+        let empty = monitor.compile(table.eq(0));
+        let my_pair = [0, 1, 2].map(|mine| monitor.compile(table.eq(complement(mine))));
+        AutoSynchTable {
+            monitor,
+            empty,
+            my_pair,
         }
-        AutoSynchTable { monitor, table }
     }
 }
 
 impl SmokersTable for AutoSynchTable {
     fn place_for(&self, smoker: usize) {
-        self.monitor.enter(|g| {
-            g.wait_until(self.table.eq(0));
-            g.state_mut().table = complement(smoker);
+        self.monitor.enter_tracked(|g| {
+            g.wait(&self.empty);
+            *g.state_mut().table = complement(smoker);
         });
     }
 
     fn smoke(&self, mine: usize) {
-        self.monitor.enter(|g| {
-            g.wait_until(self.table.eq(complement(mine)));
+        self.monitor.enter_tracked(|g| {
+            g.wait(&self.my_pair[mine]);
             let state = g.state_mut();
-            state.table = 0;
+            *state.table = 0;
             state.smoked[mine] += 1;
         });
     }

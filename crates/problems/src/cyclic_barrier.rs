@@ -16,14 +16,23 @@ use autosynch::baseline::BaselineMonitor;
 use autosynch::explicit::{CondId, ExplicitMonitor};
 use autosynch::monitor::Monitor;
 use autosynch::stats::StatsSnapshot;
+use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
 
 use crate::mechanism::{timed_run, Mechanism, RunReport};
 
-/// Barrier state shared by every implementation.
+/// Barrier state shared by every implementation. Both fields feed the
+/// waiting conditions, so both are [`Tracked`] cells.
 #[derive(Debug, Default)]
 pub struct BarrierState {
-    generation: i64,
-    arrived: i64,
+    generation: Tracked<i64>,
+    arrived: Tracked<i64>,
+}
+
+impl TrackedState for BarrierState {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        f(&mut self.generation);
+        f(&mut self.arrived);
+    }
 }
 
 /// The barrier operation.
@@ -65,22 +74,22 @@ impl ExplicitBarrier {
 impl CyclicBarrier for ExplicitBarrier {
     fn arrive(&self) {
         self.monitor.enter(|g| {
-            let my_gen = g.state().generation;
-            g.state_mut().arrived += 1;
-            if g.state().arrived == self.parties {
+            let my_gen = *g.state().generation;
+            *g.state_mut().arrived += 1;
+            if *g.state().arrived == self.parties {
                 let state = g.state_mut();
-                state.arrived = 0;
-                state.generation += 1;
+                *state.arrived = 0;
+                *state.generation += 1;
                 // Everyone must go: signalAll is unavoidable here.
                 g.signal_all(self.released);
             } else {
-                g.wait_while(self.released, move |s| s.generation == my_gen);
+                g.wait_while(self.released, move |s| *s.generation == my_gen);
             }
         });
     }
 
     fn generation(&self) -> i64 {
-        self.monitor.enter(|g| g.state().generation)
+        self.monitor.enter(|g| *g.state().generation)
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -111,20 +120,20 @@ impl BaselineBarrier {
 impl CyclicBarrier for BaselineBarrier {
     fn arrive(&self) {
         self.monitor.enter(|g| {
-            let my_gen = g.state().generation;
-            g.state_mut().arrived += 1;
-            if g.state().arrived == self.parties {
+            let my_gen = *g.state().generation;
+            *g.state_mut().arrived += 1;
+            if *g.state().arrived == self.parties {
                 let state = g.state_mut();
-                state.arrived = 0;
-                state.generation += 1;
+                *state.arrived = 0;
+                *state.generation += 1;
             } else {
-                g.wait_until(move |s: &BarrierState| s.generation > my_gen);
+                g.wait_until(move |s: &BarrierState| *s.generation > my_gen);
             }
         });
     }
 
     fn generation(&self) -> i64 {
-        self.monitor.enter(|g| g.state().generation)
+        self.monitor.enter(|g| *g.state().generation)
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -135,6 +144,8 @@ impl CyclicBarrier for BaselineBarrier {
 /// AutoSynch barrier: `waituntil(generation > my_gen)` with `my_gen`
 /// globalized from the in-monitor snapshot. Release is a relay chain:
 /// the generation bump wakes one waiter, whose exit wakes the next.
+/// Generations never repeat, so the waits are **transient** (per-wait
+/// analysis, LRU-evicted) rather than compiled-and-pinned.
 #[derive(Debug)]
 pub struct AutoSynchBarrier {
     monitor: Monitor<BarrierState>,
@@ -151,7 +162,10 @@ impl AutoSynchBarrier {
             .monitor_config()
             .expect("AutoSynchBarrier requires an automatic mechanism");
         let monitor = Monitor::with_config(BarrierState::default(), config);
-        let generation = monitor.register_expr("generation", |s| s.generation);
+        let generation = monitor.register_expr("generation", |s| *s.generation);
+        let arrived = monitor.register_expr("arrived", |s| *s.arrived);
+        monitor.bind(|s| &mut s.generation, &[generation]);
+        monitor.bind(|s| &mut s.arrived, &[arrived]);
         AutoSynchBarrier {
             monitor,
             generation,
@@ -162,23 +176,23 @@ impl AutoSynchBarrier {
 
 impl CyclicBarrier for AutoSynchBarrier {
     fn arrive(&self) {
-        self.monitor.enter(|g| {
-            let my_gen = g.state().generation; // globalization snapshot
-            g.state_mut().arrived += 1;
-            if g.state().arrived == self.parties {
+        self.monitor.enter_tracked(|g| {
+            let my_gen = *g.state().generation; // globalization snapshot
+            *g.state_mut().arrived += 1;
+            if *g.state().arrived == self.parties {
                 let state = g.state_mut();
-                state.arrived = 0;
-                state.generation += 1;
+                *state.arrived = 0;
+                *state.generation += 1;
                 // No signal call: the exit relay releases the first
                 // waiter, and each waiter's own exit relays onward.
             } else {
-                g.wait_until(self.generation.gt(my_gen));
+                g.wait_transient(self.generation.gt(my_gen));
             }
         });
     }
 
     fn generation(&self) -> i64 {
-        self.monitor.enter(|g| g.state().generation)
+        self.monitor.enter(|g| *g.state().generation)
     }
 
     fn stats(&self) -> StatsSnapshot {

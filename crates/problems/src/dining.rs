@@ -14,22 +14,34 @@ use autosynch::baseline::BaselineMonitor;
 use autosynch::explicit::{CondId, ExplicitMonitor};
 use autosynch::monitor::Monitor;
 use autosynch::stats::StatsSnapshot;
+use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
+use autosynch::Cond;
 
 use crate::mechanism::{timed_run, Mechanism, RunReport};
 
 /// Table state: fork ownership plus eating flags for the invariant
-/// check (updated only inside the monitor, so it is exact).
+/// check (updated only inside the monitor, so it is exact). Each fork
+/// is its own [`Tracked`] cell: picking up forks `l`/`r` names exactly
+/// the (at most three) `forks_free_*` expressions that read them.
 #[derive(Debug)]
 pub struct TableState {
-    forks: Vec<bool>,
+    forks: Vec<Tracked<bool>>,
     eating: Vec<bool>,
     meals: u64,
+}
+
+impl TrackedState for TableState {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        for fork in &mut self.forks {
+            f(fork);
+        }
+    }
 }
 
 impl TableState {
     fn new(n: usize) -> Self {
         TableState {
-            forks: vec![false; n],
+            forks: (0..n).map(|_| Tracked::new(false)).collect(),
             eating: vec![false; n],
             meals: 0,
         }
@@ -47,7 +59,7 @@ impl TableState {
     /// fork was double-booked).
     fn pick_up(&mut self, i: usize) {
         let (l, r) = (self.left(i), self.right(i));
-        assert!(!self.forks[l] && !self.forks[r], "fork already taken");
+        assert!(!*self.forks[l] && !*self.forks[r], "fork already taken");
         let n = self.forks.len();
         let left_neighbor = (i + n - 1) % n;
         let right_neighbor = (i + 1) % n;
@@ -57,15 +69,15 @@ impl TableState {
                 "philosopher {i} eats while a neighbour eats"
             );
         }
-        self.forks[l] = true;
-        self.forks[r] = true;
+        *self.forks[l] = true;
+        *self.forks[r] = true;
         self.eating[i] = true;
     }
 
     fn put_down(&mut self, i: usize) {
         let (l, r) = (self.left(i), self.right(i));
-        self.forks[l] = false;
-        self.forks[r] = false;
+        *self.forks[l] = false;
+        *self.forks[r] = false;
         self.eating[i] = false;
         self.meals += 1;
     }
@@ -103,7 +115,7 @@ impl DiningTable for ExplicitTable {
         let n = self.conds.len();
         self.monitor.enter(|g| {
             g.wait_while(self.conds[i], move |s| {
-                s.forks[s.left(i)] || s.forks[s.right(i)]
+                *s.forks[s.left(i)] || *s.forks[s.right(i)]
             });
             g.state_mut().pick_up(i);
         });
@@ -142,7 +154,7 @@ impl BaselineTable {
 impl DiningTable for BaselineTable {
     fn dine(&self, i: usize) {
         self.monitor.enter(|g| {
-            g.wait_until(move |s: &TableState| !s.forks[s.left(i)] && !s.forks[s.right(i)]);
+            g.wait_until(move |s: &TableState| !*s.forks[s.left(i)] && !*s.forks[s.right(i)]);
             g.state_mut().pick_up(i);
         });
         self.monitor.enter(|g| g.state_mut().put_down(i));
@@ -157,11 +169,12 @@ impl DiningTable for BaselineTable {
     }
 }
 
-/// AutoSynch table: `waituntil(forks_free(i) == 2)` per philosopher.
+/// AutoSynch table: `waituntil(forks_free(i) == 2)` per philosopher,
+/// compiled once per seat at construction.
 #[derive(Debug)]
 pub struct AutoSynchTable {
     monitor: Monitor<TableState>,
-    forks_free: Vec<autosynch::ExprHandle<TableState>>,
+    both_free: Vec<Cond<TableState>>,
 }
 
 impl AutoSynchTable {
@@ -171,27 +184,30 @@ impl AutoSynchTable {
             .monitor_config()
             .expect("AutoSynchTable requires an automatic mechanism");
         let monitor = Monitor::with_config(TableState::new(n), config);
-        let forks_free = (0..n)
+        let both_free = (0..n)
             .map(|i| {
-                monitor.register_expr(format!("forks_free_{i}"), move |s: &TableState| {
-                    i64::from(!s.forks[s.left(i)]) + i64::from(!s.forks[s.right(i)])
-                })
+                let forks_free =
+                    monitor.register_expr(format!("forks_free_{i}"), move |s: &TableState| {
+                        i64::from(!*s.forks[s.left(i)]) + i64::from(!*s.forks[s.right(i)])
+                    });
+                // Fork j feeds the free-count of seats j-1 and j: bind
+                // this seat's expression to both forks it reads.
+                monitor.bind(|s| &mut s.forks[i], &[forks_free]);
+                monitor.bind(|s| &mut s.forks[(i + 1) % n], &[forks_free]);
+                monitor.compile(forks_free.eq(2))
             })
             .collect();
-        AutoSynchTable {
-            monitor,
-            forks_free,
-        }
+        AutoSynchTable { monitor, both_free }
     }
 }
 
 impl DiningTable for AutoSynchTable {
     fn dine(&self, i: usize) {
-        self.monitor.enter(|g| {
-            g.wait_until(self.forks_free[i].eq(2));
+        self.monitor.enter_tracked(|g| {
+            g.wait(&self.both_free[i]);
             g.state_mut().pick_up(i);
         });
-        self.monitor.enter(|g| g.state_mut().put_down(i));
+        self.monitor.enter_tracked(|g| g.state_mut().put_down(i));
     }
 
     fn meals(&self) -> u64 {

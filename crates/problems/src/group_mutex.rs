@@ -20,6 +20,8 @@ use autosynch::baseline::BaselineMonitor;
 use autosynch::explicit::{CondId, ExplicitMonitor};
 use autosynch::monitor::Monitor;
 use autosynch::stats::StatsSnapshot;
+use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
+use autosynch::Cond;
 
 use crate::mechanism::{timed_run, Mechanism, RunReport};
 
@@ -29,8 +31,8 @@ pub const NO_FORUM: i64 = -1;
 /// Forum-room state shared by every implementation.
 #[derive(Debug)]
 pub struct ForumState {
-    active_forum: i64,
-    inside: i64,
+    active_forum: Tracked<i64>,
+    inside: Tracked<i64>,
     sessions: u64,
     /// Peak simultaneous attendance of any single forum — evidence of
     /// within-group concurrency.
@@ -42,8 +44,8 @@ pub struct ForumState {
 impl Default for ForumState {
     fn default() -> Self {
         ForumState {
-            active_forum: NO_FORUM,
-            inside: 0,
+            active_forum: Tracked::new(NO_FORUM),
+            inside: Tracked::new(0),
             sessions: 0,
             peak_inside: 0,
             violation: false,
@@ -51,21 +53,28 @@ impl Default for ForumState {
     }
 }
 
+impl TrackedState for ForumState {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        f(&mut self.active_forum);
+        f(&mut self.inside);
+    }
+}
+
 impl ForumState {
     fn admit(&mut self, forum: i64) {
-        if self.inside > 0 && self.active_forum != forum {
+        if *self.inside > 0 && *self.active_forum != forum {
             self.violation = true;
         }
-        self.active_forum = forum;
-        self.inside += 1;
-        self.peak_inside = self.peak_inside.max(self.inside);
+        *self.active_forum = forum;
+        *self.inside += 1;
+        self.peak_inside = self.peak_inside.max(*self.inside);
     }
 
     fn release(&mut self) {
-        self.inside -= 1;
+        *self.inside -= 1;
         self.sessions += 1;
-        if self.inside == 0 {
-            self.active_forum = NO_FORUM;
+        if *self.inside == 0 {
+            *self.active_forum = NO_FORUM;
         }
     }
 }
@@ -117,7 +126,7 @@ impl ForumRoom for ExplicitForumRoom {
     fn attend(&self, forum: i64) {
         let cv = self.forum_cv[forum as usize];
         self.monitor.enter(|g| {
-            g.wait_while(cv, move |s| s.inside > 0 && s.active_forum != forum);
+            g.wait_while(cv, move |s| *s.inside > 0 && *s.active_forum != forum);
             g.state_mut().admit(forum);
             // Same-forum colleagues can pile in behind us.
             g.signal(cv);
@@ -127,7 +136,7 @@ impl ForumRoom for ExplicitForumRoom {
     fn leave(&self) {
         self.monitor.enter(|g| {
             g.state_mut().release();
-            if g.state().inside == 0 {
+            if *g.state().inside == 0 {
                 // Whose turn? Unknown — wake every forum (signalAll ×F).
                 for &cv in &self.forum_cv {
                     g.signal_all(cv);
@@ -173,7 +182,7 @@ impl Default for BaselineForumRoom {
 impl ForumRoom for BaselineForumRoom {
     fn attend(&self, forum: i64) {
         self.monitor.enter(|g| {
-            g.wait_until(move |s: &ForumState| s.inside == 0 || s.active_forum == forum);
+            g.wait_until(move |s: &ForumState| *s.inside == 0 || *s.active_forum == forum);
             g.state_mut().admit(forum);
         });
     }
@@ -201,38 +210,42 @@ impl ForumRoom for BaselineForumRoom {
 #[derive(Debug)]
 pub struct AutoSynchForumRoom {
     monitor: Monitor<ForumState>,
-    inside: autosynch::ExprHandle<ForumState>,
-    active_forum: autosynch::ExprHandle<ForumState>,
+    /// `inside == 0 || active_forum == f`, compiled once per forum.
+    may_attend: Vec<Cond<ForumState>>,
 }
 
 impl AutoSynchForumRoom {
-    /// Creates the room under the mechanism's monitor configuration.
-    pub fn new(mechanism: Mechanism) -> Self {
+    /// Creates the room for `forums` distinct forums under the
+    /// mechanism's monitor configuration.
+    pub fn new(forums: usize, mechanism: Mechanism) -> Self {
         let config = mechanism
             .monitor_config()
             .expect("AutoSynchForumRoom requires an automatic mechanism");
         let monitor = Monitor::with_config(ForumState::default(), config);
-        let inside = monitor.register_expr("inside", |s| s.inside);
-        let active_forum = monitor.register_expr("active_forum", |s| s.active_forum);
-        monitor.register_shared_predicate(inside.eq(0));
+        let inside = monitor.register_expr("inside", |s| *s.inside);
+        let active_forum = monitor.register_expr("active_forum", |s| *s.active_forum);
+        monitor.bind(|s| &mut s.inside, &[inside]);
+        monitor.bind(|s| &mut s.active_forum, &[active_forum]);
+        let may_attend = (0..forums as i64)
+            .map(|forum| monitor.compile(inside.eq(0).or(active_forum.eq(forum))))
+            .collect();
         AutoSynchForumRoom {
             monitor,
-            inside,
-            active_forum,
+            may_attend,
         }
     }
 }
 
 impl ForumRoom for AutoSynchForumRoom {
     fn attend(&self, forum: i64) {
-        self.monitor.enter(|g| {
-            g.wait_until(self.inside.eq(0).or(self.active_forum.eq(forum)));
+        self.monitor.enter_tracked(|g| {
+            g.wait(&self.may_attend[forum as usize]);
             g.state_mut().admit(forum);
         });
     }
 
     fn leave(&self) {
-        self.monitor.enter(|g| g.state_mut().release());
+        self.monitor.enter_tracked(|g| g.state_mut().release());
     }
 
     fn outcome(&self) -> ForumOutcome {
@@ -257,7 +270,7 @@ pub fn make_room(mechanism: Mechanism, forums: usize) -> Arc<dyn ForumRoom> {
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
         | Mechanism::AutoSynchShard
-        | Mechanism::AutoSynchPark => Arc::new(AutoSynchForumRoom::new(mechanism)),
+        | Mechanism::AutoSynchPark => Arc::new(AutoSynchForumRoom::new(forums, mechanism)),
     }
 }
 

@@ -17,15 +17,26 @@ use autosynch::baseline::BaselineMonitor;
 use autosynch::explicit::{CondId, ExplicitMonitor};
 use autosynch::monitor::Monitor;
 use autosynch::stats::StatsSnapshot;
+use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
+use autosynch::Cond;
 
 use crate::mechanism::{timed_run, Mechanism, RunReport};
 
-/// Reaction-vessel state shared by every implementation.
+/// Reaction-vessel state shared by every implementation. The two
+/// expression-feeding counters are [`Tracked`] cells; `water` is
+/// verification bookkeeping no waiting condition reads.
 #[derive(Debug, Default)]
 pub struct VesselState {
-    h_free: i64,
-    slots: i64,
+    h_free: Tracked<i64>,
+    slots: Tracked<i64>,
     water: u64,
+}
+
+impl TrackedState for VesselState {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        f(&mut self.h_free);
+        f(&mut self.slots);
+    }
 }
 
 /// The two atom roles.
@@ -71,21 +82,21 @@ impl Default for ExplicitVessel {
 impl WaterVessel for ExplicitVessel {
     fn hydrogen(&self) {
         self.monitor.enter(|g| {
-            g.state_mut().h_free += 1;
-            if g.state().h_free >= 2 {
+            *g.state_mut().h_free += 1;
+            if *g.state().h_free >= 2 {
                 g.signal(self.o_cv);
             }
-            g.wait_while(self.h_cv, |s| s.slots == 0);
-            g.state_mut().slots -= 1;
+            g.wait_while(self.h_cv, |s| *s.slots == 0);
+            *g.state_mut().slots -= 1;
         });
     }
 
     fn oxygen(&self) {
         self.monitor.enter(|g| {
-            g.wait_while(self.o_cv, |s| s.h_free < 2);
+            g.wait_while(self.o_cv, |s| *s.h_free < 2);
             let state = g.state_mut();
-            state.h_free -= 2;
-            state.slots += 2;
+            *state.h_free -= 2;
+            *state.slots += 2;
             state.water += 1;
             // Two bond slots, two targeted signals.
             g.signal(self.h_cv);
@@ -126,18 +137,18 @@ impl Default for BaselineVessel {
 impl WaterVessel for BaselineVessel {
     fn hydrogen(&self) {
         self.monitor.enter(|g| {
-            g.state_mut().h_free += 1;
-            g.wait_until(|s: &VesselState| s.slots > 0);
-            g.state_mut().slots -= 1;
+            *g.state_mut().h_free += 1;
+            g.wait_until(|s: &VesselState| *s.slots > 0);
+            *g.state_mut().slots -= 1;
         });
     }
 
     fn oxygen(&self) {
         self.monitor.enter(|g| {
-            g.wait_until(|s: &VesselState| s.h_free >= 2);
+            g.wait_until(|s: &VesselState| *s.h_free >= 2);
             let state = g.state_mut();
-            state.h_free -= 2;
-            state.slots += 2;
+            *state.h_free -= 2;
+            *state.slots += 2;
             state.water += 1;
         });
     }
@@ -151,12 +162,12 @@ impl WaterVessel for BaselineVessel {
     }
 }
 
-/// AutoSynch vessel: two shared `waituntil` thresholds.
+/// AutoSynch vessel: two shared `waituntil` thresholds, compiled once.
 #[derive(Debug)]
 pub struct AutoSynchVessel {
     monitor: Monitor<VesselState>,
-    h_free: autosynch::ExprHandle<VesselState>,
-    slots: autosynch::ExprHandle<VesselState>,
+    two_hydrogens: Cond<VesselState>,
+    open_slot: Cond<VesselState>,
 }
 
 impl AutoSynchVessel {
@@ -166,33 +177,35 @@ impl AutoSynchVessel {
             .monitor_config()
             .expect("AutoSynchVessel requires an automatic mechanism");
         let monitor = Monitor::with_config(VesselState::default(), config);
-        let h_free = monitor.register_expr("h_free", |s| s.h_free);
-        let slots = monitor.register_expr("slots", |s| s.slots);
-        monitor.register_shared_predicate(h_free.ge(2));
-        monitor.register_shared_predicate(slots.gt(0));
+        let h_free = monitor.register_expr("h_free", |s| *s.h_free);
+        let slots = monitor.register_expr("slots", |s| *s.slots);
+        monitor.bind(|s| &mut s.h_free, &[h_free]);
+        monitor.bind(|s| &mut s.slots, &[slots]);
+        let two_hydrogens = monitor.compile(h_free.ge(2));
+        let open_slot = monitor.compile(slots.gt(0));
         AutoSynchVessel {
             monitor,
-            h_free,
-            slots,
+            two_hydrogens,
+            open_slot,
         }
     }
 }
 
 impl WaterVessel for AutoSynchVessel {
     fn hydrogen(&self) {
-        self.monitor.enter(|g| {
-            g.state_mut().h_free += 1;
-            g.wait_until(self.slots.gt(0));
-            g.state_mut().slots -= 1;
+        self.monitor.enter_tracked(|g| {
+            *g.state_mut().h_free += 1;
+            g.wait(&self.open_slot);
+            *g.state_mut().slots -= 1;
         });
     }
 
     fn oxygen(&self) {
-        self.monitor.enter(|g| {
-            g.wait_until(self.h_free.ge(2));
+        self.monitor.enter_tracked(|g| {
+            g.wait(&self.two_hydrogens);
             let state = g.state_mut();
-            state.h_free -= 2;
-            state.slots += 2;
+            *state.h_free -= 2;
+            *state.slots += 2;
             state.water += 1;
         });
     }

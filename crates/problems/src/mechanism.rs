@@ -11,7 +11,7 @@ use std::fmt;
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-use autosynch::config::MonitorConfig;
+use autosynch::config::{MonitorConfig, SignalMode};
 use autosynch::stats::StatsSnapshot;
 use autosynch_metrics::ctx::{self, CtxSwitches};
 
@@ -106,12 +106,18 @@ impl Mechanism {
     /// The monitor configuration for the automatic mechanisms; `None`
     /// for mechanisms that do not use the AutoSynch runtime.
     pub fn monitor_config(self) -> Option<MonitorConfig> {
+        self.signal_mode().map(MonitorConfig::preset)
+    }
+
+    /// The v2 signaling mode for the automatic mechanisms; `None` for
+    /// mechanisms that do not use the AutoSynch runtime.
+    pub fn signal_mode(self) -> Option<SignalMode> {
         match self {
-            Mechanism::AutoSynch => Some(MonitorConfig::default()),
-            Mechanism::AutoSynchT => Some(MonitorConfig::autosynch_t()),
-            Mechanism::AutoSynchCD => Some(MonitorConfig::autosynch_cd()),
-            Mechanism::AutoSynchShard => Some(MonitorConfig::autosynch_shard()),
-            Mechanism::AutoSynchPark => Some(MonitorConfig::autosynch_park()),
+            Mechanism::AutoSynch => Some(SignalMode::Tagged),
+            Mechanism::AutoSynchT => Some(SignalMode::Untagged),
+            Mechanism::AutoSynchCD => Some(SignalMode::ChangeDriven),
+            Mechanism::AutoSynchShard => Some(SignalMode::Sharded),
+            Mechanism::AutoSynchPark => Some(SignalMode::Parked),
             Mechanism::Explicit | Mechanism::Baseline => None,
         }
     }

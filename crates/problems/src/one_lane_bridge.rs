@@ -20,6 +20,8 @@ use autosynch::baseline::BaselineMonitor;
 use autosynch::explicit::{CondId, ExplicitMonitor};
 use autosynch::monitor::Monitor;
 use autosynch::stats::StatsSnapshot;
+use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
+use autosynch::Cond;
 
 use crate::mechanism::{timed_run, Mechanism, RunReport};
 
@@ -45,8 +47,8 @@ impl Direction {
 /// Bridge state shared by every implementation.
 #[derive(Debug)]
 pub struct BridgeState {
-    on_bridge: i64,
-    dir: i64,
+    on_bridge: Tracked<i64>,
+    dir: Tracked<i64>,
     crossings: u64,
     peak: i64,
     /// Set if cars in both directions were ever on the bridge at once.
@@ -56,8 +58,8 @@ pub struct BridgeState {
 impl Default for BridgeState {
     fn default() -> Self {
         BridgeState {
-            on_bridge: 0,
-            dir: -1,
+            on_bridge: Tracked::new(0),
+            dir: Tracked::new(-1),
             crossings: 0,
             peak: 0,
             violation: false,
@@ -65,21 +67,28 @@ impl Default for BridgeState {
     }
 }
 
+impl TrackedState for BridgeState {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        f(&mut self.on_bridge);
+        f(&mut self.dir);
+    }
+}
+
 impl BridgeState {
     fn admit(&mut self, dir: i64) {
-        if self.on_bridge > 0 && self.dir != dir {
+        if *self.on_bridge > 0 && *self.dir != dir {
             self.violation = true;
         }
-        self.dir = dir;
-        self.on_bridge += 1;
-        self.peak = self.peak.max(self.on_bridge);
+        *self.dir = dir;
+        *self.on_bridge += 1;
+        self.peak = self.peak.max(*self.on_bridge);
     }
 
     fn release(&mut self) {
-        self.on_bridge -= 1;
+        *self.on_bridge -= 1;
         self.crossings += 1;
-        if self.on_bridge == 0 {
-            self.dir = -1;
+        if *self.on_bridge == 0 {
+            *self.dir = -1;
         }
     }
 }
@@ -136,7 +145,7 @@ impl Bridge for ExplicitBridge {
         let cap = self.capacity;
         self.monitor.enter(|g| {
             g.wait_while(self.queue[d as usize], move |s| {
-                !(s.on_bridge == 0 || (s.dir == d && s.on_bridge < cap))
+                !(*s.on_bridge == 0 || (*s.dir == d && *s.on_bridge < cap))
             });
             g.state_mut().admit(d);
             // Room may remain for a same-direction follower.
@@ -148,14 +157,14 @@ impl Bridge for ExplicitBridge {
         self.monitor.enter(|g| {
             g.state_mut().release();
             let state = g.state();
-            if state.on_bridge == 0 {
+            if *state.on_bridge == 0 {
                 // Drained: either direction could go, and any number up
                 // to capacity — broadcast both queues (§3).
                 g.signal_all(self.queue[0]);
                 g.signal_all(self.queue[1]);
             } else {
                 // A slot opened for the current direction.
-                g.signal(self.queue[state.dir as usize]);
+                g.signal(self.queue[*state.dir as usize]);
             }
         });
     }
@@ -197,7 +206,7 @@ impl Bridge for BaselineBridge {
         let cap = self.capacity;
         self.monitor.enter(|g| {
             g.wait_until(move |s: &BridgeState| {
-                s.on_bridge == 0 || (s.dir == d && s.on_bridge < cap)
+                *s.on_bridge == 0 || (*s.dir == d && *s.on_bridge < cap)
             });
             g.state_mut().admit(d);
         });
@@ -226,9 +235,9 @@ impl Bridge for BaselineBridge {
 #[derive(Debug)]
 pub struct AutoSynchBridge {
     monitor: Monitor<BridgeState>,
-    on_bridge: autosynch::ExprHandle<BridgeState>,
-    dir: autosynch::ExprHandle<BridgeState>,
-    capacity: i64,
+    /// `on_bridge == 0 || (dir == d && on_bridge < cap)` per direction,
+    /// compiled once.
+    may_enter: [Cond<BridgeState>; 2],
 }
 
 impl AutoSynchBridge {
@@ -240,33 +249,27 @@ impl AutoSynchBridge {
             .monitor_config()
             .expect("AutoSynchBridge requires an automatic mechanism");
         let monitor = Monitor::with_config(BridgeState::default(), config);
-        let on_bridge = monitor.register_expr("on_bridge", |s| s.on_bridge);
-        let dir = monitor.register_expr("dir", |s| s.dir);
-        monitor.register_shared_predicate(on_bridge.eq(0));
-        AutoSynchBridge {
-            monitor,
-            on_bridge,
-            dir,
-            capacity,
-        }
+        let on_bridge = monitor.register_expr("on_bridge", |s| *s.on_bridge);
+        let dir = monitor.register_expr("dir", |s| *s.dir);
+        monitor.bind(|s| &mut s.on_bridge, &[on_bridge]);
+        monitor.bind(|s| &mut s.dir, &[dir]);
+        let may_enter = [0, 1]
+            .map(|d| monitor.compile(on_bridge.eq(0).or(dir.eq(d).and(on_bridge.lt(capacity)))));
+        AutoSynchBridge { monitor, may_enter }
     }
 }
 
 impl Bridge for AutoSynchBridge {
     fn enter(&self, dir: Direction) {
         let d = dir.code();
-        self.monitor.enter(|g| {
-            g.wait_until(
-                self.on_bridge
-                    .eq(0)
-                    .or(self.dir.eq(d).and(self.on_bridge.lt(self.capacity))),
-            );
+        self.monitor.enter_tracked(|g| {
+            g.wait(&self.may_enter[d as usize]);
             g.state_mut().admit(d);
         });
     }
 
     fn exit(&self) {
-        self.monitor.enter(|g| g.state_mut().release());
+        self.monitor.enter_tracked(|g| g.state_mut().release());
     }
 
     fn outcome(&self) -> BridgeOutcome {

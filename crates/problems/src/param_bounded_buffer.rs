@@ -22,6 +22,8 @@ use autosynch::baseline::BaselineMonitor;
 use autosynch::explicit::{CondId, ExplicitMonitor};
 use autosynch::monitor::Monitor;
 use autosynch::stats::StatsSnapshot;
+use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
+use autosynch::{Cond, ExprHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,16 +32,22 @@ use crate::mechanism::{timed_run, Mechanism, RunReport};
 /// Buffer state shared by every implementation.
 #[derive(Debug)]
 pub struct ParamBufferState {
-    queue: VecDeque<u64>,
+    queue: Tracked<VecDeque<u64>>,
     capacity: usize,
 }
 
 impl ParamBufferState {
     fn new(capacity: usize) -> Self {
         ParamBufferState {
-            queue: VecDeque::with_capacity(capacity),
+            queue: Tracked::new(VecDeque::with_capacity(capacity)),
             capacity,
         }
+    }
+}
+
+impl TrackedState for ParamBufferState {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        f(&mut self.queue);
     }
 }
 
@@ -142,12 +150,19 @@ impl ParamBoundedBuffer for BaselineParamBuffer {
 }
 
 /// AutoSynch version — Fig. 1 right column: two `waituntil` statements,
-/// no signaling anywhere.
+/// no signaling anywhere. The globalized values are bounded by the
+/// buffer capacity, so each distinct `free >= n` / `count >= num`
+/// condition is compiled exactly once and cached; the hot path reuses
+/// the compiled handle.
 #[derive(Debug)]
 pub struct AutoSynchParamBuffer {
     monitor: Monitor<ParamBufferState>,
-    count: autosynch::ExprHandle<ParamBufferState>,
-    free: autosynch::ExprHandle<ParamBufferState>,
+    count: ExprHandle<ParamBufferState>,
+    free: ExprHandle<ParamBufferState>,
+    /// `free >= n` by `n` — compiled on first use (n ≤ capacity).
+    put_conds: std::sync::Mutex<Vec<Option<Cond<ParamBufferState>>>>,
+    /// `count >= num` by `num` — compiled on first use.
+    take_conds: std::sync::Mutex<Vec<Option<Cond<ParamBufferState>>>>,
 }
 
 impl AutoSynchParamBuffer {
@@ -160,28 +175,61 @@ impl AutoSynchParamBuffer {
         let monitor = Monitor::with_config(ParamBufferState::new(capacity), config);
         let count = monitor.register_expr("count", |s| s.queue.len() as i64);
         let free = monitor.register_expr("free", |s| (s.capacity - s.queue.len()) as i64);
+        monitor.bind(|s| &mut s.queue, &[count, free]);
         AutoSynchParamBuffer {
             monitor,
             count,
             free,
+            put_conds: std::sync::Mutex::new(vec![None; capacity + 1]),
+            take_conds: std::sync::Mutex::new(vec![None; capacity + 1]),
         }
+    }
+
+    /// Compile-once-per-value: the first caller with this globalized
+    /// constant pays the analysis, everyone after reuses the handle.
+    /// `None` for values beyond the cache (requests larger than the
+    /// capacity, which can never be satisfied) — those fall back to a
+    /// transient wait so they block, as the trait documents, instead
+    /// of panicking or pinning an unsatisfiable condition.
+    fn cached(
+        cache: &std::sync::Mutex<Vec<Option<Cond<ParamBufferState>>>>,
+        n: usize,
+        compile: impl FnOnce() -> Cond<ParamBufferState>,
+    ) -> Option<Cond<ParamBufferState>> {
+        let mut slots = cache.lock().expect("cond cache poisoned");
+        let slot = slots.get_mut(n)?;
+        Some(slot.get_or_insert_with(compile).clone())
     }
 }
 
 impl ParamBoundedBuffer for AutoSynchParamBuffer {
     fn put(&self, items: &[u64]) {
-        self.monitor.enter(|g| {
-            // waituntil(count + items.len() <= capacity): the length is
-            // the globalized local variable, `free >= n` the canonical
-            // threshold form.
-            g.wait_until(self.free.ge(items.len() as i64));
+        // waituntil(count + items.len() <= capacity): the length is the
+        // globalized local variable, `free >= n` the canonical
+        // threshold form.
+        let n = items.len();
+        let has_room = Self::cached(&self.put_conds, n, || {
+            self.monitor.compile(self.free.ge(n as i64))
+        });
+        self.monitor.enter_tracked(|g| {
+            match &has_room {
+                Some(cond) => g.wait(cond),
+                None => g.wait_transient(self.free.ge(n as i64)),
+            }
             g.state_mut().queue.extend(items.iter().copied());
         });
     }
 
     fn take(&self, num: usize) -> Vec<u64> {
-        self.monitor.enter(|g| {
-            g.wait_until(self.count.ge(num as i64)); // waituntil(count >= num)
+        // waituntil(count >= num)
+        let has_items = Self::cached(&self.take_conds, num, || {
+            self.monitor.compile(self.count.ge(num as i64))
+        });
+        self.monitor.enter_tracked(|g| {
+            match &has_items {
+                Some(cond) => g.wait(cond),
+                None => g.wait_transient(self.count.ge(num as i64)),
+            }
             g.state_mut().queue.drain(..num).collect()
         })
     }
@@ -396,6 +444,27 @@ mod tests {
             explicit.stats.counters.wakeups,
             auto.stats.counters.wakeups
         );
+    }
+
+    #[test]
+    fn oversized_requests_block_instead_of_panicking() {
+        // A take larger than the capacity can never be satisfied; the
+        // documented behavior is to block (the v1 semantics), not to
+        // panic out of the cond cache. The blocked probe thread is
+        // deliberately leaked — the test binary exits underneath it.
+        let buffer = Arc::new(AutoSynchParamBuffer::new(8, Mechanism::AutoSynch));
+        let probe = Arc::clone(&buffer);
+        let blocked = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let flag = Arc::clone(&blocked);
+        std::thread::spawn(move || {
+            let _ = probe.take(9); // > capacity: must block forever
+            flag.store(false, Ordering::Relaxed);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert!(blocked.load(Ordering::Relaxed), "oversized take returned");
+        // The buffer (and its cond cache) must still serve normal ops.
+        buffer.put(&[1, 2]);
+        assert_eq!(buffer.take(2), vec![1, 2]);
     }
 
     #[test]

@@ -20,18 +20,29 @@ use autosynch::baseline::BaselineMonitor;
 use autosynch::explicit::{CondId, ExplicitMonitor};
 use autosynch::monitor::Monitor;
 use autosynch::stats::StatsSnapshot;
+use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
 
 use crate::mechanism::{timed_run, Mechanism, RunReport};
 
-/// Monitor state for the ticket lock.
+/// Monitor state for the ticket lock. The three expression-feeding
+/// fields are [`Tracked`] cells; ticket issuance and the done-counters
+/// feed no waiting condition.
 #[derive(Debug, Default)]
 pub struct RwState {
     next_ticket: i64,
-    serving: i64,
-    readers_active: i64,
-    writer_active: bool,
+    serving: Tracked<i64>,
+    readers_active: Tracked<i64>,
+    writer_active: Tracked<bool>,
     reads_done: u64,
     writes_done: u64,
+}
+
+impl TrackedState for RwState {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        f(&mut self.serving);
+        f(&mut self.readers_active);
+        f(&mut self.writer_active);
+    }
 }
 
 /// The reader/writer lock operations.
@@ -78,12 +89,12 @@ impl ReadersWriters for ExplicitRw {
         self.monitor.enter(|g| {
             let t = g.state().next_ticket;
             g.state_mut().next_ticket += 1;
-            g.wait_while(self.cv(t), move |s| s.serving != t || s.writer_active);
+            g.wait_while(self.cv(t), move |s| *s.serving != t || *s.writer_active);
             let state = g.state_mut();
-            state.readers_active += 1;
-            state.serving += 1;
+            *state.readers_active += 1;
+            *state.serving += 1;
             // Let the next ticket holder in (readers overlap).
-            let next = state.serving;
+            let next = *state.serving;
             g.signal(self.cv(next));
         });
     }
@@ -91,11 +102,11 @@ impl ReadersWriters for ExplicitRw {
     fn end_read(&self) {
         self.monitor.enter(|g| {
             let state = g.state_mut();
-            state.readers_active -= 1;
+            *state.readers_active -= 1;
             state.reads_done += 1;
-            if state.readers_active == 0 {
+            if *state.readers_active == 0 {
                 // A writer at the head of the queue may be draining us.
-                let head = state.serving;
+                let head = *state.serving;
                 g.signal(self.cv(head));
             }
         });
@@ -106,20 +117,20 @@ impl ReadersWriters for ExplicitRw {
             let t = g.state().next_ticket;
             g.state_mut().next_ticket += 1;
             g.wait_while(self.cv(t), move |s| {
-                s.serving != t || s.writer_active || s.readers_active > 0
+                *s.serving != t || *s.writer_active || *s.readers_active > 0
             });
             let state = g.state_mut();
-            state.writer_active = true;
-            state.serving += 1;
+            *state.writer_active = true;
+            *state.serving += 1;
         });
     }
 
     fn end_write(&self) {
         self.monitor.enter(|g| {
             let state = g.state_mut();
-            state.writer_active = false;
+            *state.writer_active = false;
             state.writes_done += 1;
-            let head = state.serving;
+            let head = *state.serving;
             g.signal(self.cv(head));
         });
     }
@@ -162,17 +173,17 @@ impl ReadersWriters for BaselineRw {
         self.monitor.enter(|g| {
             let t = g.state().next_ticket;
             g.state_mut().next_ticket += 1;
-            g.wait_until(move |s: &RwState| s.serving == t && !s.writer_active);
+            g.wait_until(move |s: &RwState| *s.serving == t && !*s.writer_active);
             let state = g.state_mut();
-            state.readers_active += 1;
-            state.serving += 1;
+            *state.readers_active += 1;
+            *state.serving += 1;
         });
     }
 
     fn end_read(&self) {
         self.monitor.enter(|g| {
             let state = g.state_mut();
-            state.readers_active -= 1;
+            *state.readers_active -= 1;
             state.reads_done += 1;
         });
     }
@@ -182,18 +193,18 @@ impl ReadersWriters for BaselineRw {
             let t = g.state().next_ticket;
             g.state_mut().next_ticket += 1;
             g.wait_until(move |s: &RwState| {
-                s.serving == t && !s.writer_active && s.readers_active == 0
+                *s.serving == t && !*s.writer_active && *s.readers_active == 0
             });
             let state = g.state_mut();
-            state.writer_active = true;
-            state.serving += 1;
+            *state.writer_active = true;
+            *state.serving += 1;
         });
     }
 
     fn end_write(&self) {
         self.monitor.enter(|g| {
             let state = g.state_mut();
-            state.writer_active = false;
+            *state.writer_active = false;
             state.writes_done += 1;
         });
     }
@@ -211,7 +222,10 @@ impl ReadersWriters for BaselineRw {
 // --- AutoSynch -----------------------------------------------------------
 
 /// AutoSynch ticketed readers/writers: `waituntil` with a complex
-/// equivalence conjunct.
+/// equivalence conjunct. Ticket numbers never repeat, so these are the
+/// canonical **transient** conditions — analyzed per wait and
+/// LRU-evicted, not pinned in the compile table; writes still go
+/// through [`Tracked`] cells so every mutation is named.
 #[derive(Debug)]
 pub struct AutoSynchRw {
     monitor: Monitor<RwState>,
@@ -227,9 +241,12 @@ impl AutoSynchRw {
             .monitor_config()
             .expect("AutoSynchRw requires an automatic mechanism");
         let monitor = Monitor::with_config(RwState::default(), config);
-        let serving = monitor.register_expr("serving", |s| s.serving);
-        let readers = monitor.register_expr("readers_active", |s| s.readers_active);
-        let writer = monitor.register_expr("writer_active", |s| s.writer_active as i64);
+        let serving = monitor.register_expr("serving", |s| *s.serving);
+        let readers = monitor.register_expr("readers_active", |s| *s.readers_active);
+        let writer = monitor.register_expr("writer_active", |s| *s.writer_active as i64);
+        monitor.bind(|s| &mut s.serving, &[serving]);
+        monitor.bind(|s| &mut s.readers_active, &[readers]);
+        monitor.bind(|s| &mut s.writer_active, &[writer]);
         AutoSynchRw {
             monitor,
             serving,
@@ -241,46 +258,46 @@ impl AutoSynchRw {
 
 impl ReadersWriters for AutoSynchRw {
     fn start_read(&self) {
-        self.monitor.enter(|g| {
+        self.monitor.enter_tracked(|g| {
             let t = g.state().next_ticket;
             g.state_mut().next_ticket += 1;
             // waituntil(serving == t && !writer_active): `t` globalizes
-            // into the equivalence key.
-            g.wait_until(self.serving.eq(t).and(self.writer.eq(0)));
+            // into the equivalence key — one-shot, hence transient.
+            g.wait_transient(self.serving.eq(t).and(self.writer.eq(0)));
             let state = g.state_mut();
-            state.readers_active += 1;
-            state.serving += 1;
+            *state.readers_active += 1;
+            *state.serving += 1;
         });
     }
 
     fn end_read(&self) {
-        self.monitor.enter(|g| {
+        self.monitor.enter_tracked(|g| {
             let state = g.state_mut();
-            state.readers_active -= 1;
+            *state.readers_active -= 1;
             state.reads_done += 1;
         });
     }
 
     fn start_write(&self) {
-        self.monitor.enter(|g| {
+        self.monitor.enter_tracked(|g| {
             let t = g.state().next_ticket;
             g.state_mut().next_ticket += 1;
-            g.wait_until(
+            g.wait_transient(
                 self.serving
                     .eq(t)
                     .and(self.writer.eq(0))
                     .and(self.readers.eq(0)),
             );
             let state = g.state_mut();
-            state.writer_active = true;
-            state.serving += 1;
+            *state.writer_active = true;
+            *state.serving += 1;
         });
     }
 
     fn end_write(&self) {
-        self.monitor.enter(|g| {
+        self.monitor.enter_tracked(|g| {
             let state = g.state_mut();
-            state.writer_active = false;
+            *state.writer_active = false;
             state.writes_done += 1;
         });
     }

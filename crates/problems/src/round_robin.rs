@@ -16,14 +16,24 @@ use autosynch::explicit::{CondId, ExplicitMonitor};
 use autosynch::kessels::{KesselsCond, KesselsMonitor};
 use autosynch::monitor::Monitor;
 use autosynch::stats::StatsSnapshot;
+use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
+use autosynch::Cond;
 
 use crate::mechanism::{timed_run, Mechanism, RunReport};
 
 /// Monitor state: whose turn it is and a pass counter for verification.
+/// `turn` is the one expression-feeding field, so it lives in a
+/// [`Tracked`] cell; `passes` is bookkeeping no waiting condition reads.
 #[derive(Debug, Default)]
 pub struct TurnState {
-    turn: i64,
+    turn: Tracked<i64>,
     passes: u64,
+}
+
+impl TrackedState for TurnState {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        f(&mut self.turn);
+    }
 }
 
 /// The round-robin token operations.
@@ -59,11 +69,11 @@ impl RoundRobin for ExplicitRoundRobin {
     fn pass(&self, id: usize) {
         let n = self.conds.len() as i64;
         self.monitor.enter(|g| {
-            g.wait_while(self.conds[id], |s| s.turn != id as i64);
+            g.wait_while(self.conds[id], |s| *s.turn != id as i64);
             let state = g.state_mut();
-            state.turn = (state.turn + 1) % n;
+            *state.turn = (*state.turn + 1) % n;
             state.passes += 1;
-            let next = state.turn as usize;
+            let next = *state.turn as usize;
             g.signal(self.conds[next]);
         });
     }
@@ -103,9 +113,9 @@ impl RoundRobin for BaselineRoundRobin {
         let me = id as i64;
         let n = self.n as i64;
         self.monitor.enter(|g| {
-            g.wait_until(move |s: &TurnState| s.turn == me);
+            g.wait_until(move |s: &TurnState| *s.turn == me);
             let state = g.state_mut();
-            state.turn = (state.turn + 1) % n;
+            *state.turn = (*state.turn + 1) % n;
             state.passes += 1;
         });
     }
@@ -124,11 +134,14 @@ impl RoundRobin for BaselineRoundRobin {
 }
 
 /// AutoSynch round-robin: `waituntil(turn == id)` — the globalized
-/// equivalence predicate of Table 1.
+/// equivalence predicate of Table 1. Each thread's condition is
+/// compiled **once** at ring construction; `pass` re-runs none of the
+/// DNF/tag/key analysis, which previously happened on every single
+/// wait of this workload's hot loop.
 #[derive(Debug)]
 pub struct AutoSynchRoundRobin {
     monitor: Monitor<TurnState>,
-    turn: autosynch::ExprHandle<TurnState>,
+    my_turn: Vec<Cond<TurnState>>,
     n: usize,
 }
 
@@ -140,18 +153,26 @@ impl AutoSynchRoundRobin {
             .monitor_config()
             .expect("AutoSynchRoundRobin requires an automatic mechanism");
         let monitor = Monitor::with_config(TurnState::default(), config);
-        let turn = monitor.register_expr("turn", |s| s.turn);
-        AutoSynchRoundRobin { monitor, turn, n }
+        let turn = monitor.register_expr("turn", |s| *s.turn);
+        monitor.bind(|s| &mut s.turn, &[turn]);
+        let my_turn = (0..n as i64)
+            .map(|id| monitor.compile(turn.eq(id)))
+            .collect();
+        AutoSynchRoundRobin {
+            monitor,
+            my_turn,
+            n,
+        }
     }
 }
 
 impl RoundRobin for AutoSynchRoundRobin {
     fn pass(&self, id: usize) {
         let n = self.n as i64;
-        self.monitor.enter(|g| {
-            g.wait_until(self.turn.eq(id as i64)); // waituntil(turn == id)
+        self.monitor.enter_tracked(|g| {
+            g.wait(&self.my_turn[id]); // waituntil(turn == id)
             let state = g.state_mut();
-            state.turn = (state.turn + 1) % n;
+            *state.turn = (*state.turn + 1) % n;
             state.passes += 1;
         });
     }
@@ -189,7 +210,7 @@ impl KesselsRoundRobin {
     pub fn new(n: usize) -> Self {
         let mut monitor = KesselsMonitor::new(TurnState::default());
         let conds = (0..n as i64)
-            .map(|id| monitor.declare(format!("turn=={id}"), move |s: &TurnState| s.turn == id))
+            .map(|id| monitor.declare(format!("turn=={id}"), move |s: &TurnState| *s.turn == id))
             .collect();
         KesselsRoundRobin { monitor, conds }
     }
@@ -201,7 +222,7 @@ impl RoundRobin for KesselsRoundRobin {
         self.monitor.enter(|g| {
             g.wait(self.conds[id]);
             let state = g.state_mut();
-            state.turn = (state.turn + 1) % n;
+            *state.turn = (*state.turn + 1) % n;
             state.passes += 1;
         });
     }

@@ -24,13 +24,19 @@ use autosynch::baseline::BaselineMonitor;
 use autosynch::explicit::{CondId, ExplicitMonitor};
 use autosynch::monitor::Monitor;
 use autosynch::stats::StatsSnapshot;
+use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
+use autosynch::Cond;
 
 use crate::mechanism::{timed_run, Mechanism, RunReport};
 
-/// State shared by every implementation: `N` bounded queues.
+/// State shared by every implementation: `N` bounded queues. Each queue
+/// is its own [`Tracked`] cell bound to its `items_i`/`space_i`
+/// expressions, so an operation on queue `i` automatically names
+/// exactly those two — the diff the old `enter_mutating` contract
+/// spelled out by hand.
 #[derive(Debug)]
 pub struct QueuesState {
-    queues: Vec<VecDeque<u64>>,
+    queues: Vec<Tracked<VecDeque<u64>>>,
     capacity: usize,
 }
 
@@ -38,9 +44,17 @@ impl QueuesState {
     fn new(queues: usize, capacity: usize) -> Self {
         QueuesState {
             queues: (0..queues)
-                .map(|_| VecDeque::with_capacity(capacity))
+                .map(|_| Tracked::new(VecDeque::with_capacity(capacity)))
                 .collect(),
             capacity,
+        }
+    }
+}
+
+impl TrackedState for QueuesState {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        for queue in &mut self.queues {
+            f(queue);
         }
     }
 }
@@ -149,53 +163,56 @@ impl ShardedQueues for BaselineShardedQueues {
 #[derive(Debug)]
 pub struct AutoSynchShardedQueues {
     monitor: Monitor<QueuesState>,
-    items: Vec<autosynch::ExprHandle<QueuesState>>,
-    space: Vec<autosynch::ExprHandle<QueuesState>>,
+    not_empty: Vec<Cond<QueuesState>>,
+    not_full: Vec<Cond<QueuesState>>,
 }
 
 impl AutoSynchShardedQueues {
     /// Creates `queues` bounded queues of the given capacity under the
-    /// mechanism's monitor configuration.
+    /// mechanism's monitor configuration. Every waiting condition is
+    /// compiled once here; every queue cell is bound to its two
+    /// expressions, so writes are named automatically.
     pub fn new(queues: usize, capacity: usize, mechanism: Mechanism) -> Self {
         let config = mechanism
             .monitor_config()
             .expect("AutoSynchShardedQueues requires an automatic mechanism");
         let monitor = Monitor::with_config(QueuesState::new(queues, capacity), config);
-        let items = (0..queues)
-            .map(|i| monitor.register_expr(format!("items_{i}"), move |s| s.queues[i].len() as i64))
-            .collect();
-        let space = (0..queues)
-            .map(|i| {
-                monitor.register_expr(format!("space_{i}"), move |s| {
-                    (s.capacity - s.queues[i].len()) as i64
-                })
-            })
-            .collect();
+        let mut not_empty = Vec::with_capacity(queues);
+        let mut not_full = Vec::with_capacity(queues);
+        for i in 0..queues {
+            let items =
+                monitor.register_expr(format!("items_{i}"), move |s| s.queues[i].len() as i64);
+            let space = monitor.register_expr(format!("space_{i}"), move |s| {
+                (s.capacity - s.queues[i].len()) as i64
+            });
+            monitor.bind(|s| &mut s.queues[i], &[items, space]);
+            not_empty.push(monitor.compile(items.ne(0)));
+            not_full.push(monitor.compile(space.ne(0)));
+        }
         AutoSynchShardedQueues {
             monitor,
-            items,
-            space,
+            not_empty,
+            not_full,
         }
     }
 }
 
 impl ShardedQueues for AutoSynchShardedQueues {
     fn put(&self, queue: usize, item: u64) {
-        // Named mutation: an operation on queue `i` can only change
-        // `items_i` and `space_i`, so the snapshot diff evaluates just
-        // those two — the signaler's critical section no longer scales
-        // with the number of queues.
-        let touched = [self.items[queue].id(), self.space[queue].id()];
-        self.monitor.enter_mutating(&touched, |g| {
-            g.wait_until(self.space[queue].ne(0));
+        // Tracked mutation: an operation on queue `i` dirties only that
+        // queue's cell, so the snapshot diff evaluates just `items_i`
+        // and `space_i` — the signaler's critical section no longer
+        // scales with the number of queues, and no caller has to spell
+        // the touched set out.
+        self.monitor.enter_tracked(|g| {
+            g.wait(&self.not_full[queue]);
             g.state_mut().queues[queue].push_back(item);
         });
     }
 
     fn take(&self, queue: usize) -> u64 {
-        let touched = [self.items[queue].id(), self.space[queue].id()];
-        self.monitor.enter_mutating(&touched, |g| {
-            g.wait_until(self.items[queue].ne(0));
+        self.monitor.enter_tracked(|g| {
+            g.wait(&self.not_empty[queue]);
             g.state_mut().queues[queue].pop_front().expect("non-empty")
         })
     }

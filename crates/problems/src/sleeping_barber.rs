@@ -16,16 +16,28 @@ use autosynch::baseline::BaselineMonitor;
 use autosynch::explicit::{CondId, ExplicitMonitor};
 use autosynch::monitor::Monitor;
 use autosynch::stats::StatsSnapshot;
+use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
+use autosynch::Cond;
 
 use crate::mechanism::{timed_run, Mechanism, RunReport};
 
-/// Barbershop state shared by every implementation.
+/// Barbershop state shared by every implementation. The three
+/// expression-feeding fields are [`Tracked`] cells; `served` is
+/// verification bookkeeping.
 #[derive(Debug, Default)]
 pub struct ShopState {
-    waiting: i64,
-    available: i64,
-    done: bool,
+    waiting: Tracked<i64>,
+    available: Tracked<i64>,
+    done: Tracked<bool>,
     served: u64,
+}
+
+impl TrackedState for ShopState {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        f(&mut self.waiting);
+        f(&mut self.available);
+        f(&mut self.done);
+    }
 }
 
 /// The barbershop operations.
@@ -74,13 +86,13 @@ impl Default for ExplicitBarberShop {
 impl BarberShop for ExplicitBarberShop {
     fn visit(&self, chairs: i64) -> bool {
         self.monitor.enter(|g| {
-            if g.state().waiting >= chairs {
+            if *g.state().waiting >= chairs {
                 return false; // no free chair: leave
             }
-            g.state_mut().waiting += 1;
+            *g.state_mut().waiting += 1;
             g.signal(self.barber_cv); // wake the sleeping barber
-            g.wait_while(self.customer_cv, |s| s.available == 0);
-            g.state_mut().available -= 1;
+            g.wait_while(self.customer_cv, |s| *s.available == 0);
+            *g.state_mut().available -= 1;
             true
         })
     }
@@ -89,13 +101,13 @@ impl BarberShop for ExplicitBarberShop {
         let mut cuts = 0;
         loop {
             let served = self.monitor.enter(|g| {
-                g.wait_while(self.barber_cv, |s| s.waiting == 0 && !s.done);
+                g.wait_while(self.barber_cv, |s| *s.waiting == 0 && !*s.done);
                 let state = g.state_mut();
-                if state.waiting == 0 {
+                if *state.waiting == 0 {
                     return false; // closing time, shop empty
                 }
-                state.waiting -= 1;
-                state.available += 1;
+                *state.waiting -= 1;
+                *state.available += 1;
                 state.served += 1;
                 g.signal(self.customer_cv);
                 true
@@ -109,7 +121,7 @@ impl BarberShop for ExplicitBarberShop {
 
     fn close(&self) {
         self.monitor.enter(|g| {
-            g.state_mut().done = true;
+            *g.state_mut().done = true;
             g.signal(self.barber_cv);
         });
     }
@@ -143,12 +155,12 @@ impl Default for BaselineBarberShop {
 impl BarberShop for BaselineBarberShop {
     fn visit(&self, chairs: i64) -> bool {
         self.monitor.enter(|g| {
-            if g.state().waiting >= chairs {
+            if *g.state().waiting >= chairs {
                 return false;
             }
-            g.state_mut().waiting += 1;
-            g.wait_until(|s: &ShopState| s.available > 0);
-            g.state_mut().available -= 1;
+            *g.state_mut().waiting += 1;
+            g.wait_until(|s: &ShopState| *s.available > 0);
+            *g.state_mut().available -= 1;
             true
         })
     }
@@ -157,13 +169,13 @@ impl BarberShop for BaselineBarberShop {
         let mut cuts = 0;
         loop {
             let served = self.monitor.enter(|g| {
-                g.wait_until(|s: &ShopState| s.waiting > 0 || s.done);
+                g.wait_until(|s: &ShopState| *s.waiting > 0 || *s.done);
                 let state = g.state_mut();
-                if state.waiting == 0 {
+                if *state.waiting == 0 {
                     return false;
                 }
-                state.waiting -= 1;
-                state.available += 1;
+                *state.waiting -= 1;
+                *state.available += 1;
                 state.served += 1;
                 true
             });
@@ -175,7 +187,7 @@ impl BarberShop for BaselineBarberShop {
     }
 
     fn close(&self) {
-        self.monitor.enter(|g| g.state_mut().done = true);
+        self.monitor.enter(|g| *g.state_mut().done = true);
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -183,13 +195,13 @@ impl BarberShop for BaselineBarberShop {
     }
 }
 
-/// AutoSynch barbershop: `waituntil` on shared predicates only.
+/// AutoSynch barbershop: `waituntil` on shared predicates only, both
+/// compiled once at construction.
 #[derive(Debug)]
 pub struct AutoSynchBarberShop {
     monitor: Monitor<ShopState>,
-    waiting: autosynch::ExprHandle<ShopState>,
-    available: autosynch::ExprHandle<ShopState>,
-    done: autosynch::ExprHandle<ShopState>,
+    customer_ready: Cond<ShopState>,
+    chair_open: Cond<ShopState>,
 }
 
 impl AutoSynchBarberShop {
@@ -199,29 +211,31 @@ impl AutoSynchBarberShop {
             .monitor_config()
             .expect("AutoSynchBarberShop requires an automatic mechanism");
         let monitor = Monitor::with_config(ShopState::default(), config);
-        let waiting = monitor.register_expr("waiting", |s| s.waiting);
-        let available = monitor.register_expr("available", |s| s.available);
-        let done = monitor.register_expr("done", |s| s.done as i64);
-        monitor.register_shared_predicate(waiting.gt(0).or(done.eq(1)));
-        monitor.register_shared_predicate(available.gt(0));
+        let waiting = monitor.register_expr("waiting", |s| *s.waiting);
+        let available = monitor.register_expr("available", |s| *s.available);
+        let done = monitor.register_expr("done", |s| *s.done as i64);
+        monitor.bind(|s| &mut s.waiting, &[waiting]);
+        monitor.bind(|s| &mut s.available, &[available]);
+        monitor.bind(|s| &mut s.done, &[done]);
+        let customer_ready = monitor.compile(waiting.gt(0).or(done.eq(1)));
+        let chair_open = monitor.compile(available.gt(0));
         AutoSynchBarberShop {
             monitor,
-            waiting,
-            available,
-            done,
+            customer_ready,
+            chair_open,
         }
     }
 }
 
 impl BarberShop for AutoSynchBarberShop {
     fn visit(&self, chairs: i64) -> bool {
-        self.monitor.enter(|g| {
-            if g.state().waiting >= chairs {
+        self.monitor.enter_tracked(|g| {
+            if *g.state().waiting >= chairs {
                 return false;
             }
-            g.state_mut().waiting += 1;
-            g.wait_until(self.available.gt(0));
-            g.state_mut().available -= 1;
+            *g.state_mut().waiting += 1;
+            g.wait(&self.chair_open);
+            *g.state_mut().available -= 1;
             true
         })
     }
@@ -229,14 +243,14 @@ impl BarberShop for AutoSynchBarberShop {
     fn barber_loop(&self) -> u64 {
         let mut cuts = 0;
         loop {
-            let served = self.monitor.enter(|g| {
-                g.wait_until(self.waiting.gt(0).or(self.done.eq(1)));
+            let served = self.monitor.enter_tracked(|g| {
+                g.wait(&self.customer_ready);
                 let state = g.state_mut();
-                if state.waiting == 0 {
+                if *state.waiting == 0 {
                     return false;
                 }
-                state.waiting -= 1;
-                state.available += 1;
+                *state.waiting -= 1;
+                *state.available += 1;
                 state.served += 1;
                 true
             });
@@ -248,8 +262,8 @@ impl BarberShop for AutoSynchBarberShop {
     }
 
     fn close(&self) {
-        self.monitor.enter(|g| {
-            g.state_mut().done = true;
+        self.monitor.enter_tracked(|g| {
+            *g.state_mut().done = true;
         });
     }
 

@@ -18,6 +18,8 @@ use autosynch::baseline::BaselineMonitor;
 use autosynch::explicit::{CondId, ExplicitMonitor};
 use autosynch::monitor::Monitor;
 use autosynch::stats::StatsSnapshot;
+use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
+use autosynch::Cond;
 
 use crate::mechanism::{timed_run, Mechanism, RunReport};
 
@@ -33,8 +35,8 @@ pub enum Gender {
 /// Bathroom state shared by every implementation.
 #[derive(Debug, Default)]
 pub struct BathroomState {
-    men: i64,
-    women: i64,
+    men: Tracked<i64>,
+    women: Tracked<i64>,
     served: u64,
     /// Peak simultaneous occupancy, for the capacity invariant.
     peak: i64,
@@ -42,22 +44,29 @@ pub struct BathroomState {
     violation: bool,
 }
 
+impl TrackedState for BathroomState {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        f(&mut self.men);
+        f(&mut self.women);
+    }
+}
+
 impl BathroomState {
     fn admit(&mut self, gender: Gender) {
         match gender {
-            Gender::Man => self.men += 1,
-            Gender::Woman => self.women += 1,
+            Gender::Man => *self.men += 1,
+            Gender::Woman => *self.women += 1,
         }
-        if self.men > 0 && self.women > 0 {
+        if *self.men > 0 && *self.women > 0 {
             self.violation = true;
         }
-        self.peak = self.peak.max(self.men + self.women);
+        self.peak = self.peak.max(*self.men + *self.women);
     }
 
     fn release(&mut self, gender: Gender) {
         match gender {
-            Gender::Man => self.men -= 1,
-            Gender::Woman => self.women -= 1,
+            Gender::Man => *self.men -= 1,
+            Gender::Woman => *self.women -= 1,
         }
         self.served += 1;
     }
@@ -118,8 +127,10 @@ impl Bathroom for ExplicitBathroom {
         let cap = self.capacity;
         self.monitor.enter(|g| {
             match gender {
-                Gender::Man => g.wait_while(self.men_cv, move |s| s.women > 0 || s.men >= cap),
-                Gender::Woman => g.wait_while(self.women_cv, move |s| s.men > 0 || s.women >= cap),
+                Gender::Man => g.wait_while(self.men_cv, move |s| *s.women > 0 || *s.men >= cap),
+                Gender::Woman => {
+                    g.wait_while(self.women_cv, move |s| *s.men > 0 || *s.women >= cap)
+                }
             }
             g.state_mut().admit(gender);
             // A freed-up stall may admit one more of the same gender.
@@ -134,7 +145,7 @@ impl Bathroom for ExplicitBathroom {
         self.monitor.enter(|g| {
             g.state_mut().release(gender);
             let state = g.state();
-            let drained = state.men == 0 && state.women == 0;
+            let drained = *state.men == 0 && *state.women == 0;
             match gender {
                 Gender::Man => {
                     if drained {
@@ -189,8 +200,10 @@ impl Bathroom for BaselineBathroom {
         let cap = self.capacity;
         self.monitor.enter(|g| {
             match gender {
-                Gender::Man => g.wait_until(move |s: &BathroomState| s.women == 0 && s.men < cap),
-                Gender::Woman => g.wait_until(move |s: &BathroomState| s.men == 0 && s.women < cap),
+                Gender::Man => g.wait_until(move |s: &BathroomState| *s.women == 0 && *s.men < cap),
+                Gender::Woman => {
+                    g.wait_until(move |s: &BathroomState| *s.men == 0 && *s.women < cap)
+                }
             }
             g.state_mut().admit(gender);
         });
@@ -218,46 +231,47 @@ impl Bathroom for BaselineBathroom {
 #[derive(Debug)]
 pub struct AutoSynchBathroom {
     monitor: Monitor<BathroomState>,
-    men: autosynch::ExprHandle<BathroomState>,
-    women: autosynch::ExprHandle<BathroomState>,
-    capacity: i64,
+    man_may_enter: Cond<BathroomState>,
+    woman_may_enter: Cond<BathroomState>,
 }
 
 impl AutoSynchBathroom {
     /// Creates a bathroom with `capacity` stalls under the mechanism's
-    /// monitor configuration.
+    /// monitor configuration; both admission conditions compile once.
     pub fn new(capacity: i64, mechanism: Mechanism) -> Self {
         assert!(capacity >= 1, "capacity must be positive");
         let config = mechanism
             .monitor_config()
             .expect("AutoSynchBathroom requires an automatic mechanism");
         let monitor = Monitor::with_config(BathroomState::default(), config);
-        let men = monitor.register_expr("men", |s| s.men);
-        let women = monitor.register_expr("women", |s| s.women);
-        monitor.register_shared_predicate(women.eq(0).and(men.lt(capacity)));
-        monitor.register_shared_predicate(men.eq(0).and(women.lt(capacity)));
+        let men = monitor.register_expr("men", |s| *s.men);
+        let women = monitor.register_expr("women", |s| *s.women);
+        monitor.bind(|s| &mut s.men, &[men]);
+        monitor.bind(|s| &mut s.women, &[women]);
+        let man_may_enter = monitor.compile(women.eq(0).and(men.lt(capacity)));
+        let woman_may_enter = monitor.compile(men.eq(0).and(women.lt(capacity)));
         AutoSynchBathroom {
             monitor,
-            men,
-            women,
-            capacity,
+            man_may_enter,
+            woman_may_enter,
         }
     }
 }
 
 impl Bathroom for AutoSynchBathroom {
     fn enter(&self, gender: Gender) {
-        self.monitor.enter(|g| {
+        self.monitor.enter_tracked(|g| {
             match gender {
-                Gender::Man => g.wait_until(self.women.eq(0).and(self.men.lt(self.capacity))),
-                Gender::Woman => g.wait_until(self.men.eq(0).and(self.women.lt(self.capacity))),
+                Gender::Man => g.wait(&self.man_may_enter),
+                Gender::Woman => g.wait(&self.woman_may_enter),
             }
             g.state_mut().admit(gender);
         });
     }
 
     fn exit(&self, gender: Gender) {
-        self.monitor.enter(|g| g.state_mut().release(gender));
+        self.monitor
+            .enter_tracked(|g| g.state_mut().release(gender));
     }
 
     fn outcome(&self) -> BathroomOutcome {

@@ -61,10 +61,13 @@ fn main() {
             let monitor = Arc::clone(&monitor);
             thread::spawn(move || {
                 let mut done = 0u64;
+                // Compiled once per worker: the analysis never re-runs
+                // in the loop below.
+                let acceptable = monitor.compile(best.ge(my_min).or(draining.eq(1)));
                 loop {
                     // waituntil(best >= my_min || draining == 1)
                     let job = monitor.enter(|g| {
-                        g.wait_until(best.ge(my_min).or(draining.eq(1)));
+                        g.wait(&acceptable);
                         // Re-check which disjunct fired while we hold
                         // the monitor.
                         if g.state().best_priority() >= my_min {

@@ -11,12 +11,21 @@
 use std::sync::Arc;
 use std::thread;
 
+use autosynch_repro::autosynch::tracked::{Tracked, TrackedCell, TrackedState};
 use autosynch_repro::autosynch::Monitor;
 
-/// The shared buffer: plain Rust state, no synchronization inside.
+/// The shared buffer: plain Rust state, no synchronization inside. The
+/// item store lives in a [`Tracked`] cell so every write automatically
+/// names the expressions that read it.
 struct Buffer {
-    items: Vec<u64>,
+    items: Tracked<Vec<u64>>,
     capacity: usize,
+}
+
+impl TrackedState for Buffer {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        f(&mut self.items);
+    }
 }
 
 /// Batch size for thread `id` at `round` — producers and consumers use
@@ -28,13 +37,15 @@ fn batch(id: u64, round: u64) -> u64 {
 fn main() {
     // 1. Wrap the state in an automatic-signal monitor.
     let monitor = Arc::new(Monitor::new(Buffer {
-        items: Vec::new(),
+        items: Tracked::new(Vec::new()),
         capacity: 64,
     }));
 
-    // 2. Register the shared expressions the waiting conditions use.
+    // 2. Register the shared expressions the waiting conditions use and
+    //    bind the cell they read, so writes name them automatically.
     let count = monitor.register_expr("count", |b| b.items.len() as i64);
     let free = monitor.register_expr("free", |b| (b.capacity - b.items.len()) as i64);
+    monitor.bind(|b| &mut b.items, &[count, free]);
 
     // 3. Producers wait until their whole batch fits; consumers wait
     //    until their whole demand is available. The batch size is a
@@ -48,11 +59,15 @@ fn main() {
         .map(|id| {
             let monitor = Arc::clone(&monitor);
             thread::spawn(move || {
+                // Compile each distinct condition once (batch sizes
+                // cycle through at most 16 values): the DNF/tag/key
+                // analysis never runs on the hot path.
+                let fits: Vec<_> = (0..=16).map(|n| monitor.compile(free.ge(n))).collect();
                 for round in 0..ROUNDS {
                     let n = batch(id, round);
-                    monitor.enter(|g| {
+                    monitor.enter_tracked(|g| {
                         // waituntil(count + n <= capacity)
-                        g.wait_until(free.ge(n as i64));
+                        g.wait(&fits[n as usize]);
                         for k in 0..n {
                             g.state_mut().items.push(id * 1_000_000 + round * 100 + k);
                         }
@@ -67,11 +82,12 @@ fn main() {
             let monitor = Arc::clone(&monitor);
             thread::spawn(move || {
                 let mut taken = 0u64;
+                let available: Vec<_> = (0..=16).map(|n| monitor.compile(count.ge(n))).collect();
                 for round in 0..ROUNDS {
                     let want = batch(id, round);
-                    monitor.enter(|g| {
+                    monitor.enter_tracked(|g| {
                         // waituntil(count >= want)
-                        g.wait_until(count.ge(want as i64));
+                        g.wait(&available[want as usize]);
                         let state = g.state_mut();
                         let split = state.items.len() - want as usize;
                         state.items.truncate(split);

@@ -9,7 +9,7 @@
 //! threshold), and each admitted request's exit relays onward while
 //! tokens remain.
 //!
-//! `acquire_timeout` uses `wait_until_timeout`, the documented
+//! `acquire_timeout` uses `wait_timeout`, the documented
 //! extension over the paper: a request that cannot be served in time
 //! gives up cleanly, and the runtime's orphaned-signal hand-off keeps
 //! relay invariance intact even when a signal races the timeout.
@@ -52,9 +52,13 @@ impl RateLimiter {
     }
 
     /// Blocks until `need` tokens are available, then takes them.
+    /// `need` is caller-supplied and unbounded, so this is a
+    /// **transient** wait: the condition is analyzed per call and
+    /// LRU-evicted, never pinned (compiling per distinct `need` would
+    /// grow the monitor's condition table without bound).
     fn acquire(&self, need: i64) {
         self.monitor.enter(|g| {
-            g.wait_until(self.tokens.ge(need)); // waituntil(tokens >= need)
+            g.wait_transient(self.tokens.ge(need)); // waituntil(tokens >= need)
             g.state_mut().tokens -= need;
         });
     }
@@ -63,7 +67,7 @@ impl RateLimiter {
     /// Returns whether the tokens were taken.
     fn acquire_timeout(&self, need: i64, timeout: Duration) -> bool {
         self.monitor.enter(|g| {
-            if g.wait_until_timeout(self.tokens.ge(need), timeout) {
+            if g.wait_transient_timeout(self.tokens.ge(need), timeout) {
                 g.state_mut().tokens -= need;
                 true
             } else {

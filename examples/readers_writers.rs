@@ -49,7 +49,7 @@ fn main() {
                 let version = monitor.enter(|g| {
                     let t = g.state().next_ticket;
                     g.state_mut().next_ticket += 1;
-                    g.wait_until(serving.eq(t).and(writer.eq(0)));
+                    g.wait_transient(serving.eq(t).and(writer.eq(0)));
                     let s = g.state_mut();
                     s.readers_active += 1;
                     s.serving += 1;
@@ -70,7 +70,7 @@ fn main() {
                 monitor.enter(|g| {
                     let t = g.state().next_ticket;
                     g.state_mut().next_ticket += 1;
-                    g.wait_until(serving.eq(t).and(writer.eq(0)).and(readers.eq(0)));
+                    g.wait_transient(serving.eq(t).and(writer.eq(0)).and(readers.eq(0)));
                     let s = g.state_mut();
                     s.writer_active = true;
                     s.serving += 1;

@@ -6,7 +6,7 @@
 //! Those predicates tag as `None` — no equivalence key, no threshold —
 //! so a flat condition manager has nothing to prune with and re-probes
 //! every queue's waiters whenever a relay is interrupted by a hit. The
-//! sharded manager (`MonitorConfig::autosynch_shard()`) routes each
+//! sharded manager (`MonitorConfig::preset(SignalMode::Sharded)`) routes each
 //! predicate to the shard owning its dependency expressions, so a `put`
 //! on queue 3 probes only queue 3's shard; with `relay_width > 1` one
 //! exit signals waiters from several independent shards in a single
@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 
-use autosynch_repro::autosynch::config::MonitorConfig;
+use autosynch_repro::autosynch::config::{MonitorConfig, SignalMode};
 use autosynch_repro::autosynch::Monitor;
 
 const QUEUES: usize = 8;
@@ -49,7 +49,9 @@ fn main() {
         },
         // 4 data shards over 16 expressions; width-2 relays may release
         // a producer and a consumer of different queues in one pass.
-        MonitorConfig::autosynch_shard().shards(4).relay_width(2),
+        MonitorConfig::preset(SignalMode::Sharded)
+            .shards(4)
+            .relay_width(2),
     ));
 
     let items: Vec<_> = (0..QUEUES)
@@ -88,22 +90,22 @@ fn main() {
     thread::scope(|scope| {
         for q in 0..QUEUES {
             let producer_monitor = Arc::clone(&monitor);
-            let space = space[q];
+            let has_space = producer_monitor.compile(space[q].ne(0));
             scope.spawn(move || {
                 for k in 0..OPS_PER_QUEUE {
                     producer_monitor.enter(|g| {
-                        g.wait_until(space.ne(0));
+                        g.wait(&has_space);
                         g.state_mut().queues[q].push_back(k as u64);
                     });
                 }
             });
             let monitor = Arc::clone(&monitor);
-            let item = items[q];
+            let has_item = monitor.compile(items[q].ne(0));
             scope.spawn(move || {
                 let mut sum = 0u64;
                 for _ in 0..OPS_PER_QUEUE {
                     monitor.enter(|g| {
-                        g.wait_until(item.ne(0));
+                        g.wait(&has_item);
                         sum += g.state_mut().queues[q].pop_front().expect("non-empty");
                     });
                 }

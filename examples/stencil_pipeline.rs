@@ -65,7 +65,7 @@ impl PhaseBarrier {
                 s.arrived = 0;
                 s.generation += 1;
             } else {
-                g.wait_until(self.generation.gt(my_gen));
+                g.wait_transient(self.generation.gt(my_gen)); // one-shot key
             }
         });
     }

@@ -362,7 +362,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// The [`vec`] strategy type.
+    /// The [`vec()`] strategy type.
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -92,9 +92,15 @@ fn rearranged_linear_forms_share_condition_variables() {
     for handle in handles {
         handle.join().unwrap();
     }
-    // Entries interned: at most one predicate entry was ever created.
-    let (entries, ..) = monitor.monitor().manager_counts();
-    assert!(entries <= 1, "expected one interned entry, got {entries}");
+    // Entries interned: at most one predicate entry was ever created,
+    // pinned by the DSL's compiled-condition cache.
+    let counts = monitor.monitor().counts();
+    assert!(
+        counts.entries <= 1,
+        "expected one interned entry, got {}",
+        counts.entries
+    );
+    assert_eq!(counts.compiled, 1, "one compiled cond for the shared key");
 }
 
 #[test]

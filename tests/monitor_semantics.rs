@@ -1,6 +1,8 @@
 //! End-to-end semantic tests of the monitor runtime: globalization,
 //! relay invariance (as liveness), predicate-table dedup, timeouts and
-//! the inactive-predicate cache.
+//! the inactive-predicate cache — written against the v2 API (compiled
+//! `Cond` waits, transient waits for one-shot keys), with one
+//! deliberate v1-shim dedup check.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -15,21 +17,21 @@ struct Counter {
 }
 
 #[test]
-fn globalization_snapshots_locals_at_wait_time() {
-    // The predicate is built from a local variable; mutating the local
+fn globalization_snapshots_locals_at_compile_time() {
+    // The condition is built from a local variable; mutating the local
     // afterwards must not affect the waiting condition (Prop. 1).
     let monitor = Arc::new(Monitor::new(Counter { value: 0 }));
     let value = monitor.register_expr("value", |s| s.value);
 
     let mut threshold = 5i64;
-    let pred = value.ge(threshold); // globalization happens here
-    threshold = 100; // too late: the predicate already captured 5
+    let cond = monitor.compile(value.ge(threshold)); // globalization happens here
+    threshold = 100; // too late: the condition already captured 5
     let _ = threshold;
 
     let m2 = Arc::clone(&monitor);
     let waiter = thread::spawn(move || {
         m2.enter(|g| {
-            g.wait_until(pred);
+            g.wait(&cond);
             g.state().value
         })
     });
@@ -51,9 +53,10 @@ fn relay_chain_releases_every_waiter_without_broadcast() {
         .map(|stage| {
             let monitor = Arc::clone(&monitor);
             let released = Arc::clone(&released);
+            let cond = monitor.compile(value.ge(stage));
             thread::spawn(move || {
                 monitor.enter(|g| {
-                    g.wait_until(value.ge(stage));
+                    g.wait(&cond);
                     g.state_mut().value += 1; // satisfies the next stage
                 });
                 released.fetch_add(1, Ordering::SeqCst);
@@ -73,20 +76,32 @@ fn relay_chain_releases_every_waiter_without_broadcast() {
 }
 
 #[test]
-fn syntax_equivalent_predicates_share_one_entry() {
+fn syntax_equivalent_conditions_share_one_entry() {
     let monitor = Arc::new(Monitor::new(Counter { value: 100 }));
     let value = monitor.register_expr("value", |s| s.value);
-    // 16 sequential waits on the same globalized condition (all true, so
-    // no blocking) — the predicate table should intern one entry.
+    // 16 compiles + waits on the same globalized condition — the
+    // condition table should intern one slot backed by one entry, and
+    // the v1 shim must land on the very same entry.
     for _ in 0..16 {
-        monitor.enter(|g| g.wait_until(value.ge(7)));
+        let cond = monitor.compile(value.ge(7));
+        monitor.enter(|g| g.wait(&cond));
     }
-    let (entries, ..) = monitor.manager_counts();
-    assert!(entries <= 1, "expected interning, found {entries} entries");
+    let counts = monitor.counts();
+    assert_eq!(counts.compiled, 1, "one interned compiled condition");
+    assert!(
+        counts.entries <= 1,
+        "expected interning, found {} entries",
+        counts.entries
+    );
+    #[allow(deprecated)]
+    monitor.enter(|g| g.wait_until(value.ge(7))); // v1 shim, same table
+    assert!(monitor.counts().entries <= 1, "the shim reused the entry");
 }
 
 #[test]
-fn distinct_keys_make_distinct_entries_until_evicted() {
+fn distinct_transient_keys_make_distinct_entries_until_evicted() {
+    // One-shot keys are exactly what `wait_transient` is for: each
+    // registers its own entry, and the inactive LRU bounds retention.
     let config = MonitorConfig::new().inactive_cap(4);
     let monitor = Arc::new(Monitor::with_config(Counter { value: 1000 }, config));
     let value = monitor.register_expr("value", |s| s.value);
@@ -96,54 +111,66 @@ fn distinct_keys_make_distinct_entries_until_evicted() {
         // making them false first, via a helper thread.
         let m2 = Arc::clone(&monitor);
         let handle = thread::spawn(move || {
-            m2.enter(|g| g.wait_until(value.ge(2000 + k)));
+            m2.enter(|g| g.wait_transient(value.ge(2000 + k)));
         });
         thread::sleep(Duration::from_millis(2));
         monitor.with(|s| s.value = 2000 + k);
         handle.join().unwrap();
         monitor.with(|s| s.value = 1000);
     }
-    let (entries, waiting, signaled, tags) = monitor.manager_counts();
-    assert_eq!((waiting, signaled, tags), (0, 0, 0), "no leaked waiters");
-    assert!(
-        entries <= 5,
-        "inactive cap 4 should bound retained entries, found {entries}"
+    let counts = monitor.counts();
+    assert_eq!(
+        (counts.waiting, counts.signaled, counts.live_tags),
+        (0, 0, 0),
+        "no leaked waiters"
     );
+    assert!(
+        counts.entries <= 5,
+        "inactive cap 4 should bound retained entries, found {}",
+        counts.entries
+    );
+    assert_eq!(counts.compiled, 0, "transient waits pin nothing");
 }
 
 #[test]
 fn timeout_then_late_satisfaction_is_clean() {
     let monitor = Arc::new(Monitor::new(Counter { value: 0 }));
     let value = monitor.register_expr("value", |s| s.value);
+    let positive = monitor.compile(value.ge(1));
 
-    let ok = monitor.enter(|g| g.wait_until_timeout(value.ge(1), Duration::from_millis(30)));
+    let ok = monitor.enter(|g| g.wait_timeout(&positive, Duration::from_millis(30)));
     assert!(!ok);
     // Late satisfaction must not wake anything stale.
     monitor.with(|s| s.value = 1);
-    let (_, waiting, signaled, tags) = monitor.manager_counts();
-    assert_eq!((waiting, signaled, tags), (0, 0, 0));
+    let counts = monitor.counts();
+    assert_eq!(
+        (counts.waiting, counts.signaled, counts.live_tags),
+        (0, 0, 0)
+    );
     // And a fresh wait still works.
-    let ok = monitor.enter(|g| g.wait_until_timeout(value.ge(1), Duration::from_millis(30)));
+    let ok = monitor.enter(|g| g.wait_timeout(&positive, Duration::from_millis(30)));
     assert!(ok);
 }
 
 #[test]
 fn timeout_racing_with_signal_passes_the_baton() {
-    // Two waiters on the same predicate; the state change satisfies it
+    // Two waiters on the same condition; the state change satisfies it
     // for both. Even if a timeout races with the relay's signal, at
     // least the non-timed waiter must be released (the orphaned signal
     // is relayed onward, not dropped).
     for _ in 0..20 {
         let monitor = Arc::new(Monitor::new(Counter { value: 0 }));
         let value = monitor.register_expr("value", |s| s.value);
+        let positive = monitor.compile(value.ge(1));
 
         let m1 = Arc::clone(&monitor);
+        let timed_cond = positive.clone();
         let timed = thread::spawn(move || {
-            m1.enter(|g| g.wait_until_timeout(value.ge(1), Duration::from_millis(10)))
+            m1.enter(|g| g.wait_timeout(&timed_cond, Duration::from_millis(10)))
         });
         let m2 = Arc::clone(&monitor);
         let patient = thread::spawn(move || {
-            m2.enter(|g| g.wait_until(value.ge(1)));
+            m2.enter(|g| g.wait(&positive));
         });
 
         // Fire the state change right around the timeout boundary.
@@ -153,8 +180,8 @@ fn timeout_racing_with_signal_passes_the_baton() {
         let _ = timed.join().unwrap();
         // The patient waiter must always be released.
         patient.join().unwrap();
-        let (_, waiting, signaled, _) = monitor.manager_counts();
-        assert_eq!((waiting, signaled), (0, 0));
+        let counts = monitor.counts();
+        assert_eq!((counts.waiting, counts.signaled), (0, 0));
     }
 }
 
@@ -162,7 +189,8 @@ fn timeout_racing_with_signal_passes_the_baton() {
 fn heavy_contention_same_expression_many_keys() {
     // 16 threads wait on distinct equivalence keys over one shared
     // expression; a driver cycles through all keys. Exercises the
-    // equivalence hash index under contention.
+    // equivalence hash index under contention — transient waits, since
+    // every key is used exactly once.
     const THREADS: i64 = 16;
     const ROUNDS: i64 = 30;
     let monitor = Arc::new(Monitor::new(Counter { value: -1 }));
@@ -174,7 +202,7 @@ fn heavy_contention_same_expression_many_keys() {
         handles.push(thread::spawn(move || {
             for round in 0..ROUNDS {
                 monitor.enter(|g| {
-                    g.wait_until(value.eq(round * THREADS + id));
+                    g.wait_transient(value.eq(round * THREADS + id));
                     g.state_mut().value += 1; // releases the next key
                 });
             }
@@ -204,8 +232,9 @@ fn threshold_index_kinds_agree_under_contention() {
         let handles: Vec<_> = (1..=12i64)
             .map(|k| {
                 let monitor = Arc::clone(&monitor);
+                let cond = monitor.compile(value.ge(k * 10));
                 thread::spawn(move || {
-                    monitor.enter(|g| g.wait_until(value.ge(k * 10)));
+                    monitor.enter(|g| g.wait(&cond));
                 })
             })
             .collect();
@@ -217,7 +246,11 @@ fn threshold_index_kinds_agree_under_contention() {
         for handle in handles {
             handle.join().unwrap();
         }
-        let (_, waiting, signaled, tags) = monitor.manager_counts();
-        assert_eq!((waiting, signaled, tags), (0, 0, 0), "{kind:?}");
+        let counts = monitor.counts();
+        assert_eq!(
+            (counts.waiting, counts.signaled, counts.live_tags),
+            (0, 0, 0),
+            "{kind:?}"
+        );
     }
 }

@@ -13,6 +13,13 @@
 //! concurrent writers, and proptests for the no-lost-wakeup invariant
 //! over randomized workloads and deadlines.
 
+// These suites deliberately keep exercising the deprecated v1 shims
+// (per-wait `wait_until`, `autosynch_*` constructors) alongside the
+// runtime machinery: the shims must stay observationally identical to
+// the v2 compiled path until removal, and this is their regression
+// net. New v2-API coverage lives in tests/api_v2.rs.
+#![allow(deprecated)]
+
 use std::sync::Arc;
 
 use autosynch_repro::autosynch::config::MonitorConfig;

@@ -12,6 +12,13 @@
 //! partition is total and deterministic for random DNF predicates, and
 //! a consistency test for the lock-free snapshot ring.
 
+// These suites deliberately keep exercising the deprecated v1 shims
+// (per-wait `wait_until`, `autosynch_*` constructors) alongside the
+// runtime machinery: the shims must stay observationally identical to
+// the v2 compiled path until removal, and this is their regression
+// net. New v2-API coverage lives in tests/api_v2.rs.
+#![allow(deprecated)]
+
 use std::sync::Arc;
 
 use autosynch_repro::autosynch::config::MonitorConfig;

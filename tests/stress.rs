@@ -1,6 +1,13 @@
 //! Heavier stress tests: more threads, more churn, still bounded to a
 //! few seconds so they stay in the default suite.
 
+// These suites deliberately keep exercising the deprecated v1 shims
+// (per-wait `wait_until`, `autosynch_*` constructors) alongside the
+// runtime machinery: the shims must stay observationally identical to
+// the v2 compiled path until removal, and this is their regression
+// net. New v2-API coverage lives in tests/api_v2.rs.
+#![allow(deprecated)]
+
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
