@@ -1,6 +1,6 @@
-//! Criterion benches for the five extension workloads (beyond the
-//! paper's seven problems). Two echo the paper's structural claims on
-//! new ground:
+//! Criterion benches for the extension workloads (beyond the paper's
+//! seven problems). Several echo the paper's structural claims on new
+//! ground:
 //!
 //! * `ext_barrier` — the cyclic barrier is a second `signalAll`-bound
 //!   problem (cf. Fig. 14): the explicit broadcast wakes all parties at
@@ -9,7 +9,9 @@
 //!   one shared expression, the pure equivalence-hash-probe case.
 //!
 //! The bridge/bathroom/forum groups measure the mixed-shape predicates
-//! (conjunctions and disjunctions) under drain/refill churn.
+//! (conjunctions and disjunctions) under drain/refill churn, and
+//! `ext_wake_storm` contrasts parked gate-broadcast wakes with routed
+//! eq-directed unparks on K out-of-phase round-robin channels.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -17,7 +19,7 @@ use std::time::Duration;
 use autosynch_problems::mechanism::Mechanism;
 use autosynch_problems::{
     cigarette_smokers, cyclic_barrier, group_mutex, one_lane_bridge, sharded_queues,
-    unisex_bathroom,
+    unisex_bathroom, wake_storm,
 };
 
 fn bench_sharded_queues(c: &mut Criterion) {
@@ -157,6 +159,34 @@ fn bench_group_mutex(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_wake_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_wake_storm");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    for &channels in &[2usize, 6] {
+        let config = wake_storm::WakeStormConfig {
+            channels,
+            waiters: 4,
+            rounds: (2_048 / (channels * 4)).max(16),
+        };
+        for mechanism in [
+            Mechanism::Explicit,
+            Mechanism::AutoSynch,
+            Mechanism::AutoSynchPark,
+            Mechanism::AutoSynchRoute,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(mechanism.label(), channels),
+                &config,
+                |b, &config| b.iter(|| wake_storm::run(mechanism, config)),
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_barrier,
@@ -164,6 +194,7 @@ criterion_group!(
     bench_bridge,
     bench_bathroom,
     bench_group_mutex,
-    bench_sharded_queues
+    bench_sharded_queues,
+    bench_wake_storm
 );
 criterion_main!(benches);

@@ -98,6 +98,18 @@ const EXPERIMENTS: &[Experiment] = &[
         run: figures::park_hold,
     },
     Experiment {
+        id: "wake",
+        title: "Extension — wake precision: routed vs parked unparks and self-checks",
+        expectation: "AutoSynch-Route: ~1 unpark/relay on fig11 and strictly fewer self-checks than Park; emits BENCH_wake.json",
+        run: figures::wake_routing,
+    },
+    Experiment {
+        id: "extstorm",
+        title: "Extension — wake storm: K hot expressions x N waiters (runtime, seconds)",
+        expectation: "adversarial signal order; routing shines where broadcast parking herds",
+        run: figures::ext_wake_storm,
+    },
+    Experiment {
         id: "api",
         title: "Extension — v2 API cost: compile-once Cond waits vs per-call analysis",
         expectation: "v2 per-wait setup strictly below v1 on every shape; emits BENCH_api.json",

@@ -18,6 +18,7 @@ use autosynch_problems::readers_writers::{self, ReadersWritersConfig};
 use autosynch_problems::round_robin::{self, RoundRobinConfig};
 use autosynch_problems::sharded_queues::{self, ShardedQueuesConfig};
 use autosynch_problems::sleeping_barber::{self, SleepingBarberConfig};
+use autosynch_problems::wake_storm::{self, WakeStormConfig};
 
 use crate::sweep;
 
@@ -470,6 +471,133 @@ pub fn park_hold() -> Table {
     match std::fs::write(path, json) {
         Ok(()) => println!("   [park hold-time series written to {path}]"),
         Err(err) => eprintln!("   [failed to write {path}: {err}]"),
+    }
+    table
+}
+
+/// Extension: wake precision — routed vs parked (vs sharded for
+/// context) on the two workloads where the parked broadcast herd is
+/// the dominant cost: fig11's round robin (N waiters, one hot
+/// equivalence expression) and the wake storm (K hot expressions × N
+/// waiters, adversarial signal order). Records per-relay unparks,
+/// waiter self-checks and end-to-end time; the routed rows should show
+/// `unparks/relay ≈ 1` on fig11 (each advance eq-routes to the one
+/// slot that can proceed) against the parked mode's per-gate herd, and
+/// strictly fewer self-checks everywhere. The series is written to
+/// `BENCH_wake.json`; CI asserts the fig11 self-check margin.
+pub fn wake_routing() -> Table {
+    let mut table = Table::with_columns(&[
+        "workload",
+        "mechanism",
+        "elapsed(s)",
+        "unparks",
+        "unparks/relay",
+        "self_checks",
+        "false_wakeups",
+        "eq_routed",
+        "token_fwds",
+        "routed_unparks",
+    ]);
+    let mechanisms = [
+        Mechanism::AutoSynchShard,
+        Mechanism::AutoSynchPark,
+        Mechanism::AutoSynchRoute,
+    ];
+    let rr_threads = if sweep::full_scale() { 64 } else { 16 };
+    let rr_config = RoundRobinConfig {
+        threads: rr_threads,
+        rounds: sweep::ops_per_thread(rr_threads),
+    };
+    let storm_config = wake_storm_config();
+    let mut entries = String::new();
+    let mut record = |workload: &str, report: &RunReport| {
+        let c = report.stats.counters;
+        let per_relay = if c.relay_calls == 0 {
+            0.0
+        } else {
+            c.unparks as f64 / c.relay_calls as f64
+        };
+        table.row(vec![
+            workload.to_owned(),
+            report.mechanism.label().to_owned(),
+            secs(report.elapsed),
+            c.unparks.to_string(),
+            format!("{per_relay:.3}"),
+            c.waiter_self_checks.to_string(),
+            c.false_wakeups.to_string(),
+            c.eq_routed_wakes.to_string(),
+            c.token_forwards.to_string(),
+            c.routed_unparks.to_string(),
+        ]);
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"workload\": \"{workload}\", \"mechanism\": \"{}\", \
+             \"elapsed_s\": {:.6}, \"relay_calls\": {}, \"unparks\": {}, \
+             \"unparks_per_relay\": {per_relay:.4}, \"waiter_self_checks\": {}, \
+             \"false_wakeups\": {}, \"futile_wakeups\": {}, \
+             \"eq_routed_wakes\": {}, \"token_forwards\": {}, \
+             \"routed_unparks\": {}, \"wakeups\": {}, \"broadcasts\": {}}}",
+            report.mechanism.label(),
+            report.elapsed.as_secs_f64(),
+            c.relay_calls,
+            c.unparks,
+            c.waiter_self_checks,
+            c.false_wakeups,
+            c.futile_wakeups,
+            c.eq_routed_wakes,
+            c.token_forwards,
+            c.routed_unparks,
+            c.wakeups,
+            c.broadcasts,
+        ));
+    };
+    for mechanism in mechanisms {
+        let report = round_robin::run_timed(mechanism, rr_config);
+        record("fig11_round_robin", &report);
+    }
+    for mechanism in mechanisms {
+        let report = wake_storm::run_timed(mechanism, storm_config);
+        record("ext_wake_storm", &report);
+    }
+    let json = format!("{{\n  \"benchmarks\": [\n{entries}\n  ]\n}}\n");
+    let path = "BENCH_wake.json";
+    match std::fs::write(path, json) {
+        Ok(()) => println!("   [wake-routing series written to {path}]"),
+        Err(err) => eprintln!("   [failed to write {path}: {err}]"),
+    }
+    table
+}
+
+fn wake_storm_config() -> WakeStormConfig {
+    let (channels, waiters) = if sweep::full_scale() { (8, 8) } else { (4, 4) };
+    WakeStormConfig {
+        channels,
+        waiters,
+        rounds: (sweep::ops_budget() / 8 / (channels * waiters)).max(16),
+    }
+}
+
+/// Extension: the wake storm end to end — K independent round-robin
+/// channels behind one monitor, runtime vs channel count. The
+/// automatic family's interesting contrast is Park (gate broadcast
+/// herds) vs Route (eq-directed single unparks).
+pub fn ext_wake_storm() -> Table {
+    let mechanisms = Mechanism::WITHOUT_BASELINE;
+    let mut table = Table::new(header("channels", &mechanisms));
+    for n in sweep::thread_grid() {
+        let channels = (n / 4).clamp(2, 16);
+        let config = WakeStormConfig {
+            channels,
+            waiters: 4,
+            rounds: (sweep::ops_budget() / 8 / (channels * 4)).max(8),
+        };
+        let reports: Vec<RunReport> = mechanisms
+            .iter()
+            .map(|&m| wake_storm::run(m, config))
+            .collect();
+        table.row(runtime_row(channels.to_string(), &reports));
     }
     table
 }

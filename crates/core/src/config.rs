@@ -44,6 +44,24 @@ pub enum SignalMode {
     /// monitor-lock confirm is also the fallback for opaque
     /// conjunctions the snapshot cannot decide).
     Parked,
+    /// Routed-wake AutoSynch (an extension beyond the paper, layered on
+    /// `Parked`): waiters still park themselves and self-check against
+    /// the ring, but the wait queues are **bucketed by compiled-`Cond`
+    /// slot** and a signaler's exit announces *slot-targeted* wakes
+    /// instead of per-gate broadcasts. Three mechanisms, in escalating
+    /// precision: (1) a wake names slot buckets, not gates; (2) each
+    /// bucket wake is a **token sweep** — only the bucket head is
+    /// unparked, a waiter whose snapshot self-check comes back false
+    /// forwards the token to the next unobserved waiter, and a claimer
+    /// re-injects the baton at monitor exit (the paper's `signaled`
+    /// rule, executed waiter-side); (3) for equivalence-shaped compiled
+    /// conditions (`turn == id`) the relay maps the freshly published
+    /// value through an eq-route index straight to the single slot
+    /// whose waiters can have flipped — one unpark instead of a wake
+    /// herd. Transient (uncompiled) waiters fall back to a per-gate
+    /// broadcast bucket, and cross-shard/opaque conditions keep the
+    /// global gate's parked-style broadcast.
+    Routed,
 }
 
 /// Which data structure backs the threshold-tag index.
@@ -371,6 +389,7 @@ mod tests {
             SignalMode::ChangeDriven,
             SignalMode::Sharded,
             SignalMode::Parked,
+            SignalMode::Routed,
         ] {
             let c = MonitorConfig::preset(mode);
             assert_eq!(c.signal_mode(), mode);

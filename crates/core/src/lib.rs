@@ -38,8 +38,9 @@
 //! | AutoSynch-CD (tags + expression versioning) | [`Monitor`] with `preset(SignalMode::ChangeDriven)` |
 //! | AutoSynch-Shard (CD + dependency-sharded manager) | [`Monitor`] with `preset(SignalMode::Sharded)` |
 //! | AutoSynch-Park (waiter-side parking + self-service re-checks) | [`Monitor`] with `preset(SignalMode::Parked)` |
+//! | AutoSynch-Route (slot-bucketed token sweeps + eq-directed unparks) | [`Monitor`] with `preset(SignalMode::Routed)` |
 //!
-//! All five automatic variants share one constructor,
+//! All six automatic variants share one constructor,
 //! [`config::MonitorConfig::preset`].
 //!
 //! AutoSynch-CD is this reproduction's extension beyond the paper: the
@@ -57,6 +58,12 @@
 //! unparks the affected queues (after releasing the lock), and each
 //! waiter re-checks its own predicate against the ring — predicate
 //! work leaves the signaler's critical section entirely.
+//! AutoSynch-Route sharpens the parked wakes: gate queues are bucketed
+//! by compiled-`Cond` slot, each bucket wake is a waiter-forwarded
+//! token sweep instead of a broadcast, and equivalence-shaped
+//! conditions (`turn == id`) get value-directed single unparks through
+//! an eq-route index — the fig11 self-check herd becomes one targeted
+//! wake.
 //! [`tracked::Tracked`] state cells (with
 //! [`Monitor::enter_tracked`]) name the touched expressions on every
 //! write automatically, so diffs evaluate only those — the v2
@@ -131,6 +138,7 @@ pub mod slab;
 pub mod stats;
 pub mod threshold_index;
 pub mod tracked;
+pub(crate) mod wake;
 
 pub use baseline::BaselineMonitor;
 pub use config::{MonitorConfig, SignalMode, ThresholdIndexKind};

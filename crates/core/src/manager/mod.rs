@@ -53,6 +53,7 @@ use crate::eq_index::PredId;
 use crate::parking::ParkingLot;
 use crate::slab::Slab;
 use crate::stats::MonitorStats;
+use crate::wake::{RoutedWake, WakeLot, WakeRouter};
 
 use relay_plan::RelayPlan;
 use router::ShardRouter;
@@ -77,6 +78,13 @@ pub(crate) struct PredEntry<S> {
     /// Def. 4 checker re-derives every route to verify the partition
     /// stayed total and deterministic.
     routes: Vec<u32>,
+    /// The compiled-condition slot pinned to this entry, when one
+    /// exists (`Monitor::compile` interned it). Slots and keyed entries
+    /// are 1:1, and the slot is the `Routed` mode's bucket identity:
+    /// waiters of a slotted entry park in their slot's bucket and are
+    /// woken by targeted sweeps; slotless entries (transient waits)
+    /// park in the gate's broadcast bucket.
+    slot: Option<u32>,
 }
 
 /// The per-monitor condition manager.
@@ -144,21 +152,41 @@ pub(crate) struct ConditionManager<S> {
     /// waiters here; `Sharded` mode takes the same locks around its
     /// index probes). Empty in the other modes.
     parking: Arc<ParkingLot>,
+    /// Per-shard slot-bucketed gates (`Routed` mode only; empty
+    /// otherwise): waiters park per `Cond`-slot bucket and wakes are
+    /// targeted sweeps instead of gate broadcasts.
+    wake: Arc<WakeLot>,
+    /// The routed mode's slot index: eq-routes (value-directed) and
+    /// dependency routes (change-directed) for every active slotted
+    /// entry parked on a data gate.
+    wake_router: WakeRouter,
+    /// Routed wakes this relay announced but has not delivered — the
+    /// `Routed` counterpart of `pending_wake_gates`, drained by the
+    /// monitor right before releasing the lock.
+    pending_routed: Vec<RoutedWake>,
+    /// Scratch bitmap over compiled slots: buckets already announced in
+    /// this relay (a slot with several changed dependencies is swept
+    /// once).
+    slot_seen: Vec<bool>,
 }
 
 impl<S> ConditionManager<S> {
     pub(crate) fn new(config: MonitorConfig) -> Self {
         let data_shards = match config.signal_mode() {
-            SignalMode::Sharded | SignalMode::Parked => config.shard_count(),
+            SignalMode::Sharded | SignalMode::Parked | SignalMode::Routed => config.shard_count(),
             _ => 1,
         };
         let router = ShardRouter::new(data_shards);
         let shard_slots = match config.signal_mode() {
-            SignalMode::Sharded | SignalMode::Parked => router.shard_count(),
+            SignalMode::Sharded | SignalMode::Parked | SignalMode::Routed => router.shard_count(),
             _ => 1,
         };
         let gates = match config.signal_mode() {
             SignalMode::Sharded | SignalMode::Parked => router.shard_count(),
+            _ => 0,
+        };
+        let wake_gates = match config.signal_mode() {
+            SignalMode::Routed => router.shard_count(),
             _ => 0,
         };
         ConditionManager {
@@ -189,6 +217,10 @@ impl<S> ConditionManager<S> {
             pending_wake_gates: Vec::new(),
             ring: Arc::new(SnapshotRing::new()),
             parking: Arc::new(ParkingLot::new(gates)),
+            wake: Arc::new(WakeLot::new(wake_gates)),
+            wake_router: WakeRouter::new(),
+            pending_routed: Vec::new(),
+            slot_seen: Vec::new(),
         }
     }
 
@@ -236,18 +268,39 @@ impl<S> ConditionManager<S> {
         Arc::clone(&self.parking)
     }
 
-    /// The gate a `Parked`-mode waiter of `pid` enqueues on: the data
-    /// gate owning the predicate's whole dependency footprint when every
-    /// conjunction routes there, else the global gate (woken on every
-    /// mutation — the conservative home of cross-shard and opaque
-    /// predicates).
-    pub(crate) fn park_gate(&self, pid: PredId) -> usize {
-        debug_assert_eq!(self.config.signal_mode(), SignalMode::Parked);
-        match self.entries[pid].routes.as_slice() {
-            [] => self.router.global(),
+    /// The per-shard slot-bucketed wake gates (`Routed` mode).
+    pub(crate) fn wake_lot(&self) -> Arc<WakeLot> {
+        Arc::clone(&self.wake)
+    }
+
+    /// The current diff epoch (the stamp of the newest published
+    /// snapshot). A routed futile claimer forwards its sweep token at
+    /// this epoch: its monitor-lock confirm just evaluated the live
+    /// state, which is at least as new as any published cut.
+    pub(crate) fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The gate the recorded routes confine a waiter to: the data gate
+    /// owning the whole dependency footprint when every conjunction
+    /// routes there, else the global gate (the conservative home of
+    /// cross-shard and opaque predicates).
+    fn gate_of_routes(router: &ShardRouter, routes: &[u32]) -> usize {
+        match routes {
+            [] => router.global(),
             [first, rest @ ..] if rest.iter().all(|r| r == first) => *first as usize,
-            _ => self.router.global(),
+            _ => router.global(),
         }
+    }
+
+    /// The gate a `Parked`- or `Routed`-mode waiter of `pid` enqueues
+    /// on (see [`ConditionManager::gate_of_routes`]).
+    pub(crate) fn park_gate(&self, pid: PredId) -> usize {
+        debug_assert!(matches!(
+            self.config.signal_mode(),
+            SignalMode::Parked | SignalMode::Routed
+        ));
+        Self::gate_of_routes(&self.router, &self.entries[pid].routes)
     }
 
     /// Interns a predicate: returns the existing entry for a
@@ -271,6 +324,7 @@ impl<S> ConditionManager<S> {
             persistent,
             in_inactive: false,
             routes: Vec::new(),
+            slot: None,
         });
         if let Some(key) = key {
             self.table.insert(key, pid);
@@ -302,6 +356,18 @@ impl<S> ConditionManager<S> {
             let pid = self.find_or_create(Arc::clone(&arc), true);
             self.unlink_inactive(pid);
             self.cond_pids.push(pid);
+            let entry = &mut self.entries[pid];
+            entry.slot = Some(slot);
+            // The entry may predate the compile (a transient wait
+            // interned it first) and already be active: register its
+            // freshly assigned slot with the wake router now, so routed
+            // bucket wakes cover compiled waiters that arrive while the
+            // transient ones are still parked.
+            if self.config.signal_mode() == SignalMode::Routed && entry.tags_active {
+                let gate = Self::gate_of_routes(&self.router, &entry.routes);
+                let route = WakeRouter::classify(&entry.pred, gate, self.router.global());
+                self.wake_router.register(slot, gate, route);
+            }
         }
         debug_assert!((slot as usize) < self.cond_pids.len());
         (slot, arc)
@@ -496,6 +562,9 @@ impl<S> ConditionManager<S> {
         if mode == SignalMode::Parked {
             return self.relay_parked(state, exprs, stats);
         }
+        if mode == SignalMode::Routed {
+            return self.relay_routed(state, exprs, stats);
+        }
         // Change-driven: refresh the changed-expression bitmap once per
         // relay call; when the state is unmutated and every active
         // conjunction is known false, the whole search is skipped.
@@ -549,7 +618,9 @@ impl<S> ConditionManager<S> {
                         expr_scratch,
                     )
                 }
-                SignalMode::Sharded | SignalMode::Parked => unreachable!("dispatched above"),
+                SignalMode::Sharded | SignalMode::Parked | SignalMode::Routed => {
+                    unreachable!("dispatched above")
+                }
             };
             timer.finish();
             let Some(pid) = found else {
@@ -758,6 +829,193 @@ impl<S> ConditionManager<S> {
         self.epoch
     }
 
+    /// The routed relay: the parked relay's exit path with slot-level
+    /// precision. Like `relay_parked` it only diffs + publishes — no
+    /// index probe, no waiter-predicate evaluation, no token handoff
+    /// under the lock — but instead of announcing per-gate broadcasts
+    /// it announces **targeted** wakes:
+    ///
+    /// * changed expressions with equivalence routes wake exactly the
+    ///   slot registered under the freshly published value (every other
+    ///   eq key is provably false at the cut);
+    /// * changed expressions wake each dependency-routed slot
+    ///   registered under them — one token sweep per bucket, started at
+    ///   the bucket head and forwarded waiter-side;
+    /// * affected gates' transient buckets are broadcast (slotless
+    ///   waiters have no bucket identity — see `wait_transient`);
+    /// * the global gate keeps the parked mode's conservative full
+    ///   broadcast on any mutation.
+    ///
+    /// Soundness of the slot filter: a data-gate slot's dependencies
+    /// are confined to its gate's shard (route validator), its
+    /// predicate can only flip via a dependency change, and the diff's
+    /// epoch-contiguity rule reports gaps as changed — so a slot none
+    /// of whose dependencies changed cannot have flipped. The eq prune
+    /// additionally uses tag necessity: an eq-shaped predicate is true
+    /// only while `expr == key`, so a published value `v` rules out
+    /// every bucket with `key != v` at that cut, and any later flip
+    /// comes with a later publish that re-runs this filter.
+    fn relay_routed(
+        &mut self,
+        state: &S,
+        exprs: &ExprTable<S>,
+        stats: &MonitorStats,
+    ) -> Option<PredId> {
+        if !self.state_dirty {
+            stats.counters.record_relay_skip();
+            if self.config.validates_relay() {
+                self.check_wake_routing(state, exprs);
+            }
+            return None;
+        }
+        self.diff_snapshot(state, exprs, stats);
+        self.state_dirty = false;
+        let timer = stats.phases.start(Phase::RelaySignal);
+        let gates = self.wake.gate_count();
+        self.gate_scratch.clear();
+        self.gate_scratch.resize(gates, false);
+        self.slot_seen.clear();
+        self.slot_seen.resize(self.conds.len(), false);
+        {
+            let ConditionManager {
+                changed,
+                value_cache,
+                router,
+                wake_router,
+                wake,
+                pending_routed,
+                gate_scratch,
+                slot_seen,
+                ..
+            } = self;
+            for (idx, &was_changed) in changed.iter().enumerate() {
+                if !was_changed {
+                    continue;
+                }
+                let expr = ExprId::from_raw(idx as u32);
+                gate_scratch[router.shard_of_expr(expr)] = true;
+                // Value-directed: only the slot whose eq key equals the
+                // published value can have flipped true.
+                if wake_router.has_eq(expr) {
+                    if let Some(value) = value_cache[idx] {
+                        for &(slot, gate) in wake_router.eq_slots(expr, value) {
+                            if !slot_seen[slot as usize] {
+                                slot_seen[slot as usize] = true;
+                                stats.counters.record_eq_routed_wake();
+                                wake.announce(gate as usize);
+                                pending_routed.push(RoutedWake::Bucket { gate, slot });
+                            }
+                        }
+                    }
+                }
+                // Change-directed: sweep every dependent slot once.
+                for &(slot, gate) in wake_router.dep_slots(expr) {
+                    if !slot_seen[slot as usize] {
+                        slot_seen[slot as usize] = true;
+                        wake.announce(gate as usize);
+                        pending_routed.push(RoutedWake::Bucket { gate, slot });
+                    }
+                }
+            }
+        }
+        // Transient buckets of affected data gates (slotless waiters
+        // keep the parked broadcast semantics), skipped lock-free when
+        // empty.
+        let global = self.router.global();
+        for gate in 0..gates {
+            if gate != global && self.gate_scratch[gate] && self.wake.has_transient(gate) {
+                self.wake.announce(gate);
+                self.pending_routed.push(RoutedWake::Transient(gate as u32));
+            }
+        }
+        // Any mutation can have flipped a global-gate predicate.
+        if self.wake.has_waiters(global) {
+            self.wake.announce(global);
+            self.pending_routed.push(RoutedWake::Gate(global as u32));
+        }
+        timer.finish();
+        if self.config.validates_relay() {
+            self.check_wake_routing(state, exprs);
+        }
+        None
+    }
+
+    /// Moves the routed relay's announced-but-undelivered wakes into
+    /// `out` (cleared first) and returns the epoch to stamp them with —
+    /// the `Routed` counterpart of
+    /// [`ConditionManager::drain_pending_wakes`].
+    pub(crate) fn drain_routed_wakes(&mut self, out: &mut Vec<RoutedWake>) -> u64 {
+        out.clear();
+        out.append(&mut self.pending_routed);
+        self.epoch
+    }
+
+    /// Announces a claimed token's re-injection into its bucket (the
+    /// `signaled` baton rule, waiter-side): called under the monitor
+    /// lock by a routed claimer whose confirm succeeded; the monitor
+    /// drains and delivers it after the lock is released, waking the
+    /// next unobserved bucket peer to confirm against the post-claim
+    /// state. The announcement covers the bucket's waiters for the
+    /// protocol validator across the claimer's occupancy.
+    pub(crate) fn note_reinject(&mut self, gate: usize, slot: u32) {
+        debug_assert_eq!(self.config.signal_mode(), SignalMode::Routed);
+        self.wake.announce(gate);
+        self.pending_routed.push(RoutedWake::Reinject {
+            gate: gate as u32,
+            slot,
+        });
+    }
+
+    /// Ground-truth check of the wake-routing protocol (armed by
+    /// `validate_relay`), the `Routed` analog of
+    /// [`ConditionManager::check_parking_protocol`]:
+    ///
+    /// 1. re-derives every live route (partition totality, determinism,
+    ///    confinement, global placement — same as the sharded checker);
+    /// 2. **eq-route soundness vs. a full probe**: every active slotted
+    ///    entry's router registration must byte-match a fresh
+    ///    classification of its predicate — a slot registered under the
+    ///    wrong eq key, the wrong gate, or a stale dependency set would
+    ///    mis-aim its wakes;
+    /// 3. **no-lost-token audit**: every enqueued waiter whose
+    ///    predicate is currently true must hold a pending unpark token,
+    ///    share its bucket with an in-flight sweep (a covered peer), be
+    ///    named by an undelivered announcement for its gate, or be
+    ///    awake. A bare parked waiter with a true predicate is a lost
+    ///    wake.
+    fn check_wake_routing(&self, state: &S, exprs: &ExprTable<S>) {
+        self.check_shard_routing();
+        for (pid, entry) in self.entries.iter() {
+            if !entry.tags_active {
+                continue;
+            }
+            if let Some(slot) = entry.slot {
+                let gate = Self::gate_of_routes(&self.router, &entry.routes);
+                let expected = WakeRouter::classify(&entry.pred, gate, self.router.global());
+                let actual = self.wake_router.registration(slot);
+                assert!(
+                    actual == Some(&expected),
+                    "wake routing violated: slot {slot} of predicate {} (entry {pid:?}) \
+                     is registered as {actual:?} but classifies as {expected:?}",
+                    entry.pred
+                );
+            }
+        }
+        for (pid, entry) in self.entries.iter() {
+            if entry.waiting == 0 || !entry.pred.eval(state, exprs) {
+                continue;
+            }
+            if let Some(gate) = self.wake.uncovered(pid) {
+                panic!(
+                    "wake routing violated: predicate {} (entry {pid:?}, \
+                     {} waiting) is true but a waiter parked in gate {gate} \
+                     holds no token and no sweep or announcement covers it",
+                    entry.pred, entry.waiting
+                );
+            }
+        }
+    }
+
     /// Ground-truth check of the parking protocol (armed by
     /// `validate_relay`): re-derives every live route like the sharded
     /// checker, then audits the no-lost-wakeup invariant — after a
@@ -879,7 +1137,7 @@ impl<S> ConditionManager<S> {
         // on the publish: their self-checks read the ring.
         if matches!(
             self.config.signal_mode(),
-            SignalMode::Sharded | SignalMode::Parked
+            SignalMode::Sharded | SignalMode::Parked | SignalMode::Routed
         ) {
             self.publish_scratch.clear();
             self.publish_scratch.extend(
@@ -1103,13 +1361,13 @@ impl<S> ConditionManager<S> {
                     }
                 }
             }
-            SignalMode::Parked => {
-                // No index to maintain: parked waiters re-check their
-                // own predicates, so activation only records routes
-                // (for gate placement and the validator) and dependency
-                // references (so the diff evaluates the right
-                // expressions and the wake filter covers this waiter's
-                // gate).
+            SignalMode::Parked | SignalMode::Routed => {
+                // No probe index to maintain: parked/routed waiters
+                // re-check their own predicates, so activation only
+                // records routes (for gate placement and the validator)
+                // and dependency references (so the diff evaluates the
+                // right expressions and the wake filter covers this
+                // waiter's gate).
                 let deps_per_conj = entry.pred.conj_deps();
                 entry.routes.clear();
                 for deps in deps_per_conj {
@@ -1121,6 +1379,17 @@ impl<S> ConditionManager<S> {
                     }
                     for &expr in deps.exprs() {
                         *self.dep_refs.entry(expr).or_insert(0) += 1;
+                    }
+                }
+                // Routed mode additionally indexes slotted entries for
+                // wake routing: eq route when the predicate has one,
+                // dependency route otherwise, nothing for global-gate
+                // populations (the gate broadcast covers them).
+                if self.config.signal_mode() == SignalMode::Routed {
+                    if let Some(slot) = entry.slot {
+                        let gate = Self::gate_of_routes(&self.router, &entry.routes);
+                        let route = WakeRouter::classify(&entry.pred, gate, self.router.global());
+                        self.wake_router.register(slot, gate, route);
                     }
                 }
             }
@@ -1203,7 +1472,7 @@ impl<S> ConditionManager<S> {
                     }
                 }
             }
-            SignalMode::Parked => {
+            SignalMode::Parked | SignalMode::Routed => {
                 let deps_per_conj = entry.pred.conj_deps();
                 debug_assert_eq!(entry.routes.len(), deps_per_conj.len());
                 for deps in deps_per_conj {
@@ -1215,6 +1484,11 @@ impl<S> ConditionManager<S> {
                                 self.dep_refs.remove(&expr);
                             }
                         }
+                    }
+                }
+                if self.config.signal_mode() == SignalMode::Routed {
+                    if let Some(slot) = entry.slot {
+                        self.wake_router.unregister(slot);
                     }
                 }
             }

@@ -74,6 +74,7 @@ use crate::manager::{ConditionManager, SnapshotRing};
 use crate::parking::{snapshot_verdict, ParkOutcome, ParkSlot, ParkingLot, Verdict};
 use crate::stats::{MonitorStats, StatsSnapshot};
 use crate::tracked::{MutationSink, TrackedState};
+use crate::wake::{BucketKey, RoutedWake, SweepToken, WakeLot};
 
 mod thread_id {
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -155,6 +156,10 @@ pub struct Monitor<S> {
     /// outside the mutex: `Parked`-mode waiters park, re-check and
     /// claim without touching the monitor lock.
     parking: Arc<ParkingLot>,
+    /// The slot-bucketed wake gates (`Routed` mode), held outside the
+    /// mutex for the same reason: routed waiters park per-`Cond`
+    /// bucket, service token sweeps and claim without the monitor lock.
+    wake: Arc<WakeLot>,
 }
 
 impl<S> std::fmt::Debug for Monitor<S> {
@@ -179,6 +184,7 @@ impl<S> Monitor<S> {
         let mgr = ConditionManager::new(config);
         let ring = mgr.ring();
         let parking = mgr.parking();
+        let wake = mgr.wake_lot();
         Monitor {
             inner: Mutex::new(Inner {
                 state,
@@ -195,6 +201,7 @@ impl<S> Monitor<S> {
             token: NEXT_TOKEN.fetch_add(1, Ordering::Relaxed),
             ring,
             parking,
+            wake,
         }
     }
 
@@ -484,11 +491,12 @@ impl<S> Monitor<S> {
     }
 
     /// Number of waiters currently enqueued on the per-shard parking
-    /// gates (`Parked` mode; always 0 in the other modes). Takes only
-    /// the gate locks, never the monitor lock — usable by observers
-    /// while the monitor is occupied.
+    /// gates (`Parked` mode) or slot-bucketed wake gates (`Routed`
+    /// mode); always 0 in the other modes. Takes only the gate locks,
+    /// never the monitor lock — usable by observers while the monitor
+    /// is occupied.
     pub fn parked_waiters(&self) -> usize {
-        self.parking.queued_total()
+        self.parking.queued_total() + self.wake.queued_total()
     }
 
     /// Delivers previously announced parked-mode gate wakes, stamped
@@ -499,6 +507,16 @@ impl<S> Monitor<S> {
         for &gate in gates {
             self.parking
                 .deliver_wake(gate as usize, epoch, &self.stats.counters);
+        }
+    }
+
+    /// Delivers previously announced routed-mode wakes (gate/transient
+    /// broadcasts, bucket sweep starts, baton re-injections), stamped
+    /// with the publishing epoch. Must be called **after** the monitor
+    /// lock is released — same contract as [`Monitor::deliver_wakes`].
+    fn deliver_routed_wakes(&self, wakes: &[RoutedWake], epoch: u64) {
+        for &wake in wakes {
+            self.wake.deliver(wake, epoch, &self.stats.counters);
         }
     }
 
@@ -705,7 +723,7 @@ impl<S> MonitorGuard<'_, S> {
                 .mgr
                 .register_waiter_slot(cond.slot(), cond.predicate_arc(), &stats)
         };
-        self.wait_registered(pid, deadline)
+        self.wait_registered(pid, Some(cond.slot()), deadline)
     }
 
     /// The paper's `waituntil(P)` for **transient** conditions — ones
@@ -715,8 +733,18 @@ impl<S> MonitorGuard<'_, S> {
     /// per call and the predicate-table entry is LRU-evictable (§5.2's
     /// inactive list), exactly what one-shot conditions need.
     ///
-    /// For any condition whose key repeats, prefer
-    /// [`Monitor::compile`] + [`MonitorGuard::wait`].
+    /// **Wake routing trade-off** (`SignalMode::Routed`): slot-targeted
+    /// wakes need a stable bucket identity, and only compiled
+    /// conditions have one — a transient entry is LRU-evictable, not
+    /// pinned, so its waiters cannot be slot-bucketed. They therefore
+    /// park in their gate's **broadcast bucket** and are explicitly
+    /// woken by the PR-3-style gate broadcast whenever any expression
+    /// the gate owns changes (the global gate broadcasts on every
+    /// mutation). Transient waiters are never stranded under `Routed` —
+    /// they just pay the parked mode's self-check herd instead of
+    /// getting targeted sweeps. For any condition whose key repeats,
+    /// prefer [`Monitor::compile`] + [`MonitorGuard::wait`] and get
+    /// both the cheap wait path and the targeted wakes.
     pub fn wait_transient(&mut self, cond: impl IntoPredicate<S>) {
         self.wait_until_predicate(cond.into_predicate(), None);
     }
@@ -805,12 +833,20 @@ impl<S> MonitorGuard<'_, S> {
 
         stats.counters.record_wait();
         let pid = self.inner_mut().mgr.register_waiter(pred, &stats);
-        self.wait_registered(pid, deadline)
+        self.wait_registered(pid, None, deadline)
     }
 
     /// The shared wait loop: both the compiled (`wait`) and per-call
     /// (`wait_until`) paths land here once the waiter is registered.
-    fn wait_registered(&mut self, pid: PredId, deadline: Option<Instant>) -> bool {
+    /// `slot` is the compiled-condition slot when the wait came through
+    /// a [`Cond`] — the `Routed` mode's bucket identity; per-call waits
+    /// have none and fall back to the broadcast bucket.
+    fn wait_registered(
+        &mut self,
+        pid: PredId,
+        slot: Option<u32>,
+        deadline: Option<Instant>,
+    ) -> bool {
         let monitor = self.monitor;
         let stats = Arc::clone(&monitor.stats);
 
@@ -820,6 +856,9 @@ impl<S> MonitorGuard<'_, S> {
 
         if monitor.config.signal_mode() == SignalMode::Parked {
             return self.wait_parked(pid, deadline, &stats);
+        }
+        if monitor.config.signal_mode() == SignalMode::Routed {
+            return self.wait_routed(pid, slot, deadline, &stats);
         }
 
         loop {
@@ -1035,6 +1074,233 @@ impl<S> MonitorGuard<'_, S> {
         }
     }
 
+    /// The `Routed`-mode wait: the parked wait loop with slot-bucketed
+    /// queues and the token-sweep discipline. Structure and invariants
+    /// are `wait_parked`'s — the waiter stays enqueued for the whole
+    /// park/re-check loop, enqueue and re-enqueue happen under the
+    /// monitor lock, claims confirm under it — plus the token rules:
+    ///
+    /// * a consumed unpark in a slot bucket is a **sweep token**; a
+    ///   false self-check marks this waiter observed and forwards it to
+    ///   the next unobserved bucket peer (gate lock only);
+    /// * a successful claim carries the token into the monitor and
+    ///   re-injects it at exit (the `signaled` baton, waiter-side) —
+    ///   bucket peers wait on the same compiled predicate, which may
+    ///   still be true after this occupancy;
+    /// * a futile claim re-enqueues, marks itself observed at the
+    ///   manager's current epoch (its confirm just read the live
+    ///   state), and forwards;
+    /// * any dequeue drains a residual (unconsumed) token from the park
+    ///   slot and folds it into the held token — tokens belong to the
+    ///   bucket, never to the leaver.
+    fn wait_routed(
+        &mut self,
+        pid: PredId,
+        slot: Option<u32>,
+        deadline: Option<Instant>,
+        stats: &Arc<MonitorStats>,
+    ) -> bool {
+        let monitor = self.monitor;
+        let (wake, pred, gate) = {
+            let inner = self.inner();
+            (
+                inner.mgr.wake_lot(),
+                inner.mgr.entry_pred_arc(pid),
+                inner.mgr.park_gate(pid),
+            )
+        };
+        let bucket = match slot {
+            Some(s) => BucketKey::Slot(s),
+            None => BucketKey::Transient,
+        };
+        let swept = matches!(bucket, BucketKey::Slot(_));
+        let park = Arc::new(ParkSlot::new());
+        let mut ticket = wake.enqueue(gate, bucket, Arc::clone(&park), pid);
+        let mut wake_buf: Vec<RoutedWake> = Vec::new();
+        let mut snap_buf: Vec<Option<i64>> = Vec::new();
+        // A token a futile claim could not hand off under the monitor
+        // lock (token traffic belongs on waiter threads, off-lock): it
+        // is forwarded right after the loop-top relay releases the
+        // lock, with the matching in-flight claim retired then.
+        let mut carried: Option<SweepToken> = None;
+
+        // Loop invariant at the top: the monitor lock is held and the
+        // waiter is enqueued in its bucket.
+        loop {
+            // Pass the baton before blocking (§4.2's relay-on-wait):
+            // publish this occupancy's mutations and announce the
+            // routed wakes, delivered below outside the lock.
+            let wake_epoch = {
+                let exprs = monitor.exprs.read();
+                let guard = self.inner.as_mut().expect("guard released");
+                let Inner {
+                    state,
+                    mgr,
+                    signaled,
+                    ..
+                } = &mut **guard;
+                mgr.relay_signal(state, &exprs, stats);
+                *signaled = false;
+                mgr.drain_routed_wakes(&mut wake_buf)
+            };
+            monitor.owner.store(0, Ordering::Relaxed);
+            drop(self.inner.take());
+            monitor.deliver_routed_wakes(&wake_buf, wake_epoch);
+            if let Some(t) = carried.take() {
+                // The futile claim's token, handed off now that the
+                // lock is released; the in-flight claim covered its
+                // bucket across the gap.
+                t.forward(&wake, &stats.counters);
+                wake.end_claim(gate, bucket);
+            }
+
+            // Park + self-service re-checks + token forwarding, no
+            // monitor lock held.
+            let mut timed_out = false;
+            let mut token: Option<SweepToken> = None;
+            loop {
+                let await_timer = stats.phases.start(Phase::Await);
+                let outcome = park.park(deadline);
+                await_timer.finish();
+                match outcome {
+                    ParkOutcome::TimedOut => {
+                        timed_out = true;
+                        break;
+                    }
+                    ParkOutcome::Woken { epoch } => {
+                        stats.counters.record_wakeup();
+                        let recheck_timer = stats.phases.start(Phase::ParkRecheck);
+                        stats.counters.record_waiter_self_check();
+                        let snap_epoch = monitor
+                            .ring
+                            .read_latest_into(&stats.counters, &mut snap_buf);
+                        let verdict = snapshot_verdict(&pred, snap_epoch, &snap_buf);
+                        recheck_timer.finish();
+                        match verdict {
+                            Verdict::False { epoch: seen } => {
+                                stats.counters.record_false_wakeup();
+                                park.observed(seen);
+                                if swept {
+                                    // The wake we consumed belongs to
+                                    // the bucket: hand it to the next
+                                    // unobserved peer. The checked cut
+                                    // subsumes the token's stamp.
+                                    let mut t = SweepToken::new(gate, bucket, epoch);
+                                    t.raise(seen);
+                                    t.forward(&wake, &stats.counters);
+                                }
+                            }
+                            Verdict::MayHold => {
+                                if swept {
+                                    token = Some(SweepToken::new(gate, bucket, epoch));
+                                }
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Claim: leave the bucket under the gate's lock, drain any
+            // residual token (it belongs to the bucket), then confirm
+            // against the live state under the monitor lock. A swept
+            // leaver registers as an in-flight claimer *atomically with
+            // the dequeue*, so the no-lost-token audit keeps seeing the
+            // bucket as covered while any token travels with us.
+            wake.dequeue(ticket, swept);
+            if swept {
+                if let Some(residual) = park.take_pending() {
+                    match &mut token {
+                        Some(t) => t.raise(residual),
+                        None => token = Some(SweepToken::new(gate, bucket, residual)),
+                    }
+                }
+            }
+            if timed_out {
+                // A cancelling leaver has no claim to make on the
+                // token's behalf: hand any residual token back to the
+                // bucket now, before touching the monitor lock at all
+                // (the timeout confirm below then runs token-free; if
+                // it happens to find the predicate true, the already
+                // forwarded token simply woke a peer early).
+                if let Some(t) = token.take() {
+                    t.forward(&wake, &stats.counters);
+                }
+            }
+            let lock_timer = stats.phases.start(Phase::Lock);
+            self.inner = Some(monitor.inner.lock());
+            lock_timer.finish();
+            monitor.owner.store(thread_id::current(), Ordering::Relaxed);
+
+            let holds = {
+                let exprs = monitor.exprs.read();
+                let inner = self.inner();
+                stats.counters.record_pred_eval();
+                inner.mgr.entry_pred(pid).eval(&inner.state, &exprs)
+            };
+            if holds {
+                let inner = self.inner_mut();
+                inner.mgr.consume_signal(pid, stats);
+                // The baton rule, waiter-side: re-inject the token at
+                // monitor exit so the next bucket peer (same compiled
+                // predicate, possibly still true) can confirm against
+                // the post-claim state. The announcement covers the
+                // bucket for the validator across this occupancy; it
+                // takes over from our in-flight claim, which retires.
+                if let (true, Some(s), Some(_)) = (swept, slot, token) {
+                    inner.mgr.note_reinject(gate, s);
+                }
+                if swept {
+                    wake.end_claim(gate, bucket);
+                }
+                inner.dirty = false;
+                inner.signaled = false;
+                return true;
+            }
+
+            if timed_out {
+                stats.counters.record_timeout();
+                let inner = self.inner_mut();
+                let _ = inner.mgr.on_timeout(pid, stats);
+                inner.dirty = false;
+                // The residual token (if any) was already forwarded
+                // before the lock was taken; only the claim remains.
+                if swept {
+                    wake.end_claim(gate, bucket);
+                }
+                return false;
+            }
+
+            // Futile claim: another claimer barged in and falsified the
+            // condition first. Re-enqueue under the monitor lock
+            // (publishers cannot miss us) and mark this waiter observed
+            // at the current epoch (the confirm just read the live
+            // state, at least as new as any published cut). The token
+            // is *carried*, not forwarded here: the handoff is a gate
+            // lock + futex wake that belongs off the monitor lock, so
+            // it runs right after the loop-top relay releases it — the
+            // still-open in-flight claim keeps the bucket covered until
+            // then.
+            stats.counters.record_futile_wakeup();
+            let epoch_now = {
+                let inner = self.inner_mut();
+                inner.mgr.mark_futile(pid, stats);
+                inner.dirty = false;
+                inner.mgr.current_epoch()
+            };
+            ticket = wake.enqueue(gate, bucket, Arc::clone(&park), pid);
+            if let Some(mut t) = token {
+                park.observed(epoch_now.max(t.epoch()));
+                t.raise(epoch_now);
+                carried = Some(t);
+            } else if swept {
+                // No token travelled with us: nothing to hand off, the
+                // claim retires immediately (gate lock only).
+                wake.end_claim(gate, bucket);
+            }
+        }
+    }
+
     fn exit(&mut self) {
         // Tracked writes of this occupancy must reach the manager
         // before the exit relay diffs.
@@ -1051,20 +1317,29 @@ impl<S> MonitorGuard<'_, S> {
             let Inner { state, mgr, .. } = &mut *inner;
             mgr.relay_signal(state, &exprs, &self.monitor.stats);
         }
-        // Parked mode: the relay only announced its wakes; perform the
-        // unparks after the lock is released so the token handoffs
-        // never extend the signaler's critical section. The drained
-        // gate list lives in a thread-local scratch buffer, so
+        // Parked/Routed modes: the relay only announced its wakes;
+        // perform the unparks after the lock is released so the token
+        // handoffs never extend the signaler's critical section. The
+        // drained wake lists live in thread-local scratch buffers, so
         // steady-state exits allocate nothing.
         thread_local! {
             static WAKE_SCRATCH: std::cell::RefCell<Vec<u32>> =
                 const { std::cell::RefCell::new(Vec::new()) };
+            static ROUTED_SCRATCH: std::cell::RefCell<Vec<RoutedWake>> =
+                const { std::cell::RefCell::new(Vec::new()) };
         }
+        let mode = self.monitor.config.signal_mode();
         let mut wake_epoch = 0;
-        let has_wakes = self.monitor.config.signal_mode() == SignalMode::Parked
+        let has_wakes = mode == SignalMode::Parked
             && WAKE_SCRATCH.with(|buf| {
                 let mut wakes = buf.borrow_mut();
                 wake_epoch = inner.mgr.drain_pending_wakes(&mut wakes);
+                !wakes.is_empty()
+            });
+        let has_routed = mode == SignalMode::Routed
+            && ROUTED_SCRATCH.with(|buf| {
+                let mut wakes = buf.borrow_mut();
+                wake_epoch = inner.mgr.drain_routed_wakes(&mut wakes);
                 !wakes.is_empty()
             });
         self.monitor.owner.store(0, Ordering::Relaxed);
@@ -1072,6 +1347,11 @@ impl<S> MonitorGuard<'_, S> {
         if has_wakes {
             WAKE_SCRATCH.with(|buf| {
                 self.monitor.deliver_wakes(&buf.borrow(), wake_epoch);
+            });
+        }
+        if has_routed {
+            ROUTED_SCRATCH.with(|buf| {
+                self.monitor.deliver_routed_wakes(&buf.borrow(), wake_epoch);
             });
         }
     }
@@ -1411,6 +1691,184 @@ mod tests {
     #[test]
     fn parked_relay_chains_through_multiple_waiters() {
         relay_chain(MonitorConfig::preset(SignalMode::Parked).shards(3));
+    }
+
+    #[test]
+    fn routed_relay_chains_through_multiple_waiters() {
+        relay_chain(MonitorConfig::preset(SignalMode::Routed).shards(3));
+    }
+
+    #[test]
+    fn routed_mode_behaves_identically() {
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::preset(SignalMode::Routed).validate_relay(true),
+        ));
+        assert_eq!(m.config().signal_mode(), SignalMode::Routed);
+        let v = value_expr(&m);
+        let at_least_two = m.compile(v.ge(2));
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || {
+            m2.enter(|g| {
+                g.wait(&at_least_two);
+                g.state().value
+            })
+        });
+        thread::sleep(Duration::from_millis(20));
+        m.with(|s| s.value = 2);
+        assert_eq!(waiter.join().unwrap(), 2);
+        assert!(m.is_quiescent());
+        let snap = m.stats_snapshot();
+        assert_eq!(snap.counters.broadcasts, 0);
+        assert_eq!(snap.counters.signals, 0, "a routed signaler only unparks");
+        assert!(snap.counters.waiter_self_checks >= 1);
+        assert!(snap.counters.routed_unparks >= 1, "the wake was targeted");
+        assert_eq!(m.parked_waiters(), 0, "claimed waiters leave the buckets");
+    }
+
+    #[test]
+    fn routed_eq_conditions_get_single_targeted_unparks() {
+        // The fig11 microcosm: three waiters on turn==1/2/3. Every
+        // published turn value must wake at most the one matching
+        // bucket — never the whole gate — so total unparks stay near
+        // the number of handoffs while parked mode would broadcast to
+        // every waiter each time.
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::preset(SignalMode::Routed).validate_relay(true),
+        ));
+        let v = value_expr(&m);
+        let mut handles = Vec::new();
+        for stage in 1..=3 {
+            let m = Arc::clone(&m);
+            let cond = m.compile(v.eq(stage));
+            handles.push(thread::spawn(move || {
+                m.enter(|g| {
+                    g.wait(&cond);
+                    g.state_mut().value += 1; // hands the turn onward
+                });
+            }));
+        }
+        thread::sleep(Duration::from_millis(30));
+        m.with(|s| s.value = 1);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.with(|s| s.value), 4);
+        let snap = m.stats_snapshot();
+        assert!(
+            snap.counters.eq_routed_wakes >= 1,
+            "equivalence conditions must route through the eq index ({snap:?})"
+        );
+        // Three handoffs; each wakes one bucket head plus at most a
+        // couple of re-injections/forwards — nowhere near the 3-per-
+        // publish broadcast herd.
+        assert!(
+            snap.counters.unparks <= 8,
+            "wakes must be targeted, got {} unparks",
+            snap.counters.unparks
+        );
+        assert!(m.is_quiescent());
+    }
+
+    #[test]
+    fn routed_token_sweep_serves_shared_buckets() {
+        // Several waiters share one compiled condition (one bucket).
+        // The publish wakes only the bucket head; claimers re-inject
+        // the baton at exit, so every peer still proceeds.
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::preset(SignalMode::Routed).validate_relay(true),
+        ));
+        let v = value_expr(&m);
+        let positive = m.compile(v.ge(1));
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let m = Arc::clone(&m);
+            let done = Arc::clone(&done);
+            let positive = positive.clone();
+            handles.push(thread::spawn(move || {
+                m.enter(|g| {
+                    g.wait(&positive);
+                });
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        thread::sleep(Duration::from_millis(30));
+        m.with(|s| s.value = 1);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 6);
+        let snap = m.stats_snapshot();
+        assert!(
+            snap.counters.token_forwards >= 1,
+            "claimers must re-inject the baton for their bucket peers ({snap:?})"
+        );
+        assert!(m.is_quiescent());
+    }
+
+    #[test]
+    fn routed_timeout_expires_and_cleans_up() {
+        let m = Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::preset(SignalMode::Routed).validate_relay(true),
+        );
+        let v = value_expr(&m);
+        let unreachable = m.compile(v.ge(10));
+        let start = Instant::now();
+        let ok = m.enter(|g| g.wait_timeout(&unreachable, Duration::from_millis(50)));
+        assert!(!ok);
+        assert!(start.elapsed() >= Duration::from_millis(45));
+        assert_eq!(m.stats_snapshot().counters.timeouts, 1);
+        assert!(m.is_quiescent());
+        assert_eq!(m.parked_waiters(), 0);
+    }
+
+    #[test]
+    fn routed_closure_predicates_use_the_global_gate_broadcast() {
+        // Opaque predicates route to the global gate, whose wake stays
+        // the conservative parked-style broadcast.
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::preset(SignalMode::Routed).validate_relay(true),
+        ));
+        let divisible = m.compile(|s: &Counter| s.value % 7 == 0 && s.value > 0);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || {
+            m2.enter(|g| g.wait(&divisible));
+        });
+        thread::sleep(Duration::from_millis(20));
+        m.with(|s| s.value = 14);
+        waiter.join().unwrap();
+        assert!(m.is_quiescent());
+    }
+
+    #[test]
+    fn routed_transient_waiters_ride_the_broadcast_bucket() {
+        // wait_transient conditions have no slot: they park in the
+        // broadcast bucket and the gate-affected broadcast must still
+        // wake them (the documented fallback — never stranded).
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::preset(SignalMode::Routed).validate_relay(true),
+        ));
+        let v = value_expr(&m);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || {
+            m2.enter(|g| {
+                g.wait_transient(v.ge(3));
+                g.state().value
+            })
+        });
+        thread::sleep(Duration::from_millis(20));
+        for k in 1..=3 {
+            m.with(|s| s.value = k);
+        }
+        assert_eq!(waiter.join().unwrap(), 3);
+        assert!(m.is_quiescent());
+        assert_eq!(m.parked_waiters(), 0);
     }
 
     #[test]

@@ -115,10 +115,27 @@ impl ParkSlot {
         }
     }
 
-    /// The newest epoch this waiter's re-check has evaluated.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// The newest epoch this waiter's re-check has evaluated. The
+    /// routed token sweep targets the first bucket waiter whose
+    /// observed epoch is older than the sweep's.
     pub(crate) fn observed_epoch(&self) -> u64 {
         self.state.lock().observed
+    }
+
+    /// Atomically consumes a pending-but-unconsumed unpark token,
+    /// returning its stamped epoch. A routed waiter drains this right
+    /// after leaving its bucket: a token that landed between its last
+    /// park and the dequeue is a *bucket* resource (the sweep targeted
+    /// this waiter on the bucket's behalf), so the leaver must forward
+    /// it rather than absorb it.
+    pub(crate) fn take_pending(&self) -> Option<u64> {
+        let mut state = self.state.lock();
+        if state.pending {
+            state.pending = false;
+            Some(state.wake_epoch)
+        } else {
+            None
+        }
     }
 
     /// Whether the waiter cannot sleep through a wakeup right now: it
@@ -190,5 +207,17 @@ mod tests {
         slot.observed(4);
         slot.observed(2);
         assert_eq!(slot.observed_epoch(), 4);
+    }
+
+    #[test]
+    fn take_pending_consumes_exactly_one_token() {
+        let slot = ParkSlot::new();
+        assert_eq!(slot.take_pending(), None);
+        slot.unpark(6);
+        assert_eq!(slot.take_pending(), Some(6));
+        assert_eq!(slot.take_pending(), None, "token was consumed");
+        // A drained slot parks normally afterwards.
+        slot.unpark(7);
+        assert_eq!(slot.park(None), ParkOutcome::Woken { epoch: 7 });
     }
 }

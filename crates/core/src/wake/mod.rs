@@ -1,0 +1,368 @@
+//! Targeted wake routing (`SignalMode::Routed`): slot-ordered token
+//! sweeps and eq-index-directed unparks.
+//!
+//! The parking subsystem (PR 3) got the signaler off the hot path by
+//! broadcasting per-gate wakes and letting waiters self-check; the cost
+//! is the self-check herd — on fig11's round robin every exit wakes all
+//! N parked waiters so that exactly one can proceed. This module is the
+//! precision upgrade, built on the observation (ROADMAP, re-scoped
+//! against the v2 API) that a compiled condition is a *stable identity
+//! for a waiting population*: every parked waiter of a `Cond` shares
+//! one pinned predicate-table entry, one gate, and now one **bucket**.
+//!
+//! Three mechanisms, in escalating precision:
+//!
+//! 1. **Slot-ordered gate queues** ([`slot_queue`]) — each gate's wait
+//!    queue is bucketed by `Cond` slot, so a wake announcement names
+//!    slots, not gates. Slotless (transient) waiters keep a broadcast
+//!    bucket; the global gate keeps its conservative full broadcast.
+//! 2. **Per-slot token sweeps** ([`token`]) — a bucket wake unparks
+//!    only the first unobserved waiter; a false self-check forwards the
+//!    token, a futile claim forwards it, a successful claimer
+//!    re-injects it at monitor exit. The signaler's critical section
+//!    stays index-probe-free exactly as in parked mode — it only
+//!    *announces*; all token traffic runs on waiter threads after the
+//!    monitor lock is released.
+//! 3. **Eq-index-directed unparks** ([`route`]) — for
+//!    equivalence-shaped compiled conditions the relay maps the freshly
+//!    published value straight to the single slot whose waiters can
+//!    have flipped, turning the fig11 wake herd into one unpark.
+//!
+//! The no-lost-token argument lives in `DESIGN.md` ("Wake routing
+//! soundness"); the manager's `check_wake_routing` validator re-proves
+//! it after every routed relay when `validate_relay` is armed.
+
+pub(crate) mod route;
+pub(crate) mod slot_queue;
+pub(crate) mod token;
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use autosynch_metrics::counters::SyncCounters;
+
+use crate::eq_index::PredId;
+use crate::parking::locks::ShardLock;
+use crate::parking::park::ParkSlot;
+
+pub(crate) use route::{RoutedWake, WakeRouter};
+pub(crate) use slot_queue::BucketKey;
+pub(crate) use token::SweepToken;
+
+use slot_queue::SlotQueue;
+
+/// A waiter's position in a gate's bucketed queue, held for the
+/// lifetime of one wait and needed to claim or cancel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WakeTicket {
+    gate: u32,
+    node: u32,
+}
+
+/// One per-shard gate: the shard's lock, its slot-bucketed wait queue,
+/// and the lock-free mirrors the relay reads without taking the lock.
+#[derive(Debug, Default)]
+struct WakeGate {
+    queue: ShardLock<SlotQueue>,
+    /// Lock-free mirror of the queue length, so a relay can skip empty
+    /// gates without taking their locks.
+    len: AtomicUsize,
+    /// Lock-free mirror of the transient bucket's length: transient
+    /// broadcasts are announced only when slotless waiters exist.
+    transient_len: AtomicUsize,
+    /// Wake deliveries stashed under the monitor lock but not yet
+    /// performed (the parked mode's announce/deliver split): a nonzero
+    /// count covers the gate's waiters for the protocol validator.
+    pending_deliveries: AtomicU32,
+}
+
+/// The monitor-wide routed-wake structure: one gate per shard slot
+/// (data shards first, global gate last), mirroring the parking lot's
+/// layout.
+#[derive(Debug, Default)]
+pub(crate) struct WakeLot {
+    gates: Vec<WakeGate>,
+}
+
+impl WakeLot {
+    /// Creates a lot with `gates` gates (0 for modes without routing).
+    pub(crate) fn new(gates: usize) -> Self {
+        WakeLot {
+            gates: (0..gates).map(|_| WakeGate::default()).collect(),
+        }
+    }
+
+    /// Number of gates (shard slots).
+    pub(crate) fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Enqueues a waiter on `gate` in `bucket`. Callers hold the
+    /// monitor lock, so enqueue serializes with every publish — a
+    /// waiter is either in its bucket before a relay announces, or it
+    /// registered against the already-mutated state.
+    pub(crate) fn enqueue(
+        &self,
+        gate: usize,
+        bucket: BucketKey,
+        park: Arc<ParkSlot>,
+        pid: PredId,
+    ) -> WakeTicket {
+        let g = &self.gates[gate];
+        let node = g.queue.lock().push_back(bucket, park, pid);
+        g.len.fetch_add(1, Ordering::Relaxed);
+        if bucket == BucketKey::Transient {
+            g.transient_len.fetch_add(1, Ordering::Relaxed);
+        }
+        WakeTicket {
+            gate: gate as u32,
+            node,
+        }
+    }
+
+    /// Removes a waiter from its bucket (claim or cancel). Takes only
+    /// the gate's lock; the bucket is read from the node itself, so the
+    /// length mirrors cannot desync from the queue's own membership
+    /// record. With `claim`, the removal atomically registers the
+    /// leaver as an in-flight claimer of its bucket — it stays visible
+    /// to the no-lost-token audit as the bucket's coverage until the
+    /// matching [`WakeLot::end_claim`].
+    pub(crate) fn dequeue(&self, ticket: WakeTicket, claim: bool) {
+        let g = &self.gates[ticket.gate as usize];
+        let bucket = g.queue.lock().remove(ticket.node, claim);
+        g.len.fetch_sub(1, Ordering::Relaxed);
+        if bucket == BucketKey::Transient {
+            g.transient_len.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether `gate` has any enqueued waiter, without taking its lock.
+    pub(crate) fn has_waiters(&self, gate: usize) -> bool {
+        self.gates[gate].len.load(Ordering::Relaxed) > 0
+    }
+
+    /// Whether `gate` has any transient (slotless) waiter, without
+    /// taking its lock.
+    pub(crate) fn has_transient(&self, gate: usize) -> bool {
+        self.gates[gate].transient_len.load(Ordering::Relaxed) > 0
+    }
+
+    /// Announces (under the monitor lock) that a wake touching `gate`
+    /// will be delivered once the signaler has released the lock; the
+    /// announcement covers the gate's waiters for the validator until
+    /// [`WakeLot::deliver`] retires it.
+    pub(crate) fn announce(&self, gate: usize) {
+        self.gates[gate]
+            .pending_deliveries
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Delivers one previously announced wake, stamping `epoch`, then
+    /// retires the announcement. Called **without** the monitor lock.
+    pub(crate) fn deliver(&self, wake: RoutedWake, epoch: u64, counters: &SyncCounters) {
+        let gate = match wake {
+            RoutedWake::Gate(g) | RoutedWake::Transient(g) => g,
+            RoutedWake::Bucket { gate, .. } | RoutedWake::Reinject { gate, .. } => gate,
+        } as usize;
+        match wake {
+            RoutedWake::Gate(_) => {
+                let woken = self.gates[gate].queue.lock().wake_all(epoch);
+                counters.record_unparks(woken as u64);
+            }
+            RoutedWake::Transient(_) => {
+                let woken = self.gates[gate].queue.lock().wake_transient(epoch);
+                counters.record_unparks(woken as u64);
+            }
+            RoutedWake::Bucket { slot, .. } => {
+                self.wake_next(gate, BucketKey::Slot(slot), epoch, counters);
+            }
+            RoutedWake::Reinject { slot, .. } => {
+                // The baton handoff the claimer owed its bucket —
+                // counted only when a peer actually receives it.
+                if self.wake_next(gate, BucketKey::Slot(slot), epoch, counters) {
+                    counters.record_token_forward();
+                }
+            }
+        }
+        self.gates[gate]
+            .pending_deliveries
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Retires an in-flight claim recorded by a claiming
+    /// [`WakeLot::dequeue`]; call only after the token's next home is
+    /// settled (re-injection announced, token forwarded, or sweep
+    /// provably complete).
+    pub(crate) fn end_claim(&self, gate: usize, bucket: BucketKey) {
+        self.gates[gate].queue.lock().end_claim(bucket);
+    }
+
+    /// Unparks the first waiter of `bucket` that has not observed
+    /// `epoch` (the sweep's targeting rule). Returns whether anyone was
+    /// woken. Used for both sweep starts (via [`WakeLot::deliver`]) and
+    /// waiter-side forwards (via [`SweepToken::forward`]), which skip
+    /// the announcement bookkeeping because they run to completion on
+    /// the calling thread.
+    pub(crate) fn wake_next(
+        &self,
+        gate: usize,
+        bucket: BucketKey,
+        epoch: u64,
+        counters: &SyncCounters,
+    ) -> bool {
+        let woken = self.gates[gate].queue.lock().wake_next(bucket, epoch);
+        if woken {
+            counters.record_unpark();
+            counters.record_routed_unpark();
+        }
+        woken
+    }
+
+    /// Total waiters enqueued across all gates.
+    pub(crate) fn queued_total(&self) -> usize {
+        self.gates.iter().map(|g| g.queue.lock().len()).sum()
+    }
+
+    /// The no-lost-token audit: returns the gate index of an enqueued
+    /// waiter of `pid` that is parked bare — no pending unpark token,
+    /// not covered by an in-flight sweep in its bucket (a covered
+    /// bucket peer), and no undelivered wake announced for its gate.
+    /// `None` when every such waiter is covered. Called by the protocol
+    /// validator for entries whose predicate is currently true.
+    pub(crate) fn uncovered(&self, pid: PredId) -> Option<usize> {
+        for (gate_idx, gate) in self.gates.iter().enumerate() {
+            if gate.pending_deliveries.load(Ordering::Relaxed) > 0 {
+                continue; // a wake touching this gate is in flight
+            }
+            let queue = gate.queue.lock();
+            // A pid's waiters can span several buckets of one gate (a
+            // compiled Cond population in its slot bucket plus
+            // transient waiters of the same interned predicate): every
+            // bucket holding a bare waiter must be audited, not just
+            // the first one found.
+            let mut bare_buckets: Vec<BucketKey> = Vec::new();
+            queue.for_each(|park, node_pid, bucket| {
+                if node_pid == pid && !park.covered() && !bare_buckets.contains(&bucket) {
+                    bare_buckets.push(bucket);
+                }
+            });
+            // A covered bucket peer is an in-flight sweep: it will
+            // reach this waiter (forward) or end the need for it
+            // (claim + re-inject / newer publish).
+            if bare_buckets
+                .iter()
+                .any(|&bucket| !queue.bucket_covered(bucket))
+            {
+                return Some(gate_idx);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parking::park::ParkOutcome;
+    use crate::slab::Slab;
+
+    #[test]
+    fn bucket_delivery_unparks_one_waiter_and_gate_delivery_all() {
+        let mut slab: Slab<u8> = Slab::new();
+        let pid = slab.insert(0);
+        let lot = WakeLot::new(2);
+        let parks: Vec<Arc<ParkSlot>> = (0..3).map(|_| Arc::new(ParkSlot::new())).collect();
+        let tickets: Vec<WakeTicket> = parks
+            .iter()
+            .map(|p| lot.enqueue(1, BucketKey::Slot(4), Arc::clone(p), pid))
+            .collect();
+        let counters = SyncCounters::new();
+        lot.announce(1);
+        lot.deliver(RoutedWake::Bucket { gate: 1, slot: 4 }, 9, &counters);
+        assert_eq!(parks[0].park(None), ParkOutcome::Woken { epoch: 9 });
+        let snap = counters.snapshot();
+        assert_eq!(snap.unparks, 1, "a bucket wake unparks exactly one");
+        assert_eq!(snap.routed_unparks, 1);
+        lot.announce(1);
+        lot.deliver(RoutedWake::Gate(1), 10, &counters);
+        assert_eq!(counters.snapshot().unparks, 4, "gate broadcast woke all 3");
+        for (park, ticket) in parks.iter().zip(tickets) {
+            assert_eq!(park.park(None), ParkOutcome::Woken { epoch: 10 });
+            lot.dequeue(ticket, false);
+        }
+        assert_eq!(lot.queued_total(), 0);
+    }
+
+    #[test]
+    fn transient_delivery_leaves_slot_buckets_asleep() {
+        let mut slab: Slab<u8> = Slab::new();
+        let pid = slab.insert(0);
+        let lot = WakeLot::new(1);
+        let slotted = Arc::new(ParkSlot::new());
+        let transient = Arc::new(ParkSlot::new());
+        let ts = lot.enqueue(0, BucketKey::Slot(0), Arc::clone(&slotted), pid);
+        let tt = lot.enqueue(0, BucketKey::Transient, Arc::clone(&transient), pid);
+        assert!(lot.has_transient(0));
+        let counters = SyncCounters::new();
+        lot.announce(0);
+        lot.deliver(RoutedWake::Transient(0), 2, &counters);
+        assert_eq!(transient.park(None), ParkOutcome::Woken { epoch: 2 });
+        assert!(!slotted.covered() || slotted.take_pending().is_none());
+        lot.dequeue(tt, false);
+        assert!(!lot.has_transient(0));
+        assert!(lot.has_waiters(0));
+        lot.dequeue(ts, false);
+        assert!(!lot.has_waiters(0));
+    }
+
+    #[test]
+    fn uncovered_is_bucket_aware() {
+        let mut slab: Slab<u8> = Slab::new();
+        let pid = slab.insert(0);
+        let lot = WakeLot::new(1);
+        let a = Arc::new(ParkSlot::new());
+        let b = Arc::new(ParkSlot::new());
+        let ta = lot.enqueue(0, BucketKey::Slot(0), Arc::clone(&a), pid);
+        let tb = lot.enqueue(0, BucketKey::Slot(0), Arc::clone(&b), pid);
+        // Both awake: covered.
+        assert_eq!(lot.uncovered(pid), None);
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let ha = std::thread::spawn(move || a2.park(None));
+        let hb = std::thread::spawn(move || b2.park(None));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // Both parked bare: uncovered.
+        assert_eq!(lot.uncovered(pid), Some(0));
+        // A token in the bucket covers the whole bucket (in-flight
+        // sweep).
+        let counters = SyncCounters::new();
+        assert!(lot.wake_next(0, BucketKey::Slot(0), 3, &counters));
+        assert_eq!(lot.uncovered(pid), None);
+        ha.join().unwrap();
+        a.observed(3);
+        // `a` is awake again (covered peer) even before forwarding.
+        assert_eq!(lot.uncovered(pid), None);
+        assert!(lot.wake_next(0, BucketKey::Slot(0), 3, &counters));
+        hb.join().unwrap();
+        lot.dequeue(ta, false);
+        lot.dequeue(tb, false);
+    }
+
+    #[test]
+    fn pending_announcements_cover_the_gate() {
+        let mut slab: Slab<u8> = Slab::new();
+        let pid = slab.insert(0);
+        let lot = WakeLot::new(1);
+        let park = Arc::new(ParkSlot::new());
+        let ticket = lot.enqueue(0, BucketKey::Slot(1), Arc::clone(&park), pid);
+        let p2 = Arc::clone(&park);
+        let h = std::thread::spawn(move || p2.park(None));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(lot.uncovered(pid), Some(0));
+        lot.announce(0);
+        assert_eq!(lot.uncovered(pid), None, "announced wake covers");
+        let counters = SyncCounters::new();
+        lot.deliver(RoutedWake::Bucket { gate: 0, slot: 1 }, 1, &counters);
+        h.join().unwrap();
+        lot.dequeue(ticket, false);
+    }
+}

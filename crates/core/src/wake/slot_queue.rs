@@ -1,0 +1,454 @@
+//! The slot-bucketed wait queue: one FIFO bucket per compiled-`Cond`
+//! slot, plus a broadcast bucket for slotless (transient) waiters.
+//!
+//! This is the routed-mode successor of the parking subsystem's flat
+//! [`WaitQueue`](crate::parking::waitq::WaitQueue): waiters still stay
+//! linked for the whole park/re-check loop (the no-lost-wakeup
+//! mechanics are unchanged), but membership is keyed by the waiter's
+//! compiled-condition slot so a wake can name a *bucket* instead of the
+//! whole gate:
+//!
+//! * [`SlotQueue::wake_next`] starts or continues a **token sweep**: it
+//!   unparks the first bucket waiter that has not yet observed the
+//!   sweep's epoch (one waiter, not the herd). Coalescing in the park
+//!   token makes re-targeting an already-pending waiter free.
+//! * [`SlotQueue::wake_transient`] broadcasts the transient bucket —
+//!   waiters who arrived through the per-call analysis paths have no
+//!   pinned slot, so they keep the parked mode's gate-broadcast
+//!   semantics (documented on `MonitorGuard::wait_transient`).
+//! * [`SlotQueue::wake_all`] broadcasts everything — the global gate's
+//!   conservative wake, and the routed fallback wherever slot precision
+//!   has nothing to offer.
+//!
+//! Nodes live in a free-listed slab exactly like the flat queue's, so
+//! steady-state enqueue/dequeue allocates nothing once the buckets
+//! exist; a bucket is created on first use and retained (slots are
+//! pinned for the monitor's lifetime, so the set of buckets is small
+//! and stable).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::eq_index::PredId;
+use crate::parking::park::ParkSlot;
+
+const NIL: u32 = u32::MAX;
+
+/// Which bucket of a gate's queue a waiter parks in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum BucketKey {
+    /// The waiter waits on the compiled condition pinned at this slot.
+    Slot(u32),
+    /// The waiter has no pinned slot (transient / per-call analysis):
+    /// it is woken by gate-level broadcasts only.
+    Transient,
+}
+
+#[derive(Debug)]
+struct Node {
+    /// The waiter's park token; `None` marks a free node.
+    park: Option<Arc<ParkSlot>>,
+    /// The predicate entry the waiter is registered under.
+    pid: PredId,
+    /// The bucket this node is linked into.
+    bucket: BucketKey,
+    prev: u32,
+    next: u32,
+}
+
+/// One FIFO bucket: head/tail of an intrusive list through the node
+/// slab, plus the in-flight claimer count — waiters that left the
+/// bucket carrying its sweep token to go confirm under the monitor
+/// lock. An in-flight claimer *is* the bucket's coverage: it will
+/// re-inject the token at exit (claim success), forward it after
+/// re-enqueueing (futile claim), or forward it on cancellation, so the
+/// no-lost-token audit must count it even though it is not linked.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    head: u32,
+    tail: u32,
+    len: u32,
+    inflight: u32,
+}
+
+impl Default for Bucket {
+    fn default() -> Self {
+        Bucket {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            inflight: 0,
+        }
+    }
+}
+
+/// A slot-bucketed wait queue over a shared node slab. See the module
+/// docs.
+#[derive(Debug)]
+pub(crate) struct SlotQueue {
+    nodes: Vec<Node>,
+    /// Head of the free list (threaded through `next`).
+    free: u32,
+    buckets: HashMap<u32, Bucket>,
+    transient: Bucket,
+    len: usize,
+}
+
+impl Default for SlotQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SlotQueue {
+    pub(crate) fn new() -> Self {
+        SlotQueue {
+            nodes: Vec::new(),
+            free: NIL,
+            buckets: HashMap::new(),
+            transient: Bucket::default(),
+            len: 0,
+        }
+    }
+
+    /// Total enqueued waiters across all buckets.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Enqueued waiters in the transient (slotless) bucket.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn transient_len(&self) -> usize {
+        self.transient.len as usize
+    }
+
+    /// Enqueued waiters in `bucket`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn bucket_len(&self, bucket: BucketKey) -> usize {
+        match bucket {
+            BucketKey::Transient => self.transient.len as usize,
+            BucketKey::Slot(slot) => self.buckets.get(&slot).map_or(0, |b| b.len as usize),
+        }
+    }
+
+    fn bucket_mut(&mut self, key: BucketKey) -> &mut Bucket {
+        match key {
+            BucketKey::Transient => &mut self.transient,
+            BucketKey::Slot(slot) => self.buckets.entry(slot).or_default(),
+        }
+    }
+
+    fn bucket(&self, key: BucketKey) -> Option<&Bucket> {
+        match key {
+            BucketKey::Transient => Some(&self.transient),
+            BucketKey::Slot(slot) => self.buckets.get(&slot),
+        }
+    }
+
+    /// Appends a waiter to `bucket`; returns its node index (stable
+    /// until the matching [`SlotQueue::remove`]).
+    pub(crate) fn push_back(&mut self, bucket: BucketKey, park: Arc<ParkSlot>, pid: PredId) -> u32 {
+        let idx = match self.free {
+            NIL => {
+                self.nodes.push(Node {
+                    park: None,
+                    pid,
+                    bucket,
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.nodes.len() - 1) as u32
+            }
+            idx => {
+                self.free = self.nodes[idx as usize].next;
+                idx
+            }
+        };
+        let tail = self.bucket_mut(bucket).tail;
+        let node = &mut self.nodes[idx as usize];
+        node.park = Some(park);
+        node.pid = pid;
+        node.bucket = bucket;
+        node.prev = tail;
+        node.next = NIL;
+        match tail {
+            NIL => self.bucket_mut(bucket).head = idx,
+            tail => self.nodes[tail as usize].next = idx,
+        }
+        let b = self.bucket_mut(bucket);
+        b.tail = idx;
+        b.len += 1;
+        self.len += 1;
+        idx
+    }
+
+    /// Unlinks the node at `idx` from its bucket and recycles it,
+    /// returning the bucket it was linked into (the authoritative
+    /// membership record — callers must not track it separately). With
+    /// `claim`, atomically registers the leaver as an in-flight claimer
+    /// of its bucket under the same lock hold, so the no-lost-token
+    /// audit never observes a gap between "left the bucket" and
+    /// "counted as claiming".
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` does not name an enqueued node — a
+    /// double-remove, which only the owning waiter can cause.
+    pub(crate) fn remove(&mut self, idx: u32, claim: bool) -> BucketKey {
+        let (bucket, prev, next) = {
+            let node = &mut self.nodes[idx as usize];
+            assert!(node.park.is_some(), "removing a free slot-queue node");
+            node.park = None;
+            (node.bucket, node.prev, node.next)
+        };
+        match prev {
+            NIL => self.bucket_mut(bucket).head = next,
+            prev => self.nodes[prev as usize].next = next,
+        }
+        match next {
+            NIL => self.bucket_mut(bucket).tail = prev,
+            next => self.nodes[next as usize].prev = prev,
+        }
+        let b = self.bucket_mut(bucket);
+        b.len -= 1;
+        if claim {
+            b.inflight += 1;
+        }
+        let node = &mut self.nodes[idx as usize];
+        node.prev = NIL;
+        node.next = self.free;
+        self.free = idx;
+        self.len -= 1;
+        bucket
+    }
+
+    /// The token sweep's targeting rule: unparks the first waiter of
+    /// `bucket` (FIFO order) whose re-checks have **not** yet observed
+    /// `epoch`, stamping the token with `epoch`. Returns `true` when a
+    /// waiter was unparked; `false` ends the sweep (every bucket waiter
+    /// has already observed this epoch, i.e. self-checked a cut at
+    /// least as new — sweep termination is guaranteed because each
+    /// false self-check marks its waiter observed before forwarding, so
+    /// the unobserved population strictly shrinks).
+    pub(crate) fn wake_next(&self, bucket: BucketKey, epoch: u64) -> bool {
+        let Some(b) = self.bucket(bucket) else {
+            return false;
+        };
+        let mut cursor = b.head;
+        while cursor != NIL {
+            let node = &self.nodes[cursor as usize];
+            let park = node.park.as_ref().expect("linked node must be occupied");
+            if park.observed_epoch() < epoch {
+                park.unpark(epoch);
+                return true;
+            }
+            cursor = node.next;
+        }
+        false
+    }
+
+    /// Unparks every waiter of the transient bucket, stamping `epoch`.
+    /// Returns how many tokens were handed out.
+    pub(crate) fn wake_transient(&self, epoch: u64) -> usize {
+        self.wake_bucket_all(&self.transient, epoch)
+    }
+
+    fn wake_bucket_all(&self, bucket: &Bucket, epoch: u64) -> usize {
+        let mut cursor = bucket.head;
+        let mut woken = 0;
+        while cursor != NIL {
+            let node = &self.nodes[cursor as usize];
+            let park = node.park.as_ref().expect("linked node must be occupied");
+            park.unpark(epoch);
+            woken += 1;
+            cursor = node.next;
+        }
+        woken
+    }
+
+    /// Unparks every enqueued waiter (all slot buckets plus the
+    /// transient bucket), stamping `epoch` — the global gate's
+    /// conservative broadcast. Returns how many tokens were handed out.
+    pub(crate) fn wake_all(&self, epoch: u64) -> usize {
+        let mut woken = self.wake_bucket_all(&self.transient, epoch);
+        for bucket in self.buckets.values() {
+            woken += self.wake_bucket_all(bucket, epoch);
+        }
+        woken
+    }
+
+    /// Visits every enqueued waiter (any bucket order; FIFO within a
+    /// bucket).
+    pub(crate) fn for_each(&self, mut f: impl FnMut(&Arc<ParkSlot>, PredId, BucketKey)) {
+        let mut visit = |b: &Bucket| {
+            let mut cursor = b.head;
+            while cursor != NIL {
+                let node = &self.nodes[cursor as usize];
+                let park = node.park.as_ref().expect("linked node must be occupied");
+                f(park, node.pid, node.bucket);
+                cursor = node.next;
+            }
+        };
+        visit(&self.transient);
+        for bucket in self.buckets.values() {
+            visit(bucket);
+        }
+    }
+
+    /// Retires an in-flight claim recorded by a claiming
+    /// [`SlotQueue::remove`].
+    pub(crate) fn end_claim(&mut self, bucket: BucketKey) {
+        let b = self.bucket_mut(bucket);
+        debug_assert!(b.inflight > 0, "unbalanced end_claim");
+        b.inflight = b.inflight.saturating_sub(1);
+    }
+
+    /// Whether any waiter of `bucket` is covered (holds a pending token
+    /// or is awake) or a token-carrying claimer of the bucket is in
+    /// flight. The no-lost-token audit treats a covered bucket peer as
+    /// coverage for the whole bucket: an in-flight sweep reaches every
+    /// still-false waiter, and a claimer re-injects the baton at exit.
+    pub(crate) fn bucket_covered(&self, bucket: BucketKey) -> bool {
+        let Some(b) = self.bucket(bucket) else {
+            return false;
+        };
+        if b.inflight > 0 {
+            return true;
+        }
+        let mut cursor = b.head;
+        while cursor != NIL {
+            let node = &self.nodes[cursor as usize];
+            let park = node.park.as_ref().expect("linked node must be occupied");
+            if park.covered() {
+                return true;
+            }
+            cursor = node.next;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parking::park::ParkOutcome;
+    use crate::slab::Slab;
+
+    fn pid(slab: &mut Slab<u8>) -> PredId {
+        slab.insert(0)
+    }
+
+    #[test]
+    fn buckets_are_independent_fifos() {
+        let mut slab = Slab::new();
+        let p = pid(&mut slab);
+        let mut q = SlotQueue::new();
+        let a = q.push_back(BucketKey::Slot(0), Arc::new(ParkSlot::new()), p);
+        let b = q.push_back(BucketKey::Slot(1), Arc::new(ParkSlot::new()), p);
+        let c = q.push_back(BucketKey::Slot(0), Arc::new(ParkSlot::new()), p);
+        let t = q.push_back(BucketKey::Transient, Arc::new(ParkSlot::new()), p);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.bucket_len(BucketKey::Slot(0)), 2);
+        assert_eq!(q.bucket_len(BucketKey::Slot(1)), 1);
+        assert_eq!(q.transient_len(), 1);
+        q.remove(a, false);
+        assert_eq!(q.bucket_len(BucketKey::Slot(0)), 1);
+        q.remove(c, false);
+        q.remove(b, false);
+        q.remove(t, false);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn wake_next_targets_the_first_unobserved_waiter() {
+        let mut slab = Slab::new();
+        let p = pid(&mut slab);
+        let q = {
+            let mut q = SlotQueue::new();
+            let parks: Vec<Arc<ParkSlot>> = (0..3).map(|_| Arc::new(ParkSlot::new())).collect();
+            for park in &parks {
+                q.push_back(BucketKey::Slot(7), Arc::clone(park), p);
+            }
+            // The head has already observed epoch 5: the sweep must skip
+            // it and wake the second waiter.
+            parks[0].observed(5);
+            assert!(q.wake_next(BucketKey::Slot(7), 5));
+            assert_eq!(parks[1].park(None), ParkOutcome::Woken { epoch: 5 });
+            // Marking the second observed moves the sweep to the third.
+            parks[1].observed(5);
+            assert!(q.wake_next(BucketKey::Slot(7), 5));
+            assert_eq!(parks[2].park(None), ParkOutcome::Woken { epoch: 5 });
+            parks[2].observed(5);
+            // Everyone observed: the sweep dies.
+            assert!(!q.wake_next(BucketKey::Slot(7), 5));
+            // A newer epoch restarts from the head.
+            assert!(q.wake_next(BucketKey::Slot(7), 6));
+            assert_eq!(parks[0].park(None), ParkOutcome::Woken { epoch: 6 });
+            q
+        };
+        // Empty/unknown buckets are a clean no-op.
+        assert!(!q.wake_next(BucketKey::Slot(99), 1));
+    }
+
+    #[test]
+    fn wake_all_covers_every_bucket_and_wake_transient_only_its_own() {
+        let mut slab = Slab::new();
+        let p = pid(&mut slab);
+        let mut q = SlotQueue::new();
+        let s0 = Arc::new(ParkSlot::new());
+        let s1 = Arc::new(ParkSlot::new());
+        let tr = Arc::new(ParkSlot::new());
+        q.push_back(BucketKey::Slot(0), Arc::clone(&s0), p);
+        q.push_back(BucketKey::Slot(1), Arc::clone(&s1), p);
+        q.push_back(BucketKey::Transient, Arc::clone(&tr), p);
+        assert_eq!(q.wake_transient(3), 1);
+        assert_eq!(tr.park(None), ParkOutcome::Woken { epoch: 3 });
+        assert_eq!(q.wake_all(4), 3);
+        assert_eq!(s0.park(None), ParkOutcome::Woken { epoch: 4 });
+        assert_eq!(s1.park(None), ParkOutcome::Woken { epoch: 4 });
+        assert_eq!(tr.park(None), ParkOutcome::Woken { epoch: 4 });
+    }
+
+    #[test]
+    fn bucket_covered_sees_pending_tokens_and_awake_waiters() {
+        let mut slab = Slab::new();
+        let p = pid(&mut slab);
+        let mut q = SlotQueue::new();
+        let park = Arc::new(ParkSlot::new());
+        q.push_back(BucketKey::Slot(2), Arc::clone(&park), p);
+        // Not yet parked: awake, hence covered.
+        assert!(q.bucket_covered(BucketKey::Slot(2)));
+        assert!(!q.bucket_covered(BucketKey::Slot(3)), "empty bucket bare");
+        let p2 = Arc::clone(&park);
+        let t = std::thread::spawn(move || p2.park(None));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!q.bucket_covered(BucketKey::Slot(2)), "parked, no token");
+        park.unpark(1);
+        assert!(q.bucket_covered(BucketKey::Slot(2)), "token pending");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn removed_nodes_recycle_across_buckets() {
+        let mut slab = Slab::new();
+        let p = pid(&mut slab);
+        let mut q = SlotQueue::new();
+        let a = q.push_back(BucketKey::Slot(0), Arc::new(ParkSlot::new()), p);
+        q.remove(a, false);
+        let b = q.push_back(BucketKey::Transient, Arc::new(ParkSlot::new()), p);
+        assert_eq!(a, b, "free-listed node is reused");
+        q.remove(b, false);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "free slot-queue node")]
+    fn double_remove_panics() {
+        let mut slab = Slab::new();
+        let p = pid(&mut slab);
+        let mut q = SlotQueue::new();
+        let a = q.push_back(BucketKey::Slot(0), Arc::new(ParkSlot::new()), p);
+        q.remove(a, false);
+        q.remove(a, false);
+    }
+}

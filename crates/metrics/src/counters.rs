@@ -49,6 +49,9 @@ pub struct SyncCounters {
     waiter_self_checks: AtomicU64,
     false_wakeups: AtomicU64,
     named_mutations: AtomicU64,
+    routed_unparks: AtomicU64,
+    token_forwards: AtomicU64,
+    eq_routed_wakes: AtomicU64,
 }
 
 macro_rules! counter_methods {
@@ -137,12 +140,34 @@ impl SyncCounters {
         /// (`enter_mutating`), promising its writes touch only the named
         /// expressions so the snapshot diff can skip the rest.
         record_named_mutation => named_mutations,
+        /// A *targeted* unpark in routed mode: the wake named one
+        /// `Cond`-slot bucket (sweep start, token forward or baton
+        /// re-injection) instead of broadcasting a whole gate. Every
+        /// routed unpark is also counted in `unparks`.
+        record_routed_unpark => routed_unparks,
+        /// A sweep token handoff in routed mode: a waiter whose
+        /// self-check came back false (or whose claim proved futile)
+        /// passed the wake on to the next unobserved waiter of its
+        /// bucket, or a claimer re-injected the baton at monitor exit.
+        record_token_forward => token_forwards,
+        /// A wake the routed relay resolved through the equivalence
+        /// route: the published value of an eq-tagged expression named
+        /// the single slot whose waiters can have flipped, so exactly
+        /// one bucket was swept instead of the whole gate.
+        record_eq_routed_wake => eq_routed_wakes,
     }
 
     /// Adds `n` predicate evaluations at once.
     #[inline]
     pub fn record_pred_evals(&self, n: u64) {
         self.pred_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` unparks at once (broadcast deliveries count their whole
+    /// gate in one add).
+    #[inline]
+    pub fn record_unparks(&self, n: u64) {
+        self.unparks.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Captures the current counter values.
@@ -171,6 +196,9 @@ impl SyncCounters {
             waiter_self_checks: self.waiter_self_checks.load(Ordering::Relaxed),
             false_wakeups: self.false_wakeups.load(Ordering::Relaxed),
             named_mutations: self.named_mutations.load(Ordering::Relaxed),
+            routed_unparks: self.routed_unparks.load(Ordering::Relaxed),
+            token_forwards: self.token_forwards.load(Ordering::Relaxed),
+            eq_routed_wakes: self.eq_routed_wakes.load(Ordering::Relaxed),
         }
     }
 
@@ -200,6 +228,9 @@ impl SyncCounters {
             &self.waiter_self_checks,
             &self.false_wakeups,
             &self.named_mutations,
+            &self.routed_unparks,
+            &self.token_forwards,
+            &self.eq_routed_wakes,
         ] {
             field.store(0, Ordering::Relaxed);
         }
@@ -233,6 +264,9 @@ pub struct CounterSnapshot {
     pub waiter_self_checks: u64,
     pub false_wakeups: u64,
     pub named_mutations: u64,
+    pub routed_unparks: u64,
+    pub token_forwards: u64,
+    pub eq_routed_wakes: u64,
 }
 
 impl CounterSnapshot {
@@ -281,6 +315,9 @@ impl CounterSnapshot {
                 .saturating_sub(earlier.waiter_self_checks),
             false_wakeups: self.false_wakeups.saturating_sub(earlier.false_wakeups),
             named_mutations: self.named_mutations.saturating_sub(earlier.named_mutations),
+            routed_unparks: self.routed_unparks.saturating_sub(earlier.routed_unparks),
+            token_forwards: self.token_forwards.saturating_sub(earlier.token_forwards),
+            eq_routed_wakes: self.eq_routed_wakes.saturating_sub(earlier.eq_routed_wakes),
         }
     }
 }
@@ -346,6 +383,9 @@ mod tests {
         c.record_waiter_self_check();
         c.record_false_wakeup();
         c.record_named_mutation();
+        c.record_routed_unpark();
+        c.record_token_forward();
+        c.record_eq_routed_wake();
         let s = c.snapshot();
         assert_eq!(s.enters, 2);
         assert_eq!(s.waits, 1);
@@ -370,6 +410,9 @@ mod tests {
         assert_eq!(s.waiter_self_checks, 1);
         assert_eq!(s.false_wakeups, 1);
         assert_eq!(s.named_mutations, 1);
+        assert_eq!(s.routed_unparks, 1);
+        assert_eq!(s.token_forwards, 1);
+        assert_eq!(s.eq_routed_wakes, 1);
     }
 
     #[test]

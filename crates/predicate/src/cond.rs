@@ -86,6 +86,15 @@ impl<S> Cond<S> {
     pub fn owner(&self) -> u64 {
         self.owner
     }
+
+    /// The slot's equivalence route, when the compiled condition's truth
+    /// is a function of one eq-tagged shared expression (see
+    /// [`Predicate::eq_route`]): the wake-routing metadata a routed
+    /// monitor uses to map a published value straight to this slot's
+    /// waiting population.
+    pub fn eq_route(&self) -> Option<(crate::expr::ExprId, i64)> {
+        self.pred.eq_route()
+    }
 }
 
 impl<S> Clone for Cond<S> {
@@ -258,6 +267,17 @@ mod tests {
         let (slot, arc) = table.intern(pred);
         assert_eq!(table.lookup(&key), Some(slot));
         assert!(Arc::ptr_eq(table.get(slot), &arc));
+    }
+
+    #[test]
+    fn cond_eq_route_mirrors_the_predicate() {
+        let count = count();
+        let mut table = CondTable::new();
+        let (slot, arc) = table.intern(Predicate::try_from_expr(count.eq(9)).unwrap());
+        let cond = Cond::new(arc, slot, 1);
+        assert_eq!(cond.eq_route(), Some((count.id(), 9)));
+        let (slot, arc) = table.intern(Predicate::try_from_expr(count.ge(9)).unwrap());
+        assert_eq!(Cond::new(arc, slot, 1).eq_route(), None);
     }
 
     #[test]

@@ -125,6 +125,32 @@ impl<S> Predicate<S> {
         self.key.as_ref()
     }
 
+    /// The equivalence route of this predicate, when its truth is a
+    /// function of **one** shared expression compared by an equivalence
+    /// tag: `Some((expr, key))` iff the DNF has exactly one conjunction,
+    /// that conjunction carries `Tag::Equivalence { expr, key }`, it is
+    /// not opaque, and `expr` is its sole dependency.
+    ///
+    /// Under those conditions the predicate can only be true while
+    /// `expr == key`, and it can only *flip* when `expr` changes — so a
+    /// wake router may map a freshly published value of `expr` directly
+    /// to the one waiting population whose predicate can have become
+    /// true (the fig11 `turn == id` shape). Any other structure returns
+    /// `None` and must be woken through the dependency route.
+    pub fn eq_route(&self) -> Option<(crate::expr::ExprId, i64)> {
+        if self.deps.len() != 1 {
+            return None;
+        }
+        let deps = &self.deps[0];
+        if deps.is_opaque() {
+            return None;
+        }
+        match self.tags[0] {
+            Tag::Equivalence { expr, key } if deps.exprs() == [expr] => Some((expr, key)),
+            _ => None,
+        }
+    }
+
     /// The pre-normalization source text, when built from an AST.
     pub fn source(&self) -> Option<&str> {
         self.source.as_deref()
@@ -294,6 +320,49 @@ mod tests {
         let b = Predicate::try_from_expr(count.ge(48)).unwrap();
         assert_eq!(a.key(), b.key());
         assert!(a.key().is_some());
+    }
+
+    #[test]
+    fn eq_route_covers_exactly_the_single_equivalence_shape() {
+        let (_, count) = setup();
+        // The fig11 shape: one conjunction, one eq literal, one dep.
+        let p = Predicate::try_from_expr(count.eq(5)).unwrap();
+        assert_eq!(p.eq_route(), Some((count.id(), 5)));
+        // Extra literals on the same expression keep the route (truth is
+        // still a function of `count` alone, gated by the eq tag).
+        let p = Predicate::try_from_expr(count.eq(5).and(count.gt(3))).unwrap();
+        assert_eq!(p.eq_route(), Some((count.id(), 5)));
+        // Disjunctions, thresholds, second dependencies and opaque
+        // literals all lose it.
+        assert_eq!(
+            Predicate::try_from_expr(count.eq(5).or(count.eq(7)))
+                .unwrap()
+                .eq_route(),
+            None
+        );
+        assert_eq!(
+            Predicate::try_from_expr(count.ge(5)).unwrap().eq_route(),
+            None
+        );
+        let mut t = ExprTable::new();
+        let a = t.register("a", |s: &S| s.count);
+        let b = t.register("b", |s: &S| -s.count);
+        assert_eq!(
+            Predicate::try_from_expr(a.eq(5).and(b.ge(0)))
+                .unwrap()
+                .eq_route(),
+            None,
+            "a second dependency defeats the route"
+        );
+        let opaque = a.eq(5).and(crate::ast::BoolExpr::custom("odd", |s: &S| {
+            s.count % 2 == 1
+        }));
+        assert_eq!(
+            Predicate::try_from_expr(opaque).unwrap().eq_route(),
+            None,
+            "opaque literals defeat the route"
+        );
+        assert_eq!(Predicate::<S>::custom("c", |_| true).eq_route(), None);
     }
 
     #[test]

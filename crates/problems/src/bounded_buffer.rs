@@ -257,7 +257,8 @@ pub fn make_buffer(mechanism: Mechanism, capacity: usize) -> Arc<dyn BoundedBuff
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
         | Mechanism::AutoSynchShard
-        | Mechanism::AutoSynchPark => Arc::new(AutoSynchBoundedBuffer::new(capacity, mechanism)),
+        | Mechanism::AutoSynchPark
+        | Mechanism::AutoSynchRoute => Arc::new(AutoSynchBoundedBuffer::new(capacity, mechanism)),
     }
 }
 

@@ -228,7 +228,8 @@ pub fn make_table(mechanism: Mechanism, n: usize) -> Arc<dyn DiningTable> {
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
         | Mechanism::AutoSynchShard
-        | Mechanism::AutoSynchPark => Arc::new(AutoSynchTable::new(n, mechanism)),
+        | Mechanism::AutoSynchPark
+        | Mechanism::AutoSynchRoute => Arc::new(AutoSynchTable::new(n, mechanism)),
     }
 }
 

@@ -228,7 +228,8 @@ pub fn make_vessel(mechanism: Mechanism) -> Arc<dyn WaterVessel> {
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
         | Mechanism::AutoSynchShard
-        | Mechanism::AutoSynchPark => Arc::new(AutoSynchVessel::new(mechanism)),
+        | Mechanism::AutoSynchPark
+        | Mechanism::AutoSynchRoute => Arc::new(AutoSynchVessel::new(mechanism)),
     }
 }
 

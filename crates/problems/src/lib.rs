@@ -30,6 +30,12 @@
 //! waiting conditions give the flat manager nothing to prune, while the
 //! sharded one confines each relay to the single affected shard.
 //!
+//! A fourteenth, [`wake_storm`] (K hot expressions × N waiters each,
+//! channels advancing out of phase), is the showcase for targeted wake
+//! routing: parked-mode gate broadcasts pay an `O(K · N)` self-check
+//! herd per wave of advances, while the routed mode's eq-index maps
+//! each published value to the single slot that can proceed.
+//!
 //! The Kessels restricted monitor (paper ref \[16\]) additionally runs
 //! the bounded buffer ([`bounded_buffer::run_kessels`]) where its fixed
 //! condition set suffices, and round-robin
@@ -73,5 +79,6 @@ pub mod round_robin;
 pub mod sharded_queues;
 pub mod sleeping_barber;
 pub mod unisex_bathroom;
+pub mod wake_storm;
 
 pub use mechanism::{Mechanism, RunReport};

@@ -44,6 +44,14 @@ pub enum Mechanism {
     /// without the monitor lock — the critical-section-shrinking
     /// extension layered on top of AutoSynch-Shard.
     AutoSynchPark,
+    /// Routed-wake AutoSynch (`SignalMode::Routed`): the parked
+    /// machinery with slot-bucketed wait queues, per-bucket token
+    /// sweeps (waiter-forwarded, claimer-re-injected), and
+    /// eq-index-directed single unparks for equivalence-shaped
+    /// compiled conditions — the wake-precision extension layered on
+    /// top of AutoSynch-Park, collapsing its self-check herds into
+    /// targeted wakes.
+    AutoSynchRoute,
 }
 
 impl Mechanism {
@@ -51,7 +59,7 @@ impl Mechanism {
     /// this reproduction's extensions. Sweeps and cross-mechanism tests
     /// iterate this — extensions must appear here or they are silently
     /// skipped. For exactly the paper's legend use [`Mechanism::PAPER`].
-    pub const ALL: [Mechanism; 7] = [
+    pub const ALL: [Mechanism; 8] = [
         Mechanism::Explicit,
         Mechanism::Baseline,
         Mechanism::AutoSynchT,
@@ -59,6 +67,7 @@ impl Mechanism {
         Mechanism::AutoSynchCD,
         Mechanism::AutoSynchShard,
         Mechanism::AutoSynchPark,
+        Mechanism::AutoSynchRoute,
     ];
 
     /// The paper's four mechanisms, in legend order — the Figs. 8–15
@@ -72,22 +81,24 @@ impl Mechanism {
 
     /// Everything plotted in Figs. 11–13 (baseline off the chart), plus
     /// the extensions.
-    pub const WITHOUT_BASELINE: [Mechanism; 6] = [
+    pub const WITHOUT_BASELINE: [Mechanism; 7] = [
         Mechanism::Explicit,
         Mechanism::AutoSynchT,
         Mechanism::AutoSynch,
         Mechanism::AutoSynchCD,
         Mechanism::AutoSynchShard,
         Mechanism::AutoSynchPark,
+        Mechanism::AutoSynchRoute,
     ];
 
     /// The automatic-signal family the runtime implements.
-    pub const AUTOMATIC: [Mechanism; 5] = [
+    pub const AUTOMATIC: [Mechanism; 6] = [
         Mechanism::AutoSynchT,
         Mechanism::AutoSynch,
         Mechanism::AutoSynchCD,
         Mechanism::AutoSynchShard,
         Mechanism::AutoSynchPark,
+        Mechanism::AutoSynchRoute,
     ];
 
     /// The paper's legend label.
@@ -100,6 +111,7 @@ impl Mechanism {
             Mechanism::AutoSynchCD => "AutoSynch-CD",
             Mechanism::AutoSynchShard => "AutoSynch-Shard",
             Mechanism::AutoSynchPark => "AutoSynch-Park",
+            Mechanism::AutoSynchRoute => "AutoSynch-Route",
         }
     }
 
@@ -118,6 +130,7 @@ impl Mechanism {
             Mechanism::AutoSynchCD => Some(SignalMode::ChangeDriven),
             Mechanism::AutoSynchShard => Some(SignalMode::Sharded),
             Mechanism::AutoSynchPark => Some(SignalMode::Parked),
+            Mechanism::AutoSynchRoute => Some(SignalMode::Routed),
             Mechanism::Explicit | Mechanism::Baseline => None,
         }
     }
@@ -220,14 +233,96 @@ mod tests {
         assert!(Mechanism::ALL.contains(&Mechanism::AutoSynchCD));
         assert!(Mechanism::ALL.contains(&Mechanism::AutoSynchShard));
         assert!(Mechanism::ALL.contains(&Mechanism::AutoSynchPark));
+        assert!(Mechanism::ALL.contains(&Mechanism::AutoSynchRoute));
         assert!(Mechanism::WITHOUT_BASELINE.contains(&Mechanism::AutoSynchCD));
         assert!(Mechanism::WITHOUT_BASELINE.contains(&Mechanism::AutoSynchShard));
         assert!(Mechanism::WITHOUT_BASELINE.contains(&Mechanism::AutoSynchPark));
+        assert!(Mechanism::WITHOUT_BASELINE.contains(&Mechanism::AutoSynchRoute));
         assert!(!Mechanism::WITHOUT_BASELINE.contains(&Mechanism::Baseline));
         assert_eq!(Mechanism::PAPER.len(), 4, "the paper's legend is fixed");
         assert!(Mechanism::AUTOMATIC
             .iter()
             .all(|m| m.monitor_config().is_some()));
+    }
+
+    /// Every signaling mode the runtime implements, spelled out through
+    /// an **exhaustive match**: adding a `SignalMode` variant fails to
+    /// compile here until it is listed — the PR-2-era footgun (a new
+    /// mode silently absent from `Mechanism::ALL` and every sweep)
+    /// becomes a compile error instead of a quiet coverage gap.
+    fn every_signal_mode() -> Vec<SignalMode> {
+        let all = [
+            SignalMode::Tagged,
+            SignalMode::Untagged,
+            SignalMode::ChangeDriven,
+            SignalMode::Sharded,
+            SignalMode::Parked,
+            SignalMode::Routed,
+        ];
+        for mode in all {
+            // No wildcard arm: a new variant breaks this match (and so
+            // this test file) at compile time.
+            match mode {
+                SignalMode::Tagged
+                | SignalMode::Untagged
+                | SignalMode::ChangeDriven
+                | SignalMode::Sharded
+                | SignalMode::Parked
+                | SignalMode::Routed => {}
+            }
+        }
+        all.to_vec()
+    }
+
+    #[test]
+    fn mechanism_arrays_stay_exhaustive_over_signal_modes() {
+        // Every implemented mode must be reachable from the sweeps: one
+        // mechanism in ALL (and, for the automatic family, in
+        // WITHOUT_BASELINE and AUTOMATIC) must map to it via
+        // signal_mode(). A mode threaded through the runtime but absent
+        // here would silently vanish from every benchmark and
+        // cross-mechanism test — the exact regression PR 2 shipped.
+        for mode in every_signal_mode() {
+            let in_all = Mechanism::ALL
+                .iter()
+                .filter(|m| m.signal_mode() == Some(mode))
+                .count();
+            assert_eq!(
+                in_all, 1,
+                "SignalMode::{mode:?} needs exactly one Mechanism in ALL"
+            );
+            assert_eq!(
+                Mechanism::WITHOUT_BASELINE
+                    .iter()
+                    .filter(|m| m.signal_mode() == Some(mode))
+                    .count(),
+                1,
+                "SignalMode::{mode:?} missing from WITHOUT_BASELINE"
+            );
+            assert_eq!(
+                Mechanism::AUTOMATIC
+                    .iter()
+                    .filter(|m| m.signal_mode() == Some(mode))
+                    .count(),
+                1,
+                "SignalMode::{mode:?} missing from AUTOMATIC"
+            );
+        }
+        // And the converse: every automatic mechanism maps to a mode,
+        // distinct mechanisms to distinct modes.
+        let mut modes: Vec<SignalMode> = Mechanism::AUTOMATIC
+            .iter()
+            .map(|m| m.signal_mode().expect("automatic mechanisms have a mode"))
+            .collect();
+        let n = modes.len();
+        modes.sort_by_key(|m| format!("{m:?}"));
+        modes.dedup();
+        assert_eq!(modes.len(), n, "two mechanisms share a signal mode");
+        assert_eq!(
+            n,
+            every_signal_mode().len(),
+            "AUTOMATIC and SignalMode must stay in bijection"
+        );
     }
 
     #[test]

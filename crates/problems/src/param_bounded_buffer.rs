@@ -252,7 +252,8 @@ pub fn make_buffer(mechanism: Mechanism, capacity: usize) -> Arc<dyn ParamBounde
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
         | Mechanism::AutoSynchShard
-        | Mechanism::AutoSynchPark => Arc::new(AutoSynchParamBuffer::new(capacity, mechanism)),
+        | Mechanism::AutoSynchPark
+        | Mechanism::AutoSynchRoute => Arc::new(AutoSynchParamBuffer::new(capacity, mechanism)),
     }
 }
 

@@ -272,7 +272,8 @@ pub fn make_ring(mechanism: Mechanism, n: usize) -> Arc<dyn RoundRobin> {
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
         | Mechanism::AutoSynchShard
-        | Mechanism::AutoSynchPark => Arc::new(AutoSynchRoundRobin::new(n, mechanism)),
+        | Mechanism::AutoSynchPark
+        | Mechanism::AutoSynchRoute => Arc::new(AutoSynchRoundRobin::new(n, mechanism)),
     }
 }
 

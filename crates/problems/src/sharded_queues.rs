@@ -235,7 +235,8 @@ pub fn make_queues(mechanism: Mechanism, queues: usize, capacity: usize) -> Arc<
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
         | Mechanism::AutoSynchShard
-        | Mechanism::AutoSynchPark => {
+        | Mechanism::AutoSynchPark
+        | Mechanism::AutoSynchRoute => {
             Arc::new(AutoSynchShardedQueues::new(queues, capacity, mechanism))
         }
     }

@@ -281,7 +281,8 @@ pub fn make_shop(mechanism: Mechanism) -> Arc<dyn BarberShop> {
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
         | Mechanism::AutoSynchShard
-        | Mechanism::AutoSynchPark => Arc::new(AutoSynchBarberShop::new(mechanism)),
+        | Mechanism::AutoSynchPark
+        | Mechanism::AutoSynchRoute => Arc::new(AutoSynchBarberShop::new(mechanism)),
     }
 }
 

@@ -296,7 +296,8 @@ pub fn make_bathroom(mechanism: Mechanism, capacity: i64) -> Arc<dyn Bathroom> {
         | Mechanism::AutoSynch
         | Mechanism::AutoSynchCD
         | Mechanism::AutoSynchShard
-        | Mechanism::AutoSynchPark => Arc::new(AutoSynchBathroom::new(capacity, mechanism)),
+        | Mechanism::AutoSynchPark
+        | Mechanism::AutoSynchRoute => Arc::new(AutoSynchBathroom::new(capacity, mechanism)),
     }
 }
 

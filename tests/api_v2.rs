@@ -236,6 +236,7 @@ fn assert_v2_counters(
         Mechanism::AutoSynchCD,
         Mechanism::AutoSynchShard,
         Mechanism::AutoSynchPark,
+        Mechanism::AutoSynchRoute,
     ] {
         // Every runner asserts its own workload invariants (item
         // conservation, ordering, stoichiometry) — completing the run
@@ -244,7 +245,10 @@ fn assert_v2_counters(
         let c = report.stats.counters;
         assert_eq!(c.broadcasts, 0, "{workload}/{mechanism}: no signalAll");
         match mechanism {
-            Mechanism::AutoSynchCD | Mechanism::AutoSynchShard | Mechanism::AutoSynchPark => {
+            Mechanism::AutoSynchCD
+            | Mechanism::AutoSynchShard
+            | Mechanism::AutoSynchPark
+            | Mechanism::AutoSynchRoute => {
                 assert!(
                     c.named_mutations > 0,
                     "{workload}/{mechanism}: v2 writes must name their mutations \

@@ -1,0 +1,594 @@
+//! Targeted wake routing (`SignalMode::Routed`) equivalence and
+//! protocol checks.
+//!
+//! The mode must reach the same wait/wake outcomes as AutoSynch-Park
+//! and tagged AutoSynch on every workload — same invariants, zero
+//! broadcasts, zero protocol violations with the no-lost-token
+//! validator armed — while wakes are slot-targeted token sweeps
+//! instead of gate broadcasts (visible as `routed_unparks` /
+//! `token_forwards` / `eq_routed_wakes` on the counters, and as a
+//! collapse of `waiter_self_checks` on the eq-shaped workloads).
+//!
+//! Mirrors `tests/parking.rs`, plus: the fig11 acceptance assertion
+//! (unparks per relay ≈ 1 under Routed vs ~N under Parked at identical
+//! outcomes), a transient-waiter stranding regression (the documented
+//! `wait_transient` broadcast-bucket fallback), and no-lost-token
+//! proptests over randomized park/sweep/claim/timeout interleavings.
+
+// The validated direct-monitor schedules deliberately keep exercising
+// the deprecated v1 shims alongside compiled conditions: transient
+// (slotless) waiters and compiled (bucketed) waiters must coexist in
+// one gate under routing.
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use autosynch_repro::autosynch::config::{MonitorConfig, SignalMode};
+use autosynch_repro::autosynch::Monitor;
+use autosynch_repro::problems::mechanism::Mechanism;
+use autosynch_repro::problems::{
+    bounded_buffer, cigarette_smokers, cyclic_barrier, dining, group_mutex, h2o, one_lane_bridge,
+    param_bounded_buffer, readers_writers, round_robin, sharded_queues, sleeping_barber,
+    unisex_bathroom, wake_storm,
+};
+use proptest::prelude::*;
+
+/// A deterministic bounded-buffer schedule run under one validated
+/// config; returns the final level. Producers use compiled conditions
+/// (slot buckets), consumers the per-call shim (transient bucket), so
+/// both routed populations interleave in every gate.
+fn validated_bounded_buffer(config: MonitorConfig, pairs: usize, ops: usize) -> i64 {
+    struct Buf {
+        level: i64,
+        cap: i64,
+    }
+    let monitor = Arc::new(Monitor::with_config(
+        Buf { level: 0, cap: 8 },
+        config.validate_relay(true),
+    ));
+    let level = monitor.register_expr("level", |b: &Buf| b.level);
+    let free = monitor.register_expr("free", |b: &Buf| b.cap - b.level);
+
+    std::thread::scope(|scope| {
+        for i in 0..pairs {
+            let put = 1 + (i as i64 % 3);
+            let has_room = monitor.compile(free.ge(put));
+            let producer_monitor = Arc::clone(&monitor);
+            scope.spawn(move || {
+                for _ in 0..ops {
+                    producer_monitor.enter(|g| {
+                        g.wait(&has_room);
+                        g.state_mut().level += put;
+                    });
+                }
+            });
+            let monitor = Arc::clone(&monitor);
+            scope.spawn(move || {
+                let take = 1 + (i as i64 % 3);
+                for _ in 0..ops {
+                    monitor.enter(|g| {
+                        g.wait_transient(level.ge(take));
+                        g.state_mut().level -= take;
+                    });
+                }
+            });
+        }
+    });
+
+    let level = monitor.with(|b| b.level);
+    assert!(monitor.is_quiescent(), "leaked waiters or signals");
+    assert_eq!(monitor.parked_waiters(), 0, "leaked bucketed waiters");
+    assert_eq!(monitor.stats_snapshot().counters.broadcasts, 0);
+    level
+}
+
+#[test]
+fn validated_bounded_buffer_matches_scan_mode_across_shard_widths() {
+    // validate_relay panics on any routing-registration or
+    // no-lost-token violation, so completing the run in routed mode
+    // *is* the zero-violations assertion; the final levels must agree
+    // with the scan-based reference — across shard widths 1..8,
+    // including the degenerate single data shard.
+    for shards in 1..=8usize {
+        let routed_level = validated_bounded_buffer(
+            MonitorConfig::preset(SignalMode::Routed).shards(shards),
+            4,
+            150,
+        );
+        assert_eq!(routed_level, 0, "shards({shards}) run did not balance");
+    }
+    assert_eq!(
+        validated_bounded_buffer(MonitorConfig::preset(SignalMode::Untagged), 4, 150),
+        0
+    );
+}
+
+#[test]
+fn validated_eq_round_robin_across_shard_widths() {
+    // The eq-route showcase under the armed validator: every advance
+    // must wake someone (or the validator/hang catches it) and the
+    // registration audit re-derives each slot's eq key per relay.
+    struct Turn {
+        turn: i64,
+    }
+    for shards in [1, 2, 3, 8] {
+        let monitor = Arc::new(Monitor::with_config(
+            Turn { turn: 0 },
+            MonitorConfig::preset(SignalMode::Routed)
+                .shards(shards)
+                .validate_relay(true),
+        ));
+        let turn = monitor.register_expr("turn", |s: &Turn| s.turn);
+        const N: usize = 6;
+        const ROUNDS: usize = 60;
+        std::thread::scope(|scope| {
+            for id in 0..N as i64 {
+                let monitor = Arc::clone(&monitor);
+                let my_turn = monitor.compile(turn.eq(id));
+                scope.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        monitor.enter(|g| {
+                            g.wait(&my_turn);
+                            g.state_mut().turn = (g.state().turn + 1) % N as i64;
+                        });
+                    }
+                });
+            }
+        });
+        assert!(monitor.is_quiescent());
+        let snap = monitor.stats_snapshot();
+        assert_eq!(snap.counters.broadcasts, 0);
+        assert!(
+            snap.counters.eq_routed_wakes > 0,
+            "shards({shards}): eq conditions must route through the eq index"
+        );
+    }
+}
+
+// --- route-vs-park-vs-tagged equivalence across all 14 workloads -------
+//
+// Every problem's `run` asserts its own invariants (item conservation,
+// stoichiometry, mutual exclusion, ...) and panics on violation, so
+// completing each run under AutoSynch-Route with zero broadcasts is
+// the equivalence assertion; AutoSynch-Park and tagged AutoSynch run
+// the identical config as references.
+
+fn route_park_tagged(run: impl Fn(Mechanism) -> autosynch_repro::problems::RunReport) {
+    for mechanism in [
+        Mechanism::AutoSynchRoute,
+        Mechanism::AutoSynchPark,
+        Mechanism::AutoSynch,
+    ] {
+        let report = run(mechanism);
+        assert_eq!(
+            report.stats.counters.broadcasts, 0,
+            "{mechanism} must never signalAll"
+        );
+        if mechanism == Mechanism::AutoSynchRoute {
+            assert_eq!(
+                report.stats.counters.signals, 0,
+                "a routed signaler never picks a winner; it only unparks"
+            );
+        }
+    }
+}
+
+#[test]
+fn workload01_bounded_buffer() {
+    route_park_tagged(|m| {
+        bounded_buffer::run(
+            m,
+            bounded_buffer::BoundedBufferConfig {
+                producers: 4,
+                consumers: 4,
+                ops_per_thread: 250,
+                capacity: 8,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload02_h2o() {
+    route_park_tagged(|m| {
+        h2o::run(
+            m,
+            h2o::H2oConfig {
+                h_threads: 6,
+                events_per_h: 160,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload03_sleeping_barber() {
+    route_park_tagged(|m| {
+        sleeping_barber::run(
+            m,
+            sleeping_barber::SleepingBarberConfig {
+                customers: 6,
+                visits_per_customer: 120,
+                chairs: 4,
+            },
+        )
+        .report
+    });
+}
+
+#[test]
+fn workload04_round_robin() {
+    route_park_tagged(|m| {
+        round_robin::run(
+            m,
+            round_robin::RoundRobinConfig {
+                threads: 8,
+                rounds: 100,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload05_readers_writers() {
+    route_park_tagged(|m| {
+        readers_writers::run(
+            m,
+            readers_writers::ReadersWritersConfig {
+                writers: 3,
+                readers: 9,
+                ops_per_thread: 90,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload06_dining() {
+    route_park_tagged(|m| {
+        dining::run(
+            m,
+            dining::DiningConfig {
+                philosophers: 7,
+                meals_per_philosopher: 90,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload07_param_bounded_buffer() {
+    route_park_tagged(|m| {
+        param_bounded_buffer::run(
+            m,
+            param_bounded_buffer::ParamBoundedBufferConfig {
+                consumers: 4,
+                takes_per_consumer: 70,
+                max_items: 64,
+                capacity: 128,
+                seed: 13,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload08_cigarette_smokers() {
+    route_park_tagged(|m| {
+        cigarette_smokers::run(
+            m,
+            cigarette_smokers::SmokersConfig {
+                rounds: 200,
+                seed: 42,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload09_unisex_bathroom() {
+    route_park_tagged(|m| {
+        unisex_bathroom::run(
+            m,
+            unisex_bathroom::BathroomConfig {
+                per_gender: 4,
+                visits: 100,
+                capacity: 3,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload10_group_mutex() {
+    route_park_tagged(|m| {
+        group_mutex::run(
+            m,
+            group_mutex::GroupMutexConfig {
+                threads: 9,
+                forums: 3,
+                sessions: 100,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload11_one_lane_bridge() {
+    route_park_tagged(|m| {
+        one_lane_bridge::run(
+            m,
+            one_lane_bridge::BridgeConfig {
+                per_direction: 4,
+                crossings: 100,
+                capacity: 3,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload12_cyclic_barrier() {
+    route_park_tagged(|m| {
+        cyclic_barrier::run(
+            m,
+            cyclic_barrier::BarrierConfig {
+                parties: 8,
+                generations: 100,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload13_sharded_queues() {
+    route_park_tagged(|m| {
+        sharded_queues::run(
+            m,
+            sharded_queues::ShardedQueuesConfig {
+                queues: 6,
+                ops_per_queue: 160,
+                capacity: 2,
+            },
+        )
+    });
+}
+
+#[test]
+fn workload14_wake_storm() {
+    route_park_tagged(|m| {
+        wake_storm::run(
+            m,
+            wake_storm::WakeStormConfig {
+                channels: 4,
+                waiters: 4,
+                rounds: 60,
+            },
+        )
+    });
+}
+
+// --- the acceptance criteria -------------------------------------------
+
+#[test]
+fn fig11_routed_unparks_are_targeted_while_parked_broadcasts_herd() {
+    // The headline acceptance: at identical workload outcomes, routed
+    // wakes on fig11 are ~1 per handoff (each advance eq-routes to the
+    // one slot whose turn came) while parked wakes broadcast the gate —
+    // ~N waiters per relay. Both modes complete the same rounds, so the
+    // counters are directly comparable.
+    let config = round_robin::RoundRobinConfig {
+        threads: 12,
+        rounds: 150,
+    };
+    let parked = round_robin::run(Mechanism::AutoSynchPark, config);
+    let routed = round_robin::run(Mechanism::AutoSynchRoute, config);
+    let per_relay = |r: &autosynch_repro::problems::RunReport| {
+        let c = r.stats.counters;
+        assert!(c.relay_calls > 0);
+        c.unparks as f64 / c.relay_calls as f64
+    };
+    let routed_rate = per_relay(&routed);
+    let parked_rate = per_relay(&parked);
+    assert!(
+        routed_rate <= 1.2,
+        "routed unparks per relay must be ~1, got {routed_rate:.2}"
+    );
+    assert!(
+        parked_rate >= 2.0 * routed_rate,
+        "parked wakes should herd well above routed: parked {parked_rate:.2} \
+         vs routed {routed_rate:.2} unparks/relay"
+    );
+    assert!(
+        routed.stats.counters.waiter_self_checks < parked.stats.counters.waiter_self_checks,
+        "routing must strictly cut the self-check herd: routed {} vs parked {}",
+        routed.stats.counters.waiter_self_checks,
+        parked.stats.counters.waiter_self_checks
+    );
+    assert!(
+        routed.stats.counters.eq_routed_wakes > 0,
+        "fig11's turn == id conditions must ride the eq route"
+    );
+}
+
+#[test]
+fn routed_counters_surface_on_the_headline_workloads() {
+    // The wake work must appear as targeted-unpark traffic: nonzero
+    // routed_unparks on fig11 and the wake storm, zero signals (a
+    // routed signaler never picks a winner), zero broadcasts.
+    let reports = [
+        (
+            "fig11_round_robin",
+            round_robin::run(
+                Mechanism::AutoSynchRoute,
+                round_robin::RoundRobinConfig {
+                    threads: 8,
+                    rounds: 100,
+                },
+            ),
+        ),
+        (
+            "ext_wake_storm",
+            wake_storm::run(
+                Mechanism::AutoSynchRoute,
+                wake_storm::WakeStormConfig {
+                    channels: 4,
+                    waiters: 4,
+                    rounds: 60,
+                },
+            ),
+        ),
+    ];
+    for (workload, report) in reports {
+        let c = report.stats.counters;
+        assert!(
+            c.routed_unparks > 0,
+            "{workload}: wakes must be slot-targeted ({c:?})"
+        );
+        assert!(
+            c.eq_routed_wakes > 0,
+            "{workload}: equivalence shapes must use the eq route ({c:?})"
+        );
+        assert_eq!(c.signals, 0, "{workload}: no per-winner signals");
+        assert_eq!(c.broadcasts, 0, "{workload}: no signalAll");
+    }
+}
+
+// --- transient fallback: never stranded --------------------------------
+
+#[test]
+fn transient_waiters_are_never_stranded_under_routing() {
+    // wait_transient conditions have no slot, hence no bucket identity:
+    // the documented fallback parks them in the gate's broadcast bucket
+    // and wakes them on every gate-affecting mutation. A stranded
+    // transient waiter would hang this test; the armed validator
+    // additionally panics on any bare parked waiter whose predicate is
+    // true. Compiled waiters on the *same expressions* run concurrently
+    // so both populations share gates throughout.
+    struct S {
+        a: i64,
+        b: i64,
+    }
+    let monitor = Arc::new(Monitor::with_config(
+        S { a: 0, b: 0 },
+        MonitorConfig::preset(SignalMode::Routed).validate_relay(true),
+    ));
+    let a = monitor.register_expr("a", |s: &S| s.a);
+    let b = monitor.register_expr("b", |s: &S| s.b);
+    const ROUNDS: i64 = 120;
+    std::thread::scope(|scope| {
+        // Transient waiter: fresh key every round — the exact shape the
+        // compile table must not pin, riding the broadcast bucket.
+        {
+            let monitor = Arc::clone(&monitor);
+            scope.spawn(move || {
+                for k in 1..=ROUNDS {
+                    monitor.enter(|g| {
+                        g.wait_transient(a.ge(k));
+                        g.state_mut().b += 1;
+                    });
+                }
+            });
+        }
+        // Compiled waiter on the sibling expression, sharing gates.
+        {
+            let monitor = Arc::clone(&monitor);
+            let caught_up = monitor.compile(b.ge(ROUNDS));
+            scope.spawn(move || {
+                monitor.enter(|g| g.wait(&caught_up));
+            });
+        }
+        // Driver: advances `a` one step per transient wake-up.
+        let monitor = Arc::clone(&monitor);
+        scope.spawn(move || {
+            for k in 1..=ROUNDS {
+                loop {
+                    let done = monitor.with(|s| {
+                        if s.b >= k - 1 {
+                            s.a = k;
+                            true
+                        } else {
+                            false
+                        }
+                    });
+                    if done {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        });
+    });
+    assert_eq!(monitor.with(|s| s.b), ROUNDS);
+    assert!(monitor.is_quiescent());
+    assert_eq!(monitor.parked_waiters(), 0);
+}
+
+// --- proptests: the no-lost-token invariant ----------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Randomized producer/consumer batch sizes under the armed
+    // validator: any lost token hangs (caught by the harness timeout)
+    // or panics in the wake-routing checker; any accounting error
+    // shows up as a nonzero final level. Mixed compiled + transient
+    // waiters exercise bucket sweeps and broadcast-bucket wakes in the
+    // same interleavings.
+    #[test]
+    fn randomized_workloads_never_lose_tokens(
+        pairs in 1usize..=4,
+        ops in 1usize..=50,
+        shards in 1usize..=8,
+    ) {
+        let level = validated_bounded_buffer(
+            MonitorConfig::preset(SignalMode::Routed).shards(shards),
+            pairs,
+            ops,
+        );
+        prop_assert_eq!(level, 0);
+    }
+
+    // Timed waits racing sweeps and claims: deadlines force the
+    // cancel-dequeue path (which must forward residual tokens instead
+    // of absorbing them) to interleave with publishes, forwards and
+    // re-injections. The run must neither hang nor leak queue nodes,
+    // whatever wins each race.
+    #[test]
+    fn randomized_timeouts_race_token_sweeps_cleanly(timeout_ms in 0u64..=6) {
+        struct Counter { value: i64 }
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::preset(SignalMode::Routed).validate_relay(true),
+        ));
+        let v = m.register_expr("value", |s: &Counter| s.value);
+        // One compiled condition per threshold so several timed waiters
+        // share slot buckets (sweep targets) across rounds.
+        let conds: Vec<_> = (1..=10i64).map(|k| m.compile(v.ge(k))).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let m = Arc::clone(&m);
+                let conds = conds.clone();
+                scope.spawn(move || {
+                    for cond in &conds {
+                        m.enter(|g| {
+                            g.wait_timeout(
+                                cond,
+                                std::time::Duration::from_millis(timeout_ms),
+                            );
+                        });
+                    }
+                });
+            }
+            let m = Arc::clone(&m);
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    m.with(|s| s.value += 1);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            });
+        });
+        prop_assert!(m.is_quiescent());
+        prop_assert_eq!(m.parked_waiters(), 0);
+    }
+}
