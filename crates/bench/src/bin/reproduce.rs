@@ -100,7 +100,7 @@ const EXPERIMENTS: &[Experiment] = &[
     Experiment {
         id: "wake",
         title: "Extension — wake precision: routed vs parked unparks and self-checks",
-        expectation: "AutoSynch-Route: ~1 unpark/relay on fig11 and strictly fewer self-checks than Park; emits BENCH_wake.json",
+        expectation: "AutoSynch-Route: ~1 unpark/relay on fig11, ladder skips on fig14, transient cache hits on the mix — strictly fewer self-checks and unparks/relay than Park throughout; emits BENCH_wake.json",
         run: figures::wake_routing,
     },
     Experiment {

@@ -6,13 +6,16 @@
 //! legend entries and whose cells are runtime seconds (or counts, for
 //! Fig. 15 and Table 1).
 
+use std::sync::Arc;
+
+use autosynch::Monitor;
 use autosynch_metrics::phase::Phase;
 use autosynch_metrics::report::{kilo, secs, Table};
 use autosynch_problems::bounded_buffer::{self, BoundedBufferConfig};
 use autosynch_problems::cyclic_barrier::{self, BarrierConfig};
 use autosynch_problems::dining::{self, DiningConfig};
 use autosynch_problems::h2o::{self, H2oConfig};
-use autosynch_problems::mechanism::{Mechanism, RunReport};
+use autosynch_problems::mechanism::{timed_run, Mechanism, RunReport};
 use autosynch_problems::param_bounded_buffer::{self, ParamBoundedBufferConfig};
 use autosynch_problems::readers_writers::{self, ReadersWritersConfig};
 use autosynch_problems::round_robin::{self, RoundRobinConfig};
@@ -475,16 +478,71 @@ pub fn park_hold() -> Table {
     table
 }
 
+/// A mixed compiled/transient bounded buffer: producers wait on
+/// compiled `free >= put` conditions (slot buckets, ladder rungs),
+/// consumers on per-call `wait_transient(level >= take)` predicates
+/// with only three distinct take shapes — the repeating-but-uncompiled
+/// pattern the bounded transient LRU graduates off the per-gate
+/// broadcast bucket (visible as `transient_cache_hits` under Route).
+fn transient_mix_run(mechanism: Mechanism, pairs: usize, ops: usize) -> RunReport {
+    struct Buf {
+        level: i64,
+        cap: i64,
+    }
+    let config = mechanism
+        .monitor_config()
+        .expect("transient mix runs automatic mechanisms only");
+    let monitor = Arc::new(Monitor::with_config(Buf { level: 0, cap: 8 }, config));
+    let level = monitor.register_expr("level", |b: &Buf| b.level);
+    let free = monitor.register_expr("free", |b: &Buf| b.cap - b.level);
+    let (elapsed, ctx) = timed_run(pairs * 2, |i| {
+        let amount = 1 + ((i / 2) as i64 % 3);
+        if i % 2 == 0 {
+            let has_room = monitor.compile(free.ge(amount));
+            for _ in 0..ops {
+                monitor.enter(|g| {
+                    g.wait(&has_room);
+                    g.state_mut().level += amount;
+                });
+            }
+        } else {
+            for _ in 0..ops {
+                monitor.enter(|g| {
+                    g.wait_transient(level.ge(amount));
+                    g.state_mut().level -= amount;
+                });
+            }
+        }
+    });
+    assert_eq!(
+        monitor.with(|b| b.level),
+        0,
+        "transient mix did not balance"
+    );
+    RunReport {
+        mechanism,
+        threads: pairs * 2,
+        elapsed,
+        stats: monitor.stats_snapshot(),
+        ctx,
+    }
+}
+
 /// Extension: wake precision — routed vs parked (vs sharded for
-/// context) on the two workloads where the parked broadcast herd is
-/// the dominant cost: fig11's round robin (N waiters, one hot
-/// equivalence expression) and the wake storm (K hot expressions × N
-/// waiters, adversarial signal order). Records per-relay unparks,
-/// waiter self-checks and end-to-end time; the routed rows should show
-/// `unparks/relay ≈ 1` on fig11 (each advance eq-routes to the one
-/// slot that can proceed) against the parked mode's per-gate herd, and
-/// strictly fewer self-checks everywhere. The series is written to
-/// `BENCH_wake.json`; CI asserts the fig11 self-check margin.
+/// context) on the four workloads spanning the tag families: fig11's
+/// round robin (N waiters, one hot equivalence expression), the wake
+/// storm (K hot expressions × N waiters, adversarial signal order),
+/// fig14's parameterized bounded buffer (threshold-shaped `count >=
+/// num` conditions — the ladder's target), and the sharded-queues
+/// showcase (mixed/None-tagged footprints), plus a bespoke
+/// compiled/transient mix for the LRU graduation path. Records
+/// per-relay unparks, waiter self-checks, end-to-end time and the
+/// precision counters (`ladder_skips`, `cursor_resumes`,
+/// `transient_cache_hits`); the routed rows should show `unparks/relay
+/// ≈ 1` on fig11 against the parked mode's per-gate herd, and strictly
+/// fewer self-checks everywhere — including fig14, where PR 5's
+/// eq-only routing still herd-woke every rung. The series is written
+/// to `BENCH_wake.json`; CI asserts the fig11 and fig14 margins.
 pub fn wake_routing() -> Table {
     let mut table = Table::with_columns(&[
         "workload",
@@ -497,6 +555,9 @@ pub fn wake_routing() -> Table {
         "eq_routed",
         "token_fwds",
         "routed_unparks",
+        "ladder_skips",
+        "cursor_resumes",
+        "transient_hits",
     ]);
     let mechanisms = [
         Mechanism::AutoSynchShard,
@@ -528,6 +589,9 @@ pub fn wake_routing() -> Table {
             c.eq_routed_wakes.to_string(),
             c.token_forwards.to_string(),
             c.routed_unparks.to_string(),
+            c.ladder_skips.to_string(),
+            c.cursor_resumes.to_string(),
+            c.transient_cache_hits.to_string(),
         ]);
         if !entries.is_empty() {
             entries.push_str(",\n");
@@ -538,7 +602,9 @@ pub fn wake_routing() -> Table {
              \"unparks_per_relay\": {per_relay:.4}, \"waiter_self_checks\": {}, \
              \"false_wakeups\": {}, \"futile_wakeups\": {}, \
              \"eq_routed_wakes\": {}, \"token_forwards\": {}, \
-             \"routed_unparks\": {}, \"wakeups\": {}, \"broadcasts\": {}}}",
+             \"routed_unparks\": {}, \"ladder_skips\": {}, \
+             \"cursor_resumes\": {}, \"transient_cache_hits\": {}, \
+             \"wakeups\": {}, \"broadcasts\": {}}}",
             report.mechanism.label(),
             report.elapsed.as_secs_f64(),
             c.relay_calls,
@@ -549,6 +615,9 @@ pub fn wake_routing() -> Table {
             c.eq_routed_wakes,
             c.token_forwards,
             c.routed_unparks,
+            c.ladder_skips,
+            c.cursor_resumes,
+            c.transient_cache_hits,
             c.wakeups,
             c.broadcasts,
         ));
@@ -560,6 +629,21 @@ pub fn wake_routing() -> Table {
     for mechanism in mechanisms {
         let report = wake_storm::run_timed(mechanism, storm_config);
         record("ext_wake_storm", &report);
+    }
+    let consumers = if sweep::full_scale() { 64 } else { 16 };
+    for mechanism in mechanisms {
+        let report = param_bounded_buffer::run_timed(mechanism, fig14_config(consumers));
+        record("fig14_param_bounded_buffer", &report);
+    }
+    for mechanism in mechanisms {
+        let report = sharded_queues::run_timed(mechanism, shard_queues_config(consumers / 2));
+        record("ext_sharded_queues", &report);
+    }
+    let mix_pairs = if sweep::full_scale() { 8 } else { 4 };
+    let mix_ops = (sweep::ops_budget() / 16 / mix_pairs).max(64);
+    for mechanism in mechanisms {
+        let report = transient_mix_run(mechanism, mix_pairs, mix_ops);
+        record("ext_transient_mix", &report);
     }
     let json = format!("{{\n  \"benchmarks\": [\n{entries}\n  ]\n}}\n");
     let path = "BENCH_wake.json";

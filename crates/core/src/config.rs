@@ -98,6 +98,8 @@ pub struct MonitorConfig {
     relay_width: usize,
     validate_relay: bool,
     shards: usize,
+    transient_bucket_cap: usize,
+    sweep_cursors: bool,
 }
 
 impl Default for MonitorConfig {
@@ -111,6 +113,8 @@ impl Default for MonitorConfig {
             relay_width: 1,
             validate_relay: false,
             shards: 8,
+            transient_bucket_cap: 16,
+            sweep_cursors: true,
         }
     }
 }
@@ -279,6 +283,31 @@ impl MonitorConfig {
         self
     }
 
+    /// Caps the per-gate LRU of graduated transient buckets (routed
+    /// mode). A repeating-but-uncompiled `wait_transient` predicate
+    /// graduates off the gate's broadcast bucket into a per-predicate
+    /// bucket with the full token-sweep discipline, up to this many
+    /// buckets per gate; beyond the cap (and with every cached bucket
+    /// occupied), new transient predicates fall back to the broadcast
+    /// bucket — they herd-wake but can never strand. `0` disables
+    /// graduation entirely, restoring the PR 5 broadcast-only
+    /// behaviour. Ignored by the other modes.
+    pub fn transient_bucket_cap(mut self, cap: usize) -> Self {
+        self.transient_bucket_cap = cap;
+        self
+    }
+
+    /// Whether routed-mode token sweeps keep a per-bucket cursor so a
+    /// forward resumes from the last unobserved position instead of
+    /// rescanning the bucket's FIFO head (a full sweep drops from
+    /// O(bucket²) worst case to O(bucket) total). `false` is the
+    /// head-scan ablation, kept for the cursor-vs-head-scan
+    /// equivalence tests. Ignored by the other modes.
+    pub fn sweep_cursors(mut self, on: bool) -> Self {
+        self.sweep_cursors = on;
+        self
+    }
+
     /// The configured signaling mode.
     pub fn signal_mode(&self) -> SignalMode {
         self.mode
@@ -331,6 +360,16 @@ impl MonitorConfig {
     pub fn validates_relay(&self) -> bool {
         self.validate_relay
     }
+
+    /// The per-gate graduated-transient-bucket capacity (routed mode).
+    pub fn transient_bucket_capacity(&self) -> usize {
+        self.transient_bucket_cap
+    }
+
+    /// Whether routed-mode token sweeps use per-bucket cursors.
+    pub fn sweep_cursors_enabled(&self) -> bool {
+        self.sweep_cursors
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +385,8 @@ mod tests {
         assert!(c.relays_on_clean_exit());
         assert_eq!(c.threshold_index_kind(), ThresholdIndexKind::PaperHeap);
         assert_eq!(c.relay_width_value(), 1);
+        assert_eq!(c.transient_bucket_capacity(), 16);
+        assert!(c.sweep_cursors_enabled());
     }
 
     #[test]
@@ -367,13 +408,17 @@ mod tests {
             .inactive_cap(8)
             .relay_on_clean_exit(false)
             .threshold_index(ThresholdIndexKind::OrderedMap)
-            .validate_relay(true);
+            .validate_relay(true)
+            .transient_bucket_cap(3)
+            .sweep_cursors(false);
         assert_eq!(c.signal_mode(), SignalMode::Untagged);
         assert!(c.timing_enabled());
         assert_eq!(c.inactive_capacity(), 8);
         assert!(!c.relays_on_clean_exit());
         assert_eq!(c.threshold_index_kind(), ThresholdIndexKind::OrderedMap);
         assert!(c.validates_relay());
+        assert_eq!(c.transient_bucket_capacity(), 3);
+        assert!(!c.sweep_cursors_enabled());
     }
 
     #[test]
@@ -397,6 +442,8 @@ mod tests {
             assert!(c.relays_on_clean_exit());
             assert_eq!(c.relay_width_value(), 1);
             assert_eq!(c.shard_count(), 8);
+            assert_eq!(c.transient_bucket_capacity(), 16);
+            assert!(c.sweep_cursors_enabled());
         }
     }
 

@@ -53,7 +53,7 @@ use crate::eq_index::PredId;
 use crate::parking::ParkingLot;
 use crate::slab::Slab;
 use crate::stats::MonitorStats;
-use crate::wake::{RoutedWake, WakeLot, WakeRouter};
+use crate::wake::{BucketKey, RoutedWake, SlotRoute, WakeLot, WakeRouter};
 
 use relay_plan::RelayPlan;
 use router::ShardRouter;
@@ -217,7 +217,11 @@ impl<S> ConditionManager<S> {
             pending_wake_gates: Vec::new(),
             ring: Arc::new(SnapshotRing::new()),
             parking: Arc::new(ParkingLot::new(gates)),
-            wake: Arc::new(WakeLot::new(wake_gates)),
+            wake: Arc::new(WakeLot::with_config(
+                wake_gates,
+                config.transient_bucket_capacity(),
+                config.sweep_cursors_enabled(),
+            )),
             wake_router: WakeRouter::new(),
             pending_routed: Vec::new(),
             slot_seen: Vec::new(),
@@ -838,11 +842,17 @@ impl<S> ConditionManager<S> {
     /// * changed expressions with equivalence routes wake exactly the
     ///   slot registered under the freshly published value (every other
     ///   eq key is provably false at the cut);
+    /// * changed expressions with threshold-ladder rungs wake only the
+    ///   rungs the published value crosses; the provably-false
+    ///   remainder is pruned in one ordered-range scan and counted as
+    ///   `ladder_skips` (an unknown value conservatively wakes every
+    ///   rung);
     /// * changed expressions wake each dependency-routed slot
     ///   registered under them — one token sweep per bucket, started at
     ///   the bucket head and forwarded waiter-side;
-    /// * affected gates' transient buckets are broadcast (slotless
-    ///   waiters have no bucket identity — see `wait_transient`);
+    /// * affected gates' transient buckets are broadcast, and each
+    ///   graduated (LRU-admitted) per-predicate bucket gets a targeted
+    ///   token sweep instead (see `wait_transient`);
     /// * the global gate keeps the parked mode's conservative full
     ///   broadcast on any mutation.
     ///
@@ -908,6 +918,19 @@ impl<S> ConditionManager<S> {
                         }
                     }
                 }
+                // Order-directed: wake only the rungs the published
+                // value crosses; the rungs above the crossing bound are
+                // provably false at the cut and pruned as skips.
+                if wake_router.has_ladder(expr) {
+                    let skipped = wake_router.ladder_probe(expr, value_cache[idx], |slot, gate| {
+                        if !slot_seen[slot as usize] {
+                            slot_seen[slot as usize] = true;
+                            wake.announce(gate as usize);
+                            pending_routed.push(RoutedWake::Bucket { gate, slot });
+                        }
+                    });
+                    stats.counters.record_ladder_skips(skipped);
+                }
                 // Change-directed: sweep every dependent slot once.
                 for &(slot, gate) in wake_router.dep_slots(expr) {
                     if !slot_seen[slot as usize] {
@@ -957,12 +980,13 @@ impl<S> ConditionManager<S> {
     /// next unobserved bucket peer to confirm against the post-claim
     /// state. The announcement covers the bucket's waiters for the
     /// protocol validator across the claimer's occupancy.
-    pub(crate) fn note_reinject(&mut self, gate: usize, slot: u32) {
+    pub(crate) fn note_reinject(&mut self, gate: usize, bucket: BucketKey) {
         debug_assert_eq!(self.config.signal_mode(), SignalMode::Routed);
+        debug_assert!(bucket.is_swept(), "only swept buckets carry batons");
         self.wake.announce(gate);
         self.pending_routed.push(RoutedWake::Reinject {
             gate: gate as u32,
-            slot,
+            bucket,
         });
     }
 
@@ -972,11 +996,14 @@ impl<S> ConditionManager<S> {
     ///
     /// 1. re-derives every live route (partition totality, determinism,
     ///    confinement, global placement — same as the sharded checker);
-    /// 2. **eq-route soundness vs. a full probe**: every active slotted
+    /// 2. **route soundness vs. a full probe**: every active slotted
     ///    entry's router registration must byte-match a fresh
     ///    classification of its predicate — a slot registered under the
-    ///    wrong eq key, the wrong gate, or a stale dependency set would
-    ///    mis-aim its wakes;
+    ///    wrong eq key, the wrong ladder rung, the wrong gate, or a
+    ///    stale dependency set would mis-aim its wakes — and a
+    ///    threshold registration must additionally sit on its
+    ///    expression's ladder exactly once (a missing rung loses wakes,
+    ///    a duplicated one double-sweeps);
     /// 3. **no-lost-token audit**: every enqueued waiter whose
     ///    predicate is currently true must hold a pending unpark token,
     ///    share its bucket with an in-flight sweep (a covered peer), be
@@ -999,6 +1026,15 @@ impl<S> ConditionManager<S> {
                      is registered as {actual:?} but classifies as {expected:?}",
                     entry.pred
                 );
+                if let SlotRoute::Threshold { expr, key, op } = expected {
+                    let rungs = self.wake_router.ladder_count_of(expr, key, op, slot);
+                    assert!(
+                        rungs == 1,
+                        "wake routing violated: slot {slot} of predicate {} (entry {pid:?}) \
+                         sits on its threshold ladder {rungs} times instead of once",
+                        entry.pred
+                    );
+                }
             }
         }
         for (pid, entry) in self.entries.iter() {

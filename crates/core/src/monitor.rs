@@ -105,6 +105,16 @@ pub struct ManagerCounts {
     pub live_tags: usize,
     /// Compiled-condition slots pinned in the monitor's `CondTable`.
     pub compiled: usize,
+    /// Cumulative slot buckets skipped by the threshold ladder —
+    /// publishes whose value crossed none of the bucket's rungs
+    /// (routed mode only; `0` elsewhere).
+    pub ladder_skips: u64,
+    /// Cumulative token forwards that resumed a bucket sweep from a
+    /// saved cursor instead of rescanning from the FIFO head.
+    pub cursor_resumes: u64,
+    /// Cumulative transient admissions that hit the bounded LRU and
+    /// graduated to (or stayed in) a swept per-predicate bucket.
+    pub transient_cache_hits: u64,
 }
 
 /// The monomorphized cell-drain hook installed by
@@ -523,12 +533,16 @@ impl<S> Monitor<S> {
     /// Diagnostic counts of the condition manager, by name.
     pub fn counts(&self) -> ManagerCounts {
         let inner = self.inner.lock();
+        let counters = self.stats.counters.snapshot();
         ManagerCounts {
             entries: inner.mgr.entry_count(),
             waiting: inner.mgr.waiting_count(),
             signaled: inner.mgr.signaled_count(),
             live_tags: inner.mgr.live_tag_count(),
             compiled: inner.mgr.compiled_count(),
+            ladder_skips: counters.ladder_skips,
+            cursor_resumes: counters.cursor_resumes,
+            transient_cache_hits: counters.transient_cache_hits,
         }
     }
 
@@ -734,17 +748,32 @@ impl<S> MonitorGuard<'_, S> {
     /// inactive list), exactly what one-shot conditions need.
     ///
     /// **Wake routing trade-off** (`SignalMode::Routed`): slot-targeted
-    /// wakes need a stable bucket identity, and only compiled
-    /// conditions have one — a transient entry is LRU-evictable, not
-    /// pinned, so its waiters cannot be slot-bucketed. They therefore
-    /// park in their gate's **broadcast bucket** and are explicitly
-    /// woken by the PR-3-style gate broadcast whenever any expression
-    /// the gate owns changes (the global gate broadcasts on every
-    /// mutation). Transient waiters are never stranded under `Routed` —
-    /// they just pay the parked mode's self-check herd instead of
-    /// getting targeted sweeps. For any condition whose key repeats,
-    /// prefer [`Monitor::compile`] + [`MonitorGuard::wait`] and get
-    /// both the cheap wait path and the targeted wakes.
+    /// wakes need a stable bucket identity, and a transient entry has
+    /// no compiled slot — but its *interned predicate* is still an
+    /// identity, and a repeating one earns the targeted treatment. Each
+    /// gate keeps a bounded **LRU of graduated per-predicate buckets**
+    /// ([`MonitorConfig::transient_bucket_cap`], default 16): a
+    /// transient waiter whose interned predicate owns (or is granted)
+    /// a graduated bucket parks there and gets the full token-sweep
+    /// discipline — one targeted unpark per transient wake instead of
+    /// the herd (the `transient_cache_hits` counter reports repeat
+    /// admissions). Only the overflow parks in the gate's **broadcast
+    /// bucket** and is woken by the PR-3-style gate broadcast whenever
+    /// any expression the gate owns changes (the global gate broadcasts
+    /// on every mutation).
+    ///
+    /// **Capacity/eviction contract**: graduation is strictly an
+    /// admission-time decision. The LRU only ever evicts an *idle*
+    /// bucket — no linked waiters and no in-flight claimer — so an
+    /// evicted key can have no parked waiter to lose; its *next* waiter
+    /// simply re-applies and, if the cache is full of occupied buckets,
+    /// falls back to the broadcast bucket. Evicted keys fall back,
+    /// never strand: every slotless waiter is counted by the gate's
+    /// transient mirror, so the relay announces the gate's transient
+    /// wake (broadcast + one sweep per graduated bucket) exactly as if
+    /// no graduation existed. For any condition whose key repeats
+    /// predictably, prefer [`Monitor::compile`] + [`MonitorGuard::wait`]
+    /// and get both the cheap wait path and the value-directed wakes.
     pub fn wait_transient(&mut self, cond: impl IntoPredicate<S>) {
         self.wait_until_predicate(cond.into_predicate(), None);
     }
@@ -1109,13 +1138,26 @@ impl<S> MonitorGuard<'_, S> {
                 inner.mgr.park_gate(pid),
             )
         };
-        let bucket = match slot {
-            Some(s) => BucketKey::Slot(s),
-            None => BucketKey::Transient,
-        };
-        let swept = matches!(bucket, BucketKey::Slot(_));
         let park = Arc::new(ParkSlot::new());
-        let mut ticket = wake.enqueue(gate, bucket, Arc::clone(&park), pid);
+        // A compiled waiter goes straight to its slot bucket. A
+        // slotless one runs the transient admission gate: repeat
+        // `PredKey`s graduate to a swept per-predicate bucket (LRU,
+        // bounded), first-timers and overflow land on the broadcast
+        // bucket.
+        let (mut ticket, bucket) = match slot {
+            Some(s) => {
+                let bucket = BucketKey::Slot(s);
+                (wake.enqueue(gate, bucket, Arc::clone(&park), pid), bucket)
+            }
+            None => {
+                let (ticket, bucket, hit) = wake.enqueue_transient(gate, Arc::clone(&park), pid);
+                if hit {
+                    stats.counters.record_transient_cache_hit();
+                }
+                (ticket, bucket)
+            }
+        };
+        let swept = bucket.is_swept();
         let mut wake_buf: Vec<RoutedWake> = Vec::new();
         let mut snap_buf: Vec<Option<i64>> = Vec::new();
         // A token a futile claim could not hand off under the monitor
@@ -1247,8 +1289,8 @@ impl<S> MonitorGuard<'_, S> {
                 // the post-claim state. The announcement covers the
                 // bucket for the validator across this occupancy; it
                 // takes over from our in-flight claim, which retires.
-                if let (true, Some(s), Some(_)) = (swept, slot, token) {
-                    inner.mgr.note_reinject(gate, s);
+                if let (true, Some(_)) = (swept, token) {
+                    inner.mgr.note_reinject(gate, bucket);
                 }
                 if swept {
                     wake.end_claim(gate, bucket);

@@ -1,0 +1,282 @@
+//! The threshold ladder: an ordered per-expression rung structure, the
+//! eq-route's ordered cousin.
+//!
+//! Eq routing prunes by *equality* — a published value probes one hash
+//! bucket and every other key is provably false. Threshold shapes
+//! (`count >= k`) cannot be pruned by a hash probe, but they can be
+//! pruned by *order*: all `{>, >=}` rungs of one expression form a
+//! ladder in which a published value `v` satisfies a prefix (the rungs
+//! with keys at or below `v`) and provably falsifies the rest. The
+//! ladder reuses the comparator machinery of
+//! [`crate::threshold_index`]: each rung is ranked
+//! `2·key + strict` on the min side (`{>, >=}`) and `−2·key + strict`
+//! on the max side (`{<, <=}`), so ascending rank is always
+//! weakest-condition-first and at equal keys the inclusive operator
+//! sorts first.
+//!
+//! The crossed-rung query is one ordered-range scan. A min-side rung
+//! `expr > key` (strict) is true at `v` iff `v ≥ key + 1`, i.e.
+//! `2·key + 1 ≤ 2·v`; inclusive `expr ≥ key` is true iff
+//! `2·key ≤ 2·v`. Both collapse to `rank ≤ 2·v`. Dually a max-side
+//! rung is true iff `rank ≤ −2·v`. So `range(..=bound)` yields exactly
+//! the rungs whose tag holds at the published cut, and everything
+//! above the bound is provably false — those are the `ladder_skips`
+//! the counters report.
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+use autosynch_predicate::expr::ExprId;
+use autosynch_predicate::tag::ThresholdOp;
+
+/// One side of one expression's ladder: rank → the slot buckets
+/// registered at that rung. Distinct compiled conditions may share a
+/// rung only through distinct slots (e.g. `x >= 5` compiled twice under
+/// different monitors never happens, but `x >= 5` and `x > 4` rank
+/// apart while `x >= 5` re-registration is idempotent upstream), so the
+/// rung holds a list.
+type Side = BTreeMap<i128, Vec<(u32, u32)>>;
+
+/// Heap rank of a rung, shared with the threshold index: ascending rank
+/// means weakest condition first, and a rung is true at published value
+/// `v` iff its rank is at most `2·v` (min side) / `−2·v` (max side).
+fn rank(key: i64, op: ThresholdOp) -> i128 {
+    let strict = i128::from(!op.is_inclusive());
+    if op.is_min_side() {
+        2 * i128::from(key) + strict
+    } else {
+        -2 * i128::from(key) + strict
+    }
+}
+
+/// The per-expression rung index for threshold-routed slots. Lives
+/// inside [`super::WakeRouter`]; mutations happen under the monitor
+/// lock, queries during the relay.
+#[derive(Debug, Default)]
+pub(crate) struct ThresholdLadder {
+    /// `{>, >=}` rungs: crossed iff `rank ≤ 2·v`.
+    min: HashMap<ExprId, Side>,
+    /// `{<, <=}` rungs: crossed iff `rank ≤ −2·v`.
+    max: HashMap<ExprId, Side>,
+}
+
+impl ThresholdLadder {
+    /// Registers `slot` (parking on `gate`) at the rung `expr op key`.
+    pub(crate) fn insert(&mut self, expr: ExprId, key: i64, op: ThresholdOp, slot: u32, gate: u32) {
+        self.side_mut(op)
+            .entry(expr)
+            .or_default()
+            .entry(rank(key, op))
+            .or_default()
+            .push((slot, gate));
+    }
+
+    /// Removes `slot` from the rung `expr op key`, pruning empty rungs
+    /// and empty expressions.
+    pub(crate) fn remove(&mut self, expr: ExprId, key: i64, op: ThresholdOp, slot: u32) {
+        let side = self.side_mut(op);
+        if let Some(rungs) = side.get_mut(&expr) {
+            let r = rank(key, op);
+            if let Some(bucket) = rungs.get_mut(&r) {
+                bucket.retain(|&(s, _)| s != slot);
+                if bucket.is_empty() {
+                    rungs.remove(&r);
+                }
+            }
+            if rungs.is_empty() {
+                side.remove(&expr);
+            }
+        }
+    }
+
+    /// Whether `expr` carries any rung on either side.
+    pub(crate) fn has(&self, expr: ExprId) -> bool {
+        self.min.contains_key(&expr) || self.max.contains_key(&expr)
+    }
+
+    /// Visits every slot bucket whose rung the published `value` of
+    /// `expr` crosses, and returns the number of rungs provably false
+    /// at the cut (skipped without waking). `value: None` — the diff
+    /// could not cache the expression's value — conservatively visits
+    /// every rung and skips none.
+    pub(crate) fn probe(
+        &self,
+        expr: ExprId,
+        value: Option<i64>,
+        mut f: impl FnMut(u32, u32),
+    ) -> u64 {
+        let mut skipped = 0u64;
+        for (side, bound) in [
+            (self.min.get(&expr), value.map(|v| 2 * i128::from(v))),
+            (self.max.get(&expr), value.map(|v| -2 * i128::from(v))),
+        ] {
+            let Some(rungs) = side else { continue };
+            match bound {
+                Some(bound) => {
+                    for slots in rungs.range(..=bound).map(|(_, s)| s) {
+                        for &(slot, gate) in slots {
+                            f(slot, gate);
+                        }
+                    }
+                    skipped += rungs
+                        .range((Bound::Excluded(bound), Bound::Unbounded))
+                        .count() as u64;
+                }
+                None => {
+                    for slots in rungs.values() {
+                        for &(slot, gate) in slots {
+                            f(slot, gate);
+                        }
+                    }
+                }
+            }
+        }
+        skipped
+    }
+
+    /// How many times `slot` sits at the rung `expr op key` — the audit
+    /// hook: a live `SlotRoute::Threshold` registration must be present
+    /// exactly once.
+    pub(crate) fn count_of(&self, expr: ExprId, key: i64, op: ThresholdOp, slot: u32) -> usize {
+        self.side(op)
+            .get(&expr)
+            .and_then(|rungs| rungs.get(&rank(key, op)))
+            .map_or(0, |bucket| {
+                bucket.iter().filter(|&&(s, _)| s == slot).count()
+            })
+    }
+
+    fn side(&self, op: ThresholdOp) -> &HashMap<ExprId, Side> {
+        if op.is_min_side() {
+            &self.min
+        } else {
+            &self.max
+        }
+    }
+
+    fn side_mut(&mut self, op: ThresholdOp) -> &mut HashMap<ExprId, Side> {
+        if op.is_min_side() {
+            &mut self.min
+        } else {
+            &mut self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn collect(ladder: &ThresholdLadder, expr: ExprId, value: Option<i64>) -> (Vec<u32>, u64) {
+        let mut slots = Vec::new();
+        let skipped = ladder.probe(expr, value, |slot, _| slots.push(slot));
+        slots.sort_unstable();
+        (slots, skipped)
+    }
+
+    #[test]
+    fn min_side_crossing_is_a_prefix_of_the_rank_order() {
+        let mut ladder = ThresholdLadder::default();
+        let x = ExprId::from_raw(0);
+        ladder.insert(x, 2, ThresholdOp::Ge, 10, 0); // true iff v >= 2
+        ladder.insert(x, 2, ThresholdOp::Gt, 11, 0); // true iff v > 2
+        ladder.insert(x, 5, ThresholdOp::Ge, 12, 0); // true iff v >= 5
+        assert_eq!(collect(&ladder, x, Some(1)), (vec![], 3));
+        assert_eq!(collect(&ladder, x, Some(2)), (vec![10], 2));
+        assert_eq!(collect(&ladder, x, Some(3)), (vec![10, 11], 1));
+        assert_eq!(collect(&ladder, x, Some(5)), (vec![10, 11, 12], 0));
+    }
+
+    #[test]
+    fn max_side_crossing_mirrors_the_min_side() {
+        let mut ladder = ThresholdLadder::default();
+        let x = ExprId::from_raw(0);
+        ladder.insert(x, 4, ThresholdOp::Le, 20, 1); // true iff v <= 4
+        ladder.insert(x, 4, ThresholdOp::Lt, 21, 1); // true iff v < 4
+        assert_eq!(collect(&ladder, x, Some(5)), (vec![], 2));
+        assert_eq!(collect(&ladder, x, Some(4)), (vec![20], 1));
+        assert_eq!(collect(&ladder, x, Some(3)), (vec![20, 21], 0));
+    }
+
+    #[test]
+    fn unknown_value_routes_every_rung_and_skips_none() {
+        let mut ladder = ThresholdLadder::default();
+        let x = ExprId::from_raw(0);
+        ladder.insert(x, 2, ThresholdOp::Ge, 10, 0);
+        ladder.insert(x, 9, ThresholdOp::Le, 11, 0);
+        assert_eq!(collect(&ladder, x, None), (vec![10, 11], 0));
+    }
+
+    fn arb_rungs() -> impl Strategy<Value = Vec<(i64, ThresholdOp)>> {
+        prop::collection::vec(
+            (
+                -8i64..=8,
+                prop::sample::select(vec![
+                    ThresholdOp::Lt,
+                    ThresholdOp::Le,
+                    ThresholdOp::Gt,
+                    ThresholdOp::Ge,
+                ]),
+            ),
+            1..24,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        // Rung-crossing soundness against a fresh classification: the
+        // probe must visit exactly the slots whose threshold predicate
+        // a direct `op.eval(v, key)` confirms — a missed rung would be
+        // a lost wakeup, a spurious one an unsound skip accounting —
+        // and the skip count must equal the distinct rungs provably
+        // false at the cut.
+        #[test]
+        fn rung_crossing_matches_fresh_threshold_classification(
+            rungs in arb_rungs(),
+            value in -10i64..=10,
+        ) {
+            let mut ladder = ThresholdLadder::default();
+            let x = ExprId::from_raw(0);
+            for (slot, &(key, op)) in rungs.iter().enumerate() {
+                ladder.insert(x, key, op, slot as u32, 7);
+            }
+            let mut visited = Vec::new();
+            let skipped = ladder.probe(x, Some(value), |slot, gate| {
+                assert_eq!(gate, 7);
+                visited.push(slot);
+            });
+            visited.sort_unstable();
+            let expected: Vec<u32> = rungs
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(key, op))| op.eval(value, key))
+                .map(|(slot, _)| slot as u32)
+                .collect();
+            prop_assert_eq!(visited, expected);
+            // `skipped` counts rungs, not registrations: two slots on
+            // the same (key, op) rank share one rung.
+            let mut false_rungs: Vec<(bool, i128)> = rungs
+                .iter()
+                .filter(|&&(key, op)| !op.eval(value, key))
+                .map(|&(key, op)| (op.is_min_side(), rank(key, op)))
+                .collect();
+            false_rungs.sort_unstable();
+            false_rungs.dedup();
+            prop_assert_eq!(skipped, false_rungs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn remove_prunes_rungs_and_expressions() {
+        let mut ladder = ThresholdLadder::default();
+        let x = ExprId::from_raw(0);
+        ladder.insert(x, 2, ThresholdOp::Ge, 10, 0);
+        assert_eq!(ladder.count_of(x, 2, ThresholdOp::Ge, 10), 1);
+        assert!(ladder.has(x));
+        ladder.remove(x, 2, ThresholdOp::Ge, 10);
+        assert_eq!(ladder.count_of(x, 2, ThresholdOp::Ge, 10), 0);
+        assert!(!ladder.has(x));
+    }
+}

@@ -28,10 +28,29 @@
 //!    published value straight to the single slot whose waiters can
 //!    have flipped, turning the fig11 wake herd into one unpark.
 //!
+//! PR 6 closes the three precision seams that remained:
+//!
+//! 4. **Threshold ladders** ([`ladder`]) — `expr >= k` slots register
+//!    as ordered rungs per expression; a published value wakes only the
+//!    crossed-rung prefix and the provably-false remainder is counted
+//!    as `ladder_skips`, turning fig14's threshold herd into a range
+//!    scan.
+//! 5. **Transient-bucket LRU** ([`slot_queue`]) — a bounded cache
+//!    (`transient_bucket_cap`) graduates repeating-but-uncompiled
+//!    `wait_transient` keys off the per-gate broadcast bucket into
+//!    swept per-predicate buckets; eviction only touches idle buckets,
+//!    so no graduated waiter is ever stranded.
+//! 6. **Per-bucket sweep cursors** ([`slot_queue`], [`token`]) — each
+//!    bucket remembers where the current epoch's sweep stopped, so a
+//!    forwarded token resumes from the last unobserved position instead
+//!    of re-scanning observed waiters: O(bucket²) worth of redundant
+//!    scanning per epoch becomes O(bucket).
+//!
 //! The no-lost-token argument lives in `DESIGN.md` ("Wake routing
 //! soundness"); the manager's `check_wake_routing` validator re-proves
 //! it after every routed relay when `validate_relay` is armed.
 
+pub(crate) mod ladder;
 pub(crate) mod route;
 pub(crate) mod slot_queue;
 pub(crate) mod token;
@@ -45,11 +64,13 @@ use crate::eq_index::PredId;
 use crate::parking::locks::ShardLock;
 use crate::parking::park::ParkSlot;
 
-pub(crate) use route::{RoutedWake, WakeRouter};
+pub(crate) use route::{RoutedWake, SlotRoute, WakeRouter};
 pub(crate) use slot_queue::BucketKey;
 pub(crate) use token::SweepToken;
 
 use slot_queue::SlotQueue;
+
+use crate::config::MonitorConfig;
 
 /// A waiter's position in a gate's bucketed queue, held for the
 /// lifetime of one wait and needed to claim or cancel.
@@ -79,16 +100,42 @@ struct WakeGate {
 /// The monitor-wide routed-wake structure: one gate per shard slot
 /// (data shards first, global gate last), mirroring the parking lot's
 /// layout.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct WakeLot {
     gates: Vec<WakeGate>,
+    /// Per-gate capacity of the graduated transient-bucket LRU
+    /// ([`MonitorConfig::transient_bucket_cap`]); `0` disables
+    /// graduation.
+    transient_cap: usize,
+    /// Whether token sweeps resume from per-bucket cursors
+    /// ([`MonitorConfig::sweep_cursors`]).
+    sweep_cursors: bool,
+}
+
+impl Default for WakeLot {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl WakeLot {
-    /// Creates a lot with `gates` gates (0 for modes without routing).
+    /// Creates a lot with `gates` gates (0 for modes without routing)
+    /// and the default knobs of [`MonitorConfig`].
     pub(crate) fn new(gates: usize) -> Self {
+        let defaults = MonitorConfig::default();
+        Self::with_config(
+            gates,
+            defaults.transient_bucket_capacity(),
+            defaults.sweep_cursors_enabled(),
+        )
+    }
+
+    /// Creates a lot with explicit LRU capacity and cursor knobs.
+    pub(crate) fn with_config(gates: usize, transient_cap: usize, sweep_cursors: bool) -> Self {
         WakeLot {
             gates: (0..gates).map(|_| WakeGate::default()).collect(),
+            transient_cap,
+            sweep_cursors,
         }
     }
 
@@ -111,13 +158,48 @@ impl WakeLot {
         let g = &self.gates[gate];
         let node = g.queue.lock().push_back(bucket, park, pid);
         g.len.fetch_add(1, Ordering::Relaxed);
-        if bucket == BucketKey::Transient {
+        if !matches!(bucket, BucketKey::Slot(_)) {
+            // The transient mirror counts *all* slotless waiters —
+            // broadcast-bucket and graduated alike — so the relay's
+            // "announce a transient wake" condition is unchanged by
+            // graduation.
             g.transient_len.fetch_add(1, Ordering::Relaxed);
         }
         WakeTicket {
             gate: gate as u32,
             node,
         }
+    }
+
+    /// Enqueues a slotless waiter of `pid` on `gate`, running the
+    /// graduated-bucket admission first (see
+    /// [`SlotQueue::admit_transient`]) under the same gate-lock hold as
+    /// the enqueue, so admission and membership cannot race. Returns
+    /// the ticket, the bucket the waiter actually parked in (callers
+    /// need it for the token discipline), and whether admission was an
+    /// LRU hit.
+    pub(crate) fn enqueue_transient(
+        &self,
+        gate: usize,
+        park: Arc<ParkSlot>,
+        pid: PredId,
+    ) -> (WakeTicket, BucketKey, bool) {
+        let g = &self.gates[gate];
+        let (bucket, hit, node) = {
+            let mut queue = g.queue.lock();
+            let (bucket, hit) = queue.admit_transient(pid, self.transient_cap);
+            (bucket, hit, queue.push_back(bucket, park, pid))
+        };
+        g.len.fetch_add(1, Ordering::Relaxed);
+        g.transient_len.fetch_add(1, Ordering::Relaxed);
+        (
+            WakeTicket {
+                gate: gate as u32,
+                node,
+            },
+            bucket,
+            hit,
+        )
     }
 
     /// Removes a waiter from its bucket (claim or cancel). Takes only
@@ -131,7 +213,7 @@ impl WakeLot {
         let g = &self.gates[ticket.gate as usize];
         let bucket = g.queue.lock().remove(ticket.node, claim);
         g.len.fetch_sub(1, Ordering::Relaxed);
-        if bucket == BucketKey::Transient {
+        if !matches!(bucket, BucketKey::Slot(_)) {
             g.transient_len.fetch_sub(1, Ordering::Relaxed);
         }
     }
@@ -170,16 +252,31 @@ impl WakeLot {
                 counters.record_unparks(woken as u64);
             }
             RoutedWake::Transient(_) => {
-                let woken = self.gates[gate].queue.lock().wake_transient(epoch);
+                // Broadcast the slotless herd, then start a one-unpark
+                // token sweep in each graduated bucket — graduated
+                // waiters keep the targeted discipline even on the
+                // conservative transient path.
+                let mut queue = self.gates[gate].queue.lock();
+                let woken = queue.wake_transient(epoch);
                 counters.record_unparks(woken as u64);
+                for pid in queue.pred_bucket_keys() {
+                    let adv = queue.wake_next(BucketKey::Pred(pid), epoch, self.sweep_cursors);
+                    if adv.woken {
+                        counters.record_unpark();
+                        counters.record_routed_unpark();
+                    }
+                    if adv.resumed {
+                        counters.record_cursor_resume();
+                    }
+                }
             }
             RoutedWake::Bucket { slot, .. } => {
                 self.wake_next(gate, BucketKey::Slot(slot), epoch, counters);
             }
-            RoutedWake::Reinject { slot, .. } => {
+            RoutedWake::Reinject { bucket, .. } => {
                 // The baton handoff the claimer owed its bucket —
                 // counted only when a peer actually receives it.
-                if self.wake_next(gate, BucketKey::Slot(slot), epoch, counters) {
+                if self.wake_next(gate, bucket, epoch, counters) {
                     counters.record_token_forward();
                 }
             }
@@ -210,12 +307,18 @@ impl WakeLot {
         epoch: u64,
         counters: &SyncCounters,
     ) -> bool {
-        let woken = self.gates[gate].queue.lock().wake_next(bucket, epoch);
-        if woken {
+        let adv = self.gates[gate]
+            .queue
+            .lock()
+            .wake_next(bucket, epoch, self.sweep_cursors);
+        if adv.woken {
             counters.record_unpark();
             counters.record_routed_unpark();
         }
-        woken
+        if adv.resumed {
+            counters.record_cursor_resume();
+        }
+        adv.woken
     }
 
     /// Total waiters enqueued across all gates.

@@ -15,6 +15,14 @@
 //!   `(expr, v)` — every other key's predicate is provably false at
 //!   the published cut. One hash probe, one bucket, one unpark: the
 //!   fig11 `turn == id` herd collapses to a single targeted wake.
+//! * **Threshold routes** ([`Predicate::threshold_route`]): a slot
+//!   whose truth is a function of one threshold-tagged expression is
+//!   registered on that expression's **ladder**
+//!   ([`super::ladder::ThresholdLadder`]) — an ordered rung structure
+//!   ranked by condition strength. A published value crosses a prefix
+//!   of the rungs and provably falsifies the rest, so the relay wakes
+//!   only the crossed rungs' buckets (the fig14 `count >= num` shape)
+//!   and counts the pruned remainder as `ladder_skips`.
 //! * **Dependency routes**: every other data-gate slot is registered
 //!   under each expression its predicate reads; a changed expression
 //!   sweeps all slots registered under it. Still bucket-granular (a
@@ -33,6 +41,9 @@ use std::collections::HashMap;
 
 use autosynch_predicate::expr::ExprId;
 use autosynch_predicate::predicate::Predicate;
+use autosynch_predicate::tag::ThresholdOp;
+
+use super::ladder::ThresholdLadder;
 
 /// One announced-but-undelivered routed wake. The relay announces under
 /// the monitor lock; the monitor drains and delivers after releasing it
@@ -61,8 +72,10 @@ pub(crate) enum RoutedWake {
     Reinject {
         /// The gate whose queue holds the bucket.
         gate: u32,
-        /// The compiled-condition slot naming the bucket.
-        slot: u32,
+        /// The swept bucket the token belongs to: a compiled-condition
+        /// slot bucket, or a graduated transient (per-predicate)
+        /// bucket.
+        bucket: super::BucketKey,
     },
 }
 
@@ -77,6 +90,18 @@ pub(crate) enum SlotRoute {
         expr: ExprId,
         /// The globalized comparison constant.
         key: i64,
+    },
+    /// Order-directed: the slot's predicate is a threshold shape over
+    /// `expr`, registered at the ladder rung `(key, op)` and swept only
+    /// when a published value crosses the rung.
+    Threshold {
+        /// The threshold-tagged expression.
+        expr: ExprId,
+        /// The globalized comparison constant.
+        key: i64,
+        /// The comparison operator (decides the ladder side and the
+        /// rung's strictness rank).
+        op: ThresholdOp,
     },
     /// Change-directed: the slot is swept whenever any of these
     /// expressions changes.
@@ -96,6 +121,8 @@ pub(crate) struct WakeRouter {
     eq: HashMap<ExprId, HashMap<i64, Vec<(u32, u32)>>>,
     /// Expression → dependency-routed slots (slot, gate).
     by_expr: HashMap<ExprId, Vec<(u32, u32)>>,
+    /// The per-expression rung index for threshold-routed slots.
+    ladder: ThresholdLadder,
     /// Live registrations by slot, for unregistration and the audit.
     registered: HashMap<u32, SlotRoute>,
 }
@@ -114,6 +141,9 @@ impl WakeRouter {
         }
         if let Some((expr, key)) = pred.eq_route() {
             return SlotRoute::Eq { expr, key };
+        }
+        if let Some((expr, key, op)) = pred.threshold_route() {
+            return SlotRoute::Threshold { expr, key, op };
         }
         let mut deps: Vec<ExprId> = pred
             .conj_deps()
@@ -141,6 +171,9 @@ impl WakeRouter {
                     .entry(*key)
                     .or_default()
                     .push((slot, gate));
+            }
+            SlotRoute::Threshold { expr, key, op } => {
+                self.ladder.insert(*expr, *key, *op, slot, gate);
             }
             SlotRoute::Deps(deps) => {
                 for &expr in deps {
@@ -170,6 +203,9 @@ impl WakeRouter {
                         self.eq.remove(&expr);
                     }
                 }
+            }
+            SlotRoute::Threshold { expr, key, op } => {
+                self.ladder.remove(expr, key, op, slot);
             }
             SlotRoute::Deps(deps) => {
                 for expr in deps {
@@ -204,6 +240,37 @@ impl WakeRouter {
     /// The dependency-routed slots registered under `expr`.
     pub(crate) fn dep_slots(&self, expr: ExprId) -> &[(u32, u32)] {
         self.by_expr.get(&expr).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether `expr` carries any threshold-routed rung.
+    pub(crate) fn has_ladder(&self, expr: ExprId) -> bool {
+        self.ladder.has(expr)
+    }
+
+    /// Visits every threshold-routed `(slot, gate)` whose rung the
+    /// published `value` of `expr` crosses; returns the number of rungs
+    /// provably false at the cut (the `ladder_skips`). An unknown value
+    /// conservatively visits every rung.
+    pub(crate) fn ladder_probe(
+        &self,
+        expr: ExprId,
+        value: Option<i64>,
+        f: impl FnMut(u32, u32),
+    ) -> u64 {
+        self.ladder.probe(expr, value, f)
+    }
+
+    /// How many times `slot` sits at the rung `expr op key` — the
+    /// `check_wake_routing` audit: a live threshold registration must
+    /// be present exactly once.
+    pub(crate) fn ladder_count_of(
+        &self,
+        expr: ExprId,
+        key: i64,
+        op: ThresholdOp,
+        slot: u32,
+    ) -> usize {
+        self.ladder.count_of(expr, key, op, slot)
     }
 
     /// The live registration of `slot`, for the audit.
@@ -286,6 +353,45 @@ mod tests {
         assert_eq!(router.dep_slots(ExprId::from_raw(0)), &[(3, 1)]);
         router.unregister(3);
         assert!(router.dep_slots(ExprId::from_raw(0)).is_empty());
+    }
+
+    #[test]
+    fn threshold_classification_registers_a_ladder_rung() {
+        let mut t = ExprTable::new();
+        let x = t.register("x", |s: &S| s.x);
+        let ge = Predicate::try_from_expr(x.ge(3)).unwrap();
+        let expr = ExprId::from_raw(0);
+        let route = WakeRouter::classify(&ge, 1, 4);
+        let SlotRoute::Threshold { op, .. } = route else {
+            panic!("single-dep threshold shape must classify as Threshold, got {route:?}");
+        };
+        assert_eq!(
+            route,
+            SlotRoute::Threshold { expr, key: 3, op },
+            "rung carries the globalized key"
+        );
+        let mut router = WakeRouter::new();
+        router.register(5, 1, route);
+        assert!(router.has_ladder(expr));
+        assert_eq!(router.ladder_count_of(expr, 3, op, 5), 1);
+        // Registration is idempotent while live — no double rung.
+        router.register(5, 1, WakeRouter::classify(&ge, 1, 4));
+        assert_eq!(router.ladder_count_of(expr, 3, op, 5), 1);
+        // A value below the rung skips it; at or above crosses it.
+        let mut woken = Vec::new();
+        assert_eq!(
+            router.ladder_probe(expr, Some(2), |s, g| woken.push((s, g))),
+            1
+        );
+        assert!(woken.is_empty());
+        assert_eq!(
+            router.ladder_probe(expr, Some(3), |s, g| woken.push((s, g))),
+            0
+        );
+        assert_eq!(woken, vec![(5, 1)]);
+        router.unregister(5);
+        assert!(!router.has_ladder(expr));
+        assert_eq!(router.len(), 0);
     }
 
     #[test]

@@ -52,6 +52,9 @@ pub struct SyncCounters {
     routed_unparks: AtomicU64,
     token_forwards: AtomicU64,
     eq_routed_wakes: AtomicU64,
+    ladder_skips: AtomicU64,
+    cursor_resumes: AtomicU64,
+    transient_cache_hits: AtomicU64,
 }
 
 macro_rules! counter_methods {
@@ -155,6 +158,20 @@ impl SyncCounters {
         /// the single slot whose waiters can have flipped, so exactly
         /// one bucket was swept instead of the whole gate.
         record_eq_routed_wake => eq_routed_wakes,
+        /// A threshold-ladder rung the routed relay proved false at the
+        /// published value and skipped without waking: the rung's key
+        /// sits above (min side) or below (max side) the fresh value,
+        /// so its waiters' predicates cannot have become true.
+        record_ladder_skip => ladder_skips,
+        /// A token sweep that resumed from its bucket's saved cursor
+        /// instead of rescanning from the FIFO head — the already-swept
+        /// prefix of the bucket was skipped in O(1).
+        record_cursor_resume => cursor_resumes,
+        /// A transient (uncompiled) wait whose interned predicate
+        /// already had a graduated per-predicate bucket in the gate's
+        /// LRU: the waiter joined the targeted token-sweep discipline
+        /// instead of the per-gate broadcast bucket.
+        record_transient_cache_hit => transient_cache_hits,
     }
 
     /// Adds `n` predicate evaluations at once.
@@ -168,6 +185,13 @@ impl SyncCounters {
     #[inline]
     pub fn record_unparks(&self, n: u64) {
         self.unparks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` ladder skips at once (one relay probe prunes a whole
+    /// suffix of provably-false rungs in one range count).
+    #[inline]
+    pub fn record_ladder_skips(&self, n: u64) {
+        self.ladder_skips.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Captures the current counter values.
@@ -199,6 +223,9 @@ impl SyncCounters {
             routed_unparks: self.routed_unparks.load(Ordering::Relaxed),
             token_forwards: self.token_forwards.load(Ordering::Relaxed),
             eq_routed_wakes: self.eq_routed_wakes.load(Ordering::Relaxed),
+            ladder_skips: self.ladder_skips.load(Ordering::Relaxed),
+            cursor_resumes: self.cursor_resumes.load(Ordering::Relaxed),
+            transient_cache_hits: self.transient_cache_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -231,6 +258,9 @@ impl SyncCounters {
             &self.routed_unparks,
             &self.token_forwards,
             &self.eq_routed_wakes,
+            &self.ladder_skips,
+            &self.cursor_resumes,
+            &self.transient_cache_hits,
         ] {
             field.store(0, Ordering::Relaxed);
         }
@@ -267,6 +297,9 @@ pub struct CounterSnapshot {
     pub routed_unparks: u64,
     pub token_forwards: u64,
     pub eq_routed_wakes: u64,
+    pub ladder_skips: u64,
+    pub cursor_resumes: u64,
+    pub transient_cache_hits: u64,
 }
 
 impl CounterSnapshot {
@@ -318,6 +351,11 @@ impl CounterSnapshot {
             routed_unparks: self.routed_unparks.saturating_sub(earlier.routed_unparks),
             token_forwards: self.token_forwards.saturating_sub(earlier.token_forwards),
             eq_routed_wakes: self.eq_routed_wakes.saturating_sub(earlier.eq_routed_wakes),
+            ladder_skips: self.ladder_skips.saturating_sub(earlier.ladder_skips),
+            cursor_resumes: self.cursor_resumes.saturating_sub(earlier.cursor_resumes),
+            transient_cache_hits: self
+                .transient_cache_hits
+                .saturating_sub(earlier.transient_cache_hits),
         }
     }
 }
@@ -386,6 +424,9 @@ mod tests {
         c.record_routed_unpark();
         c.record_token_forward();
         c.record_eq_routed_wake();
+        c.record_ladder_skip();
+        c.record_cursor_resume();
+        c.record_transient_cache_hit();
         let s = c.snapshot();
         assert_eq!(s.enters, 2);
         assert_eq!(s.waits, 1);
@@ -413,6 +454,16 @@ mod tests {
         assert_eq!(s.routed_unparks, 1);
         assert_eq!(s.token_forwards, 1);
         assert_eq!(s.eq_routed_wakes, 1);
+        assert_eq!(s.ladder_skips, 1);
+        assert_eq!(s.cursor_resumes, 1);
+        assert_eq!(s.transient_cache_hits, 1);
+    }
+
+    #[test]
+    fn bulk_ladder_skips() {
+        let c = SyncCounters::new();
+        c.record_ladder_skips(9);
+        assert_eq!(c.snapshot().ladder_skips, 9);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::deps::{conj_deps, ConjDeps};
 use crate::dnf::{to_dnf, to_dnf_with_limit, Dnf, DnfOverflow};
 use crate::expr::ExprTable;
 use crate::key::{pred_key, PredKey};
-use crate::tag::{assign_tags, Tag};
+use crate::tag::{assign_tags, Tag, ThresholdOp};
 
 /// A fully analyzed waiting condition over monitor state `S`.
 ///
@@ -147,6 +147,35 @@ impl<S> Predicate<S> {
         }
         match self.tags[0] {
             Tag::Equivalence { expr, key } if deps.exprs() == [expr] => Some((expr, key)),
+            _ => None,
+        }
+    }
+
+    /// The threshold route of this predicate, when its truth is a
+    /// function of **one** shared expression compared by a threshold
+    /// tag: `Some((expr, key, op))` iff the DNF has exactly one
+    /// conjunction, that conjunction carries
+    /// `Tag::Threshold { expr, key, op }`, it is not opaque, and `expr`
+    /// is its sole dependency.
+    ///
+    /// The ordered cousin of [`Predicate::eq_route`]: under those
+    /// conditions the predicate is true exactly while `expr op key`
+    /// holds, and it can only flip when `expr` changes — so a wake
+    /// router may order all such predicates of one expression by key
+    /// strength (a *ladder*) and, given a freshly published value, wake
+    /// only the rungs the value actually crosses (the fig14
+    /// `count >= num` shape). Any other structure returns `None` and
+    /// must be woken through the dependency route.
+    pub fn threshold_route(&self) -> Option<(crate::expr::ExprId, i64, ThresholdOp)> {
+        if self.deps.len() != 1 {
+            return None;
+        }
+        let deps = &self.deps[0];
+        if deps.is_opaque() {
+            return None;
+        }
+        match self.tags[0] {
+            Tag::Threshold { expr, key, op } if deps.exprs() == [expr] => Some((expr, key, op)),
             _ => None,
         }
     }

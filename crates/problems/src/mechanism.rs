@@ -117,8 +117,29 @@ impl Mechanism {
 
     /// The monitor configuration for the automatic mechanisms; `None`
     /// for mechanisms that do not use the AutoSynch runtime.
+    ///
+    /// Two environment variables adjust the preset, so the whole bench
+    /// and test surface can be re-run under a different discipline
+    /// without code changes (the core config stays deterministic —
+    /// only this harness-side constructor reads the environment):
+    ///
+    /// * `AUTOSYNCH_VALIDATE=1` arms the relay validator on every run
+    ///   (the cross-mechanism equivalence sweeps set this);
+    /// * `AUTOSYNCH_NO_SWEEP_CURSORS=1` disables per-bucket sweep
+    ///   cursors in routed mode, forcing every token forward back to a
+    ///   FIFO head scan — the ablation the cursor-equivalence tests
+    ///   diff against.
     pub fn monitor_config(self) -> Option<MonitorConfig> {
-        self.signal_mode().map(MonitorConfig::preset)
+        self.signal_mode().map(|mode| {
+            let mut config = MonitorConfig::preset(mode);
+            if env_flag("AUTOSYNCH_VALIDATE") {
+                config = config.validate_relay(true);
+            }
+            if env_flag("AUTOSYNCH_NO_SWEEP_CURSORS") {
+                config = config.sweep_cursors(false);
+            }
+            config
+        })
     }
 
     /// The v2 signaling mode for the automatic mechanisms; `None` for
@@ -134,6 +155,11 @@ impl Mechanism {
             Mechanism::Explicit | Mechanism::Baseline => None,
         }
     }
+}
+
+/// `true` when `name` is set to anything but the empty string or `0`.
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 impl fmt::Display for Mechanism {

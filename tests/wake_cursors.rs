@@ -1,0 +1,205 @@
+//! Cursor-vs-head-scan equivalence: per-bucket sweep cursors are a
+//! pure scan optimization, so routed mode must reach identical
+//! workload outcomes with cursors enabled (the default) and disabled
+//! (`AUTOSYNCH_NO_SWEEP_CURSORS=1`, forcing every token forward back
+//! to a FIFO head scan) — across all 14 workloads, with the relay
+//! validator armed (`AUTOSYNCH_VALIDATE=1`) so any routing-coverage or
+//! no-lost-token divergence panics instead of hanging.
+//!
+//! Environment variables are process-global, so the whole sweep is one
+//! `#[test]` in its own integration-test binary: nothing else in this
+//! process races the flags.
+
+use autosynch_repro::problems::mechanism::Mechanism;
+use autosynch_repro::problems::{
+    bounded_buffer, cigarette_smokers, cyclic_barrier, dining, group_mutex, h2o, one_lane_bridge,
+    param_bounded_buffer, readers_writers, round_robin, sharded_queues, sleeping_barber,
+    unisex_bathroom, wake_storm,
+};
+
+/// Runs every workload under `AutoSynch-Route` with whatever cursor
+/// discipline the environment currently selects. Each problem's `run`
+/// asserts its own invariants (item conservation, stoichiometry,
+/// mutual exclusion, ...) and panics on violation, so completing the
+/// sweep with zero broadcasts and zero picked winners *is* the
+/// outcome-equivalence assertion for the active discipline.
+fn run_all_workloads(discipline: &str) {
+    let check = |name: &str, report: autosynch_repro::problems::RunReport| {
+        assert_eq!(
+            report.stats.counters.broadcasts, 0,
+            "{name} under {discipline}: routed mode must never signalAll"
+        );
+        assert_eq!(
+            report.stats.counters.signals, 0,
+            "{name} under {discipline}: a routed signaler never picks a winner"
+        );
+    };
+    let m = Mechanism::AutoSynchRoute;
+    check(
+        "bounded_buffer",
+        bounded_buffer::run(
+            m,
+            bounded_buffer::BoundedBufferConfig {
+                producers: 4,
+                consumers: 4,
+                ops_per_thread: 120,
+                capacity: 8,
+            },
+        ),
+    );
+    check(
+        "h2o",
+        h2o::run(
+            m,
+            h2o::H2oConfig {
+                h_threads: 6,
+                events_per_h: 80,
+            },
+        ),
+    );
+    check(
+        "sleeping_barber",
+        sleeping_barber::run(
+            m,
+            sleeping_barber::SleepingBarberConfig {
+                customers: 6,
+                visits_per_customer: 60,
+                chairs: 4,
+            },
+        )
+        .report,
+    );
+    check(
+        "round_robin",
+        round_robin::run(
+            m,
+            round_robin::RoundRobinConfig {
+                threads: 8,
+                rounds: 60,
+            },
+        ),
+    );
+    check(
+        "readers_writers",
+        readers_writers::run(
+            m,
+            readers_writers::ReadersWritersConfig {
+                writers: 3,
+                readers: 9,
+                ops_per_thread: 50,
+            },
+        ),
+    );
+    check(
+        "dining",
+        dining::run(
+            m,
+            dining::DiningConfig {
+                philosophers: 7,
+                meals_per_philosopher: 50,
+            },
+        ),
+    );
+    check(
+        "param_bounded_buffer",
+        param_bounded_buffer::run(
+            m,
+            param_bounded_buffer::ParamBoundedBufferConfig {
+                consumers: 4,
+                takes_per_consumer: 40,
+                max_items: 64,
+                capacity: 128,
+                seed: 13,
+            },
+        ),
+    );
+    check(
+        "cigarette_smokers",
+        cigarette_smokers::run(
+            m,
+            cigarette_smokers::SmokersConfig {
+                rounds: 100,
+                seed: 42,
+            },
+        ),
+    );
+    check(
+        "unisex_bathroom",
+        unisex_bathroom::run(
+            m,
+            unisex_bathroom::BathroomConfig {
+                per_gender: 4,
+                visits: 50,
+                capacity: 3,
+            },
+        ),
+    );
+    check(
+        "group_mutex",
+        group_mutex::run(
+            m,
+            group_mutex::GroupMutexConfig {
+                threads: 9,
+                forums: 3,
+                sessions: 50,
+            },
+        ),
+    );
+    check(
+        "one_lane_bridge",
+        one_lane_bridge::run(
+            m,
+            one_lane_bridge::BridgeConfig {
+                per_direction: 4,
+                crossings: 50,
+                capacity: 3,
+            },
+        ),
+    );
+    check(
+        "cyclic_barrier",
+        cyclic_barrier::run(
+            m,
+            cyclic_barrier::BarrierConfig {
+                parties: 8,
+                generations: 50,
+            },
+        ),
+    );
+    check(
+        "sharded_queues",
+        sharded_queues::run(
+            m,
+            sharded_queues::ShardedQueuesConfig {
+                queues: 6,
+                ops_per_queue: 80,
+                capacity: 2,
+            },
+        ),
+    );
+    check(
+        "wake_storm",
+        wake_storm::run(
+            m,
+            wake_storm::WakeStormConfig {
+                channels: 4,
+                waiters: 4,
+                rounds: 30,
+            },
+        ),
+    );
+}
+
+#[test]
+fn cursor_and_head_scan_sweeps_reach_identical_outcomes() {
+    std::env::set_var("AUTOSYNCH_VALIDATE", "1");
+
+    std::env::remove_var("AUTOSYNCH_NO_SWEEP_CURSORS");
+    run_all_workloads("cursor sweeps");
+
+    std::env::set_var("AUTOSYNCH_NO_SWEEP_CURSORS", "1");
+    run_all_workloads("head scans");
+
+    std::env::remove_var("AUTOSYNCH_NO_SWEEP_CURSORS");
+    std::env::remove_var("AUTOSYNCH_VALIDATE");
+}

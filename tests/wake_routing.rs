@@ -524,6 +524,79 @@ fn transient_waiters_are_never_stranded_under_routing() {
     assert_eq!(monitor.parked_waiters(), 0);
 }
 
+#[test]
+fn lru_eviction_churn_never_strands_graduated_transients() {
+    // The eviction regression for the bounded transient-bucket LRU:
+    // the mixed workload's transient consumers repeat three distinct
+    // predicates (`level >= 1..=3`), so under `transient_bucket_cap(1)`
+    // every graduation evicts the previous tenant, and under cap 0
+    // nothing ever graduates at all. The contract under test: only an
+    // *idle* bucket is ever evicted (occupied or in-flight-covered
+    // buckets are pinned), and an evicted key's next admission falls
+    // back to the broadcast bucket — so no waiter strands, whichever
+    // side of an eviction it lands on. A stranded waiter hangs the
+    // run; the armed validator panics on any parked waiter whose
+    // predicate is true.
+    for cap in [0, 1, 2] {
+        let level = validated_bounded_buffer(
+            MonitorConfig::preset(SignalMode::Routed).transient_bucket_cap(cap),
+            4,
+            120,
+        );
+        assert_eq!(level, 0, "transient_bucket_cap({cap}) run did not balance");
+    }
+}
+
+#[test]
+fn repeat_transient_predicates_graduate_to_swept_buckets() {
+    // A transient predicate with a stable structural key must stop
+    // herd-riding the broadcast bucket after its first admission: the
+    // second `wait_transient(n >= 5)` is an LRU hit and parks in a
+    // swept per-predicate bucket, surfacing as `transient_cache_hits`.
+    struct S {
+        n: i64,
+    }
+    let monitor = Arc::new(Monitor::with_config(
+        S { n: 0 },
+        MonitorConfig::preset(SignalMode::Routed).validate_relay(true),
+    ));
+    let n = monitor.register_expr("n", |s: &S| s.n);
+    const ROUNDS: usize = 40;
+    std::thread::scope(|scope| {
+        {
+            let monitor = Arc::clone(&monitor);
+            scope.spawn(move || {
+                for _ in 0..ROUNDS {
+                    monitor.enter(|g| {
+                        // Same structural key every round — the
+                        // repeating-but-uncompiled shape.
+                        g.wait_transient(n.ge(5));
+                        g.state_mut().n -= 5;
+                    });
+                }
+            });
+        }
+        let monitor = Arc::clone(&monitor);
+        let drained = monitor.compile(n.le(0));
+        scope.spawn(move || {
+            for _ in 0..ROUNDS {
+                monitor.enter(|g| {
+                    g.wait(&drained);
+                    g.state_mut().n += 5;
+                });
+            }
+        });
+    });
+    assert_eq!(monitor.with(|s| s.n), 0);
+    assert!(monitor.is_quiescent());
+    assert_eq!(monitor.parked_waiters(), 0);
+    let c = monitor.stats_snapshot().counters;
+    assert!(
+        c.transient_cache_hits > 0,
+        "a repeating transient key must graduate off the broadcast bucket ({c:?})"
+    );
+}
+
 // --- proptests: the no-lost-token invariant ----------------------------
 
 proptest! {
