@@ -686,23 +686,33 @@ pub fn ext_wake_storm() -> Table {
     table
 }
 
-/// Extension: the v2 API's compile-once-wait-many cost accounting.
+/// Extension: the v2 API's compile-once-wait-many cost accounting plus
+/// the uncontended fast-path latency rows.
 ///
-/// Two measurements per workload shape, written to `BENCH_api.json`:
+/// Measurements written to `BENCH_api.json`:
 ///
 /// * **Per-wait setup** — a single-threaded saturation loop of waits on
 ///   an already-true condition, so the measured cost is exactly the
-///   wait-path overhead: the v1 shim re-runs the predicate analysis
-///   (`format!` source, DNF conversion, tagging, dependency extraction,
-///   key computation, table hashing) on every call, while a compiled
-///   [`Cond`](autosynch::Cond) wait does none of it. The v2 number must
-///   be strictly below v1 on every shape — CI asserts it for the fig11
-///   and fig14 shapes.
+///   wait-path overhead: a transient wait re-runs the predicate
+///   analysis (DNF conversion, tagging, dependency extraction, key
+///   computation, table hashing) on every call, while a compiled
+///   [`Cond`](autosynch::Cond) wait does none of it. The compiled
+///   number must be strictly below per-call on every shape — CI asserts
+///   it for the fig11 and fig14 shapes.
 /// * **End-to-end delta** — the same concurrent workload shape run
-///   against the v1 shim and the v2 API (fig11 round robin: per-thread
-///   equivalence conditions; fig14 parameterized buffer: bounded
-///   threshold keys; sharded queues: disequality conditions + tracked
-///   writes), at identical outcomes.
+///   per-call vs compiled vs compiled-with-the-fast-path-off (fig11
+///   round robin: per-thread equivalence conditions; fig14
+///   parameterized buffer: bounded threshold keys; sharded queues:
+///   disequality conditions + tracked writes), at identical outcomes.
+///   CI asserts the fast path never slows the contended e2e shapes
+///   beyond noise.
+/// * **Enter/exit latency** — an uncontended single-thread row and a
+///   contended multi-thread row, fast path on vs the mutex-only
+///   ablation (`AUTOSYNCH_NO_FAST_PATH=1` spelled as a config knob).
+///   The `setup(ns/wait)` column carries the mean enter→exit occupancy
+///   latency from the `enter_exit` stat; CI asserts the uncontended
+///   fast row elides (`fast_path_enters > 0`) and undercuts the
+///   ablation.
 pub fn api_cost() -> Table {
     use autosynch::config::MonitorConfig;
     use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
@@ -741,8 +751,15 @@ pub fn api_cost() -> Table {
             "    {{\"workload\": \"{workload}\", \"api\": \"{api}\", \
              \"setup_ns_per_wait\": {setup_ns:.2}, \"elapsed_s\": {elapsed_s:.6}, \
              \"waits\": {}, \"signals\": {}, \"wakeups\": {}, \
-             \"named_mutations\": {}, \"broadcasts\": {}}}",
-            c.waits, c.signals, c.wakeups, c.named_mutations, c.broadcasts,
+             \"named_mutations\": {}, \"broadcasts\": {}, \
+             \"fast_path_enters\": {}, \"combined_exits\": {}}}",
+            c.waits,
+            c.signals,
+            c.wakeups,
+            c.named_mutations,
+            c.broadcasts,
+            c.fast_path_enters,
+            c.combined_exits,
         ));
     };
 
@@ -775,15 +792,20 @@ pub fn api_cost() -> Table {
             CmpOp::Eq => 7,
             _ => 0, // 7 >= 0 and 7 != 0 both hold
         };
-        // v1: the analysis re-runs inside every single wait call.
+        // Per-call: the analysis re-runs inside every single wait call.
         let start = Instant::now();
         for _ in 0..setup_iters {
-            #[allow(deprecated)]
-            m.enter(|g| g.wait_until(v.cmp(op, key)));
+            m.enter(|g| g.wait_transient(v.cmp(op, key)));
         }
-        let v1_ns = start.elapsed().as_nanos() as f64 / f64::from(setup_iters);
-        let v1_counters = m.stats_snapshot().counters;
-        record(workload, "v1_percall_setup", v1_ns, 0.0, &v1_counters);
+        let percall_ns = start.elapsed().as_nanos() as f64 / f64::from(setup_iters);
+        let percall_counters = m.stats_snapshot().counters;
+        record(
+            workload,
+            "transient_percall_setup",
+            percall_ns,
+            0.0,
+            &percall_counters,
+        );
 
         // v2: compiled once, the loop only evaluates.
         let m = Monitor::new(One { v: Tracked::new(7) });
@@ -810,12 +832,12 @@ pub fn api_cost() -> Table {
     }
     let threads = if sweep::full_scale() { 16 } else { 8 };
     let rounds = sweep::ops_per_thread(threads);
-    for api in ["v1_percall", "v2_compiled"] {
+    for api in ["transient_percall", "v2_compiled", "v2_mutex_only"] {
         let m = Arc::new(Monitor::with_config(
             Turn {
                 turn: Tracked::new(0),
             },
-            MonitorConfig::default(),
+            MonitorConfig::default().fast_path(api != "v2_mutex_only"),
         ));
         let turn = m.register_expr("turn", |s: &Turn| *s.turn.get());
         m.bind(|s| &mut s.turn, &[turn]);
@@ -830,11 +852,10 @@ pub fn api_cost() -> Table {
                 scope.spawn(move || {
                     for _ in 0..rounds {
                         m.enter_tracked(|g| {
-                            if api == "v2_compiled" {
-                                g.wait(&cond);
+                            if api == "transient_percall" {
+                                g.wait_transient(turn.eq(id));
                             } else {
-                                #[allow(deprecated)]
-                                g.wait_until(turn.eq(id));
+                                g.wait(&cond);
                             }
                             let t = g.state_mut();
                             *t.turn = (*t.turn + 1).rem_euclid(threads as i64);
@@ -865,6 +886,19 @@ pub fn api_cost() -> Table {
         report.elapsed.as_secs_f64(),
         &report.stats.counters,
     );
+    // The same fig14 run under the mutex-only ablation: the problem
+    // driver builds its config through `Mechanism::monitor_config`,
+    // which reads the ablation env flag.
+    std::env::set_var("AUTOSYNCH_NO_FAST_PATH", "1");
+    let report = param_bounded_buffer::run(Mechanism::AutoSynch, fig14_config(consumers));
+    std::env::remove_var("AUTOSYNCH_NO_FAST_PATH");
+    record(
+        "fig14_param_bounded_buffer",
+        "v2_mutex_only",
+        0.0,
+        report.elapsed.as_secs_f64(),
+        &report.stats.counters,
+    );
     let report = sharded_queues::run(
         Mechanism::AutoSynchShard,
         shard_queues_config(consumers / 2),
@@ -876,6 +910,73 @@ pub fn api_cost() -> Table {
         report.elapsed.as_secs_f64(),
         &report.stats.counters,
     );
+
+    // --- enter/exit latency: the uncontended fast lane vs the ablation ----
+    // Single thread, mutation-only occupancies: on the fast lane every
+    // one of these is a CAS enter + atomic-AND exit; the ablation pays
+    // the mutex and the relay decision. `setup(ns/wait)` carries the
+    // mean enter→exit occupancy latency from the `enter_exit` stat.
+    let lat_iters: u32 = if sweep::full_scale() { 400_000 } else { 80_000 };
+    for (api, fast) in [("fast_path", true), ("mutex_only", false)] {
+        let m = Monitor::with_config(
+            One { v: Tracked::new(0) },
+            MonitorConfig::default().fast_path(fast).timing(true),
+        );
+        let v = m.register_expr("v", |s: &One| *s.v.get());
+        m.bind(|s| &mut s.v, &[v]);
+        let start = Instant::now();
+        for _ in 0..lat_iters {
+            m.with_tracked(|s| *s.v += 1);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let snap = m.stats_snapshot();
+        assert_eq!(m.with_tracked(|s| *s.v), i64::from(lat_iters));
+        record(
+            "uncontended_enter_exit",
+            api,
+            snap.enter_exit.mean_nanos(),
+            elapsed,
+            &snap.counters,
+        );
+    }
+    // Contended: every thread hammers whole-occupancy mutations, the
+    // shape where contended `with` calls publish into the combining
+    // slab instead of convoying on the mutex.
+    let lat_threads = if sweep::full_scale() { 16 } else { 8 };
+    let per_thread = sweep::ops_per_thread(lat_threads) as i64;
+    for (api, fast) in [("fast_path", true), ("mutex_only", false)] {
+        let m = Arc::new(Monitor::with_config(
+            One { v: Tracked::new(0) },
+            MonitorConfig::default().fast_path(fast).timing(true),
+        ));
+        let v = m.register_expr("v", |s: &One| *s.v.get());
+        m.bind(|s| &mut s.v, &[v]);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..lat_threads {
+                let m = Arc::clone(&m);
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        m.with_tracked(|s| *s.v += 1);
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let snap = m.stats_snapshot();
+        assert_eq!(
+            m.with_tracked(|s| *s.v),
+            per_thread * lat_threads as i64,
+            "combined and elided occupancies must not lose increments"
+        );
+        record(
+            "contended_enter_exit",
+            api,
+            snap.enter_exit.mean_nanos(),
+            elapsed,
+            &snap.counters,
+        );
+    }
 
     let json = format!("{{\n  \"benchmarks\": [\n{entries}\n  ]\n}}\n");
     let path = "BENCH_api.json";

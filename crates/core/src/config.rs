@@ -100,6 +100,7 @@ pub struct MonitorConfig {
     shards: usize,
     transient_bucket_cap: usize,
     sweep_cursors: bool,
+    fast_path: bool,
 }
 
 impl Default for MonitorConfig {
@@ -115,6 +116,7 @@ impl Default for MonitorConfig {
             shards: 8,
             transient_bucket_cap: 16,
             sweep_cursors: true,
+            fast_path: true,
         }
     }
 }
@@ -126,13 +128,11 @@ impl MonitorConfig {
         Self::default()
     }
 
-    /// The canonical v2 constructor: the paper-default configuration
-    /// with the given signaling mode. Every knob besides the mode keeps
-    /// its paper default, so `preset(a)` vs `preset(b)` comparisons
-    /// isolate the signaling machinery.
-    ///
-    /// This folds the v1 constructor zoo (`autosynch_t` / `autosynch_cd`
-    /// / `autosynch_shard` / `autosynch_park`) into one entry point:
+    /// The canonical constructor: the paper-default configuration with
+    /// the given signaling mode. Every knob besides the mode keeps its
+    /// paper default, so `preset(a)` vs `preset(b)` comparisons isolate
+    /// the signaling machinery. (The retired v1 per-mode constructors
+    /// were all shorthands for this one entry point.)
     ///
     /// ```
     /// use autosynch::config::{MonitorConfig, SignalMode};
@@ -142,74 +142,6 @@ impl MonitorConfig {
     /// ```
     pub fn preset(mode: SignalMode) -> Self {
         Self::new().mode(mode)
-    }
-
-    /// Shorthand for the AutoSynch-T configuration of §6.2.
-    ///
-    /// ```
-    /// #[allow(deprecated)]
-    /// let shim = autosynch::config::MonitorConfig::autosynch_t();
-    /// assert_eq!(shim.signal_mode(), autosynch::config::SignalMode::Untagged);
-    /// ```
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `MonitorConfig::preset(SignalMode::Untagged)`"
-    )]
-    pub fn autosynch_t() -> Self {
-        Self::preset(SignalMode::Untagged)
-    }
-
-    /// Shorthand for the change-driven ablation: tagged signaling with
-    /// expression versioning and dependency-indexed probing (see
-    /// [`SignalMode::ChangeDriven`]).
-    ///
-    /// ```
-    /// #[allow(deprecated)]
-    /// let shim = autosynch::config::MonitorConfig::autosynch_cd();
-    /// assert_eq!(shim.signal_mode(), autosynch::config::SignalMode::ChangeDriven);
-    /// ```
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `MonitorConfig::preset(SignalMode::ChangeDriven)`"
-    )]
-    pub fn autosynch_cd() -> Self {
-        Self::preset(SignalMode::ChangeDriven)
-    }
-
-    /// Shorthand for the sharded extension: change-driven signaling over
-    /// a dependency-partitioned condition manager (see
-    /// [`SignalMode::Sharded`]). Tune the partition width with
-    /// [`MonitorConfig::shards`].
-    ///
-    /// ```
-    /// #[allow(deprecated)]
-    /// let shim = autosynch::config::MonitorConfig::autosynch_shard();
-    /// assert_eq!(shim.signal_mode(), autosynch::config::SignalMode::Sharded);
-    /// ```
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `MonitorConfig::preset(SignalMode::Sharded)`"
-    )]
-    pub fn autosynch_shard() -> Self {
-        Self::preset(SignalMode::Sharded)
-    }
-
-    /// Shorthand for the waiter-parking extension: per-shard wait
-    /// queues and locks with ring-driven self-service re-checks (see
-    /// [`SignalMode::Parked`]). The dependency partition is tuned with
-    /// [`MonitorConfig::shards`], exactly as in the sharded mode.
-    ///
-    /// ```
-    /// #[allow(deprecated)]
-    /// let shim = autosynch::config::MonitorConfig::autosynch_park();
-    /// assert_eq!(shim.signal_mode(), autosynch::config::SignalMode::Parked);
-    /// ```
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `MonitorConfig::preset(SignalMode::Parked)`"
-    )]
-    pub fn autosynch_park() -> Self {
-        Self::preset(SignalMode::Parked)
     }
 
     /// Sets the signaling mode.
@@ -308,6 +240,20 @@ impl MonitorConfig {
         self
     }
 
+    /// Whether the uncontended enter/exit fast path is armed: a packed
+    /// monitor word checked before the mutex lets a quiescent monitor
+    /// (no occupant, no waiter, nobody mid-entry) be entered by one CAS
+    /// and exited by one atomic AND, and lets contended enterers hand
+    /// their whole occupancy to the current lock holder through the
+    /// flat-combining slab instead of queueing on the mutex. `false` is
+    /// the mutex-only ablation (`AUTOSYNCH_NO_FAST_PATH=1` in the
+    /// reproduce harness); the relay machinery is unaffected either way
+    /// because the fast lane is only taken when no relay can be owed.
+    pub fn fast_path(mut self, on: bool) -> Self {
+        self.fast_path = on;
+        self
+    }
+
     /// The configured signaling mode.
     pub fn signal_mode(&self) -> SignalMode {
         self.mode
@@ -370,6 +316,11 @@ impl MonitorConfig {
     pub fn sweep_cursors_enabled(&self) -> bool {
         self.sweep_cursors
     }
+
+    /// Whether the uncontended enter/exit fast path is armed.
+    pub fn fast_path_enabled(&self) -> bool {
+        self.fast_path
+    }
 }
 
 #[cfg(test)]
@@ -387,6 +338,7 @@ mod tests {
         assert_eq!(c.relay_width_value(), 1);
         assert_eq!(c.transient_bucket_capacity(), 16);
         assert!(c.sweep_cursors_enabled());
+        assert!(c.fast_path_enabled());
     }
 
     #[test]
@@ -410,7 +362,8 @@ mod tests {
             .threshold_index(ThresholdIndexKind::OrderedMap)
             .validate_relay(true)
             .transient_bucket_cap(3)
-            .sweep_cursors(false);
+            .sweep_cursors(false)
+            .fast_path(false);
         assert_eq!(c.signal_mode(), SignalMode::Untagged);
         assert!(c.timing_enabled());
         assert_eq!(c.inactive_capacity(), 8);
@@ -419,6 +372,7 @@ mod tests {
         assert!(c.validates_relay());
         assert_eq!(c.transient_bucket_capacity(), 3);
         assert!(!c.sweep_cursors_enabled());
+        assert!(!c.fast_path_enabled());
     }
 
     #[test]
@@ -444,82 +398,13 @@ mod tests {
             assert_eq!(c.shard_count(), 8);
             assert_eq!(c.transient_bucket_capacity(), 16);
             assert!(c.sweep_cursors_enabled());
+            assert!(c.fast_path_enabled());
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_match_their_presets() {
-        // The v1 aliases must stay byte-identical to their presets.
-        assert_eq!(
-            MonitorConfig::autosynch_t(),
-            MonitorConfig::preset(SignalMode::Untagged)
-        );
-        assert_eq!(
-            MonitorConfig::autosynch_cd(),
-            MonitorConfig::preset(SignalMode::ChangeDriven)
-        );
-        assert_eq!(
-            MonitorConfig::autosynch_shard(),
-            MonitorConfig::preset(SignalMode::Sharded)
-        );
-        assert_eq!(
-            MonitorConfig::autosynch_park(),
-            MonitorConfig::preset(SignalMode::Parked)
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn autosynch_t_shorthand() {
-        assert_eq!(
-            MonitorConfig::autosynch_t().signal_mode(),
-            SignalMode::Untagged
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn autosynch_shard_shorthand() {
-        let c = MonitorConfig::autosynch_shard();
-        assert_eq!(c.signal_mode(), SignalMode::Sharded);
-        assert_eq!(c.shard_count(), 8, "default partition width");
-        assert_eq!(c.shards(3).shard_count(), 3);
-        // Everything else matches the paper defaults so comparisons
-        // against the tagged/CD modes isolate the sharding machinery.
-        assert_eq!(c.inactive_capacity(), 64);
-        assert!(c.relays_on_clean_exit());
-        assert_eq!(c.relay_width_value(), 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn autosynch_park_shorthand() {
-        let c = MonitorConfig::autosynch_park();
-        assert_eq!(c.signal_mode(), SignalMode::Parked);
-        assert_eq!(c.shard_count(), 8, "shares the sharded partition knob");
-        // Everything else matches the paper defaults so comparisons
-        // against the sharded mode isolate the parking subsystem.
-        assert_eq!(c.inactive_capacity(), 64);
-        assert!(c.relays_on_clean_exit());
-        assert_eq!(c.relay_width_value(), 1);
     }
 
     #[test]
     #[should_panic(expected = "at least 1")]
     fn zero_shards_panics() {
         let _ = MonitorConfig::new().shards(0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn autosynch_cd_shorthand() {
-        let c = MonitorConfig::autosynch_cd();
-        assert_eq!(c.signal_mode(), SignalMode::ChangeDriven);
-        // Everything else matches the paper defaults, so comparisons
-        // against the tagged mode isolate the change-driven machinery.
-        assert_eq!(c.inactive_capacity(), 64);
-        assert!(c.relays_on_clean_exit());
-        assert_eq!(c.relay_width_value(), 1);
     }
 }

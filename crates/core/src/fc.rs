@@ -1,0 +1,351 @@
+//! Flat-combining publication slab for the contended enter/exit lane.
+//!
+//! When the elision CAS fails because the monitor is busy, a
+//! `with`/`with_tracked` caller does not have to queue on the mutex: it
+//! *publishes* its whole occupancy (a boxed closure over `Inner<S>`)
+//! into one of the fixed records here and parks. The **combiner** — the
+//! current occupancy holder, elided or mutex-backed — drains published
+//! records at its own exit, applies each op under its existing exclusive
+//! access, and folds all of their mutation diffs into the single relay
+//! pass that exit was going to run anyway. One lock handoff and one
+//! relay per combining pass instead of one per thread.
+//!
+//! The slab is payload-agnostic: `T` is whatever the monitor wants to
+//! run (in practice `Box<dyn FnOnce(&mut Inner<S>, ..) + Send>`).
+//! Records move through a small state machine:
+//!
+//! ```text
+//! EMPTY -> INSTALLING -> PUBLISHED -> CLAIMED -> DONE | PANICKED -> EMPTY
+//!                            \------------------------------------^
+//!                             (publisher revokes: PUBLISHED -> INSTALLING -> EMPTY)
+//! ```
+//!
+//! Only the thread that wins a status CAS touches the payload cells, so
+//! the `UnsafeCell`s are data-race free; `DONE`/`PANICKED` are stored
+//! with `Release` and observed with `Acquire`, which publishes the
+//! combiner's writes (including the result written through the
+//! publisher's out-pointer) back to the publisher.
+//!
+//! Liveness never depends on a combiner existing: a publisher that sees
+//! no active occupancy holder (or exhausts its patience) revokes its
+//! record by CAS and executes the op itself through the ordinary slow
+//! lane.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::thread::{self, Thread};
+use std::time::Duration;
+
+const EMPTY: u8 = 0;
+const INSTALLING: u8 = 1;
+const PUBLISHED: u8 = 2;
+const CLAIMED: u8 = 3;
+const DONE: u8 = 4;
+const PANICKED: u8 = 5;
+
+/// Number of publication records per monitor. Contended bursts larger
+/// than this overflow to the ordinary mutex path, which is correct and
+/// merely slower.
+pub(crate) const FC_SLOTS: usize = 8;
+
+/// How many spins a publisher burns before parking between polls.
+const PUBLISH_SPINS: u32 = 96;
+/// Park quantum between publisher polls.
+const PUBLISH_PARK: Duration = Duration::from_micros(50);
+/// Hard cap on poll rounds before the publisher revokes regardless of
+/// apparent combiner activity (robustness backstop; ~100ms).
+const PUBLISH_PATIENCE: u32 = 2_000;
+
+/// What happened to a published op.
+pub(crate) enum FcOutcome<T> {
+    /// A combiner adopted and completed the op.
+    Done,
+    /// A combiner ran the op and it panicked; the payload is the panic
+    /// value to resume with on the publisher's thread.
+    Panicked(Box<dyn Any + Send>),
+    /// No combiner adopted the op in time; the publisher got it back and
+    /// must run it through the slow lane itself.
+    Withdrawn(T),
+}
+
+struct FcRecord<T> {
+    status: AtomicU8,
+    op: UnsafeCell<Option<T>>,
+    publisher: UnsafeCell<Option<Thread>>,
+    panic: UnsafeCell<Option<Box<dyn Any + Send>>>,
+}
+
+// Payload cells are only touched by the thread holding the record's
+// current state-machine ownership (established by status CAS), so
+// sharing records across threads is sound whenever the payload can move
+// between threads at all.
+unsafe impl<T: Send> Sync for FcRecord<T> {}
+
+impl<T> FcRecord<T> {
+    fn new() -> Self {
+        FcRecord {
+            status: AtomicU8::new(EMPTY),
+            op: UnsafeCell::new(None),
+            publisher: UnsafeCell::new(None),
+            panic: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// The per-monitor publication slab.
+pub(crate) struct FcSlab<T> {
+    records: [FcRecord<T>; FC_SLOTS],
+    /// Cheap "anything to combine?" hint maintained by publish/claim/
+    /// revoke. Racy reads are fine: a missed publication is picked up by
+    /// the publisher's own revoke path.
+    published: AtomicUsize,
+}
+
+impl<T> FcSlab<T> {
+    pub(crate) fn new() -> Self {
+        FcSlab {
+            records: std::array::from_fn(|_| FcRecord::new()),
+            published: AtomicUsize::new(0),
+        }
+    }
+
+    /// Hint: number of records currently published and unclaimed.
+    pub(crate) fn published(&self) -> usize {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Install `op` into a free record. Returns the record index to wait
+    /// on, or gives the op back if every record is busy.
+    pub(crate) fn publish(&self, op: T) -> Result<usize, T> {
+        for (i, rec) in self.records.iter().enumerate() {
+            if rec
+                .status
+                .compare_exchange(EMPTY, INSTALLING, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: winning the EMPTY->INSTALLING CAS grants
+                // exclusive cell access until we store PUBLISHED.
+                unsafe {
+                    *rec.op.get() = Some(op);
+                    *rec.publisher.get() = Some(thread::current());
+                }
+                rec.status.store(PUBLISHED, Ordering::Release);
+                self.published.fetch_add(1, Ordering::Relaxed);
+                return Ok(i);
+            }
+        }
+        Err(op)
+    }
+
+    /// Block until the record at `ticket` completes, transfers a panic,
+    /// or is revoked. `combiner_active` should report whether some thread
+    /// currently holds the monitor and will therefore reach a combining
+    /// exit; while it returns `false` the publisher revokes immediately
+    /// instead of parking for a combiner that does not exist.
+    pub(crate) fn await_done(
+        &self,
+        ticket: usize,
+        combiner_active: impl Fn() -> bool,
+    ) -> FcOutcome<T> {
+        let rec = &self.records[ticket];
+        let mut rounds: u32 = 0;
+        loop {
+            match rec.status.load(Ordering::Acquire) {
+                DONE => {
+                    // SAFETY: DONE is stored by the combiner after it is
+                    // finished with the cells; we own them again.
+                    unsafe {
+                        *rec.publisher.get() = None;
+                    }
+                    rec.status.store(EMPTY, Ordering::Release);
+                    return FcOutcome::Done;
+                }
+                PANICKED => {
+                    // SAFETY: as above; the panic cell was written before
+                    // the PANICKED release-store.
+                    let payload = unsafe { (*rec.panic.get()).take() };
+                    unsafe {
+                        *rec.publisher.get() = None;
+                    }
+                    rec.status.store(EMPTY, Ordering::Release);
+                    return FcOutcome::Panicked(
+                        payload.unwrap_or_else(|| Box::new("fc op panicked")),
+                    );
+                }
+                PUBLISHED => {
+                    if (!combiner_active() || rounds >= PUBLISH_PATIENCE)
+                        && rec
+                            .status
+                            .compare_exchange(
+                                PUBLISHED,
+                                INSTALLING,
+                                Ordering::Acquire,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                    {
+                        self.published.fetch_sub(1, Ordering::Relaxed);
+                        // SAFETY: winning PUBLISHED->INSTALLING makes us
+                        // the exclusive cell owner again.
+                        let op = unsafe { (*rec.op.get()).take() };
+                        unsafe {
+                            *rec.publisher.get() = None;
+                        }
+                        rec.status.store(EMPTY, Ordering::Release);
+                        return FcOutcome::Withdrawn(op.expect("published record lost its op"));
+                    }
+                    rounds += 1;
+                    if rounds <= 1 {
+                        for _ in 0..PUBLISH_SPINS {
+                            std::hint::spin_loop();
+                        }
+                    } else {
+                        thread::park_timeout(PUBLISH_PARK);
+                    }
+                }
+                // CLAIMED: a combiner is running our op right now; it
+                // will store DONE or PANICKED shortly. Just wait.
+                _ => thread::park_timeout(PUBLISH_PARK),
+            }
+        }
+    }
+
+    /// Combiner side: claim every published record and run it. `run`
+    /// returns `None` on success or the panic payload to hand back to
+    /// the publisher. Returns how many ops were adopted this pass.
+    pub(crate) fn drain(&self, mut run: impl FnMut(T) -> Option<Box<dyn Any + Send>>) -> usize {
+        if self.published() == 0 {
+            return 0;
+        }
+        let mut adopted = 0;
+        for rec in &self.records {
+            if rec
+                .status
+                .compare_exchange(PUBLISHED, CLAIMED, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            self.published.fetch_sub(1, Ordering::Relaxed);
+            // SAFETY: winning PUBLISHED->CLAIMED grants exclusive cell
+            // access until the DONE/PANICKED release-store below.
+            let op = unsafe { (*rec.op.get()).take() }.expect("claimed record lost its op");
+            let publisher = unsafe { (*rec.publisher.get()).clone() };
+            match run(op) {
+                None => rec.status.store(DONE, Ordering::Release),
+                Some(payload) => {
+                    unsafe {
+                        *rec.panic.get() = Some(payload);
+                    }
+                    rec.status.store(PANICKED, Ordering::Release);
+                }
+            }
+            if let Some(t) = publisher {
+                t.unpark();
+            }
+            adopted += 1;
+        }
+        adopted
+    }
+}
+
+impl<T> std::fmt::Debug for FcSlab<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FcSlab")
+            .field("slots", &FC_SLOTS)
+            .field("published", &self.published())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn publish_drain_roundtrip() {
+        let slab: FcSlab<u32> = FcSlab::new();
+        let t = slab.publish(7).unwrap();
+        assert_eq!(slab.published(), 1);
+        let got = Arc::new(AtomicUsize::new(0));
+        let got2 = Arc::clone(&got);
+        let adopted = slab.drain(move |v| {
+            got2.store(v as usize, Ordering::Relaxed);
+            None
+        });
+        assert_eq!(adopted, 1);
+        assert_eq!(got.load(Ordering::Relaxed), 7);
+        assert_eq!(slab.published(), 0);
+        match slab.await_done(t, || true) {
+            FcOutcome::Done => {}
+            _ => panic!("expected Done"),
+        }
+        // Record is recycled.
+        assert!(slab.publish(9).is_ok());
+    }
+
+    #[test]
+    fn withdraw_when_no_combiner() {
+        let slab: FcSlab<u32> = FcSlab::new();
+        let t = slab.publish(11).unwrap();
+        match slab.await_done(t, || false) {
+            FcOutcome::Withdrawn(v) => assert_eq!(v, 11),
+            _ => panic!("expected Withdrawn"),
+        }
+        assert_eq!(slab.published(), 0);
+    }
+
+    #[test]
+    fn panic_payload_transfers() {
+        let slab: FcSlab<u32> = FcSlab::new();
+        let t = slab.publish(3).unwrap();
+        slab.drain(|_| Some(Box::new("boom")));
+        match slab.await_done(t, || true) {
+            FcOutcome::Panicked(p) => {
+                assert_eq!(*p.downcast::<&str>().unwrap(), "boom");
+            }
+            _ => panic!("expected Panicked"),
+        }
+    }
+
+    #[test]
+    fn slab_full_returns_op() {
+        let slab: FcSlab<u32> = FcSlab::new();
+        for i in 0..FC_SLOTS as u32 {
+            slab.publish(i).unwrap();
+        }
+        assert!(slab.publish(99).is_err());
+    }
+
+    #[test]
+    fn concurrent_publishers_and_one_combiner() {
+        let slab: Arc<FcSlab<usize>> = Arc::new(FcSlab::new());
+        let sum = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (1..=4)
+            .map(|i| {
+                let slab = Arc::clone(&slab);
+                std::thread::spawn(move || match slab.publish(i) {
+                    Ok(t) => matches!(slab.await_done(t, || true), FcOutcome::Done),
+                    Err(_) => false,
+                })
+            })
+            .collect();
+        // Drain until all four are adopted.
+        let mut adopted = 0;
+        while adopted < 4 {
+            let sum = Arc::clone(&sum);
+            adopted += slab.drain(move |v| {
+                sum.fetch_add(v, Ordering::Relaxed);
+                None
+            });
+            std::thread::yield_now();
+        }
+        for h in handles {
+            assert!(h.join().unwrap(), "publisher must observe Done");
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+}

@@ -67,8 +67,13 @@
 //! [`tracked::Tracked`] state cells (with
 //! [`Monitor::enter_tracked`]) name the touched expressions on every
 //! write automatically, so diffs evaluate only those — the v2
-//! replacement of the deprecated `enter_mutating` slice contract. See
-//! `DESIGN.md` for the soundness arguments.
+//! replacement of the retired `enter_mutating` slice contract. On top
+//! of all six modes sits the uncontended fast path: a packed monitor
+//! word lets a quiescent monitor be entered by a single CAS and exited
+//! by a single atomic AND (skipping mutex, relay and snapshot publish,
+//! all provably unnecessary when nobody is present), and contended
+//! enterers hand their occupancy to the current lock holder through a
+//! flat-combining slab. See `DESIGN.md` for the soundness arguments.
 //!
 //! A fifth monitor, [`kessels::KesselsMonitor`], implements the
 //! *restricted* automatic-signal design of Kessels (CACM 1977, the
@@ -129,6 +134,7 @@ pub mod baseline;
 pub mod config;
 pub mod eq_index;
 pub mod explicit;
+pub(crate) mod fc;
 pub mod indexed_heap;
 pub mod kessels;
 pub mod manager;
@@ -139,6 +145,7 @@ pub mod stats;
 pub mod threshold_index;
 pub mod tracked;
 pub(crate) mod wake;
+pub(crate) mod word;
 
 pub use baseline::BaselineMonitor;
 pub use config::{MonitorConfig, SignalMode, ThresholdIndexKind};

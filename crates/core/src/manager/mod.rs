@@ -242,10 +242,11 @@ impl<S> ConditionManager<S> {
     }
 
     /// Records a mutation whose writes, by the caller's contract
-    /// (`Monitor::enter_mutating`), can only have changed the named
-    /// expressions. The next snapshot diff evaluates the intersection
-    /// of `touched` with the live dependency set and carries every
-    /// other contiguous slot forward as unchanged.
+    /// (a tracked-cell drain or `MonitorGuard::state_mut_touching`),
+    /// can only have changed the named expressions. The next snapshot
+    /// diff evaluates the intersection of `touched` with the live
+    /// dependency set and carries every other contiguous slot forward
+    /// as unchanged.
     pub(crate) fn note_mutation_named(&mut self, touched: &[ExprId]) {
         if self.state_dirty && !self.named_only {
             return; // already inside a blanket window: stay blanket
@@ -338,6 +339,7 @@ impl<S> ConditionManager<S> {
 
     /// Pre-registers a shared predicate (§5.1: shared predicates are added
     /// in the constructor and never removed).
+    #[cfg(test)]
     pub(crate) fn register_persistent(&mut self, pred: Predicate<S>) -> PredId {
         let pid = self.find_or_create(Arc::new(pred), true);
         self.unlink_inactive(pid);
@@ -1645,6 +1647,28 @@ impl<S> ConditionManager<S> {
     /// Total signaled-but-not-resumed threads across entries.
     pub(crate) fn signaled_count(&self) -> usize {
         self.entries.iter().map(|(_, e)| e.signaled as usize).sum()
+    }
+
+    /// Validator hook for the no-lost-relay audit: an elided (fast-lane)
+    /// exit skips the relay call entirely, which is sound only when the
+    /// manager certifies there was nobody to relay *to*. The fast lane's
+    /// own admission check — the monitor word's presence count — already
+    /// guarantees this (every waiter holds presence from enter to exit,
+    /// including while blocked), so a failure here means the word
+    /// protocol leaked a waiter. Called only under `validate_relay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any thread is waiting or signaled at the audited exit.
+    pub(crate) fn audit_fast_exit(&self) {
+        let waiting = self.waiting_count();
+        let signaled = self.signaled_count();
+        assert!(
+            waiting == 0 && signaled == 0,
+            "fast-path exit with {waiting} waiting / {signaled} signaled \
+             threads: the monitor-word presence count admitted a fast \
+             acquire while the relay rule was still owed"
+        );
     }
 
     /// Live tags across all shards (tagged modes) or the scan list

@@ -3,11 +3,24 @@
 //!
 //! A [`Monitor<S>`] plays the role of the paper's `AutoSynch class`: every
 //! [`Monitor::enter`] section is mutually exclusive, and inside it a
-//! thread may block on [`MonitorGuard::wait_until`] — the `waituntil(P)`
+//! thread may block on [`MonitorGuard::wait`] — the `waituntil(P)`
 //! statement. There are **no condition variables and no signal calls in
 //! user code**; the condition manager signals exactly one appropriate
 //! thread whenever the monitor is exited or a thread goes to wait (the
 //! relay signaling rule, §4.2).
+//!
+//! Mutual exclusion itself is two-lane. A packed per-monitor word
+//! (`word::MonitorWord`) is checked before the mutex: when the monitor is fully quiescent (no
+//! occupant, no slow-lane presence — and presence covers every blocked
+//! waiter), an entry takes the **elided lane** with one CAS and releases
+//! with one atomic AND, never touching the mutex, the relay or the
+//! snapshot ring; quiescence proves all three had nothing to do. Any
+//! contention falls through to the mutex, and contended [`Monitor::with`]
+//! callers go one step further: they publish their whole occupancy into
+//! a flat-combining slab and let the current holder run it at exit,
+//! folding a batch of occupancies into one lock handoff and one relay
+//! pass. `MonitorConfig::fast_path(false)` restores the mutex-only
+//! behaviour.
 //!
 //! Globalization (§4.1) falls out of the API: predicates are built from
 //! registered shared expressions compared against plain `i64` values, and
@@ -58,6 +71,7 @@
 //! assert_eq!(monitor.with_tracked(|b| b.items.len()), 3);
 //! ```
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -70,11 +84,13 @@ use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
 use crate::config::{MonitorConfig, SignalMode};
 use crate::eq_index::PredId;
+use crate::fc::{FcOutcome, FcSlab};
 use crate::manager::{ConditionManager, SnapshotRing};
 use crate::parking::{snapshot_verdict, ParkOutcome, ParkSlot, ParkingLot, Verdict};
 use crate::stats::{MonitorStats, StatsSnapshot};
 use crate::tracked::{MutationSink, TrackedState};
 use crate::wake::{BucketKey, RoutedWake, SweepToken, WakeLot};
+use crate::word::MonitorWord;
 
 mod thread_id {
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -90,9 +106,8 @@ mod thread_id {
     }
 }
 
-/// Named diagnostic counts of a monitor's condition manager — the v2
-/// replacement of the bare `(entries, waiting, signaled, live_tags)`
-/// tuple returned by the deprecated [`Monitor::manager_counts`].
+/// Named diagnostic counts of a monitor's condition manager, read with
+/// [`Monitor::counts`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ManagerCounts {
     /// Live predicate-table entries (active + inactive).
@@ -115,6 +130,12 @@ pub struct ManagerCounts {
     /// Cumulative transient admissions that hit the bounded LRU and
     /// graduated to (or stayed in) a swept per-predicate bucket.
     pub transient_cache_hits: u64,
+    /// Cumulative monitor entries that took the elided (CAS) fast lane,
+    /// skipping the mutex, the relay and the snapshot publish.
+    pub fast_path_enters: u64,
+    /// Cumulative published occupancies a combining exit adopted from
+    /// the flat-combining slab.
+    pub combined_exits: u64,
 }
 
 /// The monomorphized cell-drain hook installed by
@@ -125,6 +146,19 @@ type DrainFn<S> = fn(&mut S, &mut MutationSink);
 fn drain_cells<S: TrackedState>(state: &mut S, sink: &mut MutationSink) {
     state.for_each_cell(&mut |cell| cell.drain_touched(sink));
 }
+
+/// A published occupancy in the flat-combining slab: the whole body of a
+/// contended [`Monitor::with`]/[`Monitor::with_tracked`] call, boxed and
+/// type-erased. The `*mut ()` is really `*mut Inner<S>` — erased so the
+/// slab field on `Monitor<S>` does not force `S: 'static`. The combiner
+/// runs the op under the monitor lock, which re-establishes the type.
+type FcOp = Box<dyn FnOnce(*mut ()) + Send>;
+
+/// Moves a raw pointer across the combiner boundary. The publisher
+/// blocks until its op is consumed or withdrawn, so the pointee (a stack
+/// slot for the closure result) strictly outlives every dereference.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
 
 struct Inner<S> {
     state: S,
@@ -155,6 +189,16 @@ pub struct Monitor<S> {
     stats: Arc<MonitorStats>,
     config: MonitorConfig,
     owner: AtomicU64,
+    /// The packed occupancy word gating the elided (CAS) enter/exit
+    /// lane: `[fast-epoch:32][presence:31][occupied:1]`. Presence counts
+    /// every thread inside the slow-lane protocol — including blocked
+    /// waiters — so `presence == 0` certifies that no relay can be owed
+    /// and no waiter can be starved by skipping the mutex.
+    word: MonitorWord,
+    /// The flat-combining publication slab: contended `with` callers
+    /// park their whole occupancy here and the current holder drains
+    /// the batch at exit, under its own lock hold and relay pass.
+    fc: FcSlab<FcOp>,
     /// Process-unique identity token stamped into every [`Cond`] this
     /// monitor compiles, so waits reject foreign conditions.
     token: u64,
@@ -208,6 +252,8 @@ impl<S> Monitor<S> {
             stats: MonitorStats::new(config.timing_enabled()),
             config,
             owner: AtomicU64::new(0),
+            word: MonitorWord::new(),
+            fc: FcSlab::new(),
             token: NEXT_TOKEN.fetch_add(1, Ordering::Relaxed),
             ring,
             parking,
@@ -226,9 +272,9 @@ impl<S> Monitor<S> {
         self.exprs.write().register(name, f)
     }
 
-    /// Finds a previously registered shared expression by name —
-    /// `enter_mutating` callers use this to name touched expressions
-    /// without threading handles around.
+    /// Finds a previously registered shared expression by name — useful
+    /// when building conditions far from the registration site without
+    /// threading handles around.
     pub fn lookup_expr(&self, name: &str) -> Option<ExprHandle<S>> {
         self.exprs.read().lookup(name)
     }
@@ -269,7 +315,8 @@ impl<S> Monitor<S> {
             "Monitor::compile called from inside the monitor"
         );
         let pred = cond.into_predicate();
-        let (slot, arc) = self.inner.lock().mgr.compile(pred);
+        let (slot, arc) = self.lock_slow().mgr.compile(pred);
+        self.unlock_slow();
         Cond::new(arc, slot, self.token)
     }
 
@@ -292,7 +339,7 @@ impl<S> Monitor<S> {
             thread_id::current(),
             "Monitor::bind called from inside the monitor"
         );
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_slow();
         // Binding only touches cell metadata, but announce a blanket
         // mutation anyway: setup-time conservatism is free.
         inner.mgr.note_mutation();
@@ -300,37 +347,22 @@ impl<S> Monitor<S> {
         for handle in deps {
             tracked.bind(handle.id());
         }
-    }
-
-    /// Pre-registers a shared predicate so its entry is persistent (§5.1:
-    /// shared predicates are added in the constructor and never removed).
-    ///
-    /// ```
-    /// # struct S { x: i64 }
-    /// # let m = autosynch::Monitor::new(S { x: 1 });
-    /// # let x = m.register_expr("x", |s: &S| s.x);
-    /// #[allow(deprecated)]
-    /// m.register_shared_predicate(x.gt(0)); // v1 shim — still compiles
-    /// ```
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Monitor::compile` — a compiled `Cond` is persistent and reusable"
-    )]
-    pub fn register_shared_predicate(&self, pred: impl IntoPredicate<S>) {
-        let pred = pred.into_predicate();
-        self.inner.lock().mgr.register_persistent(pred);
+        drop(inner);
+        self.unlock_slow();
     }
 
     /// Enters the monitor (mutual exclusion) and runs `f` with a guard
-    /// that can access the state and `wait_until`. On return the relay
-    /// signaling rule runs and the monitor is released.
+    /// that can access the state and [`MonitorGuard::wait`]. On return
+    /// the relay signaling rule runs and the monitor is released. When
+    /// the monitor is fully quiescent the entry is a single CAS on the
+    /// monitor word (no mutex, no relay work — see the module docs).
     ///
     /// # Panics
     ///
     /// Panics when called re-entrantly from the same thread: the monitor
     /// lock is not reentrant, and recursing would deadlock.
     pub fn enter<R>(&self, f: impl FnOnce(&mut MonitorGuard<'_, S>) -> R) -> R {
-        self.enter_inner(None, None, f)
+        self.enter_inner(None, f)
     }
 
     /// Like [`Monitor::enter`], for state types whose expression-feeding
@@ -345,48 +377,46 @@ impl<S> Monitor<S> {
     where
         S: TrackedState,
     {
-        self.enter_inner(None, Some(drain_cells::<S>), f)
+        self.enter_inner(Some(drain_cells::<S>), f)
     }
 
-    /// Like [`Monitor::enter`], with a **named-mutation contract**: the
-    /// caller promises that every `state_mut` write inside this
-    /// occupancy can only change the values of the `touched` shared
-    /// expressions. The change-driven snapshot diff then evaluates only
-    /// those (intersected with the live dependency set) and carries
-    /// every other expression forward as unchanged — shrinking the
-    /// signaler's critical section in the `ChangeDriven`, `Sharded`
-    /// and `Parked` modes, and narrowing the parked wake filter to
-    /// exactly the affected gates. The other modes accept the contract
-    /// and ignore it.
-    ///
-    /// Breaking the promise (mutating state an unnamed expression
-    /// reads) can lose wakeups; the `validate_relay` checker catches
-    /// such violations in tests, exactly as it catches index bugs.
-    ///
-    /// ```
-    /// # struct S { x: i64 }
-    /// # let m = autosynch::Monitor::new(S { x: 0 });
-    /// # let x = m.register_expr("x", |s: &S| s.x);
-    /// #[allow(deprecated)]
-    /// m.enter_mutating(&[x.id()], |g| g.state_mut().x = 1); // v1 shim
-    /// ```
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Tracked` state cells with `Monitor::enter_tracked` — writes name their \
-                touched expressions automatically"
-    )]
-    pub fn enter_mutating<R>(
-        &self,
-        touched: &[ExprId],
-        f: impl FnOnce(&mut MonitorGuard<'_, S>) -> R,
-    ) -> R {
-        self.stats.counters.record_named_mutation();
-        self.enter_inner(Some(touched), None, f)
+    /// Joins the slow lane: announce presence on the monitor word (which
+    /// permanently blocks new elided acquires until we leave), wait out
+    /// any in-flight elided holder, then take the mutex.
+    fn lock_slow(&self) -> MutexGuard<'_, Inner<S>> {
+        if self.config.fast_path_enabled() {
+            self.word.join_slow();
+            self.word.await_fast_clear();
+        }
+        self.inner.lock()
+    }
+
+    /// Leaves the slow lane. Call only after the matching `lock_slow`
+    /// guard has been dropped: presence must outlive the mutex hold, or
+    /// a fast CAS could slip in while the caller still occupies.
+    fn unlock_slow(&self) {
+        if self.config.fast_path_enabled() {
+            self.word.leave_slow();
+        }
+    }
+
+    /// Adopts every occupancy currently published in the flat-combining
+    /// slab, running each against `inner` under this thread's exclusive
+    /// hold. A panicking op is forwarded to its publisher, not to the
+    /// combiner. Near-free when nothing is published (one relaxed load).
+    fn combine_published(&self, inner: &mut Inner<S>) {
+        if !self.config.fast_path_enabled() {
+            return;
+        }
+        let ptr = inner as *mut Inner<S> as *mut ();
+        self.fc.drain(|op| {
+            self.stats.counters.record_combined_exit();
+            catch_unwind(AssertUnwindSafe(|| op(ptr))).err()
+        });
     }
 
     fn enter_inner<R>(
         &self,
-        named: Option<&[ExprId]>,
         drain: Option<DrainFn<S>>,
         f: impl FnOnce(&mut MonitorGuard<'_, S>) -> R,
     ) -> R {
@@ -397,8 +427,12 @@ impl<S> Monitor<S> {
             "Monitor::enter called re-entrantly from the same thread"
         );
         self.stats.counters.record_enter();
+        let started = self.stats.timing_enabled().then(Instant::now);
+        if self.config.fast_path_enabled() && self.word.try_acquire_fast() {
+            return self.run_elided(me, started, drain, f);
+        }
         let lock_timer = self.stats.phases.start(Phase::Lock);
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_slow();
         lock_timer.finish();
         self.owner.store(me, Ordering::Relaxed);
         inner.dirty = false;
@@ -407,7 +441,41 @@ impl<S> Monitor<S> {
         let mut guard = MonitorGuard {
             monitor: self,
             inner: Some(inner),
-            named,
+            started,
+            elided: false,
+            drain,
+        };
+        let result = f(&mut guard);
+        drop(guard);
+        result
+    }
+
+    /// Runs one occupancy over the elided lane: the CAS already granted
+    /// exclusive ownership, so the guard works on the mutex's payload
+    /// through a raw pointer and exit is a single atomic AND. Sound
+    /// because `try_acquire_fast` only succeeds at `presence == 0` —
+    /// nobody holds or awaits the mutex, and (since blocked waiters keep
+    /// presence) nobody is waiting, so no relay can be owed.
+    fn run_elided<R>(
+        &self,
+        me: u64,
+        started: Option<Instant>,
+        drain: Option<DrainFn<S>>,
+        f: impl FnOnce(&mut MonitorGuard<'_, S>) -> R,
+    ) -> R {
+        self.stats.counters.record_fast_path_enter();
+        self.owner.store(me, Ordering::Relaxed);
+        {
+            let inner = unsafe { &mut *self.inner.data_ptr() };
+            inner.dirty = false;
+            inner.signaled = false;
+            inner.tracked_pending = false;
+        }
+        let mut guard = MonitorGuard {
+            monitor: self,
+            inner: None,
+            started,
+            elided: true,
             drain,
         };
         let result = f(&mut guard);
@@ -416,39 +484,125 @@ impl<S> Monitor<S> {
     }
 
     /// Convenience: enter, mutate the state, exit (relaying as always).
-    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
-        self.enter(|g| f(g.state_mut()))
+    ///
+    /// Unlike [`Monitor::enter`], a contended `with` does not queue on
+    /// the mutex: it publishes the whole occupancy into the monitor's
+    /// flat-combining slab and the current holder runs it at exit. The
+    /// extra `Send` bounds let the closure and its result cross to the
+    /// combining thread.
+    pub fn with<R: Send>(&self, f: impl FnOnce(&mut S) -> R + Send) -> R {
+        self.with_combinable(None, f)
     }
 
-    /// Convenience: [`Monitor::enter_tracked`], mutate, exit.
-    pub fn with_tracked<R>(&self, f: impl FnOnce(&mut S) -> R) -> R
+    /// Convenience: [`Monitor::enter_tracked`], mutate, exit — combined
+    /// under contention exactly like [`Monitor::with`].
+    pub fn with_tracked<R: Send>(&self, f: impl FnOnce(&mut S) -> R + Send) -> R
     where
         S: TrackedState,
     {
-        self.enter_tracked(|g| f(g.state_mut()))
+        self.with_combinable(Some(drain_cells::<S>), f)
     }
 
-    /// Convenience: enter, `waituntil(cond)`, then run `f` on the state.
-    ///
-    /// ```
-    /// # struct S { x: i64 }
-    /// # let m = autosynch::Monitor::new(S { x: 1 });
-    /// # let x = m.register_expr("x", |s: &S| s.x);
-    /// #[allow(deprecated)]
-    /// let seen = m.wait_and(x.ge(1), |s| s.x); // v1 shim — still compiles
-    /// # assert_eq!(seen, 1);
-    /// ```
-    #[deprecated(
-        since = "0.2.0",
-        note = "compile the condition once (`Monitor::compile`) and wait on it inside \
-                `enter`/`enter_tracked`"
-    )]
-    pub fn wait_and<R>(&self, cond: impl IntoPredicate<S>, f: impl FnOnce(&mut S) -> R) -> R {
-        let pred = cond.into_predicate();
-        self.enter(|g| {
-            g.wait_until_predicate(pred, None);
-            f(g.state_mut())
-        })
+    /// The shared `with`/`with_tracked` engine: elided lane when
+    /// quiescent, flat-combining publication when contended, plain slow
+    /// lane when the fast path is off or the slab is full.
+    fn with_combinable<R: Send>(
+        &self,
+        drain: Option<DrainFn<S>>,
+        f: impl FnOnce(&mut S) -> R + Send,
+    ) -> R {
+        if !self.config.fast_path_enabled() {
+            return self.enter_inner(drain, |g| f(g.state_mut()));
+        }
+        let me = thread_id::current();
+        assert_ne!(
+            self.owner.load(Ordering::Relaxed),
+            me,
+            "Monitor::with called re-entrantly from the same thread"
+        );
+        let started = self.stats.timing_enabled().then(Instant::now);
+        if self.word.try_acquire_fast() {
+            self.stats.counters.record_enter();
+            return self.run_elided(me, started, drain, |g| f(g.state_mut()));
+        }
+        // Contended: publish the occupancy and let the current holder
+        // combine it into its own exit. The op writes its result into
+        // `result` on this stack frame; `await_done` blocks until the
+        // op was consumed (or withdrawn back to us), so the frame
+        // outlives every access.
+        let mut result: Option<R> = None;
+        let out = SendPtr(&mut result as *mut Option<R>);
+        let stats = Arc::clone(&self.stats);
+        let op: Box<dyn FnOnce(*mut ()) + Send> = Box::new(move |ptr: *mut ()| {
+            // Move the whole `SendPtr` in (not just its pointer field),
+            // so the closure's `Send` comes from the wrapper.
+            let out = out;
+            let inner = unsafe { &mut *(ptr as *mut Inner<S>) };
+            let value = f(&mut inner.state);
+            inner.dirty = true;
+            match drain {
+                None => inner.mgr.note_mutation(),
+                Some(drain) => {
+                    // Inline tracked flush: name exactly the expressions
+                    // this op's cell writes touched, as flush_tracked
+                    // would for a first-class occupancy.
+                    let Inner {
+                        state, mgr, sink, ..
+                    } = &mut *inner;
+                    sink.reset();
+                    drain(state, sink);
+                    if sink.is_blanket() || sink.touched().is_empty() {
+                        mgr.note_mutation();
+                    } else {
+                        stats.counters.record_named_mutation();
+                        mgr.note_mutation_named(sink.touched());
+                    }
+                }
+            }
+            unsafe { *out.0 = Some(value) };
+        });
+        // The op borrows `f`'s captures for this call's lifetime only;
+        // the slab stores it as `'static`. Sound: every path below
+        // blocks until the op is consumed, withdrawn, or run locally —
+        // it cannot outlive this frame.
+        let op: FcOp = unsafe { std::mem::transmute(op) };
+        match self.fc.publish(op) {
+            Ok(ticket) => {
+                self.stats.counters.record_fc_publish();
+                let outcome = self
+                    .fc
+                    .await_done(ticket, || self.owner.load(Ordering::Relaxed) != 0);
+                match outcome {
+                    FcOutcome::Done => {
+                        // The combiner ran us as one occupancy: count it
+                        // here, on the thread that owns the semantics.
+                        self.stats.counters.record_enter();
+                        if let Some(started) = started {
+                            self.stats.enter_exit.record(started.elapsed());
+                        }
+                        result.expect("combined op finished without a result")
+                    }
+                    FcOutcome::Panicked(payload) => {
+                        self.stats.counters.record_enter();
+                        resume_unwind(payload)
+                    }
+                    FcOutcome::Withdrawn(op) => {
+                        // Nobody was left to combine for us — run the op
+                        // as a first-class slow-lane occupancy. The op
+                        // does its own mutation naming, so no guard-level
+                        // drain hook.
+                        self.enter_inner(None, |g| g.apply_fc(op));
+                        result.expect("withdrawn op ran without a result")
+                    }
+                }
+            }
+            Err(op) => {
+                // Slab full: overload means combining is already paying
+                // for itself elsewhere; just take the slow lane.
+                self.enter_inner(None, |g| g.apply_fc(op));
+                result.expect("fallback op ran without a result")
+            }
+        }
     }
 
     /// The instrumentation bundle shared by all users of this monitor.
@@ -532,9 +686,9 @@ impl<S> Monitor<S> {
 
     /// Diagnostic counts of the condition manager, by name.
     pub fn counts(&self) -> ManagerCounts {
-        let inner = self.inner.lock();
+        let inner = self.lock_slow();
         let counters = self.stats.counters.snapshot();
-        ManagerCounts {
+        let counts = ManagerCounts {
             entries: inner.mgr.entry_count(),
             waiting: inner.mgr.waiting_count(),
             signaled: inner.mgr.signaled_count(),
@@ -543,29 +697,12 @@ impl<S> Monitor<S> {
             ladder_skips: counters.ladder_skips,
             cursor_resumes: counters.cursor_resumes,
             transient_cache_hits: counters.transient_cache_hits,
-        }
-    }
-
-    /// Diagnostic counts: `(entries, waiting, signaled, live_tags)`.
-    ///
-    /// ```
-    /// # let m = autosynch::Monitor::new(());
-    /// #[allow(deprecated)]
-    /// let (entries, waiting, _, _) = m.manager_counts(); // v1 shim
-    /// # assert_eq!((entries, waiting), (0, 0));
-    /// ```
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Monitor::counts` — a named `ManagerCounts` struct"
-    )]
-    pub fn manager_counts(&self) -> (usize, usize, usize, usize) {
-        let counts = self.counts();
-        (
-            counts.entries,
-            counts.waiting,
-            counts.signaled,
-            counts.live_tags,
-        )
+            fast_path_enters: counters.fast_path_enters,
+            combined_exits: counters.combined_exits,
+        };
+        drop(inner);
+        self.unlock_slow();
+        counts
     }
 }
 
@@ -576,10 +713,15 @@ impl<S> Monitor<S> {
 pub struct MonitorGuard<'a, S> {
     monitor: &'a Monitor<S>,
     inner: Option<MutexGuard<'a, Inner<S>>>,
-    /// The named-mutation contract of this occupancy, when entered via
-    /// the deprecated `Monitor::enter_mutating` (borrowed — naming
-    /// expressions costs no allocation per entry).
-    named: Option<&'a [ExprId]>,
+    /// Entry timestamp for the `enter_exit` latency stat; `None` when
+    /// timing is disabled.
+    started: Option<Instant>,
+    /// This occupancy holds the monitor through the elided (CAS) lane:
+    /// `inner` is `None` and the payload is reached through the mutex's
+    /// raw data pointer — sound because the monitor-word CAS granted
+    /// the same exclusivity the mutex would. A wait downgrades the
+    /// occupancy to the slow lane first.
+    elided: bool,
     /// The tracked-cell drain hook, when entered via
     /// [`Monitor::enter_tracked`]. Writes defer their naming to a flush
     /// right before each relay, where the dirty cells report exactly
@@ -590,18 +732,52 @@ pub struct MonitorGuard<'a, S> {
 impl<S> std::fmt::Debug for MonitorGuard<'_, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MonitorGuard")
-            .field("held", &self.inner.is_some())
+            .field("held", &(self.elided || self.inner.is_some()))
+            .field("elided", &self.elided)
             .finish()
     }
 }
 
 impl<S> MonitorGuard<'_, S> {
     fn inner(&self) -> &Inner<S> {
+        if self.elided {
+            // Exclusive by the monitor-word protocol: the CAS set
+            // OCCUPIED at presence 0, and both block any other access.
+            return unsafe { &*self.monitor.inner.data_ptr() };
+        }
         self.inner.as_ref().expect("monitor guard already released")
     }
 
     fn inner_mut(&mut self) -> &mut Inner<S> {
+        if self.elided {
+            return unsafe { &mut *self.monitor.inner.data_ptr() };
+        }
         self.inner.as_mut().expect("monitor guard already released")
+    }
+
+    /// Moves an elided occupancy onto the slow lane: announce presence,
+    /// take the mutex (uncontended by protocol — presence was 0 and
+    /// OCCUPIED blocks newcomers from passing `await_fast_clear`), then
+    /// clear OCCUPIED. Required before any blocking wait: waiters must
+    /// be on the mutex/condvar protocol, and must hold presence so
+    /// other threads' fast acquires stay rejected while they sleep.
+    fn downgrade_if_elided(&mut self) {
+        if !self.elided {
+            return;
+        }
+        self.monitor.word.join_slow();
+        let inner = self.monitor.inner.lock();
+        self.inner = Some(inner);
+        self.elided = false;
+        self.monitor.word.release_fast();
+    }
+
+    /// Runs a flat-combining op against this occupancy's `Inner` — the
+    /// local-execution path for ops that could not stay published
+    /// (withdrawn, or the slab was full).
+    fn apply_fc(&mut self, op: FcOp) {
+        let inner = self.inner_mut();
+        op(inner as *mut Inner<S> as *mut ());
     }
 
     /// Shared access to the monitor state.
@@ -616,17 +792,13 @@ impl<S> MonitorGuard<'_, S> {
     /// ([`Monitor::enter_tracked`]) the mutation's naming is deferred:
     /// the dirty cells are drained right before the next relay.
     pub fn state_mut(&mut self) -> &mut S {
-        let named = self.named;
         let tracked = self.drain.is_some();
-        let inner = self.inner.as_mut().expect("monitor guard already released");
+        let inner = self.inner_mut();
         inner.dirty = true;
         if tracked {
             inner.tracked_pending = true;
         } else {
-            match named {
-                Some(touched) => inner.mgr.note_mutation_named(touched),
-                None => inner.mgr.note_mutation(),
-            }
+            inner.mgr.note_mutation();
         }
         &mut inner.state
     }
@@ -641,7 +813,7 @@ impl<S> MonitorGuard<'_, S> {
     /// can be lost (the `validate_relay` checker catches violations).
     pub fn state_mut_touching(&mut self, touched: &[ExprId]) -> &mut S {
         self.monitor.stats.counters.record_named_mutation();
-        let inner = self.inner.as_mut().expect("monitor guard already released");
+        let inner = self.inner_mut();
         inner.dirty = true;
         inner.mgr.note_mutation_named(touched);
         &mut inner.state
@@ -664,9 +836,15 @@ impl<S> MonitorGuard<'_, S> {
     /// that misses a mutation would skip the diff and lose wakeups.
     fn flush_tracked(&mut self) {
         let Some(drain) = self.drain else { return };
-        let stats = &self.monitor.stats;
-        let Some(inner) = self.inner.as_mut() else {
-            return;
+        let monitor = self.monitor;
+        let stats = &monitor.stats;
+        let inner: &mut Inner<S> = if self.elided {
+            unsafe { &mut *monitor.inner.data_ptr() }
+        } else {
+            match self.inner.as_mut() {
+                Some(inner) => inner,
+                None => return,
+            }
         };
         if !inner.tracked_pending {
             return;
@@ -674,7 +852,7 @@ impl<S> MonitorGuard<'_, S> {
         inner.tracked_pending = false;
         let Inner {
             state, mgr, sink, ..
-        } = &mut **inner;
+        } = inner;
         sink.reset();
         drain(state, sink);
         if sink.is_blanket() || sink.touched().is_empty() {
@@ -788,55 +966,6 @@ impl<S> MonitorGuard<'_, S> {
         self.wait_until_predicate(cond.into_predicate(), Some(Instant::now() + timeout))
     }
 
-    /// The paper's `waituntil(P)` with per-call analysis: blocks until
-    /// `cond` holds, releasing the monitor while blocked.
-    ///
-    /// `cond` may be a predicate AST built from
-    /// [`ExprHandle`] comparisons (taggable — fast), a prebuilt
-    /// [`Predicate`], or any `Fn(&S) -> bool` closure (falls back to the
-    /// `None` tag, i.e. exhaustive search). The DNF conversion, tagging
-    /// and key hashing re-run on **every call**; it compiles into the
-    /// same predicate table the compiled path uses, just per-wait.
-    ///
-    /// ```
-    /// # struct S { x: i64 }
-    /// # let m = autosynch::Monitor::new(S { x: 1 });
-    /// # let x = m.register_expr("x", |s: &S| s.x);
-    /// m.enter(|g| {
-    ///     #[allow(deprecated)]
-    ///     g.wait_until(x.ge(1)); // v1 shim — still compiles
-    /// });
-    /// ```
-    #[deprecated(
-        since = "0.2.0",
-        note = "compile once with `Monitor::compile` and use `MonitorGuard::wait`"
-    )]
-    pub fn wait_until(&mut self, cond: impl IntoPredicate<S>) {
-        self.wait_until_predicate(cond.into_predicate(), None);
-    }
-
-    /// Like `wait_until` with a timeout. Returns `true` when the
-    /// condition held within the timeout, `false` otherwise.
-    ///
-    /// ```
-    /// # use std::time::Duration;
-    /// # struct S { x: i64 }
-    /// # let m = autosynch::Monitor::new(S { x: 0 });
-    /// # let x = m.register_expr("x", |s: &S| s.x);
-    /// m.enter(|g| {
-    ///     #[allow(deprecated)]
-    ///     let held = g.wait_until_timeout(x.ge(1), Duration::from_millis(5));
-    ///     assert!(!held);
-    /// });
-    /// ```
-    #[deprecated(
-        since = "0.2.0",
-        note = "compile once with `Monitor::compile` and use `MonitorGuard::wait_timeout`"
-    )]
-    pub fn wait_until_timeout(&mut self, cond: impl IntoPredicate<S>, timeout: Duration) -> bool {
-        self.wait_until_predicate(cond.into_predicate(), Some(Instant::now() + timeout))
-    }
-
     /// Non-blocking check: whether `cond` holds right now. Never waits
     /// and never registers anything with the condition manager.
     pub fn holds(&self, cond: impl IntoPredicate<S>) -> bool {
@@ -866,7 +995,7 @@ impl<S> MonitorGuard<'_, S> {
     }
 
     /// The shared wait loop: both the compiled (`wait`) and per-call
-    /// (`wait_until`) paths land here once the waiter is registered.
+    /// (`wait_transient`) paths land here once the waiter is registered.
     /// `slot` is the compiled-condition slot when the wait came through
     /// a [`Cond`] — the `Routed` mode's bucket identity; per-call waits
     /// have none and fall back to the broadcast bucket.
@@ -878,6 +1007,11 @@ impl<S> MonitorGuard<'_, S> {
     ) -> bool {
         let monitor = self.monitor;
         let stats = Arc::clone(&monitor.stats);
+
+        // An elided occupancy is about to block: move onto the mutex
+        // protocol (keeping word presence, so fast acquires stay
+        // rejected for as long as this waiter exists).
+        self.downgrade_if_elided();
 
         // Any tracked writes of this occupancy must reach the manager
         // before the relay below runs its diff.
@@ -1344,12 +1478,18 @@ impl<S> MonitorGuard<'_, S> {
     }
 
     fn exit(&mut self) {
+        if self.elided {
+            return self.exit_elided();
+        }
         // Tracked writes of this occupancy must reach the manager
         // before the exit relay diffs.
         self.flush_tracked();
         let Some(mut inner) = self.inner.take() else {
             return;
         };
+        // Adopt any published flat-combining occupancies first: their
+        // mutations fold into this exit's single relay pass below.
+        self.monitor.combine_published(&mut inner);
         // The relay signaling rule on exit (§4.2). Under the ablation
         // config a clean occupancy may skip it, but only if it neither
         // mutated the state nor consumed a signal — a consumed signal is
@@ -1386,6 +1526,10 @@ impl<S> MonitorGuard<'_, S> {
             });
         self.monitor.owner.store(0, Ordering::Relaxed);
         drop(inner);
+        // Presence must outlive the mutex hold (a fast CAS sneaking in
+        // between would alias the payload); it may end before the wake
+        // delivery, which only touches the gates.
+        self.monitor.unlock_slow();
         if has_wakes {
             WAKE_SCRATCH.with(|buf| {
                 self.monitor.deliver_wakes(&buf.borrow(), wake_epoch);
@@ -1395,6 +1539,38 @@ impl<S> MonitorGuard<'_, S> {
             ROUTED_SCRATCH.with(|buf| {
                 self.monitor.deliver_routed_wakes(&buf.borrow(), wake_epoch);
             });
+        }
+        if let Some(started) = self.started {
+            self.monitor.stats.enter_exit.record(started.elapsed());
+        }
+    }
+
+    /// Exit for an occupancy still on the elided lane: no relay and no
+    /// snapshot publish — `try_acquire_fast` succeeded at presence 0,
+    /// blocked waiters hold presence for their whole wait, and no
+    /// thread can register as a waiter mid-occupancy (registration
+    /// requires being inside), so there is provably nobody to signal.
+    /// Mutations noted by tracked flushes or adopted ops persist in the
+    /// condition manager and are diffed by the next slow-lane relay.
+    fn exit_elided(&mut self) {
+        let monitor = self.monitor;
+        // Name this occupancy's tracked writes while the accessors
+        // still route through the elided raw pointer.
+        self.flush_tracked();
+        {
+            let inner = unsafe { &mut *monitor.inner.data_ptr() };
+            monitor.combine_published(inner);
+            if monitor.config.validates_relay() {
+                inner.mgr.audit_fast_exit();
+            }
+        }
+        self.elided = false;
+        // Clear ownership before opening the lane: a successor's fast
+        // acquire must never have its own owner stamp clobbered by us.
+        monitor.owner.store(0, Ordering::Relaxed);
+        monitor.word.release_fast();
+        if let Some(started) = self.started {
+            monitor.stats.enter_exit.record(started.elapsed());
         }
     }
 }
@@ -1609,24 +1785,23 @@ mod tests {
     }
 
     #[test]
-    fn shim_and_compiled_waits_share_one_entry() {
-        // The v1 shim interns through the same predicate table the
-        // compiled path pins its entries in: no duplicate entry, no
-        // duplicate condvar. (Timed waits on a false predicate force a
-        // real registration on both paths.)
+    fn transient_and_compiled_waits_share_one_entry() {
+        // The per-call transient path interns through the same predicate
+        // table the compiled path pins its entries in: no duplicate
+        // entry, no duplicate condvar. (Timed waits on a false predicate
+        // force a real registration on both paths.)
         let m = Monitor::new(Counter { value: 1 });
         let v = value_expr(&m);
-        #[allow(deprecated)]
         m.enter(|g| {
-            assert!(!g.wait_until_timeout(v.gt(5), Duration::from_millis(10)));
+            assert!(!g.wait_transient_timeout(v.gt(5), Duration::from_millis(10)));
         });
         let entries_before = m.counts().entries;
-        assert_eq!(entries_before, 1, "the shim registered one entry");
+        assert_eq!(entries_before, 1, "the transient wait registered one entry");
         let cond = m.compile(v.gt(5));
         assert_eq!(
             m.counts().entries,
             entries_before,
-            "compile reused the shim's entry"
+            "compile reused the transient entry"
         );
         assert!(!m.enter(|g| g.wait_timeout(&cond, Duration::from_millis(10))));
         assert_eq!(m.counts().entries, entries_before);
@@ -2148,44 +2323,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn enter_mutating_shim_still_narrows_the_diff() {
-        // The v1 named-mutation shim keeps its contract until removal.
-        struct Raw {
-            x: i64,
-            y: i64,
-        }
-        let m = Arc::new(Monitor::with_config(
-            Raw { x: 0, y: 0 },
-            MonitorConfig::preset(SignalMode::Sharded).validate_relay(true),
-        ));
-        let x = m.register_expr("x", |s: &Raw| s.x);
-        let y = m.register_expr("y", |s: &Raw| s.y);
-        assert_eq!(m.lookup_expr("y"), Some(y));
-        let x_cond = m.compile(x.ge(5));
-        let y_cond = m.compile(y.ge(5));
-        let m2 = Arc::clone(&m);
-        let wx = thread::spawn(move || m2.enter(|g| g.wait(&x_cond)));
-        let m3 = Arc::clone(&m);
-        let wy = thread::spawn(move || m3.enter(|g| g.wait(&y_cond)));
-        thread::sleep(Duration::from_millis(30));
-        let before = m.stats_snapshot().counters;
-        for _ in 0..10 {
-            m.enter_mutating(&[x.id()], |g| {
-                g.state_mut().x += 0;
-            });
-        }
-        let diff = m.stats_snapshot().counters.since(&before);
-        assert_eq!(diff.named_mutations, 10);
-        assert!(diff.expr_evals <= 12, "got {} expr evals", diff.expr_evals);
-        m.enter_mutating(&[x.id()], |g| g.state_mut().x = 5);
-        wx.join().unwrap();
-        m.with(|s| s.y = 5);
-        wy.join().unwrap();
-        assert!(m.is_quiescent());
-    }
-
-    #[test]
     fn state_mut_touching_names_per_write() {
         // The dynamic naming entry point (the DSL runtime's path).
         struct Raw {
@@ -2198,6 +2335,7 @@ mod tests {
         ));
         let x = m.register_expr("x", |s: &Raw| s.x);
         let y = m.register_expr("y", |s: &Raw| s.y);
+        assert_eq!(m.lookup_expr("y"), Some(y));
         let x_cond = m.compile(x.ge(5));
         let y_cond = m.compile(y.ge(5));
         let m2 = Arc::clone(&m);
@@ -2309,16 +2447,77 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn shared_predicate_preregistration_is_reused() {
-        // v1 shim: register_shared_predicate + wait_until still intern
-        // into the same table the compiled path uses.
+    fn compiled_entry_is_reused_by_transient_waits() {
+        // A compiled condition's persistent entry is the same table row
+        // a later transient wait on the same predicate interns into.
         let m = Monitor::new(Counter { value: 1 });
         let v = value_expr(&m);
-        m.register_shared_predicate(v.gt(0));
+        let _pinned = m.compile(v.gt(0));
         let entries_before = m.counts().entries;
-        m.enter(|g| g.wait_until(v.gt(0)));
+        m.enter(|g| g.wait_transient(v.gt(0)));
         assert_eq!(m.counts().entries, entries_before, "no duplicate entry");
+    }
+
+    #[test]
+    fn uncontended_entries_take_the_fast_lane() {
+        let m = Monitor::new(Counter { value: 0 });
+        for _ in 0..10 {
+            m.with(|s| s.value += 1);
+        }
+        m.enter(|g| g.state_mut().value += 1);
+        let snap = m.stats_snapshot().counters;
+        assert_eq!(snap.enters, 11);
+        assert_eq!(
+            snap.fast_path_enters, 11,
+            "a quiescent monitor never touches the mutex"
+        );
+        assert_eq!(snap.signals, 0);
+        assert_eq!(m.with(|s| s.value), 11);
+    }
+
+    #[test]
+    fn fast_path_off_is_mutex_only() {
+        let m = Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::default().fast_path(false),
+        );
+        for _ in 0..5 {
+            m.with(|s| s.value += 1);
+        }
+        let snap = m.stats_snapshot().counters;
+        assert_eq!(snap.enters, 5);
+        assert_eq!(snap.fast_path_enters, 0, "the ablation never elides");
+        assert_eq!(snap.fc_publishes, 0);
+    }
+
+    #[test]
+    fn elided_mutations_reach_the_next_relay() {
+        // A mutation made over the elided lane must not be lost: the
+        // next slow-lane relay's change-driven diff has to see it. The
+        // armed validator cross-checks every relay against a full scan.
+        let m = Arc::new(Monitor::with_config(
+            Counter { value: 0 },
+            MonitorConfig::preset(SignalMode::ChangeDriven).validate_relay(true),
+        ));
+        let v = value_expr(&m);
+        let done = m.compile(v.ge(3));
+        m.with(|s| s.value = 2); // elided: no relay, mutation noted
+        assert!(m.stats_snapshot().counters.fast_path_enters >= 1);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || m2.enter(|g| g.wait(&done)));
+        thread::sleep(Duration::from_millis(20));
+        m.with(|s| s.value += 1); // slow (the waiter holds presence)
+        waiter.join().unwrap();
+        assert!(m.is_quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrantly")]
+    fn reentrant_with_panics() {
+        let m = Monitor::new(Counter { value: 0 });
+        m.enter(|_| {
+            m.with(|s| s.value += 1);
+        });
     }
 
     #[test]

@@ -22,6 +22,12 @@ pub struct MonitorStats {
     /// monitor lock busy doing signaling work. Recorded only while
     /// `phases` timing is enabled (clock reads are not free).
     pub hold: HoldTimes,
+    /// Whole-occupancy enter→exit wall times: what a `Monitor::enter`
+    /// (or `with`) costs end to end, the number the uncontended
+    /// fast-path lane exists to shrink. Recorded only while timing is
+    /// enabled, same as [`MonitorStats::hold`].
+    pub enter_exit: HoldTimes,
+    timed: bool,
 }
 
 impl MonitorStats {
@@ -35,7 +41,14 @@ impl MonitorStats {
                 PhaseTimes::disabled()
             },
             hold: HoldTimes::new(),
+            enter_exit: HoldTimes::new(),
+            timed: timing,
         })
+    }
+
+    /// Whether per-phase/latency timing was enabled at construction.
+    pub fn timing_enabled(&self) -> bool {
+        self.timed
     }
 
     /// Captures both counter and phase snapshots.
@@ -44,6 +57,7 @@ impl MonitorStats {
             counters: self.counters.snapshot(),
             phases: self.phases.snapshot(),
             hold: self.hold.snapshot(),
+            enter_exit: self.enter_exit.snapshot(),
         }
     }
 
@@ -52,6 +66,7 @@ impl MonitorStats {
         self.counters.reset();
         self.phases.reset();
         self.hold.reset();
+        self.enter_exit.reset();
     }
 }
 
@@ -132,6 +147,9 @@ pub struct StatsSnapshot {
     pub phases: PhaseSnapshot,
     /// Signaler-lock hold times (zero unless timing was enabled).
     pub hold: HoldSnapshot,
+    /// Whole-occupancy enter→exit wall times (zero unless timing was
+    /// enabled).
+    pub enter_exit: HoldSnapshot,
 }
 
 impl StatsSnapshot {
@@ -141,6 +159,7 @@ impl StatsSnapshot {
             counters: self.counters.since(&earlier.counters),
             phases: self.phases.since(&earlier.phases),
             hold: self.hold.since(&earlier.hold),
+            enter_exit: self.enter_exit.since(&earlier.enter_exit),
         }
     }
 }
@@ -187,6 +206,20 @@ mod tests {
         s.phases.add(Phase::Await, Duration::from_nanos(9));
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn enter_exit_times_accumulate() {
+        let s = MonitorStats::new(true);
+        assert!(s.timing_enabled());
+        s.enter_exit.record(Duration::from_nanos(40));
+        s.enter_exit.record(Duration::from_nanos(60));
+        let snap = s.snapshot().enter_exit;
+        assert_eq!(snap.holds, 2);
+        assert!((snap.mean_nanos() - 50.0).abs() < 1e-9);
+        s.reset();
+        assert_eq!(s.snapshot().enter_exit, HoldSnapshot::default());
+        assert!(!MonitorStats::new(false).timing_enabled());
     }
 
     #[test]

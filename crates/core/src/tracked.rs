@@ -1,7 +1,8 @@
 //! Tracked mutations: state cells whose writes name the touched shared
 //! expressions automatically.
 //!
-//! PR-3's named-mutation contract (`enter_mutating(&[ExprId])`) made the
+//! A manually named-mutation contract (a caller-supplied `&[ExprId]`,
+//! as `MonitorGuard::state_mut_touching` still offers) makes the
 //! change-driven snapshot diff precise — but only for callers
 //! disciplined enough to enumerate every touched expression on every
 //! entry, and a single forgotten id is a lost wakeup. A [`Tracked`] cell

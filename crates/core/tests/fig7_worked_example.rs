@@ -9,11 +9,6 @@
 //! equivalence probe first, then the threshold heaps weakest-first, then
 //! the exhaustive `None` scan.
 
-// Deliberately exercises the deprecated v1 wait/config shims alongside
-// the v2 API: the shims must keep behaving identically until removal,
-// and these runtime suites are their regression net.
-#![allow(deprecated)]
-
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -41,7 +36,7 @@ fn install_waiters(
             let monitor = Arc::clone(monitor);
             let released = Arc::clone(&released);
             thread::spawn(move || {
-                monitor.enter(|g| g.wait_until(pred));
+                monitor.enter(|g| g.wait_transient(pred));
                 released[i].fetch_add(1, Ordering::SeqCst);
             })
         })
@@ -90,11 +85,11 @@ fn fig7_state_is_indexed_as_described() {
 
     // Census: 7 entries, 7 waiters, and tag count = number of
     // conjunctions = 8 ((x>=8)||(x==3) contributes two).
-    let (entries, waiting, signaled, tags) = monitor.manager_counts();
-    assert_eq!(entries, count);
-    assert_eq!(waiting, count);
-    assert_eq!(signaled, 0);
-    assert_eq!(tags, count + 1);
+    let counts = monitor.counts();
+    assert_eq!(counts.entries, count);
+    assert_eq!(counts.waiting, count);
+    assert_eq!(counts.signaled, 0);
+    assert_eq!(counts.live_tags, count + 1);
 
     // Release everyone: x=6 frees x>5(6>5), x>=5, x==6, x!=1; then x=7
     // frees x==7; then x=2 frees (x!=1)&&(x<=2); then x=8 frees the
@@ -163,7 +158,7 @@ fn threshold_walk_skips_false_root_descendants() {
         let monitor = Arc::clone(&monitor);
         let released = Arc::clone(&released);
         thread::spawn(move || {
-            monitor.enter(|g| g.wait_until(p1));
+            monitor.enter(|g| g.wait_transient(p1));
             released[0].fetch_add(1, Ordering::SeqCst);
         })
     };
@@ -171,7 +166,7 @@ fn threshold_walk_skips_false_root_descendants() {
         let monitor = Arc::clone(&monitor);
         let released = Arc::clone(&released);
         thread::spawn(move || {
-            monitor.enter(|g| g.wait_until(p2));
+            monitor.enter(|g| g.wait_transient(p2));
             released[1].fetch_add(1, Ordering::SeqCst);
         })
     };
@@ -205,8 +200,7 @@ fn none_tags_are_found_by_exhaustive_search() {
     let preds = vec![("x != 9", x.ne(9).into_predicate())];
     let (handles, released) = install_waiters(&monitor, preds);
     thread::sleep(Duration::from_millis(30));
-    let (_, _, _, tags) = monitor.manager_counts();
-    assert_eq!(tags, 1);
+    assert_eq!(monitor.counts().live_tags, 1);
     monitor.with(|s| s.x = 4);
     wait_for(&released, 0);
     for handle in handles {

@@ -1,11 +1,6 @@
 //! Property tests for the monitor runtime's data structures and for the
 //! monitor itself under randomized schedules.
 
-// Deliberately exercises the deprecated v1 wait/config shims alongside
-// the v2 API: the shims must keep behaving identically until removal,
-// and these runtime suites are their regression net.
-#![allow(deprecated)]
-
 use std::sync::Arc;
 
 use autosynch::config::{MonitorConfig, SignalMode, ThresholdIndexKind};
@@ -136,8 +131,9 @@ fn run_schedule(
             scope.spawn(move || {
                 monitor.enter(|g| {
                     // Demands are calibrated to be satisfiable: each is
-                    // at most the eventual total level.
-                    g.wait_until(level.ge(demand.min(total)));
+                    // at most the eventual total level. The thresholds
+                    // are randomized one-shots — transient territory.
+                    g.wait_transient(level.ge(demand.min(total)));
                 });
             });
         }
@@ -152,8 +148,12 @@ fn run_schedule(
     assert_eq!(monitor.with(|p| p.level), total);
     let snap = monitor.stats_snapshot();
     assert_eq!(snap.counters.broadcasts, 0);
-    let (_, waiting, signaled, tags) = monitor.manager_counts();
-    assert_eq!((waiting, signaled, tags), (0, 0, 0), "clean shutdown");
+    let counts = monitor.counts();
+    assert_eq!(
+        (counts.waiting, counts.signaled, counts.live_tags),
+        (0, 0, 0),
+        "clean shutdown"
+    );
 }
 
 proptest! {
@@ -208,7 +208,7 @@ proptest! {
                 let monitor = Arc::clone(&monitor);
                 let released = &released;
                 scope.spawn(move || {
-                    monitor.enter(|g| g.wait_until(level.eq(target)));
+                    monitor.enter(|g| g.wait_transient(level.eq(target)));
                     released.fetch_add(1, Ordering::SeqCst);
                 });
             }
@@ -223,8 +223,8 @@ proptest! {
                 }
             });
         });
-        let (_, waiting, signaled, tags) = monitor.manager_counts();
-        prop_assert_eq!((waiting, signaled, tags), (0, 0, 0));
+        let counts = monitor.counts();
+        prop_assert_eq!((counts.waiting, counts.signaled, counts.live_tags), (0, 0, 0));
         prop_assert_eq!(monitor.stats_snapshot().counters.broadcasts, 0);
     }
 }

@@ -2,11 +2,6 @@
 //! panic safety across all three monitor types, mixed tag classes under
 //! one roof, and expression registration after startup.
 
-// Deliberately exercises the deprecated v1 wait/config shims alongside
-// the v2 API: the shims must keep behaving identically until removal,
-// and these runtime suites are their regression net.
-#![allow(deprecated)]
-
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -36,7 +31,7 @@ fn relay_width_two_wakes_two_eligible_waiters() {
             let monitor = Arc::clone(&monitor);
             let woken = Arc::clone(&woken);
             thread::spawn(move || {
-                monitor.enter(|g| g.wait_until(value.ge(k)));
+                monitor.enter(|g| g.wait_transient(value.ge(k)));
                 woken.fetch_add(1, Ordering::SeqCst);
             })
         })
@@ -66,7 +61,7 @@ fn relay_width_one_is_strictly_sequential() {
         .map(|k| {
             let monitor = Arc::clone(&monitor);
             thread::spawn(move || {
-                monitor.enter(|g| g.wait_until(value.ge(k)));
+                monitor.enter(|g| g.wait_transient(value.ge(k)));
             })
         })
         .collect();
@@ -142,7 +137,7 @@ fn mixed_tag_classes_in_one_monitor() {
             let monitor = Arc::clone(&monitor);
             let released = Arc::clone(&released);
             thread::spawn(move || {
-                monitor.enter(|g| g.wait_until(pred));
+                monitor.enter(|g| g.wait_transient(pred));
                 released.fetch_add(1, Ordering::SeqCst);
             })
         })
@@ -171,14 +166,14 @@ fn expressions_can_be_registered_while_running() {
     let first = monitor.register_expr("value", |s| s.value);
     let m2 = Arc::clone(&monitor);
     let waiter = thread::spawn(move || {
-        m2.enter(|g| g.wait_until(first.ge(1)));
+        m2.enter(|g| g.wait_transient(first.ge(1)));
     });
     thread::sleep(Duration::from_millis(10));
     // Late registration must not disturb the running waiter.
     let doubled = monitor.register_expr("value*2", |s| s.value * 2);
     let m3 = Arc::clone(&monitor);
     let second = thread::spawn(move || {
-        m3.enter(|g| g.wait_until(doubled.ge(4)));
+        m3.enter(|g| g.wait_transient(doubled.ge(4)));
     });
     thread::sleep(Duration::from_millis(10));
     monitor.with(|s| s.value = 2);
@@ -187,15 +182,15 @@ fn expressions_can_be_registered_while_running() {
 }
 
 #[test]
-fn wait_until_timeout_zero_is_a_nonblocking_check() {
+fn wait_transient_timeout_zero_is_a_nonblocking_check() {
     let monitor = Monitor::new(Counter { value: 0 });
     let value = monitor.register_expr("value", |s| s.value);
     let start = Instant::now();
-    let ok = monitor.enter(|g| g.wait_until_timeout(value.ge(1), Duration::ZERO));
+    let ok = monitor.enter(|g| g.wait_transient_timeout(value.ge(1), Duration::ZERO));
     assert!(!ok);
     assert!(start.elapsed() < Duration::from_secs(1));
     monitor.with(|s| s.value = 1);
-    assert!(monitor.enter(|g| g.wait_until_timeout(value.ge(1), Duration::ZERO)));
+    assert!(monitor.enter(|g| g.wait_transient_timeout(value.ge(1), Duration::ZERO)));
 }
 
 /// Regression test: under `relay_on_clean_exit(false)`, an occupancy
@@ -216,7 +211,7 @@ fn signaled_reader_passes_the_baton_under_skip_clean_ablation() {
             thread::spawn(move || {
                 // Pure readers: wait, observe, exit without state_mut.
                 monitor.enter(|g| {
-                    g.wait_until(value.ge(k));
+                    g.wait_transient(value.ge(k));
                     assert!(g.state().value >= k);
                 });
             })
@@ -225,7 +220,7 @@ fn signaled_reader_passes_the_baton_under_skip_clean_ablation() {
 
     // Both must be parked before the single dirty exit relays.
     let deadline = Instant::now() + Duration::from_secs(10);
-    while monitor.manager_counts().1 < 2 {
+    while monitor.counts().waiting < 2 {
         assert!(Instant::now() < deadline, "waiters failed to park");
         thread::sleep(Duration::from_millis(1));
     }
@@ -252,7 +247,12 @@ fn signaled_reader_passes_the_baton_under_skip_clean_ablation() {
 /// relay call on exit.
 #[test]
 fn unsignaled_reader_skips_relay_under_skip_clean_ablation() {
-    let config = MonitorConfig::new().relay_on_clean_exit(false);
+    // fast_path(false) pins the slow (mutex) lane: this test asserts
+    // relay policy on slow-path exits, and an elided uncontended enter
+    // would legitimately skip the relay either way.
+    let config = MonitorConfig::new()
+        .relay_on_clean_exit(false)
+        .fast_path(false);
     let monitor = Monitor::with_config(Counter { value: 0 }, config);
     let before = monitor.stats_snapshot().counters.relay_calls;
     monitor.enter(|g| {
@@ -260,8 +260,8 @@ fn unsignaled_reader_skips_relay_under_skip_clean_ablation() {
     });
     assert_eq!(monitor.stats_snapshot().counters.relay_calls, before);
 
-    // Whereas the paper-default config relays on every exit.
-    let paper = Monitor::new(Counter { value: 0 });
+    // Whereas the paper-default policy relays on every slow-path exit.
+    let paper = Monitor::with_config(Counter { value: 0 }, MonitorConfig::new().fast_path(false));
     let before = paper.stats_snapshot().counters.relay_calls;
     paper.enter(|g| {
         assert_eq!(g.state().value, 0);
@@ -277,15 +277,19 @@ fn hundreds_of_sequential_waits_do_not_leak_entries() {
     for round in 0..300i64 {
         let m2 = Arc::clone(&monitor);
         let waiter = thread::spawn(move || {
-            m2.enter(|g| g.wait_until(value.ge(round + 1)));
+            m2.enter(|g| g.wait_transient(value.ge(round + 1)));
         });
         monitor.with(move |s| s.value = round + 1);
         waiter.join().unwrap();
     }
-    let (entries, waiting, signaled, tags) = monitor.manager_counts();
-    assert_eq!((waiting, signaled, tags), (0, 0, 0));
+    let counts = monitor.counts();
+    assert_eq!(
+        (counts.waiting, counts.signaled, counts.live_tags),
+        (0, 0, 0)
+    );
     assert!(
-        entries <= 17,
-        "inactive cap must bound entries, got {entries}"
+        counts.entries <= 17,
+        "inactive cap must bound entries, got {}",
+        counts.entries
     );
 }

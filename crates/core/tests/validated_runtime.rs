@@ -6,11 +6,6 @@
 //! the equivalence hash probe, the Fig. 4 threshold-heap walk and the
 //! `None` scan under real contention, futile wakeups and barging.
 
-// Deliberately exercises the deprecated v1 wait/config shims alongside
-// the v2 API: the shims must keep behaving identically until removal,
-// and these runtime suites are their regression net.
-#![allow(deprecated)]
-
 use std::sync::Arc;
 use std::thread;
 
@@ -39,9 +34,10 @@ fn bounded_buffer_workload(mode: SignalMode) {
         for _ in 0..PAIRS {
             let producer_monitor = Arc::clone(&monitor);
             scope.spawn(move || {
+                let not_full = producer_monitor.compile(count.lt(CAP));
                 for _ in 0..OPS {
                     producer_monitor.enter(|g| {
-                        g.wait_until(count.lt(CAP));
+                        g.wait(&not_full);
                         let s = g.state_mut();
                         s.count += 1;
                         s.put += 1;
@@ -50,9 +46,10 @@ fn bounded_buffer_workload(mode: SignalMode) {
             });
             let consumer_monitor = Arc::clone(&monitor);
             scope.spawn(move || {
+                let not_empty = consumer_monitor.compile(count.gt(0));
                 for _ in 0..OPS {
                     consumer_monitor.enter(|g| {
-                        g.wait_until(count.gt(0));
+                        g.wait(&not_empty);
                         let s = g.state_mut();
                         s.count -= 1;
                         s.taken += 1;
@@ -95,9 +92,10 @@ fn round_robin_workload(mode: SignalMode) {
         for id in 0..N {
             let monitor = Arc::clone(&monitor);
             scope.spawn(move || {
+                let my_turn = monitor.compile(turn.eq(id as i64));
                 for _ in 0..ROUNDS {
                     monitor.enter(|g| {
-                        g.wait_until(turn.eq(id as i64));
+                        g.wait(&my_turn);
                         let s = g.state_mut();
                         s.turn = (s.turn + 1) % N as i64;
                         s.passes += 1;
@@ -152,8 +150,9 @@ fn validated_threshold_churn_with_random_amounts() {
             let mut produced = 0;
             while produced < total {
                 let n = rng.gen_range(1..=MAX).min(total - produced);
+                // Random thresholds churn every round — transient waits.
                 monitor_p.enter(|g| {
-                    g.wait_until(count.le(CAP - n));
+                    g.wait_transient(count.le(CAP - n));
                     g.state_mut().count += n;
                 });
                 produced += n;
@@ -171,7 +170,7 @@ fn validated_threshold_churn_with_random_amounts() {
                 for i in 0..TAKES {
                     let n = demands[i * CONSUMERS + c];
                     monitor.enter(|g| {
-                        g.wait_until(count.ge(n));
+                        g.wait_transient(count.ge(n));
                         let s = g.state_mut();
                         s.count -= n;
                         s.taken += n as u64;
@@ -215,7 +214,7 @@ fn validated_mixed_tag_classes_under_contention() {
         for pred in preds {
             let monitor = Arc::clone(&monitor);
             scope.spawn(move || {
-                monitor.enter(|g| g.wait_until(pred));
+                monitor.enter(|g| g.wait_transient(pred));
             });
         }
         let monitor = Arc::clone(&monitor);

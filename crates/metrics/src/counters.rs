@@ -55,6 +55,9 @@ pub struct SyncCounters {
     ladder_skips: AtomicU64,
     cursor_resumes: AtomicU64,
     transient_cache_hits: AtomicU64,
+    fast_path_enters: AtomicU64,
+    combined_exits: AtomicU64,
+    fc_publishes: AtomicU64,
 }
 
 macro_rules! counter_methods {
@@ -139,9 +142,9 @@ impl SyncCounters {
         /// false, so the waiter re-parked without touching the monitor
         /// lock (the cheap cousin of a futile wakeup).
         record_false_wakeup => false_wakeups,
-        /// An occupancy entered through the named-mutation API
-        /// (`enter_mutating`), promising its writes touch only the named
-        /// expressions so the snapshot diff can skip the rest.
+        /// An occupancy whose writes named their touched expressions —
+        /// a tracked-cell drain or a `state_mut_touching` call — so the
+        /// snapshot diff can skip every other expression.
         record_named_mutation => named_mutations,
         /// A *targeted* unpark in routed mode: the wake named one
         /// `Cond`-slot bucket (sweep start, token forward or baton
@@ -172,6 +175,18 @@ impl SyncCounters {
         /// LRU: the waiter joined the targeted token-sweep discipline
         /// instead of the per-gate broadcast bucket.
         record_transient_cache_hit => transient_cache_hits,
+        /// An enter that took the CAS lock-elision lane: the monitor
+        /// word was fully quiescent (no occupant, no waiter, no pending
+        /// relay work), so the occupancy ran without the mutex.
+        record_fast_path_enter => fast_path_enters,
+        /// A published enter/exit record a combiner adopted: the lock
+        /// holder ran the occupancy on the publisher's behalf and folded
+        /// its mutation diff into one batched relay pass.
+        record_combined_exit => combined_exits,
+        /// A contended `with`/`with_tracked` that published its
+        /// occupancy into the flat-combining slab instead of queueing on
+        /// the monitor mutex.
+        record_fc_publish => fc_publishes,
     }
 
     /// Adds `n` predicate evaluations at once.
@@ -226,6 +241,9 @@ impl SyncCounters {
             ladder_skips: self.ladder_skips.load(Ordering::Relaxed),
             cursor_resumes: self.cursor_resumes.load(Ordering::Relaxed),
             transient_cache_hits: self.transient_cache_hits.load(Ordering::Relaxed),
+            fast_path_enters: self.fast_path_enters.load(Ordering::Relaxed),
+            combined_exits: self.combined_exits.load(Ordering::Relaxed),
+            fc_publishes: self.fc_publishes.load(Ordering::Relaxed),
         }
     }
 
@@ -261,6 +279,9 @@ impl SyncCounters {
             &self.ladder_skips,
             &self.cursor_resumes,
             &self.transient_cache_hits,
+            &self.fast_path_enters,
+            &self.combined_exits,
+            &self.fc_publishes,
         ] {
             field.store(0, Ordering::Relaxed);
         }
@@ -300,6 +321,9 @@ pub struct CounterSnapshot {
     pub ladder_skips: u64,
     pub cursor_resumes: u64,
     pub transient_cache_hits: u64,
+    pub fast_path_enters: u64,
+    pub combined_exits: u64,
+    pub fc_publishes: u64,
 }
 
 impl CounterSnapshot {
@@ -356,6 +380,11 @@ impl CounterSnapshot {
             transient_cache_hits: self
                 .transient_cache_hits
                 .saturating_sub(earlier.transient_cache_hits),
+            fast_path_enters: self
+                .fast_path_enters
+                .saturating_sub(earlier.fast_path_enters),
+            combined_exits: self.combined_exits.saturating_sub(earlier.combined_exits),
+            fc_publishes: self.fc_publishes.saturating_sub(earlier.fc_publishes),
         }
     }
 }
@@ -427,6 +456,9 @@ mod tests {
         c.record_ladder_skip();
         c.record_cursor_resume();
         c.record_transient_cache_hit();
+        c.record_fast_path_enter();
+        c.record_combined_exit();
+        c.record_fc_publish();
         let s = c.snapshot();
         assert_eq!(s.enters, 2);
         assert_eq!(s.waits, 1);
@@ -457,6 +489,9 @@ mod tests {
         assert_eq!(s.ladder_skips, 1);
         assert_eq!(s.cursor_resumes, 1);
         assert_eq!(s.transient_cache_hits, 1);
+        assert_eq!(s.fast_path_enters, 1);
+        assert_eq!(s.combined_exits, 1);
+        assert_eq!(s.fc_publishes, 1);
     }
 
     #[test]

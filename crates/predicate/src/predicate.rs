@@ -253,7 +253,7 @@ impl<S> fmt::Display for Predicate<S> {
 }
 
 /// Conversion into a [`Predicate`], implemented for ASTs, predicates and
-/// plain closures so `wait_until` accepts all three.
+/// plain closures so `wait_transient` accepts all three.
 ///
 /// # Panics
 ///

@@ -128,7 +128,11 @@ impl Mechanism {
     /// * `AUTOSYNCH_NO_SWEEP_CURSORS=1` disables per-bucket sweep
     ///   cursors in routed mode, forcing every token forward back to a
     ///   FIFO head scan — the ablation the cursor-equivalence tests
-    ///   diff against.
+    ///   diff against;
+    /// * `AUTOSYNCH_NO_FAST_PATH=1` disables the uncontended enter/exit
+    ///   fast path (CAS lock elision + flat combining), forcing every
+    ///   occupancy through the mutex — the ablation the fast-path
+    ///   latency rows in the api table diff against.
     pub fn monitor_config(self) -> Option<MonitorConfig> {
         self.signal_mode().map(|mode| {
             let mut config = MonitorConfig::preset(mode);
@@ -137,6 +141,9 @@ impl Mechanism {
             }
             if env_flag("AUTOSYNCH_NO_SWEEP_CURSORS") {
                 config = config.sweep_cursors(false);
+            }
+            if env_flag("AUTOSYNCH_NO_FAST_PATH") {
+                config = config.fast_path(false);
             }
             config
         })

@@ -32,8 +32,7 @@ use crate::mechanism::{timed_run, Mechanism, RunReport};
 /// State shared by every implementation: `N` bounded queues. Each queue
 /// is its own [`Tracked`] cell bound to its `items_i`/`space_i`
 /// expressions, so an operation on queue `i` automatically names
-/// exactly those two — the diff the old `enter_mutating` contract
-/// spelled out by hand.
+/// exactly those two — the diff v1 callers once spelled out by hand.
 #[derive(Debug)]
 pub struct QueuesState {
     queues: Vec<Tracked<VecDeque<u64>>>,

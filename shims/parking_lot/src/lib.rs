@@ -11,23 +11,41 @@
 //! primitives, no eventual fairness), and poisoning is swallowed rather
 //! than absent, which is observationally equivalent for these users.
 
+use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
 use std::time::Instant;
 
 /// A mutual-exclusion primitive (std mutex without poisoning).
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+///
+/// The payload lives beside the lock (`sync::Mutex<()>` + `UnsafeCell`)
+/// rather than inside it, so [`Mutex::data_ptr`] can hand out a raw
+/// payload pointer on stable — callers with an external exclusion
+/// protocol (the monitor word's CAS lane) access the payload without
+/// ever constructing a guard.
+pub struct Mutex<T: ?Sized> {
+    lock: sync::Mutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// Same bounds std's Mutex has: the lock hands out `&mut T`, so `Send`
+// payloads suffice for cross-thread sharing.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 
 impl<T> Mutex<T> {
     /// Creates a new mutex protecting `value`.
     pub fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            lock: sync::Mutex::new(()),
+            data: UnsafeCell::new(value),
+        }
     }
 
     /// Consumes the mutex and returns the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.data.into_inner()
     }
 }
 
@@ -35,24 +53,35 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the mutex, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard {
-            inner: Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)),
+            inner: Some(self.lock.lock().unwrap_or_else(PoisonError::into_inner)),
+            data: &self.data,
         }
     }
 
     /// Attempts to acquire the mutex without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
-                inner: Some(p.into_inner()),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.lock.try_lock() {
+            Ok(guard) => guard,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            inner: Some(inner),
+            data: &self.data,
+        })
     }
 
     /// Mutable access without locking (ownership proves exclusivity).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.data.get_mut()
+    }
+
+    /// Raw pointer to the protected data (API parity with the real
+    /// `parking_lot::Mutex::data_ptr`). Dereferencing is only sound under
+    /// an exclusion protocol established outside this mutex — the caller
+    /// must guarantee no lock holder can exist concurrently.
+    pub fn data_ptr(&self) -> *mut T {
+        self.data.get()
     }
 }
 
@@ -62,9 +91,12 @@ impl<T: Default> Default for Mutex<T> {
     }
 }
 
-impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        match self.try_lock() {
+            Some(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
     }
 }
 
@@ -73,19 +105,28 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
 /// The inner std guard lives in an `Option` so [`Condvar::wait`] can move
 /// it through std's by-value wait API and put the re-acquired guard back.
 pub struct MutexGuard<'a, T: ?Sized> {
-    inner: Option<sync::MutexGuard<'a, T>>,
+    inner: Option<sync::MutexGuard<'a, ()>>,
+    data: &'a UnsafeCell<T>,
 }
+
+// Std guard semantics: shareable when the payload is, never `Send`
+// (the `inner` std guard already forbids that).
+unsafe impl<T: ?Sized + Sync> Sync for MutexGuard<'_, T> {}
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.inner.as_ref().expect("guard taken during wait")
+        debug_assert!(self.inner.is_some(), "guard taken during wait");
+        // Sound: the guard holds the lock (asserted above; `inner` is
+        // only vacated inside `Condvar::wait*`, which holds `&mut self`).
+        unsafe { &*self.data.get() }
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.inner.as_mut().expect("guard taken during wait")
+        debug_assert!(self.inner.is_some(), "guard taken during wait");
+        unsafe { &mut *self.data.get() }
     }
 }
 

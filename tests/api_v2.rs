@@ -1,9 +1,10 @@
 //! v2 API equivalence suite: compiled conditions (`Monitor::compile` /
 //! `MonitorGuard::wait`) and tracked mutations must be *observationally
-//! identical* to the v1 per-wait shim — same analysis artifacts
-//! byte-for-byte, same counters on deterministic schedules, same
-//! workload outcomes across every signaling mode — while making the
-//! named-mutation diffs the default on all 13 workloads.
+//! identical* to the per-call transient path (`wait_transient`) — same
+//! analysis artifacts byte-for-byte, same counters on deterministic
+//! schedules, same workload outcomes across every signaling mode —
+//! while making the named-mutation diffs the default on all 13
+//! workloads.
 
 use std::sync::Arc;
 
@@ -106,7 +107,7 @@ proptest! {
     }
 }
 
-// --- deterministic schedules: v1 shim and v2 count identically ------------
+// --- deterministic schedules: transient and compiled count identically ----
 
 struct Buf {
     queue: Tracked<Vec<u64>>,
@@ -133,24 +134,23 @@ fn buf_monitor(mode: SignalMode) -> Monitor<Buf> {
     monitor
 }
 
-/// The single-threaded schedule both API generations run: fast-path
+/// The single-threaded schedule both wait styles run: already-true
 /// waits, mutations, read-only occupancies, and one expired timed wait
 /// (the only real registration). Deterministic by construction — no
 /// concurrency, so every counter increment is reproducible.
 const OPS: usize = 8;
 
-fn run_v1(mode: SignalMode) -> autosynch_repro::metrics::counters::CounterSnapshot {
-    #![allow(deprecated)]
+fn run_transient(mode: SignalMode) -> autosynch_repro::metrics::counters::CounterSnapshot {
     let m = buf_monitor(mode);
     let count = m.lookup_expr("count").expect("registered");
     let free = m.lookup_expr("free").expect("registered");
     for k in 0..OPS {
         m.enter(|g| {
-            g.wait_until(free.gt(0));
+            g.wait_transient(free.gt(0));
             g.state_mut().queue.push(k as u64);
         });
         m.enter(|g| {
-            g.wait_until(count.gt(0));
+            g.wait_transient(count.gt(0));
             g.state_mut().queue.pop();
         });
         m.enter(|g| {
@@ -158,7 +158,7 @@ fn run_v1(mode: SignalMode) -> autosynch_repro::metrics::counters::CounterSnapsh
         });
     }
     m.enter(|g| {
-        assert!(!g.wait_until_timeout(count.ge(100), std::time::Duration::from_millis(5)));
+        assert!(!g.wait_transient_timeout(count.ge(100), std::time::Duration::from_millis(5)));
     });
     assert!(m.is_quiescent());
     m.stats_snapshot().counters
@@ -192,7 +192,7 @@ fn run_v2(mode: SignalMode) -> autosynch_repro::metrics::counters::CounterSnapsh
 }
 
 #[test]
-fn deterministic_schedules_count_identically_across_generations() {
+fn deterministic_schedules_count_identically_across_wait_styles() {
     for mode in [
         SignalMode::Tagged,
         SignalMode::Untagged,
@@ -200,15 +200,15 @@ fn deterministic_schedules_count_identically_across_generations() {
         SignalMode::Sharded,
         SignalMode::Parked,
     ] {
-        let v1 = run_v1(mode);
+        let transient = run_transient(mode);
         let v2 = run_v2(mode);
         // The tracked writes auto-name their mutations — that counter
         // (and only that counter) is *supposed* to differ.
         let mut v2_masked = v2;
-        v2_masked.named_mutations = v1.named_mutations;
+        v2_masked.named_mutations = transient.named_mutations;
         assert_eq!(
-            v1, v2_masked,
-            "{mode:?}: v1-shim and v2 counters diverged\n v1: {v1:?}\n v2: {v2:?}"
+            transient, v2_masked,
+            "{mode:?}: transient and compiled counters diverged\n transient: {transient:?}\n v2: {v2:?}"
         );
         match mode {
             SignalMode::ChangeDriven | SignalMode::Sharded | SignalMode::Parked => {
@@ -216,7 +216,10 @@ fn deterministic_schedules_count_identically_across_generations() {
                     v2.named_mutations > 0,
                     "{mode:?}: tracked writes must register as named mutations"
                 );
-                assert_eq!(v1.named_mutations, 0, "the shim never names anything");
+                assert_eq!(
+                    transient.named_mutations, 0,
+                    "untracked entries never name anything"
+                );
             }
             // The scan/tag modes ignore mutation naming entirely, but
             // the tracked flush still records the contract.

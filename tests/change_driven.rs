@@ -5,16 +5,9 @@
 //! relay-invariance violations with the Def. 4 validator armed — while
 //! doing strictly less evaluation work on the paper's Fig. 14 workload.
 
-// These suites deliberately keep exercising the deprecated v1 shims
-// (per-wait `wait_until`, `autosynch_*` constructors) alongside the
-// runtime machinery: the shims must stay observationally identical to
-// the v2 compiled path until removal, and this is their regression
-// net. New v2-API coverage lives in tests/api_v2.rs.
-#![allow(deprecated)]
-
 use std::sync::Arc;
 
-use autosynch_repro::autosynch::config::MonitorConfig;
+use autosynch_repro::autosynch::config::{MonitorConfig, SignalMode};
 use autosynch_repro::autosynch::Monitor;
 use autosynch_repro::problems::mechanism::Mechanism;
 use autosynch_repro::problems::{param_bounded_buffer, readers_writers};
@@ -45,9 +38,10 @@ fn validated_bounded_buffer(config: MonitorConfig) -> (u64, i64) {
             let producer_monitor = Arc::clone(&monitor);
             scope.spawn(move || {
                 let put = 1 + (i as i64 % 3);
+                let room = producer_monitor.compile(free.ge(put));
                 for _ in 0..OPS {
                     producer_monitor.enter(|g| {
-                        g.wait_until(free.ge(put));
+                        g.wait(&room);
                         g.state_mut().level += put;
                     });
                 }
@@ -55,9 +49,10 @@ fn validated_bounded_buffer(config: MonitorConfig) -> (u64, i64) {
             let monitor = Arc::clone(&monitor);
             scope.spawn(move || {
                 let take = 1 + (i as i64 % 3);
+                let stocked = monitor.compile(level.ge(take));
                 for round in 0..OPS {
                     monitor.enter(|g| {
-                        g.wait_until(level.ge(take));
+                        g.wait(&stocked);
                         let s = g.state_mut();
                         s.level -= take;
                         s.checksum = s
@@ -81,8 +76,8 @@ fn validated_bounded_buffer_matches_scan_mode() {
     // validate_relay panics on any Def. 4 violation, so completing the
     // run in change-driven mode *is* the zero-violations assertion; the
     // final levels must agree with the scan-based reference.
-    let (_, cd_level) = validated_bounded_buffer(MonitorConfig::autosynch_cd());
-    let (_, t_level) = validated_bounded_buffer(MonitorConfig::autosynch_t());
+    let (_, cd_level) = validated_bounded_buffer(MonitorConfig::preset(SignalMode::ChangeDriven));
+    let (_, t_level) = validated_bounded_buffer(MonitorConfig::preset(SignalMode::Untagged));
     assert_eq!(cd_level, 0);
     assert_eq!(t_level, 0);
 }
@@ -112,9 +107,10 @@ fn validated_readers_writers(config: MonitorConfig) -> u64 {
         for _ in 0..WRITERS {
             let monitor = Arc::clone(&monitor);
             scope.spawn(move || {
+                let idle = monitor.compile(writer.eq(0).and(readers.eq(0)));
                 for _ in 0..OPS {
                     monitor.enter(|g| {
-                        g.wait_until(writer.eq(0).and(readers.eq(0)));
+                        g.wait(&idle);
                         g.state_mut().writer = 1;
                     });
                     monitor.with(|r| r.writer = 0);
@@ -125,9 +121,10 @@ fn validated_readers_writers(config: MonitorConfig) -> u64 {
             let monitor = Arc::clone(&monitor);
             let total_reads = &total_reads;
             scope.spawn(move || {
+                let no_writer = monitor.compile(writer.eq(0));
                 for _ in 0..OPS {
                     monitor.enter(|g| {
-                        g.wait_until(writer.eq(0));
+                        g.wait(&no_writer);
                         g.state_mut().readers += 1;
                     });
                     total_reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -143,8 +140,8 @@ fn validated_readers_writers(config: MonitorConfig) -> u64 {
 
 #[test]
 fn validated_readers_writers_matches_scan_mode() {
-    let cd = validated_readers_writers(MonitorConfig::autosynch_cd());
-    let t = validated_readers_writers(MonitorConfig::autosynch_t());
+    let cd = validated_readers_writers(MonitorConfig::preset(SignalMode::ChangeDriven));
+    let t = validated_readers_writers(MonitorConfig::preset(SignalMode::Untagged));
     assert_eq!(cd, 9 * 120);
     assert_eq!(t, 9 * 120);
 }

@@ -81,7 +81,8 @@ fn syntax_equivalent_conditions_share_one_entry() {
     let value = monitor.register_expr("value", |s| s.value);
     // 16 compiles + waits on the same globalized condition — the
     // condition table should intern one slot backed by one entry, and
-    // the v1 shim must land on the very same entry.
+    // a transient wait on the same key must land on the very same
+    // entry.
     for _ in 0..16 {
         let cond = monitor.compile(value.ge(7));
         monitor.enter(|g| g.wait(&cond));
@@ -93,9 +94,11 @@ fn syntax_equivalent_conditions_share_one_entry() {
         "expected interning, found {} entries",
         counts.entries
     );
-    #[allow(deprecated)]
-    monitor.enter(|g| g.wait_until(value.ge(7))); // v1 shim, same table
-    assert!(monitor.counts().entries <= 1, "the shim reused the entry");
+    monitor.enter(|g| g.wait_transient(value.ge(7))); // same key, same table
+    assert!(
+        monitor.counts().entries <= 1,
+        "the transient wait reused the entry"
+    );
 }
 
 #[test]

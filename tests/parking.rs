@@ -13,16 +13,9 @@
 //! concurrent writers, and proptests for the no-lost-wakeup invariant
 //! over randomized workloads and deadlines.
 
-// These suites deliberately keep exercising the deprecated v1 shims
-// (per-wait `wait_until`, `autosynch_*` constructors) alongside the
-// runtime machinery: the shims must stay observationally identical to
-// the v2 compiled path until removal, and this is their regression
-// net. New v2-API coverage lives in tests/api_v2.rs.
-#![allow(deprecated)]
-
 use std::sync::Arc;
 
-use autosynch_repro::autosynch::config::MonitorConfig;
+use autosynch_repro::autosynch::config::{MonitorConfig, SignalMode};
 use autosynch_repro::autosynch::Monitor;
 use autosynch_repro::problems::mechanism::Mechanism;
 use autosynch_repro::problems::{
@@ -51,9 +44,10 @@ fn validated_bounded_buffer(config: MonitorConfig, pairs: usize, ops: usize) -> 
             let producer_monitor = Arc::clone(&monitor);
             scope.spawn(move || {
                 let put = 1 + (i as i64 % 3);
+                let room = producer_monitor.compile(free.ge(put));
                 for _ in 0..ops {
                     producer_monitor.enter(|g| {
-                        g.wait_until(free.ge(put));
+                        g.wait(&room);
                         g.state_mut().level += put;
                     });
                 }
@@ -61,9 +55,10 @@ fn validated_bounded_buffer(config: MonitorConfig, pairs: usize, ops: usize) -> 
             let monitor = Arc::clone(&monitor);
             scope.spawn(move || {
                 let take = 1 + (i as i64 % 3);
+                let stocked = monitor.compile(level.ge(take));
                 for _ in 0..ops {
                     monitor.enter(|g| {
-                        g.wait_until(level.ge(take));
+                        g.wait(&stocked);
                         g.state_mut().level -= take;
                     });
                 }
@@ -86,12 +81,15 @@ fn validated_bounded_buffer_matches_scan_mode() {
     // reference — across several shard widths, including the degenerate
     // single data shard.
     for shards in [1, 2, 3, 8] {
-        let park_level =
-            validated_bounded_buffer(MonitorConfig::autosynch_park().shards(shards), 4, 200);
+        let park_level = validated_bounded_buffer(
+            MonitorConfig::preset(SignalMode::Parked).shards(shards),
+            4,
+            200,
+        );
         assert_eq!(park_level, 0, "shards({shards}) run did not balance");
     }
     assert_eq!(
-        validated_bounded_buffer(MonitorConfig::autosynch_t(), 4, 200),
+        validated_bounded_buffer(MonitorConfig::preset(SignalMode::Untagged), 4, 200),
         0
     );
 }
@@ -121,7 +119,7 @@ fn validated_cross_shard_predicates_use_the_global_gate() {
             writer: 0,
             stop: 0,
         },
-        MonitorConfig::autosynch_park()
+        MonitorConfig::preset(SignalMode::Parked)
             .shards(separating)
             .validate_relay(true),
     ));
@@ -140,8 +138,9 @@ fn validated_cross_shard_predicates_use_the_global_gate() {
         let pin = {
             let monitor = Arc::clone(&monitor);
             scope.spawn(move || {
+                let spanning = monitor.compile(writer.eq(5).and(readers.eq(5)).or(stop.eq(1)));
                 monitor.enter(|g| {
-                    g.wait_until(writer.eq(5).and(readers.eq(5)).or(stop.eq(1)));
+                    g.wait(&spanning);
                 });
             })
         };
@@ -149,9 +148,10 @@ fn validated_cross_shard_predicates_use_the_global_gate() {
         for _ in 0..WRITERS {
             let monitor = Arc::clone(&monitor);
             handles.push(scope.spawn(move || {
+                let idle = monitor.compile(writer.eq(0).and(readers.eq(0)));
                 for _ in 0..OPS {
                     monitor.enter(|g| {
-                        g.wait_until(writer.eq(0).and(readers.eq(0)));
+                        g.wait(&idle);
                         g.state_mut().writer = 1;
                     });
                     monitor.with(|r| r.writer = 0);
@@ -162,9 +162,10 @@ fn validated_cross_shard_predicates_use_the_global_gate() {
             let monitor = Arc::clone(&monitor);
             let total_reads = &total_reads;
             handles.push(scope.spawn(move || {
+                let no_writer = monitor.compile(writer.eq(0));
                 for _ in 0..OPS {
                     monitor.enter(|g| {
-                        g.wait_until(writer.eq(0));
+                        g.wait(&no_writer);
                         g.state_mut().readers += 1;
                     });
                     total_reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -458,7 +459,7 @@ fn parked_waiters_self_check_on_the_headline_workloads() {
 
 #[test]
 fn named_mutations_narrow_the_parked_diff() {
-    // sharded_queues uses enter_mutating: under Park the per-exit diff
+    // sharded_queues uses tracked cells: under Park the per-exit diff
     // must evaluate only the touched queue's two expressions, so total
     // expr_evals stay well below the CD mode's (which also diffs but
     // without sharding gains on evals — both diff, Park + named should
@@ -507,7 +508,7 @@ fn park_unpark_survives_ring_wraparound_under_concurrent_writers() {
             cap: 3,
             stop: 0,
         },
-        MonitorConfig::autosynch_park().validate_relay(true),
+        MonitorConfig::preset(SignalMode::Parked).validate_relay(true),
     ));
     let level = monitor.register_expr("level", |b: &Buf| b.level);
     let free = monitor.register_expr("free", |b: &Buf| b.cap - b.level);
@@ -522,8 +523,9 @@ fn park_unpark_survives_ring_wraparound_under_concurrent_writers() {
         let pin = {
             let monitor = Arc::clone(&monitor);
             scope.spawn(move || {
+                let released = monitor.compile(stop_e.eq(1));
                 monitor.enter(|g| {
-                    g.wait_until(stop_e.eq(1));
+                    g.wait(&released);
                 });
             })
         };
@@ -531,18 +533,20 @@ fn park_unpark_survives_ring_wraparound_under_concurrent_writers() {
         for _ in 0..PAIRS {
             let producer = Arc::clone(&monitor);
             handles.push(scope.spawn(move || {
+                let room = producer.compile(free.ge(1));
                 for _ in 0..OPS {
                     producer.enter(|g| {
-                        g.wait_until(free.ge(1));
+                        g.wait(&room);
                         g.state_mut().level += 1;
                     });
                 }
             }));
             let consumer = Arc::clone(&monitor);
             handles.push(scope.spawn(move || {
+                let stocked = consumer.compile(level.ge(1));
                 for _ in 0..OPS {
                     consumer.enter(|g| {
-                        g.wait_until(level.ge(1));
+                        g.wait(&stocked);
                         g.state_mut().level -= 1;
                     });
                 }
@@ -582,7 +586,7 @@ proptest! {
         shards in 1usize..=8,
     ) {
         let level = validated_bounded_buffer(
-            MonitorConfig::autosynch_park().shards(shards),
+            MonitorConfig::preset(SignalMode::Parked).shards(shards),
             pairs,
             ops,
         );
@@ -597,7 +601,7 @@ proptest! {
         struct Counter { value: i64 }
         let m = Arc::new(Monitor::with_config(
             Counter { value: 0 },
-            MonitorConfig::autosynch_park().validate_relay(true),
+            MonitorConfig::preset(SignalMode::Parked).validate_relay(true),
         ));
         let v = m.register_expr("value", |s: &Counter| s.value);
         std::thread::scope(|scope| {
@@ -605,8 +609,9 @@ proptest! {
                 let m = Arc::clone(&m);
                 scope.spawn(move || {
                     for k in 1..=10i64 {
+                        // The threshold churns every round — transient.
                         m.enter(|g| {
-                            g.wait_until_timeout(
+                            g.wait_transient_timeout(
                                 v.ge(k),
                                 std::time::Duration::from_millis(timeout_ms),
                             );

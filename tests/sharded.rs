@@ -12,16 +12,9 @@
 //! partition is total and deterministic for random DNF predicates, and
 //! a consistency test for the lock-free snapshot ring.
 
-// These suites deliberately keep exercising the deprecated v1 shims
-// (per-wait `wait_until`, `autosynch_*` constructors) alongside the
-// runtime machinery: the shims must stay observationally identical to
-// the v2 compiled path until removal, and this is their regression
-// net. New v2-API coverage lives in tests/api_v2.rs.
-#![allow(deprecated)]
-
 use std::sync::Arc;
 
-use autosynch_repro::autosynch::config::MonitorConfig;
+use autosynch_repro::autosynch::config::{MonitorConfig, SignalMode};
 use autosynch_repro::autosynch::Monitor;
 use autosynch_repro::predicate::ast::BoolExpr;
 use autosynch_repro::predicate::atom::{CmpAtom, CmpOp};
@@ -57,9 +50,10 @@ fn validated_bounded_buffer(config: MonitorConfig) -> i64 {
             let producer_monitor = Arc::clone(&monitor);
             scope.spawn(move || {
                 let put = 1 + (i as i64 % 3);
+                let room = producer_monitor.compile(free.ge(put));
                 for _ in 0..OPS {
                     producer_monitor.enter(|g| {
-                        g.wait_until(free.ge(put));
+                        g.wait(&room);
                         g.state_mut().level += put;
                     });
                 }
@@ -67,9 +61,10 @@ fn validated_bounded_buffer(config: MonitorConfig) -> i64 {
             let monitor = Arc::clone(&monitor);
             scope.spawn(move || {
                 let take = 1 + (i as i64 % 3);
+                let stocked = monitor.compile(level.ge(take));
                 for _ in 0..OPS {
                     monitor.enter(|g| {
-                        g.wait_until(level.ge(take));
+                        g.wait(&stocked);
                         g.state_mut().level -= take;
                     });
                 }
@@ -91,10 +86,14 @@ fn validated_bounded_buffer_matches_scan_mode() {
     // reference — across several shard widths, including the degenerate
     // single data shard.
     for shards in [1, 2, 3, 8] {
-        let shard_level = validated_bounded_buffer(MonitorConfig::autosynch_shard().shards(shards));
+        let shard_level =
+            validated_bounded_buffer(MonitorConfig::preset(SignalMode::Sharded).shards(shards));
         assert_eq!(shard_level, 0, "shards({shards}) run did not balance");
     }
-    assert_eq!(validated_bounded_buffer(MonitorConfig::autosynch_t()), 0);
+    assert_eq!(
+        validated_bounded_buffer(MonitorConfig::preset(SignalMode::Untagged)),
+        0
+    );
 }
 
 /// Ticketed readers/writers under a validated sharded config: the
@@ -124,9 +123,10 @@ fn validated_readers_writers(config: MonitorConfig) -> u64 {
         for _ in 0..WRITERS {
             let monitor = Arc::clone(&monitor);
             scope.spawn(move || {
+                let idle = monitor.compile(writer.eq(0).and(readers.eq(0)));
                 for _ in 0..OPS {
                     monitor.enter(|g| {
-                        g.wait_until(writer.eq(0).and(readers.eq(0)));
+                        g.wait(&idle);
                         g.state_mut().writer = 1;
                     });
                     monitor.with(|r| r.writer = 0);
@@ -137,9 +137,10 @@ fn validated_readers_writers(config: MonitorConfig) -> u64 {
             let monitor = Arc::clone(&monitor);
             let total_reads = &total_reads;
             scope.spawn(move || {
+                let no_writer = monitor.compile(writer.eq(0));
                 for _ in 0..OPS {
                     monitor.enter(|g| {
-                        g.wait_until(writer.eq(0));
+                        g.wait(&no_writer);
                         g.state_mut().readers += 1;
                     });
                     total_reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -156,11 +157,12 @@ fn validated_readers_writers(config: MonitorConfig) -> u64 {
 #[test]
 fn validated_readers_writers_matches_scan_mode() {
     for shards in [2, 8] {
-        let reads = validated_readers_writers(MonitorConfig::autosynch_shard().shards(shards));
+        let reads =
+            validated_readers_writers(MonitorConfig::preset(SignalMode::Sharded).shards(shards));
         assert_eq!(reads, 9 * 120, "shards({shards})");
     }
     assert_eq!(
-        validated_readers_writers(MonitorConfig::autosynch_t()),
+        validated_readers_writers(MonitorConfig::preset(SignalMode::Untagged)),
         9 * 120
     );
 }
@@ -169,7 +171,7 @@ fn validated_readers_writers_matches_scan_mode() {
 fn validated_batched_relay_width_matches_scan_mode() {
     // relay_width > 1 exercises the batched pass (several signals from
     // independent shards per relay) under the Def. 4 validator.
-    let level = validated_bounded_buffer(MonitorConfig::autosynch_shard().relay_width(3));
+    let level = validated_bounded_buffer(MonitorConfig::preset(SignalMode::Sharded).relay_width(3));
     assert_eq!(level, 0);
 }
 
@@ -406,7 +408,7 @@ fn snapshot_ring_reads_are_consistent_under_load() {
             cap: 4,
             stop: 0,
         },
-        MonitorConfig::autosynch_shard(),
+        MonitorConfig::preset(SignalMode::Sharded),
     ));
     let level = monitor.register_expr("level", |b: &Buf| b.level);
     let free = monitor.register_expr("free", |b: &Buf| b.cap - b.level);
@@ -420,8 +422,9 @@ fn snapshot_ring_reads_are_consistent_under_load() {
             // conjunction 1 releases it at shutdown.
             let monitor = Arc::clone(&monitor);
             scope.spawn(move || {
+                let pin = monitor.compile(stop_e.eq(1).or(level.ge(100).and(free.ge(100))));
                 monitor.enter(|g| {
-                    g.wait_until(stop_e.eq(1).or(level.ge(100).and(free.ge(100))));
+                    g.wait(&pin);
                 });
             });
         }
@@ -447,17 +450,19 @@ fn snapshot_ring_reads_are_consistent_under_load() {
         let producer = Arc::clone(&monitor);
         let consumer = Arc::clone(&monitor);
         let p = scope.spawn(move || {
+            let room = producer.compile(free.ge(1));
             for _ in 0..3_000 {
                 producer.enter(|g| {
-                    g.wait_until(free.ge(1));
+                    g.wait(&room);
                     g.state_mut().level += 1;
                 });
             }
         });
         let c = scope.spawn(move || {
+            let stocked = consumer.compile(level.ge(1));
             for _ in 0..3_000 {
                 consumer.enter(|g| {
-                    g.wait_until(level.ge(1));
+                    g.wait(&stocked);
                     g.state_mut().level -= 1;
                 });
             }

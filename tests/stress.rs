@@ -1,13 +1,6 @@
 //! Heavier stress tests: more threads, more churn, still bounded to a
 //! few seconds so they stay in the default suite.
 
-// These suites deliberately keep exercising the deprecated v1 shims
-// (per-wait `wait_until`, `autosynch_*` constructors) alongside the
-// runtime machinery: the shims must stay observationally identical to
-// the v2 compiled path until removal, and this is their regression
-// net. New v2-API coverage lives in tests/api_v2.rs.
-#![allow(deprecated)]
-
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -75,7 +68,9 @@ fn churning_distinct_predicates_respects_inactive_cap() {
                     } else {
                         value.ge(key % 64)
                     };
-                    monitor.enter(|g| g.wait_until(pred));
+                    // Churning one-shot keys: exactly what the
+                    // transient path (bounded inactive LRU) is for.
+                    monitor.enter(|g| g.wait_transient(pred));
                 }
                 finished_workers.fetch_add(1, Ordering::SeqCst);
             });
@@ -94,11 +89,15 @@ fn churning_distinct_predicates_respects_inactive_cap() {
         });
     });
 
-    let (entries, waiting, signaled, tags) = monitor.manager_counts();
-    assert_eq!((waiting, signaled, tags), (0, 0, 0));
+    let counts = monitor.counts();
+    assert_eq!(
+        (counts.waiting, counts.signaled, counts.live_tags),
+        (0, 0, 0)
+    );
     assert!(
-        entries <= 9,
-        "inactive cap 8 must bound entries, got {entries}"
+        counts.entries <= 9,
+        "inactive cap 8 must bound entries, got {}",
+        counts.entries
     );
     assert_eq!(monitor.stats_snapshot().counters.broadcasts, 0);
 }
@@ -119,7 +118,8 @@ fn timeout_storm_leaves_monitor_clean() {
                 for round in 0..20i64 {
                     let target = (k + round) % 8;
                     monitor.enter(|g| {
-                        let _ = g.wait_until_timeout(value.ge(target), Duration::from_micros(200));
+                        let _ =
+                            g.wait_transient_timeout(value.ge(target), Duration::from_micros(200));
                     });
                 }
             });
@@ -132,8 +132,12 @@ fn timeout_storm_leaves_monitor_clean() {
         });
     });
 
-    let (_, waiting, signaled, tags) = monitor.manager_counts();
-    assert_eq!((waiting, signaled, tags), (0, 0, 0), "no leaked waiters");
+    let counts = monitor.counts();
+    assert_eq!(
+        (counts.waiting, counts.signaled, counts.live_tags),
+        (0, 0, 0),
+        "no leaked waiters"
+    );
 }
 
 #[test]
@@ -192,7 +196,9 @@ fn validated_barrier_lockstep_with_ground_truth_checks() {
                             s.arrived = 0;
                             s.generation += 1;
                         } else {
-                            g.wait_until(generation.gt(my_gen));
+                            // The key churns every generation — a
+                            // transient threshold, not a pinned Cond.
+                            g.wait_transient(generation.gt(my_gen));
                         }
                     });
                 }
@@ -201,8 +207,12 @@ fn validated_barrier_lockstep_with_ground_truth_checks() {
     });
 
     assert_eq!(monitor.with(|s| s.generation), GENERATIONS);
-    let (_, waiting, signaled, tags) = monitor.manager_counts();
-    assert_eq!((waiting, signaled, tags), (0, 0, 0), "clean shutdown");
+    let counts = monitor.counts();
+    assert_eq!(
+        (counts.waiting, counts.signaled, counts.live_tags),
+        (0, 0, 0),
+        "clean shutdown"
+    );
     assert_eq!(monitor.stats_snapshot().counters.broadcasts, 0);
 }
 

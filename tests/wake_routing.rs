@@ -15,12 +15,6 @@
 //! `wait_transient` broadcast-bucket fallback), and no-lost-token
 //! proptests over randomized park/sweep/claim/timeout interleavings.
 
-// The validated direct-monitor schedules deliberately keep exercising
-// the deprecated v1 shims alongside compiled conditions: transient
-// (slotless) waiters and compiled (bucketed) waiters must coexist in
-// one gate under routing.
-#![allow(deprecated)]
-
 use std::sync::Arc;
 
 use autosynch_repro::autosynch::config::{MonitorConfig, SignalMode};
