@@ -139,6 +139,13 @@ const EXPERIMENTS: &[Experiment] = &[
         expectation: "explicit: one signalAll per generation; AutoSynch: zero broadcasts",
         run: figures::ext_barrier_counters,
     },
+    Experiment {
+        id: "obs",
+        title: "Extension — observability: wait-latency percentiles + flight recorder",
+        expectation: "finite p999 per mode on every shape; trace captures >= 6 event kinds; \
+                      telemetry-off elided latency matches the api fast_path row",
+        run: figures::obs,
+    },
 ];
 
 fn main() {

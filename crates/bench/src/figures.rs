@@ -1102,6 +1102,202 @@ pub fn ext_barrier_counters() -> Table {
     table
 }
 
+/// Extension: the observability harness — wait-latency percentiles per
+/// mode, a flight-recorder trace capture, and the telemetry no-harm
+/// row.
+///
+/// Three artifacts per run:
+///
+/// * **`BENCH_obs.json` percentile rows** — three contention shapes
+///   (fig11 round robin, fig14 parameterized buffer, the wake storm)
+///   under every automatic mode with timing on; each row carries the
+///   registration→return wait-latency p50/p90/p99/p999 from the
+///   log-linear histogram (upper bucket bounds: never under-reported,
+///   at most ~3.1% over) plus the mean. This is the tail-latency view
+///   the mean-based figures can't show — a routed mode can match
+///   Park's mean while collapsing its p999.
+/// * **`TRACE_obs.json`** — a deterministic flight-recorder capture
+///   (recording force-enabled around three small shaped runs, prior
+///   state restored) written as Chrome trace-event JSON, loadable
+///   as-is in Perfetto or `chrome://tracing`.
+/// * **No-harm row** — the api table's uncontended enter/exit loop
+///   re-run with the recorder force-*disabled*: CI diffs its mean
+///   elided latency against `BENCH_api.json`'s `fast_path` row, the
+///   check that a disabled recorder costs the hot path nothing beyond
+///   one relaxed load.
+pub fn obs() -> Table {
+    use autosynch::config::MonitorConfig;
+    use autosynch::telemetry;
+    use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
+    use std::time::Instant;
+
+    let mut table = Table::with_columns(&[
+        "workload",
+        "mechanism",
+        "p50(ns)",
+        "p90(ns)",
+        "p99(ns)",
+        "p999(ns)",
+        "mean(ns)",
+        "waits",
+    ]);
+    let mut entries = String::new();
+    let mut record = |workload: &str, mechanism: &str, report: &RunReport| {
+        let w = report.stats.wait;
+        table.row(vec![
+            workload.to_owned(),
+            mechanism.to_owned(),
+            w.p50.to_string(),
+            w.p90.to_string(),
+            w.p99.to_string(),
+            w.p999.to_string(),
+            format!("{:.1}", w.mean_nanos()),
+            w.holds.to_string(),
+        ]);
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"workload\": \"{workload}\", \"mechanism\": \"{mechanism}\", \
+             \"wait_p50_ns\": {}, \"wait_p90_ns\": {}, \"wait_p99_ns\": {}, \
+             \"wait_p999_ns\": {}, \"wait_mean_ns\": {:.2}, \"waits\": {}, \
+             \"elapsed_s\": {:.6}}}",
+            w.p50,
+            w.p90,
+            w.p99,
+            w.p999,
+            w.mean_nanos(),
+            w.holds,
+            report.elapsed.as_secs_f64(),
+        ));
+    };
+
+    // --- wait-latency percentiles: three shapes x every automatic mode ----
+    let rr_threads = if sweep::full_scale() { 16 } else { 8 };
+    let rr_config = RoundRobinConfig {
+        threads: rr_threads,
+        rounds: sweep::ops_per_thread(rr_threads),
+    };
+    let consumers = if sweep::full_scale() { 16 } else { 8 };
+    for mechanism in Mechanism::AUTOMATIC {
+        let report = round_robin::run_timed(mechanism, rr_config);
+        record("fig11_round_robin", mechanism.label(), &report);
+    }
+    for mechanism in Mechanism::AUTOMATIC {
+        let report = param_bounded_buffer::run_timed(mechanism, fig14_config(consumers));
+        record("fig14_param_bounded_buffer", mechanism.label(), &report);
+    }
+    for mechanism in Mechanism::AUTOMATIC {
+        let report = wake_storm::run_timed(mechanism, wake_storm_config());
+        record("ext_wake_storm", mechanism.label(), &report);
+    }
+
+    // --- flight-recorder capture -----------------------------------------
+    struct One {
+        v: Tracked<i64>,
+    }
+    impl TrackedState for One {
+        fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+            f(&mut self.v);
+        }
+    }
+    let was_on = telemetry::enabled();
+    telemetry::set_enabled(true);
+    drop(telemetry::drain_all()); // discard events from the runs above
+    {
+        // Elided enters: a quiescent single-thread mutation loop.
+        let m = Monitor::new(One { v: Tracked::new(0) });
+        let v = m.register_expr("v", |s: &One| *s.v.get());
+        m.bind(|s| &mut s.v, &[v]);
+        for _ in 0..256 {
+            m.with_tracked(|s| *s.v += 1);
+        }
+        // Combined/slow enters and gate waits: contended mutations.
+        let m = Arc::new(Monitor::new(One { v: Tracked::new(0) }));
+        let v = m.register_expr("v", |s: &One| *s.v.get());
+        m.bind(|s| &mut s.v, &[v]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                scope.spawn(move || {
+                    for _ in 0..256 {
+                        m.with_tracked(|s| *s.v += 1);
+                    }
+                });
+            }
+        });
+    }
+    // Parks, self-checks, token sweeps, relay passes: small shaped
+    // runs through the parked and routed modes.
+    let small_rr = RoundRobinConfig {
+        threads: 4,
+        rounds: 32,
+    };
+    round_robin::run(Mechanism::AutoSynchPark, small_rr);
+    round_robin::run(Mechanism::AutoSynchRoute, small_rr);
+    let events = telemetry::drain_all();
+    telemetry::set_enabled(was_on);
+    let kinds: std::collections::BTreeSet<&str> = events.iter().map(|e| e.kind.name()).collect();
+    let trace_path = "TRACE_obs.json";
+    match crate::trace::write_chrome_trace(trace_path, &events) {
+        Ok(()) => println!(
+            "   [flight-recorder trace written to {trace_path}: {} events, {} kinds]",
+            events.len(),
+            kinds.len()
+        ),
+        Err(err) => eprintln!("   [failed to write {trace_path}: {err}]"),
+    }
+
+    // --- no-harm: the api uncontended loop with the recorder off ---------
+    let lat_iters: u32 = if sweep::full_scale() { 400_000 } else { 80_000 };
+    let was_on = telemetry::enabled();
+    telemetry::set_enabled(false);
+    let m = Monitor::with_config(
+        One { v: Tracked::new(0) },
+        MonitorConfig::default().fast_path(true).timing(true),
+    );
+    let v = m.register_expr("v", |s: &One| *s.v.get());
+    m.bind(|s| &mut s.v, &[v]);
+    let start = Instant::now();
+    for _ in 0..lat_iters {
+        m.with_tracked(|s| *s.v += 1);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    telemetry::set_enabled(was_on);
+    let snap = m.stats_snapshot();
+    assert_eq!(m.with_tracked(|s| *s.v), i64::from(lat_iters));
+    assert!(
+        snap.counters.fast_path_enters > 0,
+        "the no-harm loop must take the elided lane"
+    );
+    table.row(vec![
+        "uncontended_enter_exit".to_owned(),
+        "telemetry_off".to_owned(),
+        "-".to_owned(),
+        "-".to_owned(),
+        "-".to_owned(),
+        "-".to_owned(),
+        format!("{:.1}", snap.enter_exit.mean_nanos()),
+        "0".to_owned(),
+    ]);
+    entries.push_str(&format!(
+        ",\n    {{\"workload\": \"uncontended_enter_exit\", \
+         \"mechanism\": \"telemetry_off\", \
+         \"enter_exit_mean_ns\": {:.2}, \"fast_path_enters\": {}, \
+         \"elapsed_s\": {elapsed:.6}}}",
+        snap.enter_exit.mean_nanos(),
+        snap.counters.fast_path_enters,
+    ));
+
+    let json = format!("{{\n  \"benchmarks\": [\n{entries}\n  ]\n}}\n");
+    let path = "BENCH_obs.json";
+    match std::fs::write(path, json) {
+        Ok(()) => println!("   [observability series written to {path}]"),
+        Err(err) => eprintln!("   [failed to write {path}: {err}]"),
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,3 +22,4 @@
 
 pub mod figures;
 pub mod sweep;
+pub mod trace;

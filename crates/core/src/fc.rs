@@ -219,7 +219,7 @@ impl<T> FcSlab<T> {
             return 0;
         }
         let mut adopted = 0;
-        for rec in &self.records {
+        for (slot, rec) in self.records.iter().enumerate() {
             if rec
                 .status
                 .compare_exchange(PUBLISHED, CLAIMED, Ordering::Acquire, Ordering::Relaxed)
@@ -228,6 +228,7 @@ impl<T> FcSlab<T> {
                 continue;
             }
             self.published.fetch_sub(1, Ordering::Relaxed);
+            crate::telemetry::record(crate::telemetry::EventKind::FcAdopt, slot as u64, 0);
             // SAFETY: winning PUBLISHED->CLAIMED grants exclusive cell
             // access until the DONE/PANICKED release-store below.
             let op = unsafe { (*rec.op.get()).take() }.expect("claimed record lost its op");

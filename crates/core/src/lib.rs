@@ -142,6 +142,7 @@ pub mod monitor;
 pub(crate) mod parking;
 pub mod slab;
 pub mod stats;
+pub mod telemetry;
 pub mod threshold_index;
 pub mod tracked;
 pub(crate) mod wake;
@@ -153,6 +154,7 @@ pub use explicit::{CondId, ExplicitMonitor};
 pub use kessels::{KesselsCond, KesselsMonitor};
 pub use monitor::{ManagerCounts, Monitor, MonitorGuard};
 pub use stats::{HoldSnapshot, HoldTimes, MonitorStats, StatsSnapshot};
+pub use telemetry::{EventKind, TraceEvent};
 pub use tracked::{Tracked, TrackedCell, TrackedState};
 
 // Re-export the predicate vocabulary so `use autosynch::*` users can

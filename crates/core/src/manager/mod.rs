@@ -548,7 +548,19 @@ impl<S> ConditionManager<S> {
         // happens under the monitor lock on behalf of other threads, so
         // its duration is the signaling share of the critical section.
         let hold_start = stats.phases.is_enabled().then(Instant::now);
+        // Flight-recorder summary of the pass, reconstructed from
+        // counter deltas so the probe loops themselves stay untouched.
+        // The extra snapshots only happen while tracing is on.
+        let before = crate::telemetry::enabled().then(|| stats.counters.snapshot());
         let result = self.relay_dispatch(state, exprs, stats);
+        if let Some(before) = before {
+            let delta = stats.counters.snapshot().since(&before);
+            crate::telemetry::record(
+                crate::telemetry::EventKind::RelayPass,
+                delta.pred_evals,
+                delta.probes_skipped + delta.relay_skips,
+            );
+        }
         if let Some(start) = hold_start {
             stats.hold.record(start.elapsed());
         }
@@ -932,6 +944,13 @@ impl<S> ConditionManager<S> {
                         }
                     });
                     stats.counters.record_ladder_skips(skipped);
+                    if skipped > 0 {
+                        crate::telemetry::record(
+                            crate::telemetry::EventKind::LadderSkip,
+                            skipped,
+                            0,
+                        );
+                    }
                 }
                 // Change-directed: sweep every dependent slot once.
                 for &(slot, gate) in wake_router.dep_slots(expr) {

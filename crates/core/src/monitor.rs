@@ -88,6 +88,7 @@ use crate::fc::{FcOutcome, FcSlab};
 use crate::manager::{ConditionManager, SnapshotRing};
 use crate::parking::{snapshot_verdict, ParkOutcome, ParkSlot, ParkingLot, Verdict};
 use crate::stats::{MonitorStats, StatsSnapshot};
+use crate::telemetry;
 use crate::tracked::{MutationSink, TrackedState};
 use crate::wake::{BucketKey, RoutedWake, SweepToken, WakeLot};
 use crate::word::MonitorWord;
@@ -428,12 +429,14 @@ impl<S> Monitor<S> {
         );
         self.stats.counters.record_enter();
         let started = self.stats.timing_enabled().then(Instant::now);
+        let tctx = telemetry::context_enter(self.token);
         if self.config.fast_path_enabled() && self.word.try_acquire_fast() {
-            return self.run_elided(me, started, drain, f);
+            return self.run_elided(me, started, tctx, drain, f);
         }
         let lock_timer = self.stats.phases.start(Phase::Lock);
         let mut inner = self.lock_slow();
         lock_timer.finish();
+        telemetry::record(telemetry::EventKind::EnterSlow, 0, 0);
         self.owner.store(me, Ordering::Relaxed);
         inner.dirty = false;
         inner.signaled = false;
@@ -444,6 +447,7 @@ impl<S> Monitor<S> {
             started,
             elided: false,
             drain,
+            tctx,
         };
         let result = f(&mut guard);
         drop(guard);
@@ -460,10 +464,12 @@ impl<S> Monitor<S> {
         &self,
         me: u64,
         started: Option<Instant>,
+        tctx: Option<u64>,
         drain: Option<DrainFn<S>>,
         f: impl FnOnce(&mut MonitorGuard<'_, S>) -> R,
     ) -> R {
         self.stats.counters.record_fast_path_enter();
+        telemetry::record(telemetry::EventKind::EnterElided, 0, 0);
         self.owner.store(me, Ordering::Relaxed);
         {
             let inner = unsafe { &mut *self.inner.data_ptr() };
@@ -477,6 +483,7 @@ impl<S> Monitor<S> {
             started,
             elided: true,
             drain,
+            tctx,
         };
         let result = f(&mut guard);
         drop(guard);
@@ -523,7 +530,8 @@ impl<S> Monitor<S> {
         let started = self.stats.timing_enabled().then(Instant::now);
         if self.word.try_acquire_fast() {
             self.stats.counters.record_enter();
-            return self.run_elided(me, started, drain, |g| f(g.state_mut()));
+            let tctx = telemetry::context_enter(self.token);
+            return self.run_elided(me, started, tctx, drain, |g| f(g.state_mut()));
         }
         // Contended: publish the occupancy and let the current holder
         // combine it into its own exit. The op writes its result into
@@ -577,6 +585,12 @@ impl<S> Monitor<S> {
                         // The combiner ran us as one occupancy: count it
                         // here, on the thread that owns the semantics.
                         self.stats.counters.record_enter();
+                        telemetry::record_for(
+                            self.token,
+                            telemetry::EventKind::EnterCombined,
+                            0,
+                            0,
+                        );
                         if let Some(started) = started {
                             self.stats.enter_exit.record(started.elapsed());
                         }
@@ -613,6 +627,22 @@ impl<S> Monitor<S> {
     /// A point-in-time snapshot of the instrumentation.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Drains the flight recorder and returns the events attributed to
+    /// *this* monitor, oldest first.
+    ///
+    /// The recorder is process-global and consuming: events belonging
+    /// to other monitors drained here are discarded, so interleave
+    /// `drain_trace` calls across monitors only if that loss is
+    /// acceptable (the bench harness traces one monitor at a time).
+    /// Returns an empty vector unless recording was enabled via
+    /// [`telemetry::set_enabled`] (or `AUTOSYNCH_TRACE=1` through the
+    /// bench harness) while the traced section ran.
+    pub fn drain_trace(&self) -> Vec<telemetry::TraceEvent> {
+        let mut events = telemetry::drain_all();
+        events.retain(|e| e.monitor == self.token);
+        events
     }
 
     /// The monitor's configuration.
@@ -727,6 +757,9 @@ pub struct MonitorGuard<'a, S> {
     /// right before each relay, where the dirty cells report exactly
     /// the touched expressions.
     drain: Option<DrainFn<S>>,
+    /// The previous flight-recorder monitor context, restored at exit;
+    /// `None` when tracing was off at enter (no TLS traffic then).
+    tctx: Option<u64>,
 }
 
 impl<S> std::fmt::Debug for MonitorGuard<'_, S> {
@@ -1005,6 +1038,31 @@ impl<S> MonitorGuard<'_, S> {
         slot: Option<u32>,
         deadline: Option<Instant>,
     ) -> bool {
+        // Wait latency brackets the whole blocked span (registration to
+        // return), feeding the `wait` histogram the tail-latency rows
+        // the obs harness reports. Gated like the signaler hold stat on
+        // the runtime phase switch (which run-timed harnesses flip
+        // after construction), so the clock read is skipped when
+        // timing is off.
+        let started = self.monitor.stats.phases.is_enabled().then(Instant::now);
+        telemetry::record(
+            telemetry::EventKind::WaitRegistered,
+            slot.map_or(u64::MAX, u64::from),
+            0,
+        );
+        let satisfied = self.wait_registered_inner(pid, slot, deadline);
+        if let Some(started) = started {
+            self.monitor.stats.wait.record(started.elapsed());
+        }
+        satisfied
+    }
+
+    fn wait_registered_inner(
+        &mut self,
+        pid: PredId,
+        slot: Option<u32>,
+        deadline: Option<Instant>,
+    ) -> bool {
         let monitor = self.monitor;
         let stats = Arc::clone(&monitor.stats);
 
@@ -1179,6 +1237,11 @@ impl<S> MonitorGuard<'_, S> {
                             .read_latest_into(&stats.counters, &mut snap_buf);
                         let verdict = snapshot_verdict(&pred, snap_epoch, &snap_buf);
                         recheck_timer.finish();
+                        telemetry::record(
+                            telemetry::EventKind::SelfCheck,
+                            matches!(verdict, Verdict::MayHold) as u64,
+                            snap_epoch.unwrap_or(0),
+                        );
                         match verdict {
                             Verdict::False { epoch } => {
                                 // Still false at the newest published
@@ -1352,6 +1415,11 @@ impl<S> MonitorGuard<'_, S> {
                             .read_latest_into(&stats.counters, &mut snap_buf);
                         let verdict = snapshot_verdict(&pred, snap_epoch, &snap_buf);
                         recheck_timer.finish();
+                        telemetry::record(
+                            telemetry::EventKind::SelfCheck,
+                            matches!(verdict, Verdict::MayHold) as u64,
+                            snap_epoch.unwrap_or(0),
+                        );
                         match verdict {
                             Verdict::False { epoch: seen } => {
                                 stats.counters.record_false_wakeup();
@@ -1543,6 +1611,7 @@ impl<S> MonitorGuard<'_, S> {
         if let Some(started) = self.started {
             self.monitor.stats.enter_exit.record(started.elapsed());
         }
+        telemetry::context_exit(self.tctx.take());
     }
 
     /// Exit for an occupancy still on the elided lane: no relay and no
@@ -1562,6 +1631,7 @@ impl<S> MonitorGuard<'_, S> {
             monitor.combine_published(inner);
             if monitor.config.validates_relay() {
                 inner.mgr.audit_fast_exit();
+                telemetry::record(telemetry::EventKind::FastExitAudit, 0, 0);
             }
         }
         self.elided = false;
@@ -1572,6 +1642,7 @@ impl<S> MonitorGuard<'_, S> {
         if let Some(started) = self.started {
             monitor.stats.enter_exit.record(started.elapsed());
         }
+        telemetry::context_exit(self.tctx.take());
     }
 }
 
@@ -2562,5 +2633,56 @@ mod tests {
         m.enter(|g| {
             assert!(format!("{g:?}").contains("held"));
         });
+    }
+
+    #[test]
+    fn drain_trace_attributes_events_to_the_right_monitor() {
+        use crate::telemetry::EventKind;
+        // The recorder is process-global: serialize against the other
+        // enable-toggling telemetry tests.
+        let _guard = crate::telemetry::test_lock();
+        crate::telemetry::set_enabled(true);
+
+        let m = Arc::new(Monitor::new(Counter { value: 0 }));
+        let other = Monitor::new(Counter { value: 0 });
+        let v = value_expr(&m);
+        let positive = m.compile(v.ge(1));
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || m2.enter(|g| g.wait(&positive)));
+        thread::sleep(Duration::from_millis(20));
+        m.with(|s| s.value = 1);
+        waiter.join().unwrap();
+        other.with(|s| s.value = 7); // traffic on a different monitor
+
+        let events = m.drain_trace();
+        crate::telemetry::set_enabled(false);
+
+        assert!(!events.is_empty(), "an enabled run records events");
+        assert!(
+            events.iter().all(|e| e.monitor != 0),
+            "every event carries a monitor token"
+        );
+        assert!(
+            events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns),
+            "drained events are time-ordered"
+        );
+        // Both the waiter and the mutator entered this monitor.
+        let enters = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::EnterElided | EventKind::EnterSlow | EventKind::EnterCombined
+                )
+            })
+            .count();
+        assert!(enters >= 2, "expected at least two enters, got {enters}");
+        assert!(
+            events.iter().any(|e| e.kind == EventKind::WaitRegistered),
+            "the wait registration was recorded"
+        );
+        // The `other` monitor's traffic was filtered out (drained and
+        // discarded), so a fresh drain has nothing left for it.
+        assert!(other.drain_trace().is_empty());
     }
 }

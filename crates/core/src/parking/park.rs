@@ -72,6 +72,7 @@ impl ParkSlot {
     /// already pending.
     pub(crate) fn park(&self, deadline: Option<Instant>) -> ParkOutcome {
         let mut state = self.state.lock();
+        let mut committed = false;
         loop {
             if state.pending {
                 state.pending = false;
@@ -81,6 +82,14 @@ impl ParkSlot {
                 };
             }
             state.parked = true;
+            if !committed {
+                // One event per park call, even across spurious condvar
+                // wakeups; `a` is the newest epoch this waiter has
+                // already re-checked, so a trace shows what cut it went
+                // to sleep believing in.
+                committed = true;
+                crate::telemetry::record(crate::telemetry::EventKind::Park, state.observed, 0);
+            }
             match deadline {
                 None => self.cv.wait(&mut state),
                 Some(deadline) => {
@@ -97,6 +106,7 @@ impl ParkSlot {
     /// epoch. Tokens coalesce: several unparks before one park collapse
     /// into a single wake carrying the newest epoch.
     pub(crate) fn unpark(&self, epoch: u64) {
+        crate::telemetry::record(crate::telemetry::EventKind::Unpark, epoch, 0);
         let mut state = self.state.lock();
         state.pending = true;
         if epoch > state.wake_epoch {

@@ -9,6 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use autosynch_metrics::counters::{CounterSnapshot, SyncCounters};
+use autosynch_metrics::hist::LogLinearHist;
 use autosynch_metrics::phase::{PhaseSnapshot, PhaseTimes};
 
 /// Shared counters and phase timers for one monitor instance.
@@ -27,6 +28,10 @@ pub struct MonitorStats {
     /// fast-path lane exists to shrink. Recorded only while timing is
     /// enabled, same as [`MonitorStats::hold`].
     pub enter_exit: HoldTimes,
+    /// Wait latencies: registration→satisfied wall time of every
+    /// `wait`/`wait_transient` call, the production tail-latency
+    /// metric. Recorded only while timing is enabled.
+    pub wait: HoldTimes,
     timed: bool,
 }
 
@@ -42,6 +47,7 @@ impl MonitorStats {
             },
             hold: HoldTimes::new(),
             enter_exit: HoldTimes::new(),
+            wait: HoldTimes::new(),
             timed: timing,
         })
     }
@@ -52,21 +58,44 @@ impl MonitorStats {
     }
 
     /// Captures both counter and phase snapshots.
+    ///
+    /// **Consistency contract:** the snapshot is per-field atomic but
+    /// not globally consistent — fields recorded by concurrently
+    /// running threads may be captured mid-update relative to each
+    /// other. For the harness's before/after pattern this is benign
+    /// (quiesce the workload, or accept one boundary event of skew);
+    /// when an exact final reading *and* a zeroed restart are needed in
+    /// one step, use [`MonitorStats::reset`], which drains instead of
+    /// reading-then-zeroing.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             counters: self.counters.snapshot(),
             phases: self.phases.snapshot(),
             hold: self.hold.snapshot(),
             enter_exit: self.enter_exit.snapshot(),
+            wait: self.wait.snapshot(),
         }
     }
 
-    /// Resets counters and phase accumulators.
-    pub fn reset(&self) {
-        self.counters.reset();
-        self.phases.reset();
-        self.hold.reset();
-        self.enter_exit.reset();
+    /// Resets counters and phase accumulators, returning the final
+    /// values as of the reset.
+    ///
+    /// Unlike `snapshot()` followed by a zeroing pass — which loses any
+    /// event recorded between the read and the zero — every field is
+    /// drained by a single atomic swap, so each concurrent record lands
+    /// in exactly one of {the returned snapshot, the zeroed stats}. A
+    /// `snapshot().since(&earlier)` whose `earlier` straddles a
+    /// concurrent `reset` would mix pre- and post-reset readings;
+    /// prefer the drain pattern (`let final_ = stats.reset();`) at
+    /// run boundaries.
+    pub fn reset(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            counters: self.counters.drain(),
+            phases: self.phases.drain(),
+            hold: self.hold.drain(),
+            enter_exit: self.enter_exit.drain(),
+            wait: self.wait.drain(),
+        }
     }
 }
 
@@ -75,10 +104,16 @@ impl MonitorStats {
 /// the signaler does for *other* threads while occupying the monitor).
 /// The parked mode exists to shrink this number: its relay neither
 /// probes indexes nor evaluates waiters' predicates.
+///
+/// Besides the mean (`nanos`/`holds`), every record also lands in a
+/// log-linear histogram so snapshots carry p50/p90/p99/p999 quantiles —
+/// recording is three relaxed `fetch_add`s plus one histogram-bucket
+/// `fetch_add`, still lock-free from any thread.
 #[derive(Debug, Default)]
 pub struct HoldTimes {
     nanos: AtomicU64,
     holds: AtomicU64,
+    hist: LogLinearHist,
 }
 
 impl HoldTimes {
@@ -90,16 +125,22 @@ impl HoldTimes {
     /// Adds one relay's in-lock duration.
     #[inline]
     pub fn record(&self, elapsed: Duration) {
-        self.nanos
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        let ns = elapsed.as_nanos() as u64;
+        self.nanos.fetch_add(ns, Ordering::Relaxed);
         self.holds.fetch_add(1, Ordering::Relaxed);
+        self.hist.record(ns);
     }
 
-    /// Captures the accumulated totals.
+    /// Captures the accumulated totals and distribution quantiles.
     pub fn snapshot(&self) -> HoldSnapshot {
+        let h = self.hist.snapshot();
         HoldSnapshot {
             nanos: self.nanos.load(Ordering::Relaxed),
             holds: self.holds.load(Ordering::Relaxed),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
         }
     }
 
@@ -107,6 +148,22 @@ impl HoldTimes {
     pub fn reset(&self) {
         self.nanos.store(0, Ordering::Relaxed);
         self.holds.store(0, Ordering::Relaxed);
+        self.hist.reset();
+    }
+
+    /// Atomically swaps the accumulator to zero and returns the final
+    /// reading (totals and quantiles). Per-field atomic; see
+    /// [`MonitorStats::reset`] for the contract.
+    pub fn drain(&self) -> HoldSnapshot {
+        let h = self.hist.drain();
+        HoldSnapshot {
+            nanos: self.nanos.swap(0, Ordering::Relaxed),
+            holds: self.holds.swap(0, Ordering::Relaxed),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+        }
     }
 }
 
@@ -117,6 +174,15 @@ pub struct HoldSnapshot {
     pub nanos: u64,
     /// Number of recorded relay calls.
     pub holds: u64,
+    /// Median recorded duration (ns, log-linear bucket upper bound —
+    /// within ~3.1% above the exact order statistic, never below).
+    pub p50: u64,
+    /// 90th-percentile recorded duration (ns, same bounding).
+    pub p90: u64,
+    /// 99th-percentile recorded duration (ns, same bounding).
+    pub p99: u64,
+    /// 99.9th-percentile recorded duration (ns, same bounding).
+    pub p999: u64,
 }
 
 impl HoldSnapshot {
@@ -129,11 +195,20 @@ impl HoldSnapshot {
         }
     }
 
-    /// Component-wise difference `self - earlier`, saturating at zero.
+    /// Component-wise difference `self - earlier` for the additive
+    /// totals (`nanos`, `holds`), saturating at zero. Quantiles are
+    /// order statistics, not additive — the difference keeps `self`'s
+    /// values, i.e. the quantiles over the *whole* window ending at
+    /// `self`. For window-exact quantiles, drain at the window start
+    /// with [`MonitorStats::reset`] and snapshot at the end.
     pub fn since(&self, earlier: &HoldSnapshot) -> HoldSnapshot {
         HoldSnapshot {
             nanos: self.nanos.saturating_sub(earlier.nanos),
             holds: self.holds.saturating_sub(earlier.holds),
+            p50: self.p50,
+            p90: self.p90,
+            p99: self.p99,
+            p999: self.p999,
         }
     }
 }
@@ -150,16 +225,21 @@ pub struct StatsSnapshot {
     /// Whole-occupancy enter→exit wall times (zero unless timing was
     /// enabled).
     pub enter_exit: HoldSnapshot,
+    /// Wait latencies, registration→satisfied (zero unless timing was
+    /// enabled).
+    pub wait: HoldSnapshot,
 }
 
 impl StatsSnapshot {
-    /// Component-wise difference `self - earlier`.
+    /// Component-wise difference `self - earlier` (quantile fields keep
+    /// `self`'s whole-window values; see [`HoldSnapshot::since`]).
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             counters: self.counters.since(&earlier.counters),
             phases: self.phases.since(&earlier.phases),
             hold: self.hold.since(&earlier.hold),
             enter_exit: self.enter_exit.since(&earlier.enter_exit),
+            wait: self.wait.since(&earlier.wait),
         }
     }
 }
@@ -209,6 +289,22 @@ mod tests {
     }
 
     #[test]
+    fn reset_returns_the_final_reading() {
+        let s = MonitorStats::new(true);
+        s.counters.record_signal();
+        s.counters.record_signal();
+        s.hold.record(Duration::from_nanos(128));
+        s.wait.record(Duration::from_nanos(640));
+        let final_ = s.reset();
+        assert_eq!(final_.counters.signals, 2);
+        assert_eq!(final_.hold.holds, 1);
+        assert_eq!(final_.wait.holds, 1);
+        assert!(final_.wait.p999 >= 640);
+        // Drained: the live stats restart from zero.
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
     fn enter_exit_times_accumulate() {
         let s = MonitorStats::new(true);
         assert!(s.timing_enabled());
@@ -237,23 +333,50 @@ mod tests {
     }
 
     #[test]
+    fn hold_snapshots_carry_quantiles() {
+        let h = HoldTimes::new();
+        for ns in 1..=1000u64 {
+            h.record(Duration::from_nanos(ns));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.holds, 1000);
+        // Upper-bound reporting: each quantile is at least the exact
+        // order statistic and within the histogram's ~3.1% bucket.
+        assert!(snap.p50 >= 500 && snap.p50 <= 520);
+        assert!(snap.p90 >= 900 && snap.p90 <= 936);
+        assert!(snap.p99 >= 990 && snap.p99 <= 1030);
+        assert!(snap.p999 >= 999 && snap.p999 <= 1040);
+        assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99 && snap.p99 <= snap.p999);
+    }
+
+    #[test]
     fn hold_since_is_component_wise() {
         let a = HoldSnapshot {
             nanos: 500,
             holds: 5,
+            ..HoldSnapshot::default()
         };
         let b = HoldSnapshot {
             nanos: 200,
             holds: 2,
+            ..HoldSnapshot::default()
         };
         let d = a.since(&b);
-        assert_eq!(
-            d,
-            HoldSnapshot {
-                nanos: 300,
-                holds: 3
-            }
-        );
+        assert_eq!(d.nanos, 300);
+        assert_eq!(d.holds, 3);
+    }
+
+    #[test]
+    fn since_keeps_latest_window_quantiles() {
+        let h = HoldTimes::new();
+        h.record(Duration::from_nanos(100));
+        let first = h.snapshot();
+        h.record(Duration::from_nanos(900));
+        let diff = h.snapshot().since(&first);
+        assert_eq!(diff.holds, 1);
+        // Quantiles are whole-window (not subtractable): p999 covers
+        // both records.
+        assert!(diff.p999 >= 900);
     }
 
     #[test]

@@ -1,0 +1,356 @@
+//! The flight recorder: lock-free, per-thread event tracing for the
+//! monitor runtime.
+//!
+//! Counters ([`crate::stats`]) answer *how many*; the flight recorder
+//! answers *what happened, in what order, on which thread* — which
+//! enter lane an occupancy took, which relay pass woke which waiter,
+//! what each parked self-check concluded. Every event is stamped with a
+//! process-wide monotonic nanosecond clock plus monitor, thread, and
+//! two event-specific operands, and lands in the recording thread's own
+//! fixed-capacity overwrite-oldest ring (`ring.rs`) — no locks, no
+//! allocation, no backpressure on the hot path.
+//!
+//! **Disabled cost.** Recording is off by default; every instrumented
+//! site guards with [`enabled`], a single `Relaxed` load of one global
+//! `AtomicBool`, so the monitor's fast paths pay one predictable branch
+//! when tracing is off. Enable programmatically with [`set_enabled`] or
+//! via `AUTOSYNCH_TRACE=1` through the benchmark harness's
+//! `Mechanism::monitor_config`.
+//!
+//! **Attribution.** Deep layers (parking, wake routing, the condition
+//! manager) record from inside an occupancy whose monitor identity they
+//! don't carry; the recorder keeps a thread-local *current monitor*
+//! token maintained by the enter/exit paths, so their events attribute
+//! correctly without widening any internal signatures. See DESIGN.md's
+//! "Telemetry soundness" section for why none of this can perturb relay
+//! ordering.
+//!
+//! Drain with [`drain_all`] (everything) or
+//! [`Monitor::drain_trace`](crate::Monitor::drain_trace) (one
+//! monitor's view); the bench crate renders drained events as Chrome
+//! trace-event JSON loadable in Perfetto.
+
+use std::cell::{Cell, OnceCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+mod ring;
+
+use ring::ThreadRing;
+
+/// The event vocabulary. `a`/`b` operand meanings are per-kind and
+/// documented on each variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u32)]
+pub enum EventKind {
+    /// Enter took the CAS lock-elision lane. `a`/`b` unused.
+    EnterElided = 0,
+    /// Enter took the mutex slow lane. `a`/`b` unused.
+    EnterSlow = 1,
+    /// A contended `with` occupancy was adopted and run by the lock
+    /// holder via the flat-combining slab. `a`/`b` unused.
+    EnterCombined = 2,
+    /// A slow-lane thread blocked waiting for the fast-path word to
+    /// clear. `a` = spin iterations burned before blocking.
+    GateWait = 3,
+    /// A waiter registered with the condition manager and is about to
+    /// block. `a` = compiled `Cond` slot (`u64::MAX` for transient
+    /// predicates).
+    WaitRegistered = 4,
+    /// A parked waiter committed to blocking on its slot. `a` = wake
+    /// epoch already observed at park time.
+    Park = 5,
+    /// A park slot was unparked. `a` = published wake epoch.
+    Unpark = 6,
+    /// A parked/routed waiter re-checked its own predicate against the
+    /// snapshot ring. `a` = 1 if the predicate may hold (waiter
+    /// proceeds to confirm under the lock), 0 for a false wakeup.
+    /// `b` = snapshot epoch checked against.
+    SelfCheck = 7,
+    /// One relay-signaling pass completed. `a` = predicate evaluations
+    /// spent, `b` = probes/relays skipped by tagging, change tracking
+    /// and ladders combined.
+    RelayPass = 8,
+    /// A sweep token was forwarded to the next waiter in the bucket.
+    /// `a` = gate, `b` = wake epoch carried.
+    TokenForward = 9,
+    /// A threshold ladder pruned provably-false rungs during a routed
+    /// relay. `a` = rungs skipped.
+    LadderSkip = 10,
+    /// The lock holder adopted one published flat-combining occupancy.
+    /// `a` = the publisher's slab slot.
+    FcAdopt = 11,
+    /// A fast-path (elided) exit ran the validate-relay audit and owed
+    /// no relay. `a`/`b` unused.
+    FastExitAudit = 12,
+}
+
+impl EventKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; 13] = [
+        EventKind::EnterElided,
+        EventKind::EnterSlow,
+        EventKind::EnterCombined,
+        EventKind::GateWait,
+        EventKind::WaitRegistered,
+        EventKind::Park,
+        EventKind::Unpark,
+        EventKind::SelfCheck,
+        EventKind::RelayPass,
+        EventKind::TokenForward,
+        EventKind::LadderSkip,
+        EventKind::FcAdopt,
+        EventKind::FastExitAudit,
+    ];
+
+    /// Stable snake_case name (the Chrome trace event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::EnterElided => "enter_elided",
+            EventKind::EnterSlow => "enter_slow",
+            EventKind::EnterCombined => "enter_combined",
+            EventKind::GateWait => "gate_wait",
+            EventKind::WaitRegistered => "wait_registered",
+            EventKind::Park => "park",
+            EventKind::Unpark => "unpark",
+            EventKind::SelfCheck => "self_check",
+            EventKind::RelayPass => "relay_pass",
+            EventKind::TokenForward => "token_forward",
+            EventKind::LadderSkip => "ladder_skip",
+            EventKind::FcAdopt => "fc_adopt",
+            EventKind::FastExitAudit => "fast_exit_audit",
+        }
+    }
+
+    /// Decodes a stored discriminant; `None` for garbage (a torn slot
+    /// that slipped through is dropped, never mislabeled).
+    pub fn from_raw(raw: u64) -> Option<EventKind> {
+        EventKind::ALL.get(raw as usize).copied()
+    }
+}
+
+/// One drained flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the process-wide trace epoch (monotonic).
+    pub t_ns: u64,
+    /// The monitor token the event occurred under (`0` when recorded
+    /// outside any monitor occupancy).
+    pub monitor: u64,
+    /// Stable per-thread trace id.
+    pub thread: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First per-kind operand (see [`EventKind`]).
+    pub a: u64,
+    /// Second per-kind operand (see [`EventKind`]).
+    pub b: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+static REGISTRY: Mutex<Vec<Arc<ThreadRing>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static RING: OnceCell<Arc<ThreadRing>> = const { OnceCell::new() };
+    static CTX: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Whether the flight recorder is on — one `Relaxed` load; this is the
+/// entire disabled-path cost at every instrumented site.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the flight recorder on or off process-wide. Events recorded
+/// before enabling are not retroactively produced; events already in
+/// the rings survive disabling and remain drainable.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Nanoseconds since the first clock read of the process — one shared
+/// monotonic epoch so events from different threads order correctly.
+fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Records an event attributed to the thread's current monitor context
+/// (`0` outside any occupancy). No-op unless [`enabled`].
+#[inline]
+pub fn record(kind: EventKind, a: u64, b: u64) {
+    if enabled() {
+        let monitor = CTX.try_with(Cell::get).unwrap_or(0);
+        record_at(monitor, kind, a, b);
+    }
+}
+
+/// Records an event attributed to an explicit monitor token — for
+/// sites that know their monitor but run outside the thread's context
+/// window (e.g. a combined occupancy completing on the publisher's
+/// behalf). No-op unless [`enabled`].
+#[inline]
+pub fn record_for(monitor: u64, kind: EventKind, a: u64, b: u64) {
+    if enabled() {
+        record_at(monitor, kind, a, b);
+    }
+}
+
+#[inline(never)]
+fn record_at(monitor: u64, kind: EventKind, a: u64, b: u64) {
+    let t_ns = now_ns();
+    // try_with: a thread recording during its own TLS teardown drops
+    // the event instead of panicking.
+    let _ = RING.try_with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let ring = Arc::new(ThreadRing::new(NEXT_THREAD.fetch_add(1, Ordering::Relaxed)));
+            REGISTRY
+                .lock()
+                .expect("telemetry registry poisoned")
+                .push(Arc::clone(&ring));
+            ring
+        });
+        ring.push(t_ns, monitor, kind, a, b);
+    });
+}
+
+/// Opens a monitor-context window for the calling thread: subsequent
+/// [`record`] calls attribute to `token` until the matching
+/// [`context_exit`]. Returns the previous token to restore (so nested
+/// monitors unwind correctly), or `None` when tracing is disabled —
+/// the enter/exit paths then skip the TLS traffic entirely.
+#[inline]
+pub(crate) fn context_enter(token: u64) -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    CTX.try_with(|c| c.replace(token)).ok()
+}
+
+/// Closes a context window opened by [`context_enter`].
+#[inline]
+pub(crate) fn context_exit(prev: Option<u64>) {
+    if let Some(prev) = prev {
+        let _ = CTX.try_with(|c| c.set(prev));
+    }
+}
+
+/// Drains every thread's ring: all events recorded since the previous
+/// drain (bounded per thread by the ring capacity — older events were
+/// overwritten), sorted by timestamp. Rings of threads that have since
+/// exited are drained one final time and then dropped from the
+/// registry, so long-lived processes spawning many short-lived threads
+/// don't accumulate dead rings.
+pub fn drain_all() -> Vec<TraceEvent> {
+    let mut registry = REGISTRY.lock().expect("telemetry registry poisoned");
+    let mut out = Vec::new();
+    for ring in registry.iter() {
+        ring.drain_into(&mut out);
+    }
+    // A dead thread's TLS handle is gone, leaving the registry's as the
+    // only strong reference.
+    registry.retain(|ring| Arc::strong_count(ring) > 1);
+    drop(registry);
+    out.sort_by_key(|e| e.t_ns);
+    out
+}
+
+/// Serializes tests that toggle the process-wide recorder, so a test
+/// flipping [`set_enabled`] cannot drop a concurrent test's events.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global recorder is process-wide state shared by every test in
+    // the binary, so each test holds the test lock and filters on its
+    // own marker operands rather than asserting on totals.
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = test_lock();
+        set_enabled(false);
+        record(EventKind::Park, 0xDEAD_0001, 0);
+        assert!(!drain_all()
+            .iter()
+            .any(|e| e.kind == EventKind::Park && e.a == 0xDEAD_0001));
+    }
+
+    #[test]
+    fn enabled_roundtrip_attributes_context() {
+        let _g = test_lock();
+        set_enabled(true);
+        let prev = context_enter(42).expect("enabled");
+        record(EventKind::SelfCheck, 0xDEAD_0002, 9);
+        context_exit(Some(prev));
+        record_for(77, EventKind::RelayPass, 0xDEAD_0003, 0);
+        set_enabled(false);
+        let events = drain_all();
+        let in_ctx = events
+            .iter()
+            .find(|e| e.a == 0xDEAD_0002)
+            .expect("context event drained");
+        assert_eq!(in_ctx.monitor, 42);
+        assert_eq!(in_ctx.kind, EventKind::SelfCheck);
+        assert_eq!(in_ctx.b, 9);
+        assert!(in_ctx.thread > 0);
+        let explicit = events
+            .iter()
+            .find(|e| e.a == 0xDEAD_0003)
+            .expect("explicit event drained");
+        assert_eq!(explicit.monitor, 77);
+    }
+
+    #[test]
+    fn drain_is_consuming_and_sorted() {
+        let _g = test_lock();
+        set_enabled(true);
+        for i in 0..10u64 {
+            record(EventKind::Unpark, 0xDEAD_0004, i);
+        }
+        set_enabled(false);
+        let events: Vec<_> = drain_all()
+            .into_iter()
+            .filter(|e| e.a == 0xDEAD_0004)
+            .collect();
+        assert_eq!(events.len(), 10);
+        assert!(events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        assert!(!drain_all().iter().any(|e| e.a == 0xDEAD_0004));
+    }
+
+    #[test]
+    fn cross_thread_events_carry_distinct_thread_ids() {
+        let _g = test_lock();
+        set_enabled(true);
+        record(EventKind::GateWait, 0xDEAD_0005, 0);
+        std::thread::spawn(|| record(EventKind::GateWait, 0xDEAD_0006, 0))
+            .join()
+            .unwrap();
+        set_enabled(false);
+        let events = drain_all();
+        let here = events.iter().find(|e| e.a == 0xDEAD_0005).unwrap().thread;
+        let there = events.iter().find(|e| e.a == 0xDEAD_0006).unwrap().thread;
+        assert_ne!(here, there);
+    }
+
+    #[test]
+    fn kind_names_and_raw_roundtrip() {
+        let mut names: Vec<_> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EventKind::ALL.len());
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_raw(kind as u64), Some(kind));
+        }
+        assert_eq!(EventKind::from_raw(999), None);
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-thread event rings: single-writer seqlocked slots, drained from
+//! any thread without stopping the writer.
+//!
+//! Each recording thread owns one [`ThreadRing`]: a fixed array of
+//! `RING_CAP` slots plus a monotonic write index. Only the owning
+//! thread writes (so there are no writer/writer races); any thread may
+//! drain. A slot is a tiny seqlock — the writer brackets its payload
+//! stores with an odd/even sequence stamp, and a drainer that observes
+//! a changed or odd stamp discards the slot instead of reporting a
+//! torn event. When the writer laps a slow drainer the overwritten
+//! events are simply lost: the recorder is overwrite-oldest by design,
+//! bounding memory and never applying backpressure to the hot path.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use super::{EventKind, TraceEvent};
+
+/// Events retained per thread before overwrite-oldest kicks in.
+pub(crate) const RING_CAP: usize = 1024;
+
+/// One seqlocked event slot. `seq` holds `2*i + 1` while write `i` is
+/// in progress and `2*(i + 1)` once it is published, where `i` is the
+/// ring's monotonic write index — so the stamp also identifies *which*
+/// write a slot's payload belongs to.
+#[derive(Default)]
+struct Slot {
+    seq: AtomicU64,
+    t_ns: AtomicU64,
+    monitor: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// One thread's flight-recorder ring.
+pub(crate) struct ThreadRing {
+    /// Stable trace thread id (assigned at ring creation).
+    pub(crate) thread: u64,
+    /// Next write index (monotonic; slot = `head % RING_CAP`).
+    head: AtomicU64,
+    /// Index up to which a drain has consumed events (drainers only,
+    /// serialized by the registry lock).
+    drained: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl ThreadRing {
+    pub(crate) fn new(thread: u64) -> Self {
+        let slots: Vec<Slot> = (0..RING_CAP).map(|_| Slot::default()).collect();
+        ThreadRing {
+            thread,
+            head: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Records one event. Owning thread only.
+    pub(crate) fn push(&self, t_ns: u64, monitor: u64, kind: EventKind, a: u64, b: u64) {
+        let i = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(i as usize) % RING_CAP];
+        // The AcqRel swap keeps the payload stores below from being
+        // hoisted above the odd stamp; the Release publish keeps them
+        // from sinking below the even stamp. A drainer therefore either
+        // sees a stable even stamp around a coherent payload, or a
+        // mismatch it discards.
+        slot.seq.swap(2 * i + 1, Ordering::AcqRel);
+        slot.t_ns.store(t_ns, Ordering::Relaxed);
+        slot.monitor.store(monitor, Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.seq.store(2 * (i + 1), Ordering::Release);
+        self.head.store(i + 1, Ordering::Release);
+    }
+
+    /// Collects every event recorded since the previous drain (at most
+    /// the last `RING_CAP` — older ones were overwritten) into `out`,
+    /// then advances the drain cursor. Torn slots (a write in progress
+    /// or completed mid-read) are skipped, not misreported.
+    pub(crate) fn drain_into(&self, out: &mut Vec<TraceEvent>) {
+        let head = self.head.load(Ordering::Acquire);
+        let start = self
+            .drained
+            .load(Ordering::Relaxed)
+            .max(head.saturating_sub(RING_CAP as u64));
+        for i in start..head {
+            let slot = &self.slots[(i as usize) % RING_CAP];
+            let seq = slot.seq.load(Ordering::Acquire);
+            // Odd: write in progress. Wrong generation: the writer
+            // already lapped this slot (its newer event is collected
+            // when the loop reaches its own index).
+            if seq != 2 * (i + 1) {
+                continue;
+            }
+            let t_ns = slot.t_ns.load(Ordering::Relaxed);
+            let monitor = slot.monitor.load(Ordering::Relaxed);
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != seq {
+                continue; // overwritten while reading
+            }
+            let Some(kind) = EventKind::from_raw(kind) else {
+                continue;
+            };
+            out.push(TraceEvent {
+                t_ns,
+                monitor,
+                thread: self.thread,
+                kind,
+                a,
+                b,
+            });
+        }
+        self.drained.store(head, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for ThreadRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadRing")
+            .field("thread", &self.thread)
+            .field("head", &self.head.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_then_drain_roundtrips() {
+        let ring = ThreadRing::new(7);
+        ring.push(100, 1, EventKind::Park, 2, 3);
+        ring.push(200, 1, EventKind::Unpark, 4, 5);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].t_ns, 100);
+        assert_eq!(out[0].kind, EventKind::Park);
+        assert_eq!(out[1].thread, 7);
+        assert_eq!(out[1].b, 5);
+        // A second drain yields nothing new.
+        out.clear();
+        ring.drain_into(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn overwrite_keeps_only_the_newest_cap_events() {
+        let ring = ThreadRing::new(0);
+        let total = RING_CAP as u64 + 50;
+        for i in 0..total {
+            ring.push(i, 0, EventKind::RelayPass, i, 0);
+        }
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), RING_CAP);
+        assert_eq!(out.first().unwrap().t_ns, 50);
+        assert_eq!(out.last().unwrap().t_ns, total - 1);
+    }
+}

@@ -79,6 +79,11 @@ impl SweepToken {
         let woken = lot.wake_next(self.gate as usize, self.bucket, self.epoch, counters);
         if woken {
             counters.record_token_forward();
+            crate::telemetry::record(
+                crate::telemetry::EventKind::TokenForward,
+                self.gate as u64,
+                self.epoch,
+            );
         }
         woken
     }

@@ -187,6 +187,14 @@ impl MonitorWord {
             }
             std::hint::spin_loop();
         }
+        // Spins exhausted: this enterer is about to block on the gate
+        // behind an elided holder — the contention signature the flight
+        // recorder exists to surface.
+        crate::telemetry::record(
+            crate::telemetry::EventKind::GateWait,
+            FAST_CLEAR_SPINS as u64,
+            0,
+        );
         let mut gate = self.gate.lock().unwrap_or_else(|p| p.into_inner());
         while self.word.load(Ordering::Acquire) & OCCUPIED != 0 {
             gate = self.gate_cv.wait(gate).unwrap_or_else(|p| p.into_inner());

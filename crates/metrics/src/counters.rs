@@ -247,6 +247,49 @@ impl SyncCounters {
         }
     }
 
+    /// Atomically swaps every counter to zero and returns the final
+    /// values — `reset` with a reading. Each field is drained by one
+    /// atomic `swap`, so an event recorded concurrently lands in
+    /// exactly one of {returned snapshot, post-drain counters}; the
+    /// snapshot is per-field atomic, not globally consistent across
+    /// fields (see `MonitorStats::reset` for the contract this backs).
+    pub fn drain(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            enters: self.enters.swap(0, Ordering::Relaxed),
+            waits: self.waits.swap(0, Ordering::Relaxed),
+            signals: self.signals.swap(0, Ordering::Relaxed),
+            broadcasts: self.broadcasts.swap(0, Ordering::Relaxed),
+            wakeups: self.wakeups.swap(0, Ordering::Relaxed),
+            futile_wakeups: self.futile_wakeups.swap(0, Ordering::Relaxed),
+            timeouts: self.timeouts.swap(0, Ordering::Relaxed),
+            pred_evals: self.pred_evals.swap(0, Ordering::Relaxed),
+            expr_evals: self.expr_evals.swap(0, Ordering::Relaxed),
+            tag_inserts: self.tag_inserts.swap(0, Ordering::Relaxed),
+            tag_removes: self.tag_removes.swap(0, Ordering::Relaxed),
+            relay_calls: self.relay_calls.swap(0, Ordering::Relaxed),
+            relay_hits: self.relay_hits.swap(0, Ordering::Relaxed),
+            relay_skips: self.relay_skips.swap(0, Ordering::Relaxed),
+            probes_skipped: self.probes_skipped.swap(0, Ordering::Relaxed),
+            unchanged_exprs: self.unchanged_exprs.swap(0, Ordering::Relaxed),
+            cross_shard_preds: self.cross_shard_preds.swap(0, Ordering::Relaxed),
+            batched_signals: self.batched_signals.swap(0, Ordering::Relaxed),
+            ring_retries: self.ring_retries.swap(0, Ordering::Relaxed),
+            unparks: self.unparks.swap(0, Ordering::Relaxed),
+            waiter_self_checks: self.waiter_self_checks.swap(0, Ordering::Relaxed),
+            false_wakeups: self.false_wakeups.swap(0, Ordering::Relaxed),
+            named_mutations: self.named_mutations.swap(0, Ordering::Relaxed),
+            routed_unparks: self.routed_unparks.swap(0, Ordering::Relaxed),
+            token_forwards: self.token_forwards.swap(0, Ordering::Relaxed),
+            eq_routed_wakes: self.eq_routed_wakes.swap(0, Ordering::Relaxed),
+            ladder_skips: self.ladder_skips.swap(0, Ordering::Relaxed),
+            cursor_resumes: self.cursor_resumes.swap(0, Ordering::Relaxed),
+            transient_cache_hits: self.transient_cache_hits.swap(0, Ordering::Relaxed),
+            fast_path_enters: self.fast_path_enters.swap(0, Ordering::Relaxed),
+            combined_exits: self.combined_exits.swap(0, Ordering::Relaxed),
+            fc_publishes: self.fc_publishes.swap(0, Ordering::Relaxed),
+        }
+    }
+
     /// Resets every counter to zero (between benchmark iterations).
     pub fn reset(&self) {
         for field in [

@@ -190,6 +190,18 @@ impl PhaseTimes {
             atomic.store(0, Ordering::Relaxed);
         }
     }
+
+    /// Atomically swaps every accumulator to zero and returns the final
+    /// values — `reset` with a reading. Per-phase atomic: a concurrent
+    /// `add` lands in exactly one of {returned snapshot, post-drain
+    /// accumulators}.
+    pub fn drain(&self) -> PhaseSnapshot {
+        let mut nanos = [0u64; 8];
+        for (slot, atomic) in nanos.iter_mut().zip(&self.nanos) {
+            *slot = atomic.swap(0, Ordering::Relaxed);
+        }
+        PhaseSnapshot { nanos }
+    }
 }
 
 /// RAII guard returned by [`PhaseTimes::start`].

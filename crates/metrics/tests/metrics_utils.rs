@@ -1,0 +1,137 @@
+//! Integration coverage for the metrics utilities that the bench
+//! harness leans on: context-switch deltas, the runtime phase-timing
+//! toggle, and — property-tested against a sorted-vector oracle — the
+//! log-linear histogram's quantiles.
+
+use std::time::Duration;
+
+use autosynch_metrics::ctx::CtxSwitches;
+use autosynch_metrics::hist::{bucket_index, bucket_upper_bound, LogLinearHist, SUB_BITS};
+use autosynch_metrics::phase::{Phase, PhaseTimes};
+use proptest::prelude::*;
+
+#[test]
+fn ctx_since_subtracts_component_wise_and_saturates() {
+    let before = CtxSwitches {
+        voluntary: 10,
+        involuntary: 4,
+    };
+    let after = CtxSwitches {
+        voluntary: 25,
+        involuntary: 3, // e.g. a sample from a different thread
+    };
+    let delta = after.since(&before);
+    assert_eq!(delta.voluntary, 15);
+    assert_eq!(delta.involuntary, 0, "negative deltas clamp to zero");
+    assert_eq!(delta.total(), 15);
+    assert_eq!(before.total(), 14);
+    assert_eq!(CtxSwitches::default().total(), 0);
+}
+
+#[test]
+fn ctx_display_names_both_components() {
+    let s = CtxSwitches {
+        voluntary: 7,
+        involuntary: 2,
+    }
+    .to_string();
+    assert!(s.contains("voluntary=7"), "{s}");
+    assert!(s.contains("involuntary=2"), "{s}");
+}
+
+#[test]
+fn phase_toggle_gates_recording_at_runtime() {
+    let phases = PhaseTimes::disabled();
+    assert!(!phases.is_enabled());
+
+    // Disabled: guards, closures and manual adds are all no-ops.
+    phases.start(Phase::Lock).finish();
+    phases.time(Phase::Await, std::thread::yield_now);
+    phases.add(Phase::RelaySignal, Duration::from_micros(5));
+    assert_eq!(phases.snapshot().total_nanos(), 0);
+
+    // Flipped on mid-flight (the run_timed pattern): recording starts.
+    phases.set_enabled(true);
+    assert!(phases.is_enabled());
+    phases.add(Phase::RelaySignal, Duration::from_micros(5));
+    let snap = phases.snapshot();
+    assert_eq!(snap.nanos(Phase::RelaySignal), 5_000);
+    assert_eq!(snap.total_nanos(), 5_000);
+
+    // Flipped back off: the accumulated total freezes.
+    phases.set_enabled(false);
+    phases.add(Phase::RelaySignal, Duration::from_micros(5));
+    assert_eq!(phases.snapshot().nanos(Phase::RelaySignal), 5_000);
+
+    // `drain` empties while preserving the final reading.
+    phases.set_enabled(true);
+    let last = phases.drain();
+    assert_eq!(last.nanos(Phase::RelaySignal), 5_000);
+    assert_eq!(phases.snapshot().total_nanos(), 0);
+}
+
+/// The oracle: exact nearest-rank quantile over the sorted samples.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hist_quantiles_bound_the_exact_order_statistic(
+        samples in prop::collection::vec(0u64..2_000_000, 1..400),
+        qi in 0usize..4,
+    ) {
+        let q = [0.50, 0.90, 0.99, 0.999][qi];
+        let hist = LogLinearHist::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let reported = hist.snapshot().quantile(q);
+        // Never under-reported: the histogram answers with its
+        // bucket's upper bound...
+        prop_assert!(reported >= exact, "q{q}: {reported} < exact {exact}");
+        // ...and never past the exact value's own bucket bound, i.e.
+        // within the log-linear relative-error envelope (~2^-SUB_BITS).
+        prop_assert!(
+            reported <= bucket_upper_bound(bucket_index(exact)),
+            "q{q}: {reported} above the bucket bound of exact {exact}"
+        );
+    }
+
+    #[test]
+    fn hist_count_sum_and_max_match_the_samples(
+        samples in prop::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let hist = LogLinearHist::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert_eq!(snap.sum(), samples.iter().sum::<u64>());
+        if let Some(&max) = samples.iter().max() {
+            prop_assert!(snap.max_bound() >= max);
+            prop_assert!(snap.max_bound() <= bucket_upper_bound(bucket_index(max)));
+        }
+    }
+}
+
+#[test]
+fn hist_relative_error_envelope_is_tight() {
+    // The documented accuracy claim, spelled out at one point: with
+    // SUB_BITS=5, a bucket spans at most 1/32 of its value range.
+    let v: u64 = 1_000_000;
+    let bound = bucket_upper_bound(bucket_index(v));
+    let width = (bound + 1) >> SUB_BITS.min(63);
+    assert!(bound >= v);
+    assert!(
+        bound - v < width.max(1) * 2,
+        "bound {bound} too far from {v}"
+    );
+}

@@ -132,10 +132,17 @@ impl Mechanism {
     /// * `AUTOSYNCH_NO_FAST_PATH=1` disables the uncontended enter/exit
     ///   fast path (CAS lock elision + flat combining), forcing every
     ///   occupancy through the mutex — the ablation the fast-path
-    ///   latency rows in the api table diff against.
+    ///   latency rows in the api table diff against;
+    /// * `AUTOSYNCH_TRACE=1` switches on the flight recorder
+    ///   (`autosynch::telemetry`) for the whole process, so any run
+    ///   constructed through this hook can be drained into a
+    ///   Chrome-trace file afterwards.
     pub fn monitor_config(self) -> Option<MonitorConfig> {
         self.signal_mode().map(|mode| {
             let mut config = MonitorConfig::preset(mode);
+            if env_flag("AUTOSYNCH_TRACE") {
+                autosynch::telemetry::set_enabled(true);
+            }
             if env_flag("AUTOSYNCH_VALIDATE") {
                 config = config.validate_relay(true);
             }
