@@ -146,6 +146,13 @@ const EXPERIMENTS: &[Experiment] = &[
                       telemetry-off elided latency matches the api fast_path row",
         run: figures::obs,
     },
+    Experiment {
+        id: "async",
+        title: "Extension — async waiters: 100k-waiter scale proof + thread equivalence",
+        expectation: "100,000+ concurrent wait_async registrations at the hold-off release \
+                      with finite wait percentiles; async == threaded outcomes at equal ops",
+        run: figures::async_waiters,
+    },
 ];
 
 fn main() {

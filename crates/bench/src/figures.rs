@@ -11,6 +11,7 @@ use std::sync::Arc;
 use autosynch::Monitor;
 use autosynch_metrics::phase::Phase;
 use autosynch_metrics::report::{kilo, secs, Table};
+use autosynch_problems::asynch::{self, AsyncQueuesConfig, AsyncStormConfig};
 use autosynch_problems::bounded_buffer::{self, BoundedBufferConfig};
 use autosynch_problems::cyclic_barrier::{self, BarrierConfig};
 use autosynch_problems::dining::{self, DiningConfig};
@@ -1293,6 +1294,235 @@ pub fn obs() -> Table {
     let path = "BENCH_obs.json";
     match std::fs::write(path, json) {
         Ok(()) => println!("   [observability series written to {path}]"),
+        Err(err) => eprintln!("   [failed to write {path}: {err}]"),
+    }
+    table
+}
+
+/// Extension: the async waiter front-end — the 100k-waiter scale proof
+/// plus async-vs-threaded equivalence rows, all under
+/// `AutoSynch-Route` (async waiters are routed bucket entries).
+///
+/// Three artifacts per run:
+///
+/// * **The scale proof** — the wake storm driven by `wait_async`
+///   futures on the miniexec shim with registration hold-off: every
+///   channel starts at `-1` so no predicate is true, a kicker releases
+///   them only once **all 100,000+ waiters are registered at once**
+///   (`peak_waiters` is the count observed at release), and the row
+///   records the registration→claim wait-latency p50/p90/p99/p999.
+///   Thread-backed waiters cannot reach this point — 10⁵ stacks don't
+///   fit; 10⁵ bucket entries and wakers do.
+/// * **Equivalence rows** — the wake storm, the Fig. 11 round-robin
+///   shape, and the sharded queues each run twice at equal operation
+///   counts: task-backed (`-async` rows) and thread-backed. Both
+///   complete the identical pass/item totals (asserted inside the
+///   drivers) with zero broadcasts.
+/// * **`TRACE_async.json`** — a flight-recorder capture of a small
+///   async storm (recording force-enabled, prior state restored), so
+///   the `async_poll` and `waker_wake` event kinds can be asserted
+///   downstream.
+pub fn async_waiters() -> Table {
+    use autosynch::telemetry;
+
+    let mut table = Table::with_columns(&[
+        "workload",
+        "mechanism",
+        "waiters",
+        "peak",
+        "p50(ns)",
+        "p99(ns)",
+        "p999(ns)",
+        "waits",
+        "false",
+        "elapsed(s)",
+    ]);
+    let mut entries = String::new();
+    let mut record = |workload: &str,
+                      mechanism: &str,
+                      waiters: usize,
+                      peak: usize,
+                      stats: &autosynch::StatsSnapshot,
+                      elapsed: std::time::Duration| {
+        let w = stats.wait;
+        let c = stats.counters;
+        table.row(vec![
+            workload.to_owned(),
+            mechanism.to_owned(),
+            waiters.to_string(),
+            peak.to_string(),
+            w.p50.to_string(),
+            w.p99.to_string(),
+            w.p999.to_string(),
+            w.holds.to_string(),
+            c.false_wakeups.to_string(),
+            secs(elapsed),
+        ]);
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"workload\": \"{workload}\", \"mechanism\": \"{mechanism}\", \
+             \"waiters\": {waiters}, \"peak_waiters\": {peak}, \
+             \"wait_p50_ns\": {}, \"wait_p90_ns\": {}, \"wait_p99_ns\": {}, \
+             \"wait_p999_ns\": {}, \"waits\": {}, \"false_wakeups\": {}, \
+             \"broadcasts\": {}, \"elapsed_s\": {:.6}}}",
+            w.p50,
+            w.p90,
+            w.p99,
+            w.p999,
+            w.holds,
+            c.false_wakeups,
+            c.broadcasts,
+            elapsed.as_secs_f64(),
+        ));
+    };
+
+    // --- the 100k-waiter scale proof (full size even in quick mode:
+    // the point IS the scale) --------------------------------------------
+    let (channels, per_channel) = (4, 25_000);
+    let report = asynch::run_storm(AsyncStormConfig {
+        channels,
+        waiters: per_channel,
+        rounds: 1,
+        workers: asynch::default_workers(),
+        holdoff: true,
+        timed: true,
+    });
+    record(
+        "ext_wake_storm_async",
+        "AutoSynch-Route-async",
+        report.waiters,
+        report.peak_waiters,
+        &report.stats,
+        report.elapsed,
+    );
+
+    // --- async vs threaded at equal operation counts ---------------------
+    let storm_cfg = wake_storm_config();
+    let a = asynch::run_storm(AsyncStormConfig {
+        channels: storm_cfg.channels,
+        waiters: storm_cfg.waiters,
+        rounds: storm_cfg.rounds,
+        workers: asynch::default_workers(),
+        holdoff: false,
+        timed: true,
+    });
+    record(
+        "ext_wake_storm_eq",
+        "AutoSynch-Route-async",
+        a.waiters,
+        a.peak_waiters,
+        &a.stats,
+        a.elapsed,
+    );
+    let t = wake_storm::run_timed(Mechanism::AutoSynchRoute, storm_cfg);
+    record(
+        "ext_wake_storm_eq",
+        "AutoSynch-Route",
+        t.threads,
+        0,
+        &t.stats,
+        t.elapsed,
+    );
+
+    let rr_threads = 8;
+    let rr_rounds = sweep::ops_per_thread(rr_threads);
+    let a = asynch::run_storm(AsyncStormConfig {
+        channels: 1,
+        waiters: rr_threads,
+        rounds: rr_rounds,
+        workers: asynch::default_workers(),
+        holdoff: false,
+        timed: true,
+    });
+    record(
+        "fig11_round_robin_eq",
+        "AutoSynch-Route-async",
+        a.waiters,
+        a.peak_waiters,
+        &a.stats,
+        a.elapsed,
+    );
+    let t = round_robin::run_timed(
+        Mechanism::AutoSynchRoute,
+        RoundRobinConfig {
+            threads: rr_threads,
+            rounds: rr_rounds,
+        },
+    );
+    record(
+        "fig11_round_robin_eq",
+        "AutoSynch-Route",
+        t.threads,
+        0,
+        &t.stats,
+        t.elapsed,
+    );
+
+    let queues = 4;
+    let items = (sweep::ops_budget() / 8 / queues).max(64);
+    let a = asynch::run_queues(AsyncQueuesConfig {
+        queues,
+        capacity: 4,
+        items: items as u64,
+        workers: asynch::default_workers(),
+        timed: true,
+    });
+    record(
+        "ext_sharded_queues_eq",
+        "AutoSynch-Route-async",
+        queues * 2,
+        0,
+        &a.stats,
+        a.elapsed,
+    );
+    let t = sharded_queues::run_timed(
+        Mechanism::AutoSynchRoute,
+        ShardedQueuesConfig {
+            queues,
+            ops_per_queue: items,
+            capacity: 4,
+        },
+    );
+    record(
+        "ext_sharded_queues_eq",
+        "AutoSynch-Route",
+        t.threads,
+        0,
+        &t.stats,
+        t.elapsed,
+    );
+
+    // --- flight-recorder capture of the async protocol -------------------
+    let was_on = telemetry::enabled();
+    telemetry::set_enabled(true);
+    drop(telemetry::drain_all()); // discard events from the runs above
+    asynch::run_storm(AsyncStormConfig {
+        channels: 2,
+        waiters: 4,
+        rounds: 16,
+        workers: 2,
+        holdoff: false,
+        timed: false,
+    });
+    let events = telemetry::drain_all();
+    telemetry::set_enabled(was_on);
+    let kinds: std::collections::BTreeSet<&str> = events.iter().map(|e| e.kind.name()).collect();
+    let trace_path = "TRACE_async.json";
+    match crate::trace::write_chrome_trace(trace_path, &events) {
+        Ok(()) => println!(
+            "   [async flight-recorder trace written to {trace_path}: {} events, {} kinds]",
+            events.len(),
+            kinds.len()
+        ),
+        Err(err) => eprintln!("   [failed to write {trace_path}: {err}]"),
+    }
+
+    let json = format!("{{\n  \"benchmarks\": [\n{entries}\n  ]\n}}\n");
+    let path = "BENCH_async.json";
+    match std::fs::write(path, json) {
+        Ok(()) => println!("   [async waiter series written to {path}]"),
         Err(err) => eprintln!("   [failed to write {path}: {err}]"),
     }
     table

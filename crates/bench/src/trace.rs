@@ -94,6 +94,19 @@ mod tests {
     }
 
     #[test]
+    fn async_waiter_kinds_serialize_by_name() {
+        // PR 9's two kinds: poll-side self-check verdicts and
+        // waker-slot wake deliveries must land in traces like any
+        // thread-side event.
+        let json = chrome_trace_json(&[
+            event(10, EventKind::AsyncPoll),
+            event(20, EventKind::WakerWake),
+        ]);
+        assert!(json.contains("\"name\": \"async_poll\""));
+        assert!(json.contains("\"name\": \"waker_wake\""));
+    }
+
+    #[test]
     fn sub_microsecond_timestamps_keep_leading_zeros() {
         let json = chrome_trace_json(&[event(42, EventKind::Park)]);
         assert!(json.contains("\"ts\": 0.042"), "42ns is 0.042us: {json}");

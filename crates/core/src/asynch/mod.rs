@@ -1,0 +1,133 @@
+//! Async waiter front-end: `waituntil` as a future.
+//!
+//! The routed wake subsystem (`crate::wake`) identifies a waiting
+//! population by its compiled-`Cond` slot bucket; nothing in the token
+//! sweep or eq-route discipline requires that a bucket entry be a
+//! parked OS thread. This module supplies the task-backed entry: a
+//! `WakerSlot` runs the exact `ParkSlot` token protocol but "wake"
+//! means invoking the poll's registered [`Waker`](std::task::Waker),
+//! so one OS thread can host tens of thousands of concurrent waiters —
+//! the path from the ~10⁴ thread ceiling to 10⁵⁺ waiters per run.
+//!
+//! The entry points are [`Monitor::enter_async`] (an `enter` whose
+//! guard lifetime is pinned to the monitor borrow, so the closure can
+//! return a monitor-borrowing future) and
+//! [`MonitorGuard::wait_async`] / [`MonitorGuard::wait_async_timeout`],
+//! which register the waiter under the held guard and return a future
+//! resolving to a **new guard** whose occupancy observed the predicate
+//! true:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use autosynch::config::{MonitorConfig, SignalMode};
+//! use autosynch::Monitor;
+//!
+//! let m = Monitor::with_config(0i64, MonitorConfig::preset(SignalMode::Routed));
+//! let x = m.register_expr("x", |v| *v);
+//! let ready = m.compile(x.ge(1));
+//!
+//! let wait = m.enter_async(|g| g.wait_async(&ready));
+//! // ... hand `wait` to any executor; meanwhile some occupancy does:
+//! m.enter(|g| *g.state_mut() += 1);
+//! let mut g = miniexec::block_on(wait);
+//! assert!(*g.state_mut() >= 1);
+//! # drop(g);
+//! ```
+//!
+//! Each poll runs the same lock-free self-check a parked thread runs
+//! after an unpark: consume the slot's token, read the snapshot ring,
+//! and only re-enter the monitor lock on a `MayHold` verdict; a
+//! decidable-false verdict forwards the sweep token and re-registers
+//! the waker without touching the lock. Cancellation (dropping a
+//! pending future) deregisters the bucket entry and forwards any held
+//! token, mirroring the timeout path, so the no-lost-token audit holds
+//! with mixed thread/task populations. The full lifecycle and the
+//! cancellation-vs-token discipline are documented in `DESIGN.md`
+//! ("Async waiter soundness").
+//!
+//! [`Monitor::enter_async`]: crate::Monitor::enter_async
+//! [`MonitorGuard::wait_async`]: crate::MonitorGuard::wait_async
+//! [`MonitorGuard::wait_async_timeout`]: crate::MonitorGuard::wait_async_timeout
+
+pub(crate) mod timer;
+pub(crate) mod waker_slot;
+
+pub(crate) use waker_slot::WakerSlot;
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::Instant;
+
+use crate::monitor::{AsyncWaitCore, MonitorGuard};
+
+/// The pending wait returned by
+/// [`MonitorGuard::wait_async`](crate::MonitorGuard::wait_async):
+/// resolves to a fresh [`MonitorGuard`] once the condition's predicate
+/// held under the monitor lock. Dropping it before completion cancels
+/// the wait (deregisters the bucket entry, forwards any held token).
+#[must_use = "futures do nothing unless polled; dropping a pending wait cancels it"]
+#[derive(Debug)]
+pub struct WaitAsync<'m, S> {
+    core: AsyncWaitCore<'m, S>,
+}
+
+impl<'m, S> WaitAsync<'m, S> {
+    pub(crate) fn new(core: AsyncWaitCore<'m, S>) -> Self {
+        WaitAsync { core }
+    }
+}
+
+impl<'m, S> Future for WaitAsync<'m, S> {
+    type Output = MonitorGuard<'m, S>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.get_mut().core.poll_claim(cx)
+    }
+}
+
+impl<S> Drop for WaitAsync<'_, S> {
+    fn drop(&mut self) {
+        self.core.cancel();
+    }
+}
+
+/// The pending timed wait returned by
+/// [`MonitorGuard::wait_async_timeout`](crate::MonitorGuard::wait_async_timeout):
+/// resolves to `Some(guard)` when the predicate held, `None` when the
+/// deadline elapsed first (a pending token beats an elapsed deadline,
+/// exactly as in the thread-backed timed wait). Dropping it before
+/// completion cancels the wait.
+#[must_use = "futures do nothing unless polled; dropping a pending wait cancels it"]
+#[derive(Debug)]
+pub struct WaitTimeoutAsync<'m, S> {
+    core: AsyncWaitCore<'m, S>,
+    deadline: Instant,
+    timer_armed: bool,
+}
+
+impl<'m, S> WaitTimeoutAsync<'m, S> {
+    pub(crate) fn new(core: AsyncWaitCore<'m, S>, deadline: Instant) -> Self {
+        WaitTimeoutAsync {
+            core,
+            deadline,
+            timer_armed: false,
+        }
+    }
+}
+
+impl<'m, S> Future for WaitTimeoutAsync<'m, S> {
+    type Output = Option<MonitorGuard<'m, S>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        this.core
+            .poll_claim_deadline(cx, this.deadline, &mut this.timer_armed)
+    }
+}
+
+impl<S> Drop for WaitTimeoutAsync<'_, S> {
+    fn drop(&mut self) {
+        self.core.cancel();
+    }
+}

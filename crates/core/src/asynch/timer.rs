@@ -1,0 +1,158 @@
+//! The process-wide deadline service for timed async waits.
+//!
+//! A thread-backed timed wait sleeps inside `Condvar::wait_until`, so
+//! its deadline needs no external service. A task-backed wait owns no
+//! thread to sleep on, so something must call its waker when the
+//! deadline passes with no token delivered. This module is that
+//! something: one lazily spawned thread holding a min-heap of
+//! `(deadline, slot)` entries, firing [`WakerSlot::interrupt`] —
+//! a wake *without* a token — at or after each deadline. The woken
+//! future's poll sees no token pending, checks `Instant::now()` against
+//! its deadline, and resolves the race in the token's favor when both
+//! arrive (mirroring `ParkSlot::park`, where a pending token beats an
+//! elapsed deadline).
+//!
+//! Interrupts are fire-and-forget: a future that completed or was
+//! dropped before its deadline leaves a stale heap entry whose
+//! interrupt wakes nobody (the slot's waker is gone). That keeps
+//! cancellation free of timer bookkeeping.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use super::waker_slot::WakerSlot;
+
+struct Entry {
+    at: Instant,
+    seq: u64,
+    slot: Arc<WakerSlot>,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Timer {
+    heap: Mutex<BinaryHeap<Reverse<Entry>>>,
+    cv: Condvar,
+}
+
+impl Timer {
+    fn run(&self) {
+        let mut heap = self.heap.lock();
+        loop {
+            let next_at = loop {
+                match heap.peek() {
+                    None => break None,
+                    Some(Reverse(entry)) if entry.at <= Instant::now() => {
+                        let Reverse(entry) = heap.pop().expect("peeked entry");
+                        // Interrupt off-lock so a concurrent schedule
+                        // never waits behind a waker invocation.
+                        drop(heap);
+                        entry.slot.interrupt();
+                        heap = self.heap.lock();
+                    }
+                    Some(Reverse(entry)) => break Some(entry.at),
+                }
+            };
+            match next_at {
+                None => self.cv.wait(&mut heap),
+                Some(at) => {
+                    let _ = self.cv.wait_until(&mut heap, at);
+                }
+            }
+        }
+    }
+}
+
+fn service() -> &'static Timer {
+    static SERVICE: OnceLock<&'static Timer> = OnceLock::new();
+    SERVICE.get_or_init(|| {
+        let timer: &'static Timer = Box::leak(Box::new(Timer {
+            heap: Mutex::new(BinaryHeap::new()),
+            cv: Condvar::new(),
+        }));
+        std::thread::Builder::new()
+            .name("autosynch-timer".into())
+            .spawn(move || timer.run())
+            .expect("spawning the async deadline service");
+        timer
+    })
+}
+
+/// Schedules `slot.interrupt()` at or shortly after `at`. The first
+/// call spawns the service thread; entries for completed waits are
+/// harmless (their interrupt finds no waker registered).
+pub(crate) fn schedule(at: Instant, slot: Arc<WakerSlot>) {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let timer = service();
+    let mut heap = timer.heap.lock();
+    heap.push(Reverse(Entry {
+        at,
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        slot,
+    }));
+    drop(heap);
+    timer.cv.notify_one();
+}
+
+#[cfg(test)]
+mod tests {
+    use std::task::{Wake, Waker};
+    use std::time::Duration;
+
+    use super::*;
+
+    struct Flag(std::sync::Mutex<bool>, std::sync::Condvar);
+
+    impl Wake for Flag {
+        fn wake(self: Arc<Self>) {
+            *self.0.lock().unwrap() = true;
+            self.1.notify_all();
+        }
+    }
+
+    #[test]
+    fn deadlines_fire_in_order_and_without_tokens() {
+        let slot = Arc::new(WakerSlot::new());
+        let flag = Arc::new(Flag(
+            std::sync::Mutex::new(false),
+            std::sync::Condvar::new(),
+        ));
+        let waker = Waker::from(Arc::clone(&flag));
+        assert_eq!(slot.poll_token(&waker), None);
+        schedule(
+            Instant::now() + Duration::from_millis(20),
+            Arc::clone(&slot),
+        );
+        let fired = flag.0.lock().unwrap();
+        let (fired, timeout) = flag
+            .1
+            .wait_timeout_while(fired, Duration::from_secs(5), |f| !*f)
+            .unwrap();
+        assert!(!timeout.timed_out(), "interrupt never fired");
+        assert!(*fired);
+        assert_eq!(slot.poll_token(&waker), None, "interrupts grant no token");
+    }
+}

@@ -1,0 +1,237 @@
+//! The task-backed twin of [`ParkSlot`]: the same sticky-token,
+//! epoch-stamped wake protocol, but "wake the waiter" invokes a
+//! registered [`Waker`] instead of notifying a condvar.
+//!
+//! The state machine is deliberately identical to the thread slot's —
+//! the routed wake subsystem treats both through the
+//! [`Waiter`](crate::wake::Waiter) enum and must not be able to tell
+//! them apart:
+//!
+//! * **No lost wakeup before pending.** [`WakerSlot::poll_token`] is
+//!   the async analogue of "consume the token or commit to sleeping":
+//!   under one lock hold it either consumes a pending token or
+//!   registers the poll's waker for the next [`WakerSlot::unpark`]. An
+//!   unpark serialized before the poll is consumed; one serialized
+//!   after finds the freshly registered waker and wakes it. There is no
+//!   window in which a token can land unseen with no waker registered.
+//! * **Epoch stamps and coalescing.** Unparks carry the publishing
+//!   epoch and coalesce into the maximum, exactly like the park token,
+//!   so a task always learns the newest epoch covering its wakes.
+//! * **Coverage.** For the no-lost-token audit a task is covered when
+//!   it holds a pending token or has no waker registered — the latter
+//!   means a poll is imminent (the future was just created, is mid
+//!   poll, or was just woken) and will run `poll_token` before the task
+//!   suspends again, mirroring "awake threads are covered".
+//!
+//! [`ParkSlot`]: crate::parking::park::ParkSlot
+//! [`Waker`]: std::task::Waker
+
+use std::fmt;
+use std::task::Waker;
+
+use parking_lot::Mutex;
+
+#[derive(Default)]
+struct SlotState {
+    /// An unpark arrived and has not been consumed by a poll.
+    pending: bool,
+    /// The waker of the task's most recent pending poll, if any.
+    waker: Option<Waker>,
+    /// Newest epoch stamped by any unpark.
+    wake_epoch: u64,
+    /// Newest published epoch the task's self-check has evaluated.
+    observed: u64,
+}
+
+/// One async waiter's wake token. See the module docs for the protocol.
+#[derive(Default)]
+pub(crate) struct WakerSlot {
+    state: Mutex<SlotState>,
+}
+
+impl fmt::Debug for WakerSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("WakerSlot")
+            .field("pending", &state.pending)
+            .field("registered", &state.waker.is_some())
+            .field("wake_epoch", &state.wake_epoch)
+            .field("observed", &state.observed)
+            .finish()
+    }
+}
+
+impl WakerSlot {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands the task a wake token stamped with the publishing epoch
+    /// and invokes its registered waker — the `Waker::wake()` call
+    /// happens after the slot lock is dropped, exactly as thread
+    /// unparks notify their condvar off-lock. Tokens coalesce into the
+    /// newest epoch.
+    pub(crate) fn unpark(&self, epoch: u64) {
+        crate::telemetry::record(crate::telemetry::EventKind::WakerWake, epoch, 0);
+        let waker = {
+            let mut state = self.state.lock();
+            state.pending = true;
+            if epoch > state.wake_epoch {
+                state.wake_epoch = epoch;
+            }
+            state.waker.take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+
+    /// Wakes the task **without** granting a token — the deadline
+    /// timer's interrupt. The next poll finds no token pending and
+    /// checks its deadline instead of self-checking.
+    pub(crate) fn interrupt(&self) {
+        let waker = self.state.lock().waker.take();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+
+    /// The poll-side token consume: atomically takes a pending token
+    /// (returning its stamped epoch) or registers `waker` for the next
+    /// unpark. The single lock hold is the no-lost-wakeup crux — every
+    /// unpark is serialized either before (consumed now) or after
+    /// (wakes the registered waker).
+    pub(crate) fn poll_token(&self, waker: &Waker) -> Option<u64> {
+        let mut state = self.state.lock();
+        if state.pending {
+            state.pending = false;
+            state.waker = None;
+            return Some(state.wake_epoch);
+        }
+        match &mut state.waker {
+            Some(registered) if registered.will_wake(waker) => {}
+            registered => *registered = Some(waker.clone()),
+        }
+        None
+    }
+
+    /// Pre-arms the slot with a token at `epoch`: registration found
+    /// the predicate already true, so the future's first poll must
+    /// claim immediately instead of waiting for a relay that may owe
+    /// this entry nothing (no mutation happened).
+    pub(crate) fn self_arm(&self, epoch: u64) {
+        let mut state = self.state.lock();
+        state.pending = true;
+        if epoch > state.wake_epoch {
+            state.wake_epoch = epoch;
+        }
+    }
+
+    /// Records that the task's self-check evaluated the snapshot of
+    /// `epoch` (monotonic; the sweep's targeting rule).
+    pub(crate) fn observed(&self, epoch: u64) {
+        let mut state = self.state.lock();
+        if epoch > state.observed {
+            state.observed = epoch;
+        }
+    }
+
+    /// The newest epoch this task's self-checks have evaluated.
+    pub(crate) fn observed_epoch(&self) -> u64 {
+        self.state.lock().observed
+    }
+
+    /// Atomically consumes a pending-but-unconsumed token, returning
+    /// its stamped epoch. A leaver (claim, timeout, cancellation)
+    /// drains this right after dequeueing: the token is a *bucket*
+    /// resource and must be forwarded, never absorbed.
+    pub(crate) fn take_pending(&self) -> Option<u64> {
+        let mut state = self.state.lock();
+        if state.pending {
+            state.pending = false;
+            Some(state.wake_epoch)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the task cannot sleep through a wakeup right now: it
+    /// holds a pending token, or no waker is registered (a poll is
+    /// imminent and will run [`WakerSlot::poll_token`] before the task
+    /// suspends).
+    pub(crate) fn covered(&self) -> bool {
+        let state = self.state.lock();
+        state.pending || state.waker.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::task::Wake;
+
+    use super::*;
+
+    struct CountingWake(AtomicUsize);
+
+    impl Wake for CountingWake {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn counting_waker() -> (Waker, Arc<CountingWake>) {
+        let counter = Arc::new(CountingWake(AtomicUsize::new(0)));
+        (Waker::from(Arc::clone(&counter)), counter)
+    }
+
+    #[test]
+    fn unpark_before_poll_is_consumed_without_a_wake() {
+        let slot = WakerSlot::new();
+        slot.unpark(7);
+        let (waker, wakes) = counting_waker();
+        assert_eq!(slot.poll_token(&waker), Some(7));
+        assert_eq!(wakes.0.load(Ordering::SeqCst), 0, "token, not a wake");
+        assert!(slot.covered(), "a consumed token leaves the task awake");
+    }
+
+    #[test]
+    fn unpark_after_poll_wakes_the_registered_waker_once() {
+        let slot = WakerSlot::new();
+        let (waker, wakes) = counting_waker();
+        assert_eq!(slot.poll_token(&waker), None);
+        assert!(!slot.covered(), "registered and tokenless is bare");
+        slot.unpark(3);
+        slot.unpark(9);
+        assert_eq!(wakes.0.load(Ordering::SeqCst), 1, "waker taken by first");
+        assert_eq!(slot.poll_token(&waker), Some(9), "coalesced to max epoch");
+    }
+
+    #[test]
+    fn interrupt_wakes_without_granting_a_token() {
+        let slot = WakerSlot::new();
+        let (waker, wakes) = counting_waker();
+        assert_eq!(slot.poll_token(&waker), None);
+        slot.interrupt();
+        assert_eq!(wakes.0.load(Ordering::SeqCst), 1);
+        assert_eq!(slot.poll_token(&waker), None, "no token was granted");
+    }
+
+    #[test]
+    fn take_pending_drains_exactly_one_token() {
+        let slot = WakerSlot::new();
+        assert_eq!(slot.take_pending(), None);
+        slot.self_arm(6);
+        assert_eq!(slot.take_pending(), Some(6));
+        assert_eq!(slot.take_pending(), None, "token was consumed");
+    }
+
+    #[test]
+    fn observed_epochs_are_monotonic() {
+        let slot = WakerSlot::new();
+        slot.observed(4);
+        slot.observed(2);
+        assert_eq!(slot.observed_epoch(), 4);
+    }
+}

@@ -130,6 +130,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod asynch;
 pub mod baseline;
 pub mod config;
 pub mod eq_index;
@@ -148,6 +149,7 @@ pub mod tracked;
 pub(crate) mod wake;
 pub(crate) mod word;
 
+pub use asynch::{WaitAsync, WaitTimeoutAsync};
 pub use baseline::BaselineMonitor;
 pub use config::{MonitorConfig, SignalMode, ThresholdIndexKind};
 pub use explicit::{CondId, ExplicitMonitor};

@@ -74,6 +74,7 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use std::time::{Duration, Instant};
 
 use autosynch_metrics::phase::Phase;
@@ -82,6 +83,7 @@ use autosynch_predicate::expr::{ExprHandle, ExprId, ExprTable};
 use autosynch_predicate::predicate::{IntoPredicate, Predicate};
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
+use crate::asynch::WakerSlot;
 use crate::config::{MonitorConfig, SignalMode};
 use crate::eq_index::PredId;
 use crate::fc::{FcOutcome, FcSlab};
@@ -90,7 +92,7 @@ use crate::parking::{snapshot_verdict, ParkOutcome, ParkSlot, ParkingLot, Verdic
 use crate::stats::{MonitorStats, StatsSnapshot};
 use crate::telemetry;
 use crate::tracked::{MutationSink, TrackedState};
-use crate::wake::{BucketKey, RoutedWake, SweepToken, WakeLot};
+use crate::wake::{BucketKey, RoutedWake, SweepToken, WakeLot, WakeTicket};
 use crate::word::MonitorWord;
 
 mod thread_id {
@@ -379,6 +381,73 @@ impl<S> Monitor<S> {
         S: TrackedState,
     {
         self.enter_inner(Some(drain_cells::<S>), f)
+    }
+
+    /// Enters the monitor for an occupancy that may register async
+    /// waits. Unlike [`Monitor::enter`] — whose closure takes a guard of
+    /// a caller-opaque lifetime — the guard's lifetime here is pinned to
+    /// this monitor borrow, so the closure can *return* a value that
+    /// borrows the monitor: the [`WaitAsync`](crate::asynch::WaitAsync)
+    /// future from [`MonitorGuard::wait_async`]. The occupancy itself is
+    /// synchronous (the guard is dropped, relay and all, before this
+    /// returns); only the returned future outlives it.
+    ///
+    /// Registration always takes the slow lane: a `wait_async` must
+    /// downgrade an elided occupancy anyway (its waiter joins the mutex
+    /// protocol and holds slow-lane presence for its whole pending
+    /// life), so the CAS lane has nothing to offer here.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called re-entrantly from the same thread.
+    pub fn enter_async<'m, R>(&'m self, f: impl FnOnce(&mut MonitorGuard<'m, S>) -> R) -> R {
+        self.enter_async_inner(None, f)
+    }
+
+    /// [`Monitor::enter_async`] for [`Tracked`](crate::tracked::Tracked)
+    /// state: writes inside the occupancy (and inside any occupancy a
+    /// returned wait future resolves into) name the touched expressions
+    /// automatically, exactly as [`Monitor::enter_tracked`] does.
+    pub fn enter_async_tracked<'m, R>(&'m self, f: impl FnOnce(&mut MonitorGuard<'m, S>) -> R) -> R
+    where
+        S: TrackedState,
+    {
+        self.enter_async_inner(Some(drain_cells::<S>), f)
+    }
+
+    fn enter_async_inner<'m, R>(
+        &'m self,
+        drain: Option<DrainFn<S>>,
+        f: impl FnOnce(&mut MonitorGuard<'m, S>) -> R,
+    ) -> R {
+        let me = thread_id::current();
+        assert_ne!(
+            self.owner.load(Ordering::Relaxed),
+            me,
+            "Monitor::enter_async called re-entrantly from the same thread"
+        );
+        self.stats.counters.record_enter();
+        let started = self.stats.timing_enabled().then(Instant::now);
+        let tctx = telemetry::context_enter(self.token);
+        let lock_timer = self.stats.phases.start(Phase::Lock);
+        let mut inner = self.lock_slow();
+        lock_timer.finish();
+        telemetry::record(telemetry::EventKind::EnterSlow, 0, 0);
+        self.owner.store(me, Ordering::Relaxed);
+        inner.dirty = false;
+        inner.signaled = false;
+        inner.tracked_pending = false;
+        let mut guard = MonitorGuard {
+            monitor: self,
+            inner: Some(inner),
+            started,
+            elided: false,
+            drain,
+            tctx,
+        };
+        let result = f(&mut guard);
+        drop(guard);
+        result
     }
 
     /// Joins the slow lane: announce presence on the monitor word (which
@@ -1643,6 +1712,447 @@ impl<S> MonitorGuard<'_, S> {
             monitor.stats.enter_exit.record(started.elapsed());
         }
         telemetry::context_exit(self.tctx.take());
+    }
+}
+
+impl<'m, S> MonitorGuard<'m, S> {
+    /// The paper's `waituntil(P)` as a **future**: registers the caller
+    /// as an async waiter of `cond` under this guard's lock hold and
+    /// returns a future resolving to a *fresh* guard whose occupancy
+    /// observed the predicate true. Available on guards whose lifetime
+    /// is pinned to the monitor borrow — inside
+    /// [`Monitor::enter_async`] / [`Monitor::enter_async_tracked`]
+    /// closures (a plain [`Monitor::enter`] guard's opaque lifetime
+    /// cannot escape its closure, which is exactly the misuse the
+    /// signature forbids).
+    ///
+    /// Each poll runs the parked waiter's self-service protocol without
+    /// a thread: consume the waker slot's token, self-check against the
+    /// lock-free snapshot ring, and take the monitor lock only on a
+    /// maybe-true verdict — a decidable-false verdict forwards the
+    /// sweep token to the next bucket peer and re-registers the waker
+    /// without touching any monitor state. Dropping the pending future
+    /// cancels the wait (deregisters the bucket entry, forwards any
+    /// held token).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cond` was compiled by a different monitor, or when
+    /// the monitor is not in [`SignalMode::Routed`] — async waiters are
+    /// bucket entries of the routed wake subsystem.
+    pub fn wait_async(&mut self, cond: &Cond<S>) -> crate::asynch::WaitAsync<'m, S> {
+        crate::asynch::WaitAsync::new(self.register_async(cond))
+    }
+
+    /// [`MonitorGuard::wait_async`] with a deadline: resolves to
+    /// `Some(guard)` when the condition held within `timeout`, `None`
+    /// when the deadline elapsed first. A pending wake token beats an
+    /// elapsed deadline, matching [`MonitorGuard::wait_timeout`].
+    ///
+    /// # Panics
+    ///
+    /// As [`MonitorGuard::wait_async`].
+    pub fn wait_async_timeout(
+        &mut self,
+        cond: &Cond<S>,
+        timeout: Duration,
+    ) -> crate::asynch::WaitTimeoutAsync<'m, S> {
+        crate::asynch::WaitTimeoutAsync::new(self.register_async(cond), Instant::now() + timeout)
+    }
+
+    /// Registration, under this guard's lock hold: intern the waiter on
+    /// the compiled entry, enqueue a task-backed bucket entry, and
+    /// capture everything the future's polls need. The relay this
+    /// registration owes (§4.2's relay-on-wait baton pass) runs at the
+    /// enclosing occupancy's normal exit.
+    fn register_async(&mut self, cond: &Cond<S>) -> AsyncWaitCore<'m, S> {
+        let monitor = self.monitor;
+        assert_eq!(
+            cond.owner(),
+            monitor.token,
+            "waited on a Cond compiled by a different monitor"
+        );
+        assert_eq!(
+            monitor.config.signal_mode(),
+            SignalMode::Routed,
+            "wait_async requires SignalMode::Routed (async waiters are routed bucket entries)"
+        );
+        let stats = Arc::clone(&monitor.stats);
+        // Async waiters live on the mutex protocol like any blocked
+        // waiter; an elided registrar moves over first.
+        self.downgrade_if_elided();
+        // This occupancy's writes must reach the manager before the
+        // registration-time evaluation below (and before the enclosing
+        // exit's relay diffs).
+        self.flush_tracked();
+        stats.counters.record_wait();
+        let pid =
+            self.inner_mut()
+                .mgr
+                .register_waiter_slot(cond.slot(), cond.predicate_arc(), &stats);
+        let (wake, pred, gate) = {
+            let inner = self.inner();
+            (
+                inner.mgr.wake_lot(),
+                inner.mgr.entry_pred_arc(pid),
+                inner.mgr.park_gate(pid),
+            )
+        };
+        let wslot = Arc::new(WakerSlot::new());
+        let bucket = BucketKey::Slot(cond.slot());
+        let ticket = wake.enqueue(gate, bucket, Arc::clone(&wslot), pid);
+        // Fig. 6's "if P is false ..." check, inverted: a registration
+        // that finds the predicate already true self-arms the slot, so
+        // the future's first poll claims immediately instead of waiting
+        // for a relay that may owe this entry nothing (no mutation need
+        // ever happen). A racing claimer is harmless — the claim
+        // re-confirms under the lock and goes futile if beaten.
+        let holds_now = {
+            let exprs = monitor.exprs.read();
+            stats.counters.record_pred_eval();
+            cond.predicate().eval(&self.inner().state, &exprs)
+        };
+        if holds_now {
+            let epoch = self.inner().mgr.current_epoch();
+            wslot.self_arm(epoch);
+        }
+        if monitor.config.fast_path_enabled() {
+            // The pending future holds one slow-lane presence unit for
+            // its whole life — blocked waiters keep presence, so elided
+            // exits keep proving nobody is owed a relay. The unit
+            // transfers to the resolved guard (whose exit releases it);
+            // timeout and cancellation release it directly.
+            monitor.word.join_slow();
+        }
+        telemetry::record(
+            telemetry::EventKind::WaitRegistered,
+            u64::from(cond.slot()),
+            1,
+        );
+        let started = stats.phases.is_enabled().then(Instant::now);
+        AsyncWaitCore {
+            monitor,
+            wake,
+            wslot,
+            pred,
+            pid,
+            gate,
+            bucket,
+            ticket: Some(ticket),
+            drain: self.drain,
+            started,
+            wake_buf: Vec::new(),
+            snap_buf: Vec::new(),
+            done: false,
+        }
+    }
+}
+
+/// The engine of one pending `wait_async`: the registration state plus
+/// the poll/timeout/cancel protocol. It lives inside the returned
+/// future (`WaitAsync` / `WaitTimeoutAsync` in [`crate::asynch`]); the
+/// implementation sits here, next to `wait_routed`, because a poll is
+/// exactly one turn of the routed wait loop with the park replaced by
+/// `Poll::Pending` — the two must stay in lockstep.
+pub(crate) struct AsyncWaitCore<'m, S> {
+    monitor: &'m Monitor<S>,
+    wake: Arc<WakeLot>,
+    wslot: Arc<WakerSlot>,
+    pred: Arc<Predicate<S>>,
+    pid: PredId,
+    gate: usize,
+    /// Always `BucketKey::Slot(..)` — async waits require a compiled
+    /// [`Cond`], so the entry is always swept (never broadcast-only).
+    bucket: BucketKey,
+    /// The bucket position while enqueued; `None` mid-claim (the entry
+    /// left its bucket as an in-flight claimer) and after completion.
+    ticket: Option<WakeTicket>,
+    drain: Option<DrainFn<S>>,
+    /// Registration timestamp for the `wait` latency histogram; `None`
+    /// when phase timing is off.
+    started: Option<Instant>,
+    wake_buf: Vec<RoutedWake>,
+    snap_buf: Vec<Option<i64>>,
+    /// Completed (claimed, timed out, or cancelled): every resource —
+    /// ticket, claim, presence unit, manager registration — is settled.
+    done: bool,
+}
+
+impl<S> std::fmt::Debug for AsyncWaitCore<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncWaitCore")
+            .field("gate", &self.gate)
+            .field("bucket", &self.bucket)
+            .field("enqueued", &self.ticket.is_some())
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl<'m, S> AsyncWaitCore<'m, S> {
+    /// One turn of the routed wait loop (see `wait_routed`): consume
+    /// the slot's token or suspend; on a token, self-check against the
+    /// ring; forward on decidable-false, claim under the monitor lock
+    /// on maybe-true. A futile claim re-enqueues, relays the baton it
+    /// briefly held, and tries the next token.
+    ///
+    /// # Panics
+    ///
+    /// Panics when polled after completion, or when polled by a thread
+    /// currently holding this monitor — the claim would self-deadlock
+    /// on the monitor mutex (never `await` a monitor's wait future from
+    /// inside one of its occupancies).
+    pub(crate) fn poll_claim(&mut self, cx: &mut Context<'_>) -> Poll<MonitorGuard<'m, S>> {
+        assert!(!self.done, "polled a completed wait_async future");
+        let monitor = self.monitor;
+        let me = thread_id::current();
+        assert_ne!(
+            monitor.owner.load(Ordering::Relaxed),
+            me,
+            "polled a wait_async future while holding its monitor"
+        );
+        let stats = Arc::clone(&monitor.stats);
+        loop {
+            let Some(epoch) = self.wslot.poll_token(cx.waker()) else {
+                return Poll::Pending;
+            };
+            stats.counters.record_wakeup();
+            let recheck_timer = stats.phases.start(Phase::ParkRecheck);
+            stats.counters.record_waiter_self_check();
+            let snap_epoch = monitor
+                .ring
+                .read_latest_into(&stats.counters, &mut self.snap_buf);
+            let verdict = snapshot_verdict(&self.pred, snap_epoch, &self.snap_buf);
+            recheck_timer.finish();
+            // Executor threads have no monitor context in TLS, so the
+            // poll events attribute explicitly.
+            telemetry::record_for(
+                monitor.token,
+                telemetry::EventKind::SelfCheck,
+                matches!(verdict, Verdict::MayHold) as u64,
+                snap_epoch.unwrap_or(0),
+            );
+            telemetry::record_for(
+                monitor.token,
+                telemetry::EventKind::AsyncPoll,
+                matches!(verdict, Verdict::MayHold) as u64,
+                snap_epoch.unwrap_or(0),
+            );
+            if let Verdict::False { epoch: seen } = verdict {
+                // Still false at the newest published cut: forward the
+                // bucket's token to the next unobserved peer and stay
+                // suspended (the waker re-registered in `poll_token`).
+                // No monitor state is touched.
+                stats.counters.record_false_wakeup();
+                self.wslot.observed(seen);
+                let mut t = SweepToken::new(self.gate, self.bucket, epoch);
+                t.raise(seen);
+                t.forward(&self.wake, &stats.counters);
+                continue;
+            }
+            // MayHold: leave the bucket as an in-flight claimer (the
+            // dequeue registers the claim atomically, so the audit
+            // never sees a coverage gap), drain any residual token, and
+            // confirm against the live state under the monitor lock.
+            let mut token = SweepToken::new(self.gate, self.bucket, epoch);
+            let ticket = self.ticket.take().expect("claiming without a ticket");
+            self.wake.dequeue(ticket, true);
+            if let Some(residual) = self.wslot.take_pending() {
+                token.raise(residual);
+            }
+            let lock_timer = stats.phases.start(Phase::Lock);
+            let mut inner = monitor.inner.lock();
+            lock_timer.finish();
+            monitor.owner.store(me, Ordering::Relaxed);
+
+            let holds = {
+                let exprs = monitor.exprs.read();
+                stats.counters.record_pred_eval();
+                inner.mgr.entry_pred(self.pid).eval(&inner.state, &exprs)
+            };
+            if holds {
+                inner.mgr.consume_signal(self.pid, &stats);
+                // The baton rule, task-side: re-inject the token at the
+                // resolved guard's exit so the next bucket peer can
+                // confirm against the post-claim state. The
+                // announcement takes over from our in-flight claim.
+                inner.mgr.note_reinject(self.gate, self.bucket);
+                self.wake.end_claim(self.gate, self.bucket);
+                inner.dirty = false;
+                inner.signaled = false;
+                return Poll::Ready(self.finish_claim(inner));
+            }
+
+            // Futile claim: a barger falsified the condition first.
+            // Re-enqueue under the monitor lock (publishers cannot miss
+            // us), mark observed at the live epoch, then mirror the
+            // sync loop-top: relay the baton, release the lock, deliver
+            // the announced wakes, and hand the token off outside the
+            // lock (the still-open claim covers the bucket until then).
+            stats.counters.record_futile_wakeup();
+            let epoch_now = {
+                inner.mgr.mark_futile(self.pid, &stats);
+                inner.dirty = false;
+                inner.mgr.current_epoch()
+            };
+            self.ticket =
+                Some(
+                    self.wake
+                        .enqueue(self.gate, self.bucket, Arc::clone(&self.wslot), self.pid),
+                );
+            self.wslot.observed(epoch_now.max(token.epoch()));
+            token.raise(epoch_now);
+            let wake_epoch = {
+                let exprs = monitor.exprs.read();
+                let Inner {
+                    state,
+                    mgr,
+                    signaled,
+                    ..
+                } = &mut *inner;
+                mgr.relay_signal(state, &exprs, &stats);
+                *signaled = false;
+                mgr.drain_routed_wakes(&mut self.wake_buf)
+            };
+            monitor.owner.store(0, Ordering::Relaxed);
+            drop(inner);
+            monitor.deliver_routed_wakes(&self.wake_buf, wake_epoch);
+            token.forward(&self.wake, &stats.counters);
+            self.wake.end_claim(self.gate, self.bucket);
+        }
+    }
+
+    /// [`AsyncWaitCore::poll_claim`] with a deadline: a pending token
+    /// is always tried first (it beats an elapsed deadline), then the
+    /// deadline is checked, then — once — the process-wide timer is
+    /// armed to interrupt this slot at the deadline.
+    pub(crate) fn poll_claim_deadline(
+        &mut self,
+        cx: &mut Context<'_>,
+        deadline: Instant,
+        timer_armed: &mut bool,
+    ) -> Poll<Option<MonitorGuard<'m, S>>> {
+        if let Poll::Ready(guard) = self.poll_claim(cx) {
+            return Poll::Ready(Some(guard));
+        }
+        if Instant::now() >= deadline {
+            return Poll::Ready(self.finish_timeout());
+        }
+        if !*timer_armed {
+            *timer_armed = true;
+            crate::asynch::timer::schedule(deadline, Arc::clone(&self.wslot));
+        }
+        Poll::Pending
+    }
+
+    /// Completes a claim: settle the wait-latency stat and build the
+    /// guard the future resolves to. The registration's presence unit
+    /// transfers to the guard — its exit runs the normal slow-lane
+    /// release, balancing the `join_slow` taken at registration.
+    fn finish_claim(&mut self, inner: MutexGuard<'m, Inner<S>>) -> MonitorGuard<'m, S> {
+        self.done = true;
+        let monitor = self.monitor;
+        if let Some(started) = self.started.take() {
+            monitor.stats.wait.record(started.elapsed());
+        }
+        let started = monitor.stats.timing_enabled().then(Instant::now);
+        let tctx = telemetry::context_enter(monitor.token);
+        MonitorGuard {
+            monitor,
+            inner: Some(inner),
+            started,
+            elided: false,
+            drain: self.drain,
+            tctx,
+        }
+    }
+
+    /// The deadline elapsed with no claim: deregister exactly as the
+    /// thread-backed timed wait does — dequeue as an in-flight claimer,
+    /// hand any residual token back to the bucket *before* touching the
+    /// monitor lock, then confirm once under it (the predicate may have
+    /// just turned true; a token-free success needs no re-injection).
+    fn finish_timeout(&mut self) -> Option<MonitorGuard<'m, S>> {
+        let monitor = self.monitor;
+        let stats = Arc::clone(&monitor.stats);
+        let ticket = self.ticket.take().expect("timing out without a ticket");
+        self.wake.dequeue(ticket, true);
+        if let Some(residual) = self.wslot.take_pending() {
+            SweepToken::new(self.gate, self.bucket, residual).forward(&self.wake, &stats.counters);
+        }
+        let lock_timer = stats.phases.start(Phase::Lock);
+        let mut inner = monitor.inner.lock();
+        lock_timer.finish();
+        monitor.owner.store(thread_id::current(), Ordering::Relaxed);
+
+        let holds = {
+            let exprs = monitor.exprs.read();
+            stats.counters.record_pred_eval();
+            inner.mgr.entry_pred(self.pid).eval(&inner.state, &exprs)
+        };
+        if holds {
+            inner.mgr.consume_signal(self.pid, &stats);
+            self.wake.end_claim(self.gate, self.bucket);
+            inner.dirty = false;
+            inner.signaled = false;
+            return Some(self.finish_claim(inner));
+        }
+        stats.counters.record_timeout();
+        let _ = inner.mgr.on_timeout(self.pid, &stats);
+        inner.dirty = false;
+        self.wake.end_claim(self.gate, self.bucket);
+        monitor.owner.store(0, Ordering::Relaxed);
+        drop(inner);
+        self.done = true;
+        if let Some(started) = self.started.take() {
+            stats.wait.record(started.elapsed());
+        }
+        if monitor.config.fast_path_enabled() {
+            monitor.word.leave_slow();
+        }
+        None
+    }
+
+    /// Cancellation: the future was dropped while pending. Mirrors the
+    /// timeout path's resource discipline — dequeue as an in-flight
+    /// claimer (the bucket stays covered for the no-lost-token audit
+    /// across the whole teardown), forward any residual token to the
+    /// bucket before touching the monitor lock, then deregister from
+    /// the manager under it and release the presence unit. No-op after
+    /// completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dropping thread holds this monitor (the
+    /// deregistration would self-deadlock). During an unwind the panic
+    /// is suppressed and the registration leaks instead: the open claim
+    /// keeps the audit sound, and masking the original panic would be
+    /// worse than the leak.
+    pub(crate) fn cancel(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let monitor = self.monitor;
+        let stats = Arc::clone(&monitor.stats);
+        let ticket = self.ticket.take().expect("cancelling without a ticket");
+        self.wake.dequeue(ticket, true);
+        if let Some(residual) = self.wslot.take_pending() {
+            SweepToken::new(self.gate, self.bucket, residual).forward(&self.wake, &stats.counters);
+        }
+        if monitor.owner.load(Ordering::Relaxed) == thread_id::current() {
+            if std::thread::panicking() {
+                return;
+            }
+            panic!("dropped a pending wait_async future while holding its monitor");
+        }
+        let mut inner = monitor.inner.lock();
+        let _ = inner.mgr.on_timeout(self.pid, &stats);
+        self.wake.end_claim(self.gate, self.bucket);
+        drop(inner);
+        if monitor.config.fast_path_enabled() {
+            monitor.word.leave_slow();
+        }
     }
 }
 

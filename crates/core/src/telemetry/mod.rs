@@ -56,7 +56,8 @@ pub enum EventKind {
     GateWait = 3,
     /// A waiter registered with the condition manager and is about to
     /// block. `a` = compiled `Cond` slot (`u64::MAX` for transient
-    /// predicates).
+    /// predicates). `b` = 1 for a task-backed (`wait_async`)
+    /// registration, 0 for a thread-backed one.
     WaitRegistered = 4,
     /// A parked waiter committed to blocking on its slot. `a` = wake
     /// epoch already observed at park time.
@@ -84,11 +85,21 @@ pub enum EventKind {
     /// A fast-path (elided) exit ran the validate-relay audit and owed
     /// no relay. `a`/`b` unused.
     FastExitAudit = 12,
+    /// An async wait future's poll ran the lock-free self-check
+    /// against the snapshot ring. `a` = 1 if the predicate may hold
+    /// (the poll proceeds to claim under the lock), 0 for a
+    /// decidable-false verdict (the waker re-registers without
+    /// touching the lock). `b` = snapshot epoch checked against.
+    AsyncPoll = 13,
+    /// A routed wake or token forward landed on a task-backed bucket
+    /// entry and invoked its `Waker` off-lock. `a` = published wake
+    /// epoch.
+    WakerWake = 14,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::EnterElided,
         EventKind::EnterSlow,
         EventKind::EnterCombined,
@@ -102,6 +113,8 @@ impl EventKind {
         EventKind::LadderSkip,
         EventKind::FcAdopt,
         EventKind::FastExitAudit,
+        EventKind::AsyncPoll,
+        EventKind::WakerWake,
     ];
 
     /// Stable snake_case name (the Chrome trace event name).
@@ -120,6 +133,8 @@ impl EventKind {
             EventKind::LadderSkip => "ladder_skip",
             EventKind::FcAdopt => "fc_adopt",
             EventKind::FastExitAudit => "fast_exit_audit",
+            EventKind::AsyncPoll => "async_poll",
+            EventKind::WakerWake => "waker_wake",
         }
     }
 

@@ -49,6 +49,13 @@
 //! The no-lost-token argument lives in `DESIGN.md` ("Wake routing
 //! soundness"); the manager's `check_wake_routing` validator re-proves
 //! it after every routed relay when `validate_relay` is armed.
+//!
+//! PR 9 generalizes the bucket *entry* itself: a [`Waiter`] is either a
+//! thread's park token or an async task's waker slot
+//! ([`crate::asynch`]), so routed unparks and token forwards deliver
+//! `Waker::wake()` off-lock exactly where thread unparks are delivered
+//! — nothing in the token discipline changes, only the blocking
+//! primitive behind `unpark`.
 
 pub(crate) mod ladder;
 pub(crate) mod route;
@@ -60,6 +67,7 @@ use std::sync::Arc;
 
 use autosynch_metrics::counters::SyncCounters;
 
+use crate::asynch::WakerSlot;
 use crate::eq_index::PredId;
 use crate::parking::locks::ShardLock;
 use crate::parking::park::ParkSlot;
@@ -78,6 +86,61 @@ use crate::config::MonitorConfig;
 pub(crate) struct WakeTicket {
     gate: u32,
     node: u32,
+}
+
+/// A bucket entry's blocking primitive: a parked OS thread or a pending
+/// async task. The token-sweep discipline (targeting by observed epoch,
+/// coverage for the no-lost-token audit, coalesced epoch-stamped wakes)
+/// is identical across the two — only what `unpark` does differs: set a
+/// park token and `notify` the thread, or set the same token and invoke
+/// the task's registered `Waker` off-lock.
+#[derive(Debug, Clone)]
+pub(crate) enum Waiter {
+    /// A thread blocked on a [`ParkSlot`].
+    Thread(Arc<ParkSlot>),
+    /// A task whose wake is a `Waker::wake()` call via a [`WakerSlot`].
+    Task(Arc<WakerSlot>),
+}
+
+impl Waiter {
+    /// Publishes a wake stamped `epoch`: unparks the thread or wakes
+    /// the task (both off-lock, both coalescing into the max epoch).
+    pub(crate) fn unpark(&self, epoch: u64) {
+        match self {
+            Waiter::Thread(park) => park.unpark(epoch),
+            Waiter::Task(slot) => slot.unpark(epoch),
+        }
+    }
+
+    /// The newest epoch this waiter's self-checks have observed (the
+    /// sweep's targeting rule skips it for older epochs).
+    pub(crate) fn observed_epoch(&self) -> u64 {
+        match self {
+            Waiter::Thread(park) => park.observed_epoch(),
+            Waiter::Task(slot) => slot.observed_epoch(),
+        }
+    }
+
+    /// Whether this waiter covers its bucket for the no-lost-token
+    /// audit (holds a pending token, or is awake / about to poll).
+    pub(crate) fn covered(&self) -> bool {
+        match self {
+            Waiter::Thread(park) => park.covered(),
+            Waiter::Task(slot) => slot.covered(),
+        }
+    }
+}
+
+impl From<Arc<ParkSlot>> for Waiter {
+    fn from(park: Arc<ParkSlot>) -> Self {
+        Waiter::Thread(park)
+    }
+}
+
+impl From<Arc<WakerSlot>> for Waiter {
+    fn from(slot: Arc<WakerSlot>) -> Self {
+        Waiter::Task(slot)
+    }
 }
 
 /// One per-shard gate: the shard's lock, its slot-bucketed wait queue,
@@ -152,11 +215,11 @@ impl WakeLot {
         &self,
         gate: usize,
         bucket: BucketKey,
-        park: Arc<ParkSlot>,
+        waiter: impl Into<Waiter>,
         pid: PredId,
     ) -> WakeTicket {
         let g = &self.gates[gate];
-        let node = g.queue.lock().push_back(bucket, park, pid);
+        let node = g.queue.lock().push_back(bucket, waiter, pid);
         g.len.fetch_add(1, Ordering::Relaxed);
         if !matches!(bucket, BucketKey::Slot(_)) {
             // The transient mirror counts *all* slotless waiters —
@@ -181,14 +244,14 @@ impl WakeLot {
     pub(crate) fn enqueue_transient(
         &self,
         gate: usize,
-        park: Arc<ParkSlot>,
+        waiter: impl Into<Waiter>,
         pid: PredId,
     ) -> (WakeTicket, BucketKey, bool) {
         let g = &self.gates[gate];
         let (bucket, hit, node) = {
             let mut queue = g.queue.lock();
             let (bucket, hit) = queue.admit_transient(pid, self.transient_cap);
-            (bucket, hit, queue.push_back(bucket, park, pid))
+            (bucket, hit, queue.push_back(bucket, waiter, pid))
         };
         g.len.fetch_add(1, Ordering::Relaxed);
         g.transient_len.fetch_add(1, Ordering::Relaxed);
@@ -344,8 +407,8 @@ impl WakeLot {
             // bucket holding a bare waiter must be audited, not just
             // the first one found.
             let mut bare_buckets: Vec<BucketKey> = Vec::new();
-            queue.for_each(|park, node_pid, bucket| {
-                if node_pid == pid && !park.covered() && !bare_buckets.contains(&bucket) {
+            queue.for_each(|waiter, node_pid, bucket| {
+                if node_pid == pid && !waiter.covered() && !bare_buckets.contains(&bucket) {
                     bare_buckets.push(bucket);
                 }
             });

@@ -48,10 +48,9 @@
 //! and stable).
 
 use std::collections::HashMap;
-use std::sync::Arc;
 
+use super::Waiter;
 use crate::eq_index::PredId;
-use crate::parking::park::ParkSlot;
 
 const NIL: u32 = u32::MAX;
 
@@ -80,8 +79,9 @@ impl BucketKey {
 
 #[derive(Debug)]
 struct Node {
-    /// The waiter's park token; `None` marks a free node.
-    park: Option<Arc<ParkSlot>>,
+    /// The waiter's blocking primitive — a thread's park token or an
+    /// async task's waker slot; `None` marks a free node.
+    waiter: Option<Waiter>,
     /// The predicate entry the waiter is registered under.
     pid: PredId,
     /// The bucket this node is linked into.
@@ -259,11 +259,17 @@ impl SlotQueue {
 
     /// Appends a waiter to `bucket`; returns its node index (stable
     /// until the matching [`SlotQueue::remove`]).
-    pub(crate) fn push_back(&mut self, bucket: BucketKey, park: Arc<ParkSlot>, pid: PredId) -> u32 {
+    pub(crate) fn push_back(
+        &mut self,
+        bucket: BucketKey,
+        waiter: impl Into<Waiter>,
+        pid: PredId,
+    ) -> u32 {
+        let waiter = waiter.into();
         let idx = match self.free {
             NIL => {
                 self.nodes.push(Node {
-                    park: None,
+                    waiter: None,
                     pid,
                     bucket,
                     prev: NIL,
@@ -278,7 +284,7 @@ impl SlotQueue {
         };
         let tail = self.bucket_mut(bucket).tail;
         let node = &mut self.nodes[idx as usize];
-        node.park = Some(park);
+        node.waiter = Some(waiter);
         node.pid = pid;
         node.bucket = bucket;
         node.prev = tail;
@@ -309,8 +315,8 @@ impl SlotQueue {
     pub(crate) fn remove(&mut self, idx: u32, claim: bool) -> BucketKey {
         let (bucket, prev, next) = {
             let node = &mut self.nodes[idx as usize];
-            assert!(node.park.is_some(), "removing a free slot-queue node");
-            node.park = None;
+            assert!(node.waiter.is_some(), "removing a free slot-queue node");
+            node.waiter = None;
             (node.bucket, node.prev, node.next)
         };
         match prev {
@@ -381,9 +387,9 @@ impl SlotQueue {
         let mut woken = false;
         while cursor != NIL {
             let node = &self.nodes[cursor as usize];
-            let park = node.park.as_ref().expect("linked node must be occupied");
-            if park.observed_epoch() < epoch {
-                park.unpark(epoch);
+            let waiter = node.waiter.as_ref().expect("linked node must be occupied");
+            if waiter.observed_epoch() < epoch {
+                waiter.unpark(epoch);
                 woken = true;
                 break;
             }
@@ -408,8 +414,8 @@ impl SlotQueue {
         let mut woken = 0;
         while cursor != NIL {
             let node = &self.nodes[cursor as usize];
-            let park = node.park.as_ref().expect("linked node must be occupied");
-            park.unpark(epoch);
+            let waiter = node.waiter.as_ref().expect("linked node must be occupied");
+            waiter.unpark(epoch);
             woken += 1;
             cursor = node.next;
         }
@@ -433,13 +439,13 @@ impl SlotQueue {
 
     /// Visits every enqueued waiter (any bucket order; FIFO within a
     /// bucket).
-    pub(crate) fn for_each(&self, mut f: impl FnMut(&Arc<ParkSlot>, PredId, BucketKey)) {
+    pub(crate) fn for_each(&self, mut f: impl FnMut(&Waiter, PredId, BucketKey)) {
         let mut visit = |b: &Bucket| {
             let mut cursor = b.head;
             while cursor != NIL {
                 let node = &self.nodes[cursor as usize];
-                let park = node.park.as_ref().expect("linked node must be occupied");
-                f(park, node.pid, node.bucket);
+                let waiter = node.waiter.as_ref().expect("linked node must be occupied");
+                f(waiter, node.pid, node.bucket);
                 cursor = node.next;
             }
         };
@@ -475,8 +481,8 @@ impl SlotQueue {
         let mut cursor = b.head;
         while cursor != NIL {
             let node = &self.nodes[cursor as usize];
-            let park = node.park.as_ref().expect("linked node must be occupied");
-            if park.covered() {
+            let waiter = node.waiter.as_ref().expect("linked node must be occupied");
+            if waiter.covered() {
                 return true;
             }
             cursor = node.next;
@@ -487,8 +493,10 @@ impl SlotQueue {
 
 #[cfg(test)]
 mod tests {
+    use std::sync::Arc;
+
     use super::*;
-    use crate::parking::park::ParkOutcome;
+    use crate::parking::park::{ParkOutcome, ParkSlot};
     use crate::slab::Slab;
 
     fn pid(slab: &mut Slab<u8>) -> PredId {

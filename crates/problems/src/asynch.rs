@@ -1,0 +1,407 @@
+//! Task-backed workload drivers: the wake-storm and sharded-queues
+//! shapes re-run with `wait_async` futures on the `miniexec` shim
+//! instead of one OS thread per waiter.
+//!
+//! Two things are measured here that the threaded drivers cannot reach:
+//!
+//! * **Scale.** A thread-backed waiter costs a stack; the practical
+//!   ceiling is ~10⁴ waiters per process. A task-backed waiter costs a
+//!   bucket entry plus a waker, so [`run_storm`] with
+//!   [`AsyncStormConfig::holdoff`] parks 10⁵⁺ *concurrent* waiters on a
+//!   handful of worker threads: channels start at `-1` (no waiter's
+//!   `chan_k == id` predicate is true), a kicker thread waits until
+//!   every registration is in ([`Monitor::parked_waiters`]), then
+//!   releases all channels at once — the `reproduce -- async` scale
+//!   proof.
+//! * **Equivalence.** The same workload driven by tasks must produce
+//!   the same outcome as the threaded driver — identical pass counts,
+//!   zero broadcasts, every item moved in FIFO order. The
+//!   `async_waiters` integration tests diff the two.
+//!
+//! Workloads always run `Mechanism::AutoSynchRoute`: async waiters are
+//! routed bucket entries, so `wait_async` requires `SignalMode::Routed`.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use autosynch::monitor::Monitor;
+use autosynch::stats::StatsSnapshot;
+use autosynch::tracked::{Tracked, TrackedCell, TrackedState};
+
+use crate::mechanism::Mechanism;
+
+/// Worker threads for the miniexec run loop: `AUTOSYNCH_ASYNC_WORKERS`
+/// when set to a positive integer, otherwise the machine's available
+/// parallelism.
+pub fn default_workers() -> usize {
+    std::env::var("AUTOSYNCH_ASYNC_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()))
+}
+
+/// Monitor state of the async storm: one turn counter per channel plus
+/// per-channel pass counts (the shape of `wake_storm::StormState`, with
+/// an optional `-1` hold-off start so no predicate is true until the
+/// kicker releases the channels).
+#[derive(Debug)]
+pub struct AsyncStormState {
+    chans: Vec<Tracked<i64>>,
+    passes: Vec<u64>,
+}
+
+impl TrackedState for AsyncStormState {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        for chan in &mut self.chans {
+            f(chan);
+        }
+    }
+}
+
+/// Parameters of an async wake-storm run.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncStormConfig {
+    /// Independent round-robin channels (hot expressions). `1` makes
+    /// this the Fig. 11 round-robin shape.
+    pub channels: usize,
+    /// Waiter tasks per channel (`channels × waiters` tasks total).
+    pub waiters: usize,
+    /// Full rounds each waiter completes on its channel.
+    pub rounds: usize,
+    /// miniexec worker threads driving the tasks.
+    pub workers: usize,
+    /// Start channels at `-1` and release them only once every waiter
+    /// of the first round is registered — the peak-concurrency proof.
+    pub holdoff: bool,
+    /// Enable per-phase timing so the run records the wait-latency
+    /// histogram (p50/p90/p99/p999).
+    pub timed: bool,
+}
+
+impl Default for AsyncStormConfig {
+    fn default() -> Self {
+        AsyncStormConfig {
+            channels: 4,
+            waiters: 4,
+            rounds: 50,
+            workers: default_workers(),
+            holdoff: false,
+            timed: false,
+        }
+    }
+}
+
+/// The outcome of one async storm run.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncStormReport {
+    /// Total waiter tasks driven (`channels × waiters`).
+    pub waiters: usize,
+    /// Registered waiters observed at the hold-off release (`0` without
+    /// [`AsyncStormConfig::holdoff`]); the scale proof's headline.
+    pub peak_waiters: usize,
+    /// Wall-clock time of the whole run (task launch to last
+    /// completion, including the registration ramp).
+    pub elapsed: Duration,
+    /// Monitor instrumentation accumulated during the run.
+    pub stats: StatsSnapshot,
+}
+
+/// Runs `channels` independent round-robins with `waiters` async waiter
+/// tasks each: task `j` of channel `k` awaits `waituntil(chan_k == j)`
+/// and then advances the channel, `rounds` times over.
+///
+/// # Panics
+///
+/// Panics when any channel's pass count is wrong.
+pub fn run_storm(config: AsyncStormConfig) -> AsyncStormReport {
+    let mechanism = Mechanism::AutoSynchRoute;
+    let monitor_config = mechanism
+        .monitor_config()
+        .expect("AutoSynchRoute is automatic");
+    let start_turn = if config.holdoff { -1 } else { 0 };
+    let monitor = Monitor::with_config(
+        AsyncStormState {
+            chans: (0..config.channels)
+                .map(|_| Tracked::new(start_turn))
+                .collect(),
+            passes: vec![0; config.channels],
+        },
+        monitor_config,
+    );
+    if config.timed {
+        monitor.stats().phases.set_enabled(true);
+    }
+    let mut my_turn = Vec::with_capacity(config.channels * config.waiters);
+    for k in 0..config.channels {
+        let chan = monitor.register_expr(format!("chan_{k}"), move |s| *s.chans[k]);
+        monitor.bind(|s| &mut s.chans[k], &[chan]);
+        for id in 0..config.waiters as i64 {
+            my_turn.push(monitor.compile(chan.eq(id)));
+        }
+    }
+
+    let total = config.channels * config.waiters;
+    let monitor = &monitor;
+    let my_turn = &my_turn;
+    let n = config.waiters as i64;
+    let tasks = (0..total).map(|t| {
+        let chan = t / config.waiters;
+        let id = t % config.waiters;
+        async move {
+            for _ in 0..config.rounds {
+                let wait = monitor
+                    .enter_async_tracked(|g| g.wait_async(&my_turn[chan * config.waiters + id]));
+                let mut g = wait.await;
+                let state = g.state_mut();
+                *state.chans[chan] = (*state.chans[chan] + 1) % n;
+                state.passes[chan] += 1;
+                drop(g);
+            }
+        }
+    });
+
+    let mut peak_waiters = 0;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let kicker = config.holdoff.then(|| {
+            scope.spawn(|| {
+                // Every waiter's first-round registration must be in
+                // before any channel moves: that instant is the proved
+                // peak concurrency.
+                while monitor.parked_waiters() < total {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let peak = monitor.parked_waiters();
+                monitor.enter_tracked(|g| {
+                    let state = g.state_mut();
+                    for k in 0..config.channels {
+                        *state.chans[k] = 0;
+                    }
+                });
+                peak
+            })
+        });
+        miniexec::run(config.workers, tasks);
+        if let Some(kicker) = kicker {
+            peak_waiters = kicker.join().expect("kicker panicked");
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let expected = (config.waiters * config.rounds) as u64;
+    monitor.enter(|g| {
+        for (chan, &passes) in g.state_mut().passes.iter().enumerate() {
+            assert_eq!(passes, expected, "async storm: channel {chan} pass count");
+        }
+    });
+    AsyncStormReport {
+        waiters: total,
+        peak_waiters,
+        elapsed,
+        stats: monitor.stats_snapshot(),
+    }
+}
+
+/// Parameters of an async sharded-queues run.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncQueuesConfig {
+    /// Independent bounded queues (one producer + one consumer task
+    /// each).
+    pub queues: usize,
+    /// Capacity of each queue.
+    pub capacity: usize,
+    /// Items each producer moves through its queue.
+    pub items: u64,
+    /// miniexec worker threads driving the tasks.
+    pub workers: usize,
+    /// Enable per-phase timing so the run records the wait-latency
+    /// histogram.
+    pub timed: bool,
+}
+
+impl Default for AsyncQueuesConfig {
+    fn default() -> Self {
+        AsyncQueuesConfig {
+            queues: 4,
+            capacity: 4,
+            items: 200,
+            workers: default_workers(),
+            timed: false,
+        }
+    }
+}
+
+/// Monitor state of the async sharded queues (the
+/// `sharded_queues::QueuesState` shape).
+#[derive(Debug)]
+pub struct AsyncQueuesState {
+    queues: Vec<Tracked<VecDeque<u64>>>,
+    capacity: usize,
+}
+
+impl TrackedState for AsyncQueuesState {
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut dyn TrackedCell)) {
+        for queue in &mut self.queues {
+            f(queue);
+        }
+    }
+}
+
+/// The outcome of one async sharded-queues run.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncQueuesReport {
+    /// Items moved across all queues (`queues × items` on success).
+    pub moved: u64,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Monitor instrumentation accumulated during the run.
+    pub stats: StatsSnapshot,
+}
+
+/// Runs `queues` bounded queues, each with one async producer and one
+/// async consumer moving `items` items in FIFO order.
+///
+/// # Panics
+///
+/// Panics when any consumer observes an out-of-order or missing item.
+pub fn run_queues(config: AsyncQueuesConfig) -> AsyncQueuesReport {
+    let mechanism = Mechanism::AutoSynchRoute;
+    let monitor_config = mechanism
+        .monitor_config()
+        .expect("AutoSynchRoute is automatic");
+    let monitor = Monitor::with_config(
+        AsyncQueuesState {
+            queues: (0..config.queues)
+                .map(|_| Tracked::new(VecDeque::with_capacity(config.capacity)))
+                .collect(),
+            capacity: config.capacity,
+        },
+        monitor_config,
+    );
+    if config.timed {
+        monitor.stats().phases.set_enabled(true);
+    }
+    let mut not_empty = Vec::with_capacity(config.queues);
+    let mut not_full = Vec::with_capacity(config.queues);
+    for i in 0..config.queues {
+        let items = monitor.register_expr(format!("items_{i}"), move |s| s.queues[i].len() as i64);
+        let space = monitor.register_expr(format!("space_{i}"), move |s| {
+            (s.capacity - s.queues[i].len()) as i64
+        });
+        monitor.bind(|s| &mut s.queues[i], &[items, space]);
+        not_empty.push(monitor.compile(items.ne(0)));
+        not_full.push(monitor.compile(space.ne(0)));
+    }
+
+    let monitor = &monitor;
+    let not_empty = &not_empty;
+    let not_full = &not_full;
+    let producer = |queue: usize| async move {
+        for item in 0..config.items {
+            let wait = monitor.enter_async_tracked(|g| g.wait_async(&not_full[queue]));
+            let mut g = wait.await;
+            g.state_mut().queues[queue].push_back(item);
+            drop(g);
+        }
+    };
+    let consumer = |queue: usize| async move {
+        for expected in 0..config.items {
+            let wait = monitor.enter_async_tracked(|g| g.wait_async(&not_empty[queue]));
+            let mut g = wait.await;
+            let item = g.state_mut().queues[queue].pop_front().expect("non-empty");
+            drop(g);
+            assert_eq!(item, expected, "queue {queue} must stay FIFO");
+        }
+    };
+
+    type Task<'a> = std::pin::Pin<Box<dyn std::future::Future<Output = ()> + Send + 'a>>;
+    let tasks: Vec<Task<'_>> = (0..config.queues)
+        .flat_map(|q| {
+            [
+                Box::pin(producer(q)) as Task<'_>,
+                Box::pin(consumer(q)) as Task<'_>,
+            ]
+        })
+        .collect();
+    let start = Instant::now();
+    miniexec::run(config.workers, tasks);
+    let elapsed = start.elapsed();
+
+    monitor.enter(|g| {
+        for (i, queue) in g.state_mut().queues.iter().enumerate() {
+            assert!(queue.is_empty(), "queue {i} must drain");
+        }
+    });
+    AsyncQueuesReport {
+        moved: config.queues as u64 * config.items,
+        elapsed,
+        stats: monitor.stats_snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_completes_and_never_broadcasts() {
+        let report = run_storm(AsyncStormConfig {
+            channels: 3,
+            waiters: 3,
+            rounds: 30,
+            workers: 4,
+            holdoff: false,
+            timed: false,
+        });
+        assert_eq!(report.waiters, 9);
+        assert_eq!(report.stats.counters.broadcasts, 0);
+        assert_eq!(report.stats.counters.signals, 0, "routed wakes only");
+        assert!(report.stats.counters.eq_routed_wakes > 0);
+    }
+
+    #[test]
+    fn holdoff_proves_peak_concurrency() {
+        let report = run_storm(AsyncStormConfig {
+            channels: 2,
+            waiters: 100,
+            rounds: 1,
+            workers: 4,
+            holdoff: true,
+            timed: true,
+        });
+        assert!(
+            report.peak_waiters >= 200,
+            "all {} waiters must be registered at release, saw {}",
+            report.waiters,
+            report.peak_waiters
+        );
+        assert!(report.stats.wait.holds > 0, "timed run records latencies");
+    }
+
+    #[test]
+    fn queues_move_every_item_in_order() {
+        let report = run_queues(AsyncQueuesConfig {
+            queues: 3,
+            capacity: 2,
+            items: 100,
+            workers: 4,
+            timed: true,
+        });
+        assert_eq!(report.moved, 300);
+        assert_eq!(report.stats.counters.broadcasts, 0);
+    }
+
+    #[test]
+    fn single_channel_storm_is_the_fig11_shape() {
+        let report = run_storm(AsyncStormConfig {
+            channels: 1,
+            waiters: 6,
+            rounds: 40,
+            workers: 2,
+            holdoff: false,
+            timed: false,
+        });
+        assert_eq!(report.waiters, 6);
+    }
+}

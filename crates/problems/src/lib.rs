@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod asynch;
 pub mod bounded_buffer;
 pub mod cigarette_smokers;
 pub mod cyclic_barrier;

@@ -1,0 +1,302 @@
+//! A minimal offline executor: [`block_on`] for one future on the
+//! calling thread, and [`run`] — a scoped multi-worker run loop that
+//! drives a batch of futures to completion on a small thread pool.
+//!
+//! The build environment has no access to crates.io, so this shim plays
+//! the role tokio would: just enough executor to host 10⁵⁺ concurrent
+//! waiter futures on a handful of OS threads. It is deliberately tiny —
+//! no spawning from inside tasks, no I/O reactor, no timers (the
+//! `autosynch` runtime brings its own deadline service). Futures run to
+//! `Output = ()` and communicate through their captured environment,
+//! which [`run`]'s scoped workers may borrow (tasks need only outlive
+//! the call, not `'static`).
+//!
+//! The scheduler is a textbook ready-queue design: each task owns an
+//! atomic run-state driven by its waker (idle / queued / running /
+//! notified / done), a shared `VecDeque` of ready task indices feeds the
+//! workers, and a wake that lands *during* a poll parks in the
+//! `Notified` state so the worker re-queues the task after putting its
+//! future back — the classic lost-wakeup guard.
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+/// Runs `future` to completion on the calling thread, parking it while
+/// the future is pending.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    struct ThreadWaker {
+        thread: Thread,
+        notified: AtomicBool,
+    }
+
+    impl Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.notified.store(true, Ordering::Release);
+            self.thread.unpark();
+        }
+    }
+
+    let waker_state = Arc::new(ThreadWaker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&waker_state));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = std::pin::pin!(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => {
+                while !waker_state.notified.swap(false, Ordering::Acquire) {
+                    std::thread::park();
+                }
+            }
+        }
+    }
+}
+
+/// Task run-states. Transitions: wakes move `IDLE → QUEUED` (pushing
+/// the task) and `RUNNING → NOTIFIED`; workers move `QUEUED → RUNNING`
+/// when they take a task and `RUNNING → IDLE | QUEUED | DONE` when the
+/// poll returns.
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+/// The executor state shared by wakers and workers. Wakers must be
+/// `'static` (a `Waker` can outlive anything), so this holds only owned
+/// data — the borrowed futures live outside it, in the run-scope.
+struct Shared {
+    ready: Mutex<VecDeque<usize>>,
+    available: Condvar,
+    states: Vec<AtomicU8>,
+    done: AtomicUsize,
+}
+
+impl Shared {
+    /// The waker path: make the task runnable exactly once per
+    /// idle-to-wake edge.
+    fn wake_task(&self, idx: usize) {
+        let state = &self.states[idx];
+        loop {
+            match state.load(Ordering::Acquire) {
+                IDLE => {
+                    if state
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.ready.lock().unwrap().push_back(idx);
+                        self.available.notify_one();
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued, already notified, or finished:
+                // nothing to do.
+                QUEUED | NOTIFIED | DONE => return,
+                other => unreachable!("task in impossible state {other}"),
+            }
+        }
+    }
+}
+
+struct TaskWaker {
+    idx: usize,
+    shared: Arc<Shared>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.shared.wake_task(self.idx);
+    }
+}
+
+/// Drives every future in `tasks` to completion on `workers` pool
+/// threads (at least one), returning when all are done. Futures may
+/// borrow from the caller's stack — the pool lives inside
+/// [`std::thread::scope`].
+pub fn run<'env, F>(workers: usize, tasks: impl IntoIterator<Item = F>)
+where
+    F: Future<Output = ()> + Send + 'env,
+{
+    type Slot<'env> = Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send + 'env>>>>;
+
+    let slots: Vec<Slot<'env>> = tasks
+        .into_iter()
+        .map(|f| {
+            let boxed: Pin<Box<dyn Future<Output = ()> + Send + 'env>> = Box::pin(f);
+            Mutex::new(Some(boxed))
+        })
+        .collect();
+    let total = slots.len();
+    if total == 0 {
+        return;
+    }
+    let shared = Arc::new(Shared {
+        ready: Mutex::new((0..total).collect()),
+        available: Condvar::new(),
+        states: (0..total).map(|_| AtomicU8::new(QUEUED)).collect(),
+        done: AtomicUsize::new(0),
+    });
+
+    let worker = |shared: Arc<Shared>, slots: &[Slot<'env>]| loop {
+        let idx = {
+            let mut ready = shared.ready.lock().unwrap();
+            loop {
+                if shared.done.load(Ordering::Acquire) == total {
+                    return;
+                }
+                if let Some(idx) = ready.pop_front() {
+                    break idx;
+                }
+                ready = shared.available.wait(ready).unwrap();
+            }
+        };
+        let mut future = slots[idx]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("a queued task's future is in its slot");
+        shared.states[idx].store(RUNNING, Ordering::Release);
+        let waker = Waker::from(Arc::new(TaskWaker {
+            idx,
+            shared: Arc::clone(&shared),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                shared.states[idx].store(DONE, Ordering::Release);
+                if shared.done.fetch_add(1, Ordering::AcqRel) + 1 == total {
+                    // Everything finished: release every parked worker.
+                    let _guard = shared.ready.lock().unwrap();
+                    shared.available.notify_all();
+                }
+            }
+            Poll::Pending => {
+                // Put the future back BEFORE publishing `Idle`: the
+                // instant the CAS lands, a waker may queue the task and
+                // another worker take it — the slot must already be
+                // populated.
+                *slots[idx].lock().unwrap() = Some(future);
+                if shared.states[idx]
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    // A wake landed mid-poll (`Notified`): the task is
+                    // runnable again right now.
+                    shared.states[idx].store(QUEUED, Ordering::Release);
+                    shared.ready.lock().unwrap().push_back(idx);
+                    shared.available.notify_one();
+                }
+            }
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let slots = &slots[..];
+            scope.spawn(move || worker(shared, slots));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    use super::*;
+
+    #[test]
+    fn block_on_returns_the_output() {
+        assert_eq!(block_on(async { 6 * 7 }), 42);
+    }
+
+    #[test]
+    fn block_on_survives_a_cross_thread_wake() {
+        struct Handoff {
+            value: Mutex<(Option<u32>, Option<Waker>)>,
+        }
+
+        struct Recv(Arc<Handoff>);
+        impl Future for Recv {
+            type Output = u32;
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+                let mut slot = self.0.value.lock().unwrap();
+                match slot.0.take() {
+                    Some(v) => Poll::Ready(v),
+                    None => {
+                        slot.1 = Some(cx.waker().clone());
+                        Poll::Pending
+                    }
+                }
+            }
+        }
+
+        let handoff = Arc::new(Handoff {
+            value: Mutex::new((None, None)),
+        });
+        let sender = {
+            let handoff = Arc::clone(&handoff);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                let mut slot = handoff.value.lock().unwrap();
+                slot.0 = Some(99);
+                if let Some(waker) = slot.1.take() {
+                    drop(slot);
+                    waker.wake();
+                }
+            })
+        };
+        assert_eq!(block_on(Recv(handoff)), 99);
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn run_drives_borrowed_tasks_on_many_workers() {
+        let hits = AtomicUsize::new(0);
+        run(
+            4,
+            (0..1000).map(|_| async {
+                // Yield once so every task exercises the re-queue path.
+                let mut yielded = false;
+                std::future::poll_fn(|cx| {
+                    if yielded {
+                        Poll::Ready(())
+                    } else {
+                        yielded = true;
+                        cx.waker().wake_by_ref();
+                        Poll::Pending
+                    }
+                })
+                .await;
+                hits.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn run_with_zero_tasks_returns_immediately() {
+        run(4, std::iter::empty::<std::future::Ready<()>>());
+    }
+}
