@@ -27,6 +27,7 @@
 //! [`Waker`]: std::task::Waker
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::task::Waker;
 
 use parking_lot::Mutex;
@@ -47,6 +48,10 @@ struct SlotState {
 #[derive(Default)]
 pub(crate) struct WakerSlot {
     state: Mutex<SlotState>,
+    /// The flight-recorder wait id of the wait this slot backs (0 when
+    /// tracing was off at registration) — stamped into `WakerWake`
+    /// events so the span stitcher can match wake deliveries to spans.
+    trace_id: AtomicU64,
 }
 
 impl fmt::Debug for WakerSlot {
@@ -66,13 +71,23 @@ impl WakerSlot {
         Self::default()
     }
 
+    /// Tags the slot with its wait's flight-recorder id; subsequent
+    /// `WakerWake` events carry it in their `b` operand.
+    pub(crate) fn set_trace_id(&self, wait_id: u64) {
+        self.trace_id.store(wait_id, Ordering::Relaxed);
+    }
+
     /// Hands the task a wake token stamped with the publishing epoch
     /// and invokes its registered waker — the `Waker::wake()` call
     /// happens after the slot lock is dropped, exactly as thread
     /// unparks notify their condvar off-lock. Tokens coalesce into the
     /// newest epoch.
     pub(crate) fn unpark(&self, epoch: u64) {
-        crate::telemetry::record(crate::telemetry::EventKind::WakerWake, epoch, 0);
+        crate::telemetry::record(
+            crate::telemetry::EventKind::WakerWake,
+            epoch,
+            self.trace_id.load(Ordering::Relaxed),
+        );
         let waker = {
             let mut state = self.state.lock();
             state.pending = true;

@@ -217,6 +217,11 @@ pub struct Monitor<S> {
     /// mutex for the same reason: routed waiters park per-`Cond`
     /// bucket, service token sweeps and claim without the monitor lock.
     wake: Arc<WakeLot>,
+    /// The watchtower: continuous health signals and pathology
+    /// detection over the counters and latency histograms, sampled by
+    /// [`Monitor::observe_health`] without ever taking the monitor
+    /// lock.
+    watcher: telemetry::watch::Watcher,
 }
 
 impl<S> std::fmt::Debug for Monitor<S> {
@@ -242,6 +247,7 @@ impl<S> Monitor<S> {
         let ring = mgr.ring();
         let parking = mgr.parking();
         let wake = mgr.wake_lot();
+        let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
         Monitor {
             inner: Mutex::new(Inner {
                 state,
@@ -257,10 +263,14 @@ impl<S> Monitor<S> {
             owner: AtomicU64::new(0),
             word: MonitorWord::new(),
             fc: FcSlab::new(),
-            token: NEXT_TOKEN.fetch_add(1, Ordering::Relaxed),
+            token,
             ring,
             parking,
             wake,
+            watcher: telemetry::watch::Watcher::new(
+                token,
+                telemetry::watch::WatchConfig::default(),
+            ),
         }
     }
 
@@ -709,7 +719,7 @@ impl<S> Monitor<S> {
     /// [`telemetry::set_enabled`] (or `AUTOSYNCH_TRACE=1` through the
     /// bench harness) while the traced section ran.
     pub fn drain_trace(&self) -> Vec<telemetry::TraceEvent> {
-        let mut events = telemetry::drain_all();
+        let mut events = telemetry::drain_all().events;
         events.retain(|e| e.monitor == self.token);
         events
     }
@@ -780,6 +790,59 @@ impl<S> Monitor<S> {
     fn deliver_routed_wakes(&self, wakes: &[RoutedWake], epoch: u64) {
         for &wake in wakes {
             self.wake.deliver(wake, epoch, &self.stats.counters);
+        }
+    }
+
+    /// Takes one watchtower health sample: snapshots the counters and
+    /// latency histograms, folds the windowed deltas into the
+    /// monitor's EWMA health signals, and runs the pathology
+    /// detectors. Returns the detector edges this sample crossed
+    /// (pathologies arming or clearing); most samples return nothing.
+    ///
+    /// Never takes the monitor lock — only relaxed counter loads,
+    /// histogram scans, and the park/wake gate locks
+    /// ([`Monitor::parked_waiters`]) — so a sampler thread can drive
+    /// this at kHz cadence against a saturated monitor. Not
+    /// [`Monitor::counts`], which queues on the monitor mutex.
+    pub fn observe_health(&self) -> Vec<telemetry::watch::HealthReport> {
+        self.watcher.observe(self.raw_health_sample())
+    }
+
+    /// [`Monitor::observe_health`] with an explicit window length —
+    /// the deterministic entry synthetic drivers and tests use.
+    pub fn observe_health_window(
+        &self,
+        window: std::time::Duration,
+    ) -> Vec<telemetry::watch::HealthReport> {
+        self.watcher
+            .observe_window(window, self.raw_health_sample())
+    }
+
+    fn raw_health_sample(&self) -> telemetry::watch::RawSample {
+        telemetry::watch::RawSample {
+            counters: self.stats.counters.snapshot(),
+            wait: self.stats.wait.snapshot(),
+            enter_exit: self.stats.enter_exit.snapshot(),
+            parked: self.parked_waiters(),
+        }
+    }
+
+    /// The retained watchtower sample history, oldest first.
+    pub fn health_history(&self) -> Vec<telemetry::watch::HealthSample> {
+        self.watcher.history()
+    }
+
+    /// The watchtower diagnostics bundle: latest health sample, armed
+    /// pathologies, and retained detector edges. Render machine-side
+    /// with [`telemetry::watch::Diagnostics::to_json`] or human-side
+    /// via `Display`. Lock-free with respect to the monitor mutex,
+    /// same as [`Monitor::observe_health`].
+    pub fn diagnostics(&self) -> telemetry::watch::Diagnostics {
+        telemetry::watch::Diagnostics {
+            monitor: self.token,
+            latest: self.watcher.history().last().copied(),
+            active: self.watcher.active(),
+            reports: self.watcher.reports(),
         }
     }
 
@@ -1114,15 +1177,27 @@ impl<S> MonitorGuard<'_, S> {
         // after construction), so the clock read is skipped when
         // timing is off.
         let started = self.monitor.stats.phases.is_enabled().then(Instant::now);
+        let wait_id = if telemetry::enabled() {
+            telemetry::next_wait_id()
+        } else {
+            0
+        };
         telemetry::record(
             telemetry::EventKind::WaitRegistered,
             slot.map_or(u64::MAX, u64::from),
-            0,
+            wait_id << 1,
         );
-        let satisfied = self.wait_registered_inner(pid, slot, deadline);
-        if let Some(started) = started {
-            self.monitor.stats.wait.record(started.elapsed());
-        }
+        let satisfied = self.wait_registered_inner(pid, slot, deadline, wait_id);
+        let elapsed_ns = started.map_or(0, |started| {
+            let elapsed = started.elapsed();
+            self.monitor.stats.wait.record(elapsed);
+            elapsed.as_nanos() as u64
+        });
+        telemetry::record(
+            telemetry::EventKind::WaitResolved,
+            wait_id,
+            (elapsed_ns << 1) | u64::from(satisfied),
+        );
         satisfied
     }
 
@@ -1131,6 +1206,7 @@ impl<S> MonitorGuard<'_, S> {
         pid: PredId,
         slot: Option<u32>,
         deadline: Option<Instant>,
+        wait_id: u64,
     ) -> bool {
         let monitor = self.monitor;
         let stats = Arc::clone(&monitor.stats);
@@ -1145,10 +1221,10 @@ impl<S> MonitorGuard<'_, S> {
         self.flush_tracked();
 
         if monitor.config.signal_mode() == SignalMode::Parked {
-            return self.wait_parked(pid, deadline, &stats);
+            return self.wait_parked(pid, deadline, wait_id, &stats);
         }
         if monitor.config.signal_mode() == SignalMode::Routed {
-            return self.wait_routed(pid, slot, deadline, &stats);
+            return self.wait_routed(pid, slot, deadline, wait_id, &stats);
         }
 
         loop {
@@ -1170,6 +1246,12 @@ impl<S> MonitorGuard<'_, S> {
             };
 
             monitor.owner.store(0, Ordering::Relaxed);
+            // Condvar mode has no park slot, but the commit-to-block /
+            // post-wake-check pair is the same causal shape the span
+            // stitcher consumes: `Park` (a = 0, no published epochs
+            // here) before the block, `SelfCheck` (b = 0, the check
+            // reads the live state under the lock) after it.
+            telemetry::record(telemetry::EventKind::Park, 0, wait_id);
             let await_timer = stats.phases.start(Phase::Await);
             let timed_out = match deadline {
                 None => {
@@ -1190,6 +1272,7 @@ impl<S> MonitorGuard<'_, S> {
                 stats.counters.record_pred_eval();
                 inner.mgr.entry_pred(pid).eval(&inner.state, &exprs)
             };
+            telemetry::record(telemetry::EventKind::SelfCheck, u64::from(holds), 0);
 
             if holds {
                 let inner = self.inner_mut();
@@ -1243,6 +1326,7 @@ impl<S> MonitorGuard<'_, S> {
         &mut self,
         pid: PredId,
         deadline: Option<Instant>,
+        wait_id: u64,
         stats: &Arc<MonitorStats>,
     ) -> bool {
         let monitor = self.monitor;
@@ -1255,6 +1339,7 @@ impl<S> MonitorGuard<'_, S> {
             )
         };
         let slot = Arc::new(ParkSlot::new());
+        slot.set_trace_id(wait_id);
         let mut ticket = parking.enqueue(gate, Arc::clone(&slot), pid);
         let mut wake_buf: Vec<u32> = Vec::new();
         let mut snap_buf: Vec<Option<i64>> = Vec::new();
@@ -1393,6 +1478,7 @@ impl<S> MonitorGuard<'_, S> {
         pid: PredId,
         slot: Option<u32>,
         deadline: Option<Instant>,
+        wait_id: u64,
         stats: &Arc<MonitorStats>,
     ) -> bool {
         let monitor = self.monitor;
@@ -1405,6 +1491,7 @@ impl<S> MonitorGuard<'_, S> {
             )
         };
         let park = Arc::new(ParkSlot::new());
+        park.set_trace_id(wait_id);
         // A compiled waiter goes straight to its slot bucket. A
         // slotless one runs the transient admission gate: repeat
         // `PredKey`s graduate to a swept per-predicate bucket (LRU,
@@ -1798,7 +1885,13 @@ impl<'m, S> MonitorGuard<'m, S> {
                 inner.mgr.park_gate(pid),
             )
         };
+        let wait_id = if telemetry::enabled() {
+            telemetry::next_wait_id()
+        } else {
+            0
+        };
         let wslot = Arc::new(WakerSlot::new());
+        wslot.set_trace_id(wait_id);
         let bucket = BucketKey::Slot(cond.slot());
         let ticket = wake.enqueue(gate, bucket, Arc::clone(&wslot), pid);
         // Fig. 6's "if P is false ..." check, inverted: a registration
@@ -1827,7 +1920,7 @@ impl<'m, S> MonitorGuard<'m, S> {
         telemetry::record(
             telemetry::EventKind::WaitRegistered,
             u64::from(cond.slot()),
-            1,
+            (wait_id << 1) | 1,
         );
         let started = stats.phases.is_enabled().then(Instant::now);
         AsyncWaitCore {
@@ -1841,6 +1934,7 @@ impl<'m, S> MonitorGuard<'m, S> {
             ticket: Some(ticket),
             drain: self.drain,
             started,
+            wait_id,
             wake_buf: Vec::new(),
             snap_buf: Vec::new(),
             done: false,
@@ -1871,6 +1965,10 @@ pub(crate) struct AsyncWaitCore<'m, S> {
     /// Registration timestamp for the `wait` latency histogram; `None`
     /// when phase timing is off.
     started: Option<Instant>,
+    /// Flight-recorder wait id (0 when tracing was off at
+    /// registration); pairs the `WaitResolved` event the claim/timeout
+    /// paths record with the registration's `WaitRegistered`.
+    wait_id: u64,
     wake_buf: Vec<RoutedWake>,
     snap_buf: Vec<Option<i64>>,
     /// Completed (claimed, timed out, or cancelled): every resource —
@@ -2052,9 +2150,19 @@ impl<'m, S> AsyncWaitCore<'m, S> {
     fn finish_claim(&mut self, inner: MutexGuard<'m, Inner<S>>) -> MonitorGuard<'m, S> {
         self.done = true;
         let monitor = self.monitor;
-        if let Some(started) = self.started.take() {
-            monitor.stats.wait.record(started.elapsed());
-        }
+        let elapsed_ns = self.started.take().map_or(0, |started| {
+            let elapsed = started.elapsed();
+            monitor.stats.wait.record(elapsed);
+            elapsed.as_nanos() as u64
+        });
+        // Executor threads have no monitor context in TLS, so the
+        // resolve attributes explicitly, like the poll events.
+        telemetry::record_for(
+            monitor.token,
+            telemetry::EventKind::WaitResolved,
+            self.wait_id,
+            (elapsed_ns << 1) | 1,
+        );
         let started = monitor.stats.timing_enabled().then(Instant::now);
         let tctx = telemetry::context_enter(monitor.token);
         MonitorGuard {
@@ -2104,9 +2212,17 @@ impl<'m, S> AsyncWaitCore<'m, S> {
         monitor.owner.store(0, Ordering::Relaxed);
         drop(inner);
         self.done = true;
-        if let Some(started) = self.started.take() {
-            stats.wait.record(started.elapsed());
-        }
+        let elapsed_ns = self.started.take().map_or(0, |started| {
+            let elapsed = started.elapsed();
+            stats.wait.record(elapsed);
+            elapsed.as_nanos() as u64
+        });
+        telemetry::record_for(
+            monitor.token,
+            telemetry::EventKind::WaitResolved,
+            self.wait_id,
+            elapsed_ns << 1,
+        );
         if monitor.config.fast_path_enabled() {
             monitor.word.leave_slow();
         }

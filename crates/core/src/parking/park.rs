@@ -26,6 +26,7 @@
 //! waiter goes straight back to sleep, so spuriousness never surfaces
 //! as a self-check.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
@@ -60,11 +61,22 @@ struct ParkState {
 pub(crate) struct ParkSlot {
     state: Mutex<ParkState>,
     cv: Condvar,
+    /// The flight-recorder wait id of the wait blocking on this slot
+    /// (0 when tracing was off at registration). Stamped into the
+    /// `Park`/`Unpark` events so the span stitcher can match a
+    /// signaler-side unpark to the waiter-side span it woke.
+    trace_id: AtomicU64,
 }
 
 impl ParkSlot {
     pub(crate) fn new() -> Self {
         Self::default()
+    }
+
+    /// Tags the slot with its wait's flight-recorder id; subsequent
+    /// `Park`/`Unpark` events carry it in their `b` operand.
+    pub(crate) fn set_trace_id(&self, wait_id: u64) {
+        self.trace_id.store(wait_id, Ordering::Relaxed);
     }
 
     /// Blocks until an unpark token is available (or `deadline`
@@ -88,7 +100,11 @@ impl ParkSlot {
                 // already re-checked, so a trace shows what cut it went
                 // to sleep believing in.
                 committed = true;
-                crate::telemetry::record(crate::telemetry::EventKind::Park, state.observed, 0);
+                crate::telemetry::record(
+                    crate::telemetry::EventKind::Park,
+                    state.observed,
+                    self.trace_id.load(Ordering::Relaxed),
+                );
             }
             match deadline {
                 None => self.cv.wait(&mut state),
@@ -106,7 +122,11 @@ impl ParkSlot {
     /// epoch. Tokens coalesce: several unparks before one park collapse
     /// into a single wake carrying the newest epoch.
     pub(crate) fn unpark(&self, epoch: u64) {
-        crate::telemetry::record(crate::telemetry::EventKind::Unpark, epoch, 0);
+        crate::telemetry::record(
+            crate::telemetry::EventKind::Unpark,
+            epoch,
+            self.trace_id.load(Ordering::Relaxed),
+        );
         let mut state = self.state.lock();
         state.pending = true;
         if epoch > state.wake_epoch {

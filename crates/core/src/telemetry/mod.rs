@@ -8,7 +8,12 @@
 //! process-wide monotonic nanosecond clock plus monitor, thread, and
 //! two event-specific operands, and lands in the recording thread's own
 //! fixed-capacity overwrite-oldest ring (`ring.rs`) — no locks, no
-//! allocation, no backpressure on the hot path.
+//! allocation, no backpressure on the hot path. The per-thread capacity
+//! defaults to 1024 events and is configurable via the
+//! `AUTOSYNCH_RING_CAP` environment variable or [`set_ring_capacity`];
+//! overwritten events are counted and surfaced on every drain so
+//! downstream consumers (notably the [`span`] stitcher) can flag
+//! truncated causal chains instead of inventing attributions.
 //!
 //! **Disabled cost.** Recording is off by default; every instrumented
 //! site guards with [`enabled`], a single `Relaxed` load of one global
@@ -28,7 +33,10 @@
 //! Drain with [`drain_all`] (everything) or
 //! [`Monitor::drain_trace`](crate::Monitor::drain_trace) (one
 //! monitor's view); the bench crate renders drained events as Chrome
-//! trace-event JSON loadable in Perfetto.
+//! trace-event JSON loadable in Perfetto. The [`span`] module stitches
+//! drained streams back into causal per-wait spans with typed phase
+//! attribution; the [`watch`] module is the continuous health watcher
+//! and pathology detector built over the counters and histograms.
 
 use std::cell::{Cell, OnceCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -36,6 +44,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 mod ring;
+pub mod span;
+pub mod watch;
 
 use ring::ThreadRing;
 
@@ -56,18 +66,30 @@ pub enum EventKind {
     GateWait = 3,
     /// A waiter registered with the condition manager and is about to
     /// block. `a` = compiled `Cond` slot (`u64::MAX` for transient
-    /// predicates). `b` = 1 for a task-backed (`wait_async`)
-    /// registration, 0 for a thread-backed one.
+    /// predicates). `b` = `wait_id << 1 | task`, where `wait_id` is the
+    /// process-unique id of this wait ([`next_wait_id`]; 0 when tracing
+    /// was off at registration) and `task` is 1 for a task-backed
+    /// (`wait_async`) registration, 0 for a thread-backed one. The
+    /// matching [`EventKind::WaitResolved`] closes the span.
     WaitRegistered = 4,
-    /// A parked waiter committed to blocking on its slot. `a` = wake
-    /// epoch already observed at park time.
+    /// A waiter committed to blocking: a parked/routed waiter on its
+    /// park slot, or a condvar-mode waiter on its entry's condition
+    /// variable. `a` = wake epoch already observed at park time (0 in
+    /// condvar mode, which has no published epochs). `b` = the wait id
+    /// of the blocking wait (0 when unknown).
     Park = 5,
-    /// A park slot was unparked. `a` = published wake epoch.
+    /// A park slot was unparked. Recorded on the *signaler's* thread.
+    /// `a` = published wake epoch. `b` = the wait id of the targeted
+    /// waiter (0 when the slot carries none) — the cross-thread edge
+    /// the span stitcher uses to split blocked time from the
+    /// relay-to-wake gap.
     Unpark = 6,
-    /// A parked/routed waiter re-checked its own predicate against the
-    /// snapshot ring. `a` = 1 if the predicate may hold (waiter
-    /// proceeds to confirm under the lock), 0 for a false wakeup.
-    /// `b` = snapshot epoch checked against.
+    /// A woken waiter re-checked its own predicate: a parked/routed
+    /// waiter against the lock-free snapshot ring, or a condvar-mode
+    /// waiter against the live state under the monitor lock. `a` = 1
+    /// if the predicate may hold (the waiter proceeds to claim), 0 for
+    /// a false/futile wakeup. `b` = snapshot epoch checked against (0
+    /// for an under-lock check, which reads the live state).
     SelfCheck = 7,
     /// One relay-signaling pass completed. `a` = predicate evaluations
     /// spent, `b` = probes/relays skipped by tagging, change tracking
@@ -92,14 +114,23 @@ pub enum EventKind {
     /// touching the lock). `b` = snapshot epoch checked against.
     AsyncPoll = 13,
     /// A routed wake or token forward landed on a task-backed bucket
-    /// entry and invoked its `Waker` off-lock. `a` = published wake
-    /// epoch.
+    /// entry and invoked its `Waker` off-lock. Recorded on the
+    /// signaler's thread. `a` = published wake epoch. `b` = the wait id
+    /// of the targeted task's wait (0 when the slot carries none).
     WakerWake = 14,
+    /// A registered wait returned (claimed, timed out, or — condvar
+    /// mode — woke holding). Closes the span opened by the matching
+    /// [`EventKind::WaitRegistered`]. `a` = wait id (pairs with the
+    /// registration's `b >> 1`). `b` = `elapsed_ns << 1 | satisfied`,
+    /// where `elapsed_ns` is the waiter-clock latency the `wait`
+    /// histogram recorded (0 when phase timing was off) and `satisfied`
+    /// is 0 for a timeout.
+    WaitResolved = 15,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 15] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::EnterElided,
         EventKind::EnterSlow,
         EventKind::EnterCombined,
@@ -115,6 +146,7 @@ impl EventKind {
         EventKind::FastExitAudit,
         EventKind::AsyncPoll,
         EventKind::WakerWake,
+        EventKind::WaitResolved,
     ];
 
     /// Stable snake_case name (the Chrome trace event name).
@@ -135,6 +167,7 @@ impl EventKind {
             EventKind::FastExitAudit => "fast_exit_audit",
             EventKind::AsyncPoll => "async_poll",
             EventKind::WakerWake => "waker_wake",
+            EventKind::WaitResolved => "wait_resolved",
         }
     }
 
@@ -165,6 +198,8 @@ pub struct TraceEvent {
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+static NEXT_WAIT: AtomicU64 = AtomicU64::new(1);
+static DROPPED_TOTAL: AtomicU64 = AtomicU64::new(0);
 static REGISTRY: Mutex<Vec<Arc<ThreadRing>>> = Mutex::new(Vec::new());
 
 thread_local! {
@@ -184,6 +219,23 @@ pub fn enabled() -> bool {
 /// the rings survive disabling and remain drainable.
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Sets the per-thread ring capacity (events retained before
+/// overwrite-oldest) for rings created *after* this call; existing
+/// rings keep their capacity. Overrides `AUTOSYNCH_RING_CAP`. Values
+/// below a small floor are clamped. Harnesses tracing long sections
+/// raise this before spawning their worker threads so the span
+/// stitcher sees whole causal chains instead of truncated tails.
+pub fn set_ring_capacity(cap: usize) {
+    ring::set_capacity_override(cap);
+}
+
+/// Allocates a process-unique wait id (never 0) — the identity that
+/// links one wait's [`EventKind::WaitRegistered`], its cross-thread
+/// wake deliveries, and its [`EventKind::WaitResolved`].
+pub fn next_wait_id() -> u64 {
+    NEXT_WAIT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Nanoseconds since the first clock read of the process — one shared
@@ -253,24 +305,49 @@ pub(crate) fn context_exit(prev: Option<u64>) {
     }
 }
 
+/// One [`drain_all`] result: the surviving events plus how many were
+/// lost to overwrite-oldest since the previous drain.
+#[derive(Debug, Clone, Default)]
+pub struct Drained {
+    /// Every event recorded since the previous drain that survived in
+    /// its ring, sorted by timestamp.
+    pub events: Vec<TraceEvent>,
+    /// Events overwritten before this drain could read them (summed
+    /// across all thread rings). Nonzero means `events` has holes: the
+    /// span stitcher will report truncated/orphaned spans, and
+    /// reconciliation against `MonitorStats.wait` is off the table for
+    /// this window. Raise the ring capacity ([`set_ring_capacity`] /
+    /// `AUTOSYNCH_RING_CAP`) or drain more often.
+    pub dropped: u64,
+}
+
 /// Drains every thread's ring: all events recorded since the previous
 /// drain (bounded per thread by the ring capacity — older events were
-/// overwritten), sorted by timestamp. Rings of threads that have since
-/// exited are drained one final time and then dropped from the
-/// registry, so long-lived processes spawning many short-lived threads
-/// don't accumulate dead rings.
-pub fn drain_all() -> Vec<TraceEvent> {
+/// overwritten, and counted in [`Drained::dropped`]), sorted by
+/// timestamp. Rings of threads that have since exited are drained one
+/// final time and then dropped from the registry, so long-lived
+/// processes spawning many short-lived threads don't accumulate dead
+/// rings.
+pub fn drain_all() -> Drained {
     let mut registry = REGISTRY.lock().expect("telemetry registry poisoned");
-    let mut out = Vec::new();
+    let mut events = Vec::new();
+    let mut dropped = 0;
     for ring in registry.iter() {
-        ring.drain_into(&mut out);
+        dropped += ring.drain_into(&mut events);
     }
     // A dead thread's TLS handle is gone, leaving the registry's as the
     // only strong reference.
     registry.retain(|ring| Arc::strong_count(ring) > 1);
     drop(registry);
-    out.sort_by_key(|e| e.t_ns);
-    out
+    events.sort_by_key(|e| e.t_ns);
+    DROPPED_TOTAL.fetch_add(dropped, Ordering::Relaxed);
+    Drained { events, dropped }
+}
+
+/// Total events lost to ring overwrite across every drain so far — the
+/// process-lifetime companion of the per-drain [`Drained::dropped`].
+pub fn dropped_total() -> u64 {
+    DROPPED_TOTAL.load(Ordering::Relaxed)
 }
 
 /// Serializes tests that toggle the process-wide recorder, so a test
@@ -296,6 +373,7 @@ mod tests {
         set_enabled(false);
         record(EventKind::Park, 0xDEAD_0001, 0);
         assert!(!drain_all()
+            .events
             .iter()
             .any(|e| e.kind == EventKind::Park && e.a == 0xDEAD_0001));
     }
@@ -309,7 +387,7 @@ mod tests {
         context_exit(Some(prev));
         record_for(77, EventKind::RelayPass, 0xDEAD_0003, 0);
         set_enabled(false);
-        let events = drain_all();
+        let events = drain_all().events;
         let in_ctx = events
             .iter()
             .find(|e| e.a == 0xDEAD_0002)
@@ -334,12 +412,13 @@ mod tests {
         }
         set_enabled(false);
         let events: Vec<_> = drain_all()
+            .events
             .into_iter()
             .filter(|e| e.a == 0xDEAD_0004)
             .collect();
         assert_eq!(events.len(), 10);
         assert!(events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
-        assert!(!drain_all().iter().any(|e| e.a == 0xDEAD_0004));
+        assert!(!drain_all().events.iter().any(|e| e.a == 0xDEAD_0004));
     }
 
     #[test]
@@ -351,7 +430,7 @@ mod tests {
             .join()
             .unwrap();
         set_enabled(false);
-        let events = drain_all();
+        let events = drain_all().events;
         let here = events.iter().find(|e| e.a == 0xDEAD_0005).unwrap().thread;
         let there = events.iter().find(|e| e.a == 0xDEAD_0006).unwrap().thread;
         assert_ne!(here, there);

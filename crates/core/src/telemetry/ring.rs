@@ -2,21 +2,60 @@
 //! any thread without stopping the writer.
 //!
 //! Each recording thread owns one [`ThreadRing`]: a fixed array of
-//! `RING_CAP` slots plus a monotonic write index. Only the owning
-//! thread writes (so there are no writer/writer races); any thread may
-//! drain. A slot is a tiny seqlock — the writer brackets its payload
-//! stores with an odd/even sequence stamp, and a drainer that observes
-//! a changed or odd stamp discards the slot instead of reporting a
-//! torn event. When the writer laps a slow drainer the overwritten
-//! events are simply lost: the recorder is overwrite-oldest by design,
-//! bounding memory and never applying backpressure to the hot path.
+//! slots plus a monotonic write index. The capacity is fixed per ring
+//! at creation ([`configured_capacity`]): the default is
+//! [`DEFAULT_RING_CAP`], overridable with the `AUTOSYNCH_RING_CAP`
+//! environment variable or programmatically with
+//! [`super::set_ring_capacity`] — long traced sections (100k-waiter
+//! async runs) need room for every wait's whole event chain, or the
+//! span stitcher only ever sees truncated tails. Only the owning thread
+//! writes (so there are no writer/writer races); any thread may drain.
+//! A slot is a tiny seqlock — the writer brackets its payload stores
+//! with an odd/even sequence stamp, and a drainer that observes a
+//! changed or odd stamp discards the slot instead of reporting a torn
+//! event. When the writer laps a slow drainer the overwritten events
+//! are simply lost: the recorder is overwrite-oldest by design,
+//! bounding memory and never applying backpressure to the hot path —
+//! but the loss is *counted*, not silent: every drain reports how many
+//! events were overwritten since the previous drain, so consumers can
+//! flag partial spans instead of fabricating attributions.
 
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 
 use super::{EventKind, TraceEvent};
 
-/// Events retained per thread before overwrite-oldest kicks in.
-pub(crate) const RING_CAP: usize = 1024;
+/// Events retained per thread before overwrite-oldest kicks in, unless
+/// `AUTOSYNCH_RING_CAP` or [`super::set_ring_capacity`] says otherwise.
+pub(crate) const DEFAULT_RING_CAP: usize = 1024;
+
+/// Floor for configured capacities: a ring too small to hold even one
+/// wait's event chain would make every drain pure loss accounting.
+const MIN_RING_CAP: usize = 16;
+
+/// Programmatic capacity override (0 = none); set via
+/// [`super::set_ring_capacity`], read at ring creation.
+static CAP_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+pub(crate) fn set_capacity_override(cap: usize) {
+    CAP_OVERRIDE.store(cap.max(MIN_RING_CAP), Ordering::Relaxed);
+}
+
+/// The capacity a ring created *now* gets: the programmatic override if
+/// set, else `AUTOSYNCH_RING_CAP` (read once), else the default.
+/// Existing rings keep the capacity they were created with.
+pub(crate) fn configured_capacity() -> usize {
+    let over = CAP_OVERRIDE.load(Ordering::Relaxed);
+    if over != 0 {
+        return over;
+    }
+    static FROM_ENV: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        std::env::var("AUTOSYNCH_RING_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or(DEFAULT_RING_CAP, |cap| cap.max(MIN_RING_CAP))
+    })
+}
 
 /// One seqlocked event slot. `seq` holds `2*i + 1` while write `i` is
 /// in progress and `2*(i + 1)` once it is published, where `i` is the
@@ -36,7 +75,9 @@ struct Slot {
 pub(crate) struct ThreadRing {
     /// Stable trace thread id (assigned at ring creation).
     pub(crate) thread: u64,
-    /// Next write index (monotonic; slot = `head % RING_CAP`).
+    /// Slot count, fixed at creation from [`configured_capacity`].
+    cap: usize,
+    /// Next write index (monotonic; slot = `head % cap`).
     head: AtomicU64,
     /// Index up to which a drain has consumed events (drainers only,
     /// serialized by the registry lock).
@@ -46,9 +87,11 @@ pub(crate) struct ThreadRing {
 
 impl ThreadRing {
     pub(crate) fn new(thread: u64) -> Self {
-        let slots: Vec<Slot> = (0..RING_CAP).map(|_| Slot::default()).collect();
+        let cap = configured_capacity();
+        let slots: Vec<Slot> = (0..cap).map(|_| Slot::default()).collect();
         ThreadRing {
             thread,
+            cap,
             head: AtomicU64::new(0),
             drained: AtomicU64::new(0),
             slots: slots.into_boxed_slice(),
@@ -58,7 +101,7 @@ impl ThreadRing {
     /// Records one event. Owning thread only.
     pub(crate) fn push(&self, t_ns: u64, monitor: u64, kind: EventKind, a: u64, b: u64) {
         let i = self.head.load(Ordering::Relaxed);
-        let slot = &self.slots[(i as usize) % RING_CAP];
+        let slot = &self.slots[(i as usize) % self.cap];
         // The AcqRel swap keeps the payload stores below from being
         // hoisted above the odd stamp; the Release publish keeps them
         // from sinking below the even stamp. A drainer therefore either
@@ -75,17 +118,18 @@ impl ThreadRing {
     }
 
     /// Collects every event recorded since the previous drain (at most
-    /// the last `RING_CAP` — older ones were overwritten) into `out`,
-    /// then advances the drain cursor. Torn slots (a write in progress
-    /// or completed mid-read) are skipped, not misreported.
-    pub(crate) fn drain_into(&self, out: &mut Vec<TraceEvent>) {
+    /// the last `cap` — older ones were overwritten) into `out`, then
+    /// advances the drain cursor. Torn slots (a write in progress or
+    /// completed mid-read) are skipped, not misreported. Returns the
+    /// number of events the writer overwrote before this drain could
+    /// read them — the loss the drained stream silently elides.
+    pub(crate) fn drain_into(&self, out: &mut Vec<TraceEvent>) -> u64 {
         let head = self.head.load(Ordering::Acquire);
-        let start = self
-            .drained
-            .load(Ordering::Relaxed)
-            .max(head.saturating_sub(RING_CAP as u64));
+        let drained = self.drained.load(Ordering::Relaxed);
+        let start = drained.max(head.saturating_sub(self.cap as u64));
+        let lost = start - drained;
         for i in start..head {
-            let slot = &self.slots[(i as usize) % RING_CAP];
+            let slot = &self.slots[(i as usize) % self.cap];
             let seq = slot.seq.load(Ordering::Acquire);
             // Odd: write in progress. Wrong generation: the writer
             // already lapped this slot (its newer event is collected
@@ -115,6 +159,7 @@ impl ThreadRing {
             });
         }
         self.drained.store(head, Ordering::Relaxed);
+        lost
     }
 }
 
@@ -122,6 +167,7 @@ impl std::fmt::Debug for ThreadRing {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadRing")
             .field("thread", &self.thread)
+            .field("cap", &self.cap)
             .field("head", &self.head.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
@@ -137,7 +183,7 @@ mod tests {
         ring.push(100, 1, EventKind::Park, 2, 3);
         ring.push(200, 1, EventKind::Unpark, 4, 5);
         let mut out = Vec::new();
-        ring.drain_into(&mut out);
+        assert_eq!(ring.drain_into(&mut out), 0, "nothing overwritten");
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].t_ns, 100);
         assert_eq!(out[0].kind, EventKind::Park);
@@ -145,21 +191,27 @@ mod tests {
         assert_eq!(out[1].b, 5);
         // A second drain yields nothing new.
         out.clear();
-        ring.drain_into(&mut out);
+        assert_eq!(ring.drain_into(&mut out), 0);
         assert!(out.is_empty());
     }
 
     #[test]
-    fn overwrite_keeps_only_the_newest_cap_events() {
+    fn overwrite_keeps_only_the_newest_cap_events_and_counts_loss() {
         let ring = ThreadRing::new(0);
-        let total = RING_CAP as u64 + 50;
+        let cap = ring.cap as u64;
+        let total = cap + 50;
         for i in 0..total {
             ring.push(i, 0, EventKind::RelayPass, i, 0);
         }
         let mut out = Vec::new();
-        ring.drain_into(&mut out);
-        assert_eq!(out.len(), RING_CAP);
+        assert_eq!(ring.drain_into(&mut out), 50, "50 events were lapped");
+        assert_eq!(out.len(), ring.cap);
         assert_eq!(out.first().unwrap().t_ns, 50);
         assert_eq!(out.last().unwrap().t_ns, total - 1);
+        // Losses are per-drain, not cumulative.
+        ring.push(total, 0, EventKind::RelayPass, 0, 0);
+        out.clear();
+        assert_eq!(ring.drain_into(&mut out), 0);
+        assert_eq!(out.len(), 1);
     }
 }

@@ -1,0 +1,612 @@
+//! The span stitcher: reconstructs each wait's causal chain from a
+//! drained flight-recorder stream and attributes its end-to-end
+//! latency to typed phases.
+//!
+//! A wait's life is bracketed by [`EventKind::WaitRegistered`] and
+//! [`EventKind::WaitResolved`], linked by a process-unique wait id.
+//! Between the brackets the waiter's own thread records its loop —
+//! parks, self-checks, token forwards, relay-on-wait passes — and the
+//! *signaler's* thread records the wake deliveries ([`Unpark`] /
+//! [`WakerWake`]) stamped with the target's wait id. The stitcher
+//! walks the merged stream once, splits every span into consecutive
+//! segments at the waiter's own events, classifies each segment by the
+//! event that *opened* it, and splits blocked segments at the matching
+//! cross-thread wake delivery. The result is a partition: **phase
+//! durations always sum exactly to the span they partition** — the
+//! invariant the `watchtower` property tests pin — and the per-wait
+//! measured latency carried by `WaitResolved` reconciles the stitched
+//! population against the `MonitorStats.wait` histogram's totals.
+//!
+//! The recorder is overwrite-oldest, so a drained stream may have
+//! holes. The stitcher never guesses across one: a resolve whose
+//! registration was overwritten becomes a zero-duration span flagged
+//! [`WaitSpan::truncated`]; a registration whose resolve is missing is
+//! counted in [`StitchReport::open_waits`]; a stray park with no
+//! enclosing span is counted in [`StitchReport::orphan_events`]. Holes
+//! cost coverage, never correctness.
+//!
+//! [`EventKind::WaitRegistered`]: super::EventKind::WaitRegistered
+//! [`EventKind::WaitResolved`]: super::EventKind::WaitResolved
+//! [`Unpark`]: super::EventKind::Unpark
+//! [`WakerWake`]: super::EventKind::WakerWake
+
+use std::collections::HashMap;
+
+use autosynch_metrics::hist::LogLinearHist;
+
+use super::{EventKind, TraceEvent};
+
+/// The typed latency phases a stitched wait decomposes into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum WaitPhase {
+    /// Registration to first block: relay-on-wait, wake announcement
+    /// and delivery on the waiter's way down, queue enqueue. Also
+    /// absorbs any mid-span relay work (a futile claimer re-running
+    /// the loop-top relay before re-parking).
+    Setup = 0,
+    /// Blocked in a park (or condvar wait), up to the wake delivery
+    /// that ended the block — time spent waiting for a signaler.
+    ParkedBlocked = 1,
+    /// Wake delivery to waiter resume: from the signaler's
+    /// unpark/waker-wake record to the waiter's next own event — the
+    /// relay-to-wake gap (condvar handoff, scheduler latency).
+    RelayToWake = 2,
+    /// From a false self-check verdict to the next event: the cost of
+    /// a spurious wakeup that re-checked and went back to sleep.
+    SpuriousSelfCheck = 3,
+    /// Wake-delivery and token-sweep work the waiter performed for its
+    /// bucket peers: segments opened by an unpark it delivered or a
+    /// token it forwarded.
+    TokenSweep = 4,
+    /// From a may-hold self-check to resolution: dequeue, monitor lock
+    /// re-acquire, and the confirm-under-lock (including the futile
+    /// case, where the next park opens a fresh segment).
+    MonitorReacquire = 5,
+    /// Task-backed (`wait_async`) interior: polls run on arbitrary
+    /// executor threads, so the stitcher attributes the whole interior
+    /// to this single coarse phase rather than guessing.
+    TaskPending = 6,
+}
+
+/// Number of [`WaitPhase`] variants (the length of per-span phase
+/// arrays).
+pub const PHASE_COUNT: usize = 7;
+
+impl WaitPhase {
+    /// Every phase, in discriminant order.
+    pub const ALL: [WaitPhase; PHASE_COUNT] = [
+        WaitPhase::Setup,
+        WaitPhase::ParkedBlocked,
+        WaitPhase::RelayToWake,
+        WaitPhase::SpuriousSelfCheck,
+        WaitPhase::TokenSweep,
+        WaitPhase::MonitorReacquire,
+        WaitPhase::TaskPending,
+    ];
+
+    /// Stable snake_case name (JSON / trace-viewer label).
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitPhase::Setup => "setup",
+            WaitPhase::ParkedBlocked => "parked_blocked",
+            WaitPhase::RelayToWake => "relay_to_wake",
+            WaitPhase::SpuriousSelfCheck => "spurious_self_check",
+            WaitPhase::TokenSweep => "token_sweep",
+            WaitPhase::MonitorReacquire => "monitor_reacquire",
+            WaitPhase::TaskPending => "task_pending",
+        }
+    }
+}
+
+/// One reconstructed wait: its identity, its bracket timestamps, and
+/// the phase partition of everything in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitSpan {
+    /// Monitor token the wait ran under.
+    pub monitor: u64,
+    /// Trace thread id of the registering thread (for task-backed
+    /// waits, the resolving thread — polls roam executors).
+    pub thread: u64,
+    /// The wait id linking registration, wake deliveries, and resolve
+    /// (0 when tracing was enabled mid-wait).
+    pub wait_id: u64,
+    /// Registration timestamp (trace clock, ns).
+    pub start_ns: u64,
+    /// Resolve timestamp (trace clock, ns).
+    pub end_ns: u64,
+    /// Task-backed (`wait_async`) rather than thread-backed.
+    pub task: bool,
+    /// Whether the wait returned holding its predicate (false: timeout).
+    pub satisfied: bool,
+    /// The waiter-clock latency `WaitResolved` carried — exactly what
+    /// `MonitorStats.wait` recorded for this wait (0 when phase timing
+    /// was off).
+    pub measured_ns: u64,
+    /// The registration event was overwritten in its ring: the span's
+    /// start is unknown, so `start_ns == end_ns` and every phase is 0.
+    /// Truncated spans are excluded from reconciliation, never given
+    /// invented attributions.
+    pub truncated: bool,
+    /// Nanoseconds attributed to each [`WaitPhase`], indexed by
+    /// discriminant. Invariant: sums to [`WaitSpan::span_ns`].
+    pub phases: [u64; PHASE_COUNT],
+}
+
+impl WaitSpan {
+    /// End-to-end latency on the trace clock.
+    pub fn span_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Nanoseconds attributed to `phase`.
+    pub fn phase_ns(&self, phase: WaitPhase) -> u64 {
+        self.phases[phase as usize]
+    }
+}
+
+/// Everything [`stitch`] reconstructed from one drained stream.
+#[derive(Debug, Clone, Default)]
+pub struct StitchReport {
+    /// Every closed span, in resolve order — complete ones plus
+    /// zero-duration [`WaitSpan::truncated`] stubs.
+    pub spans: Vec<WaitSpan>,
+    /// Registrations whose resolve never appeared: waits still in
+    /// flight at drain time, or whose resolve event was overwritten.
+    pub open_waits: usize,
+    /// Waiter-side events (parks) with no enclosing span — their
+    /// registration was overwritten, strong evidence of ring loss.
+    pub orphan_events: u64,
+}
+
+impl StitchReport {
+    /// The complete (non-truncated) spans.
+    pub fn complete(&self) -> impl Iterator<Item = &WaitSpan> {
+        self.spans.iter().filter(|s| !s.truncated)
+    }
+
+    /// Number of truncated stubs in [`StitchReport::spans`].
+    pub fn truncated(&self) -> usize {
+        self.spans.iter().filter(|s| s.truncated).count()
+    }
+
+    /// Total nanoseconds per phase across all complete spans.
+    pub fn phase_totals(&self) -> [u64; PHASE_COUNT] {
+        let mut totals = [0u64; PHASE_COUNT];
+        for span in self.complete() {
+            for (total, ns) in totals.iter_mut().zip(span.phases) {
+                *total += ns;
+            }
+        }
+        totals
+    }
+
+    /// Total trace-clock latency across all complete spans — equals
+    /// the sum of [`StitchReport::phase_totals`] by construction.
+    pub fn total_span_ns(&self) -> u64 {
+        self.complete().map(WaitSpan::span_ns).sum()
+    }
+
+    /// Total waiter-clock latency across all complete spans — the
+    /// number to reconcile against `MonitorStats.wait`'s exact `nanos`
+    /// sum (equal when no events were dropped and every wait resolved
+    /// before the drain).
+    pub fn measured_total_ns(&self) -> u64 {
+        self.complete().map(|s| s.measured_ns).sum()
+    }
+}
+
+/// One phase's latency ladder across a span population.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseLadder {
+    /// Which phase.
+    pub phase: WaitPhase,
+    /// Total nanoseconds attributed across all spans.
+    pub total_ns: u64,
+    /// Spans with a nonzero attribution to this phase.
+    pub spans: u64,
+    /// Median per-span attribution (nonzero spans only), within the
+    /// log-linear histogram's bucket error.
+    pub p50_ns: u64,
+    /// 90th percentile per-span attribution.
+    pub p90_ns: u64,
+    /// 99th percentile per-span attribution.
+    pub p99_ns: u64,
+}
+
+/// Builds per-phase attribution ladders over the complete spans of a
+/// report: totals plus log-linear percentiles of the per-span phase
+/// durations (spans where the phase never occurred are excluded from
+/// the percentiles, not averaged in as zeros).
+pub fn ladders(report: &StitchReport) -> [PhaseLadder; PHASE_COUNT] {
+    WaitPhase::ALL.map(|phase| {
+        let hist = LogLinearHist::new();
+        let mut total_ns = 0u64;
+        let mut spans = 0u64;
+        for span in report.complete() {
+            let ns = span.phase_ns(phase);
+            if ns > 0 {
+                hist.record(ns);
+                total_ns += ns;
+                spans += 1;
+            }
+        }
+        let snap = hist.snapshot();
+        PhaseLadder {
+            phase,
+            total_ns,
+            spans,
+            p50_ns: snap.quantile(0.50),
+            p90_ns: snap.quantile(0.90),
+            p99_ns: snap.quantile(0.99),
+        }
+    })
+}
+
+/// What kind of segment a waiter-side event opens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Leader {
+    /// Registration or relay-on-wait work (relay passes, ladder skips,
+    /// gate waits) — attributed to [`WaitPhase::Setup`].
+    Setup,
+    /// A committed park — blocked time, split at the matching wake.
+    Park,
+    /// A false self-check verdict.
+    SelfCheckFalse,
+    /// A may-hold self-check verdict.
+    SelfCheckTrue,
+    /// Wake delivery / token forwarding done on the bucket's behalf.
+    WakeWork,
+}
+
+/// One thread's currently open (registered, unresolved) wait.
+struct OpenWait {
+    monitor: u64,
+    wait_id: u64,
+    start_ns: u64,
+    /// Timestamp of the last waiter-side event — the open segment's
+    /// left edge.
+    seg_start: u64,
+    /// What opened the current segment.
+    leader: Leader,
+    phases: [u64; PHASE_COUNT],
+}
+
+impl OpenWait {
+    /// Closes the open segment at `t`, attributing it by its leader —
+    /// splitting a parked segment at the first matching cross-thread
+    /// wake delivery in `(seg_start, t]`.
+    fn attribute(&mut self, t: u64, wakes: &HashMap<u64, Vec<u64>>) {
+        let len = t.saturating_sub(self.seg_start);
+        match self.leader {
+            Leader::Setup => self.phases[WaitPhase::Setup as usize] += len,
+            Leader::SelfCheckFalse => {
+                self.phases[WaitPhase::SpuriousSelfCheck as usize] += len;
+            }
+            Leader::SelfCheckTrue => {
+                self.phases[WaitPhase::MonitorReacquire as usize] += len;
+            }
+            Leader::WakeWork => self.phases[WaitPhase::TokenSweep as usize] += len,
+            Leader::Park => {
+                let wake = wakes
+                    .get(&self.wait_id)
+                    .filter(|_| self.wait_id != 0)
+                    .and_then(|times| {
+                        let i = times.partition_point(|&w| w <= self.seg_start);
+                        times.get(i).copied().filter(|&w| w <= t)
+                    });
+                match wake {
+                    Some(w) => {
+                        self.phases[WaitPhase::ParkedBlocked as usize] += w - self.seg_start;
+                        self.phases[WaitPhase::RelayToWake as usize] += t - w;
+                    }
+                    // No delivery recorded in the window (unpark
+                    // coalesced before the park, condvar mode, or the
+                    // signaler's event lost): all blocked.
+                    None => self.phases[WaitPhase::ParkedBlocked as usize] += len,
+                }
+            }
+        }
+        self.seg_start = t;
+    }
+}
+
+/// Reconstructs wait spans from a drained, time-sorted event stream
+/// (the order [`super::drain_all`] returns). See the module docs for
+/// the attribution rules and the loss semantics.
+pub fn stitch(events: &[TraceEvent]) -> StitchReport {
+    // Cross-thread wake deliveries, indexed by target wait id. Sorted
+    // by construction: events are time-sorted and pushes preserve it.
+    let mut wakes: HashMap<u64, Vec<u64>> = HashMap::new();
+    for e in events {
+        if matches!(e.kind, EventKind::Unpark | EventKind::WakerWake) && e.b != 0 {
+            wakes.entry(e.b).or_default().push(e.t_ns);
+        }
+    }
+
+    let mut open: HashMap<u64, OpenWait> = HashMap::new(); // by thread
+    let mut task_open: HashMap<u64, (u64, u64)> = HashMap::new(); // wait id -> (monitor, start)
+    let mut report = StitchReport::default();
+
+    for e in events {
+        match e.kind {
+            EventKind::WaitRegistered => {
+                let wait_id = e.b >> 1;
+                if e.b & 1 == 1 {
+                    if task_open.insert(wait_id, (e.monitor, e.t_ns)).is_some() {
+                        // A same-id collision only happens for id 0
+                        // (tracing enabled mid-run): the displaced
+                        // registration can never be matched.
+                        report.open_waits += 1;
+                    }
+                } else {
+                    let prev = open.insert(
+                        e.thread,
+                        OpenWait {
+                            monitor: e.monitor,
+                            wait_id,
+                            start_ns: e.t_ns,
+                            seg_start: e.t_ns,
+                            leader: Leader::Setup,
+                            phases: [0; PHASE_COUNT],
+                        },
+                    );
+                    if prev.is_some() {
+                        // A thread cannot nest waits: the previous
+                        // span's resolve was lost.
+                        report.open_waits += 1;
+                    }
+                }
+            }
+            EventKind::WaitResolved => {
+                let wait_id = e.a;
+                let measured_ns = e.b >> 1;
+                let satisfied = e.b & 1 == 1;
+                let matched = match open.get(&e.thread) {
+                    Some(w) if w.wait_id == wait_id && w.monitor == e.monitor => {
+                        let mut w = open.remove(&e.thread).expect("just matched");
+                        w.attribute(e.t_ns, &wakes);
+                        Some(WaitSpan {
+                            monitor: w.monitor,
+                            thread: e.thread,
+                            wait_id,
+                            start_ns: w.start_ns,
+                            end_ns: e.t_ns,
+                            task: false,
+                            satisfied,
+                            measured_ns,
+                            truncated: false,
+                            phases: w.phases,
+                        })
+                    }
+                    _ => task_open.remove(&wait_id).map(|(monitor, start_ns)| {
+                        let mut phases = [0; PHASE_COUNT];
+                        phases[WaitPhase::TaskPending as usize] = e.t_ns.saturating_sub(start_ns);
+                        WaitSpan {
+                            monitor,
+                            thread: e.thread,
+                            wait_id,
+                            start_ns,
+                            end_ns: e.t_ns.max(start_ns),
+                            task: true,
+                            satisfied,
+                            measured_ns,
+                            truncated: false,
+                            phases,
+                        }
+                    }),
+                };
+                report.spans.push(matched.unwrap_or(WaitSpan {
+                    monitor: e.monitor,
+                    thread: e.thread,
+                    wait_id,
+                    start_ns: e.t_ns,
+                    end_ns: e.t_ns,
+                    task: false,
+                    satisfied,
+                    measured_ns,
+                    truncated: true,
+                    phases: [0; PHASE_COUNT],
+                }));
+            }
+            // Waiter-side interior events: close the open segment and
+            // lead the next one. Events from other monitors (none in
+            // practice: a blocked thread runs only its wait loop) are
+            // left out of the partition.
+            EventKind::Park
+            | EventKind::SelfCheck
+            | EventKind::AsyncPoll
+            | EventKind::TokenForward
+            | EventKind::Unpark
+            | EventKind::WakerWake
+            | EventKind::RelayPass
+            | EventKind::LadderSkip
+            | EventKind::GateWait => {
+                if let Some(w) = open.get_mut(&e.thread) {
+                    if w.monitor == e.monitor {
+                        w.attribute(e.t_ns, &wakes);
+                        w.leader = match e.kind {
+                            EventKind::Park => Leader::Park,
+                            EventKind::SelfCheck | EventKind::AsyncPoll => {
+                                if e.a == 1 {
+                                    Leader::SelfCheckTrue
+                                } else {
+                                    Leader::SelfCheckFalse
+                                }
+                            }
+                            EventKind::TokenForward | EventKind::Unpark | EventKind::WakerWake => {
+                                Leader::WakeWork
+                            }
+                            _ => Leader::Setup,
+                        };
+                    }
+                } else if e.kind == EventKind::Park {
+                    // A park outside any span: its registration was
+                    // overwritten (async waits never park).
+                    report.orphan_events += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    report.open_waits += open.len() + task_open.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ns: u64, thread: u64, kind: EventKind, a: u64, b: u64) -> TraceEvent {
+        TraceEvent {
+            t_ns,
+            monitor: 1,
+            thread,
+            kind,
+            a,
+            b,
+        }
+    }
+
+    fn sum(span: &WaitSpan) -> u64 {
+        span.phases.iter().sum()
+    }
+
+    #[test]
+    fn parked_wait_partitions_with_wake_split() {
+        // Thread 10 waits; thread 20 delivers the unpark at t=500.
+        let events = vec![
+            ev(100, 10, EventKind::WaitRegistered, u64::MAX, 7 << 1),
+            ev(150, 10, EventKind::Park, 0, 7),
+            ev(500, 20, EventKind::Unpark, 3, 7),
+            ev(600, 10, EventKind::SelfCheck, 1, 3),
+            ev(700, 10, EventKind::WaitResolved, 7, (900 << 1) | 1),
+        ];
+        let report = stitch(&events);
+        assert_eq!(report.spans.len(), 1);
+        let span = &report.spans[0];
+        assert!(!span.truncated);
+        assert!(span.satisfied);
+        assert_eq!(span.measured_ns, 900);
+        assert_eq!(span.span_ns(), 600);
+        assert_eq!(sum(span), 600, "phases partition the span");
+        assert_eq!(span.phase_ns(WaitPhase::Setup), 50);
+        assert_eq!(span.phase_ns(WaitPhase::ParkedBlocked), 350);
+        assert_eq!(span.phase_ns(WaitPhase::RelayToWake), 100);
+        assert_eq!(span.phase_ns(WaitPhase::MonitorReacquire), 100);
+        assert_eq!(report.open_waits, 0);
+        assert_eq!(report.orphan_events, 0);
+    }
+
+    #[test]
+    fn spurious_wake_and_token_forward_attribute_separately() {
+        let events = vec![
+            ev(0, 10, EventKind::WaitRegistered, 2, 9 << 1),
+            ev(10, 10, EventKind::Park, 0, 9),
+            ev(200, 20, EventKind::Unpark, 5, 9),
+            ev(230, 10, EventKind::SelfCheck, 0, 5), // false wakeup
+            ev(250, 10, EventKind::Unpark, 5, 11),   // forwards to a peer
+            ev(260, 10, EventKind::TokenForward, 0, 5),
+            ev(270, 10, EventKind::Park, 5, 9),
+            ev(400, 20, EventKind::Unpark, 6, 9),
+            ev(420, 10, EventKind::SelfCheck, 1, 6),
+            ev(500, 10, EventKind::WaitResolved, 9, 1),
+        ];
+        let report = stitch(&events);
+        let span = &report.spans[0];
+        assert_eq!(sum(span), span.span_ns());
+        assert_eq!(span.phase_ns(WaitPhase::Setup), 10);
+        // First park: blocked 10..200, relay-to-wake 200..230.
+        // Second park: blocked 270..400, relay-to-wake 400..420.
+        assert_eq!(span.phase_ns(WaitPhase::ParkedBlocked), 190 + 130);
+        assert_eq!(span.phase_ns(WaitPhase::RelayToWake), 30 + 20);
+        assert_eq!(span.phase_ns(WaitPhase::SpuriousSelfCheck), 20);
+        assert_eq!(span.phase_ns(WaitPhase::TokenSweep), 10 + 10);
+        assert_eq!(span.phase_ns(WaitPhase::MonitorReacquire), 80);
+        assert_eq!(span.measured_ns, 0, "timing was off");
+    }
+
+    #[test]
+    fn task_backed_wait_is_coarse_but_closed_cross_thread() {
+        let events = vec![
+            ev(100, 10, EventKind::WaitRegistered, 4, (5 << 1) | 1),
+            ev(300, 30, EventKind::AsyncPoll, 0, 2),
+            ev(900, 31, EventKind::WaitResolved, 5, (750 << 1) | 1),
+        ];
+        let report = stitch(&events);
+        let span = &report.spans[0];
+        assert!(span.task);
+        assert_eq!(span.span_ns(), 800);
+        assert_eq!(span.phase_ns(WaitPhase::TaskPending), 800);
+        assert_eq!(sum(span), span.span_ns());
+        assert_eq!(span.measured_ns, 750);
+    }
+
+    #[test]
+    fn lost_registration_yields_truncated_never_bogus() {
+        let events = vec![
+            ev(50, 10, EventKind::Park, 0, 3), // orphan: registration lost
+            ev(500, 10, EventKind::WaitResolved, 3, (400 << 1) | 1),
+        ];
+        let report = stitch(&events);
+        assert_eq!(report.orphan_events, 1);
+        assert_eq!(report.truncated(), 1);
+        let span = &report.spans[0];
+        assert!(span.truncated);
+        assert_eq!(span.span_ns(), 0);
+        assert_eq!(sum(span), 0, "no invented attribution");
+        assert_eq!(report.complete().count(), 0);
+    }
+
+    #[test]
+    fn lost_resolve_counts_open() {
+        let events = vec![
+            ev(100, 10, EventKind::WaitRegistered, 1, 8 << 1),
+            ev(120, 10, EventKind::Park, 0, 8),
+        ];
+        let report = stitch(&events);
+        assert!(report.spans.is_empty());
+        assert_eq!(report.open_waits, 1);
+    }
+
+    #[test]
+    fn condvar_mode_spans_partition_without_wake_events() {
+        // Condvar-mode waits have Park (a=0) and under-lock SelfCheck
+        // events but no unpark deliveries.
+        let events = vec![
+            ev(0, 10, EventKind::WaitRegistered, u64::MAX, 4 << 1),
+            ev(20, 10, EventKind::Park, 0, 4),
+            ev(300, 10, EventKind::SelfCheck, 0, 0), // futile
+            ev(320, 10, EventKind::Park, 0, 4),
+            ev(600, 10, EventKind::SelfCheck, 1, 0),
+            ev(610, 10, EventKind::WaitResolved, 4, (640 << 1) | 1),
+        ];
+        let report = stitch(&events);
+        let span = &report.spans[0];
+        assert_eq!(sum(span), span.span_ns());
+        assert_eq!(span.phase_ns(WaitPhase::ParkedBlocked), 280 + 280);
+        assert_eq!(span.phase_ns(WaitPhase::SpuriousSelfCheck), 20);
+        assert_eq!(span.phase_ns(WaitPhase::MonitorReacquire), 10);
+        assert_eq!(span.phase_ns(WaitPhase::RelayToWake), 0);
+    }
+
+    #[test]
+    fn ladders_aggregate_nonzero_phases() {
+        let events = vec![
+            ev(0, 10, EventKind::WaitRegistered, 1, 2 << 1),
+            ev(10, 10, EventKind::Park, 0, 2),
+            ev(1000, 10, EventKind::SelfCheck, 1, 0),
+            ev(1100, 10, EventKind::WaitResolved, 2, 1),
+        ];
+        let report = stitch(&events);
+        let ladders = ladders(&report);
+        let parked = &ladders[WaitPhase::ParkedBlocked as usize];
+        assert_eq!(parked.spans, 1);
+        assert_eq!(parked.total_ns, 990);
+        assert!(parked.p50_ns >= 990, "quantiles are upper bounds");
+        let sweep = &ladders[WaitPhase::TokenSweep as usize];
+        assert_eq!(sweep.spans, 0);
+        assert_eq!(sweep.total_ns, 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Exponentially weighted moving averages for windowed health signals.
+//!
+//! The watchtower samples counter deltas on a fixed cadence and smooths
+//! each derived rate through an [`Ewma`] so one anomalous window cannot
+//! arm a pathology detector (and one quiet window cannot clear it) —
+//! the smoothing half of the detectors' hysteresis. Plain sequential
+//! state: the sampler owns its watcher exclusively, so no atomics.
+
+/// One exponentially weighted moving average: `v ← α·x + (1−α)·v`.
+///
+/// The first observation primes the average directly (no warm-up bias
+/// toward zero).
+///
+/// # Examples
+///
+/// ```
+/// use autosynch_metrics::ewma::Ewma;
+///
+/// let mut avg = Ewma::new(0.5);
+/// assert_eq!(avg.update(4.0), 4.0); // first sample primes
+/// assert_eq!(avg.update(0.0), 2.0);
+/// assert_eq!(avg.value(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    primed: bool,
+}
+
+impl Ewma {
+    /// Creates an average with smoothing factor `alpha` in `(0, 1]` —
+    /// higher is twitchier. Out-of-range values are clamped.
+    pub fn new(alpha: f64) -> Self {
+        Ewma {
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            value: 0.0,
+            primed: false,
+        }
+    }
+
+    /// Folds in one observation and returns the updated average.
+    /// Non-finite observations are ignored (a 0-duration window's rate
+    /// must not poison the average).
+    pub fn update(&mut self, x: f64) -> f64 {
+        if x.is_finite() {
+            if self.primed {
+                self.value = self.alpha * x + (1.0 - self.alpha) * self.value;
+            } else {
+                self.value = x;
+                self.primed = true;
+            }
+        }
+        self.value
+    }
+
+    /// The current average (0 before any observation).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Whether at least one observation has been folded in.
+    pub fn is_primed(&self) -> bool {
+        self.primed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_primes_without_zero_bias() {
+        let mut e = Ewma::new(0.1);
+        assert!(!e.is_primed());
+        assert_eq!(e.update(100.0), 100.0);
+        assert!(e.is_primed());
+    }
+
+    #[test]
+    fn smooths_toward_new_observations() {
+        let mut e = Ewma::new(0.25);
+        e.update(0.0);
+        e.update(8.0);
+        assert_eq!(e.value(), 2.0);
+        e.update(8.0);
+        assert_eq!(e.value(), 3.5);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut e = Ewma::new(0.5);
+        e.update(4.0);
+        e.update(f64::NAN);
+        e.update(f64::INFINITY);
+        assert_eq!(e.value(), 4.0);
+    }
+
+    #[test]
+    fn alpha_is_clamped() {
+        let mut e = Ewma::new(7.0); // clamps to 1.0: tracks exactly
+        e.update(3.0);
+        e.update(9.0);
+        assert_eq!(e.value(), 9.0);
+    }
+}
